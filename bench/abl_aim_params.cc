@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: AIM's canary fraction and candidate count.
+ *
+ * The paper fixes 25% canary trials and K=4 candidates. Sweeps both
+ * knobs on the hardest Q5 workload (bv-4B, the all-ones key) on
+ * ibmqx4 to show the tradeoff: too few canaries mispredict the
+ * output, too many starve the tailored phase; too few candidates
+ * gamble on the prediction, too many dilute the budget.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Ablation: AIM canary fraction and candidate "
+                "count (bv-4B on ibmqx4, %zu trials) ==\n\n",
+                shots);
+
+    MachineSession session(makeIbmqx4(), seed);
+    const NisqBenchmark bench = benchmarkSuiteQ5()[1]; // bv-4B.
+    const TranspiledProgram program =
+        session.prepare(bench.circuit);
+    const auto rbms = session.profileProgram(program);
+
+    BaselinePolicy baseline;
+    const double p_base =
+        pst(session.runPolicy(program, baseline, shots),
+            bench.acceptedOutputs);
+    std::printf("baseline PST: %s\n\n", fmt(p_base).c_str());
+
+    std::printf("-- canary fraction sweep (K = 4) --\n");
+    AsciiTable canary_table({"canary fraction", "PST", "IST"});
+    for (double fraction : {0.05, 0.125, 0.25, 0.5, 0.75}) {
+        AimOptions options;
+        options.canaryFraction = fraction;
+        AdaptiveInvertAndMeasure aim(rbms, options);
+        const Counts counts =
+            session.runPolicy(program, aim, shots);
+        canary_table.addRow(
+            {fmt(fraction, 3) +
+                 (fraction == 0.25 ? "  (paper)" : ""),
+             fmt(pst(counts, bench.acceptedOutputs)),
+             fmt(ist(counts, bench.acceptedOutputs), 2)});
+    }
+    std::printf("%s\n", canary_table.toString().c_str());
+
+    std::printf("-- candidate count sweep (canary = 25%%) --\n");
+    AsciiTable k_table({"candidates K", "PST", "IST"});
+    for (unsigned k : {1u, 2u, 4u, 8u}) {
+        AimOptions options;
+        options.numCandidates = k;
+        AdaptiveInvertAndMeasure aim(rbms, options);
+        const Counts counts =
+            session.runPolicy(program, aim, shots);
+        k_table.addRow(
+            {std::to_string(k) + (k == 4 ? "  (paper)" : ""),
+             fmt(pst(counts, bench.acceptedOutputs)),
+             fmt(ist(counts, bench.acceptedOutputs), 2)});
+    }
+    std::printf("%s", k_table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 6.1's repeatability claim: "To test if the bias is
+ * repeatable, we evaluated the measurement strength of different
+ * five-qubit basis states for 35 days over 100 calibration cycles.
+ * We observe that the bias is repeatable."
+ *
+ * Reproduced by characterizing the ibmqx4 RBMS across simulated
+ * calibration days (each a small lognormal drift of every rate) and
+ * correlating each day's curve against day 0. High correlation with
+ * wobbling absolute rates = the bias *pattern* is stable, which is
+ * what AIM's offline profile needs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "machine/drift.hh"
+#include "qsim/bitstring.hh"
+#include "metrics/stats.hh"
+#include "mitigation/rbms.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots(8192);
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Repeatability of the ibmqx4 bias across "
+                "calibration days (drift sigma 0.08, %zu "
+                "trials/state) ==\n\n",
+                shots);
+
+    const Machine nominal = makeIbmqx4();
+    const std::vector<Qubit> all{0, 1, 2, 3, 4};
+
+    std::vector<double> day0;
+    AsciiTable table({"day", "corr with day 0",
+                      "strongest state", "weakest rel. BMS"});
+    for (std::uint64_t day = 0; day < 8; ++day) {
+        const Machine today =
+            driftCalibration(nominal, 0.08, 1000 + day);
+        MachineSession session(today, seed + day);
+        const ExhaustiveRbms rbms =
+            characterizeDirect(session.backend(), all, shots);
+        const auto curve = rbms.relativeCurve();
+        if (day == 0)
+            day0 = curve;
+        double weakest = 1.0;
+        for (double v : curve)
+            weakest = std::min(weakest, v);
+        table.addRow({std::to_string(day),
+                      day == 0 ? std::string("1.00")
+                               : fmt(pearson(day0, curve), 3),
+                      toBitString(rbms.strongestState(), 5),
+                      fmt(weakest, 3)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper claim: the bias is repeatable across "
+                "calibration cycles — correlations near 1 and a "
+                "stable strongest state, while the absolute "
+                "weakest-state strength wobbles day to day.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation: coherent gate errors and the QAOA mitigation gap.
+ *
+ * EXPERIMENTS.md documents that under purely stochastic
+ * (Pauli + damping) gate noise the QAOA mitigation gains are
+ * structurally capped: the ansatz's Z2 symmetry makes P(s) = P(~s),
+ * and XOR-steering conserves the pair's total. Real devices also
+ * suffer *coherent* miscalibrations, which break that symmetry.
+ * This bench turns coherent over-rotations on and measures (a) the
+ * induced asymmetry between the two optimal partitions and (b) how
+ * the mitigation policies respond — closing the loop on the
+ * documented deviation.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+namespace
+{
+
+/** ibmqx4 with systematic over-rotations layered on. */
+Machine
+coherentIbmqx4(double z, double x, double zz)
+{
+    Machine machine = makeIbmqx4();
+    Calibration& calib = machine.calibration();
+    for (Qubit q = 0; q < machine.numQubits(); ++q) {
+        calib.qubit(q).coherentZ = z;
+        calib.qubit(q).coherentX = x;
+    }
+    for (const auto& [a, b] : machine.topology().edges()) {
+        LinkCalibration link = calib.link(a, b);
+        link.coherentZZ = zz;
+        calib.setLink(a, b, link);
+    }
+    return machine;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Ablation: coherent gate errors vs QAOA "
+                "mitigation (qaoa-4B on ibmqx4, %zu trials) "
+                "==\n\n",
+                shots);
+
+    AsciiTable table({"coherent (Z/X/ZZ rad)", "P(s)/P(~s)",
+                      "base PST", "SIM/base", "AIM/base"});
+    struct Level
+    {
+        const char* label;
+        double z, x, zz;
+    };
+    const Level levels[] = {
+        {"0 / 0 / 0 (stochastic only)", 0.0, 0.0, 0.0},
+        {"0.05 / 0.03 / 0.05", 0.05, 0.03, 0.05},
+        {"0.15 / 0.08 / 0.12", 0.15, 0.08, 0.12},
+        {"0.30 / 0.15 / 0.25", 0.30, 0.15, 0.25},
+    };
+    for (const Level& level : levels) {
+        MachineSession session(
+            coherentIbmqx4(level.z, level.x, level.zz), seed);
+        const NisqBenchmark bench = benchmarkSuiteQ5()[3];
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+
+        BaselinePolicy baseline;
+        const Counts base =
+            session.runPolicy(program, baseline, shots);
+        const double p_s = base.probability(bench.correctOutput);
+        const double p_c =
+            base.probability(complementOutput(bench));
+        const double base_pst = pst(base, bench.acceptedOutputs);
+
+        StaticInvertAndMeasure sim;
+        const double sim_pst =
+            pst(session.runPolicy(program, sim, shots),
+                bench.acceptedOutputs);
+        AdaptiveInvertAndMeasure aim(
+            session.profileProgram(program));
+        const double aim_pst =
+            pst(session.runPolicy(program, aim, shots),
+                bench.acceptedOutputs);
+
+        table.addRow({level.label,
+                      p_c > 0 ? fmt(p_s / p_c, 2) : "inf",
+                      fmt(base_pst),
+                      base_pst > 0 ? fmt(sim_pst / base_pst, 2) +
+                                         "x"
+                                   : "-",
+                      base_pst > 0 ? fmt(aim_pst / base_pst, 2) +
+                                         "x"
+                                   : "-"});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("reading: coherent errors skew the two ideally "
+                "equiprobable partitions (column 2 leaves 1.0) and "
+                "lower the baseline; the mitigation headroom grows "
+                "accordingly -- the regime the paper's hardware "
+                "numbers live in.\n");
+    return 0;
+}

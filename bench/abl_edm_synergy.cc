@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: Invert-and-Measure combined with the authors'
+ * concurrent technique, EDM (Ensemble of Diverse Mappings,
+ * MICRO-52 2019).
+ *
+ * The paper's Related Work notes both techniques share one
+ * philosophy: running every trial through the identical program
+ * correlates the mistakes. EDM diversifies the *mapping*; SIM
+ * diversifies the *measurement basis*. This bench runs every
+ * combination on the Q5 suite (ibmqx4) to measure the synergy.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Ablation: SIM x EDM synergy on ibmqx4 (%zu "
+                "trials per cell, 4 mappings) ==\n\n",
+                shots);
+
+    MachineSession session(makeIbmqx4(), seed);
+    AsciiTable table({"benchmark", "Baseline", "EDM", "SIM",
+                      "EDM+SIM"});
+    for (const NisqBenchmark& bench : benchmarkSuiteQ5()) {
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+
+        BaselinePolicy baseline;
+        const double p_base =
+            pst(session.runPolicy(program, baseline, shots),
+                bench.acceptedOutputs);
+        const double p_edm =
+            pst(session.runEnsemble(bench.circuit, baseline,
+                                    shots),
+                bench.acceptedOutputs);
+        StaticInvertAndMeasure sim;
+        const double p_sim =
+            pst(session.runPolicy(program, sim, shots),
+                bench.acceptedOutputs);
+        StaticInvertAndMeasure sim2;
+        const double p_both =
+            pst(session.runEnsemble(bench.circuit, sim2, shots),
+                bench.acceptedOutputs);
+
+        table.addRow({bench.name, fmt(p_base), fmt(p_edm),
+                      fmt(p_sim), fmt(p_both)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("reading: EDM alone mostly reshuffles which "
+                "incorrect outcomes appear (its win is IST, not "
+                "PST); SIM moves PST on weak states; the "
+                "combination keeps SIM's gain while decorrelating "
+                "mapping mistakes.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: measurement mitigation as an energy-estimator fix.
+ *
+ * A QAOA outer loop estimates <C> from hardware shots; biased
+ * readout corrupts that estimate (every 1->0 flip relabels a
+ * partition, usually *shrinking* the apparent cut), which misleads
+ * the classical optimizer. This bench measures the expected-cut
+ * estimation error of each policy against the ideal value, on the
+ * Table-2 graphs.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "kernels/qaoa.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Ablation: expected-cut estimation error under "
+                "each policy (melbourne, %zu trials) ==\n\n",
+                shots);
+
+    MachineSession session(makeIbmqMelbourne(), seed);
+    AsciiTable table({"graph", "ideal <C>", "Baseline", "SIM",
+                      "AIM"});
+    double base_err = 0.0, sim_err = 0.0, aim_err = 0.0;
+    const char* targets[3] = {"010000", "101001", "110110"};
+    for (const char* target : targets) {
+        const Graph graph =
+            completeBipartite(6, fromBitString(target));
+        const QaoaAngles angles = optimizeQaoaAngles(graph, 2);
+        const double ideal = qaoaExpectedCut(graph, angles);
+        const Circuit logical = qaoaCircuit(graph, angles);
+        const TranspiledProgram program =
+            session.prepare(logical);
+
+        BaselinePolicy baseline;
+        const double e_base = sampledExpectedCut(
+            graph, session.runPolicy(program, baseline, shots));
+        StaticInvertAndMeasure sim;
+        const double e_sim = sampledExpectedCut(
+            graph, session.runPolicy(program, sim, shots));
+        AdaptiveInvertAndMeasure aim(
+            session.profileProgram(program));
+        const double e_aim = sampledExpectedCut(
+            graph, session.runPolicy(program, aim, shots));
+
+        base_err += std::abs(e_base - ideal);
+        sim_err += std::abs(e_sim - ideal);
+        aim_err += std::abs(e_aim - ideal);
+        table.addRow({target, fmt(ideal, 2), fmt(e_base, 2),
+                      fmt(e_sim, 2), fmt(e_aim, 2)});
+    }
+    table.addRow({"mean |error|", "0",
+                  fmt(base_err / 3, 2), fmt(sim_err / 3, 2),
+                  fmt(aim_err / 3, 2)});
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("note: decoherence during the circuit also drags "
+                "<C> toward the random-cut average, so no readout "
+                "policy recovers the ideal value; the comparison "
+                "isolates how much of the residual bias the "
+                "measurement step contributes.\n");
+    return 0;
+}

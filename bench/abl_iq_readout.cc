@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: where the state-dependent bias comes from.
+ *
+ * Sweeps the readout integration window of a first-principles IQ
+ * discrimination model (Gaussian clouds + decay during integration;
+ * SNR grows like sqrt(T), decay loss like T) and reports the
+ * derived assignment errors. The sweep shows (a) the classic
+ * U-shaped total error that fixes the operating point of real
+ * machines and (b) the p10/p01 asymmetry — the paper's entire
+ * premise — emerging from T1 alone, plus the inversion of the
+ * asymmetry under discriminator miscalibration.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "harness/table.hh"
+#include "noise/iq_readout.hh"
+
+using namespace qem;
+
+namespace
+{
+
+IqQubitParams
+paramsFor(double t_ns, double offset)
+{
+    IqQubitParams p;
+    p.i1 = 1.0;
+    p.integrationNs = t_ns;
+    // Post-integration noise shrinks with the window: SNR ~
+    // sqrt(T).
+    p.sigma = 0.35 * std::sqrt(1000.0 / t_ns);
+    p.t1Ns = 30000.0;
+    p.discriminatorOffset = offset;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: IQ readout physics — integration "
+                "window sweep (T1 = 30 us) ==\n\n");
+
+    AsciiTable table({"window (ns)", "p01", "p10", "p10/p01",
+                      "assignment error", ""});
+    for (double t : {250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0,
+                     16000.0, 32000.0}) {
+        IqReadoutModel model({paramsFor(t, 0.0)});
+        const double p01 = model.derivedP01(0);
+        const double p10 = model.derivedP10(0);
+        const double err = 0.5 * (p01 + p10);
+        table.addRow({fmt(t, 0), fmt(p01, 4), fmt(p10, 4),
+                      fmt(p10 / p01, 1) + "x", fmtPercent(err),
+                      bar(err, 0.25, 30)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("== Discriminator miscalibration at the 4000 ns "
+                "operating point ==\n\n");
+    AsciiTable skew({"boundary offset", "p01", "p10", "bias"});
+    for (double offset : {-0.2, -0.1, 0.0, 0.1, 0.2}) {
+        IqReadoutModel model({paramsFor(4000.0, offset)});
+        const double p01 = model.derivedP01(0);
+        const double p10 = model.derivedP10(0);
+        skew.addRow({fmt(offset, 2), fmt(p01, 4), fmt(p10, 4),
+                     p10 > p01 ? "1 -> 0 (paper's common case)"
+                               : "0 -> 1 (inverted, ibmqx4-like)"});
+    }
+    std::printf("%s\n", skew.toString().c_str());
+    std::printf("reading: decay during integration alone makes "
+                "p10 > p01 at every usable window — the physical "
+                "origin of the Hamming-weight bias — while a "
+                "shifted discriminator reproduces the inverted "
+                "asymmetry this repo gives ibmqx4's qubit 1.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: Invert-and-Measure vs classical measurement-matrix
+ * inversion (the Qiskit-filter/TREX/M3 family).
+ *
+ * Matrix inversion is pure post-processing with a tensored
+ * (per-qubit) calibration. On machines whose readout errors really
+ * are independent it is excellent; on machines with correlated,
+ * state-dependent bias (ibmqx4 here, with its crosstalk) the
+ * tensored model mispredicts crowded states and the hardware-level
+ * inversions of SIM/AIM keep an edge.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "mitigation/matrix_correction.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Ablation: SIM/AIM vs tensored matrix inversion "
+                "(%zu trials per policy) ==\n\n",
+                shots);
+
+    AsciiTable table({"machine", "benchmark", "Baseline", "SIM",
+                      "AIM", "MatrixInv"});
+    for (const char* name : {"ibmqx2", "ibmqx4"}) {
+        MachineSession session(makeMachine(name), seed);
+        for (const NisqBenchmark& bench : benchmarkSuiteQ5()) {
+            const TranspiledProgram program =
+                session.prepare(bench.circuit);
+
+            BaselinePolicy baseline;
+            const double p_base =
+                pst(session.runPolicy(program, baseline, shots),
+                    bench.acceptedOutputs);
+            StaticInvertAndMeasure sim;
+            const double p_sim =
+                pst(session.runPolicy(program, sim, shots),
+                    bench.acceptedOutputs);
+            AdaptiveInvertAndMeasure aim(
+                session.profileProgram(program));
+            const double p_aim =
+                pst(session.runPolicy(program, aim, shots),
+                    bench.acceptedOutputs);
+            MatrixInversionCorrection minv(shots);
+            const double p_minv =
+                pst(session.runPolicy(program, minv, shots),
+                    bench.acceptedOutputs);
+
+            table.addRow({name, bench.name, fmt(p_base),
+                          fmt(p_sim), fmt(p_aim), fmt(p_minv)});
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "reading: the classical filter posts the highest PST here "
+        "-- with 4-5 output bits and generous calibration shots it "
+        "is a strong baseline, as the later TREX/M3 literature "
+        "found. Its costs are structural: the corrected histogram "
+        "is a *rewritten estimate* (clipped negative "
+        "probabilities, no per-trial log), the inverse amplifies "
+        "shot noise as error rates and register width grow, and "
+        "the tensored calibration only sees crosstalk at the two "
+        "prep extremes. Invert-and-Measure keeps every trial a "
+        "real hardware sample, which is what the paper's NISQ "
+        "execution model assumes.\n");
+    return 0;
+}

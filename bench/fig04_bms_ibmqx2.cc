@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 reproduction: relative Basis Measurement Strength (BMS)
+ * of all 32 ibmqx2 basis states, characterized two ways (direct
+ * basis measurement and equal superposition), with the x-axis in
+ * ascending Hamming-weight order.
+ *
+ * Paper: strong inverse correlation with Hamming weight
+ * (r = -0.93); relative BMS of 11111 = 0.38.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "metrics/stats.hh"
+#include "mitigation/rbms.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Figure 4: relative BMS of ibmqx2 basis states "
+                "(%zu trials/state direct, %zux32 ESCT) ==\n\n",
+                shots, shots);
+
+    MachineSession session(makeIbmqx2(), seed);
+    const std::vector<Qubit> all{0, 1, 2, 3, 4};
+    const ExhaustiveRbms direct =
+        characterizeDirect(session.backend(), all, shots);
+    const ExhaustiveRbms esct = characterizeSuperposition(
+        session.backend(), all, shots * 32);
+
+    const auto direct_curve = direct.relativeCurve();
+    const auto esct_curve = esct.relativeCurve();
+
+    AsciiTable table({"state", "HW", "direct", "superposition",
+                      ""});
+    std::vector<double> weights, strengths;
+    for (BasisState s : statesByHammingWeight(5)) {
+        table.addRow({toBitString(s, 5),
+                      std::to_string(hammingWeight(s)),
+                      fmt(direct_curve[s]), fmt(esct_curve[s]),
+                      bar(direct_curve[s], 1.0, 30)});
+        weights.push_back(hammingWeight(s));
+        strengths.push_back(direct_curve[s]);
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    AsciiTable summary({"metric", "paper", "measured"});
+    summary.addRow({"correlation(BMS, HW)", "-0.93",
+                    fmt(pearson(weights, strengths), 2)});
+    summary.addRow({"relative BMS of 11111", "0.38",
+                    fmt(direct_curve[allOnes(5)], 2)});
+    summary.addRow({"ESCT vs direct MSE", "< 0.05 (\"5%\")",
+                    fmt(meanSquaredError(direct_curve, esct_curve),
+                        4)});
+    std::printf("%s", summary.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figures 7 and 8 reproduction: the didactic SIM examples,
+ * recomputed through the real pipeline instead of hand-drawn
+ * numbers.
+ *
+ * Fig 7: a 3-bit program whose correct output "101" is outranked by
+ * "001" under standard measurement; merging standard and inverted
+ * modes restores the correct answer to rank 1.
+ *
+ * Fig 8: measuring "0101" on a machine where both it and its full
+ * inversion are weak; four inversion strings perform better than
+ * two.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "kernels/basis.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+namespace
+{
+
+/** Readout-only backend from explicit per-qubit rates. */
+TrajectorySimulator
+backendFor(std::vector<double> p01, std::vector<double> p10,
+           std::uint64_t seed)
+{
+    NoiseModel model(static_cast<unsigned>(p01.size()));
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::move(p01), std::move(p10)));
+    return TrajectorySimulator(std::move(model), seed);
+}
+
+void
+printTop(const char* title, const Counts& counts, unsigned bits,
+         BasisState correct)
+{
+    std::printf("%s\n", title);
+    AsciiTable table({"output", "probability", ""});
+    std::size_t shown = 0;
+    for (const auto& [s, n] : counts.sortedByCount()) {
+        if (shown++ >= 5)
+            break;
+        table.addRow({toBitString(s, bits),
+                      fmt(counts.probability(s)),
+                      s == correct ? "<- correct" : ""});
+    }
+    std::printf("%s\n", table.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+
+    std::printf("== Figure 7: standard + inverted modes rescue a "
+                "masked output (%zu trials) ==\n\n",
+                shots);
+    {
+        // Heavy 1->0 bias on qubit 0: the correct "101" decays
+        // into "001" more often than it is read intact, exactly
+        // the masked scenario of Fig 7(A).
+        auto backend = backendFor({0.02, 0.02, 0.02},
+                                  {0.55, 0.30, 0.25}, seed);
+        const BasisState target = fromBitString("101");
+        const Circuit c = basisStatePrep(3, target);
+
+        BaselinePolicy baseline;
+        const Counts std_mode = baseline.run(c, backend, shots);
+        printTop("(A) standard mode only:", std_mode, 3, target);
+
+        StaticInvertAndMeasure two =
+            StaticInvertAndMeasure::twoMode(3);
+        const Counts merged = two.run(c, backend, shots);
+        printTop("(D) standard + inverted merged:", merged, 3,
+                 target);
+
+        AsciiTable summary({"mode", "PST", "ROCA"});
+        summary.addRow({"standard", fmt(pst(std_mode, target)),
+                        std::to_string(roca(std_mode, target))});
+        summary.addRow({"SIM-2 merged", fmt(pst(merged, target)),
+                        std::to_string(roca(merged, target))});
+        std::printf("%s\n", summary.toString().c_str());
+    }
+
+    std::printf("== Figure 8: four inversion strings beat two when "
+                "both the state and its inversion are weak ==\n\n");
+    {
+        // "0101": qubits 1 and 3 hold ones and read them poorly;
+        // the inverted image "1010" is just as weak because qubits
+        // 0 and 2 also read ones poorly. The alternating strings
+        // map it onto 0000 / 1111 images instead.
+        auto backend = backendFor({0.02, 0.02, 0.02, 0.02},
+                                  {0.30, 0.28, 0.32, 0.26},
+                                  seed + 1);
+        const BasisState target = fromBitString("0101");
+        const Circuit c = basisStatePrep(4, target);
+
+        AsciiTable summary({"policy", "PST"});
+        BaselinePolicy baseline;
+        summary.addRow(
+            {"standard only",
+             fmt(pst(baseline.run(c, backend, shots), target))});
+        StaticInvertAndMeasure two =
+            StaticInvertAndMeasure::twoMode(4);
+        summary.addRow(
+            {"SIM-2 (none/full)",
+             fmt(pst(two.run(c, backend, shots), target))});
+        StaticInvertAndMeasure four =
+            StaticInvertAndMeasure::fourMode(4);
+        summary.addRow(
+            {"SIM-4 (+even/odd)",
+             fmt(pst(four.run(c, backend, shots), target))});
+        std::printf("%s\n", summary.toString().c_str());
+        std::printf("paper shape: SIM-4 > SIM-2 for mid-weight "
+                    "states like 0101.\n");
+    }
+    return 0;
+}

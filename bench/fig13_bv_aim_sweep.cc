@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 13 reproduction: BV executed on ibmqx4 for all 32 possible
+ * 5-bit expected outputs under Baseline, SIM, and AIM.
+ *
+ * Paper: baseline and SIM PST vary strongly with the stored key;
+ * AIM stays consistently high and flat across all keys (except the
+ * trivial all-zero case, where the baseline is already optimal).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "kernels/bv.hh"
+#include "metrics/stats.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Figure 13: BV on ibmqx4 for all 32 expected "
+                "outputs: Baseline vs SIM vs AIM (%zu trials each) "
+                "==\n\n",
+                shots);
+
+    MachineSession session(makeIbmqx4(), seed);
+
+    // Machine profiles are per *layout*: different keys transpile
+    // to different placements, and AIM's RBMS must describe the
+    // physical qubits the program actually reads (in clbit order).
+    std::map<std::vector<Qubit>, std::shared_ptr<const RbmsEstimate>>
+        profiles;
+    std::vector<double> base_pst, sim_pst, aim_pst;
+    AsciiTable table({"state", "HW", "Baseline", "SIM", "AIM"});
+    for (BasisState s : statesByHammingWeight(5)) {
+        const TranspiledProgram program =
+            session.prepare(bernsteinVaziraniFull(4, s));
+        auto& rbms = profiles[measuredPhysicalQubits(program)];
+        if (!rbms)
+            rbms = session.profileProgram(program);
+
+        BaselinePolicy baseline;
+        const double p_base =
+            pst(session.runPolicy(program, baseline, shots), s);
+        StaticInvertAndMeasure sim;
+        const double p_sim =
+            pst(session.runPolicy(program, sim, shots), s);
+        AdaptiveInvertAndMeasure aim(rbms);
+        const double p_aim =
+            pst(session.runPolicy(program, aim, shots), s);
+
+        base_pst.push_back(p_base);
+        sim_pst.push_back(p_sim);
+        aim_pst.push_back(p_aim);
+        table.addRow({toBitString(s, 5),
+                      std::to_string(hammingWeight(s)),
+                      fmt(p_base), fmt(p_sim), fmt(p_aim)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    auto spread = [](const std::vector<double>& xs) {
+        return *std::max_element(xs.begin(), xs.end()) -
+               *std::min_element(xs.begin(), xs.end());
+    };
+    AsciiTable summary({"metric", "Baseline", "SIM", "AIM"});
+    summary.addRow({"mean PST", fmt(mean(base_pst)),
+                    fmt(mean(sim_pst)), fmt(mean(aim_pst))});
+    summary.addRow({"min PST",
+                    fmt(*std::min_element(base_pst.begin(),
+                                          base_pst.end())),
+                    fmt(*std::min_element(sim_pst.begin(),
+                                          sim_pst.end())),
+                    fmt(*std::min_element(aim_pst.begin(),
+                                          aim_pst.end()))});
+    summary.addRow({"PST spread (max-min)", fmt(spread(base_pst)),
+                    fmt(spread(sim_pst)), fmt(spread(aim_pst))});
+    summary.addRow({"PST stddev", fmt(stddev(base_pst)),
+                    fmt(stddev(sim_pst)), fmt(stddev(aim_pst))});
+    std::printf("%s\n", summary.toString().c_str());
+    std::printf("paper shape: AIM mean highest, AIM spread "
+                "smallest (flat across keys).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 15 / Appendix A reproduction: validation of the cheap RBMS
+ * characterization techniques on ibmqx4 — direct measurement of all
+ * 32 states vs the equal-superposition technique (ESCT) vs the
+ * sliding-window technique (AWCT, window 4, overlap 2).
+ *
+ * Paper: ESCT matches the direct curve within ~5% MSE; AWCT "shows
+ * a good match with the exhaustive technique". Includes the window
+ * size ablation DESIGN.md calls out.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "metrics/stats.hh"
+#include "mitigation/rbms.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Figure 15: RBMS characterization validation on "
+                "ibmqx4 (%zu trials/state) ==\n\n",
+                shots);
+
+    MachineSession session(makeIbmqx4(), seed);
+    const std::vector<Qubit> all{0, 1, 2, 3, 4};
+
+    const ExhaustiveRbms direct =
+        characterizeDirect(session.backend(), all, shots);
+    const ExhaustiveRbms esct = characterizeSuperposition(
+        session.backend(), all, shots * 32);
+    const WindowedRbms awct3 = characterizeWindowed(
+        session.backend(), all, 3, shots * 8);
+    const WindowedRbms awct4 = characterizeWindowed(
+        session.backend(), all, 4, shots * 8);
+    // Overlap ablation: disjoint windows assume fully independent
+    // readout and miss cross-window crosstalk.
+    const WindowedRbms awct4o0 = characterizeWindowed(
+        session.backend(), all, 4, shots * 8, 0);
+
+    const auto d = direct.relativeCurve();
+    const auto e = esct.relativeCurve();
+    const auto w3 = awct3.relativeCurve();
+    const auto w4 = awct4.relativeCurve();
+    const auto w0 = awct4o0.relativeCurve();
+
+    // Normalize like the paper's Fig 15 (probability-style scale).
+    AsciiTable table({"state", "direct", "ESCT", "AWCT m=4"});
+    for (BasisState s = 0; s < 32; ++s) {
+        table.addRow({toBitString(s, 5), fmt(d[s]), fmt(e[s]),
+                      fmt(w4[s])});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    AsciiTable summary({"technique", "circuits needed",
+                        "MSE vs direct", "strongest state"});
+    summary.addRow({"direct (exhaustive)", "2^N = 32", "0",
+                    toBitString(direct.strongestState(), 5)});
+    summary.addRow({"ESCT (superposition)", "1",
+                    fmt(meanSquaredError(d, e), 4),
+                    toBitString(esct.strongestState(), 5)});
+    summary.addRow({"AWCT m=3 (2 windows)", "~N/(m-2) small",
+                    fmt(meanSquaredError(d, w3), 4),
+                    toBitString(awct3.strongestState(), 5)});
+    summary.addRow({"AWCT m=4 (2 windows)", "~N/(m-2) small",
+                    fmt(meanSquaredError(d, w4), 4),
+                    toBitString(awct4.strongestState(), 5)});
+    summary.addRow({"AWCT m=4, overlap 0", "fewest",
+                    fmt(meanSquaredError(d, w0), 4),
+                    toBitString(awct4o0.strongestState(), 5)});
+    std::printf("%s\n", summary.toString().c_str());
+    std::printf("paper claim: ESCT within ~5%% MSE of direct; AWCT "
+                "a good match at O(2^m) trials instead of "
+                "O(2^N).\n");
+    return 0;
+}

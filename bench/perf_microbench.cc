@@ -1,0 +1,205 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate: gate
+ * application, trajectory execution, sampling, readout confusion,
+ * transpilation, and the mitigation policies' overhead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hh"
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "mitigation/rbms.hh"
+#include "qsim/bitstring.hh"
+
+namespace
+{
+
+using namespace qem;
+
+void
+BM_ApplyHadamard(benchmark::State& state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    StateVector sv(n);
+    for (auto _ : state) {
+        sv.applyH(0);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t{1} << n));
+}
+BENCHMARK(BM_ApplyHadamard)->Arg(5)->Arg(10)->Arg(14)->Arg(20);
+
+void
+BM_ApplyCx(benchmark::State& state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    StateVector sv(n);
+    sv.applyH(0);
+    for (auto _ : state) {
+        sv.applyCX(0, n - 1);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t{1} << n));
+}
+BENCHMARK(BM_ApplyCx)->Arg(5)->Arg(10)->Arg(14)->Arg(20);
+
+void
+BM_AmplitudeDampingChannel(benchmark::State& state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Rng rng(7);
+    StateVector sv(n);
+    for (Qubit q = 0; q < n; ++q)
+        sv.applyH(q);
+    for (auto _ : state) {
+        sv.applyAmplitudeDamping(0, 0.001, rng);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+}
+BENCHMARK(BM_AmplitudeDampingChannel)->Arg(5)->Arg(10)->Arg(14);
+
+void
+BM_SampleShots(benchmark::State& state)
+{
+    StateVector sv(static_cast<unsigned>(state.range(0)));
+    for (Qubit q = 0; q < sv.numQubits(); ++q)
+        sv.applyH(q);
+    Rng rng(9);
+    for (auto _ : state) {
+        auto samples = sv.sample(rng, 1024);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SampleShots)->Arg(5)->Arg(10)->Arg(14);
+
+void
+BM_TrajectoryBv(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    TrajectorySimulator backend(machine.noiseModel(), 11);
+    Transpiler transpiler(machine);
+    const TranspiledProgram program =
+        transpiler.transpile(bernsteinVazirani(4, 0b0111));
+    for (auto _ : state) {
+        Counts counts = backend.run(program.circuit, 1024);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TrajectoryBv);
+
+void
+BM_TrajectoryQaoa7Melbourne(benchmark::State& state)
+{
+    const Machine machine = makeIbmqMelbourne();
+    TrajectorySimulator backend(machine.noiseModel(), 12);
+    Transpiler transpiler(machine);
+    const NisqBenchmark bench = benchmarkSuiteQ14()[3]; // qaoa-7.
+    const TranspiledProgram program =
+        transpiler.transpile(bench.circuit);
+    for (auto _ : state) {
+        Counts counts = backend.run(program.circuit, 1024);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TrajectoryQaoa7Melbourne);
+
+void
+BM_Transpile(benchmark::State& state)
+{
+    const Machine machine = makeIbmqMelbourne();
+    Transpiler transpiler(machine);
+    const Circuit logical = bernsteinVazirani(7, 0b1010101);
+    for (auto _ : state) {
+        TranspiledProgram program = transpiler.transpile(logical);
+        benchmark::DoNotOptimize(program.swapCount);
+    }
+}
+BENCHMARK(BM_Transpile);
+
+void
+BM_RbmsDirectQ5(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    TrajectorySimulator backend(machine.noiseModel(), 13);
+    for (auto _ : state) {
+        ExhaustiveRbms rbms = characterizeDirect(
+            backend, {0, 1, 2, 3, 4}, 256);
+        benchmark::DoNotOptimize(rbms.strongestState());
+    }
+}
+BENCHMARK(BM_RbmsDirectQ5);
+
+void
+BM_RbmsAwctQ14(benchmark::State& state)
+{
+    const Machine machine = makeIbmqMelbourne();
+    TrajectorySimulator backend(machine.noiseModel(), 14);
+    std::vector<Qubit> all(14);
+    for (unsigned i = 0; i < 14; ++i)
+        all[i] = i;
+    for (auto _ : state) {
+        WindowedRbms rbms =
+            characterizeWindowed(backend, all, 4, 1024);
+        benchmark::DoNotOptimize(rbms.strongestState());
+    }
+}
+BENCHMARK(BM_RbmsAwctQ14);
+
+void
+BM_PolicySim(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    MachineSession session(machine, 15);
+    const TranspiledProgram program =
+        session.prepare(basisStatePrep(5, allOnes(5)));
+    StaticInvertAndMeasure sim;
+    for (auto _ : state) {
+        Counts counts = session.runPolicy(program, sim, 4096);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PolicySim);
+
+void
+BM_PolicyAim(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    MachineSession session(machine, 16);
+    const TranspiledProgram program =
+        session.prepare(basisStatePrep(5, allOnes(5)));
+    const auto rbms = session.profileProgram(program);
+    AdaptiveInvertAndMeasure aim(rbms);
+    for (auto _ : state) {
+        Counts counts = session.runPolicy(program, aim, 4096);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PolicyAim);
+
+void
+BM_ReadoutConfusion(benchmark::State& state)
+{
+    AsymmetricReadout model(std::vector<double>(14, 0.02),
+                            std::vector<double>(14, 0.1));
+    std::vector<Qubit> measured(14);
+    for (unsigned i = 0; i < 14; ++i)
+        measured[i] = i;
+    Rng rng(17);
+    BasisState s = 0x2ABC;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.sampleReadout(s, measured, rng));
+    }
+}
+BENCHMARK(BM_ReadoutConfusion);
+
+} // namespace

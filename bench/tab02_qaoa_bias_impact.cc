@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 2 reproduction: the impact of measurement bias on QAOA.
+ * Five max-cut instances on 6-node graphs whose optimal cuts have
+ * increasing Hamming weight, executed on ibmq_melbourne.
+ *
+ * Paper:
+ *   Graph-A 010000 HW1: PST 6.5% IST 1.3  ROCA 1
+ *   Graph-B 010100 HW2: PST 5.5% IST 1.01 ROCA 1
+ *   Graph-C 101001 HW3: PST 5.0% IST 0.70 ROCA 7
+ *   Graph-D 101011 HW4: PST 1.9% IST 0.59 ROCA 14
+ *   Graph-E 110110 HW4: PST 1.5% IST 0.23 ROCA 24
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots(32768);
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Table 2: QAOA max-cut vs Hamming weight of the "
+                "optimal cut, ibmq_melbourne (%zu trials) ==\n\n",
+                shots);
+
+    struct Row
+    {
+        char graph;
+        const char* target;
+        const char* paper;
+    };
+    const Row rows[] = {
+        {'A', "010000", "PST 6.5% IST 1.30 ROCA 1"},
+        {'B', "010100", "PST 5.5% IST 1.01 ROCA 1"},
+        {'C', "101001", "PST 5.0% IST 0.70 ROCA 7"},
+        {'D', "101011", "PST 1.9% IST 0.59 ROCA 14"},
+        {'E', "110110", "PST 1.5% IST 0.23 ROCA 24"},
+    };
+
+    MachineSession session(makeIbmqMelbourne(), seed);
+    BaselinePolicy baseline;
+
+    AsciiTable table({"graph", "optimal output", "HW",
+                      "paper (PST/IST/ROCA)", "PST", "IST",
+                      "ROCA"});
+    for (const Row& row : rows) {
+        const NisqBenchmark bench = makeQaoaBenchmark(
+            std::string("graph-") + row.graph,
+            completeBipartite(6, fromBitString(row.target)), 2,
+            row.target);
+        const Counts counts =
+            session.runPolicy(bench.circuit, baseline, shots);
+        // Score the listed optimal string alone: the complement has
+        // the complementary Hamming weight, so the cumulative
+        // metric would cancel the very bias this table measures.
+        const ReliabilityReport report =
+            reliability(counts, {bench.correctOutput});
+        table.addRow({std::string("Graph-") + row.graph,
+                      row.target,
+                      std::to_string(
+                          hammingWeight(bench.correctOutput)),
+                      row.paper, fmtPercent(report.pst),
+                      fmt(report.ist, 2),
+                      std::to_string(report.roca)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper shape: PST and IST fall, ROCA rises, as the "
+                "optimal cut's Hamming weight grows.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 5 reproduction: Inference Strength (IST) of Baseline, SIM,
+ * and AIM for every benchmark x machine pair of the evaluation.
+ *
+ * Paper rows (Baseline / SIM / AIM):
+ *   bv-4A ibmqx2: 0.90 / 1.22 / 1.12   bv-4B ibmqx2: 0.73 / 1.25 / 1.83
+ *   qaoa-4A ibmqx2: 0.73(x) ... qaoa-4B ibmqx2: 0.86 / 1.27 / 1.12(x)
+ *   bv-4A ibmqx4: 0.72 / 2.85 / 10.38  bv-4B ibmqx4: 0.46 / 0.96 / 1.12
+ *   qaoa-4A ibmqx4: 0.82 / 1.94 / 2.03 qaoa-4B ibmqx4: 0.72 / 2.67 / 1.98
+ *   bv-6 melb: 0.70 / 0.93 / 1.02      bv-7 melb: 0.62 / 0.84 / 1.09
+ *   qaoa-6 melb: 0.23 / 0.72 / 0.86    qaoa-7 melb: 0.18 / 0.36 / 0.78
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    const std::size_t shots = configuredShots(32768);
+    const std::uint64_t seed = configuredSeed();
+    std::printf("== Table 5: IST for Baseline, SIM, and AIM "
+                "(%zu trials per policy) ==\n\n",
+                shots);
+
+    struct MachineRow
+    {
+        const char* machine;
+        const char* paper[4]; // Per suite benchmark, B/S/A triples.
+    };
+    const MachineRow machines[] = {
+        {"ibmqx2",
+         {"0.90/1.22/1.12", "0.73/1.25/1.83", "0.73/?/?",
+          "0.86/1.27/1.12"}},
+        {"ibmqx4",
+         {"0.72/2.85/10.38", "0.46/0.96/1.12", "0.82/1.94/2.03",
+          "0.72/2.67/1.98"}},
+        {"ibmq_melbourne",
+         {"0.70/0.93/1.02", "0.62/0.84/1.09", "0.23/0.72/0.86",
+          "0.18/0.36/0.78"}},
+    };
+
+    AsciiTable table({"benchmark", "machine",
+                      "paper IST (B/S/A)", "Baseline", "SIM",
+                      "AIM"});
+    for (const MachineRow& row : machines) {
+        MachineSession session(makeMachine(row.machine), seed);
+        const auto suite =
+            benchmarkSuiteFor(session.machine().numQubits());
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto results =
+                session.comparePolicies(suite[i], shots);
+            table.addRow({suite[i].name, row.machine,
+                          row.paper[i],
+                          fmt(results[0].report.ist, 2),
+                          fmt(results[1].report.ist, 2),
+                          fmt(results[2].report.ist, 2)});
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper shape: SIM raises IST over baseline nearly "
+                "everywhere; AIM raises it further on the machines "
+                "with arbitrary bias; gate errors cap the gains on "
+                "the scaled melbourne benchmarks.\n");
+    return 0;
+}

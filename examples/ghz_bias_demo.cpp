@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Domain scenario: how state-dependent readout bias corrupts an
+ * entangled state, and how SIM restores the symmetry.
+ *
+ * A GHZ state should read 00...0 and 11...1 with equal probability;
+ * biased readout makes the all-ones branch seem far less likely
+ * than it is, which would mislead any fidelity estimate built on
+ * those populations. SIM's merged modes restore the balance without
+ * knowing anything about the state.
+ *
+ *   $ ./ghz_bias_demo [qubits]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "kernels/basis.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+using namespace qem;
+
+int
+main(int argc, char** argv)
+{
+    const unsigned n =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 5;
+    if (n < 2 || n > 10) {
+        std::fprintf(stderr, "qubits must be in [2, 10]\n");
+        return 1;
+    }
+    const std::size_t shots = 16384;
+    std::printf("GHZ-%u on ibmq_melbourne, %zu trials\n\n", n,
+                shots);
+
+    const Circuit ghz = ghzState(n);
+    const BasisState ones = allOnes(n);
+
+    IdealSimulator ideal(n, 3);
+    const Counts ideal_counts = ideal.run(ghz, shots);
+
+    MachineSession session(makeIbmqMelbourne(), 4);
+    const TranspiledProgram program = session.prepare(ghz);
+    BaselinePolicy baseline;
+    const Counts base_counts =
+        session.runPolicy(program, baseline, shots);
+    StaticInvertAndMeasure sim;
+    const Counts sim_counts =
+        session.runPolicy(program, sim, shots);
+
+    AsciiTable table({"readout", "P(00..0)", "P(11..1)",
+                      "imbalance P0/P1"});
+    auto row = [&](const char* name, const Counts& counts) {
+        const double p0 = counts.probability(0);
+        const double p1 = counts.probability(ones);
+        table.addRow({name, fmt(p0), fmt(p1),
+                      p1 > 0 ? fmt(p0 / p1, 2) + "x" : "inf"});
+    };
+    row("ideal", ideal_counts);
+    row("baseline", base_counts);
+    row("SIM (4 modes)", sim_counts);
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("a GHZ fidelity estimated from baseline "
+                "populations: %.3f;\nfrom SIM-corrected "
+                "populations: %.3f (population term only, ideal "
+                "1.0)\n",
+                base_counts.probability(0) +
+                    base_counts.probability(ones),
+                sim_counts.probability(0) +
+                    sim_counts.probability(ones));
+    return 0;
+}

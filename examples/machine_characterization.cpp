@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Domain scenario: profiling a machine's readout bias the three
+ * ways the paper describes (direct, ESCT, AWCT), and reading the
+ * profile the way AIM does — strongest state, weakest state, and
+ * per-state strengths.
+ *
+ *   $ ./machine_characterization [machine]
+ *
+ * machine: ibmqx2 | ibmqx4 | ibmq_melbourne (default ibmqx4)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "metrics/stats.hh"
+#include "mitigation/rbms.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "ibmqx4";
+    MachineSession session(makeMachine(name), 11);
+    const unsigned n = session.machine().numQubits();
+    std::printf("characterizing %s (%u qubits)\n\n", name.c_str(),
+                n);
+
+    std::vector<Qubit> all(n);
+    for (unsigned i = 0; i < n; ++i)
+        all[i] = i;
+
+    if (n <= 5) {
+        // Small machine: all three techniques, side by side.
+        const ExhaustiveRbms direct =
+            characterizeDirect(session.backend(), all, 8192);
+        const ExhaustiveRbms esct = characterizeSuperposition(
+            session.backend(), all, 8192 * 32);
+        const WindowedRbms awct = characterizeWindowed(
+            session.backend(), all, 4, 8192 * 8);
+
+        const auto d = direct.relativeCurve();
+        const auto e = esct.relativeCurve();
+        const auto w = awct.relativeCurve();
+        AsciiTable table({"state", "HW", "direct", "ESCT",
+                          "AWCT", ""});
+        for (BasisState s : statesByHammingWeight(n)) {
+            table.addRow({toBitString(s, n),
+                          std::to_string(hammingWeight(s)),
+                          fmt(d[s]), fmt(e[s]), fmt(w[s]),
+                          bar(d[s], 1.0, 25)});
+        }
+        std::printf("%s\n", table.toString().c_str());
+        std::printf("ESCT MSE vs direct: %s   AWCT MSE vs direct: "
+                    "%s\n",
+                    fmt(meanSquaredError(d, e), 4).c_str(),
+                    fmt(meanSquaredError(d, w), 4).c_str());
+        std::printf("strongest state: %s   weakest state: %s\n",
+                    toBitString(direct.strongestState(), n)
+                        .c_str(),
+                    toBitString(
+                        static_cast<BasisState>(
+                            std::min_element(d.begin(), d.end()) -
+                            d.begin()),
+                        n)
+                        .c_str());
+    } else {
+        // Large machine: AWCT is the only affordable technique
+        // (O(2^m) trials instead of O(2^N)).
+        const WindowedRbms awct = characterizeWindowed(
+            session.backend(), all, 4, 16384);
+        std::printf("AWCT with m=4, overlap 2: %zu windows\n",
+                    awct.windows().size());
+        const BasisState strongest = awct.strongestState();
+        std::printf("strongest state: %s\n",
+                    toBitString(strongest, n).c_str());
+        AsciiTable table({"probe state", "relative strength"});
+        const double top = awct.strength(strongest);
+        table.addRow({toBitString(0, n),
+                      fmt(awct.strength(0) / top)});
+        table.addRow({toBitString(allOnes(n), n),
+                      fmt(awct.strength(allOnes(n)) / top)});
+        BasisState alternating = 0;
+        for (unsigned b = 1; b < n; b += 2)
+            alternating = setBit(alternating, b, true);
+        table.addRow({toBitString(alternating, n),
+                      fmt(awct.strength(alternating) / top)});
+        std::printf("%s", table.toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Domain scenario: the offline-profiling workflow AIM assumes.
+ *
+ * A characterization job profiles the machine once and saves the
+ * RBMS to a file; production jobs later load it and hand it to AIM
+ * without spending any trials on characterization. The paper
+ * justifies this split by the bias's repeatability across
+ * calibration cycles (Section 6.1); the abl_calibration_drift bench
+ * quantifies how far that stretches.
+ *
+ *   $ ./offline_profile [profile-path]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "kernels/bv.hh"
+#include "mitigation/rbms_io.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main(int argc, char** argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "/tmp/invertq_ibmqx4.rbms";
+
+    // ---- Characterization job (run once per machine) ----
+    {
+        MachineSession session(makeIbmqx4(), 71);
+        // Profile the full register so any 5-qubit program whose
+        // clbits map to qubits 0..4 in order can reuse it; per-
+        // program profiles (MachineSession::profileProgram) are the
+        // precise variant.
+        const ExhaustiveRbms profile = characterizeDirect(
+            session.backend(), {0, 1, 2, 3, 4}, 8192);
+        std::ofstream out(path);
+        out << serializeRbms(profile);
+        std::printf("characterized ibmqx4: strongest state %s, "
+                    "profile saved to %s\n",
+                    toBitString(profile.strongestState(), 5)
+                        .c_str(),
+                    path.c_str());
+    }
+
+    // ---- Production job (any later day) ----
+    {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot reopen %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const auto profile = parseRbms(buffer.str());
+        std::printf("loaded profile: %u bits, strongest state "
+                    "%s\n\n",
+                    profile->numBits(),
+                    toBitString(profile->strongestState(), 5)
+                        .c_str());
+
+        MachineSession session(makeIbmqx4(), 72);
+        const BasisState target = fromBitString("11011");
+        // Identity layout so the program's clbits align with the
+        // profiled qubits 0..4.
+        Transpiler aligned(session.machine(),
+                           std::make_shared<TrivialAllocator>());
+        const TranspiledProgram program =
+            aligned.transpile(bernsteinVaziraniFull(4, target));
+
+        BaselinePolicy baseline;
+        AdaptiveInvertAndMeasure aim(profile);
+        const double p_base =
+            pst(session.runPolicy(program, baseline, 16384),
+                target);
+        const double p_aim =
+            pst(session.runPolicy(program, aim, 16384), target);
+        std::printf("BV full-state target %s: baseline PST %.3f, "
+                    "AIM (offline profile) PST %.3f\n",
+                    toBitString(target, 5).c_str(), p_base,
+                    p_aim);
+    }
+    return 0;
+}

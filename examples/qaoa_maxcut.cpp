@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Domain scenario: solving max-cut with QAOA on a noisy machine,
+ * end to end — graph construction, classical angle optimization,
+ * transpilation, noisy execution under every mitigation policy,
+ * and classical verification of the proposed cuts.
+ *
+ *   $ ./qaoa_maxcut
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "kernels/qaoa.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+int
+main()
+{
+    // A 6-node instance whose optimal cut is a heavy (weak to
+    // measure) string: exactly the case the paper's Table 2 shows
+    // suffering the most.
+    const std::string target = "101011";
+    const Graph graph =
+        completeBipartite(6, fromBitString(target));
+    const MaxCutResult best = bruteForceMaxCut(graph);
+    std::printf("graph: %u nodes, %zu edges; optimal cut value "
+                "%.0f at %s (and complement)\n",
+                graph.numNodes(), graph.numEdges(), best.value,
+                target.c_str());
+
+    // Classical outer loop: optimize the p=2 ansatz angles on the
+    // ideal simulator, as a 2019 QAOA pipeline would before
+    // submitting to hardware.
+    const QaoaAngles angles = optimizeQaoaAngles(graph, 2);
+    std::printf("optimized <C> = %.3f (p=2)\n\n",
+                qaoaExpectedCut(graph, angles));
+    const Circuit logical = qaoaCircuit(graph, angles);
+
+    MachineSession session(makeIbmqMelbourne(), 7);
+    const TranspiledProgram program = session.prepare(logical);
+    std::printf("running on %s: %zu SWAPs inserted, duration "
+                "%.1f us\n\n",
+                session.machine().name().c_str(),
+                program.swapCount, program.durationNs / 1000.0);
+
+    const std::size_t shots = 16384;
+    const BasisState cut = fromBitString(target);
+
+    BaselinePolicy baseline;
+    StaticInvertAndMeasure sim;
+    AdaptiveInvertAndMeasure aim(session.profileProgram(program));
+
+    AsciiTable table({"policy", "PST", "IST", "ROCA",
+                      "best cut in top-4 samples"});
+    for (MitigationPolicy* policy :
+         std::initializer_list<MitigationPolicy*>{
+             &baseline, &sim, &aim}) {
+        const Counts counts =
+            session.runPolicy(program, *policy, shots);
+        // A practitioner would test the top-K sampled partitions
+        // classically (ROCA's motivation): report the best cut
+        // value among the four most frequent outputs.
+        double best_seen = 0.0;
+        std::size_t rank = 0;
+        for (const auto& [s, n] : counts.sortedByCount()) {
+            if (++rank > 4)
+                break;
+            best_seen = std::max(best_seen, graph.cutValue(s));
+        }
+        table.addRow({policy->name(), fmt(pst(counts, cut)),
+                      fmt(ist(counts, cut), 2),
+                      std::to_string(roca(counts, cut)),
+                      fmt(best_seen, 0) + " / " +
+                          fmt(best.value, 0)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("mitigation pushes the true optimum up the ranked "
+                "log, so fewer candidate cuts need classical "
+                "evaluation.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Command-line experiment runner: any benchmark x machine x policy.
+ *
+ *   $ ./run_benchmark [machine] [benchmark] [policy] [shots]
+ *
+ *   machine:   ibmqx2 | ibmqx4 | ibmq_melbourne   (default ibmqx4)
+ *   benchmark: bv-4A bv-4B qaoa-4A qaoa-4B        (Q5 machines)
+ *              bv-6 bv-7 qaoa-6 qaoa-7            (melbourne)
+ *              or "all"                           (default all)
+ *   policy:    baseline | sim | sim2 | aim | matrixinv | all
+ *   shots:     trials per policy (default 16384)
+ *
+ * Prints PST / IST / ROCA and the top outcomes for each run — the
+ * everything-in-one-binary entry point for poking at the system.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "metrics/observables.hh"
+#include "mitigation/matrix_correction.hh"
+#include "qsim/bitstring.hh"
+
+using namespace qem;
+
+namespace
+{
+
+std::vector<std::unique_ptr<MitigationPolicy>>
+makePolicies(const std::string& which, MachineSession& session,
+             const TranspiledProgram& program, unsigned bits)
+{
+    std::vector<std::unique_ptr<MitigationPolicy>> policies;
+    auto want = [&](const char* name) {
+        return which == "all" || which == name;
+    };
+    if (want("baseline"))
+        policies.push_back(std::make_unique<BaselinePolicy>());
+    if (want("sim2")) {
+        policies.push_back(std::make_unique<StaticInvertAndMeasure>(
+            twoModeStrings(bits)));
+    }
+    if (want("sim"))
+        policies.push_back(
+            std::make_unique<StaticInvertAndMeasure>());
+    if (want("aim")) {
+        policies.push_back(
+            std::make_unique<AdaptiveInvertAndMeasure>(
+                session.profileProgram(program)));
+    }
+    if (want("matrixinv")) {
+        policies.push_back(
+            std::make_unique<MatrixInversionCorrection>());
+    }
+    return policies;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string machine_name =
+        argc > 1 ? argv[1] : "ibmqx4";
+    const std::string bench_name = argc > 2 ? argv[2] : "all";
+    const std::string policy_name = argc > 3 ? argv[3] : "all";
+    const std::size_t shots =
+        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4]))
+                 : 16384;
+
+    Machine machine = makeMachine(machine_name);
+    MachineSession session(std::move(machine), 2019);
+    std::printf("machine %s, %zu trials per policy\n\n",
+                machine_name.c_str(), shots);
+
+    bool ran_any = false;
+    for (const NisqBenchmark& bench :
+         benchmarkSuiteFor(session.machine().numQubits())) {
+        if (bench_name != "all" && bench.name != bench_name)
+            continue;
+        ran_any = true;
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+        std::printf("-- %s (correct output %s, %zu SWAPs, "
+                    "%.1f us) --\n",
+                    bench.name.c_str(),
+                    toBitString(bench.correctOutput,
+                                bench.outputBits)
+                        .c_str(),
+                    program.swapCount,
+                    program.durationNs / 1000.0);
+
+        AsciiTable table({"policy", "PST", "IST", "ROCA",
+                          "mean err distance", "top outcome"});
+        for (auto& policy :
+             makePolicies(policy_name, session, program,
+                          bench.outputBits)) {
+            const Counts counts =
+                session.runPolicy(program, *policy, shots);
+            const ReliabilityReport report =
+                reliability(counts, bench.acceptedOutputs);
+            table.addRow(
+                {policy->name(), fmt(report.pst),
+                 fmt(report.ist, 2), std::to_string(report.roca),
+                 fmt(meanHammingDistance(counts,
+                                         bench.correctOutput),
+                     2),
+                 toBitString(counts.mostFrequent(),
+                             bench.outputBits)});
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+    if (!ran_any) {
+        std::fprintf(stderr,
+                     "unknown benchmark '%s' for this machine\n",
+                     bench_name.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "harness/config.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace qem
+{
+
+namespace
+{
+
+/** Parse an env var as a nonnegative integer; fallback on any
+ *  parse failure. */
+std::uint64_t
+envUint(const char* name, std::uint64_t fallback)
+{
+    const char* raw = std::getenv(name);
+    if (!raw || *raw == '\0')
+        return fallback;
+    try {
+        const unsigned long long v = std::stoull(raw);
+        return v > 0 ? v : fallback;
+    } catch (...) {
+        return fallback;
+    }
+}
+
+} // namespace
+
+std::size_t
+configuredShots(std::size_t fallback)
+{
+    return static_cast<std::size_t>(
+        envUint("INVERTQ_SHOTS", fallback));
+}
+
+std::uint64_t
+configuredSeed(std::uint64_t fallback)
+{
+    return envUint("INVERTQ_SEED", fallback);
+}
+
+} // namespace qem

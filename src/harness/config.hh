@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Environment-driven experiment configuration.
+ *
+ * Every bench binary reads its trial budget and RNG seed from the
+ * environment so sweeps can be scaled without recompiling:
+ *   INVERTQ_SHOTS  total trials per experiment (default 16384)
+ *   INVERTQ_SEED   master seed (default 2019)
+ */
+
+#ifndef QEM_HARNESS_CONFIG_HH
+#define QEM_HARNESS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qem
+{
+
+/** Trials per experiment; INVERTQ_SHOTS override. */
+std::size_t configuredShots(std::size_t fallback = 16384);
+
+/** Master seed; INVERTQ_SEED override. */
+std::uint64_t configuredSeed(std::uint64_t fallback = 2019);
+
+} // namespace qem
+
+#endif // QEM_HARNESS_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "harness/experiment.hh"
+
+#include <stdexcept>
+
+namespace qem
+{
+
+MachineSession::MachineSession(Machine machine, std::uint64_t seed)
+    : machine_(std::move(machine)),
+      backend_(machine_.noiseModel(), seed),
+      transpiler_(machine_)
+{
+}
+
+TranspiledProgram
+MachineSession::prepare(const Circuit& logical) const
+{
+    return transpiler_.transpile(logical);
+}
+
+Counts
+MachineSession::runPolicy(const TranspiledProgram& program,
+                          MitigationPolicy& policy,
+                          std::size_t shots)
+{
+    return policy.run(program.circuit, backend_, shots);
+}
+
+Counts
+MachineSession::runPolicy(const Circuit& logical,
+                          MitigationPolicy& policy,
+                          std::size_t shots)
+{
+    return runPolicy(prepare(logical), policy, shots);
+}
+
+std::vector<Qubit>
+measuredPhysicalQubits(const TranspiledProgram& program)
+{
+    return program.circuit.measuredQubits();
+}
+
+std::shared_ptr<const RbmsEstimate>
+MachineSession::profileProgram(const TranspiledProgram& program,
+                               const RbmsOptions& options)
+{
+    return characterizeAuto(backend_,
+                            measuredPhysicalQubits(program),
+                            options);
+}
+
+Counts
+MachineSession::runEnsemble(const Circuit& logical,
+                            MitigationPolicy& inner,
+                            std::size_t shots, unsigned ensembles,
+                            double diversity_sigma)
+{
+    if (ensembles == 0)
+        throw std::invalid_argument("runEnsemble: need at least "
+                                    "one ensemble");
+    if (shots < ensembles)
+        throw std::invalid_argument("runEnsemble: fewer shots than "
+                                    "ensembles");
+    Counts merged(logical.numClbits());
+    const std::size_t per = shots / ensembles;
+    std::size_t leftover = shots % ensembles;
+    for (unsigned e = 0; e < ensembles; ++e) {
+        std::size_t share = per;
+        if (leftover > 0) {
+            ++share;
+            --leftover;
+        }
+        Transpiler diverse(
+            machine_,
+            std::make_shared<JitteredAllocator>(e + 1,
+                                                diversity_sigma));
+        const TranspiledProgram program =
+            diverse.transpile(logical);
+        merged.merge(inner.run(program.circuit, backend_, share));
+    }
+    return merged;
+}
+
+std::vector<PolicyResult>
+MachineSession::comparePolicies(const NisqBenchmark& benchmark,
+                                std::size_t shots)
+{
+    const TranspiledProgram program = prepare(benchmark.circuit);
+
+    std::vector<PolicyResult> results;
+    auto record = [&](MitigationPolicy& policy) {
+        Counts counts = runPolicy(program, policy, shots);
+        const ReliabilityReport report =
+            reliability(counts, benchmark.acceptedOutputs);
+        results.push_back(
+            {policy.name(), std::move(counts), report});
+    };
+
+    BaselinePolicy baseline;
+    record(baseline);
+
+    StaticInvertAndMeasure sim;
+    record(sim);
+
+    AdaptiveInvertAndMeasure aim(profileProgram(program));
+    record(aim);
+
+    return results;
+}
+
+} // namespace qem

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * End-to-end experiment pipeline: machine -> transpile -> policy ->
+ * metrics. This is the code path every bench binary and example
+ * drives; it mirrors the paper's methodology (Section 4.3):
+ * variability-aware allocation for everyone, identical physical
+ * programs for baseline and mitigated runs, and a shared trial
+ * budget per policy.
+ */
+
+#ifndef QEM_HARNESS_EXPERIMENT_HH
+#define QEM_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/benchmarks.hh"
+#include "machine/machines.hh"
+#include "metrics/reliability.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/policy.hh"
+#include "mitigation/sim_policy.hh"
+#include "noise/trajectory.hh"
+#include "transpile/transpiler.hh"
+
+namespace qem
+{
+
+/** Outcome of running one benchmark under one policy. */
+struct PolicyResult
+{
+    std::string policy;
+    Counts counts;
+    ReliabilityReport report;
+};
+
+/**
+ * A machine plus the simulator backend and transpiler bound to it.
+ * One session per (machine, seed); all experiments on that machine
+ * share the backend's RNG stream.
+ */
+class MachineSession
+{
+  public:
+    explicit MachineSession(Machine machine,
+                            std::uint64_t seed = 2019);
+
+    const Machine& machine() const { return machine_; }
+    Backend& backend() { return backend_; }
+
+    /** Transpile a logical circuit for this machine. */
+    TranspiledProgram prepare(const Circuit& logical) const;
+
+    /**
+     * Run an already-transpiled program under @p policy for
+     * @p shots trials.
+     */
+    Counts runPolicy(const TranspiledProgram& program,
+                     MitigationPolicy& policy, std::size_t shots);
+
+    /** Transpile-and-run convenience for a logical circuit. */
+    Counts runPolicy(const Circuit& logical,
+                     MitigationPolicy& policy, std::size_t shots);
+
+    /**
+     * Profile the RBMS of the physical qubits @p program reads
+     * (offline machine characterization AIM consumes). Brute force
+     * for <= 5 output bits, AWCT above.
+     */
+    std::shared_ptr<const RbmsEstimate> profileProgram(
+        const TranspiledProgram& program,
+        const RbmsOptions& options = {});
+
+    /**
+     * Run one benchmark under Baseline, SIM (four modes), and AIM
+     * (profiled per program) with @p shots trials each, and score
+     * each against the benchmark's accepted outputs.
+     */
+    std::vector<PolicyResult> comparePolicies(
+        const NisqBenchmark& benchmark, std::size_t shots);
+
+    /**
+     * Ensemble-of-Diverse-Mappings execution (the authors'
+     * concurrent MICRO-52 technique): transpile @p logical under
+     * @p ensembles different jittered allocations, run an equal
+     * share of the trials through @p inner (e.g. BaselinePolicy or
+     * SIM — the two compose) on each mapping, and merge the logs.
+     * Mapping-specific mistakes land on different incorrect
+     * outcomes per mapping, so they average out while the correct
+     * answer accumulates.
+     *
+     * @param diversity_sigma Calibration jitter driving layout
+     *        diversity (see JitteredAllocator).
+     */
+    Counts runEnsemble(const Circuit& logical,
+                       MitigationPolicy& inner, std::size_t shots,
+                       unsigned ensembles = 4,
+                       double diversity_sigma = 0.3);
+
+  private:
+    Machine machine_;
+    TrajectorySimulator backend_;
+    Transpiler transpiler_;
+};
+
+/**
+ * Physical qubits read by @p program's measurements, in classical
+ * bit order — the register an RBMS profile must cover.
+ */
+std::vector<Qubit> measuredPhysicalQubits(
+    const TranspiledProgram& program);
+
+} // namespace qem
+
+#endif // QEM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,133 @@
+#include "harness/table.hh"
+
+#include "qsim/bitstring.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qem
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument("AsciiTable: empty header");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        throw std::invalid_argument("AsciiTable: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::toString() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? " | " : "");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c ? 3 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto& row : rows_)
+        emit(row);
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+csvCell(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+std::string
+AsciiTable::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << csvCell(cells[c]);
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+countsToCsv(const Counts& counts)
+{
+    std::ostringstream os;
+    os << "outcome,count,probability\n";
+    for (const auto& [outcome, n] : counts.sortedByCount()) {
+        os << toBitString(outcome, counts.numBits()) << "," << n
+           << "," << counts.probability(outcome) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    return fmt(100.0 * fraction, precision) + "%";
+}
+
+std::string
+bar(double value, double scale, int width)
+{
+    if (scale <= 0.0 || width <= 0)
+        return "";
+    const int n = static_cast<int>(
+        std::round(std::clamp(value / scale, 0.0, 1.0) * width));
+    return std::string(n, '#');
+}
+
+} // namespace qem

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII rendering helpers for the bench binaries: aligned tables and
+ * horizontal bar "figures".
+ */
+
+#ifndef QEM_HARNESS_TABLE_HH
+#define QEM_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "qsim/counts.hh"
+
+namespace qem
+{
+
+/** Column-aligned ASCII table with a header row. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Add one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column separators and a header rule. */
+    std::string toString() const;
+
+    /**
+     * Render as CSV (RFC-4180-style quoting of cells containing
+     * commas, quotes, or newlines) for downstream plotting.
+     */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** CSV dump of an output log: outcome bitstring, count, probability. */
+std::string countsToCsv(const Counts& counts);
+
+/** Fixed-precision double formatting. */
+std::string fmt(double value, int precision = 3);
+
+/** Percentage with a trailing %%. */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/**
+ * Horizontal bar of '#' proportional to value/scale, @p width chars
+ * at full scale. Values above scale saturate.
+ */
+std::string bar(double value, double scale, int width = 40);
+
+} // namespace qem
+
+#endif // QEM_HARNESS_TABLE_HH

@@ -1,0 +1,51 @@
+#include "kernels/basis.hh"
+
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+Circuit
+basisStatePrep(unsigned n, BasisState s, bool measure)
+{
+    if (n == 0 || n > 64)
+        throw std::invalid_argument("basisStatePrep: bad qubit count");
+    if (n < 64 && (s >> n) != 0)
+        throw std::invalid_argument("basisStatePrep: state wider than "
+                                    "register");
+    Circuit circuit(n);
+    for (Qubit q = 0; q < n; ++q) {
+        if (getBit(s, q))
+            circuit.x(q);
+    }
+    if (measure)
+        circuit.measureAll();
+    return circuit;
+}
+
+Circuit
+uniformSuperposition(unsigned n, bool measure)
+{
+    Circuit circuit(n);
+    for (Qubit q = 0; q < n; ++q)
+        circuit.h(q);
+    if (measure)
+        circuit.measureAll();
+    return circuit;
+}
+
+Circuit
+ghzState(unsigned n, bool measure)
+{
+    Circuit circuit(n);
+    circuit.h(0);
+    for (Qubit q = 0; q + 1 < n; ++q)
+        circuit.cx(q, q + 1);
+    if (measure)
+        circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qem

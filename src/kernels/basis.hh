@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Elementary state-preparation kernels used by the characterization
+ * experiments: computational basis states, uniform superpositions,
+ * and GHZ states.
+ */
+
+#ifndef QEM_KERNELS_BASIS_HH
+#define QEM_KERNELS_BASIS_HH
+
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/**
+ * Prepare the computational basis state @p s on @p n qubits with X
+ * gates, then (optionally) measure every qubit. This is the paper's
+ * direct BMS characterization workload (Section 3.1).
+ */
+Circuit basisStatePrep(unsigned n, BasisState s, bool measure = true);
+
+/**
+ * Prepare the uniform superposition H^n |0...0>, optionally
+ * measured. Used by the equal-superposition characterization (ESCT,
+ * Appendix A).
+ */
+Circuit uniformSuperposition(unsigned n, bool measure = true);
+
+/**
+ * Prepare the n-qubit GHZ state (|0...0> + |1...1>)/sqrt(2) with an
+ * H followed by a CX chain, optionally measured. The paper's Fig 6
+ * workload.
+ */
+Circuit ghzState(unsigned n, bool measure = true);
+
+} // namespace qem
+
+#endif // QEM_KERNELS_BASIS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 3): Bernstein-Vazirani and
+ * QAOA max-cut instances, with BV-4/QAOA-4 targeting the 5-qubit
+ * machines and BV-6/7, QAOA-6/7 targeting the 14-qubit machine.
+ */
+
+#ifndef QEM_KERNELS_BENCHMARKS_HH
+#define QEM_KERNELS_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/graph.hh"
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/** A runnable NISQ benchmark with its known-correct output. */
+struct NisqBenchmark
+{
+    std::string name;
+    /** Logical measured circuit. */
+    Circuit circuit;
+    /** The single expected classical outcome. */
+    BasisState correctOutput = 0;
+    /**
+     * All outcomes counted as correct. For QAOA this includes the
+     * complement partition (Section 4.2.1); for BV it is just the
+     * key.
+     */
+    std::vector<BasisState> acceptedOutputs;
+    /** Width of the classical outcome in bits. */
+    unsigned outputBits = 0;
+
+    NisqBenchmark() : circuit(1) {}
+};
+
+/**
+ * The complement of a benchmark's correct output over its output
+ * width — for QAOA, the same partition labelled from the other side.
+ */
+BasisState complementOutput(const NisqBenchmark& bench);
+
+/** BV with an @p n bit key. */
+NisqBenchmark makeBvBenchmark(const std::string& name, unsigned n,
+                              const std::string& key);
+
+/**
+ * QAOA max-cut benchmark: angles are optimized on the ideal
+ * simulator at construction.
+ *
+ * @param name Display name.
+ * @param graph Problem instance.
+ * @param layers QAOA depth p.
+ * @param target The known optimal cut (validated by brute force).
+ */
+NisqBenchmark makeQaoaBenchmark(const std::string& name,
+                                const Graph& graph, unsigned layers,
+                                const std::string& target);
+
+/** Table 3 rows that fit a 5-qubit machine. */
+std::vector<NisqBenchmark> benchmarkSuiteQ5();
+
+/** Table 3 rows evaluated on the 14-qubit machine. */
+std::vector<NisqBenchmark> benchmarkSuiteQ14();
+
+/**
+ * Suite matched to a machine size: Q5 suite for < 8 qubits, Q14
+ * suite otherwise.
+ */
+std::vector<NisqBenchmark> benchmarkSuiteFor(unsigned machine_qubits);
+
+} // namespace qem
+
+#endif // QEM_KERNELS_BENCHMARKS_HH

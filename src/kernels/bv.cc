@@ -1,0 +1,69 @@
+#include "kernels/bv.hh"
+
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+namespace
+{
+
+/** Shared gate body: prep, oracle, un-Hadamard; no measurement. */
+Circuit
+bvBody(unsigned n, BasisState key)
+{
+    if (n == 0 || n > 63)
+        throw std::invalid_argument("bernsteinVazirani: bad key "
+                                    "width");
+    if ((key >> n) != 0)
+        throw std::invalid_argument("bernsteinVazirani: key wider "
+                                    "than n bits");
+    const Qubit ancilla = n;
+    Circuit circuit(n + 1, static_cast<int>(n + 1));
+    // Ancilla to |->, key register to uniform superposition.
+    circuit.x(ancilla);
+    for (Qubit q = 0; q <= ancilla; ++q)
+        circuit.h(q);
+    // Phase oracle: CX from every set key bit into the ancilla.
+    for (Qubit q = 0; q < n; ++q) {
+        if (getBit(key, q))
+            circuit.cx(q, ancilla);
+    }
+    // Interference: undo the Hadamards on the key register.
+    for (Qubit q = 0; q < n; ++q)
+        circuit.h(q);
+    return circuit;
+}
+
+} // namespace
+
+Circuit
+bernsteinVazirani(unsigned n, BasisState key)
+{
+    Circuit circuit = bvBody(n, key);
+    for (Qubit q = 0; q < n; ++q)
+        circuit.measure(q, q);
+    return circuit;
+}
+
+Circuit
+bernsteinVaziraniFull(unsigned n, BasisState target)
+{
+    if ((target >> (n + 1)) != 0)
+        throw std::invalid_argument("bernsteinVaziraniFull: target "
+                                    "wider than n+1 bits");
+    const BasisState key = target & allOnes(n);
+    Circuit circuit = bvBody(n, key);
+    const Qubit ancilla = n;
+    // Return the ancilla from |-> to |1>, then steer it to the
+    // requested readout value.
+    circuit.h(ancilla);
+    if (!getBit(target, ancilla))
+        circuit.x(ancilla);
+    circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qem

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bernstein-Vazirani kernel.
+ *
+ * BV hides an n-bit secret key inside a phase oracle; one oracle
+ * query recovers the whole key. On an ideal machine the key appears
+ * with probability 1, making PST degradation a direct readout-error
+ * probe — which is why the paper sweeps BV over every possible key
+ * (Figs 11(b) and 13).
+ */
+
+#ifndef QEM_KERNELS_BV_HH
+#define QEM_KERNELS_BV_HH
+
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/**
+ * Standard BV: n key qubits plus one ancilla (qubit n). Only the key
+ * qubits are measured; the correct classical outcome is @p key.
+ *
+ * @param n Key width in bits.
+ * @param key The hidden key (low n bits).
+ */
+Circuit bernsteinVazirani(unsigned n, BasisState key);
+
+/**
+ * Full-register BV used by the paper's per-state sweeps: all n+1
+ * qubits are measured, and a trailing X on the ancilla is used to
+ * steer its final value so the expected (n+1)-bit outcome equals
+ * @p target exactly — bit n of @p target selects the ancilla's
+ * expected value, bits 0..n-1 are the key.
+ *
+ * @param n Key width in bits.
+ * @param target Expected (n+1)-bit output.
+ */
+Circuit bernsteinVaziraniFull(unsigned n, BasisState target);
+
+} // namespace qem
+
+#endif // QEM_KERNELS_BV_HH

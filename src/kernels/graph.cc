@@ -1,0 +1,156 @@
+#include "kernels/graph.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+#include "qsim/rng.hh"
+
+namespace qem
+{
+
+Graph::Graph(unsigned num_nodes)
+    : numNodes_(num_nodes)
+{
+    if (num_nodes == 0 || num_nodes > 24)
+        throw std::invalid_argument("Graph: node count out of "
+                                    "supported range");
+}
+
+void
+Graph::addEdge(unsigned a, unsigned b, double weight)
+{
+    if (a >= numNodes_ || b >= numNodes_)
+        throw std::out_of_range("Graph::addEdge: node out of range");
+    if (a == b)
+        throw std::invalid_argument("Graph::addEdge: self-loop");
+    if (hasEdge(a, b))
+        throw std::invalid_argument("Graph::addEdge: duplicate edge");
+    if (a > b)
+        std::swap(a, b);
+    edges_.emplace_back(a, b, weight);
+}
+
+bool
+Graph::hasEdge(unsigned a, unsigned b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    for (const auto& [ea, eb, w] : edges_) {
+        if (ea == a && eb == b)
+            return true;
+    }
+    return false;
+}
+
+double
+Graph::cutValue(BasisState assignment) const
+{
+    double value = 0.0;
+    for (const auto& [a, b, w] : edges_) {
+        if (getBit(assignment, a) != getBit(assignment, b))
+            value += w;
+    }
+    return value;
+}
+
+MaxCutResult
+bruteForceMaxCut(const Graph& graph)
+{
+    MaxCutResult result;
+    const BasisState limit = BasisState{1} << graph.numNodes();
+    result.value = -1.0;
+    for (BasisState s = 0; s < limit; ++s) {
+        const double v = graph.cutValue(s);
+        if (v > result.value + 1e-12) {
+            result.value = v;
+            result.argmax = {s};
+        } else if (v > result.value - 1e-12) {
+            result.argmax.push_back(s);
+        }
+    }
+    return result;
+}
+
+Graph
+completeBipartite(unsigned num_nodes, BasisState side)
+{
+    Graph graph(num_nodes);
+    for (unsigned a = 0; a < num_nodes; ++a) {
+        for (unsigned b = a + 1; b < num_nodes; ++b) {
+            if (getBit(side, a) != getBit(side, b))
+                graph.addEdge(a, b);
+        }
+    }
+    if (graph.numEdges() == 0)
+        throw std::invalid_argument("completeBipartite: side must be "
+                                    "a proper nonempty subset");
+    return graph;
+}
+
+Graph
+cycleGraph(unsigned num_nodes)
+{
+    if (num_nodes < 3)
+        throw std::invalid_argument("cycleGraph: need >= 3 nodes");
+    Graph graph(num_nodes);
+    for (unsigned a = 0; a < num_nodes; ++a)
+        graph.addEdge(a, (a + 1) % num_nodes);
+    return graph;
+}
+
+Graph
+starGraph(unsigned num_nodes, unsigned center)
+{
+    if (num_nodes < 2)
+        throw std::invalid_argument("starGraph: need >= 2 nodes");
+    Graph graph(num_nodes);
+    for (unsigned a = 0; a < num_nodes; ++a) {
+        if (a != center)
+            graph.addEdge(center, a);
+    }
+    return graph;
+}
+
+Graph
+synthesizeGraphForCut(unsigned num_nodes, std::size_t num_edges,
+                      BasisState target, std::uint64_t seed)
+{
+    // All candidate edges, cut edges (across the target partition)
+    // first; a valid instance must use only... no: it may use
+    // non-cut edges too, they just must not create a better cut.
+    std::vector<std::pair<unsigned, unsigned>> all_edges;
+    for (unsigned a = 0; a < num_nodes; ++a) {
+        for (unsigned b = a + 1; b < num_nodes; ++b)
+            all_edges.emplace_back(a, b);
+    }
+    if (num_edges > all_edges.size())
+        throw std::invalid_argument("synthesizeGraphForCut: too many "
+                                    "edges requested");
+
+    Rng rng(seed);
+    const BasisState complement = target ^ allOnes(num_nodes);
+    for (int attempt = 0; attempt < 20000; ++attempt) {
+        // Random subset of num_edges edges (partial Fisher-Yates).
+        std::vector<std::pair<unsigned, unsigned>> pool = all_edges;
+        Graph candidate(num_nodes);
+        for (std::size_t i = 0; i < num_edges; ++i) {
+            const std::size_t j =
+                i + rng.index(pool.size() - i);
+            std::swap(pool[i], pool[j]);
+            candidate.addEdge(pool[i].first, pool[i].second);
+        }
+        const MaxCutResult best = bruteForceMaxCut(candidate);
+        if (best.argmax.size() == 2 &&
+            ((best.argmax[0] == target &&
+              best.argmax[1] == complement) ||
+             (best.argmax[0] == complement &&
+              best.argmax[1] == target))) {
+            return candidate;
+        }
+    }
+    // Deterministic fallback with the requested optimum.
+    return completeBipartite(num_nodes, target);
+}
+
+} // namespace qem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Weighted undirected graphs and max-cut utilities for QAOA.
+ */
+
+#ifndef QEM_KERNELS_GRAPH_HH
+#define QEM_KERNELS_GRAPH_HH
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+class Graph
+{
+  public:
+    explicit Graph(unsigned num_nodes);
+
+    unsigned numNodes() const { return numNodes_; }
+
+    /** Add an undirected weighted edge; duplicates are rejected. */
+    void addEdge(unsigned a, unsigned b, double weight = 1.0);
+
+    const std::vector<std::tuple<unsigned, unsigned, double>>&
+    edges() const
+    {
+        return edges_;
+    }
+
+    std::size_t numEdges() const { return edges_.size(); }
+
+    bool hasEdge(unsigned a, unsigned b) const;
+
+    /**
+     * Cut value of the partition encoded by @p assignment: the total
+     * weight of edges whose endpoints fall on different sides (bit i
+     * of @p assignment is node i's side).
+     */
+    double cutValue(BasisState assignment) const;
+
+  private:
+    unsigned numNodes_;
+    std::vector<std::tuple<unsigned, unsigned, double>> edges_;
+};
+
+/** Result of exhaustive max-cut search. */
+struct MaxCutResult
+{
+    double value = 0.0;
+    /** Every assignment achieving the optimum (complement pairs). */
+    std::vector<BasisState> argmax;
+};
+
+/** Exhaustive max-cut over all 2^n assignments (n <= 24). */
+MaxCutResult bruteForceMaxCut(const Graph& graph);
+
+/**
+ * Complete bipartite graph between the nodes with a set bit in
+ * @p side and the rest; its unique max cut (up to complement) is
+ * exactly @p side. Used to build QAOA instances with a prescribed
+ * optimal output.
+ */
+Graph completeBipartite(unsigned num_nodes, BasisState side);
+
+/** Cycle 0-1-...-(n-1)-0. */
+Graph cycleGraph(unsigned num_nodes);
+
+/** Star with the given center. */
+Graph starGraph(unsigned num_nodes, unsigned center = 0);
+
+/**
+ * Search (seeded, deterministic) for a graph with exactly
+ * @p num_edges unit-weight edges whose unique max cut is
+ * {target, ~target}. Falls back to completeBipartite(target) when
+ * the random search fails — the caller always receives a graph with
+ * the requested optimum, possibly with a different edge count.
+ */
+Graph synthesizeGraphForCut(unsigned num_nodes, std::size_t num_edges,
+                            BasisState target,
+                            std::uint64_t seed = 7);
+
+} // namespace qem
+
+#endif // QEM_KERNELS_GRAPH_HH

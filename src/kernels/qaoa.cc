@@ -1,0 +1,195 @@
+#include "kernels/qaoa.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+
+namespace
+{
+
+/** Unitary part of the QAOA circuit (no measurements). */
+Circuit
+qaoaBody(const Graph& graph, const QaoaAngles& angles)
+{
+    if (angles.gamma.size() != angles.beta.size())
+        throw std::invalid_argument("qaoaCircuit: gamma/beta size "
+                                    "mismatch");
+    if (angles.gamma.empty())
+        throw std::invalid_argument("qaoaCircuit: zero layers");
+
+    const unsigned n = graph.numNodes();
+    Circuit circuit(n);
+    for (Qubit q = 0; q < n; ++q)
+        circuit.h(q);
+    for (unsigned layer = 0; layer < angles.layers(); ++layer) {
+        const double gamma = angles.gamma[layer];
+        const double beta = angles.beta[layer];
+        // Cost unitary: exp(-i gamma w Z_a Z_b) per edge via
+        // CX - RZ(2 gamma w) - CX.
+        for (const auto& [a, b, w] : graph.edges()) {
+            circuit.cx(a, b);
+            circuit.rz(2.0 * gamma * w, b);
+            circuit.cx(a, b);
+        }
+        // Mixer: RX(2 beta) on every node.
+        for (Qubit q = 0; q < n; ++q)
+            circuit.rx(2.0 * beta, q);
+    }
+    return circuit;
+}
+
+/** Ideal output distribution of the QAOA state. */
+std::vector<double>
+qaoaIdealDistribution(const Graph& graph, const QaoaAngles& angles)
+{
+    IdealSimulator sim(graph.numNodes());
+    return sim.stateOf(qaoaBody(graph, angles)).probabilities();
+}
+
+} // namespace
+
+Circuit
+qaoaCircuit(const Graph& graph, const QaoaAngles& angles)
+{
+    Circuit circuit = qaoaBody(graph, angles);
+    circuit.measureAll();
+    return circuit;
+}
+
+double
+qaoaExpectedCut(const Graph& graph, const QaoaAngles& angles)
+{
+    const std::vector<double> probs =
+        qaoaIdealDistribution(graph, angles);
+    double expected = 0.0;
+    for (BasisState s = 0; s < probs.size(); ++s)
+        expected += probs[s] * graph.cutValue(s);
+    return expected;
+}
+
+double
+qaoaIdealProbability(const Graph& graph, const QaoaAngles& angles,
+                     BasisState assignment)
+{
+    const std::vector<double> probs =
+        qaoaIdealDistribution(graph, angles);
+    if (assignment >= probs.size())
+        return 0.0;
+    return probs[assignment];
+}
+
+double
+sampledExpectedCut(const Graph& graph, const Counts& counts)
+{
+    if (counts.total() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& [outcome, n] : counts.raw())
+        acc += graph.cutValue(outcome) * static_cast<double>(n);
+    return acc / static_cast<double>(counts.total());
+}
+
+QaoaAngles
+optimizeQaoaAngles(const Graph& graph, unsigned layers, unsigned grid,
+                   unsigned refine_rounds)
+{
+    if (layers == 0 || layers > 4)
+        throw std::invalid_argument("optimizeQaoaAngles: layer count "
+                                    "out of range");
+    if (grid < 2)
+        throw std::invalid_argument("optimizeQaoaAngles: grid too "
+                                    "small");
+
+    const double gamma_range = 2.0 * M_PI;
+    const double beta_range = M_PI;
+
+    QaoaAngles best;
+    best.gamma.assign(layers, 0.0);
+    best.beta.assign(layers, 0.0);
+    double best_value = qaoaExpectedCut(graph, best);
+
+    auto evaluate = [&](const QaoaAngles& a) {
+        return qaoaExpectedCut(graph, a);
+    };
+
+    if (layers <= 2) {
+        // Exhaustive coarse grid over all 2*layers angles.
+        const unsigned dims = 2 * layers;
+        std::vector<unsigned> idx(dims, 0);
+        while (true) {
+            QaoaAngles cand;
+            cand.gamma.resize(layers);
+            cand.beta.resize(layers);
+            for (unsigned l = 0; l < layers; ++l) {
+                cand.gamma[l] =
+                    gamma_range * idx[2 * l] / grid;
+                cand.beta[l] =
+                    beta_range * idx[2 * l + 1] / grid;
+            }
+            const double v = evaluate(cand);
+            if (v > best_value) {
+                best_value = v;
+                best = cand;
+            }
+            // Odometer increment.
+            unsigned d = 0;
+            while (d < dims && ++idx[d] == grid) {
+                idx[d] = 0;
+                ++d;
+            }
+            if (d == dims)
+                break;
+        }
+    } else {
+        // Layer-by-layer greedy grid for deeper ansatz.
+        for (unsigned l = 0; l < layers; ++l) {
+            QaoaAngles cand = best;
+            for (unsigned gi = 0; gi < grid; ++gi) {
+                for (unsigned bi = 0; bi < grid; ++bi) {
+                    cand.gamma[l] = gamma_range * gi / grid;
+                    cand.beta[l] = beta_range * bi / grid;
+                    const double v = evaluate(cand);
+                    if (v > best_value) {
+                        best_value = v;
+                        best = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    // Coordinate descent refinement with a shrinking step.
+    double gstep = gamma_range / grid;
+    double bstep = beta_range / grid;
+    for (unsigned round = 0; round < refine_rounds; ++round) {
+        for (unsigned l = 0; l < layers; ++l) {
+            for (int dir : {-1, +1}) {
+                QaoaAngles cand = best;
+                cand.gamma[l] += dir * gstep;
+                const double v = evaluate(cand);
+                if (v > best_value) {
+                    best_value = v;
+                    best = cand;
+                }
+            }
+            for (int dir : {-1, +1}) {
+                QaoaAngles cand = best;
+                cand.beta[l] += dir * bstep;
+                const double v = evaluate(cand);
+                if (v > best_value) {
+                    best_value = v;
+                    best = cand;
+                }
+            }
+        }
+        gstep *= 0.5;
+        bstep *= 0.5;
+    }
+    return best;
+}
+
+} // namespace qem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quantum Approximate Optimization Algorithm (QAOA) for max-cut.
+ *
+ * Standard Farhi-Goldstone-Gutmann ansatz: uniform superposition,
+ * then p alternating layers of the cost unitary exp(-i gamma C)
+ * (realized per edge as CX - RZ - CX) and the transverse mixer
+ * exp(-i beta sum X). Angles are optimized classically against the
+ * ideal simulator, exactly as a 2019-era QAOA pipeline would tune
+ * them before submitting jobs to hardware.
+ */
+
+#ifndef QEM_KERNELS_QAOA_HH
+#define QEM_KERNELS_QAOA_HH
+
+#include "kernels/graph.hh"
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
+
+namespace qem
+{
+
+/** One (gamma, beta) pair per QAOA layer. */
+struct QaoaAngles
+{
+    std::vector<double> gamma;
+    std::vector<double> beta;
+
+    unsigned layers() const
+    {
+        return static_cast<unsigned>(gamma.size());
+    }
+};
+
+/**
+ * Build the measured QAOA circuit for @p graph with the given
+ * angles.
+ */
+Circuit qaoaCircuit(const Graph& graph, const QaoaAngles& angles);
+
+/**
+ * Expected cut value <C> of the ideal (noise-free) QAOA state.
+ * The classical objective the optimizer maximizes.
+ */
+double qaoaExpectedCut(const Graph& graph, const QaoaAngles& angles);
+
+/**
+ * Ideal probability of measuring @p assignment from the QAOA state.
+ */
+double qaoaIdealProbability(const Graph& graph,
+                            const QaoaAngles& angles,
+                            BasisState assignment);
+
+/**
+ * Expected cut value of a *sampled* output log: the estimator a
+ * QAOA outer loop would actually compute from hardware shots.
+ * Readout bias corrupts it (every 1 -> 0 flip re-labels a
+ * partition), which makes energy estimation another consumer of
+ * measurement mitigation.
+ */
+double sampledExpectedCut(const Graph& graph, const Counts& counts);
+
+/**
+ * Optimize angles for @p layers QAOA layers: coarse grid search over
+ * each (gamma, beta) plane followed by rounds of coordinate descent.
+ * Deterministic.
+ *
+ * @param graph Problem instance.
+ * @param layers p, the number of layers.
+ * @param grid Grid points per angle in the coarse phase.
+ * @param refine_rounds Coordinate-descent sweeps in the fine phase.
+ */
+QaoaAngles optimizeQaoaAngles(const Graph& graph, unsigned layers,
+                              unsigned grid = 8,
+                              unsigned refine_rounds = 3);
+
+} // namespace qem
+
+#endif // QEM_KERNELS_QAOA_HH

@@ -1,0 +1,132 @@
+#include "machine/calibration.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qem
+{
+
+Calibration::Calibration(unsigned num_qubits)
+    : qubits_(num_qubits)
+{
+    if (num_qubits == 0)
+        throw std::invalid_argument("Calibration: zero qubits");
+}
+
+void
+Calibration::checkQubit(Qubit q) const
+{
+    if (q >= qubits_.size())
+        throw std::out_of_range("Calibration: qubit out of range");
+}
+
+std::pair<Qubit, Qubit>
+Calibration::orderedPair(Qubit a, Qubit b)
+{
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+QubitCalibration&
+Calibration::qubit(Qubit q)
+{
+    checkQubit(q);
+    return qubits_[q];
+}
+
+const QubitCalibration&
+Calibration::qubit(Qubit q) const
+{
+    checkQubit(q);
+    return qubits_[q];
+}
+
+void
+Calibration::setLink(Qubit a, Qubit b, LinkCalibration link)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        throw std::invalid_argument("Calibration::setLink: identical "
+                                    "qubits");
+    links_[orderedPair(a, b)] = link;
+}
+
+const LinkCalibration&
+Calibration::link(Qubit a, Qubit b) const
+{
+    auto it = links_.find(orderedPair(a, b));
+    if (it == links_.end())
+        throw std::out_of_range("Calibration::link: pair not "
+                                "calibrated");
+    return it->second;
+}
+
+bool
+Calibration::hasLink(Qubit a, Qubit b) const
+{
+    return links_.count(orderedPair(a, b)) > 0;
+}
+
+void
+Calibration::setReadoutCrosstalk(
+    std::vector<std::vector<double>> j01,
+    std::vector<std::vector<double>> j10)
+{
+    const std::size_t n = qubits_.size();
+    auto check = [n](const std::vector<std::vector<double>>& j) {
+        if (j.size() != n)
+            throw std::invalid_argument("setReadoutCrosstalk: wrong "
+                                        "matrix size");
+        for (const auto& row : j) {
+            if (row.size() != n)
+                throw std::invalid_argument("setReadoutCrosstalk: "
+                                            "wrong matrix size");
+        }
+    };
+    check(j01);
+    check(j10);
+    j01_ = std::move(j01);
+    j10_ = std::move(j10);
+}
+
+double
+Calibration::readoutAssignmentError(Qubit q) const
+{
+    checkQubit(q);
+    return 0.5 * (qubits_[q].readoutP01 + qubits_[q].readoutP10);
+}
+
+ErrorStats
+Calibration::readoutErrorStats() const
+{
+    ErrorStats stats;
+    stats.min = readoutAssignmentError(0);
+    stats.max = stats.min;
+    double sum = 0.0;
+    for (Qubit q = 0; q < numQubits(); ++q) {
+        const double err = readoutAssignmentError(q);
+        stats.min = std::min(stats.min, err);
+        stats.max = std::max(stats.max, err);
+        sum += err;
+    }
+    stats.avg = sum / numQubits();
+    return stats;
+}
+
+ErrorStats
+Calibration::gate1qErrorStats() const
+{
+    ErrorStats stats;
+    stats.min = qubits_[0].gate1qError;
+    stats.max = stats.min;
+    double sum = 0.0;
+    for (const QubitCalibration& qc : qubits_) {
+        stats.min = std::min(stats.min, qc.gate1qError);
+        stats.max = std::max(stats.max, qc.gate1qError);
+        sum += qc.gate1qError;
+    }
+    stats.avg = sum / numQubits();
+    return stats;
+}
+
+} // namespace qem

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-qubit and per-link calibration data for one machine.
+ *
+ * Mirrors the nightly calibration reports of the 2019 IBM cloud
+ * machines: coherence times, gate error rates and durations per site,
+ * and the asymmetric readout rates whose state dependence this whole
+ * project is about. The readout rates stored here are *effective*
+ * rates (they already include relaxation over the readout pulse), and
+ * they describe each qubit measured in isolation — crosstalk between
+ * simultaneously-read qubits is a separate additive term, which is
+ * exactly why device dashboards underestimate the bias seen by
+ * full-register measurements.
+ */
+
+#ifndef QEM_MACHINE_CALIBRATION_HH
+#define QEM_MACHINE_CALIBRATION_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+/** Calibration record of one physical qubit. */
+struct QubitCalibration
+{
+    double t1Ns = 60000.0;       ///< T1 relaxation time.
+    double t2Ns = 55000.0;       ///< T2 coherence time.
+    double gate1qError = 0.001;  ///< Single-qubit gate error prob.
+    double gate1qDurationNs = 100.0;
+    double readoutP01 = 0.01;    ///< P(read 1 | true 0), isolated.
+    double readoutP10 = 0.05;    ///< P(read 0 | true 1), isolated.
+    /** Systematic over-rotation after each 1q gate (radians). */
+    double coherentZ = 0.0;
+    double coherentX = 0.0;
+};
+
+/** Calibration record of one coupled pair. */
+struct LinkCalibration
+{
+    double cxError = 0.02;       ///< Two-qubit gate error prob.
+    double cxDurationNs = 350.0;
+    /** Residual ZZ coupling angle after each CX (radians). */
+    double coherentZZ = 0.0;
+};
+
+/** Aggregate statistics, e.g. for the paper's Table 1. */
+struct ErrorStats
+{
+    double min = 0.0;
+    double avg = 0.0;
+    double max = 0.0;
+};
+
+class Calibration
+{
+  public:
+    explicit Calibration(unsigned num_qubits);
+
+    unsigned numQubits() const
+    {
+        return static_cast<unsigned>(qubits_.size());
+    }
+
+    QubitCalibration& qubit(Qubit q);
+    const QubitCalibration& qubit(Qubit q) const;
+
+    void setLink(Qubit a, Qubit b, LinkCalibration link);
+    const LinkCalibration& link(Qubit a, Qubit b) const;
+    bool hasLink(Qubit a, Qubit b) const;
+
+    /** Readout pulse duration (bookkeeping; rates are effective). */
+    void setMeasureDuration(double ns) { measDurationNs_ = ns; }
+    double measureDurationNs() const { return measDurationNs_; }
+
+    /**
+     * Readout-crosstalk matrices: entry [i][j] is added to qubit i's
+     * flip rate when qubit j's true value is 1. Empty matrices mean
+     * no crosstalk. See CorrelatedReadout.
+     */
+    /// @{
+    void setReadoutCrosstalk(std::vector<std::vector<double>> j01,
+                             std::vector<std::vector<double>> j10);
+    bool hasReadoutCrosstalk() const { return !j10_.empty(); }
+    const std::vector<std::vector<double>>& crosstalkJ01() const
+    {
+        return j01_;
+    }
+    const std::vector<std::vector<double>>& crosstalkJ10() const
+    {
+        return j10_;
+    }
+    /// @}
+
+    /**
+     * Per-qubit isolated assignment error (p01 + p10) / 2, the number
+     * a device dashboard would report.
+     */
+    double readoutAssignmentError(Qubit q) const;
+
+    /** Min/avg/max of readoutAssignmentError over all qubits. */
+    ErrorStats readoutErrorStats() const;
+
+    /** Min/avg/max of the single-qubit gate error over all qubits. */
+    ErrorStats gate1qErrorStats() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+    static std::pair<Qubit, Qubit> orderedPair(Qubit a, Qubit b);
+
+    std::vector<QubitCalibration> qubits_;
+    std::map<std::pair<Qubit, Qubit>, LinkCalibration> links_;
+    std::vector<std::vector<double>> j01_;
+    std::vector<std::vector<double>> j10_;
+    double measDurationNs_ = 4000.0;
+};
+
+} // namespace qem
+
+#endif // QEM_MACHINE_CALIBRATION_HH

@@ -1,0 +1,77 @@
+#include "machine/drift.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qsim/rng.hh"
+
+namespace qem
+{
+
+namespace
+{
+
+/** Lognormal multiplicative factor. */
+double
+factor(Rng& rng, double sigma)
+{
+    return std::exp(sigma * rng.normal());
+}
+
+double
+driftProbability(double p, Rng& rng, double sigma)
+{
+    return std::clamp(p * factor(rng, sigma), 0.0, 0.5);
+}
+
+} // namespace
+
+Machine
+driftCalibration(const Machine& machine, double relative_sigma,
+                 std::uint64_t seed)
+{
+    if (relative_sigma < 0.0)
+        throw std::invalid_argument("driftCalibration: negative "
+                                    "sigma");
+    Rng rng(seed ^ 0xD21F7ULL);
+    Calibration calib = machine.calibration();
+
+    for (Qubit q = 0; q < calib.numQubits(); ++q) {
+        QubitCalibration& qc = calib.qubit(q);
+        qc.readoutP01 =
+            driftProbability(qc.readoutP01, rng, relative_sigma);
+        qc.readoutP10 =
+            driftProbability(qc.readoutP10, rng, relative_sigma);
+        qc.gate1qError =
+            driftProbability(qc.gate1qError, rng, relative_sigma);
+        qc.t1Ns *= factor(rng, relative_sigma);
+        qc.t2Ns *= factor(rng, relative_sigma);
+        // Keep the model physical: T2 <= 2 T1.
+        qc.t2Ns = std::min(qc.t2Ns, 2.0 * qc.t1Ns);
+    }
+    for (const auto& [a, b] : machine.topology().edges()) {
+        LinkCalibration link = calib.link(a, b);
+        link.cxError =
+            driftProbability(link.cxError, rng, relative_sigma);
+        calib.setLink(a, b, link);
+    }
+    if (calib.hasReadoutCrosstalk()) {
+        auto j01 = calib.crosstalkJ01();
+        auto j10 = calib.crosstalkJ10();
+        for (auto& row : j01) {
+            for (double& v : row)
+                v *= factor(rng, relative_sigma);
+        }
+        for (auto& row : j10) {
+            for (double& v : row)
+                v *= factor(rng, relative_sigma);
+        }
+        calib.setReadoutCrosstalk(std::move(j01), std::move(j10));
+    }
+
+    return Machine(machine.name() + "+drift",
+                   machine.topology(), std::move(calib));
+}
+
+} // namespace qem

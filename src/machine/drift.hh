@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Calibration-drift model.
+ *
+ * The paper's AIM relies on a machine profile (RBMS) measured ahead
+ * of time; its Section 6.1 argues this is sound because the bias is
+ * "repeatable", observed over 35 days and 100 calibration cycles.
+ * Real rates do wander day to day, though, so this module produces
+ * a drifted copy of a machine — every error rate and coherence time
+ * multiplied by an independent lognormal factor — which the
+ * `abl_calibration_drift` bench uses to measure how stale a profile
+ * AIM can tolerate.
+ */
+
+#ifndef QEM_MACHINE_DRIFT_HH
+#define QEM_MACHINE_DRIFT_HH
+
+#include "machine/machine.hh"
+
+namespace qem
+{
+
+/**
+ * A drifted copy of @p machine: each readout rate, gate error, and
+ * coherence time is scaled by exp(sigma * N(0,1)) with independent
+ * draws (deterministic in @p seed). Readout/gate probabilities are
+ * clamped to [0, 0.5]; crosstalk matrices are scaled entrywise.
+ *
+ * @param machine The nominal machine.
+ * @param relative_sigma Lognormal sigma; 0 returns an identical
+ *        copy, 0.1 is a typical day-to-day wobble, 0.5 a recal-
+ *        ibration-scale jump.
+ * @param seed Drift realization seed (a "day index").
+ */
+Machine driftCalibration(const Machine& machine,
+                         double relative_sigma,
+                         std::uint64_t seed);
+
+} // namespace qem
+
+#endif // QEM_MACHINE_DRIFT_HH

@@ -1,0 +1,61 @@
+#include "machine/machine.hh"
+
+#include <memory>
+#include <stdexcept>
+
+namespace qem
+{
+
+Machine::Machine(std::string name, Topology topology,
+                 Calibration calibration)
+    : name_(std::move(name)), topology_(std::move(topology)),
+      calibration_(std::move(calibration))
+{
+    if (topology_.numQubits() != calibration_.numQubits())
+        throw std::invalid_argument("Machine: topology/calibration "
+                                    "qubit count mismatch");
+}
+
+NoiseModel
+Machine::noiseModel() const
+{
+    const unsigned n = numQubits();
+    NoiseModel model(n);
+
+    std::vector<double> p01(n), p10(n);
+    for (Qubit q = 0; q < n; ++q) {
+        const QubitCalibration& qc = calibration_.qubit(q);
+        model.setT1(q, qc.t1Ns);
+        model.setT2(q, qc.t2Ns);
+        GateNoise g1;
+        g1.errorProb = qc.gate1qError;
+        g1.durationNs = qc.gate1qDurationNs;
+        g1.coherentZ = qc.coherentZ;
+        g1.coherentX = qc.coherentX;
+        model.setGate1q(q, g1);
+        p01[q] = qc.readoutP01;
+        p10[q] = qc.readoutP10;
+    }
+    for (const auto& [a, b] : topology_.edges()) {
+        const LinkCalibration& lc = calibration_.link(a, b);
+        GateNoise g2;
+        g2.errorProb = lc.cxError;
+        g2.durationNs = lc.cxDurationNs;
+        g2.coherentZZ = lc.coherentZZ;
+        model.setGate2q(a, b, g2);
+    }
+
+    AsymmetricReadout base(std::move(p01), std::move(p10));
+    if (calibration_.hasReadoutCrosstalk()) {
+        model.setReadout(std::make_shared<CorrelatedReadout>(
+            std::move(base), calibration_.crosstalkJ01(),
+            calibration_.crosstalkJ10()));
+    } else {
+        model.setReadout(std::make_shared<AsymmetricReadout>(
+            std::move(base)));
+    }
+    model.setMeasureDuration(calibration_.measureDurationNs());
+    return model;
+}
+
+} // namespace qem

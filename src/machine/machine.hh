@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A machine: name + topology + calibration, and the factory that
+ * turns its calibration into a NoiseModel for simulation.
+ */
+
+#ifndef QEM_MACHINE_MACHINE_HH
+#define QEM_MACHINE_MACHINE_HH
+
+#include <string>
+
+#include "machine/calibration.hh"
+#include "machine/topology.hh"
+#include "noise/noise_model.hh"
+
+namespace qem
+{
+
+class Machine
+{
+  public:
+    /**
+     * @param name Display name, e.g. "ibmqx4".
+     * @param topology Coupling graph.
+     * @param calibration Calibration data; qubit counts must match.
+     */
+    Machine(std::string name, Topology topology,
+            Calibration calibration);
+
+    const std::string& name() const { return name_; }
+    unsigned numQubits() const { return topology_.numQubits(); }
+    const Topology& topology() const { return topology_; }
+    const Calibration& calibration() const { return calibration_; }
+    Calibration& calibration() { return calibration_; }
+
+    /**
+     * Build the NoiseModel the trajectory simulator consumes:
+     * per-qubit depolarizing + decay for gates, and an
+     * AsymmetricReadout (or CorrelatedReadout when the calibration
+     * carries crosstalk matrices) for measurement.
+     */
+    NoiseModel noiseModel() const;
+
+  private:
+    std::string name_;
+    Topology topology_;
+    Calibration calibration_;
+};
+
+} // namespace qem
+
+#endif // QEM_MACHINE_MACHINE_HH

@@ -1,0 +1,269 @@
+#include "machine/machines.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+/** Uniform crosstalk matrix: @p value everywhere off-diagonal. */
+std::vector<std::vector<double>>
+uniformCrosstalk(unsigned n, double value)
+{
+    std::vector<std::vector<double>> j(n, std::vector<double>(n, 0.0));
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned k = 0; k < n; ++k) {
+            if (i != k)
+                j[i][k] = value;
+        }
+    }
+    return j;
+}
+
+} // namespace
+
+Machine
+makeIbmqx2()
+{
+    // Bowtie coupling of the 5-qubit Yorktown chip.
+    Topology topo(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+    Calibration calib(5);
+
+    // Isolated readout assignment errors (p01+p10)/2:
+    // 1.2%, 1.4%, 1.7%, 2.1%, 12.8%  -> min 1.2, avg 3.84, max 12.8.
+    const double p01[5] = {0.004, 0.004, 0.005, 0.006, 0.016};
+    const double p10[5] = {0.020, 0.024, 0.029, 0.036, 0.240};
+    const double t1_us[5] = {55.0, 52.0, 60.0, 48.0, 50.0};
+    const double t2_us[5] = {48.0, 45.0, 55.0, 40.0, 42.0};
+    const double g1 [5] = {0.0006, 0.0008, 0.0007, 0.0012, 0.0015};
+
+    for (Qubit q = 0; q < 5; ++q) {
+        QubitCalibration& qc = calib.qubit(q);
+        qc.readoutP01 = p01[q];
+        qc.readoutP10 = p10[q];
+        qc.t1Ns = t1_us[q] * 1000.0;
+        qc.t2Ns = t2_us[q] * 1000.0;
+        qc.gate1qError = g1[q];
+        qc.gate1qDurationNs = 80.0;
+    }
+    calib.setLink(0, 1, {0.018, 350.0});
+    calib.setLink(0, 2, {0.015, 350.0});
+    calib.setLink(1, 2, {0.020, 380.0});
+    calib.setLink(2, 3, {0.022, 400.0});
+    calib.setLink(2, 4, {0.017, 360.0});
+    calib.setLink(3, 4, {0.028, 420.0});
+    calib.setMeasureDuration(4000.0);
+
+    // Uniform positive crosstalk: every simultaneously-read |1>
+    // raises each other qubit's 1->0 rate, producing the monotone
+    // Hamming-weight bias of Fig 4 (relative BMS of 11111 ~ 0.38).
+    calib.setReadoutCrosstalk(uniformCrosstalk(5, 0.002),
+                              uniformCrosstalk(5, 0.028));
+    return Machine("ibmqx2", std::move(topo), std::move(calib));
+}
+
+Machine
+makeIbmqx4()
+{
+    // Same bowtie coupling as ibmqx2 (Tenerife).
+    Topology topo(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+    Calibration calib(5);
+
+    // Isolated readout assignment errors:
+    // 3.4%, 4.3%, 5.4%, 7.2%, 20.7% -> min 3.4, avg 8.2, max 20.7.
+    // Qubit 1 has *inverted* asymmetry (it reads a 0 worse than a
+    // 1, e.g. from a miscalibrated discriminator), so the machine's
+    // strongest state is NOT the all-zeros state and the
+    // measurement strength is not monotone in Hamming weight -- the
+    // Section 6.1 behaviour that only AIM can exploit. The other
+    // qubits keep the usual 1 -> 0 tendency, so SIM still helps on
+    // average, as in the paper's Fig 10.
+    const double p01[5] = {0.010, 0.055, 0.020, 0.055, 0.060};
+    const double p10[5] = {0.058, 0.031, 0.088, 0.089, 0.354};
+    const double t1_us[5] = {42.0, 38.0, 45.0, 35.0, 36.0};
+    const double t2_us[5] = {30.0, 28.0, 38.0, 25.0, 27.0};
+    const double g1 [5] = {0.002, 0.003, 0.002, 0.004, 0.003};
+
+    for (Qubit q = 0; q < 5; ++q) {
+        QubitCalibration& qc = calib.qubit(q);
+        qc.readoutP01 = p01[q];
+        qc.readoutP10 = p10[q];
+        qc.t1Ns = t1_us[q] * 1000.0;
+        qc.t2Ns = t2_us[q] * 1000.0;
+        qc.gate1qError = g1[q];
+        qc.gate1qDurationNs = 100.0;
+    }
+    calib.setLink(0, 1, {0.036, 400.0});
+    calib.setLink(0, 2, {0.042, 420.0});
+    calib.setLink(1, 2, {0.048, 450.0});
+    calib.setLink(2, 3, {0.055, 480.0});
+    calib.setLink(2, 4, {0.040, 430.0});
+    calib.setLink(3, 4, {0.060, 500.0});
+    calib.setMeasureDuration(4500.0);
+
+    // Heterogeneous *signed* crosstalk: the measurement strength of a
+    // basis state is no longer monotone in its Hamming weight. This
+    // is the repeatable "arbitrary bias" of Section 6.1 / Fig 11 that
+    // SIM cannot fully exploit but AIM can.
+    const std::vector<std::vector<double>> j10 = {
+        {0.000, +0.050, -0.030, +0.020, 0.000},
+        {+0.040, 0.000, +0.060, -0.050, +0.010},
+        {-0.040, +0.030, 0.000, +0.050, -0.020},
+        {+0.020, -0.060, +0.040, 0.000, +0.030},
+        {-0.050, +0.020, -0.040, +0.060, 0.000},
+    };
+    const std::vector<std::vector<double>> j01 = {
+        {0.000, +0.020, 0.000, -0.010, +0.010},
+        {-0.010, 0.000, +0.015, 0.000, -0.005},
+        {+0.010, -0.010, 0.000, +0.020, 0.000},
+        {0.000, +0.015, -0.010, 0.000, +0.010},
+        {+0.015, 0.000, +0.010, -0.010, 0.000},
+    };
+    calib.setReadoutCrosstalk(j01, j10);
+    return Machine("ibmqx4", std::move(topo), std::move(calib));
+}
+
+Machine
+makeIbmqMelbourne()
+{
+    // 2x7 ladder of the 14-qubit Melbourne chip:
+    //   0 -  1 -  2 -  3 -  4 -  5 - 6
+    //        |    |    |    |    |   |
+    //  13 - 12 - 11 - 10 -  9 -  8 - 7
+    Topology topo(14, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                       {7, 8}, {8, 9}, {9, 10}, {10, 11}, {11, 12},
+                       {12, 13},
+                       {1, 13}, {2, 12}, {3, 11}, {4, 10}, {5, 9},
+                       {6, 8}});
+    Calibration calib(14);
+
+    // Isolated readout assignment errors, scattered over the chip so
+    // that the weak qubits are not clustered:
+    // min 2.2%, avg ~8.2%, max 31%.
+    const double err[14] = {0.070, 0.090, 0.169, 0.076, 0.100, 0.022,
+                            0.034, 0.028, 0.044, 0.310, 0.055, 0.039,
+                            0.049, 0.062};
+    const double t1_us[14] = {80, 68, 61, 85, 66, 92, 83, 88, 78,
+                              55, 76, 84, 72, 65};
+    for (Qubit q = 0; q < 14; ++q) {
+        QubitCalibration& qc = calib.qubit(q);
+        // Strong asymmetry: most of the assignment error is 1->0.
+        qc.readoutP01 = 0.5 * err[q];
+        qc.readoutP10 = 1.5 * err[q];
+        qc.t1Ns = t1_us[q] * 1000.0;
+        qc.t2Ns = 0.8 * qc.t1Ns;
+        qc.gate1qError = 0.0015 + 0.0001 * (q % 5);
+        qc.gate1qDurationNs = 100.0;
+    }
+    for (const auto& [a, b] : topo.edges()) {
+        // CX errors 2.8% - 5.2%, deterministic per link.
+        const double e = 0.028 + 0.002 * ((a * 3 + b * 5) % 13);
+        calib.setLink(a, b, {e, 350.0});
+    }
+    calib.setMeasureDuration(5000.0);
+
+    // Moderate uniform crosstalk over the 14 shared readout lines:
+    // small per pair, but at high Hamming weight it compounds into
+    // the deep suppression seen in Fig 5 / Fig 6.
+    calib.setReadoutCrosstalk(uniformCrosstalk(14, 0.0005),
+                              uniformCrosstalk(14, 0.012));
+    return Machine("ibmq_melbourne", std::move(topo),
+                   std::move(calib));
+}
+
+Machine
+makeIdealMachine(unsigned num_qubits)
+{
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (Qubit a = 0; a < num_qubits; ++a) {
+        for (Qubit b = a + 1; b < num_qubits; ++b)
+            edges.emplace_back(a, b);
+    }
+    Topology topo(num_qubits, std::move(edges));
+    Calibration calib(num_qubits);
+    for (Qubit q = 0; q < num_qubits; ++q) {
+        QubitCalibration& qc = calib.qubit(q);
+        qc.readoutP01 = 0.0;
+        qc.readoutP10 = 0.0;
+        qc.gate1qError = 0.0;
+        qc.gate1qDurationNs = 0.0;
+        qc.t1Ns = std::numeric_limits<double>::infinity();
+        qc.t2Ns = std::numeric_limits<double>::infinity();
+    }
+    for (const auto& [a, b] : topo.edges())
+        calib.setLink(a, b, {0.0, 0.0});
+    calib.setMeasureDuration(0.0);
+    return Machine("ideal", std::move(topo), std::move(calib));
+}
+
+namespace
+{
+
+/** Uniform calibration over the given topology's size. */
+Calibration
+defaultCalibration(const Topology& topo)
+{
+    Calibration calib(topo.numQubits());
+    for (const auto& [a, b] : topo.edges())
+        calib.setLink(a, b, {});
+    return calib;
+}
+
+} // namespace
+
+Machine
+makeLinearMachine(unsigned num_qubits)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("makeLinearMachine: need >= 2 "
+                                    "qubits");
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (Qubit q = 0; q + 1 < num_qubits; ++q)
+        edges.emplace_back(q, q + 1);
+    Topology topo(num_qubits, std::move(edges));
+    Calibration calib = defaultCalibration(topo);
+    return Machine("linear-" + std::to_string(num_qubits),
+                   std::move(topo), std::move(calib));
+}
+
+Machine
+makeGridMachine(unsigned rows, unsigned cols)
+{
+    if (rows == 0 || cols == 0 || rows * cols < 2)
+        throw std::invalid_argument("makeGridMachine: need >= 2 "
+                                    "qubits");
+    const unsigned n = rows * cols;
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            const Qubit q = r * cols + c;
+            if (c + 1 < cols)
+                edges.emplace_back(q, q + 1);
+            if (r + 1 < rows)
+                edges.emplace_back(q, q + cols);
+        }
+    }
+    Topology topo(n, std::move(edges));
+    Calibration calib = defaultCalibration(topo);
+    return Machine("grid-" + std::to_string(rows) + "x" +
+                       std::to_string(cols),
+                   std::move(topo), std::move(calib));
+}
+
+Machine
+makeMachine(const std::string& name)
+{
+    if (name == "ibmqx2")
+        return makeIbmqx2();
+    if (name == "ibmqx4")
+        return makeIbmqx4();
+    if (name == "ibmq_melbourne" || name == "ibmq-melbourne")
+        return makeIbmqMelbourne();
+    throw std::invalid_argument("makeMachine: unknown machine '" +
+                                name + "'");
+}
+
+} // namespace qem

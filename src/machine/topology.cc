@@ -1,0 +1,143 @@
+#include "machine/topology.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+constexpr unsigned unreachable = std::numeric_limits<unsigned>::max();
+
+} // namespace
+
+Topology::Topology(unsigned num_qubits,
+                   std::vector<std::pair<Qubit, Qubit>> edges)
+    : numQubits_(num_qubits), edges_(std::move(edges)),
+      adjacency_(num_qubits)
+{
+    if (num_qubits == 0)
+        throw std::invalid_argument("Topology: zero qubits");
+    for (auto& [a, b] : edges_) {
+        if (a >= num_qubits || b >= num_qubits)
+            throw std::invalid_argument("Topology: edge endpoint out "
+                                        "of range");
+        if (a == b)
+            throw std::invalid_argument("Topology: self-loop");
+        if (a > b)
+            std::swap(a, b);
+    }
+    std::sort(edges_.begin(), edges_.end());
+    if (std::adjacent_find(edges_.begin(), edges_.end()) !=
+        edges_.end()) {
+        throw std::invalid_argument("Topology: duplicate edge");
+    }
+    for (const auto& [a, b] : edges_) {
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+    }
+    for (auto& adj : adjacency_)
+        std::sort(adj.begin(), adj.end());
+    computeDistances();
+}
+
+void
+Topology::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("Topology: qubit out of range");
+}
+
+void
+Topology::computeDistances()
+{
+    dist_.assign(std::size_t{numQubits_} * numQubits_, unreachable);
+    for (Qubit src = 0; src < numQubits_; ++src) {
+        unsigned* row = &dist_[std::size_t{src} * numQubits_];
+        row[src] = 0;
+        std::deque<Qubit> queue{src};
+        while (!queue.empty()) {
+            const Qubit cur = queue.front();
+            queue.pop_front();
+            for (Qubit next : adjacency_[cur]) {
+                if (row[next] == unreachable) {
+                    row[next] = row[cur] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+}
+
+bool
+Topology::coupled(Qubit a, Qubit b) const
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        return false;
+    const auto& adj = adjacency_[a];
+    return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+const std::vector<Qubit>&
+Topology::neighbors(Qubit q) const
+{
+    checkQubit(q);
+    return adjacency_[q];
+}
+
+unsigned
+Topology::degree(Qubit q) const
+{
+    return static_cast<unsigned>(neighbors(q).size());
+}
+
+unsigned
+Topology::distance(Qubit a, Qubit b) const
+{
+    checkQubit(a);
+    checkQubit(b);
+    const unsigned d = dist_[std::size_t{a} * numQubits_ + b];
+    if (d == unreachable)
+        throw std::logic_error("Topology::distance: disconnected "
+                               "qubits");
+    return d;
+}
+
+std::vector<Qubit>
+Topology::shortestPath(Qubit a, Qubit b) const
+{
+    const unsigned d = distance(a, b);
+    std::vector<Qubit> path{a};
+    Qubit cur = a;
+    unsigned left = d;
+    while (cur != b) {
+        // Step to any neighbor strictly closer to the target.
+        for (Qubit next : adjacency_[cur]) {
+            if (distance(next, b) == left - 1) {
+                path.push_back(next);
+                cur = next;
+                --left;
+                break;
+            }
+        }
+    }
+    return path;
+}
+
+bool
+Topology::connected() const
+{
+    for (Qubit q = 1; q < numQubits_; ++q) {
+        if (dist_[q] == unreachable)
+            return false;
+    }
+    return true;
+}
+
+} // namespace qem

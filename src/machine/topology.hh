@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Qubit-coupling topology of a quantum machine.
+ *
+ * An undirected graph over physical qubits; CX gates may only be
+ * applied across edges, so the router measures distances and paths
+ * here when inserting SWAPs.
+ */
+
+#ifndef QEM_MACHINE_TOPOLOGY_HH
+#define QEM_MACHINE_TOPOLOGY_HH
+
+#include <utility>
+#include <vector>
+
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+class Topology
+{
+  public:
+    /**
+     * @param num_qubits Number of physical qubits.
+     * @param edges Undirected coupled pairs; duplicates and
+     *              self-loops are rejected.
+     */
+    Topology(unsigned num_qubits,
+             std::vector<std::pair<Qubit, Qubit>> edges);
+
+    unsigned numQubits() const { return numQubits_; }
+
+    const std::vector<std::pair<Qubit, Qubit>>& edges() const
+    {
+        return edges_;
+    }
+
+    /** True if a CX can be applied directly between @p a and @p b. */
+    bool coupled(Qubit a, Qubit b) const;
+
+    /** Neighbors of @p q in ascending order. */
+    const std::vector<Qubit>& neighbors(Qubit q) const;
+
+    /** Degree of @p q. */
+    unsigned degree(Qubit q) const;
+
+    /**
+     * Hop distance between two qubits (0 for a==b); throws if the
+     * qubits are in disconnected components.
+     */
+    unsigned distance(Qubit a, Qubit b) const;
+
+    /**
+     * One shortest path from @p a to @p b inclusive of both
+     * endpoints.
+     */
+    std::vector<Qubit> shortestPath(Qubit a, Qubit b) const;
+
+    /** True if every qubit can reach every other qubit. */
+    bool connected() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+    void computeDistances();
+
+    unsigned numQubits_;
+    std::vector<std::pair<Qubit, Qubit>> edges_;
+    std::vector<std::vector<Qubit>> adjacency_;
+    /** All-pairs hop distances (numQubits^2, BFS-filled). */
+    std::vector<unsigned> dist_;
+};
+
+} // namespace qem
+
+#endif // QEM_MACHINE_TOPOLOGY_HH

@@ -1,0 +1,57 @@
+#include "metrics/observables.hh"
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+double
+zParityExpectation(const Counts& counts, BasisState mask)
+{
+    if (counts.total() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& [outcome, n] : counts.raw()) {
+        const int parity = hammingWeight(outcome & mask) & 1;
+        acc += (parity ? -1.0 : 1.0) * static_cast<double>(n);
+    }
+    return acc / static_cast<double>(counts.total());
+}
+
+std::vector<double>
+singleQubitZExpectations(const Counts& counts)
+{
+    std::vector<double> out(counts.numBits());
+    for (unsigned i = 0; i < counts.numBits(); ++i)
+        out[i] = zParityExpectation(counts, BasisState{1} << i);
+    return out;
+}
+
+std::vector<double>
+hammingDistanceSpectrum(const Counts& counts, BasisState reference)
+{
+    std::vector<double> spectrum(counts.numBits() + 1, 0.0);
+    if (counts.total() == 0)
+        return spectrum;
+    for (const auto& [outcome, n] : counts.raw()) {
+        spectrum[hammingDistance(outcome, reference)] +=
+            static_cast<double>(n);
+    }
+    for (double& v : spectrum)
+        v /= static_cast<double>(counts.total());
+    return spectrum;
+}
+
+double
+meanHammingDistance(const Counts& counts, BasisState reference)
+{
+    if (counts.total() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& [outcome, n] : counts.raw())
+        acc += hammingDistance(outcome, reference) *
+               static_cast<double>(n);
+    return acc / static_cast<double>(counts.total());
+}
+
+} // namespace qem

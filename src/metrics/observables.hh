@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Diagonal observables estimated from an output log.
+ *
+ * Everything measurable from computational-basis counts: Z-string
+ * parities (the building block of Ising/max-cut energies and GHZ
+ * population diagnostics) and the Hamming-distance spectrum of the
+ * errors (how far wrong the wrong answers are — the masking
+ * analysis of Section 3.3).
+ */
+
+#ifndef QEM_METRICS_OBSERVABLES_HH
+#define QEM_METRICS_OBSERVABLES_HH
+
+#include <vector>
+
+#include "qsim/counts.hh"
+
+namespace qem
+{
+
+/**
+ * < prod_{i in mask} Z_i >: the expectation of a Z-string, i.e.
+ * the mean parity (+1 for even, -1 for odd) of the masked bits
+ * over the log. Empty logs yield 0.
+ */
+double zParityExpectation(const Counts& counts, BasisState mask);
+
+/** All single-qubit <Z_i> for i in [0, bits). */
+std::vector<double> singleQubitZExpectations(const Counts& counts);
+
+/**
+ * Error-distance spectrum: result[d] is the fraction of trials
+ * whose outcome lies at Hamming distance d from @p reference.
+ * result[0] is the PST.
+ */
+std::vector<double> hammingDistanceSpectrum(const Counts& counts,
+                                            BasisState reference);
+
+/**
+ * Mean Hamming distance of the log from @p reference — a scalar
+ * "how corrupted is this log" figure.
+ */
+double meanHammingDistance(const Counts& counts,
+                           BasisState reference);
+
+} // namespace qem
+
+#endif // QEM_METRICS_OBSERVABLES_HH

@@ -1,0 +1,92 @@
+#include "metrics/reliability.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace qem
+{
+
+namespace
+{
+
+bool
+isAccepted(BasisState outcome,
+           const std::vector<BasisState>& accepted)
+{
+    return std::find(accepted.begin(), accepted.end(), outcome) !=
+           accepted.end();
+}
+
+} // namespace
+
+double
+pst(const Counts& counts, const std::vector<BasisState>& accepted)
+{
+    if (counts.total() == 0)
+        return 0.0;
+    std::uint64_t good = 0;
+    for (BasisState s : accepted)
+        good += counts.get(s);
+    return static_cast<double>(good) /
+           static_cast<double>(counts.total());
+}
+
+double
+pst(const Counts& counts, BasisState accepted)
+{
+    return pst(counts, std::vector<BasisState>{accepted});
+}
+
+double
+ist(const Counts& counts, const std::vector<BasisState>& accepted)
+{
+    if (counts.total() == 0)
+        return 0.0;
+    std::uint64_t good = 0;
+    for (BasisState s : accepted)
+        good += counts.get(s);
+    std::uint64_t strongest_bad = 0;
+    for (const auto& [outcome, n] : counts.raw()) {
+        if (!isAccepted(outcome, accepted))
+            strongest_bad = std::max(strongest_bad, n);
+    }
+    if (strongest_bad == 0) {
+        return good > 0 ? std::numeric_limits<double>::infinity()
+                        : 0.0;
+    }
+    return static_cast<double>(good) /
+           static_cast<double>(strongest_bad);
+}
+
+double
+ist(const Counts& counts, BasisState accepted)
+{
+    return ist(counts, std::vector<BasisState>{accepted});
+}
+
+std::size_t
+roca(const Counts& counts, const std::vector<BasisState>& accepted)
+{
+    const auto sorted = counts.sortedByCount();
+    for (std::size_t rank = 0; rank < sorted.size(); ++rank) {
+        if (isAccepted(sorted[rank].first, accepted))
+            return rank + 1;
+    }
+    return sorted.size() + 1;
+}
+
+std::size_t
+roca(const Counts& counts, BasisState accepted)
+{
+    return roca(counts, std::vector<BasisState>{accepted});
+}
+
+ReliabilityReport
+reliability(const Counts& counts,
+            const std::vector<BasisState>& accepted)
+{
+    return {pst(counts, accepted), ist(counts, accepted),
+            roca(counts, accepted)};
+}
+
+} // namespace qem

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reliability metrics of Section 4.2: PST, IST, and ROCA.
+ */
+
+#ifndef QEM_METRICS_RELIABILITY_HH
+#define QEM_METRICS_RELIABILITY_HH
+
+#include <vector>
+
+#include "qsim/counts.hh"
+
+namespace qem
+{
+
+/**
+ * Probability of Successful Trial: fraction of trials whose outcome
+ * is in @p accepted (for QAOA the paper accepts the optimal
+ * partition and its complement).
+ */
+double pst(const Counts& counts,
+           const std::vector<BasisState>& accepted);
+
+/** PST with a single accepted outcome. */
+double pst(const Counts& counts, BasisState accepted);
+
+/**
+ * Inference Strength: frequency of the correct output divided by the
+ * frequency of the most frequent *incorrect* output. IST > 1 means
+ * the correct answer tops the output log. Returns +inf when no
+ * incorrect outcome was observed, and 0 when the correct outcome was
+ * never observed alongside observed incorrect ones; an entirely
+ * empty log yields 0.
+ */
+double ist(const Counts& counts,
+           const std::vector<BasisState>& accepted);
+
+/** IST with a single accepted outcome. */
+double ist(const Counts& counts, BasisState accepted);
+
+/**
+ * Rank of Correct Answer: position (1-based) of the best-ranked
+ * accepted outcome when outcomes are sorted by descending frequency.
+ * An accepted outcome that never occurred ranks after every observed
+ * outcome (distinct()+1).
+ */
+std::size_t roca(const Counts& counts,
+                 const std::vector<BasisState>& accepted);
+
+/** ROCA with a single accepted outcome. */
+std::size_t roca(const Counts& counts, BasisState accepted);
+
+/** PST/IST/ROCA bundle for one experiment. */
+struct ReliabilityReport
+{
+    double pst = 0.0;
+    double ist = 0.0;
+    std::size_t roca = 0;
+};
+
+/** Compute all three metrics at once. */
+ReliabilityReport reliability(const Counts& counts,
+                              const std::vector<BasisState>& accepted);
+
+} // namespace qem
+
+#endif // QEM_METRICS_RELIABILITY_HH

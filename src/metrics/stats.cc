@@ -1,0 +1,136 @@
+#include "metrics/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("mean: empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / xs.size();
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / xs.size());
+}
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("pearson: size mismatch");
+    if (xs.size() < 2)
+        throw std::invalid_argument("pearson: need >= 2 samples");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+meanSquaredError(const std::vector<double>& a,
+                 const std::vector<double>& b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("meanSquaredError: size mismatch");
+    if (a.empty())
+        throw std::invalid_argument("meanSquaredError: empty input");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc / a.size();
+}
+
+std::vector<double>
+normalizeToMax(const std::vector<double>& xs)
+{
+    const double top = *std::max_element(xs.begin(), xs.end());
+    if (top <= 0.0)
+        return xs;
+    std::vector<double> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = xs[i] / top;
+    return out;
+}
+
+std::vector<double>
+normalizeToSum(const std::vector<double>& xs)
+{
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    if (total <= 0.0)
+        return xs;
+    std::vector<double> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = xs[i] / total;
+    return out;
+}
+
+ConfidenceInterval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+               double z)
+{
+    if (trials == 0)
+        throw std::invalid_argument("wilsonInterval: zero trials");
+    if (successes > trials)
+        throw std::invalid_argument("wilsonInterval: successes "
+                                    "exceed trials");
+    if (z <= 0.0)
+        throw std::invalid_argument("wilsonInterval: nonpositive "
+                                    "quantile");
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) /
+        denom;
+    return {center - half, center + half};
+}
+
+std::vector<double>
+averageByHammingWeight(const std::vector<double>& values, unsigned n)
+{
+    if (values.size() != (std::size_t{1} << n))
+        throw std::invalid_argument("averageByHammingWeight: size is "
+                                    "not 2^n");
+    std::vector<double> sums(n + 1, 0.0);
+    std::vector<std::size_t> cnts(n + 1, 0);
+    for (BasisState s = 0; s < values.size(); ++s) {
+        const int w = hammingWeight(s);
+        sums[w] += values[s];
+        ++cnts[w];
+    }
+    for (unsigned w = 0; w <= n; ++w)
+        sums[w] /= cnts[w];
+    return sums;
+}
+
+} // namespace qem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics toolbox: moments, Pearson correlation (the
+ * paper's BMS-vs-Hamming-weight coefficient), mean squared error
+ * (the Appendix-A ESCT validation), and Hamming-weight aggregation
+ * (Fig 5).
+ */
+
+#ifndef QEM_METRICS_STATS_HH
+#define QEM_METRICS_STATS_HH
+
+#include <map>
+#include <vector>
+
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+double mean(const std::vector<double>& xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * Pearson correlation coefficient of two equal-length samples;
+ * returns 0 when either sample is constant.
+ */
+double pearson(const std::vector<double>& xs,
+               const std::vector<double>& ys);
+
+/** Mean squared error between two equal-length vectors. */
+double meanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/** Normalize a vector so its maximum is 1 (no-op on all-zero). */
+std::vector<double> normalizeToMax(const std::vector<double>& xs);
+
+/** Normalize a vector so it sums to 1 (no-op on all-zero). */
+std::vector<double> normalizeToSum(const std::vector<double>& xs);
+
+/**
+ * Average per-state values over Hamming-weight classes:
+ * result[w] = mean of values[s] over all n-bit states s with
+ * popcount w. @p values must have size 2^n.
+ */
+std::vector<double> averageByHammingWeight(
+    const std::vector<double>& values, unsigned n);
+
+/** A two-sided confidence interval. */
+struct ConfidenceInterval
+{
+    double low = 0.0;
+    double high = 0.0;
+
+    bool contains(double x) const { return x >= low && x <= high; }
+    double width() const { return high - low; }
+};
+
+/**
+ * Wilson score interval for a binomial proportion — the right way
+ * to put error bars on a PST estimated from @p successes out of
+ * @p trials shots (never escapes [0, 1], sane at the extremes).
+ *
+ * @param z Normal quantile; 1.96 is the 95% interval.
+ */
+ConfidenceInterval wilsonInterval(std::uint64_t successes,
+                                  std::uint64_t trials,
+                                  double z = 1.96);
+
+} // namespace qem
+
+#endif // QEM_METRICS_STATS_HH

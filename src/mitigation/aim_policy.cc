@@ -1,0 +1,122 @@
+#include "mitigation/aim_policy.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mitigation/sim_policy.hh"
+
+namespace qem
+{
+
+AdaptiveInvertAndMeasure::AdaptiveInvertAndMeasure(
+    std::shared_ptr<const RbmsEstimate> rbms, AimOptions options)
+    : rbms_(std::move(rbms)), options_(options)
+{
+    if (!rbms_)
+        throw std::invalid_argument("AIM: null RBMS profile");
+    if (options_.canaryFraction <= 0.0 ||
+        options_.canaryFraction >= 1.0) {
+        throw std::invalid_argument("AIM: canary fraction must be in "
+                                    "(0, 1)");
+    }
+    if (options_.numCandidates == 0)
+        throw std::invalid_argument("AIM: need at least one "
+                                    "candidate");
+}
+
+Counts
+AdaptiveInvertAndMeasure::run(const Circuit& circuit,
+                              Backend& backend, std::size_t shots)
+{
+    const std::vector<Qubit> measured = circuit.measuredQubits();
+    const unsigned bits = static_cast<unsigned>(measured.size());
+    if (bits == 0)
+        throw std::invalid_argument("AIM: circuit has no "
+                                    "measurements");
+    if (rbms_->numBits() != bits)
+        throw std::invalid_argument("AIM: RBMS profile width does "
+                                    "not match the circuit's output");
+
+    // Phase 1 -- canary trials under the four static modes, to
+    // observe the output distribution with global bias averaged out.
+    std::size_t canary_shots = static_cast<std::size_t>(
+        options_.canaryFraction * static_cast<double>(shots));
+    canary_shots = std::clamp<std::size_t>(canary_shots, 4,
+                                           shots > 4 ? shots - 1
+                                                     : 1);
+    StaticInvertAndMeasure canary_policy =
+        StaticInvertAndMeasure::fourMode(bits);
+    const Counts canary =
+        canary_policy.run(circuit, backend, canary_shots);
+
+    // Phase 2 -- likelihoods: L_i = observed frequency divided by
+    // measurement strength (Equation 1), then keep the top K.
+    std::vector<std::pair<double, BasisState>> ranked;
+    ranked.reserve(canary.distinct());
+    for (const auto& [outcome, n] : canary.raw()) {
+        const double l = static_cast<double>(n) /
+                         rbms_->strength(outcome);
+        ranked.emplace_back(l, outcome);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    lastCandidates_.clear();
+    std::vector<double> likelihoods;
+    for (const auto& [l, outcome] : ranked) {
+        if (lastCandidates_.size() >= options_.numCandidates)
+            break;
+        lastCandidates_.push_back(outcome);
+        likelihoods.push_back(l);
+    }
+    if (lastCandidates_.empty()) {
+        lastCandidates_.push_back(0);
+        likelihoods.push_back(1.0);
+    }
+
+    // Phase 3 -- tailored inversion strings: XOR each candidate
+    // onto the machine's strongest state. (The XOR map is a
+    // bijection, so distinct candidates give distinct strings.)
+    const BasisState strongest = rbms_->strongestState();
+    std::vector<InversionString> strings;
+    strings.reserve(lastCandidates_.size());
+    for (BasisState candidate : lastCandidates_)
+        strings.push_back(candidate ^ strongest);
+
+    // Budget per string: proportional to candidate likelihood, or
+    // uniform when weighting is disabled.
+    const std::size_t remaining = shots - canary_shots;
+    std::vector<std::size_t> shares(strings.size(), 0);
+    if (options_.weightedAllocation) {
+        double total_l = 0.0;
+        for (double l : likelihoods)
+            total_l += l;
+        std::size_t assigned = 0;
+        for (std::size_t i = 0; i < strings.size(); ++i) {
+            shares[i] = static_cast<std::size_t>(
+                static_cast<double>(remaining) * likelihoods[i] /
+                total_l);
+            assigned += shares[i];
+        }
+        shares[0] += remaining - assigned; // Rounding remainder.
+    } else {
+        for (std::size_t i = 0; i < strings.size(); ++i)
+            shares[i] = remaining / strings.size();
+        shares[0] += remaining % strings.size();
+    }
+
+    Counts merged = canary;
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+        if (shares[i] == 0)
+            continue;
+        const Counts observed = backend.run(
+            applyInversion(circuit, strings[i]), shares[i]);
+        merged.merge(correctInversion(observed, strings[i]));
+    }
+    return merged;
+}
+
+} // namespace qem

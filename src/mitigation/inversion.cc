@@ -1,0 +1,90 @@
+#include "mitigation/inversion.hh"
+
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+Circuit
+applyInversion(const Circuit& circuit, InversionString inversion)
+{
+    Circuit out(circuit.numQubits(),
+                static_cast<int>(circuit.numClbits()));
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::MEASURE &&
+            getBit(inversion, op.cbit)) {
+            out.x(op.qubits[0]);
+        }
+        out.append(op);
+    }
+    return out;
+}
+
+Counts
+correctInversion(const Counts& counts, InversionString inversion)
+{
+    return counts.xorAll(inversion);
+}
+
+std::vector<InversionString>
+twoModeStrings(unsigned bits)
+{
+    return {0, allOnes(bits)};
+}
+
+namespace
+{
+
+/**
+ * Generator mask j over @p bits positions: position i is set when
+ * bit (j-1) of i is clear. j=1 gives the even-position mask, j=2
+ * the pair mask (0,1,4,5,...), and so on.
+ */
+InversionString
+generatorMask(unsigned bits, unsigned j)
+{
+    InversionString mask = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        if (((i >> (j - 1)) & 1U) == 0)
+            mask = setBit(mask, i, true);
+    }
+    return mask;
+}
+
+} // namespace
+
+std::vector<InversionString>
+multiModeStrings(unsigned bits, unsigned k)
+{
+    if (bits == 0 || bits > 63)
+        throw std::invalid_argument("multiModeStrings: bad bit "
+                                    "count");
+    if (k == 0 || (std::size_t{1} << k) > (std::size_t{1} << bits))
+        throw std::invalid_argument("multiModeStrings: k out of "
+                                    "range");
+    // Generators: all-ones plus progressively coarser stripe masks.
+    std::vector<InversionString> generators{allOnes(bits)};
+    for (unsigned j = 1; generators.size() < k; ++j)
+        generators.push_back(generatorMask(bits, j));
+    // Emit the full XOR span of the generators.
+    std::vector<InversionString> strings(std::size_t{1} << k, 0);
+    for (std::size_t combo = 0; combo < strings.size(); ++combo) {
+        InversionString s = 0;
+        for (unsigned g = 0; g < k; ++g) {
+            if ((combo >> g) & 1U)
+                s ^= generators[g];
+        }
+        strings[combo] = s;
+    }
+    return strings;
+}
+
+std::vector<InversionString>
+fourModeStrings(unsigned bits)
+{
+    return multiModeStrings(bits, 2);
+}
+
+} // namespace qem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Inversion strings: the primitive under both SIM and AIM.
+ *
+ * An inversion string is a bit mask over the program's classical
+ * output bits. Applying it rewrites the circuit so that each
+ * measured qubit whose output bit is set in the mask is flipped with
+ * an X gate immediately before its measurement; the observed
+ * outcomes are then flipped back classically (XOR with the mask) to
+ * restore program semantics. The quantum state read out is thereby
+ * steered to a different basis state with (hopefully) a smaller
+ * readout error, while the program's answer is unchanged.
+ */
+
+#ifndef QEM_MITIGATION_INVERSION_HH
+#define QEM_MITIGATION_INVERSION_HH
+
+#include <vector>
+
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
+
+namespace qem
+{
+
+/** Mask over classical output bits; bit c flips the qubit read
+ *  into clbit c. */
+using InversionString = BasisState;
+
+/**
+ * Rewrite @p circuit for inverted measurement under @p inversion:
+ * an X is inserted directly before every MEASURE whose classical
+ * bit is set in the mask. Works on logical and physical circuits
+ * alike since the mask addresses classical bits.
+ */
+Circuit applyInversion(const Circuit& circuit,
+                       InversionString inversion);
+
+/**
+ * Classical post-correction: flip observed outcomes back. (Pure
+ * relabeling of the histogram.)
+ */
+Counts correctInversion(const Counts& counts,
+                        InversionString inversion);
+
+/** @name Standard inversion-string sets (Section 5.3).  */
+/// @{
+/** {no inversion, full inversion} over @p bits output bits. */
+std::vector<InversionString> twoModeStrings(unsigned bits);
+
+/**
+ * The paper's production SIM configuration: no inversion, full
+ * inversion, even-bit inversion (bits 0, 2, ...), odd-bit inversion.
+ * These split the Hamming space into four parts.
+ */
+std::vector<InversionString> fourModeStrings(unsigned bits);
+
+/**
+ * 2^k strings spreading inversions across the Hamming space:
+ * generalization used by the SIM mode-count ablation. k <= bits
+ * required; produced deterministically (k=1 and k=2 reduce to the
+ * sets above).
+ */
+std::vector<InversionString> multiModeStrings(unsigned bits,
+                                              unsigned k);
+/// @}
+
+} // namespace qem
+
+#endif // QEM_MITIGATION_INVERSION_HH

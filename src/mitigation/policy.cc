@@ -1,0 +1,13 @@
+#include "mitigation/policy.hh"
+
+namespace qem
+{
+
+Counts
+BaselinePolicy::run(const Circuit& circuit, Backend& backend,
+                    std::size_t shots)
+{
+    return backend.run(circuit, shots);
+}
+
+} // namespace qem

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Measurement-mitigation policy interface and the baseline policy.
+ *
+ * A policy decides how to spend a trial budget on (possibly
+ * rewritten) executions of one physical circuit, and how to combine
+ * the observed logs into a single corrected output log. Policies are
+ * written against the abstract Backend, so they are oblivious to
+ * whether trials run on the trajectory simulator or real hardware.
+ */
+
+#ifndef QEM_MITIGATION_POLICY_HH
+#define QEM_MITIGATION_POLICY_HH
+
+#include <string>
+
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+
+class MitigationPolicy
+{
+  public:
+    virtual ~MitigationPolicy() = default;
+
+    /**
+     * Execute @p circuit for a total of @p shots trials under this
+     * policy and return the merged, post-corrected output log.
+     */
+    virtual Counts run(const Circuit& circuit, Backend& backend,
+                       std::size_t shots) = 0;
+
+    /** Display name ("Baseline", "SIM", "AIM", ...). */
+    virtual std::string name() const = 0;
+};
+
+/** The paper's baseline: every trial measured as-is. */
+class BaselinePolicy : public MitigationPolicy
+{
+  public:
+    Counts run(const Circuit& circuit, Backend& backend,
+               std::size_t shots) override;
+
+    std::string name() const override { return "Baseline"; }
+};
+
+} // namespace qem
+
+#endif // QEM_MITIGATION_POLICY_HH

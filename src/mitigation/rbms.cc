@@ -1,0 +1,288 @@
+#include "mitigation/rbms.hh"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+namespace
+{
+
+constexpr double strengthFloor = 1e-9;
+
+/** X/H prep over selected physical qubits + measurement into
+ *  clbits 0..k-1. @p hadamard selects H (true) or basis prep. */
+Circuit
+prepCircuit(unsigned machine_qubits, const std::vector<Qubit>& qubits,
+            BasisState basis, bool hadamard)
+{
+    Circuit circuit(machine_qubits,
+                    static_cast<int>(qubits.size()));
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (hadamard)
+            circuit.h(qubits[i]);
+        else if (getBit(basis, static_cast<unsigned>(i)))
+            circuit.x(qubits[i]);
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        circuit.measure(qubits[i], static_cast<Clbit>(i));
+    return circuit;
+}
+
+void
+checkQubits(const Backend& backend, const std::vector<Qubit>& qubits)
+{
+    if (qubits.empty())
+        throw std::invalid_argument("RBMS characterization: no "
+                                    "qubits");
+    for (Qubit q : qubits) {
+        if (q >= backend.numQubits())
+            throw std::invalid_argument("RBMS characterization: "
+                                        "qubit outside the machine");
+    }
+}
+
+} // namespace
+
+std::vector<double>
+RbmsEstimate::relativeCurve() const
+{
+    if (numBits() > 20)
+        throw std::logic_error("RbmsEstimate::relativeCurve: register "
+                               "too wide to densify");
+    const std::size_t dim = std::size_t{1} << numBits();
+    std::vector<double> curve(dim);
+    double top = 0.0;
+    for (BasisState s = 0; s < dim; ++s) {
+        curve[s] = strength(s);
+        top = std::max(top, curve[s]);
+    }
+    if (top > 0.0) {
+        for (double& v : curve)
+            v /= top;
+    }
+    return curve;
+}
+
+ExhaustiveRbms::ExhaustiveRbms(std::vector<double> table)
+    : table_(std::move(table))
+{
+    if (table_.empty() || !std::has_single_bit(table_.size()))
+        throw std::invalid_argument("ExhaustiveRbms: table size must "
+                                    "be a power of two");
+    numBits_ =
+        static_cast<unsigned>(std::countr_zero(table_.size()));
+    for (double v : table_) {
+        if (v < 0.0)
+            throw std::invalid_argument("ExhaustiveRbms: negative "
+                                        "strength");
+    }
+}
+
+double
+ExhaustiveRbms::strength(BasisState state) const
+{
+    if (state >= table_.size())
+        throw std::out_of_range("ExhaustiveRbms::strength: state out "
+                                "of range");
+    return std::max(table_[state], strengthFloor);
+}
+
+BasisState
+ExhaustiveRbms::strongestState() const
+{
+    return static_cast<BasisState>(
+        std::max_element(table_.begin(), table_.end()) -
+        table_.begin());
+}
+
+WindowedRbms::WindowedRbms(unsigned num_bits,
+                           std::vector<Window> windows)
+    : numBits_(num_bits), windows_(std::move(windows))
+{
+    if (windows_.empty())
+        throw std::invalid_argument("WindowedRbms: no windows");
+    unsigned covered = 0;
+    for (std::size_t k = 0; k < windows_.size(); ++k) {
+        const Window& w = windows_[k];
+        if (w.table.empty() || !std::has_single_bit(w.table.size()))
+            throw std::invalid_argument("WindowedRbms: window table "
+                                        "size must be a power of "
+                                        "two");
+        if (w.offset > covered)
+            throw std::invalid_argument("WindowedRbms: coverage gap "
+                                        "between windows");
+        if (k > 0 && w.offset < windows_[k - 1].offset)
+            throw std::invalid_argument("WindowedRbms: windows not "
+                                        "sorted by offset");
+        newStart_.push_back(covered);
+        covered = std::max(covered, w.offset + windowBits(k));
+    }
+    if (covered < numBits_)
+        throw std::invalid_argument("WindowedRbms: windows do not "
+                                    "cover the register");
+}
+
+unsigned
+WindowedRbms::windowBits(std::size_t idx) const
+{
+    return static_cast<unsigned>(
+        std::countr_zero(windows_[idx].table.size()));
+}
+
+double
+WindowedRbms::strength(BasisState state) const
+{
+    double strength = 1.0;
+    for (std::size_t k = 0; k < windows_.size(); ++k) {
+        const Window& w = windows_[k];
+        const unsigned m = windowBits(k);
+        const BasisState local =
+            (state >> w.offset) & allOnes(m);
+        const double t = std::max(w.table[local], strengthFloor);
+        if (newStart_[k] <= w.offset) {
+            // Entire window is new coverage.
+            strength *= t;
+            continue;
+        }
+        // Conditional factor: divide out the already-covered
+        // overlap bits by clearing the window's new bits.
+        const unsigned overlap_bits = newStart_[k] - w.offset;
+        const BasisState overlap_only =
+            local & allOnes(overlap_bits);
+        const double denom =
+            std::max(w.table[overlap_only], strengthFloor);
+        strength *= t / denom;
+    }
+    return std::max(strength, strengthFloor);
+}
+
+BasisState
+WindowedRbms::strongestState() const
+{
+    BasisState best = 0;
+    for (std::size_t k = 0; k < windows_.size(); ++k) {
+        const Window& w = windows_[k];
+        const unsigned m = windowBits(k);
+        const unsigned overlap_bits =
+            newStart_[k] > w.offset ? newStart_[k] - w.offset : 0;
+        const BasisState fixed =
+            (best >> w.offset) & allOnes(overlap_bits);
+        // Among window states consistent with the bits already
+        // chosen, take the strongest.
+        BasisState best_local = fixed;
+        double best_strength = -1.0;
+        const BasisState free_count =
+            BasisState{1} << (m - overlap_bits);
+        for (BasisState free = 0; free < free_count; ++free) {
+            const BasisState local =
+                fixed | (free << overlap_bits);
+            if (w.table[local] > best_strength) {
+                best_strength = w.table[local];
+                best_local = local;
+            }
+        }
+        // Write the window's new bits into the global answer.
+        for (unsigned b = overlap_bits; b < m; ++b) {
+            best = setBit(best, w.offset + b,
+                          getBit(best_local, b));
+        }
+    }
+    return best & allOnes(numBits_);
+}
+
+ExhaustiveRbms
+characterizeDirect(Backend& backend,
+                   const std::vector<Qubit>& qubits,
+                   std::size_t shots_per_state)
+{
+    checkQubits(backend, qubits);
+    const unsigned k = static_cast<unsigned>(qubits.size());
+    if (k > 16)
+        throw std::invalid_argument("characterizeDirect: register "
+                                    "too wide for brute force");
+    std::vector<double> table(std::size_t{1} << k);
+    for (BasisState s = 0; s < table.size(); ++s) {
+        const Counts counts = backend.run(
+            prepCircuit(backend.numQubits(), qubits, s, false),
+            shots_per_state);
+        table[s] = counts.probability(s);
+    }
+    return ExhaustiveRbms(std::move(table));
+}
+
+ExhaustiveRbms
+characterizeSuperposition(Backend& backend,
+                          const std::vector<Qubit>& qubits,
+                          std::size_t shots)
+{
+    checkQubits(backend, qubits);
+    const unsigned k = static_cast<unsigned>(qubits.size());
+    if (k > 20)
+        throw std::invalid_argument("characterizeSuperposition: "
+                                    "register too wide");
+    const Counts counts = backend.run(
+        prepCircuit(backend.numQubits(), qubits, 0, true), shots);
+    std::vector<double> table(std::size_t{1} << k);
+    for (BasisState s = 0; s < table.size(); ++s)
+        table[s] = counts.probability(s);
+    return ExhaustiveRbms(std::move(table));
+}
+
+WindowedRbms
+characterizeWindowed(Backend& backend,
+                     const std::vector<Qubit>& qubits,
+                     unsigned window_size,
+                     std::size_t shots_per_window,
+                     unsigned overlap)
+{
+    checkQubits(backend, qubits);
+    const unsigned k = static_cast<unsigned>(qubits.size());
+    if (window_size == 0 || overlap >= window_size)
+        throw std::invalid_argument("characterizeWindowed: overlap "
+                                    "must be smaller than the "
+                                    "window");
+    const unsigned m = std::min(window_size, k);
+    const unsigned step = m > overlap ? m - overlap : 1;
+
+    std::vector<WindowedRbms::Window> windows;
+    unsigned offset = 0;
+    while (true) {
+        if (offset + m >= k)
+            offset = k - m; // Clamp the final window to the end.
+        std::vector<Qubit> window_qubits(
+            qubits.begin() + offset, qubits.begin() + offset + m);
+        ExhaustiveRbms local = characterizeSuperposition(
+            backend, window_qubits, shots_per_window);
+        WindowedRbms::Window w;
+        w.offset = offset;
+        w.table.resize(std::size_t{1} << m);
+        for (BasisState s = 0; s < w.table.size(); ++s)
+            w.table[s] = local.strength(s);
+        windows.push_back(std::move(w));
+        if (offset + m >= k)
+            break;
+        offset += step;
+    }
+    return WindowedRbms(k, std::move(windows));
+}
+
+std::shared_ptr<const RbmsEstimate>
+characterizeAuto(Backend& backend, const std::vector<Qubit>& qubits,
+                 const RbmsOptions& options)
+{
+    if (qubits.size() <= options.directMaxBits) {
+        return std::make_shared<ExhaustiveRbms>(characterizeDirect(
+            backend, qubits, options.shotsPerState));
+    }
+    return std::make_shared<WindowedRbms>(characterizeWindowed(
+        backend, qubits, options.windowSize,
+        options.shotsPerWindow));
+}
+
+} // namespace qem

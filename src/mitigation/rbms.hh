@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Relative Basis Measurement Strength (RBMS) estimation.
+ *
+ * The RBMS assigns each basis state a (relative) probability of
+ * being measured correctly. AIM consumes it twice: to rescale canary
+ * outcomes into likelihoods, and to find the machine's strongest
+ * state, the target every predicted output is steered onto.
+ *
+ * Three characterization techniques, matching Section 6.2.1 and
+ * Appendix A:
+ *  - Direct (brute force): prepare and measure every basis state;
+ *    exact but costs O(2^N) circuits. Used for the 5-qubit machines.
+ *  - ESCT (Equal-Superposition Characterization Technique): measure
+ *    H^N |0>; the observed distribution is proportional to the RBMS
+ *    up to leakage (the paper reports ~5% MSE). One circuit total.
+ *  - AWCT (Approximate Windowed Characterization Technique): ESCT on
+ *    sliding m-qubit windows with 2-qubit overlap; trials scale
+ *    O(2^m) instead of O(2^N). Used for the 14-qubit machine (m=4,
+ *    6 windows).
+ */
+
+#ifndef QEM_MITIGATION_RBMS_HH
+#define QEM_MITIGATION_RBMS_HH
+
+#include <memory>
+#include <vector>
+
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+
+/** Interface: per-state measurement strength on some scale. */
+class RbmsEstimate
+{
+  public:
+    virtual ~RbmsEstimate() = default;
+
+    /** Number of output bits covered. */
+    virtual unsigned numBits() const = 0;
+
+    /**
+     * Strength of @p state; only ratios between states are
+     * meaningful.
+     */
+    virtual double strength(BasisState state) const = 0;
+
+    /** The state with maximal strength (ties: lowest state). */
+    virtual BasisState strongestState() const = 0;
+
+    /**
+     * Dense strength table over all 2^numBits states, normalized so
+     * the maximum is 1 (requires numBits <= 20).
+     */
+    std::vector<double> relativeCurve() const;
+};
+
+/** RBMS backed by a dense 2^n table. */
+class ExhaustiveRbms : public RbmsEstimate
+{
+  public:
+    /** @param table Strength per state; size must be a power of 2. */
+    explicit ExhaustiveRbms(std::vector<double> table);
+
+    unsigned numBits() const override { return numBits_; }
+    double strength(BasisState state) const override;
+    BasisState strongestState() const override;
+
+  private:
+    unsigned numBits_;
+    std::vector<double> table_;
+};
+
+/**
+ * RBMS assembled from overlapping window tables (AWCT). The
+ * strength of a full state is the first window's strength times,
+ * for every later window, the conditional factor
+ * T_w(state) / T_w(state with the window's new bits cleared) —
+ * exact under independent readout noise, and the sliding-window
+ * approximation in the presence of crosstalk.
+ */
+class WindowedRbms : public RbmsEstimate
+{
+  public:
+    struct Window
+    {
+        /** First output bit the window covers. */
+        unsigned offset = 0;
+        /** Strength table over the window's 2^m local states. */
+        std::vector<double> table;
+    };
+
+    /**
+     * @param num_bits Total output bits covered.
+     * @param windows Windows ordered by offset; consecutive windows
+     *        must overlap or touch and jointly cover [0, num_bits).
+     */
+    WindowedRbms(unsigned num_bits, std::vector<Window> windows);
+
+    unsigned numBits() const override { return numBits_; }
+    double strength(BasisState state) const override;
+    BasisState strongestState() const override;
+
+    const std::vector<Window>& windows() const { return windows_; }
+
+  private:
+    unsigned windowBits(std::size_t idx) const;
+
+    unsigned numBits_;
+    std::vector<Window> windows_;
+    /** newBits_[k]: first bit of window k not covered before it. */
+    std::vector<unsigned> newStart_;
+};
+
+/**
+ * Direct characterization: prepare each of the 2^k basis states on
+ * the physical qubits @p qubits (clbit order) and measure; strength
+ * is the fraction of trials read back exactly.
+ */
+ExhaustiveRbms characterizeDirect(Backend& backend,
+                                  const std::vector<Qubit>& qubits,
+                                  std::size_t shots_per_state);
+
+/**
+ * ESCT: one uniform-superposition circuit over @p qubits; the
+ * observed outcome distribution is the (relative) strength table.
+ */
+ExhaustiveRbms characterizeSuperposition(
+    Backend& backend, const std::vector<Qubit>& qubits,
+    std::size_t shots);
+
+/**
+ * AWCT: ESCT applied to sliding windows of @p window_size bits.
+ *
+ * @param overlap Bits shared between consecutive windows; the
+ *        paper uses 2. Zero means disjoint windows (a fully
+ *        independent-noise assumption); must be < window_size.
+ */
+WindowedRbms characterizeWindowed(Backend& backend,
+                                  const std::vector<Qubit>& qubits,
+                                  unsigned window_size,
+                                  std::size_t shots_per_window,
+                                  unsigned overlap = 2);
+
+/** Knobs for characterizeAuto. */
+struct RbmsOptions
+{
+    /** Use direct characterization up to this many output bits. */
+    unsigned directMaxBits = 5;
+    std::size_t shotsPerState = 2048;
+    /** AWCT window size (paper: m=4, overlap 2). */
+    unsigned windowSize = 4;
+    std::size_t shotsPerWindow = 8192;
+};
+
+/**
+ * The paper's policy: brute force for small registers (IBM-Q5),
+ * sliding windows for large ones (IBM-Q14).
+ */
+std::shared_ptr<const RbmsEstimate> characterizeAuto(
+    Backend& backend, const std::vector<Qubit>& qubits,
+    const RbmsOptions& options = {});
+
+} // namespace qem
+
+#endif // QEM_MITIGATION_RBMS_HH

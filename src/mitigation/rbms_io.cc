@@ -1,0 +1,101 @@
+#include "mitigation/rbms_io.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+[[noreturn]] void
+parseFail(const std::string& what)
+{
+    throw std::invalid_argument("parseRbms: " + what);
+}
+
+std::vector<double>
+readValues(std::istream& in, std::size_t count)
+{
+    std::vector<double> values(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!(in >> values[i]))
+            parseFail("truncated strength table");
+        if (values[i] < 0.0)
+            parseFail("negative strength");
+    }
+    return values;
+}
+
+} // namespace
+
+std::string
+serializeRbms(const RbmsEstimate& rbms)
+{
+    std::ostringstream os;
+    os.precision(17);
+    if (const auto* windowed =
+            dynamic_cast<const WindowedRbms*>(&rbms)) {
+        os << "rbms windowed " << windowed->numBits() << " "
+           << windowed->windows().size() << "\n";
+        for (const WindowedRbms::Window& w :
+             windowed->windows()) {
+            os << "window " << w.offset << " " << w.table.size()
+               << "\n";
+            for (double v : w.table)
+                os << v << "\n";
+        }
+        return os.str();
+    }
+    // Any other estimate serializes through its dense curve.
+    os << "rbms exhaustive " << rbms.numBits() << "\n";
+    const std::size_t dim = std::size_t{1} << rbms.numBits();
+    for (BasisState s = 0; s < dim; ++s)
+        os << rbms.strength(s) << "\n";
+    return os.str();
+}
+
+std::shared_ptr<const RbmsEstimate>
+parseRbms(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string magic, kind;
+    if (!(in >> magic >> kind) || magic != "rbms")
+        parseFail("missing 'rbms' header");
+
+    if (kind == "exhaustive") {
+        unsigned bits = 0;
+        if (!(in >> bits) || bits == 0 || bits > 24)
+            parseFail("bad bit count");
+        return std::make_shared<ExhaustiveRbms>(
+            readValues(in, std::size_t{1} << bits));
+    }
+    if (kind == "windowed") {
+        unsigned bits = 0;
+        std::size_t window_count = 0;
+        if (!(in >> bits >> window_count) || bits == 0 ||
+            window_count == 0) {
+            parseFail("bad windowed header");
+        }
+        std::vector<WindowedRbms::Window> windows;
+        for (std::size_t w = 0; w < window_count; ++w) {
+            std::string tag;
+            unsigned offset = 0;
+            std::size_t table_size = 0;
+            if (!(in >> tag >> offset >> table_size) ||
+                tag != "window") {
+                parseFail("bad window header");
+            }
+            WindowedRbms::Window window;
+            window.offset = offset;
+            window.table = readValues(in, table_size);
+            windows.push_back(std::move(window));
+        }
+        return std::make_shared<WindowedRbms>(bits,
+                                              std::move(windows));
+    }
+    parseFail("unknown profile kind '" + kind + "'");
+}
+
+} // namespace qem

@@ -1,0 +1,81 @@
+#include "mitigation/sim_policy.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qem
+{
+
+StaticInvertAndMeasure::StaticInvertAndMeasure(
+    std::vector<InversionString> strings)
+    : strings_(std::move(strings))
+{
+}
+
+StaticInvertAndMeasure
+StaticInvertAndMeasure::twoMode(unsigned bits)
+{
+    return StaticInvertAndMeasure(twoModeStrings(bits));
+}
+
+StaticInvertAndMeasure
+StaticInvertAndMeasure::fourMode(unsigned bits)
+{
+    return StaticInvertAndMeasure(fourModeStrings(bits));
+}
+
+StaticInvertAndMeasure
+StaticInvertAndMeasure::multiMode(unsigned bits, unsigned k)
+{
+    return StaticInvertAndMeasure(multiModeStrings(bits, k));
+}
+
+std::vector<InversionString>
+StaticInvertAndMeasure::stringsFor(unsigned bits) const
+{
+    if (!strings_.empty())
+        return strings_;
+    return fourModeStrings(bits);
+}
+
+Counts
+StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
+                            std::size_t shots)
+{
+    const std::vector<Qubit> measured = circuit.measuredQubits();
+    if (measured.empty())
+        throw std::invalid_argument("SIM: circuit has no "
+                                    "measurements");
+    const std::vector<InversionString> strings =
+        stringsFor(static_cast<unsigned>(measured.size()));
+    if (shots < strings.size())
+        throw std::invalid_argument("SIM: fewer shots than "
+                                    "measurement modes");
+
+    Counts merged(circuit.numClbits());
+    const std::size_t per_mode = shots / strings.size();
+    std::size_t leftover = shots % strings.size();
+    for (InversionString inv : strings) {
+        std::size_t share = per_mode;
+        if (leftover > 0) {
+            ++share;
+            --leftover;
+        }
+        const Counts observed =
+            backend.run(applyInversion(circuit, inv), share);
+        merged.merge(correctInversion(observed, inv));
+    }
+    return merged;
+}
+
+std::string
+StaticInvertAndMeasure::name() const
+{
+    if (strings_.empty())
+        return "SIM";
+    std::ostringstream os;
+    os << "SIM-" << strings_.size();
+    return os.str();
+}
+
+} // namespace qem

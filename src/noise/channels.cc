@@ -1,0 +1,137 @@
+#include "noise/channels.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+void
+checkProbability(double p, const char* what)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument(std::string(what) +
+                                    ": probability out of [0, 1]");
+}
+
+} // namespace
+
+KrausChannel
+depolarizing(double p)
+{
+    checkProbability(p, "depolarizing");
+    const double k0 = std::sqrt(1.0 - p);
+    const double kp = std::sqrt(p / 3.0);
+    const Amplitude i{0.0, 1.0};
+    return {
+        {k0, 0, 0, k0},          // I
+        {0, kp, kp, 0},          // X
+        {0, -i * kp, i * kp, 0}, // Y
+        {kp, 0, 0, -kp},         // Z
+    };
+}
+
+KrausChannel
+bitFlip(double p)
+{
+    checkProbability(p, "bitFlip");
+    const double k0 = std::sqrt(1.0 - p);
+    const double k1 = std::sqrt(p);
+    return {
+        {k0, 0, 0, k0},
+        {0, k1, k1, 0},
+    };
+}
+
+KrausChannel
+phaseFlip(double p)
+{
+    checkProbability(p, "phaseFlip");
+    const double k0 = std::sqrt(1.0 - p);
+    const double k1 = std::sqrt(p);
+    return {
+        {k0, 0, 0, k0},
+        {k1, 0, 0, -k1},
+    };
+}
+
+KrausChannel
+amplitudeDamping(double gamma)
+{
+    checkProbability(gamma, "amplitudeDamping");
+    return {
+        {1, 0, 0, std::sqrt(1.0 - gamma)},
+        {0, std::sqrt(gamma), 0, 0},
+    };
+}
+
+KrausChannel
+phaseDamping(double lambda)
+{
+    checkProbability(lambda, "phaseDamping");
+    return {
+        {1, 0, 0, std::sqrt(1.0 - lambda)},
+        {0, 0, 0, std::sqrt(lambda)},
+    };
+}
+
+double
+decayProbability(double duration_ns, double t1_ns)
+{
+    if (duration_ns < 0.0)
+        throw std::invalid_argument("decayProbability: negative "
+                                    "duration");
+    if (t1_ns <= 0.0 || std::isinf(t1_ns))
+        return 0.0;
+    return 1.0 - std::exp(-duration_ns / t1_ns);
+}
+
+double
+dephasingProbability(double duration_ns, double t1_ns, double t2_ns)
+{
+    if (duration_ns < 0.0)
+        throw std::invalid_argument("dephasingProbability: negative "
+                                    "duration");
+    if (t2_ns <= 0.0 || std::isinf(t2_ns))
+        return 0.0;
+    // Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1).
+    double rate = 1.0 / t2_ns;
+    if (t1_ns > 0.0 && !std::isinf(t1_ns))
+        rate -= 1.0 / (2.0 * t1_ns);
+    if (rate <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-duration_ns * rate);
+}
+
+std::vector<KrausChannel>
+thermalRelaxation(double duration_ns, double t1_ns, double t2_ns)
+{
+    std::vector<KrausChannel> out;
+    const double gamma = decayProbability(duration_ns, t1_ns);
+    const double lambda = dephasingProbability(duration_ns, t1_ns,
+                                               t2_ns);
+    if (gamma > 0.0)
+        out.push_back(amplitudeDamping(gamma));
+    if (lambda > 0.0)
+        out.push_back(phaseDamping(lambda));
+    return out;
+}
+
+bool
+isTracePreserving(const KrausChannel& channel, double tol)
+{
+    // Accumulate sum_k K^dag K and compare against identity.
+    Matrix2 acc{0, 0, 0, 0};
+    for (const Matrix2& k : channel) {
+        const Matrix2 prod = matmul(dagger(k), k);
+        for (int i = 0; i < 4; ++i)
+            acc[i] += prod[i];
+    }
+    return std::abs(acc[0] - 1.0) < tol && std::abs(acc[1]) < tol &&
+           std::abs(acc[2]) < tol && std::abs(acc[3] - 1.0) < tol;
+}
+
+} // namespace qem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Single-qubit noise channels in Kraus form.
+ *
+ * Channels are consumed by StateVector::applyKraus1q, which picks a
+ * Kraus branch with the Born probability (quantum-trajectory /
+ * Monte-Carlo wavefunction method). All channel factories validate
+ * their probability arguments.
+ */
+
+#ifndef QEM_NOISE_CHANNELS_HH
+#define QEM_NOISE_CHANNELS_HH
+
+#include <vector>
+
+#include "qsim/gate.hh"
+
+namespace qem
+{
+
+/** A single-qubit channel: a list of Kraus operators. */
+using KrausChannel = std::vector<Matrix2>;
+
+/**
+ * Depolarizing channel: with probability @p p the qubit is replaced
+ * by the maximally mixed state, realized as a uniformly random Pauli.
+ * Kraus set {sqrt(1-p) I, sqrt(p/3) X, sqrt(p/3) Y, sqrt(p/3) Z}.
+ */
+KrausChannel depolarizing(double p);
+
+/** Bit-flip channel: X with probability @p p. */
+KrausChannel bitFlip(double p);
+
+/** Phase-flip channel: Z with probability @p p. */
+KrausChannel phaseFlip(double p);
+
+/**
+ * Amplitude damping: |1> decays to |0> with probability @p gamma.
+ * This is the T1 relaxation process responsible for the paper's
+ * 1 -> 0 measurement bias.
+ */
+KrausChannel amplitudeDamping(double gamma);
+
+/** Phase damping with dephasing probability @p lambda. */
+KrausChannel phaseDamping(double lambda);
+
+/**
+ * Thermal relaxation over a duration: amplitude damping with
+ * gamma = 1 - exp(-t/T1) composed with phase damping derived from
+ * the pure-dephasing time 1/T_phi = 1/T2 - 1/(2 T1).
+ *
+ * @param duration_ns Idle duration in nanoseconds.
+ * @param t1_ns T1 relaxation time in nanoseconds.
+ * @param t2_ns T2 coherence time in nanoseconds (t2 <= 2*t1).
+ * @return The two channels to apply in sequence: {damping, dephasing}.
+ */
+std::vector<KrausChannel> thermalRelaxation(double duration_ns,
+                                            double t1_ns, double t2_ns);
+
+/** Relaxation probability 1 - exp(-t/T1); 0 when T1 is infinite. */
+double decayProbability(double duration_ns, double t1_ns);
+
+/** Pure-dephasing probability over a duration given T1 and T2. */
+double dephasingProbability(double duration_ns, double t1_ns,
+                            double t2_ns);
+
+/** Verify sum_k K_k^dag K_k == I to @p tol; used by tests. */
+bool isTracePreserving(const KrausChannel& channel, double tol = 1e-9);
+
+} // namespace qem
+
+#endif // QEM_NOISE_CHANNELS_HH

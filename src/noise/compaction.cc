@@ -1,0 +1,50 @@
+#include "noise/compaction.hh"
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+CompactCircuit
+compactCircuit(const Circuit& circuit)
+{
+    CompactCircuit out;
+    std::vector<bool> used(circuit.numQubits(), false);
+    for (const Operation& op : circuit.ops()) {
+        for (Qubit q : op.qubits)
+            used[q] = true;
+    }
+    std::vector<Qubit> to_compact(circuit.numQubits(), 0);
+    for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+        if (used[q]) {
+            to_compact[q] = static_cast<Qubit>(out.active.size());
+            out.active.push_back(q);
+        }
+    }
+    out.compactQubits = static_cast<unsigned>(out.active.size());
+
+    out.ops.reserve(circuit.size());
+    for (const Operation& op : circuit.ops()) {
+        CompactOp cop;
+        cop.op = op;
+        cop.phys = op.qubits;
+        for (Qubit& q : cop.op.qubits)
+            q = to_compact[q];
+        out.ops.push_back(std::move(cop));
+    }
+    return out;
+}
+
+BasisState
+expandCompactState(BasisState compact_state,
+                   const std::vector<Qubit>& active)
+{
+    BasisState physical = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        if (getBit(compact_state, static_cast<unsigned>(i)))
+            physical = setBit(physical, active[i], true);
+    }
+    return physical;
+}
+
+} // namespace qem

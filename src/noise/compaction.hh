@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Active-qubit circuit compaction, shared by the noisy simulators.
+ *
+ * A program routed onto a 14-qubit machine usually touches only a
+ * handful of physical qubits; simulating the full register wastes
+ * exponential work. Compaction remaps the touched qubits onto a
+ * dense register (idle qubits stay |0> exactly), keeping the
+ * original physical ids alongside for noise-model lookups and for
+ * expanding sampled outcomes back to machine coordinates.
+ */
+
+#ifndef QEM_NOISE_COMPACTION_HH
+#define QEM_NOISE_COMPACTION_HH
+
+#include <vector>
+
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/** One operation compiled for execution on the compact register. */
+struct CompactOp
+{
+    Operation op;            ///< Compact-register operands.
+    std::vector<Qubit> phys; ///< Physical operands (noise lookup).
+};
+
+/** A circuit compiled to its active-qubit subregister. */
+struct CompactCircuit
+{
+    std::vector<CompactOp> ops;
+    /** active[i] = physical qubit held by compact qubit i. */
+    std::vector<Qubit> active;
+    unsigned compactQubits = 0;
+};
+
+/** Compact @p circuit onto its active qubits. */
+CompactCircuit compactCircuit(const Circuit& circuit);
+
+/** Scatter a compact basis state back onto physical positions. */
+BasisState expandCompactState(BasisState compact_state,
+                              const std::vector<Qubit>& active);
+
+} // namespace qem
+
+#endif // QEM_NOISE_COMPACTION_HH

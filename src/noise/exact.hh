@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exact noisy backend: density-matrix evolution plus analytic
+ * readout confusion.
+ *
+ * Computes the *exact* observed-outcome distribution of a circuit
+ * under a NoiseModel — no Monte-Carlo anywhere except the final
+ * multinomial draw that turns the distribution into a shot log.
+ * Cost grows as 4^(active qubits), so this backend is for small
+ * programs; its role in the project is to validate the trajectory
+ * simulator (see tests) and to provide noise-floor-free analytic
+ * curves.
+ */
+
+#ifndef QEM_NOISE_EXACT_HH
+#define QEM_NOISE_EXACT_HH
+
+#include "noise/noise_model.hh"
+#include "qsim/densitymatrix.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+
+class DensityMatrixSimulator : public Backend
+{
+  public:
+    explicit DensityMatrixSimulator(NoiseModel model,
+                                    std::uint64_t seed = 77);
+
+    /**
+     * Exact probability of each classical outcome (indexed by the
+     * circuit's classical register). Throws if the circuit's active
+     * register is too wide for exact treatment.
+     */
+    std::vector<double> observedDistribution(
+        const Circuit& circuit) const;
+
+    /** Multinomial shot log drawn from observedDistribution. */
+    Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    unsigned numQubits() const override { return model_.numQubits(); }
+
+    const NoiseModel& model() const { return model_; }
+
+  private:
+    NoiseModel model_;
+    Rng rng_;
+};
+
+} // namespace qem
+
+#endif // QEM_NOISE_EXACT_HH

@@ -1,0 +1,157 @@
+#include "noise/iq_readout.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+/** P(N(mean, sigma) > threshold). */
+double
+gaussianTailAbove(double mean, double sigma, double threshold)
+{
+    return 0.5 * std::erfc((threshold - mean) /
+                           (sigma * std::sqrt(2.0)));
+}
+
+/** Cloud separation |mu1 - mu0|. */
+double
+separation(const IqQubitParams& p)
+{
+    const double di = p.i1 - p.i0;
+    const double dq = p.q1 - p.q0;
+    return std::sqrt(di * di + dq * dq);
+}
+
+} // namespace
+
+IqReadoutModel::IqReadoutModel(std::vector<IqQubitParams> params)
+    : params_(std::move(params))
+{
+    if (params_.empty())
+        throw std::invalid_argument("IqReadoutModel: empty model");
+    p01_.resize(params_.size());
+    p10_.resize(params_.size());
+    for (Qubit q = 0; q < params_.size(); ++q) {
+        const IqQubitParams& p = params_[q];
+        if (p.sigma <= 0.0)
+            throw std::invalid_argument("IqReadoutModel: sigma "
+                                        "must be positive");
+        if (separation(p) <= 0.0)
+            throw std::invalid_argument("IqReadoutModel: cloud "
+                                        "means coincide");
+        if (p.integrationNs <= 0.0)
+            throw std::invalid_argument("IqReadoutModel: bad "
+                                        "integration window");
+        derive(q);
+    }
+}
+
+void
+IqReadoutModel::derive(Qubit q)
+{
+    const IqQubitParams& p = params_[q];
+    const double d = separation(p);
+    // Work in 1D along the 0->1 axis: the orthogonal quadrature
+    // carries no state information and integrates out. The |0>
+    // cloud sits at 0, the |1> cloud at d, the boundary at
+    // d/2 + offset.
+    const double boundary = d / 2.0 + p.discriminatorOffset;
+
+    // P(read 1 | true 0): the ground state does not decay.
+    p01_[q] = gaussianTailAbove(0.0, p.sigma, boundary);
+
+    // P(read 0 | true 1): mixture over the decay time tau. A decay
+    // at tau leaves the integrated mean at d * tau / T.
+    const double t_ratio =
+        std::isinf(p.t1Ns) ? 0.0 : p.integrationNs / p.t1Ns;
+    const double survive = std::exp(-t_ratio);
+    double p_read0 =
+        survive * (1.0 - gaussianTailAbove(d, p.sigma, boundary));
+    const int steps = 256;
+    for (int k = 0; k < steps; ++k) {
+        const double frac = (k + 0.5) / steps; // tau / T midpoint.
+        // Density of decay inside [frac, frac+1/steps) of T.
+        const double weight =
+            std::exp(-frac * t_ratio) * t_ratio / steps;
+        const double mean = d * frac;
+        p_read0 += weight *
+                   (1.0 - gaussianTailAbove(mean, p.sigma,
+                                            boundary));
+    }
+    p10_[q] = p_read0;
+}
+
+unsigned
+IqReadoutModel::numQubits() const
+{
+    return static_cast<unsigned>(params_.size());
+}
+
+double
+IqReadoutModel::flipProbability(Qubit q, bool value,
+                                BasisState context) const
+{
+    (void)context;
+    if (q >= params_.size())
+        throw std::out_of_range("IqReadoutModel: qubit out of "
+                                "range");
+    return value ? p10_[q] : p01_[q];
+}
+
+double
+IqReadoutModel::derivedP01(Qubit q) const
+{
+    return flipProbability(q, false, 0);
+}
+
+double
+IqReadoutModel::derivedP10(Qubit q) const
+{
+    return flipProbability(q, true, 0);
+}
+
+std::pair<double, double>
+IqReadoutModel::sampleIqPoint(Qubit q, bool excited,
+                              Rng& rng) const
+{
+    const IqQubitParams& p = params(q);
+    double frac = excited ? 1.0 : 0.0; // Fraction of T spent in |1>.
+    if (excited && !std::isinf(p.t1Ns)) {
+        // Exponential decay time, possibly beyond the window.
+        const double u = rng.uniform();
+        const double tau = -p.t1Ns * std::log(1.0 - u);
+        if (tau < p.integrationNs)
+            frac = tau / p.integrationNs;
+    }
+    const double mi = p.i0 + frac * (p.i1 - p.i0);
+    const double mq = p.q0 + frac * (p.q1 - p.q0);
+    return {rng.normal(mi, p.sigma), rng.normal(mq, p.sigma)};
+}
+
+bool
+IqReadoutModel::classify(Qubit q, double i, double iq) const
+{
+    const IqQubitParams& p = params(q);
+    const double d = separation(p);
+    // Projection of the point onto the 0->1 axis, measured from
+    // the |0> mean.
+    const double proj = ((i - p.i0) * (p.i1 - p.i0) +
+                         (iq - p.q0) * (p.q1 - p.q0)) /
+                        d;
+    return proj > d / 2.0 + p.discriminatorOffset;
+}
+
+const IqQubitParams&
+IqReadoutModel::params(Qubit q) const
+{
+    if (q >= params_.size())
+        throw std::out_of_range("IqReadoutModel: qubit out of "
+                                "range");
+    return params_[q];
+}
+
+} // namespace qem

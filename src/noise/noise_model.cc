@@ -1,0 +1,132 @@
+#include "noise/noise_model.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qem
+{
+
+NoiseModel::NoiseModel(unsigned num_qubits)
+    : numQubits_(num_qubits),
+      t1Ns_(num_qubits, std::numeric_limits<double>::infinity()),
+      t2Ns_(num_qubits, std::numeric_limits<double>::infinity()),
+      gate1q_(num_qubits)
+{
+    if (num_qubits == 0)
+        throw std::invalid_argument("NoiseModel: zero qubits");
+}
+
+void
+NoiseModel::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("NoiseModel: qubit out of range");
+}
+
+std::pair<Qubit, Qubit>
+NoiseModel::orderedPair(Qubit a, Qubit b)
+{
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+void
+NoiseModel::setT1(Qubit q, double t1_ns)
+{
+    checkQubit(q);
+    if (t1_ns <= 0.0)
+        throw std::invalid_argument("NoiseModel::setT1: nonpositive T1");
+    t1Ns_[q] = t1_ns;
+}
+
+void
+NoiseModel::setT2(Qubit q, double t2_ns)
+{
+    checkQubit(q);
+    if (t2_ns <= 0.0)
+        throw std::invalid_argument("NoiseModel::setT2: nonpositive T2");
+    t2Ns_[q] = t2_ns;
+}
+
+double
+NoiseModel::t1(Qubit q) const
+{
+    checkQubit(q);
+    return t1Ns_[q];
+}
+
+double
+NoiseModel::t2(Qubit q) const
+{
+    checkQubit(q);
+    return t2Ns_[q];
+}
+
+void
+NoiseModel::setGate1q(Qubit q, GateNoise noise)
+{
+    checkQubit(q);
+    gate1q_[q] = noise;
+}
+
+void
+NoiseModel::setGate2q(Qubit a, Qubit b, GateNoise noise)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        throw std::invalid_argument("NoiseModel::setGate2q: identical "
+                                    "qubits");
+    gate2q_[orderedPair(a, b)] = noise;
+}
+
+GateNoise
+NoiseModel::gate1q(Qubit q) const
+{
+    checkQubit(q);
+    return gate1q_[q];
+}
+
+GateNoise
+NoiseModel::gate2q(Qubit a, Qubit b) const
+{
+    auto it = gate2q_.find(orderedPair(a, b));
+    if (it == gate2q_.end())
+        throw std::out_of_range("NoiseModel::gate2q: pair not "
+                                "configured");
+    return it->second;
+}
+
+bool
+NoiseModel::hasGate2q(Qubit a, Qubit b) const
+{
+    return gate2q_.count(orderedPair(a, b)) > 0;
+}
+
+void
+NoiseModel::setReadout(std::shared_ptr<const ReadoutModel> model)
+{
+    if (model && model->numQubits() != numQubits_)
+        throw std::invalid_argument("NoiseModel::setReadout: qubit "
+                                    "count mismatch");
+    readout_ = std::move(model);
+}
+
+bool
+NoiseModel::hasGateNoise() const
+{
+    for (const GateNoise& g : gate1q_) {
+        if (g.errorProb > 0.0 || g.durationNs > 0.0)
+            return true;
+    }
+    for (const auto& [pair, g] : gate2q_) {
+        if (g.errorProb > 0.0 || g.durationNs > 0.0)
+            return true;
+    }
+    for (Qubit q = 0; q < numQubits_; ++q) {
+        if (std::isfinite(t1Ns_[q]) || std::isfinite(t2Ns_[q]))
+            return true;
+    }
+    return false;
+}
+
+} // namespace qem

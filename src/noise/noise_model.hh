@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Container tying together every error process of one machine.
+ *
+ * A NoiseModel holds, per physical qubit: T1/T2 times and
+ * single-qubit gate noise; per coupled pair: two-qubit gate noise;
+ * and one ReadoutModel for the measurement confusion process. The
+ * TrajectorySimulator consumes a NoiseModel; the machine factories
+ * in src/machine produce them from calibration data.
+ */
+
+#ifndef QEM_NOISE_NOISE_MODEL_HH
+#define QEM_NOISE_NOISE_MODEL_HH
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "noise/readout.hh"
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+/** Error probability and duration of one gate type on one site. */
+struct GateNoise
+{
+    /** Depolarizing error probability per invocation. */
+    double errorProb = 0.0;
+    /** Gate duration in nanoseconds (drives decoherence). */
+    double durationNs = 0.0;
+    /**
+     * Systematic (coherent) over-rotations: a deterministic
+     * RZ(coherentZ) and RX(coherentX) follow every invocation on
+     * each operand. Unlike the stochastic Pauli errors these do
+     * not average out over trials — they are the miscalibration
+     * class that breaks symmetries of the ideal algorithm (see
+     * docs/noise_model.md and the QAOA discussion in
+     * EXPERIMENTS.md).
+     */
+    double coherentZ = 0.0;
+    double coherentX = 0.0;
+    /**
+     * Residual ZZ coupling angle applied after a two-qubit gate
+     * (exp(-i theta/2 Z(x)Z)); ignored for single-qubit gates.
+     */
+    double coherentZZ = 0.0;
+};
+
+class NoiseModel
+{
+  public:
+    /** Noise-free model over @p num_qubits qubits. */
+    explicit NoiseModel(unsigned num_qubits);
+
+    unsigned numQubits() const { return numQubits_; }
+
+    /** @name Coherence times. */
+    /// @{
+    void setT1(Qubit q, double t1_ns);
+    void setT2(Qubit q, double t2_ns);
+    double t1(Qubit q) const;
+    double t2(Qubit q) const;
+    /// @}
+
+    /** @name Gate noise. */
+    /// @{
+    void setGate1q(Qubit q, GateNoise noise);
+    void setGate2q(Qubit a, Qubit b, GateNoise noise);
+    GateNoise gate1q(Qubit q) const;
+    /** Noise of the (unordered) pair; throws if never configured. */
+    GateNoise gate2q(Qubit a, Qubit b) const;
+    bool hasGate2q(Qubit a, Qubit b) const;
+    /// @}
+
+    /** @name Readout. */
+    /// @{
+    void setReadout(std::shared_ptr<const ReadoutModel> model);
+    const ReadoutModel* readout() const { return readout_.get(); }
+    void setMeasureDuration(double ns) { measDurationNs_ = ns; }
+    double measureDurationNs() const { return measDurationNs_; }
+    /// @}
+
+    /** True if any gate/decoherence process is active. */
+    bool hasGateNoise() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+    static std::pair<Qubit, Qubit> orderedPair(Qubit a, Qubit b);
+
+    unsigned numQubits_;
+    std::vector<double> t1Ns_;
+    std::vector<double> t2Ns_;
+    std::vector<GateNoise> gate1q_;
+    std::map<std::pair<Qubit, Qubit>, GateNoise> gate2q_;
+    double measDurationNs_ = 0.0;
+    std::shared_ptr<const ReadoutModel> readout_;
+};
+
+} // namespace qem
+
+#endif // QEM_NOISE_NOISE_MODEL_HH

@@ -1,0 +1,147 @@
+#include "noise/readout.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+#include "noise/channels.hh"
+
+namespace qem
+{
+
+BasisState
+ReadoutModel::sampleReadout(BasisState true_state,
+                            const std::vector<Qubit>& measured,
+                            Rng& rng) const
+{
+    BasisState observed = 0;
+    for (Qubit q : measured) {
+        const bool truth = getBit(true_state, q);
+        const double pflip = flipProbability(q, truth, true_state);
+        const bool read = rng.bernoulli(pflip) ? !truth : truth;
+        observed = setBit(observed, q, read);
+    }
+    return observed;
+}
+
+double
+ReadoutModel::confusionProbability(
+    BasisState truth, BasisState observed,
+    const std::vector<Qubit>& measured) const
+{
+    double p = 1.0;
+    for (Qubit q : measured) {
+        const bool tv = getBit(truth, q);
+        const bool ov = getBit(observed, q);
+        const double pflip = flipProbability(q, tv, truth);
+        p *= (tv == ov) ? (1.0 - pflip) : pflip;
+    }
+    return p;
+}
+
+double
+ReadoutModel::successProbability(BasisState state, unsigned n) const
+{
+    double p = 1.0;
+    for (Qubit q = 0; q < n; ++q)
+        p *= 1.0 - flipProbability(q, getBit(state, q), state);
+    return p;
+}
+
+AsymmetricReadout::AsymmetricReadout(std::vector<double> p01,
+                                     std::vector<double> p10)
+    : p01_(std::move(p01)), p10_(std::move(p10))
+{
+    if (p01_.size() != p10_.size())
+        throw std::invalid_argument("AsymmetricReadout: rate vector "
+                                    "size mismatch");
+    if (p01_.empty())
+        throw std::invalid_argument("AsymmetricReadout: empty model");
+    for (std::size_t i = 0; i < p01_.size(); ++i) {
+        if (p01_[i] < 0.0 || p01_[i] > 1.0 || p10_[i] < 0.0 ||
+            p10_[i] > 1.0) {
+            throw std::invalid_argument("AsymmetricReadout: rate out "
+                                        "of [0, 1]");
+        }
+    }
+}
+
+unsigned
+AsymmetricReadout::numQubits() const
+{
+    return static_cast<unsigned>(p01_.size());
+}
+
+double
+AsymmetricReadout::flipProbability(Qubit q, bool value,
+                                   BasisState context) const
+{
+    (void)context; // Independent model: context is irrelevant.
+    if (q >= p01_.size())
+        throw std::out_of_range("AsymmetricReadout: qubit out of "
+                                "range");
+    return value ? p10_[q] : p01_[q];
+}
+
+CorrelatedReadout::CorrelatedReadout(
+    AsymmetricReadout base, std::vector<std::vector<double>> j01,
+    std::vector<std::vector<double>> j10)
+    : base_(std::move(base)), j01_(std::move(j01)),
+      j10_(std::move(j10))
+{
+    const std::size_t n = base_.numQubits();
+    auto check = [n](const std::vector<std::vector<double>>& j,
+                     const char* what) {
+        if (j.size() != n)
+            throw std::invalid_argument(std::string(what) +
+                                        ": crosstalk matrix has wrong "
+                                        "row count");
+        for (const auto& row : j) {
+            if (row.size() != n)
+                throw std::invalid_argument(std::string(what) +
+                                            ": crosstalk matrix has "
+                                            "wrong column count");
+        }
+    };
+    check(j01_, "CorrelatedReadout(j01)");
+    check(j10_, "CorrelatedReadout(j10)");
+}
+
+unsigned
+CorrelatedReadout::numQubits() const
+{
+    return base_.numQubits();
+}
+
+double
+CorrelatedReadout::flipProbability(Qubit q, bool value,
+                                   BasisState context) const
+{
+    double p = base_.flipProbability(q, value, context);
+    const auto& j = value ? j10_ : j01_;
+    for (Qubit other = 0; other < numQubits(); ++other) {
+        if (other != q && getBit(context, other))
+            p += j[q][other];
+    }
+    return std::clamp(p, 0.0, 0.5);
+}
+
+AsymmetricReadout
+makeRelaxingReadout(const std::vector<double>& p01,
+                    const std::vector<double>& p10,
+                    const std::vector<double>& t1_ns,
+                    double meas_duration_ns)
+{
+    if (p01.size() != p10.size() || p01.size() != t1_ns.size())
+        throw std::invalid_argument("makeRelaxingReadout: vector size "
+                                    "mismatch");
+    std::vector<double> eff10(p10.size());
+    for (std::size_t i = 0; i < p10.size(); ++i) {
+        const double pd = decayProbability(meas_duration_ns, t1_ns[i]);
+        eff10[i] = pd * (1.0 - p01[i]) + (1.0 - pd) * p10[i];
+    }
+    return AsymmetricReadout(p01, std::move(eff10));
+}
+
+} // namespace qem

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Readout (measurement) error models.
+ *
+ * This is the noise process the paper is about. Readout of qubit i
+ * is modelled as a classical confusion process on the sampled
+ * pre-measurement basis state: the true bit is flipped 0->1 with
+ * probability p01 and 1->0 with probability p10. The state-dependent
+ * bias arises from two physical mechanisms both captured here:
+ *
+ *  1. Relaxation during the readout pulse: a |1> decays to |0> with
+ *     probability 1 - exp(-t_meas/T1), making p10 >> p01 and the
+ *     measurement strength anti-correlated with Hamming weight
+ *     (ibmqx2 / ibmq-melbourne behaviour, Figs 4 and 5).
+ *
+ *  2. Crosstalk between simultaneously-read resonators: flip rates
+ *     that depend on the values of *other* qubits. This breaks the
+ *     monotone Hamming-weight correlation and yields the repeatable
+ *     "arbitrary bias" the paper reports for ibmqx4 (Fig 11) — the
+ *     case that motivates AIM over SIM.
+ */
+
+#ifndef QEM_NOISE_READOUT_HH
+#define QEM_NOISE_READOUT_HH
+
+#include <memory>
+#include <vector>
+
+#include "qsim/rng.hh"
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+/**
+ * Interface: classical confusion applied to a sampled basis state.
+ */
+class ReadoutModel
+{
+  public:
+    virtual ~ReadoutModel() = default;
+
+    /** Number of qubits the model covers. */
+    virtual unsigned numQubits() const = 0;
+
+    /**
+     * Probability that the readout of qubit @p q flips, given the
+     * qubit's true value and the full true state (the latter only
+     * matters for correlated models).
+     *
+     * @param q Qubit being read.
+     * @param value True value of the qubit.
+     * @param context Full true pre-measurement basis state.
+     */
+    virtual double flipProbability(Qubit q, bool value,
+                                   BasisState context) const = 0;
+
+    /**
+     * Sample a noisy readout of @p true_state over the qubits listed
+     * in @p measured (other bits of the result are zero).
+     */
+    BasisState sampleReadout(BasisState true_state,
+                             const std::vector<Qubit>& measured,
+                             Rng& rng) const;
+
+    /**
+     * Exact probability of observing @p observed when the true state
+     * is @p truth, reading the qubits in @p measured (independent
+     * per-qubit flips conditioned on the true state). Used by tests
+     * and by analytic characterization.
+     */
+    double confusionProbability(BasisState truth, BasisState observed,
+                                const std::vector<Qubit>& measured)
+        const;
+
+    /**
+     * Probability of reading @p state perfectly when all @p n qubits
+     * of @p state's register are measured — the model's Basis
+     * Measurement Strength (BMS) for that state.
+     */
+    double successProbability(BasisState state, unsigned n) const;
+};
+
+/**
+ * Independent per-qubit asymmetric readout: each qubit i has its own
+ * (p01, p10) pair, independent of all other qubits.
+ */
+class AsymmetricReadout : public ReadoutModel
+{
+  public:
+    /**
+     * @param p01 Per-qubit probability of reading 1 when the truth
+     *            is 0.
+     * @param p10 Per-qubit probability of reading 0 when the truth
+     *            is 1 (typically much larger; see file comment).
+     */
+    AsymmetricReadout(std::vector<double> p01, std::vector<double> p10);
+
+    unsigned numQubits() const override;
+    double flipProbability(Qubit q, bool value,
+                           BasisState context) const override;
+
+    const std::vector<double>& p01() const { return p01_; }
+    const std::vector<double>& p10() const { return p10_; }
+
+  private:
+    std::vector<double> p01_;
+    std::vector<double> p10_;
+};
+
+/**
+ * Per-qubit asymmetric rates plus pairwise crosstalk: the flip rate
+ * of qubit i is shifted by sum_j J[i][j] over qubits j whose true
+ * value is 1. Positive entries of @p j10 make reading a 1 on qubit i
+ * harder when qubit j also holds a 1 (and similarly j01 for reading
+ * a 0). Effective rates are clamped to [0, 0.5].
+ */
+class CorrelatedReadout : public ReadoutModel
+{
+  public:
+    /**
+     * @param base Independent per-qubit baseline rates.
+     * @param j01 n x n crosstalk matrix added to p01 (row = victim).
+     * @param j10 n x n crosstalk matrix added to p10 (row = victim).
+     */
+    CorrelatedReadout(AsymmetricReadout base,
+                      std::vector<std::vector<double>> j01,
+                      std::vector<std::vector<double>> j10);
+
+    unsigned numQubits() const override;
+    double flipProbability(Qubit q, bool value,
+                           BasisState context) const override;
+
+  private:
+    AsymmetricReadout base_;
+    std::vector<std::vector<double>> j01_;
+    std::vector<std::vector<double>> j10_;
+};
+
+/**
+ * Compose relaxation-during-readout with SPAM flips into effective
+ * per-qubit asymmetric rates:
+ *
+ *   P(read 0 | true 1) = p_decay (1 - p01) + (1 - p_decay) p10
+ *   P(read 1 | true 0) = p01
+ *
+ * where p_decay = 1 - exp(-t_meas / T1_i).
+ *
+ * @param p01 Raw SPAM 0->1 flip rates.
+ * @param p10 Raw SPAM 1->0 flip rates.
+ * @param t1_ns Per-qubit T1 times, nanoseconds.
+ * @param meas_duration_ns Readout pulse duration, nanoseconds.
+ */
+AsymmetricReadout makeRelaxingReadout(const std::vector<double>& p01,
+                                      const std::vector<double>& p10,
+                                      const std::vector<double>& t1_ns,
+                                      double meas_duration_ns);
+
+} // namespace qem
+
+#endif // QEM_NOISE_READOUT_HH

@@ -1,0 +1,206 @@
+#include "noise/trajectory.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/channels.hh"
+#include "noise/compaction.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+TrajectorySimulator::TrajectorySimulator(NoiseModel model,
+                                         std::uint64_t seed,
+                                         TrajectoryOptions options)
+    : model_(std::move(model)), rng_(seed), options_(options)
+{
+    if (options_.shotsPerTrajectory == 0)
+        throw std::invalid_argument("TrajectorySimulator: batch size "
+                                    "must be nonzero");
+}
+
+void
+TrajectorySimulator::applyGateError(StateVector& state, Qubit q,
+                                    double prob, Rng& rng) const
+{
+    if (!options_.enableGateErrors || prob <= 0.0)
+        return;
+    if (!rng.bernoulli(prob))
+        return;
+    // Uniformly random Pauli error (depolarizing, trajectory form).
+    switch (rng.index(3)) {
+      case 0:
+        state.applyX(q);
+        break;
+      case 1:
+        state.applyMatrix1q(gateMatrix1q(GateKind::Y, {}), q);
+        break;
+      default:
+        state.applyZ(q);
+        break;
+    }
+}
+
+void
+TrajectorySimulator::applyTwoQubitGateError(
+    StateVector& state, const std::vector<Qubit>& qubits,
+    double prob, Rng& rng) const
+{
+    if (!options_.enableGateErrors || prob <= 0.0)
+        return;
+    if (!rng.bernoulli(prob))
+        return;
+    // Two-qubit depolarizing: one of the 15 non-identity Pauli
+    // pairs, uniformly. (Charged once per gate, not per operand.)
+    unsigned pauli_a = 0, pauli_b = 0;
+    do {
+        pauli_a = static_cast<unsigned>(rng.index(4));
+        pauli_b = static_cast<unsigned>(rng.index(4));
+    } while (pauli_a == 0 && pauli_b == 0);
+    auto apply = [&](Qubit q, unsigned pauli) {
+        switch (pauli) {
+          case 1:
+            state.applyX(q);
+            break;
+          case 2:
+            state.applyMatrix1q(gateMatrix1q(GateKind::Y, {}), q);
+            break;
+          case 3:
+            state.applyZ(q);
+            break;
+          default:
+            break;
+        }
+    };
+    apply(qubits[0], pauli_a);
+    apply(qubits[1], pauli_b);
+}
+
+void
+TrajectorySimulator::applyCoherentError(
+    StateVector& state, const std::vector<Qubit>& qubits,
+    const GateNoise& noise) const
+{
+    if (!options_.enableCoherentErrors)
+        return;
+    for (Qubit q : qubits) {
+        if (noise.coherentZ != 0.0) {
+            state.applyMatrix1q(
+                gateMatrix1q(GateKind::RZ, {noise.coherentZ}), q);
+        }
+        if (noise.coherentX != 0.0) {
+            state.applyMatrix1q(
+                gateMatrix1q(GateKind::RX, {noise.coherentX}), q);
+        }
+    }
+    if (qubits.size() == 2 && noise.coherentZZ != 0.0) {
+        // exp(-i theta/2 Z(x)Z): diagonal phases by the parity of
+        // the operand pair.
+        const double t = noise.coherentZZ / 2.0;
+        const Amplitude even{std::cos(t), -std::sin(t)};
+        const Amplitude odd{std::cos(t), std::sin(t)};
+        const Matrix4 zz = {even, 0, 0, 0,
+                            0, odd, 0, 0,
+                            0, 0, odd, 0,
+                            0, 0, 0, even};
+        state.applyMatrix2q(zz, qubits[0], qubits[1]);
+    }
+}
+
+void
+TrajectorySimulator::applyDecay(StateVector& state, Qubit compact,
+                                Qubit phys, double duration_ns,
+                                Rng& rng) const
+{
+    if (!options_.enableDecay || duration_ns <= 0.0)
+        return;
+    const double gamma =
+        decayProbability(duration_ns, model_.t1(phys));
+    const double lambda = dephasingProbability(
+        duration_ns, model_.t1(phys), model_.t2(phys));
+    state.applyAmplitudeDamping(compact, gamma, rng);
+    state.applyPhaseDamping(compact, lambda, rng);
+}
+
+Counts
+TrajectorySimulator::run(const Circuit& circuit, std::size_t shots)
+{
+    if (circuit.numQubits() > model_.numQubits())
+        throw std::invalid_argument("TrajectorySimulator: circuit wider "
+                                    "than the machine");
+    if (!circuit.hasMeasurements())
+        throw std::invalid_argument("TrajectorySimulator: circuit has "
+                                    "no measurements");
+
+    const CompactCircuit compiled = compactCircuit(circuit);
+    const std::vector<Qubit> measured = circuit.measuredQubits();
+    const ReadoutModel* readout =
+        options_.enableReadoutErrors ? model_.readout() : nullptr;
+
+    // With no stochastic gate processes every trajectory is
+    // identical: evolve once and draw all shots from it.
+    const bool deterministic = !model_.hasGateNoise();
+    const std::size_t batch =
+        deterministic ? shots : options_.shotsPerTrajectory;
+
+    Counts counts(circuit.numClbits());
+    std::size_t remaining = shots;
+    while (remaining > 0) {
+        const std::size_t take = std::min(batch, remaining);
+        remaining -= take;
+
+        StateVector state(compiled.compactQubits);
+        for (const CompactOp& cop : compiled.ops) {
+            const Operation& op = cop.op;
+            switch (op.kind) {
+              case GateKind::MEASURE:
+              case GateKind::BARRIER:
+                continue;
+              case GateKind::DELAY:
+                applyDecay(state, op.qubits[0], cop.phys[0],
+                           op.params[0], rng_);
+                continue;
+              case GateKind::RESET:
+                throw std::logic_error("TrajectorySimulator: RESET "
+                                       "is not supported");
+              default:
+                break;
+            }
+            state.applyOperation(op);
+            GateNoise noise;
+            if (cop.phys.size() == 1) {
+                noise = model_.gate1q(cop.phys[0]);
+                applyGateError(state, op.qubits[0],
+                               noise.errorProb, rng_);
+            } else {
+                if (cop.phys.size() == 2 &&
+                    model_.hasGate2q(cop.phys[0], cop.phys[1])) {
+                    noise = model_.gate2q(cop.phys[0],
+                                          cop.phys[1]);
+                }
+                applyTwoQubitGateError(state, op.qubits,
+                                       noise.errorProb, rng_);
+            }
+            applyCoherentError(state, op.qubits, noise);
+            for (std::size_t i = 0; i < cop.phys.size(); ++i) {
+                applyDecay(state, op.qubits[i], cop.phys[i],
+                           noise.durationNs, rng_);
+            }
+        }
+
+        for (BasisState compact : state.sample(rng_, take)) {
+            const BasisState truth =
+                expandCompactState(compact, compiled.active);
+            BasisState observed = truth;
+            if (readout)
+                observed = readout->sampleReadout(truth, measured,
+                                                  rng_);
+            counts.add(circuit.classicalOutcome(observed));
+        }
+    }
+    return counts;
+}
+
+} // namespace qem

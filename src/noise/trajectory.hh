@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Monte-Carlo quantum-trajectory simulator.
+ *
+ * Executes a circuit under a NoiseModel: every unitary is followed by
+ * stochastic depolarizing errors and thermal-relaxation channels on
+ * its operand qubits, DELAY operations (inserted by the scheduler for
+ * idle windows) apply thermal relaxation, and measurement draws a
+ * basis state from the final trajectory state and then pushes it
+ * through the readout confusion model.
+ *
+ * Shots are batched over trajectories: each stochastic trajectory of
+ * the circuit is sampled shotsPerTrajectory times. For noise-free
+ * circuits a single trajectory is exact; with gate noise this is the
+ * standard batched-trajectory estimator (unbiased in the limit, and
+ * with the default batch of 16 the residual correlation is far below
+ * the shot noise of the experiments reproduced here).
+ */
+
+#ifndef QEM_NOISE_TRAJECTORY_HH
+#define QEM_NOISE_TRAJECTORY_HH
+
+#include "noise/noise_model.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+
+/** Tuning knobs for the trajectory simulator. */
+struct TrajectoryOptions
+{
+    /** Shots drawn from each sampled trajectory. */
+    std::size_t shotsPerTrajectory = 16;
+    /** Disable decoherence (gate depolarizing errors still apply). */
+    bool enableDecay = true;
+    /** Disable depolarizing gate errors (decay still applies). */
+    bool enableGateErrors = true;
+    /** Disable the readout confusion model (perfect measurement). */
+    bool enableReadoutErrors = true;
+    /** Disable systematic over-rotations (GateNoise::coherent*). */
+    bool enableCoherentErrors = true;
+};
+
+class TrajectorySimulator : public Backend
+{
+  public:
+    /**
+     * @param model The machine's noise model (copied).
+     * @param seed RNG seed; every run() consumes from one stream, so
+     *             repeated runs differ but a reconstructed simulator
+     *             reproduces the same sequence.
+     * @param options Batch size and process toggles.
+     */
+    TrajectorySimulator(NoiseModel model, std::uint64_t seed = 99,
+                        TrajectoryOptions options = {});
+
+    Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    unsigned numQubits() const override { return model_.numQubits(); }
+
+    const NoiseModel& model() const { return model_; }
+
+  private:
+    /** Depolarizing error after a single-qubit gate. */
+    void applyGateError(StateVector& state, Qubit q, double prob,
+                        Rng& rng) const;
+
+    /**
+     * Two-qubit depolarizing error after a two-qubit gate: with
+     * probability @p prob one uniformly-random non-identity Pauli
+     * pair hits the operands.
+     */
+    void applyTwoQubitGateError(StateVector& state,
+                                const std::vector<Qubit>& qubits,
+                                double prob, Rng& rng) const;
+
+    /**
+     * Thermal relaxation on compact qubit @p compact (physical id
+     * @p phys for calibration lookup) over @p duration_ns.
+     */
+    void applyDecay(StateVector& state, Qubit compact, Qubit phys,
+                    double duration_ns, Rng& rng) const;
+
+    /** Deterministic over-rotations after one gate. */
+    void applyCoherentError(StateVector& state,
+                            const std::vector<Qubit>& qubits,
+                            const GateNoise& noise) const;
+
+    NoiseModel model_;
+    Rng rng_;
+    TrajectoryOptions options_;
+};
+
+} // namespace qem
+
+#endif // QEM_NOISE_TRAJECTORY_HH

@@ -1,0 +1,104 @@
+#include "qsim/bitstring.hh"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace qem
+{
+
+int
+hammingWeight(BasisState s)
+{
+    return std::popcount(s);
+}
+
+int
+hammingDistance(BasisState a, BasisState b)
+{
+    return std::popcount(a ^ b);
+}
+
+bool
+getBit(BasisState s, unsigned bit)
+{
+    return (s >> bit) & 1ULL;
+}
+
+BasisState
+setBit(BasisState s, unsigned bit, bool value)
+{
+    const BasisState mask = BasisState{1} << bit;
+    return value ? (s | mask) : (s & ~mask);
+}
+
+BasisState
+allOnes(unsigned n)
+{
+    if (n == 0)
+        return 0;
+    if (n >= 64)
+        return ~BasisState{0};
+    return (BasisState{1} << n) - 1;
+}
+
+std::string
+toBitString(BasisState s, unsigned n)
+{
+    std::string out(n, '0');
+    for (unsigned i = 0; i < n; ++i) {
+        if (getBit(s, i))
+            out[i] = '1';
+    }
+    return out;
+}
+
+BasisState
+fromBitString(const std::string& bits)
+{
+    if (bits.size() > 64)
+        throw std::invalid_argument("bit string longer than 64 bits");
+    BasisState s = 0;
+    for (unsigned i = 0; i < bits.size(); ++i) {
+        if (bits[i] == '1')
+            s = setBit(s, i, true);
+        else if (bits[i] != '0')
+            throw std::invalid_argument("bit string contains non-binary "
+                                        "character");
+    }
+    return s;
+}
+
+std::vector<BasisState>
+statesByHammingWeight(unsigned n)
+{
+    if (n > 24)
+        throw std::invalid_argument("statesByHammingWeight: n too large "
+                                    "to enumerate");
+    std::vector<BasisState> states(size_t{1} << n);
+    for (BasisState s = 0; s < states.size(); ++s)
+        states[s] = s;
+    std::stable_sort(states.begin(), states.end(),
+                     [](BasisState a, BasisState b) {
+                         const int wa = hammingWeight(a);
+                         const int wb = hammingWeight(b);
+                         if (wa != wb)
+                             return wa < wb;
+                         return a < b;
+                     });
+    return states;
+}
+
+std::vector<BasisState>
+statesOfWeight(unsigned n, int weight)
+{
+    std::vector<BasisState> out;
+    const BasisState limit = BasisState{1} << n;
+    for (BasisState s = 0; s < limit; ++s) {
+        if (hammingWeight(s) == weight)
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace qem

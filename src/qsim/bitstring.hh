@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Utilities for manipulating packed basis states as bit strings.
+ *
+ * Convention used throughout InvertQ: bit i of a BasisState is the
+ * value of qubit i. The textual rendering produced by toBitString()
+ * prints qubit 0 first (leftmost), matching the left-to-right qubit
+ * ordering of the paper's figures ("00000" ... "11111" where the
+ * leftmost character is qubit 0).
+ */
+
+#ifndef QEM_QSIM_BITSTRING_HH
+#define QEM_QSIM_BITSTRING_HH
+
+#include <string>
+#include <vector>
+
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+/** Number of set bits (the paper's "Hamming Weight") of a state. */
+int hammingWeight(BasisState s);
+
+/** Number of differing bits between two states. */
+int hammingDistance(BasisState a, BasisState b);
+
+/** Value of bit @p bit of state @p s. */
+bool getBit(BasisState s, unsigned bit);
+
+/** Copy of @p s with bit @p bit forced to @p value. */
+BasisState setBit(BasisState s, unsigned bit, bool value);
+
+/** State with the low @p n bits set (e.g. allOnes(5) == 0b11111). */
+BasisState allOnes(unsigned n);
+
+/**
+ * Render the low @p n bits of @p s, qubit 0 leftmost.
+ *
+ * @param s Packed basis state.
+ * @param n Number of qubits to render.
+ * @return String of length @p n consisting of '0'/'1'.
+ */
+std::string toBitString(BasisState s, unsigned n);
+
+/**
+ * Parse a bit string in the toBitString() convention (first character
+ * is qubit 0). Throws std::invalid_argument on any non-'0'/'1'
+ * character or if the string is longer than 64 characters.
+ */
+BasisState fromBitString(const std::string& bits);
+
+/**
+ * All states expressible on @p n qubits, sorted by ascending Hamming
+ * weight and ascending numeric value within a weight class. This is
+ * the x-axis ordering used by the paper's per-state figures.
+ */
+std::vector<BasisState> statesByHammingWeight(unsigned n);
+
+/** All states of exactly @p weight set bits on @p n qubits. */
+std::vector<BasisState> statesOfWeight(unsigned n, int weight);
+
+} // namespace qem
+
+#endif // QEM_QSIM_BITSTRING_HH

@@ -1,0 +1,328 @@
+#include "qsim/circuit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+Circuit::Circuit(unsigned num_qubits, int num_clbits)
+    : numQubits_(num_qubits),
+      numClbits_(num_clbits < 0 ? num_qubits
+                                : static_cast<unsigned>(num_clbits))
+{
+    if (num_qubits == 0 || num_qubits > 64)
+        throw std::invalid_argument("Circuit: qubit count must be in "
+                                    "[1, 64]");
+}
+
+void
+Circuit::checkQubit(Qubit q) const
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("Circuit: qubit index out of range");
+}
+
+void
+Circuit::checkClbit(Clbit c) const
+{
+    if (c >= numClbits_)
+        throw std::out_of_range("Circuit: classical bit index out of "
+                                "range");
+}
+
+Circuit&
+Circuit::append(Operation op)
+{
+    if (op.kind != GateKind::BARRIER) {
+        if (op.qubits.size() != gateArity(op.kind))
+            throw std::invalid_argument("Circuit::append: wrong operand "
+                                        "count for gate");
+        for (Qubit q : op.qubits)
+            checkQubit(q);
+        for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+            for (std::size_t j = i + 1; j < op.qubits.size(); ++j) {
+                if (op.qubits[i] == op.qubits[j])
+                    throw std::invalid_argument("Circuit::append: "
+                                                "duplicate qubit operand");
+            }
+        }
+    }
+    if (op.params.size() != gateParamCount(op.kind))
+        throw std::invalid_argument("Circuit::append: wrong parameter "
+                                    "count for gate");
+    if (op.kind == GateKind::MEASURE)
+        checkClbit(op.cbit);
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+Circuit& Circuit::id(Qubit q) { return append({GateKind::ID, {q}, {}}); }
+Circuit& Circuit::x(Qubit q) { return append({GateKind::X, {q}, {}}); }
+Circuit& Circuit::y(Qubit q) { return append({GateKind::Y, {q}, {}}); }
+Circuit& Circuit::z(Qubit q) { return append({GateKind::Z, {q}, {}}); }
+Circuit& Circuit::h(Qubit q) { return append({GateKind::H, {q}, {}}); }
+Circuit& Circuit::s(Qubit q) { return append({GateKind::S, {q}, {}}); }
+Circuit& Circuit::sdg(Qubit q) { return append({GateKind::SDG, {q}, {}}); }
+Circuit& Circuit::t(Qubit q) { return append({GateKind::T, {q}, {}}); }
+Circuit& Circuit::tdg(Qubit q) { return append({GateKind::TDG, {q}, {}}); }
+Circuit& Circuit::sx(Qubit q) { return append({GateKind::SX, {q}, {}}); }
+
+Circuit&
+Circuit::rx(double theta, Qubit q)
+{
+    return append({GateKind::RX, {q}, {theta}});
+}
+
+Circuit&
+Circuit::ry(double theta, Qubit q)
+{
+    return append({GateKind::RY, {q}, {theta}});
+}
+
+Circuit&
+Circuit::rz(double theta, Qubit q)
+{
+    return append({GateKind::RZ, {q}, {theta}});
+}
+
+Circuit&
+Circuit::p(double lambda, Qubit q)
+{
+    return append({GateKind::P, {q}, {lambda}});
+}
+
+Circuit&
+Circuit::u2(double phi, double lambda, Qubit q)
+{
+    return append({GateKind::U2, {q}, {phi, lambda}});
+}
+
+Circuit&
+Circuit::u3(double theta, double phi, double lambda, Qubit q)
+{
+    return append({GateKind::U3, {q}, {theta, phi, lambda}});
+}
+
+Circuit&
+Circuit::cx(Qubit control, Qubit target)
+{
+    return append({GateKind::CX, {control, target}, {}});
+}
+
+Circuit&
+Circuit::cz(Qubit a, Qubit b)
+{
+    return append({GateKind::CZ, {a, b}, {}});
+}
+
+Circuit&
+Circuit::swap(Qubit a, Qubit b)
+{
+    return append({GateKind::SWAP, {a, b}, {}});
+}
+
+Circuit&
+Circuit::ccx(Qubit c0, Qubit c1, Qubit target)
+{
+    return append({GateKind::CCX, {c0, c1, target}, {}});
+}
+
+Circuit&
+Circuit::barrier()
+{
+    return append({GateKind::BARRIER, {}, {}});
+}
+
+Circuit&
+Circuit::reset(Qubit q)
+{
+    return append({GateKind::RESET, {q}, {}});
+}
+
+Circuit&
+Circuit::delay(double nanoseconds, Qubit q)
+{
+    return append({GateKind::DELAY, {q}, {nanoseconds}});
+}
+
+Circuit&
+Circuit::measure(Qubit q, Clbit c)
+{
+    Operation op{GateKind::MEASURE, {q}, {}};
+    op.cbit = c;
+    return append(std::move(op));
+}
+
+Circuit&
+Circuit::measureAll()
+{
+    if (numClbits_ < numQubits_)
+        throw std::logic_error("Circuit::measureAll: classical register "
+                               "too small");
+    for (Qubit q = 0; q < numQubits_; ++q)
+        measure(q, q);
+    return *this;
+}
+
+Circuit&
+Circuit::compose(const Circuit& other)
+{
+    if (other.numQubits_ > numQubits_ || other.numClbits_ > numClbits_)
+        throw std::invalid_argument("Circuit::compose: other circuit has "
+                                    "larger registers");
+    for (const Operation& op : other.ops_)
+        append(op);
+    return *this;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(numQubits_, static_cast<int>(numClbits_));
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+        Operation op = *it;
+        switch (op.kind) {
+          case GateKind::MEASURE:
+          case GateKind::RESET:
+            throw std::logic_error("Circuit::inverse: circuit is not "
+                                   "unitary");
+          case GateKind::BARRIER:
+          case GateKind::DELAY:
+            break;
+          case GateKind::RX:
+          case GateKind::RY:
+          case GateKind::RZ:
+          case GateKind::P:
+            op.params[0] = -op.params[0];
+            break;
+          case GateKind::U2:
+            // U2(phi, lambda)^-1 = U3(-pi/2, -lambda, -phi).
+            op.kind = GateKind::U3;
+            op.params = {-M_PI / 2, -op.params[1], -op.params[0]};
+            break;
+          case GateKind::U3:
+            // U3(t, phi, lambda)^-1 = U3(-t, -lambda, -phi).
+            op.params = {-op.params[0], -op.params[2], -op.params[1]};
+            break;
+          case GateKind::SX:
+            // SX^-1 = RX(-pi/2) up to global phase.
+            op.kind = GateKind::RX;
+            op.params = {-M_PI / 2};
+            break;
+          default:
+            op.kind = inverseKind(op.kind);
+            break;
+        }
+        inv.append(std::move(op));
+    }
+    return inv;
+}
+
+Circuit
+Circuit::remapQubits(const std::vector<Qubit>& layout,
+                     unsigned physical_qubits) const
+{
+    if (layout.size() != numQubits_)
+        throw std::invalid_argument("Circuit::remapQubits: layout size "
+                                    "mismatch");
+    for (Qubit phys : layout) {
+        if (phys >= physical_qubits)
+            throw std::invalid_argument("Circuit::remapQubits: layout "
+                                        "entry out of range");
+    }
+    Circuit out(physical_qubits, static_cast<int>(numClbits_));
+    for (Operation op : ops_) {
+        for (Qubit& q : op.qubits)
+            q = layout[q];
+        out.append(std::move(op));
+    }
+    return out;
+}
+
+std::size_t
+Circuit::countOps(GateKind kind) const
+{
+    std::size_t n = 0;
+    for (const Operation& op : ops_) {
+        if (op.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Circuit::twoQubitGateCount() const
+{
+    std::size_t n = 0;
+    for (const Operation& op : ops_) {
+        if (isUnitary(op.kind) && gateArity(op.kind) == 2)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Circuit::depth() const
+{
+    std::vector<std::size_t> level(numQubits_, 0);
+    for (const Operation& op : ops_) {
+        if (op.kind == GateKind::BARRIER || op.kind == GateKind::DELAY)
+            continue;
+        std::size_t start = 0;
+        for (Qubit q : op.qubits)
+            start = std::max(start, level[q]);
+        for (Qubit q : op.qubits)
+            level[q] = start + 1;
+    }
+    return *std::max_element(level.begin(), level.end());
+}
+
+bool
+Circuit::hasMeasurements() const
+{
+    return countOps(GateKind::MEASURE) > 0;
+}
+
+std::vector<Qubit>
+Circuit::measuredQubits() const
+{
+    std::map<Clbit, Qubit> by_clbit;
+    for (const Operation& op : ops_) {
+        if (op.kind == GateKind::MEASURE)
+            by_clbit[op.cbit] = op.qubits[0];
+    }
+    std::vector<Qubit> out;
+    out.reserve(by_clbit.size());
+    for (const auto& [cbit, qubit] : by_clbit)
+        out.push_back(qubit);
+    return out;
+}
+
+BasisState
+Circuit::classicalOutcome(BasisState full_state) const
+{
+    BasisState out = 0;
+    for (const Operation& op : ops_) {
+        if (op.kind == GateKind::MEASURE)
+            out = setBit(out, op.cbit, getBit(full_state, op.qubits[0]));
+    }
+    return out;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << numQubits_ << " qubits, " << numClbits_
+       << " clbits)\n";
+    for (const Operation& op : ops_)
+        os << "  " << op.toString() << "\n";
+    return os.str();
+}
+
+} // namespace qem

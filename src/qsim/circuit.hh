@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Quantum circuit intermediate representation.
+ *
+ * A Circuit is an ordered list of Operations over a fixed-size qubit
+ * register and classical output register. It is the unit of work that
+ * kernels produce, the transpiler rewrites, the mitigation policies
+ * instrument, and the simulators execute.
+ */
+
+#ifndef QEM_QSIM_CIRCUIT_HH
+#define QEM_QSIM_CIRCUIT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qsim/gate.hh"
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+class Circuit
+{
+  public:
+    /**
+     * Create an empty circuit.
+     *
+     * @param num_qubits Size of the quantum register.
+     * @param num_clbits Size of the classical register; defaults to
+     *                   one classical bit per qubit.
+     */
+    explicit Circuit(unsigned num_qubits, int num_clbits = -1);
+
+    unsigned numQubits() const { return numQubits_; }
+    unsigned numClbits() const { return numClbits_; }
+    const std::vector<Operation>& ops() const { return ops_; }
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** @name Gate builder helpers.
+     *  Each appends one operation and returns *this for chaining. */
+    /// @{
+    Circuit& id(Qubit q);
+    Circuit& x(Qubit q);
+    Circuit& y(Qubit q);
+    Circuit& z(Qubit q);
+    Circuit& h(Qubit q);
+    Circuit& s(Qubit q);
+    Circuit& sdg(Qubit q);
+    Circuit& t(Qubit q);
+    Circuit& tdg(Qubit q);
+    Circuit& sx(Qubit q);
+    Circuit& rx(double theta, Qubit q);
+    Circuit& ry(double theta, Qubit q);
+    Circuit& rz(double theta, Qubit q);
+    Circuit& p(double lambda, Qubit q);
+    Circuit& u2(double phi, double lambda, Qubit q);
+    Circuit& u3(double theta, double phi, double lambda, Qubit q);
+    Circuit& cx(Qubit control, Qubit target);
+    Circuit& cz(Qubit a, Qubit b);
+    Circuit& swap(Qubit a, Qubit b);
+    Circuit& ccx(Qubit c0, Qubit c1, Qubit target);
+    Circuit& barrier();
+    Circuit& reset(Qubit q);
+    Circuit& delay(double nanoseconds, Qubit q);
+    Circuit& measure(Qubit q, Clbit c);
+    /** Measure qubit i into classical bit i, for all qubits. */
+    Circuit& measureAll();
+    /// @}
+
+    /** Append a prebuilt operation (validated). */
+    Circuit& append(Operation op);
+
+    /**
+     * Append every operation of @p other (registers must be no larger
+     * than this circuit's).
+     */
+    Circuit& compose(const Circuit& other);
+
+    /**
+     * Unitary-only inverse: operations reversed and conjugated.
+     * Throws if the circuit contains measurement or reset.
+     */
+    Circuit inverse() const;
+
+    /**
+     * Rewrite qubit operands through @p layout, where layout[i] is the
+     * physical qubit that logical qubit i maps to. The returned
+     * circuit has @p physical_qubits qubits (>= max layout entry + 1).
+     */
+    Circuit remapQubits(const std::vector<Qubit>& layout,
+                        unsigned physical_qubits) const;
+
+    /** Number of operations of the given kind. */
+    std::size_t countOps(GateKind kind) const;
+
+    /** Number of two-qubit unitary gates. */
+    std::size_t twoQubitGateCount() const;
+
+    /**
+     * Circuit depth: the longest chain of operations per qubit,
+     * counting unitaries and measurements (barriers and delays are
+     * excluded).
+     */
+    std::size_t depth() const;
+
+    /** True if any MEASURE operation is present. */
+    bool hasMeasurements() const;
+
+    /**
+     * Qubits read by MEASURE operations, in ascending order of the
+     * classical bit they write.
+     */
+    std::vector<Qubit> measuredQubits() const;
+
+    /**
+     * Project a full-register basis state (as sampled from the state
+     * vector) onto the classical register according to the circuit's
+     * MEASURE operations. Bit c of the result is the value of the
+     * qubit measured into classical bit c.
+     */
+    BasisState classicalOutcome(BasisState full_state) const;
+
+    /** One operation per line, for debugging and examples. */
+    std::string toString() const;
+
+  private:
+    void checkQubit(Qubit q) const;
+    void checkClbit(Clbit c) const;
+
+    unsigned numQubits_;
+    unsigned numClbits_;
+    std::vector<Operation> ops_;
+};
+
+} // namespace qem
+
+#endif // QEM_QSIM_CIRCUIT_HH

@@ -1,0 +1,134 @@
+#include "qsim/counts.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+
+Counts::Counts(unsigned num_bits)
+    : numBits_(num_bits)
+{
+    if (num_bits > 64)
+        throw std::invalid_argument("Counts: more than 64 bits");
+}
+
+void
+Counts::add(BasisState outcome, std::uint64_t n)
+{
+    if (numBits_ < 64 && (outcome >> numBits_) != 0)
+        throw std::out_of_range("Counts::add: outcome wider than the "
+                                "classical register");
+    counts_[outcome] += n;
+    total_ += n;
+}
+
+std::uint64_t
+Counts::get(BasisState outcome) const
+{
+    auto it = counts_.find(outcome);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+Counts::probability(BasisState outcome) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(get(outcome)) /
+           static_cast<double>(total_);
+}
+
+std::vector<std::pair<BasisState, std::uint64_t>>
+Counts::sortedByCount() const
+{
+    std::vector<std::pair<BasisState, std::uint64_t>> out(
+        counts_.begin(), counts_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+BasisState
+Counts::mostFrequent() const
+{
+    if (counts_.empty())
+        throw std::logic_error("Counts::mostFrequent: empty log");
+    return sortedByCount().front().first;
+}
+
+void
+Counts::merge(const Counts& other)
+{
+    if (other.numBits_ != numBits_)
+        throw std::invalid_argument("Counts::merge: bit width mismatch");
+    for (const auto& [outcome, n] : other.counts_)
+        add(outcome, n);
+}
+
+Counts
+Counts::xorAll(BasisState mask) const
+{
+    Counts out(numBits_);
+    for (const auto& [outcome, n] : counts_)
+        out.add(outcome ^ mask, n);
+    return out;
+}
+
+Counts
+Counts::marginalize(const std::vector<unsigned>& bits) const
+{
+    for (unsigned b : bits) {
+        if (b >= numBits_)
+            throw std::out_of_range("Counts::marginalize: bit out of "
+                                    "range");
+    }
+    Counts out(static_cast<unsigned>(bits.size()));
+    for (const auto& [outcome, n] : counts_) {
+        BasisState reduced = 0;
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            reduced = setBit(reduced, static_cast<unsigned>(i),
+                             getBit(outcome, bits[i]));
+        out.add(reduced, n);
+    }
+    return out;
+}
+
+std::vector<double>
+Counts::toProbabilityVector() const
+{
+    if (numBits_ > 24)
+        throw std::logic_error("Counts::toProbabilityVector: register "
+                               "too wide to densify");
+    std::vector<double> probs(std::size_t{1} << numBits_, 0.0);
+    if (total_ == 0)
+        return probs;
+    for (const auto& [outcome, n] : counts_)
+        probs[outcome] = static_cast<double>(n) /
+                         static_cast<double>(total_);
+    return probs;
+}
+
+std::string
+Counts::toString(std::size_t k) const
+{
+    std::ostringstream os;
+    os << "counts(total=" << total_ << ")\n";
+    std::size_t shown = 0;
+    for (const auto& [outcome, n] : sortedByCount()) {
+        if (shown++ >= k)
+            break;
+        os << "  " << toBitString(outcome, numBits_) << " : " << n
+           << "  (" << probability(outcome) << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace qem

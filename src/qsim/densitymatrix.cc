@@ -1,0 +1,284 @@
+#include "qsim/densitymatrix.hh"
+
+#include <stdexcept>
+
+namespace qem
+{
+
+DensityMatrix::DensityMatrix(unsigned num_qubits, BasisState s)
+    : numQubits_(num_qubits), dim_(std::size_t{1} << num_qubits)
+{
+    if (num_qubits == 0 || num_qubits > maxDensityMatrixQubits)
+        throw std::invalid_argument("DensityMatrix: qubit count out "
+                                    "of supported range");
+    if (s >= dim_)
+        throw std::out_of_range("DensityMatrix: initial state out "
+                                "of range");
+    rho_.assign(dim_ * dim_, Amplitude{0.0, 0.0});
+    rho_[index(s, s)] = 1.0;
+}
+
+DensityMatrix::DensityMatrix(const StateVector& psi)
+    : numQubits_(psi.numQubits()), dim_(psi.dim())
+{
+    if (numQubits_ > maxDensityMatrixQubits)
+        throw std::invalid_argument("DensityMatrix: state too wide");
+    rho_.resize(dim_ * dim_);
+    for (BasisState r = 0; r < dim_; ++r) {
+        for (BasisState c = 0; c < dim_; ++c) {
+            rho_[index(r, c)] =
+                psi.amplitude(r) * std::conj(psi.amplitude(c));
+        }
+    }
+}
+
+Amplitude
+DensityMatrix::element(BasisState row, BasisState col) const
+{
+    if (row >= dim_ || col >= dim_)
+        throw std::out_of_range("DensityMatrix::element: index out "
+                                "of range");
+    return rho_[index(row, col)];
+}
+
+void
+DensityMatrix::setElement(BasisState row, BasisState col,
+                          Amplitude v)
+{
+    if (row >= dim_ || col >= dim_)
+        throw std::out_of_range("DensityMatrix::setElement: index "
+                                "out of range");
+    rho_[index(row, col)] = v;
+}
+
+void
+DensityMatrix::applyMatrixAxis1q(const Matrix2& m, Qubit q,
+                                 bool rows)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    // Conjugate for the column axis (right multiplication by the
+    // dagger of the paired unitary).
+    const Amplitude m00 = rows ? m[0] : std::conj(m[0]);
+    const Amplitude m01 = rows ? m[1] : std::conj(m[1]);
+    const Amplitude m10 = rows ? m[2] : std::conj(m[2]);
+    const Amplitude m11 = rows ? m[3] : std::conj(m[3]);
+    for (std::size_t fixed = 0; fixed < dim_; ++fixed) {
+        for (std::size_t base = 0; base < dim_;
+             base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                const std::size_t i0 =
+                    rows ? index(i, fixed) : index(fixed, i);
+                const std::size_t i1 =
+                    rows ? index(i + stride, fixed)
+                         : index(fixed, i + stride);
+                const Amplitude a0 = rho_[i0];
+                const Amplitude a1 = rho_[i1];
+                rho_[i0] = m00 * a0 + m01 * a1;
+                rho_[i1] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyMatrixAxis2q(const Matrix4& m, Qubit q0,
+                                 Qubit q1, bool rows)
+{
+    const std::size_t b0 = std::size_t{1} << q0;
+    const std::size_t b1 = std::size_t{1} << q1;
+    const std::size_t mask = b0 | b1;
+    Matrix4 mm = m;
+    if (!rows) {
+        for (Amplitude& a : mm)
+            a = std::conj(a);
+    }
+    for (std::size_t fixed = 0; fixed < dim_; ++fixed) {
+        for (std::size_t i = 0; i < dim_; ++i) {
+            if (i & mask)
+                continue;
+            const std::size_t idx[4] = {i, i | b0, i | b1,
+                                        i | b0 | b1};
+            Amplitude a[4];
+            for (int k = 0; k < 4; ++k) {
+                a[k] = rows ? rho_[index(idx[k], fixed)]
+                            : rho_[index(fixed, idx[k])];
+            }
+            for (int r = 0; r < 4; ++r) {
+                Amplitude acc{0.0, 0.0};
+                for (int c = 0; c < 4; ++c)
+                    acc += mm[r * 4 + c] * a[c];
+                if (rows)
+                    rho_[index(idx[r], fixed)] = acc;
+                else
+                    rho_[index(fixed, idx[r])] = acc;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyUnitary1q(const Matrix2& u, Qubit q)
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("DensityMatrix::applyUnitary1q: "
+                                "qubit out of range");
+    applyMatrixAxis1q(u, q, true);
+    applyMatrixAxis1q(u, q, false);
+}
+
+void
+DensityMatrix::applyUnitary2q(const Matrix4& u, Qubit q0, Qubit q1)
+{
+    if (q0 >= numQubits_ || q1 >= numQubits_ || q0 == q1)
+        throw std::out_of_range("DensityMatrix::applyUnitary2q: bad "
+                                "qubits");
+    applyMatrixAxis2q(u, q0, q1, true);
+    applyMatrixAxis2q(u, q0, q1, false);
+}
+
+void
+DensityMatrix::applyOperation(const Operation& op)
+{
+    switch (op.kind) {
+      case GateKind::ID:
+        return;
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        applyUnitary2q(gateMatrix2q(op.kind), op.qubits[0],
+                       op.qubits[1]);
+        return;
+      case GateKind::CCX: {
+        // Same H/T/CX decomposition as the state vector.
+        const Qubit a = op.qubits[0];
+        const Qubit b = op.qubits[1];
+        const Qubit c = op.qubits[2];
+        auto g1 = [&](GateKind kind, Qubit q) {
+            applyUnitary1q(gateMatrix1q(kind, {}), q);
+        };
+        auto cx = [&](Qubit x, Qubit y) {
+            applyUnitary2q(gateMatrix2q(GateKind::CX), x, y);
+        };
+        g1(GateKind::H, c);
+        cx(b, c);
+        g1(GateKind::TDG, c);
+        cx(a, c);
+        g1(GateKind::T, c);
+        cx(b, c);
+        g1(GateKind::TDG, c);
+        cx(a, c);
+        g1(GateKind::T, b);
+        g1(GateKind::T, c);
+        g1(GateKind::H, c);
+        cx(a, b);
+        g1(GateKind::T, a);
+        g1(GateKind::TDG, b);
+        cx(a, b);
+        return;
+      }
+      default:
+        break;
+    }
+    if (!isUnitary(op.kind))
+        throw std::invalid_argument("DensityMatrix::applyOperation: "
+                                    "non-unitary operation");
+    applyUnitary1q(gateMatrix1q(op.kind, op.params), op.qubits[0]);
+}
+
+void
+DensityMatrix::applyKraus1q(std::span<const Matrix2> kraus, Qubit q)
+{
+    if (kraus.empty())
+        throw std::invalid_argument("DensityMatrix::applyKraus1q: "
+                                    "empty channel");
+    std::vector<Amplitude> acc(rho_.size(), Amplitude{0.0, 0.0});
+    const std::vector<Amplitude> original = rho_;
+    for (const Matrix2& k : kraus) {
+        rho_ = original;
+        applyMatrixAxis1q(k, q, true);
+        applyMatrixAxis1q(k, q, false);
+        for (std::size_t i = 0; i < rho_.size(); ++i)
+            acc[i] += rho_[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::applyTwoQubitDepolarizing(Qubit q0, Qubit q1,
+                                         double p)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("applyTwoQubitDepolarizing: "
+                                    "probability out of [0, 1]");
+    if (p == 0.0)
+        return;
+    static const Matrix2 paulis[4] = {
+        gateMatrix1q(GateKind::ID, {}),
+        gateMatrix1q(GateKind::X, {}),
+        gateMatrix1q(GateKind::Y, {}),
+        gateMatrix1q(GateKind::Z, {}),
+    };
+    const std::vector<Amplitude> original = rho_;
+    std::vector<Amplitude> acc(rho_.size());
+    for (std::size_t i = 0; i < rho_.size(); ++i)
+        acc[i] = (1.0 - p) * original[i];
+    for (int pa = 0; pa < 4; ++pa) {
+        for (int pb = 0; pb < 4; ++pb) {
+            if (pa == 0 && pb == 0)
+                continue;
+            rho_ = original;
+            if (pa != 0)
+                applyUnitary1q(paulis[pa], q0);
+            if (pb != 0)
+                applyUnitary1q(paulis[pb], q1);
+            const double w = p / 15.0;
+            for (std::size_t i = 0; i < rho_.size(); ++i)
+                acc[i] += w * rho_[i];
+        }
+    }
+    rho_ = std::move(acc);
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0.0;
+    for (BasisState s = 0; s < dim_; ++s)
+        t += rho_[index(s, s)].real();
+    return t;
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> probs(dim_);
+    for (BasisState s = 0; s < dim_; ++s)
+        probs[s] = rho_[index(s, s)].real();
+    return probs;
+}
+
+double
+DensityMatrix::probabilityOf(BasisState s) const
+{
+    if (s >= dim_)
+        return 0.0;
+    return rho_[index(s, s)].real();
+}
+
+double
+DensityMatrix::fidelityWithPure(const StateVector& psi) const
+{
+    if (psi.numQubits() != numQubits_)
+        throw std::invalid_argument("fidelityWithPure: size "
+                                    "mismatch");
+    Amplitude acc{0.0, 0.0};
+    for (BasisState r = 0; r < dim_; ++r) {
+        for (BasisState c = 0; c < dim_; ++c) {
+            acc += std::conj(psi.amplitude(r)) *
+                   rho_[index(r, c)] * psi.amplitude(c);
+        }
+    }
+    return acc.real();
+}
+
+} // namespace qem

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dense density-matrix register with exact channel application.
+ *
+ * The trajectory simulator estimates noisy outcome statistics by
+ * Monte-Carlo sampling; the density matrix computes them in closed
+ * form. It costs 4^n memory and superoperator-time, so it is
+ * limited to small registers (<= 10 qubits), where it serves as the
+ * exact reference the trajectory sampler is validated against, and
+ * as a fast analytic path for small readout-only studies.
+ */
+
+#ifndef QEM_QSIM_DENSITYMATRIX_HH
+#define QEM_QSIM_DENSITYMATRIX_HH
+
+#include <span>
+#include <vector>
+
+#include "qsim/gate.hh"
+#include "qsim/statevector.hh"
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+/** Largest density-matrix register (4^10 = 1M amplitudes). */
+inline constexpr unsigned maxDensityMatrixQubits = 10;
+
+class DensityMatrix
+{
+  public:
+    /** Initialize in the pure basis state |s><s|. */
+    explicit DensityMatrix(unsigned num_qubits, BasisState s = 0);
+
+    /** Initialize as |psi><psi|. */
+    explicit DensityMatrix(const StateVector& psi);
+
+    unsigned numQubits() const { return numQubits_; }
+    std::size_t dim() const { return dim_; }
+
+    /** Matrix element rho[row][col]. */
+    Amplitude element(BasisState row, BasisState col) const;
+    void setElement(BasisState row, BasisState col, Amplitude v);
+
+    /** @name Exact evolution. */
+    /// @{
+    /** rho -> U rho U^dag for a single-qubit unitary on @p q. */
+    void applyUnitary1q(const Matrix2& u, Qubit q);
+
+    /** rho -> U rho U^dag for a 4x4 unitary (bit0 = @p q0). */
+    void applyUnitary2q(const Matrix4& u, Qubit q0, Qubit q1);
+
+    /** Apply one unitary circuit operation (CCX is decomposed). */
+    void applyOperation(const Operation& op);
+
+    /** Exact channel: rho -> sum_k K_k rho K_k^dag. */
+    void applyKraus1q(std::span<const Matrix2> kraus, Qubit q);
+
+    /**
+     * Exact two-qubit depolarizing in the trajectory simulator's
+     * convention: with probability @p p a uniformly random
+     * non-identity Pauli pair hits (q0, q1).
+     */
+    void applyTwoQubitDepolarizing(Qubit q0, Qubit q1, double p);
+    /// @}
+
+    /** Tr(rho); 1 for any physical state. */
+    double trace() const;
+
+    /** Diagonal: exact measurement probabilities of all outcomes. */
+    std::vector<double> probabilities() const;
+
+    double probabilityOf(BasisState s) const;
+
+    /** <psi| rho |psi>: fidelity against a pure reference. */
+    double fidelityWithPure(const StateVector& psi) const;
+
+  private:
+    std::size_t index(BasisState row, BasisState col) const
+    {
+        return static_cast<std::size_t>(row) * dim_ + col;
+    }
+
+    /**
+     * Apply a 2x2 matrix to one side of rho: the row axis uses
+     * @p m as-is (left multiplication), the column axis uses the
+     * conjugate (right multiplication by m^dag when paired).
+     */
+    void applyMatrixAxis1q(const Matrix2& m, Qubit q, bool rows);
+    void applyMatrixAxis2q(const Matrix4& m, Qubit q0, Qubit q1,
+                           bool rows);
+
+    unsigned numQubits_;
+    std::size_t dim_;
+    std::vector<Amplitude> rho_;
+};
+
+} // namespace qem
+
+#endif // QEM_QSIM_DENSITYMATRIX_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * OpenQASM 2.0 serialization of circuits.
+ *
+ * Export targets the qelib1 gate vocabulary of the 2019 IBM stack so
+ * emitted programs run unmodified on period toolchains; import
+ * accepts the same subset (plus a nonstandard `delay(ns)` gate call,
+ * which the scheduler produces and a comment-stripping toolchain can
+ * ignore).
+ */
+
+#ifndef QEM_QSIM_QASM_HH
+#define QEM_QSIM_QASM_HH
+
+#include <string>
+
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/** Serialize @p circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit& circuit);
+
+/**
+ * Parse an OpenQASM 2.0 program emitted by toQasm (single qreg and
+ * creg, qelib1 gates, measure, barrier, delay). Throws
+ * std::invalid_argument with a line diagnostic on anything it does
+ * not understand.
+ */
+Circuit fromQasm(const std::string& text);
+
+} // namespace qem
+
+#endif // QEM_QSIM_QASM_HH

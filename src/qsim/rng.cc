@@ -1,0 +1,113 @@
+#include "qsim/rng.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+/** SplitMix64 step; used to whiten seeds for split streams. */
+std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : engine_(splitMix64(seed)), seed_(seed)
+{
+}
+
+double
+Rng::uniform()
+{
+    // Use the top 53 bits for a uniform double in [0, 1).
+    return (engine_() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::index(std::uint64_t n)
+{
+    if (n == 0)
+        throw std::invalid_argument("Rng::index: n must be nonzero");
+    // Rejection sampling for an unbiased bounded integer.
+    const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+    std::uint64_t x;
+    do {
+        x = engine_();
+    } while (x >= limit);
+    return x % n;
+}
+
+std::uint64_t
+Rng::bits()
+{
+    return engine_();
+}
+
+double
+Rng::normal(double mean, double sigma)
+{
+    // Box-Muller on our own uniforms keeps the stream's
+    // reproducibility independent of the standard library.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + sigma * z;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            throw std::invalid_argument("Rng::discrete: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("Rng::discrete: zero total weight");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    ++splitCount_;
+    return Rng(splitMix64(seed_ ^ splitMix64(splitCount_)));
+}
+
+} // namespace qem

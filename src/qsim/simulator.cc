@@ -1,0 +1,51 @@
+#include "qsim/simulator.hh"
+
+#include <stdexcept>
+
+namespace qem
+{
+
+IdealSimulator::IdealSimulator(unsigned num_qubits, std::uint64_t seed)
+    : numQubits_(num_qubits), rng_(seed)
+{
+}
+
+StateVector
+IdealSimulator::stateOf(const Circuit& circuit) const
+{
+    if (circuit.numQubits() > numQubits_)
+        throw std::invalid_argument("IdealSimulator: circuit wider than "
+                                    "the backend register");
+    StateVector state(circuit.numQubits());
+    for (const Operation& op : circuit.ops()) {
+        switch (op.kind) {
+          case GateKind::MEASURE:
+          case GateKind::BARRIER:
+          case GateKind::DELAY:
+            break;
+          case GateKind::RESET:
+            throw std::logic_error("IdealSimulator::stateOf: RESET not "
+                                   "supported in pre-measurement "
+                                   "evolution");
+          default:
+            state.applyOperation(op);
+            break;
+        }
+    }
+    return state;
+}
+
+Counts
+IdealSimulator::run(const Circuit& circuit, std::size_t shots)
+{
+    if (!circuit.hasMeasurements())
+        throw std::invalid_argument("IdealSimulator::run: circuit has "
+                                    "no measurements");
+    const StateVector state = stateOf(circuit);
+    Counts counts(circuit.numClbits());
+    for (BasisState full : state.sample(rng_, shots))
+        counts.add(circuit.classicalOutcome(full));
+    return counts;
+}
+
+} // namespace qem

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ideal (noise-free) circuit simulator.
+ *
+ * Runs a circuit on a dense state vector with no error processes;
+ * this is the reference executor used to validate kernels, optimize
+ * QAOA angles, and produce the paper's "ideal quantum computer"
+ * baselines (e.g. Fig 3(b), the ideal series in Fig 6).
+ */
+
+#ifndef QEM_QSIM_SIMULATOR_HH
+#define QEM_QSIM_SIMULATOR_HH
+
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
+#include "qsim/rng.hh"
+#include "qsim/statevector.hh"
+
+namespace qem
+{
+
+/**
+ * Abstract execution backend: anything that can run a measured
+ * circuit for a number of trials and return the output log. The
+ * mitigation policies are written against this interface so the same
+ * policy code would drive real hardware.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /**
+     * Execute @p circuit for @p shots trials.
+     *
+     * @param circuit A circuit with MEASURE operations.
+     * @param shots Number of trials to log.
+     * @return Histogram over the circuit's classical register.
+     */
+    virtual Counts run(const Circuit& circuit, std::size_t shots) = 0;
+
+    /** Number of qubits the backend exposes. */
+    virtual unsigned numQubits() const = 0;
+};
+
+/** Noise-free execution backend. */
+class IdealSimulator : public Backend
+{
+  public:
+    /**
+     * @param num_qubits Register size the backend exposes.
+     * @param seed Seed for measurement sampling.
+     */
+    explicit IdealSimulator(unsigned num_qubits,
+                            std::uint64_t seed = 1234);
+
+    /**
+     * Evolve the circuit's unitary prefix and return the
+     * pre-measurement state. MEASURE/BARRIER/DELAY operations are
+     * skipped; RESET collapses deterministically only if the qubit is
+     * untouched (otherwise throws, since an ideal pre-measurement
+     * state is no longer well defined).
+     */
+    StateVector stateOf(const Circuit& circuit) const;
+
+    Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    unsigned numQubits() const override { return numQubits_; }
+
+  private:
+    unsigned numQubits_;
+    Rng rng_;
+};
+
+} // namespace qem
+
+#endif // QEM_QSIM_SIMULATOR_HH

@@ -1,0 +1,433 @@
+#include "qsim/statevector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qem
+{
+
+StateVector::StateVector(unsigned num_qubits)
+    : StateVector(num_qubits, 0)
+{
+}
+
+StateVector::StateVector(unsigned num_qubits, BasisState s)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits == 0 || num_qubits > maxSimulatedQubits)
+        throw std::invalid_argument("StateVector: qubit count out of "
+                                    "supported range");
+    amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+    if (s >= amps_.size())
+        throw std::out_of_range("StateVector: initial basis state out "
+                                "of range");
+    amps_[s] = 1.0;
+}
+
+void
+StateVector::resetTo(BasisState s)
+{
+    if (s >= amps_.size())
+        throw std::out_of_range("StateVector::resetTo: state out of "
+                                "range");
+    std::fill(amps_.begin(), amps_.end(), Amplitude{0.0, 0.0});
+    amps_[s] = 1.0;
+}
+
+void
+StateVector::applyMatrix1q(const Matrix2& m, Qubit q)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            const Amplitude a0 = amps_[i];
+            const Amplitude a1 = amps_[i + stride];
+            amps_[i] = m[0] * a0 + m[1] * a1;
+            amps_[i + stride] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+StateVector::applyMatrix2q(const Matrix4& m, Qubit q0, Qubit q1)
+{
+    const std::size_t b0 = std::size_t{1} << q0;
+    const std::size_t b1 = std::size_t{1} << q1;
+    const std::size_t n = amps_.size();
+    const std::size_t mask = b0 | b1;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i & mask)
+            continue; // Only visit indices with both operand bits 0.
+        const std::size_t i00 = i;
+        const std::size_t i01 = i | b0;
+        const std::size_t i10 = i | b1;
+        const std::size_t i11 = i | b0 | b1;
+        const Amplitude a00 = amps_[i00];
+        const Amplitude a01 = amps_[i01];
+        const Amplitude a10 = amps_[i10];
+        const Amplitude a11 = amps_[i11];
+        amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+        amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+        amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 +
+                     m[11] * a11;
+        amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 +
+                     m[15] * a11;
+    }
+}
+
+void
+StateVector::applyX(Qubit q)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i)
+            std::swap(amps_[i], amps_[i + stride]);
+    }
+}
+
+void
+StateVector::applyZ(Qubit q)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = stride; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i)
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::applyH(Qubit q)
+{
+    static const double s2 = 1.0 / std::sqrt(2.0);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            const Amplitude a0 = amps_[i];
+            const Amplitude a1 = amps_[i + stride];
+            amps_[i] = s2 * (a0 + a1);
+            amps_[i + stride] = s2 * (a0 - a1);
+        }
+    }
+}
+
+void
+StateVector::applyCX(Qubit control, Qubit target)
+{
+    const std::size_t cb = std::size_t{1} << control;
+    const std::size_t tb = std::size_t{1} << target;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Swap pairs once: visit only (control=1, target=0) indices.
+        if ((i & cb) && !(i & tb))
+            std::swap(amps_[i], amps_[i | tb]);
+    }
+}
+
+void
+StateVector::applyCZ(Qubit a, Qubit b)
+{
+    const std::size_t mask = (std::size_t{1} << a) |
+                             (std::size_t{1} << b);
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & mask) == mask)
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::applySwap(Qubit a, Qubit b)
+{
+    const std::size_t ab = std::size_t{1} << a;
+    const std::size_t bb = std::size_t{1} << b;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & ab) && !(i & bb))
+            std::swap(amps_[i], amps_[(i & ~ab) | bb]);
+    }
+}
+
+void
+StateVector::applyOperation(const Operation& op)
+{
+    switch (op.kind) {
+      case GateKind::ID:
+        return;
+      case GateKind::X:
+        applyX(op.qubits[0]);
+        return;
+      case GateKind::Z:
+        applyZ(op.qubits[0]);
+        return;
+      case GateKind::H:
+        applyH(op.qubits[0]);
+        return;
+      case GateKind::CX:
+        applyCX(op.qubits[0], op.qubits[1]);
+        return;
+      case GateKind::CZ:
+        applyCZ(op.qubits[0], op.qubits[1]);
+        return;
+      case GateKind::SWAP:
+        applySwap(op.qubits[0], op.qubits[1]);
+        return;
+      case GateKind::CCX: {
+        // Standard Toffoli decomposition into H/T/CX.
+        const Qubit a = op.qubits[0];
+        const Qubit b = op.qubits[1];
+        const Qubit c = op.qubits[2];
+        applyH(c);
+        applyCX(b, c);
+        applyMatrix1q(gateMatrix1q(GateKind::TDG, {}), c);
+        applyCX(a, c);
+        applyMatrix1q(gateMatrix1q(GateKind::T, {}), c);
+        applyCX(b, c);
+        applyMatrix1q(gateMatrix1q(GateKind::TDG, {}), c);
+        applyCX(a, c);
+        applyMatrix1q(gateMatrix1q(GateKind::T, {}), b);
+        applyMatrix1q(gateMatrix1q(GateKind::T, {}), c);
+        applyH(c);
+        applyCX(a, b);
+        applyMatrix1q(gateMatrix1q(GateKind::T, {}), a);
+        applyMatrix1q(gateMatrix1q(GateKind::TDG, {}), b);
+        applyCX(a, b);
+        return;
+      }
+      default:
+        break;
+    }
+    if (!isUnitary(op.kind))
+        throw std::invalid_argument("StateVector::applyOperation: "
+                                    "non-unitary operation");
+    applyMatrix1q(gateMatrix1q(op.kind, op.params), op.qubits[0]);
+}
+
+std::size_t
+StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
+                          Rng& rng)
+{
+    if (kraus.empty())
+        throw std::invalid_argument("applyKraus1q: empty channel");
+
+    // Probability of branch k is || K_k |psi> ||^2, computed in a
+    // streaming pass without materializing the branch state.
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    std::vector<double> probs(kraus.size(), 0.0);
+    for (std::size_t k = 0; k < kraus.size(); ++k) {
+        const Matrix2& m = kraus[k];
+        double p = 0.0;
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                const Amplitude a0 = amps_[i];
+                const Amplitude a1 = amps_[i + stride];
+                p += std::norm(m[0] * a0 + m[1] * a1);
+                p += std::norm(m[2] * a0 + m[3] * a1);
+            }
+        }
+        probs[k] = p;
+    }
+
+    const std::size_t chosen = rng.discrete(probs);
+    applyMatrix1q(kraus[chosen], q);
+    normalize();
+    return chosen;
+}
+
+bool
+StateVector::applyAmplitudeDamping(Qubit q, double gamma, Rng& rng)
+{
+    if (gamma <= 0.0)
+        return false;
+    const double p1 = probabilityOne(q);
+    if (p1 <= 0.0)
+        return false; // Channel acts trivially on |0>.
+    const double p_jump = gamma * p1;
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    if (rng.bernoulli(p_jump)) {
+        // Jump K1 = [[0, sqrt(g)], [0, 0]]: move the |1> component
+        // to |0>; the branch norm is p_jump, folded into the scale.
+        const double scale = 1.0 / std::sqrt(p1);
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                amps_[i] = amps_[i + stride] * scale;
+                amps_[i + stride] = 0.0;
+            }
+        }
+        return true;
+    }
+    // No-jump K0 = diag(1, sqrt(1-g)); branch norm is 1 - p_jump.
+    const double inv = 1.0 / std::sqrt(1.0 - p_jump);
+    const double keep = std::sqrt(1.0 - gamma) * inv;
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            amps_[i] *= inv;
+            amps_[i + stride] *= keep;
+        }
+    }
+    return false;
+}
+
+bool
+StateVector::applyPhaseDamping(Qubit q, double lambda, Rng& rng)
+{
+    if (lambda <= 0.0)
+        return false;
+    const double p1 = probabilityOne(q);
+    if (p1 <= 0.0)
+        return false;
+    const double p_jump = lambda * p1;
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    if (rng.bernoulli(p_jump)) {
+        // Jump K1 = diag(0, sqrt(lambda)): project onto |1>.
+        const double scale = 1.0 / std::sqrt(p1);
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                amps_[i] = 0.0;
+                amps_[i + stride] *= scale;
+            }
+        }
+        return true;
+    }
+    // No-jump K0 = diag(1, sqrt(1-lambda)).
+    const double inv = 1.0 / std::sqrt(1.0 - p_jump);
+    const double keep = std::sqrt(1.0 - lambda) * inv;
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            amps_[i] *= inv;
+            amps_[i + stride] *= keep;
+        }
+    }
+    return false;
+}
+
+bool
+StateVector::measureQubit(Qubit q, Rng& rng)
+{
+    const double p1 = probabilityOne(q);
+    const bool outcome = rng.bernoulli(p1);
+    collapseQubit(q, outcome);
+    return outcome;
+}
+
+void
+StateVector::collapseQubit(Qubit q, bool value)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = (i & stride) != 0;
+        if (bit != value)
+            amps_[i] = 0.0;
+    }
+    normalize();
+}
+
+double
+StateVector::norm() const
+{
+    double total = 0.0;
+    for (const Amplitude& a : amps_)
+        total += std::norm(a);
+    return total;
+}
+
+void
+StateVector::normalize()
+{
+    const double total = norm();
+    if (total <= 0.0)
+        throw std::logic_error("StateVector::normalize: null state");
+    const double scale = 1.0 / std::sqrt(total);
+    for (Amplitude& a : amps_)
+        a *= scale;
+}
+
+double
+StateVector::probabilityOf(BasisState s) const
+{
+    if (s >= amps_.size())
+        return 0.0;
+    return std::norm(amps_[s]);
+}
+
+double
+StateVector::probabilityOne(Qubit q) const
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t n = amps_.size();
+    double p = 0.0;
+    for (std::size_t base = stride; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i)
+            p += std::norm(amps_[i]);
+    }
+    return p;
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+BasisState
+StateVector::sample(Rng& rng) const
+{
+    double r = rng.uniform();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        r -= std::norm(amps_[i]);
+        if (r < 0.0)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+std::vector<BasisState>
+StateVector::sample(Rng& rng, std::size_t shots) const
+{
+    // Build the cumulative distribution once; binary-search per shot.
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+    std::vector<BasisState> out;
+    out.reserve(shots);
+    for (std::size_t s = 0; s < shots; ++s) {
+        const double r = rng.uniform() * acc;
+        const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        out.push_back(static_cast<BasisState>(
+            std::min<std::size_t>(it - cdf.begin(), cdf.size() - 1)));
+    }
+    return out;
+}
+
+Amplitude
+StateVector::innerProduct(const StateVector& other) const
+{
+    if (other.numQubits_ != numQubits_)
+        throw std::invalid_argument("innerProduct: size mismatch");
+    Amplitude acc{0.0, 0.0};
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+double
+StateVector::fidelity(const StateVector& other) const
+{
+    return std::norm(innerProduct(other));
+}
+
+} // namespace qem

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Dense state-vector register with in-place gate application.
+ *
+ * This is the computational core of the substrate: a 2^n complex
+ * vector with cache-friendly strided updates for one- and two-qubit
+ * unitaries, plus the non-unitary primitives the noise model needs
+ * (Kraus channel application by quantum-trajectory sampling,
+ * projective collapse) and measurement sampling.
+ */
+
+#ifndef QEM_QSIM_STATEVECTOR_HH
+#define QEM_QSIM_STATEVECTOR_HH
+
+#include <span>
+#include <vector>
+
+#include "qsim/gate.hh"
+#include "qsim/rng.hh"
+#include "qsim/types.hh"
+
+namespace qem
+{
+
+class StateVector
+{
+  public:
+    /** Initialize @p num_qubits qubits in the |0...0> state. */
+    explicit StateVector(unsigned num_qubits);
+
+    /** Initialize in the computational basis state @p s. */
+    StateVector(unsigned num_qubits, BasisState s);
+
+    unsigned numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    Amplitude amplitude(BasisState s) const { return amps_[s]; }
+    void setAmplitude(BasisState s, Amplitude a) { amps_[s] = a; }
+
+    /** Reset to the basis state @p s. */
+    void resetTo(BasisState s);
+
+    /** @name Unitary application. */
+    /// @{
+    /** Apply an arbitrary 2x2 unitary to qubit @p q. */
+    void applyMatrix1q(const Matrix2& m, Qubit q);
+
+    /**
+     * Apply an arbitrary 4x4 matrix where index bit 0 corresponds to
+     * qubit @p q0 and index bit 1 to qubit @p q1.
+     */
+    void applyMatrix2q(const Matrix4& m, Qubit q0, Qubit q1);
+
+    /** Fast paths for common gates. */
+    void applyX(Qubit q);
+    void applyZ(Qubit q);
+    void applyH(Qubit q);
+    void applyCX(Qubit control, Qubit target);
+    void applyCZ(Qubit a, Qubit b);
+    void applySwap(Qubit a, Qubit b);
+
+    /**
+     * Apply one unitary circuit operation (dispatches to the fast
+     * paths; CCX is decomposed on the fly). Throws for non-unitary
+     * operations.
+     */
+    void applyOperation(const Operation& op);
+    /// @}
+
+    /** @name Non-unitary primitives. */
+    /// @{
+    /**
+     * Apply a single-qubit Kraus channel by trajectory sampling: one
+     * Kraus operator is chosen with probability equal to the norm of
+     * its (unnormalized) output state, applied, and the state is
+     * renormalized.
+     *
+     * @param kraus The Kraus operators; must satisfy
+     *              sum_k K_k^dag K_k = I.
+     * @param q Target qubit.
+     * @param rng Random source deciding the trajectory branch.
+     * @return Index of the Kraus operator that was applied.
+     */
+    std::size_t applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
+                             Rng& rng);
+
+    /**
+     * Trajectory branch of the amplitude-damping channel with decay
+     * probability @p gamma, specialized for speed (two passes versus
+     * the generic Kraus path's seven): the jump branch fires with
+     * probability gamma * P(q=1), and the surviving branch applies
+     * the no-jump Kraus operator; both are renormalized in-place.
+     *
+     * @return True if the decay jump occurred.
+     */
+    bool applyAmplitudeDamping(Qubit q, double gamma, Rng& rng);
+
+    /**
+     * Trajectory branch of the phase-damping channel with dephasing
+     * probability @p lambda; same fast path as
+     * applyAmplitudeDamping.
+     *
+     * @return True if the dephasing jump occurred.
+     */
+    bool applyPhaseDamping(Qubit q, double lambda, Rng& rng);
+
+    /**
+     * Projectively measure qubit @p q, collapse the state, and
+     * renormalize.
+     *
+     * @return The measured bit.
+     */
+    bool measureQubit(Qubit q, Rng& rng);
+
+    /** Collapse qubit @p q to @p value (projector + renormalize). */
+    void collapseQubit(Qubit q, bool value);
+    /// @}
+
+    /** @name Probabilities and sampling. */
+    /// @{
+    /** Squared norm of the state (1 for any normalized state). */
+    double norm() const;
+
+    /** Rescale to unit norm; throws on a numerically null state. */
+    void normalize();
+
+    /** Probability that measuring everything yields @p s. */
+    double probabilityOf(BasisState s) const;
+
+    /** Probability that qubit @p q reads 1. */
+    double probabilityOne(Qubit q) const;
+
+    /** Full probability vector |amp|^2 over all basis states. */
+    std::vector<double> probabilities() const;
+
+    /** Sample one full-register measurement outcome. */
+    BasisState sample(Rng& rng) const;
+
+    /**
+     * Sample @p shots outcomes. Builds a cumulative table once, so
+     * this is the preferred path for repeated sampling.
+     */
+    std::vector<BasisState> sample(Rng& rng, std::size_t shots) const;
+    /// @}
+
+    /** Inner product <this|other>. */
+    Amplitude innerProduct(const StateVector& other) const;
+
+    /** |<this|other>|^2. */
+    double fidelity(const StateVector& other) const;
+
+  private:
+    unsigned numQubits_;
+    std::vector<Amplitude> amps_;
+};
+
+} // namespace qem
+
+#endif // QEM_QSIM_STATEVECTOR_HH

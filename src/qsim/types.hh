@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental types shared across the InvertQ libraries.
+ */
+
+#ifndef QEM_QSIM_TYPES_HH
+#define QEM_QSIM_TYPES_HH
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qem
+{
+
+/** Complex probability amplitude of a basis state. */
+using Amplitude = std::complex<double>;
+
+/**
+ * A computational basis state of up to 64 qubits, packed into an
+ * integer. Bit i of the integer is the value of qubit i.
+ */
+using BasisState = std::uint64_t;
+
+/** Index of a qubit within a circuit or machine. */
+using Qubit = unsigned;
+
+/** Index of a classical bit within a circuit's output register. */
+using Clbit = unsigned;
+
+/**
+ * Largest state-vector register the dense simulator will allocate.
+ * 2^28 amplitudes = 4 GiB of doubles; anything larger is refused
+ * up front rather than thrashing the machine.
+ */
+inline constexpr unsigned maxSimulatedQubits = 28;
+
+} // namespace qem
+
+#endif // QEM_QSIM_TYPES_HH

@@ -1,0 +1,203 @@
+#include "transpile/allocation.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "machine/drift.hh"
+
+namespace qem
+{
+
+JitteredAllocator::JitteredAllocator(std::uint64_t seed,
+                                     double sigma)
+    : seed_(seed), sigma_(sigma)
+{
+    if (sigma < 0.0)
+        throw std::invalid_argument("JitteredAllocator: negative "
+                                    "sigma");
+}
+
+Layout
+JitteredAllocator::allocate(const Circuit& circuit,
+                            const Machine& machine) const
+{
+    // Allocate against a drifted copy of the calibration: the
+    // topology is identical, so the layout is valid for the real
+    // machine, but the quality ordering the greedy sees differs
+    // per seed.
+    const Machine jittered =
+        driftCalibration(machine, sigma_, seed_);
+    return VariabilityAwareAllocator().allocate(circuit, jittered);
+}
+
+void
+validateLayout(const Layout& layout, unsigned num_logical,
+               unsigned num_physical)
+{
+    if (layout.size() != num_logical)
+        throw std::logic_error("layout size does not match the "
+                               "logical register");
+    std::vector<bool> used(num_physical, false);
+    for (Qubit phys : layout) {
+        if (phys >= num_physical)
+            throw std::logic_error("layout entry out of machine "
+                                   "range");
+        if (used[phys])
+            throw std::logic_error("layout maps two logical qubits "
+                                   "to one physical qubit");
+        used[phys] = true;
+    }
+}
+
+Layout
+TrivialAllocator::allocate(const Circuit& circuit,
+                           const Machine& machine) const
+{
+    if (circuit.numQubits() > machine.numQubits())
+        throw std::invalid_argument("TrivialAllocator: circuit wider "
+                                    "than machine");
+    Layout layout(circuit.numQubits());
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        layout[q] = q;
+    return layout;
+}
+
+VariabilityAwareAllocator::VariabilityAwareAllocator(
+    double distance_weight)
+    : distanceWeight_(distance_weight)
+{
+}
+
+Layout
+VariabilityAwareAllocator::allocate(const Circuit& circuit,
+                                    const Machine& machine) const
+{
+    const unsigned nl = circuit.numQubits();
+    const unsigned np = machine.numQubits();
+    if (nl > np)
+        throw std::invalid_argument("VariabilityAwareAllocator: "
+                                    "circuit wider than machine");
+    const Topology& topo = machine.topology();
+    const Calibration& calib = machine.calibration();
+
+    // Logical interaction weights: number of 2q gates per pair.
+    std::vector<std::vector<double>> interact(
+        nl, std::vector<double>(nl, 0.0));
+    std::vector<double> activity(nl, 0.0);
+    for (const Operation& op : circuit.ops()) {
+        if (isUnitary(op.kind) && op.qubits.size() == 2) {
+            const Qubit a = op.qubits[0];
+            const Qubit b = op.qubits[1];
+            interact[a][b] += 1.0;
+            interact[b][a] += 1.0;
+            activity[a] += 1.0;
+            activity[b] += 1.0;
+        }
+    }
+    for (const Operation& op : circuit.ops()) {
+        // Light weighting of 1q gates and readout keeps isolated
+        // qubits placed sensibly too.
+        if (op.qubits.size() == 1)
+            activity[op.qubits[0]] += 0.1;
+    }
+
+    // Physical qubit quality: readout and 1q-gate fidelity, plus the
+    // quality of the best incident links.
+    auto qubitQuality = [&](Qubit p) {
+        const QubitCalibration& qc = calib.qubit(p);
+        double best_link = 1.0;
+        for (Qubit nb : topo.neighbors(p)) {
+            if (calib.hasLink(p, nb))
+                best_link = std::min(best_link,
+                                     calib.link(p, nb).cxError);
+        }
+        return (1.0 - calib.readoutAssignmentError(p)) *
+               (1.0 - qc.gate1qError) * (1.0 - best_link);
+    };
+
+    std::vector<bool> placed_logical(nl, false);
+    std::vector<bool> used_physical(np, false);
+    Layout layout(nl, 0);
+
+    // Seed: the busiest logical qubit on the highest-quality
+    // physical qubit (ties by index for determinism).
+    Qubit seed_logical = 0;
+    for (Qubit q = 1; q < nl; ++q) {
+        if (activity[q] > activity[seed_logical])
+            seed_logical = q;
+    }
+    // Seed site: high quality, with a connectivity bonus so hub
+    // programs (e.g. BV's star interaction graph) land on
+    // high-degree qubits and avoid routing SWAPs.
+    auto seedScore = [&](Qubit p) {
+        return qubitQuality(p) * (1.0 + 0.05 * topo.degree(p));
+    };
+    Qubit seed_physical = 0;
+    for (Qubit p = 1; p < np; ++p) {
+        if (seedScore(p) > seedScore(seed_physical))
+            seed_physical = p;
+    }
+    layout[seed_logical] = seed_physical;
+    placed_logical[seed_logical] = true;
+    used_physical[seed_physical] = true;
+
+    for (unsigned step = 1; step < nl; ++step) {
+        // Next logical qubit: strongest total interaction with the
+        // placed set; fall back to activity.
+        Qubit next = nl;
+        double best_conn = -1.0;
+        for (Qubit q = 0; q < nl; ++q) {
+            if (placed_logical[q])
+                continue;
+            double conn = 0.0;
+            for (Qubit other = 0; other < nl; ++other) {
+                if (placed_logical[other])
+                    conn += interact[q][other];
+            }
+            conn += 1e-3 * activity[q];
+            if (conn > best_conn) {
+                best_conn = conn;
+                next = q;
+            }
+        }
+
+        // Best free physical site: minimize interaction-weighted
+        // distance + link error to already-placed partners, and
+        // prefer high-quality qubits.
+        Qubit best_site = np;
+        double best_cost = std::numeric_limits<double>::max();
+        for (Qubit p = 0; p < np; ++p) {
+            if (used_physical[p])
+                continue;
+            double cost = 1.0 - qubitQuality(p);
+            for (Qubit other = 0; other < nl; ++other) {
+                if (!placed_logical[other] ||
+                    interact[next][other] == 0.0) {
+                    continue;
+                }
+                const Qubit op_phys = layout[other];
+                const unsigned d = topo.distance(p, op_phys);
+                double link_err = 0.0;
+                if (d == 1 && calib.hasLink(p, op_phys))
+                    link_err = calib.link(p, op_phys).cxError;
+                cost += interact[next][other] *
+                        (link_err +
+                         distanceWeight_ * (d > 0 ? d - 1 : 0));
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_site = p;
+            }
+        }
+
+        layout[next] = best_site;
+        placed_logical[next] = true;
+        used_physical[best_site] = true;
+    }
+
+    validateLayout(layout, nl, np);
+    return layout;
+}
+
+} // namespace qem

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Qubit allocation: mapping logical program qubits onto physical
+ * machine qubits.
+ *
+ * The paper's baseline is "the most optimal qubit allocation ...
+ * cognizant of underlying noise and variation in the error rate such
+ * that benchmarks are mapped on strongest qubits and links with
+ * minimum number of SWAPs" (Section 4.3). VariabilityAwareAllocator
+ * implements that policy; TrivialAllocator (identity mapping) exists
+ * as the naive comparison point and for tests.
+ */
+
+#ifndef QEM_TRANSPILE_ALLOCATION_HH
+#define QEM_TRANSPILE_ALLOCATION_HH
+
+#include <vector>
+
+#include "machine/machine.hh"
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/** layout[logical] = physical. */
+using Layout = std::vector<Qubit>;
+
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Choose a layout for @p circuit on @p machine.
+     *
+     * @return layout of size circuit.numQubits() with distinct
+     *         physical entries.
+     */
+    virtual Layout allocate(const Circuit& circuit,
+                            const Machine& machine) const = 0;
+};
+
+/** Identity mapping: logical i -> physical i. */
+class TrivialAllocator : public Allocator
+{
+  public:
+    Layout allocate(const Circuit& circuit,
+                    const Machine& machine) const override;
+};
+
+/**
+ * Greedy variability-aware allocation.
+ *
+ * Builds the logical interaction graph (weighted by the number of
+ * two-qubit gates per pair), scores physical qubits by readout and
+ * gate fidelity, then grows the placement from the most-interacting
+ * logical qubit outward: each step places the unplaced logical qubit
+ * with the strongest interaction to the placed set on the free
+ * physical qubit minimizing a weighted cost of link error and hop
+ * distance (distance proxies the SWAPs routing will need).
+ */
+class VariabilityAwareAllocator : public Allocator
+{
+  public:
+    /**
+     * @param distance_weight Relative cost of one hop of separation
+     *        versus link error; higher values prioritize SWAP
+     *        avoidance.
+     */
+    explicit VariabilityAwareAllocator(double distance_weight = 0.05);
+
+    Layout allocate(const Circuit& circuit,
+                    const Machine& machine) const override;
+
+  private:
+    double distanceWeight_;
+};
+
+/**
+ * Variability-aware allocation against a *jittered* view of the
+ * calibration: every error rate is perturbed by a seeded lognormal
+ * factor before the greedy placement runs, so different seeds yield
+ * different-but-still-sensible layouts. This is the mapping
+ * diversity the authors' concurrent MICRO-52 work (EDM, "Ensemble
+ * of Diverse Mappings") spreads trials across to decorrelate
+ * mapping-specific mistakes.
+ */
+class JitteredAllocator : public Allocator
+{
+  public:
+    /**
+     * @param seed Jitter realization; equal seeds give equal
+     *        layouts.
+     * @param sigma Lognormal sigma of the rate perturbation; 0
+     *        reduces to plain variability-aware allocation.
+     */
+    explicit JitteredAllocator(std::uint64_t seed,
+                               double sigma = 0.3);
+
+    Layout allocate(const Circuit& circuit,
+                    const Machine& machine) const override;
+
+  private:
+    std::uint64_t seed_;
+    double sigma_;
+};
+
+/** Validate that a layout is injective and within machine range. */
+void validateLayout(const Layout& layout, unsigned num_logical,
+                    unsigned num_physical);
+
+} // namespace qem
+
+#endif // QEM_TRANSPILE_ALLOCATION_HH

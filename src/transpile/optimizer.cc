@@ -1,0 +1,215 @@
+#include "transpile/optimizer.hh"
+
+#include <cmath>
+#include <optional>
+
+namespace qem
+{
+
+namespace
+{
+
+/** True when two adjacent operations annihilate. */
+bool
+isInversePair(const Operation& a, const Operation& b)
+{
+    auto self_inverse = [](GateKind kind) {
+        switch (kind) {
+          case GateKind::X:
+          case GateKind::Y:
+          case GateKind::Z:
+          case GateKind::H:
+          case GateKind::CX:
+          case GateKind::CZ:
+          case GateKind::SWAP:
+            return true;
+          default:
+            return false;
+        }
+    };
+    auto orderless = [](GateKind kind) {
+        return kind == GateKind::CZ || kind == GateKind::SWAP;
+    };
+    auto same_operands = [&](const Operation& x,
+                             const Operation& y) {
+        if (x.qubits == y.qubits)
+            return true;
+        if (orderless(x.kind) && x.qubits.size() == 2 &&
+            x.qubits[0] == y.qubits[1] &&
+            x.qubits[1] == y.qubits[0]) {
+            return true;
+        }
+        return false;
+    };
+
+    if (self_inverse(a.kind) && a.kind == b.kind)
+        return same_operands(a, b);
+    // Fixed-phase inverse pairs, either order.
+    const GateKind ka = a.kind, kb = b.kind;
+    const bool s_pair = (ka == GateKind::S && kb == GateKind::SDG) ||
+                        (ka == GateKind::SDG && kb == GateKind::S);
+    const bool t_pair = (ka == GateKind::T && kb == GateKind::TDG) ||
+                        (ka == GateKind::TDG && kb == GateKind::T);
+    if (s_pair || t_pair)
+        return a.qubits == b.qubits;
+    return false;
+}
+
+/** Index of the first op after @p from touching any of its
+ *  qubits; nullopt if none. Barriers block everything. */
+std::optional<std::size_t>
+nextOpTouching(const std::vector<Operation>& ops, std::size_t from)
+{
+    const Operation& ref = ops[from];
+    for (std::size_t j = from + 1; j < ops.size(); ++j) {
+        if (ops[j].kind == GateKind::BARRIER)
+            return j;
+        for (Qubit q : ref.qubits) {
+            if (ops[j].touches(q))
+                return j;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+isMergeableRotation(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::P:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True if the rotation angle is a full turn (identity up to
+ *  global phase, which nothing in this project observes). */
+bool
+isFullTurn(double angle)
+{
+    const double two_pi = 2.0 * M_PI;
+    const double r = std::remainder(angle, two_pi);
+    return std::abs(r) < 1e-12;
+}
+
+} // namespace
+
+Circuit
+decomposeMultiQubitGates(const Circuit& circuit)
+{
+    Circuit out(circuit.numQubits(),
+                static_cast<int>(circuit.numClbits()));
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind != GateKind::CCX) {
+            out.append(op);
+            continue;
+        }
+        // Standard Toffoli decomposition (matches the state-vector
+        // fast path).
+        const Qubit a = op.qubits[0];
+        const Qubit b = op.qubits[1];
+        const Qubit c = op.qubits[2];
+        out.h(c).cx(b, c).tdg(c).cx(a, c).t(c).cx(b, c).tdg(c)
+            .cx(a, c).t(b).t(c).h(c).cx(a, b).t(a).tdg(b)
+            .cx(a, b);
+    }
+    return out;
+}
+
+Circuit
+cancelInversePairs(const Circuit& circuit)
+{
+    std::vector<Operation> ops(circuit.ops());
+    std::vector<bool> dead(ops.size(), false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (dead[i] || !isUnitary(ops[i].kind))
+                continue;
+            // Find the next op touching our qubits; if it was
+            // already cancelled this pass, the post-pass compaction
+            // and the fixed-point loop will revisit this site.
+            const auto next = nextOpTouching(ops, i);
+            if (!next || dead[*next])
+                continue;
+            if (isInversePair(ops[i], ops[*next])) {
+                // The partner must touch exactly our qubits;
+                // otherwise an extra operand saw only one gate.
+                if (ops[*next].qubits.size() ==
+                    ops[i].qubits.size()) {
+                    dead[i] = dead[*next] = true;
+                    changed = true;
+                }
+            }
+        }
+        // Compact away dead ops so "adjacent" re-evaluates.
+        std::vector<Operation> alive;
+        alive.reserve(ops.size());
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (!dead[i])
+                alive.push_back(std::move(ops[i]));
+        }
+        ops = std::move(alive);
+        dead.assign(ops.size(), false);
+    }
+
+    Circuit out(circuit.numQubits(),
+                static_cast<int>(circuit.numClbits()));
+    for (Operation& op : ops)
+        out.append(std::move(op));
+    return out;
+}
+
+Circuit
+mergeRotations(const Circuit& circuit)
+{
+    std::vector<Operation> ops(circuit.ops());
+    std::vector<bool> dead(ops.size(), false);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (dead[i] || !isMergeableRotation(ops[i].kind))
+            continue;
+        // Absorb consecutive same-kind rotations on this qubit.
+        std::size_t cur = i;
+        while (true) {
+            const auto next = nextOpTouching(ops, cur);
+            if (!next || dead[*next])
+                break;
+            if (ops[*next].kind != ops[i].kind ||
+                ops[*next].qubits != ops[i].qubits) {
+                break;
+            }
+            ops[i].params[0] += ops[*next].params[0];
+            dead[*next] = true;
+            cur = *next;
+        }
+        if (isFullTurn(ops[i].params[0]))
+            dead[i] = true;
+    }
+
+    Circuit out(circuit.numQubits(),
+                static_cast<int>(circuit.numClbits()));
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (!dead[i])
+            out.append(std::move(ops[i]));
+    }
+    return out;
+}
+
+Circuit
+optimizeCircuit(const Circuit& circuit)
+{
+    Circuit current = circuit;
+    while (true) {
+        Circuit next = mergeRotations(cancelInversePairs(current));
+        if (next.size() == current.size())
+            return next;
+        current = std::move(next);
+    }
+}
+
+} // namespace qem

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Peephole circuit optimizer: inverse-pair cancellation and
+ * rotation merging.
+ *
+ * NISQ compilers run passes like these because every removed gate
+ * is removed error exposure (the related-work section's "eliminate
+ * redundant gates" line of compilers). Two rewrites are provided:
+ *
+ *  - cancelInversePairs: X·X, Y·Y, Z·Z, H·H, CX·CX, CZ·CZ,
+ *    SWAP·SWAP (same operands), and S·SDG / T·TDG pairs are removed
+ *    when no intervening operation touches the shared qubits.
+ *  - mergeRotations: adjacent RX/RY/RZ/P on one qubit sum their
+ *    angles; full-turn results are dropped (global phase is
+ *    irrelevant to every consumer in this project).
+ *
+ * optimizeCircuit() runs both to a fixed point. The transpiler
+ * applies it to the *logical* circuit before routing; inversion
+ * strings are appended after transpilation, so mitigation X gates
+ * are never "optimized away".
+ */
+
+#ifndef QEM_TRANSPILE_OPTIMIZER_HH
+#define QEM_TRANSPILE_OPTIMIZER_HH
+
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/**
+ * Lower multi-qubit gates the router cannot place: CCX becomes the
+ * standard 6-CX H/T decomposition. One- and two-qubit operations
+ * pass through untouched.
+ */
+Circuit decomposeMultiQubitGates(const Circuit& circuit);
+
+/** One pass of adjacent inverse-pair cancellation. */
+Circuit cancelInversePairs(const Circuit& circuit);
+
+/** One pass of rotation merging (and zero-rotation elision). */
+Circuit mergeRotations(const Circuit& circuit);
+
+/** Both rewrites, iterated to a fixed point. */
+Circuit optimizeCircuit(const Circuit& circuit);
+
+} // namespace qem
+
+#endif // QEM_TRANSPILE_OPTIMIZER_HH

@@ -1,0 +1,81 @@
+#include "transpile/routing.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qem
+{
+
+Router::Router(const Topology& topology)
+    : topology_(topology)
+{
+}
+
+RoutedCircuit
+Router::route(const Circuit& circuit,
+              const Layout& initial_layout) const
+{
+    const unsigned np = topology_.numQubits();
+    validateLayout(initial_layout, circuit.numQubits(), np);
+
+    RoutedCircuit out;
+    out.circuit = Circuit(np, static_cast<int>(circuit.numClbits()));
+    Layout where = initial_layout; // logical -> current physical
+
+    auto emitSwap = [&](Qubit a, Qubit b) {
+        // Hardware realizes SWAP as 3 CX; emit the decomposition so
+        // the noise model charges the true cost.
+        out.circuit.cx(a, b).cx(b, a).cx(a, b);
+        ++out.swapCount;
+        // Update the inverse tracking: any logical qubit living on a
+        // or b moves to the other side.
+        for (Qubit& phys : where) {
+            if (phys == a)
+                phys = b;
+            else if (phys == b)
+                phys = a;
+        }
+    };
+
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::BARRIER) {
+            out.circuit.barrier();
+            continue;
+        }
+        if (op.qubits.size() == 2 && isUnitary(op.kind)) {
+            Qubit pa = where[op.qubits[0]];
+            Qubit pb = where[op.qubits[1]];
+            if (!topology_.coupled(pa, pb)) {
+                // Walk operand A along a shortest path until the
+                // pair is adjacent.
+                const std::vector<Qubit> path =
+                    topology_.shortestPath(pa, pb);
+                for (std::size_t i = 0; i + 2 < path.size(); ++i)
+                    emitSwap(path[i], path[i + 1]);
+                pa = where[op.qubits[0]];
+                pb = where[op.qubits[1]];
+                if (!topology_.coupled(pa, pb))
+                    throw std::logic_error("Router: SWAP chain failed "
+                                           "to make operands "
+                                           "adjacent");
+            }
+            Operation phys = op;
+            phys.qubits = {pa, pb};
+            out.circuit.append(std::move(phys));
+            continue;
+        }
+        if (op.qubits.size() == 3 && isUnitary(op.kind)) {
+            throw std::invalid_argument("Router: decompose 3-qubit "
+                                        "gates before routing");
+        }
+        Operation phys = op;
+        for (Qubit& q : phys.qubits)
+            q = where[q];
+        out.circuit.append(std::move(phys));
+    }
+
+    out.finalLayout = where;
+    return out;
+}
+
+} // namespace qem

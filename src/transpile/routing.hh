@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SWAP-insertion router.
+ *
+ * Rewrites a physically-mapped circuit so every two-qubit gate acts
+ * across a coupled pair, inserting SWAP chains along shortest paths
+ * when operands are distant. The logical->physical correspondence
+ * changes as SWAPs execute; the router tracks it so measurements read
+ * the current home of each logical qubit.
+ */
+
+#ifndef QEM_TRANSPILE_ROUTING_HH
+#define QEM_TRANSPILE_ROUTING_HH
+
+#include "machine/topology.hh"
+#include "qsim/circuit.hh"
+#include "transpile/allocation.hh"
+
+namespace qem
+{
+
+/** Result of routing: the rewritten circuit plus mapping metadata. */
+struct RoutedCircuit
+{
+    /** Circuit over the machine's physical register. */
+    Circuit circuit;
+    /** Final home of each logical qubit after all SWAPs. */
+    Layout finalLayout;
+    /** Number of SWAP gates inserted. */
+    std::size_t swapCount = 0;
+
+    RoutedCircuit() : circuit(1) {}
+};
+
+class Router
+{
+  public:
+    explicit Router(const Topology& topology);
+
+    /**
+     * Route @p circuit (a *logical* circuit) onto the topology using
+     * @p initial_layout as the starting placement. Gate operands and
+     * measurements are rewritten to physical indices; SWAPs are
+     * decomposed into 3 CX when emitted so downstream noise treats
+     * them like hardware would.
+     */
+    RoutedCircuit route(const Circuit& circuit,
+                        const Layout& initial_layout) const;
+
+  private:
+    const Topology& topology_;
+};
+
+} // namespace qem
+
+#endif // QEM_TRANSPILE_ROUTING_HH

@@ -1,0 +1,112 @@
+#include "transpile/scheduler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qem
+{
+
+Scheduler::Scheduler(const Machine& machine)
+    : machine_(machine)
+{
+}
+
+double
+Scheduler::opDurationNs(const Operation& op) const
+{
+    const Calibration& calib = machine_.calibration();
+    switch (op.kind) {
+      case GateKind::BARRIER:
+        return 0.0;
+      case GateKind::DELAY:
+        return op.params[0];
+      case GateKind::MEASURE:
+        return calib.measureDurationNs();
+      case GateKind::RESET:
+        return calib.measureDurationNs();
+      default:
+        break;
+    }
+    if (op.qubits.size() == 1)
+        return calib.qubit(op.qubits[0]).gate1qDurationNs;
+    if (op.qubits.size() == 2 &&
+        calib.hasLink(op.qubits[0], op.qubits[1])) {
+        return calib.link(op.qubits[0], op.qubits[1]).cxDurationNs;
+    }
+    // Uncalibrated multi-qubit gate: charge the worst calibrated
+    // link duration as a conservative default.
+    double worst = 0.0;
+    for (const auto& [a, b] : machine_.topology().edges())
+        worst = std::max(worst, calib.link(a, b).cxDurationNs);
+    return worst;
+}
+
+ScheduledCircuit
+Scheduler::schedule(const Circuit& circuit) const
+{
+    if (circuit.numQubits() > machine_.numQubits())
+        throw std::invalid_argument("Scheduler: circuit wider than "
+                                    "machine");
+
+    ScheduledCircuit out;
+    out.circuit = Circuit(circuit.numQubits(),
+                          static_cast<int>(circuit.numClbits()));
+    std::vector<double> ready(circuit.numQubits(), 0.0);
+
+    // First pass: gates. Measurements are collected and aligned at
+    // the end (simultaneous readout cycle).
+    std::vector<Operation> measures;
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::MEASURE) {
+            measures.push_back(op);
+            continue;
+        }
+        if (op.kind == GateKind::BARRIER) {
+            // Synchronize all qubits.
+            const double t =
+                *std::max_element(ready.begin(), ready.end());
+            for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+                if (t > ready[q]) {
+                    out.circuit.delay(t - ready[q], q);
+                    ready[q] = t;
+                }
+            }
+            out.circuit.barrier();
+            continue;
+        }
+        double start = 0.0;
+        for (Qubit q : op.qubits)
+            start = std::max(start, ready[q]);
+        for (Qubit q : op.qubits) {
+            if (start > ready[q])
+                out.circuit.delay(start - ready[q], q);
+        }
+        const double dur = opDurationNs(op);
+        for (Qubit q : op.qubits)
+            ready[q] = start + dur;
+        out.circuit.append(op);
+    }
+
+    // Second pass: align measured qubits to a common readout start.
+    // All padding delays are emitted before any MEASURE so the
+    // readout cycle forms one contiguous block.
+    double readout_start = 0.0;
+    for (const Operation& m : measures)
+        readout_start = std::max(readout_start, ready[m.qubits[0]]);
+    for (const Operation& m : measures) {
+        const Qubit q = m.qubits[0];
+        if (readout_start > ready[q]) {
+            out.circuit.delay(readout_start - ready[q], q);
+            ready[q] = readout_start;
+        }
+    }
+    for (const Operation& m : measures)
+        out.circuit.append(m);
+
+    out.durationNs = readout_start;
+    for (double t : ready)
+        out.durationNs = std::max(out.durationNs, t);
+    return out;
+}
+
+} // namespace qem

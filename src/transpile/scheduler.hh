@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASAP scheduler: attaches wall-clock timing to a physical circuit
+ * and materializes idle windows as DELAY operations.
+ *
+ * The trajectory simulator applies thermal relaxation wherever a
+ * DELAY appears, so scheduling is what exposes a circuit to
+ * coherence (T1/T2) errors beyond per-gate decay. Measurements are
+ * aligned to fire simultaneously at the end, like the hardware's
+ * readout cycle; qubits that finish their gates early therefore idle
+ * (and decay) until readout — one of the mechanisms behind the
+ * 1 -> 0 measurement bias.
+ */
+
+#ifndef QEM_TRANSPILE_SCHEDULER_HH
+#define QEM_TRANSPILE_SCHEDULER_HH
+
+#include "machine/machine.hh"
+#include "qsim/circuit.hh"
+
+namespace qem
+{
+
+/** Scheduling result. */
+struct ScheduledCircuit
+{
+    /** Circuit with DELAY operations covering idle windows. */
+    Circuit circuit;
+    /** Total wall-clock duration (start of readout), nanoseconds. */
+    double durationNs = 0.0;
+
+    ScheduledCircuit() : circuit(1) {}
+};
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(const Machine& machine);
+
+    /**
+     * Schedule a *physical* circuit (operands are machine qubits).
+     * Gate durations come from the machine calibration. Every
+     * measured qubit receives a delay up to the common readout start
+     * time before its MEASURE.
+     */
+    ScheduledCircuit schedule(const Circuit& circuit) const;
+
+    /** Duration of one operation per the machine calibration. */
+    double opDurationNs(const Operation& op) const;
+
+  private:
+    const Machine& machine_;
+};
+
+} // namespace qem
+
+#endif // QEM_TRANSPILE_SCHEDULER_HH

@@ -1,0 +1,39 @@
+#include "transpile/transpiler.hh"
+
+namespace qem
+{
+
+Transpiler::Transpiler(const Machine& machine,
+                       std::shared_ptr<const Allocator> allocator,
+                       TranspilerOptions options)
+    : machine_(machine), allocator_(std::move(allocator)),
+      options_(options)
+{
+    if (!allocator_)
+        allocator_ = std::make_shared<VariabilityAwareAllocator>();
+}
+
+TranspiledProgram
+Transpiler::transpile(const Circuit& logical) const
+{
+    const Circuit lowered = decomposeMultiQubitGates(logical);
+    const Circuit optimized = options_.optimizeLogical
+                                  ? optimizeCircuit(lowered)
+                                  : lowered;
+    TranspiledProgram out;
+    out.initialLayout = allocator_->allocate(optimized, machine_);
+
+    Router router(machine_.topology());
+    RoutedCircuit routed =
+        router.route(optimized, out.initialLayout);
+    out.finalLayout = std::move(routed.finalLayout);
+    out.swapCount = routed.swapCount;
+
+    Scheduler scheduler(machine_);
+    ScheduledCircuit scheduled = scheduler.schedule(routed.circuit);
+    out.circuit = std::move(scheduled.circuit);
+    out.durationNs = scheduled.durationNs;
+    return out;
+}
+
+} // namespace qem

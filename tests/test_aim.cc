@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for Adaptive Invert-and-Measure (AIM).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "metrics/reliability.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/sim_policy.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Readout-only backend with an arbitrary strongest state. */
+TrajectorySimulator
+arbitraryBiasBackend(std::uint64_t seed)
+{
+    // Strongest state is NOT all-zeros: qubit 1 reads a 1 better
+    // than a 0 (p01 > p10 there), everyone else is one-biased.
+    NoiseModel model(3);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.01, 0.30, 0.02},
+        std::vector<double>{0.30, 0.01, 0.35}));
+    return TrajectorySimulator(std::move(model), seed);
+}
+
+std::shared_ptr<const RbmsEstimate>
+profile(Backend& backend)
+{
+    return characterizeAuto(backend, {0, 1, 2});
+}
+
+TEST(AimPolicy, ValidatesConstruction)
+{
+    EXPECT_THROW(AdaptiveInvertAndMeasure(nullptr),
+                 std::invalid_argument);
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>{1.0, 0.5});
+    AimOptions bad;
+    bad.canaryFraction = 0.0;
+    EXPECT_THROW(AdaptiveInvertAndMeasure(rbms, bad),
+                 std::invalid_argument);
+    bad.canaryFraction = 1.0;
+    EXPECT_THROW(AdaptiveInvertAndMeasure(rbms, bad),
+                 std::invalid_argument);
+    AimOptions zero_k;
+    zero_k.numCandidates = 0;
+    EXPECT_THROW(AdaptiveInvertAndMeasure(rbms, zero_k),
+                 std::invalid_argument);
+}
+
+TEST(AimPolicy, RequiresMatchingRbmsWidth)
+{
+    auto backend = arbitraryBiasBackend(71);
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>{1.0, 0.5}); // 1 bit, circuit has 3.
+    AdaptiveInvertAndMeasure aim(rbms);
+    const Circuit c = basisStatePrep(3, 0b101);
+    EXPECT_THROW(aim.run(c, backend, 1000), std::invalid_argument);
+    Circuit unmeasured(3);
+    EXPECT_THROW(aim.run(unmeasured, backend, 1000),
+                 std::invalid_argument);
+}
+
+TEST(AimPolicy, CandidatesContainTheTrueOutput)
+{
+    auto backend = arbitraryBiasBackend(72);
+    AdaptiveInvertAndMeasure aim(profile(backend));
+    const BasisState truth = fromBitString("101");
+    aim.run(basisStatePrep(3, truth), backend, 8000);
+    const auto& candidates = aim.lastCandidates();
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                        truth),
+              candidates.end());
+    EXPECT_LE(candidates.size(), 4u);
+}
+
+TEST(AimPolicy, SteersWeakStateToStrongest)
+{
+    // The weakest-read state: 101 (both one-biased qubits excited,
+    // qubit 1 at 0 which it reads badly). AIM must beat both the
+    // baseline and four-mode SIM on it.
+    const BasisState truth = fromBitString("101");
+    const Circuit c = basisStatePrep(3, truth);
+
+    auto b1 = arbitraryBiasBackend(73);
+    BaselinePolicy baseline;
+    const double p_base = pst(baseline.run(c, b1, 30000), truth);
+
+    auto b2 = arbitraryBiasBackend(74);
+    StaticInvertAndMeasure sim;
+    const double p_sim = pst(sim.run(c, b2, 30000), truth);
+
+    auto b3 = arbitraryBiasBackend(75);
+    AdaptiveInvertAndMeasure aim(profile(b3));
+    const double p_aim = pst(aim.run(c, b3, 30000), truth);
+
+    EXPECT_GT(p_sim, p_base);
+    EXPECT_GT(p_aim, p_sim);
+    // The strongest state of this model is read with ~0.95^3
+    // fidelity; AIM should get most of the way there on 75% of the
+    // trials.
+    EXPECT_GT(p_aim, 0.6);
+}
+
+TEST(AimPolicy, TotalTrialBudgetIsRespected)
+{
+    auto backend = arbitraryBiasBackend(76);
+    AdaptiveInvertAndMeasure aim(profile(backend));
+    const Counts counts =
+        aim.run(basisStatePrep(3, 0b111), backend, 10000);
+    EXPECT_EQ(counts.total(), 10000u);
+}
+
+TEST(AimPolicy, CanaryFractionControlsSplit)
+{
+    // A counting backend verifies ~canaryFraction of trials run in
+    // four canary modes and the rest in tailored modes.
+    class CountingBackend : public Backend
+    {
+      public:
+        Counts run(const Circuit& circuit,
+                   std::size_t shots) override
+        {
+            calls.push_back(shots);
+            Counts counts(circuit.numClbits());
+            counts.add(0b01, shots); // Deterministic "output".
+            return counts;
+        }
+        unsigned numQubits() const override { return 2; }
+        std::vector<std::size_t> calls;
+    };
+
+    CountingBackend backend;
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>{0.9, 0.6, 0.5, 0.3});
+    AimOptions options;
+    options.canaryFraction = 0.25;
+    options.numCandidates = 2;
+    AdaptiveInvertAndMeasure aim(rbms, options);
+    Circuit c(2);
+    c.measureAll();
+    aim.run(c, backend, 1000);
+    // Four canary calls of 62/63 shots each (250 total), then the
+    // tailored calls totalling 750.
+    ASSERT_GE(backend.calls.size(), 5u);
+    std::size_t canary = 0;
+    for (int i = 0; i < 4; ++i)
+        canary += backend.calls[i];
+    EXPECT_EQ(canary, 250u);
+    std::size_t tailored = 0;
+    for (std::size_t i = 4; i < backend.calls.size(); ++i)
+        tailored += backend.calls[i];
+    EXPECT_EQ(tailored, 750u);
+}
+
+TEST(AimPolicy, NameIsAim)
+{
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>{1.0, 0.5});
+    EXPECT_EQ(AdaptiveInvertAndMeasure(rbms).name(), "AIM");
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for qubit allocation.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "machine/machines.hh"
+#include "transpile/allocation.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Allocation, ValidateLayoutCatchesBadLayouts)
+{
+    EXPECT_NO_THROW(validateLayout({2, 0, 1}, 3, 5));
+    EXPECT_THROW(validateLayout({0, 1}, 3, 5), std::logic_error);
+    EXPECT_THROW(validateLayout({0, 5, 1}, 3, 5), std::logic_error);
+    EXPECT_THROW(validateLayout({0, 0, 1}, 3, 5), std::logic_error);
+}
+
+TEST(Allocation, TrivialAllocatorIsIdentity)
+{
+    TrivialAllocator alloc;
+    Circuit c(3);
+    c.h(0);
+    const Layout layout = alloc.allocate(c, makeIbmqx2());
+    EXPECT_EQ(layout, (Layout{0, 1, 2}));
+    Circuit wide(6);
+    EXPECT_THROW(alloc.allocate(wide, makeIbmqx2()),
+                 std::invalid_argument);
+}
+
+TEST(Allocation, VariabilityAwareProducesValidLayout)
+{
+    VariabilityAwareAllocator alloc;
+    const Machine m = makeIbmqMelbourne();
+    Circuit c = bernsteinVazirani(6, 0b111111);
+    const Layout layout = alloc.allocate(c, m);
+    EXPECT_NO_THROW(
+        validateLayout(layout, c.numQubits(), m.numQubits()));
+}
+
+TEST(Allocation, VariabilityAwareAvoidsWorstReadoutQubit)
+{
+    // Melbourne's qubit 9 has a 31% assignment error; a 5-qubit
+    // program has plenty of better homes.
+    VariabilityAwareAllocator alloc;
+    const Machine m = makeIbmqMelbourne();
+    Qubit worst = 0;
+    for (Qubit q = 1; q < m.numQubits(); ++q) {
+        if (m.calibration().readoutAssignmentError(q) >
+            m.calibration().readoutAssignmentError(worst)) {
+            worst = q;
+        }
+    }
+    Circuit c = bernsteinVazirani(4, 0b1111);
+    const Layout layout = alloc.allocate(c, m);
+    EXPECT_EQ(std::count(layout.begin(), layout.end(), worst), 0)
+        << "program was placed on the worst qubit " << worst;
+}
+
+TEST(Allocation, InteractingQubitsPlacedAdjacent)
+{
+    // BV's star interaction graph fits the bowtie: every key qubit
+    // should be adjacent to the ancilla's physical home.
+    VariabilityAwareAllocator alloc;
+    const Machine m = makeIbmqx2();
+    Circuit c = bernsteinVazirani(4, 0b1111);
+    const Layout layout = alloc.allocate(c, m);
+    const Qubit ancilla_phys = layout[4];
+    int adjacent = 0;
+    for (Qubit key = 0; key < 4; ++key)
+        adjacent += m.topology().coupled(layout[key], ancilla_phys);
+    // The bowtie center has degree 4, so a good allocation makes
+    // all four key qubits adjacent.
+    EXPECT_EQ(adjacent, 4);
+}
+
+TEST(Allocation, RejectsOverwideCircuit)
+{
+    VariabilityAwareAllocator alloc;
+    Circuit c(6);
+    EXPECT_THROW(alloc.allocate(c, makeIbmqx2()),
+                 std::invalid_argument);
+}
+
+TEST(Allocation, DeterministicAcrossCalls)
+{
+    VariabilityAwareAllocator alloc;
+    const Machine m = makeIbmqMelbourne();
+    Circuit c = bernsteinVazirani(5, 0b10101);
+    EXPECT_EQ(alloc.allocate(c, m), alloc.allocate(c, m));
+}
+
+} // namespace
+} // namespace qem

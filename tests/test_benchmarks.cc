@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the Table-3 benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/benchmarks.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Benchmarks, Q5SuiteMatchesTable3)
+{
+    const auto suite = benchmarkSuiteQ5();
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].name, "bv-4A");
+    EXPECT_EQ(suite[0].correctOutput, fromBitString("0111"));
+    EXPECT_EQ(suite[1].name, "bv-4B");
+    EXPECT_EQ(suite[1].correctOutput, fromBitString("1111"));
+    EXPECT_EQ(suite[2].name, "qaoa-4A");
+    EXPECT_EQ(suite[2].correctOutput, fromBitString("0101"));
+    EXPECT_EQ(suite[3].name, "qaoa-4B");
+    EXPECT_EQ(suite[3].correctOutput, fromBitString("0111"));
+    for (const auto& bench : suite) {
+        EXPECT_LE(bench.circuit.numQubits(), 5u) << bench.name;
+        EXPECT_TRUE(bench.circuit.hasMeasurements()) << bench.name;
+        EXPECT_EQ(bench.outputBits, 4u) << bench.name;
+        ASSERT_FALSE(bench.acceptedOutputs.empty()) << bench.name;
+        EXPECT_EQ(bench.acceptedOutputs[0], bench.correctOutput);
+    }
+}
+
+TEST(Benchmarks, Q14SuiteMatchesTable3)
+{
+    const auto suite = benchmarkSuiteQ14();
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].name, "bv-6");
+    EXPECT_EQ(suite[0].correctOutput, fromBitString("011111"));
+    EXPECT_EQ(suite[1].name, "bv-7");
+    EXPECT_EQ(suite[1].correctOutput, fromBitString("0111111"));
+    EXPECT_EQ(suite[2].name, "qaoa-6");
+    EXPECT_EQ(suite[2].correctOutput, fromBitString("101011"));
+    EXPECT_EQ(suite[3].name, "qaoa-7");
+    EXPECT_EQ(suite[3].correctOutput, fromBitString("1010110"));
+}
+
+TEST(Benchmarks, SuiteForDispatchesOnMachineSize)
+{
+    EXPECT_EQ(benchmarkSuiteFor(5).front().name, "bv-4A");
+    EXPECT_EQ(benchmarkSuiteFor(14).front().name, "bv-6");
+}
+
+TEST(Benchmarks, ComplementOutput)
+{
+    const auto suite = benchmarkSuiteQ5();
+    EXPECT_EQ(complementOutput(suite[2]), fromBitString("1010"));
+}
+
+TEST(Benchmarks, BvBenchmarksAreExactOnIdealHardware)
+{
+    for (const auto& bench : benchmarkSuiteQ5()) {
+        if (bench.name.rfind("bv", 0) != 0)
+            continue;
+        IdealSimulator sim(bench.circuit.numQubits(), 31);
+        EXPECT_EQ(sim.run(bench.circuit, 100).get(
+                      bench.correctOutput),
+                  100u)
+            << bench.name;
+    }
+}
+
+TEST(Benchmarks, QaoaBenchmarksConcentrateOnOptimum)
+{
+    for (const auto& suite :
+         {benchmarkSuiteQ5(), benchmarkSuiteQ14()}) {
+        for (const auto& bench : suite) {
+            if (bench.name.rfind("qaoa", 0) != 0)
+                continue;
+            IdealSimulator sim(bench.circuit.numQubits(), 32);
+            const Counts counts = sim.run(bench.circuit, 20000);
+            const BasisState top = counts.mostFrequent();
+            EXPECT_TRUE(top == bench.correctOutput ||
+                        top == complementOutput(bench))
+                << bench.name << " top="
+                << toBitString(top, bench.outputBits);
+        }
+    }
+}
+
+TEST(Benchmarks, MakersValidateInputs)
+{
+    EXPECT_THROW(makeBvBenchmark("x", 4, "011"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        makeQaoaBenchmark("x", cycleGraph(4), 1, "01011"),
+        std::invalid_argument);
+    // Declared target must actually be the max cut.
+    EXPECT_THROW(makeQaoaBenchmark("x", cycleGraph(4), 1, "0011"),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace qem

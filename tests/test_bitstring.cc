@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the packed bit-string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Bitstring, HammingWeightCountsSetBits)
+{
+    EXPECT_EQ(hammingWeight(0), 0);
+    EXPECT_EQ(hammingWeight(1), 1);
+    EXPECT_EQ(hammingWeight(0b10110), 3);
+    EXPECT_EQ(hammingWeight(~BasisState{0}), 64);
+}
+
+TEST(Bitstring, HammingDistanceCountsDifferingBits)
+{
+    EXPECT_EQ(hammingDistance(0, 0), 0);
+    EXPECT_EQ(hammingDistance(0b101, 0b010), 3);
+    EXPECT_EQ(hammingDistance(0b1100, 0b1010), 2);
+}
+
+TEST(Bitstring, GetAndSetBit)
+{
+    BasisState s = 0;
+    s = setBit(s, 3, true);
+    EXPECT_TRUE(getBit(s, 3));
+    EXPECT_FALSE(getBit(s, 2));
+    s = setBit(s, 3, false);
+    EXPECT_EQ(s, 0u);
+    // Setting an already-set bit is idempotent.
+    s = setBit(setBit(s, 7, true), 7, true);
+    EXPECT_EQ(s, BasisState{1} << 7);
+}
+
+TEST(Bitstring, AllOnesWidths)
+{
+    EXPECT_EQ(allOnes(0), 0u);
+    EXPECT_EQ(allOnes(1), 1u);
+    EXPECT_EQ(allOnes(5), 0b11111u);
+    EXPECT_EQ(allOnes(64), ~BasisState{0});
+}
+
+TEST(Bitstring, ToBitStringPutsQubitZeroFirst)
+{
+    EXPECT_EQ(toBitString(0b00001, 5), "10000");
+    EXPECT_EQ(toBitString(0b10000, 5), "00001");
+    EXPECT_EQ(toBitString(0, 3), "000");
+    EXPECT_EQ(toBitString(allOnes(4), 4), "1111");
+}
+
+TEST(Bitstring, FromBitStringInvertsToBitString)
+{
+    for (BasisState s = 0; s < 64; ++s)
+        EXPECT_EQ(fromBitString(toBitString(s, 6)), s);
+}
+
+TEST(Bitstring, FromBitStringRejectsGarbage)
+{
+    EXPECT_THROW(fromBitString("01x1"), std::invalid_argument);
+    EXPECT_THROW(fromBitString(std::string(65, '0')),
+                 std::invalid_argument);
+    EXPECT_EQ(fromBitString(""), 0u);
+}
+
+TEST(Bitstring, StatesByHammingWeightOrdering)
+{
+    const auto states = statesByHammingWeight(4);
+    ASSERT_EQ(states.size(), 16u);
+    EXPECT_EQ(states.front(), 0u);
+    EXPECT_EQ(states.back(), allOnes(4));
+    for (std::size_t i = 1; i < states.size(); ++i) {
+        const int prev = hammingWeight(states[i - 1]);
+        const int cur = hammingWeight(states[i]);
+        EXPECT_LE(prev, cur);
+        if (prev == cur) {
+            EXPECT_LT(states[i - 1], states[i]);
+        }
+    }
+}
+
+TEST(Bitstring, StatesByHammingWeightRejectsHugeN)
+{
+    EXPECT_THROW(statesByHammingWeight(30), std::invalid_argument);
+}
+
+TEST(Bitstring, StatesOfWeightEnumeratesBinomially)
+{
+    EXPECT_EQ(statesOfWeight(5, 0).size(), 1u);
+    EXPECT_EQ(statesOfWeight(5, 2).size(), 10u);
+    EXPECT_EQ(statesOfWeight(5, 5).size(), 1u);
+    EXPECT_TRUE(statesOfWeight(5, 6).empty());
+    for (BasisState s : statesOfWeight(6, 3))
+        EXPECT_EQ(hammingWeight(s), 3);
+}
+
+/** Round-trip property over widths: parse(render(s)) == s. */
+class BitstringWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitstringWidth, RoundTripAndWeightConsistency)
+{
+    const unsigned n = GetParam();
+    const BasisState top = allOnes(n);
+    for (BasisState s : {BasisState{0}, top, top / 2, top / 3}) {
+        const std::string text = toBitString(s, n);
+        ASSERT_EQ(text.size(), n);
+        EXPECT_EQ(fromBitString(text), s);
+        EXPECT_EQ(static_cast<int>(
+                      std::count(text.begin(), text.end(), '1')),
+                  hammingWeight(s));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitstringWidth,
+                         ::testing::Values(1u, 2u, 5u, 14u, 31u,
+                                           63u));
+
+} // namespace
+} // namespace qem

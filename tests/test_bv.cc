@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the Bernstein-Vazirani kernel (and the basis-prep
+ * kernels it shares a file with in spirit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(BasisKernels, BasisStatePrepProducesRequestedState)
+{
+    IdealSimulator sim(5);
+    for (BasisState s : {BasisState{0}, BasisState{0b10110},
+                         allOnes(5)}) {
+        const Counts counts = sim.run(basisStatePrep(5, s), 50);
+        EXPECT_EQ(counts.get(s), 50u) << "state " << s;
+    }
+    EXPECT_THROW(basisStatePrep(3, 8), std::invalid_argument);
+    EXPECT_THROW(basisStatePrep(0, 0), std::invalid_argument);
+    EXPECT_FALSE(basisStatePrep(3, 1, false).hasMeasurements());
+}
+
+TEST(BasisKernels, GhzStructure)
+{
+    const Circuit ghz = ghzState(5);
+    EXPECT_EQ(ghz.countOps(GateKind::H), 1u);
+    EXPECT_EQ(ghz.countOps(GateKind::CX), 4u);
+    EXPECT_EQ(ghz.countOps(GateKind::MEASURE), 5u);
+}
+
+TEST(BasisKernels, UniformSuperpositionStructure)
+{
+    const Circuit sup = uniformSuperposition(4);
+    EXPECT_EQ(sup.countOps(GateKind::H), 4u);
+}
+
+TEST(Bv, StructureMatchesKey)
+{
+    const BasisState key = fromBitString("0110");
+    const Circuit c = bernsteinVazirani(4, key);
+    EXPECT_EQ(c.numQubits(), 5u); // 4 key + ancilla.
+    EXPECT_EQ(c.countOps(GateKind::CX), 2u); // Two set key bits.
+    EXPECT_EQ(c.countOps(GateKind::MEASURE), 4u); // Key only.
+    // Gate count scales with key weight, measurement count with n
+    // (Table 3's "scale linearly" note).
+    const Circuit heavy = bernsteinVazirani(4, allOnes(4));
+    EXPECT_EQ(heavy.countOps(GateKind::CX), 4u);
+}
+
+TEST(Bv, RejectsBadKeys)
+{
+    EXPECT_THROW(bernsteinVazirani(3, 0b1000), std::invalid_argument);
+    EXPECT_THROW(bernsteinVazirani(0, 0), std::invalid_argument);
+}
+
+TEST(BvFull, AncillaSteering)
+{
+    IdealSimulator sim(5);
+    // target bit 4 set: ancilla must read 1.
+    const BasisState t1 = fromBitString("01101");
+    EXPECT_EQ(sim.run(bernsteinVaziraniFull(4, t1), 100).get(t1),
+              100u);
+    // target bit 4 clear: trailing X steers the ancilla to 0.
+    const BasisState t0 = fromBitString("01100");
+    EXPECT_EQ(sim.run(bernsteinVaziraniFull(4, t0), 100).get(t0),
+              100u);
+    EXPECT_THROW(bernsteinVaziraniFull(3, 1 << 4),
+                 std::invalid_argument);
+}
+
+/** Property sweep: every key of every width is recovered exactly on
+ *  an ideal machine. */
+class BvKeySweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BvKeySweep, AllKeysRecovered)
+{
+    const unsigned n = GetParam();
+    IdealSimulator sim(n + 1);
+    for (BasisState key = 0; key < (BasisState{1} << n); ++key) {
+        const Counts counts =
+            sim.run(bernsteinVazirani(n, key), 20);
+        ASSERT_EQ(counts.get(key), 20u)
+            << "n=" << n << " key=" << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvKeySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace qem

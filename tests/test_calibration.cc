@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the calibration container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/calibration.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Calibration, QubitRecordsAreMutable)
+{
+    Calibration calib(3);
+    calib.qubit(1).readoutP10 = 0.2;
+    EXPECT_NEAR(calib.qubit(1).readoutP10, 0.2, 1e-12);
+    EXPECT_THROW(calib.qubit(3), std::out_of_range);
+    EXPECT_THROW(Calibration(0), std::invalid_argument);
+}
+
+TEST(Calibration, LinkLookupIsUnordered)
+{
+    Calibration calib(3);
+    calib.setLink(2, 0, {0.04, 420.0});
+    EXPECT_TRUE(calib.hasLink(0, 2));
+    EXPECT_NEAR(calib.link(0, 2).cxError, 0.04, 1e-12);
+    EXPECT_FALSE(calib.hasLink(0, 1));
+    EXPECT_THROW(calib.link(0, 1), std::out_of_range);
+    EXPECT_THROW(calib.setLink(1, 1, {}), std::invalid_argument);
+}
+
+TEST(Calibration, AssignmentErrorIsMeanOfRates)
+{
+    Calibration calib(2);
+    calib.qubit(0).readoutP01 = 0.02;
+    calib.qubit(0).readoutP10 = 0.10;
+    EXPECT_NEAR(calib.readoutAssignmentError(0), 0.06, 1e-12);
+}
+
+TEST(Calibration, ReadoutStatsMinAvgMax)
+{
+    Calibration calib(3);
+    for (Qubit q = 0; q < 3; ++q)
+        calib.qubit(q).readoutP01 = 0.0;
+    calib.qubit(0).readoutP10 = 0.02;
+    calib.qubit(1).readoutP10 = 0.04;
+    calib.qubit(2).readoutP10 = 0.12;
+    const ErrorStats stats = calib.readoutErrorStats();
+    EXPECT_NEAR(stats.min, 0.01, 1e-12);
+    EXPECT_NEAR(stats.avg, 0.03, 1e-12);
+    EXPECT_NEAR(stats.max, 0.06, 1e-12);
+}
+
+TEST(Calibration, Gate1qStats)
+{
+    Calibration calib(2);
+    calib.qubit(0).gate1qError = 0.001;
+    calib.qubit(1).gate1qError = 0.003;
+    const ErrorStats stats = calib.gate1qErrorStats();
+    EXPECT_NEAR(stats.min, 0.001, 1e-12);
+    EXPECT_NEAR(stats.avg, 0.002, 1e-12);
+    EXPECT_NEAR(stats.max, 0.003, 1e-12);
+}
+
+TEST(Calibration, CrosstalkValidation)
+{
+    Calibration calib(2);
+    EXPECT_FALSE(calib.hasReadoutCrosstalk());
+    std::vector<std::vector<double>> good(2,
+                                          std::vector<double>(2, 0));
+    std::vector<std::vector<double>> bad(1,
+                                         std::vector<double>(2, 0));
+    EXPECT_THROW(calib.setReadoutCrosstalk(bad, good),
+                 std::invalid_argument);
+    calib.setReadoutCrosstalk(good, good);
+    EXPECT_TRUE(calib.hasReadoutCrosstalk());
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the Kraus channel factories.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/channels.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Channels, DecayProbability)
+{
+    EXPECT_NEAR(decayProbability(0.0, 1000.0), 0.0, 1e-12);
+    EXPECT_NEAR(decayProbability(1000.0, 1000.0),
+                1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(decayProbability(
+                    100.0, std::numeric_limits<double>::infinity()),
+                0.0, 1e-12);
+    EXPECT_THROW(decayProbability(-1.0, 100.0),
+                 std::invalid_argument);
+}
+
+TEST(Channels, DephasingProbabilityUsesPureDephasingRate)
+{
+    // With T2 = 2 T1 there is no pure dephasing.
+    EXPECT_NEAR(dephasingProbability(500.0, 1000.0, 2000.0), 0.0,
+                1e-12);
+    // With T1 = inf the rate is exactly 1/T2.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_NEAR(dephasingProbability(1000.0, inf, 1000.0),
+                1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_THROW(dephasingProbability(-1.0, 1.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Channels, ThermalRelaxationSkipsNullProcesses)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(thermalRelaxation(100.0, inf, inf).empty());
+    EXPECT_EQ(thermalRelaxation(100.0, 1000.0, 2000.0).size(), 1u);
+    EXPECT_EQ(thermalRelaxation(100.0, 1000.0, 800.0).size(), 2u);
+}
+
+TEST(Channels, FactoriesRejectBadProbabilities)
+{
+    EXPECT_THROW(depolarizing(-0.1), std::invalid_argument);
+    EXPECT_THROW(depolarizing(1.1), std::invalid_argument);
+    EXPECT_THROW(bitFlip(2.0), std::invalid_argument);
+    EXPECT_THROW(amplitudeDamping(-0.5), std::invalid_argument);
+    EXPECT_THROW(phaseDamping(1.5), std::invalid_argument);
+    EXPECT_THROW(phaseFlip(-1.0), std::invalid_argument);
+}
+
+TEST(Channels, AmplitudeDampingKrausShape)
+{
+    const KrausChannel ch = amplitudeDamping(0.36);
+    ASSERT_EQ(ch.size(), 2u);
+    EXPECT_NEAR(std::abs(ch[0][3]), 0.8, 1e-12);  // sqrt(1-g)
+    EXPECT_NEAR(std::abs(ch[1][1]), 0.6, 1e-12);  // sqrt(g)
+}
+
+TEST(Channels, IsTracePreservingDetectsViolation)
+{
+    KrausChannel broken = bitFlip(0.2);
+    broken.pop_back();
+    EXPECT_FALSE(isTracePreserving(broken));
+}
+
+/** Every channel must be trace preserving across its parameter
+ *  range. */
+class ChannelTp : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChannelTp, AllChannelsTracePreserving)
+{
+    const double p = GetParam();
+    EXPECT_TRUE(isTracePreserving(depolarizing(p))) << p;
+    EXPECT_TRUE(isTracePreserving(bitFlip(p))) << p;
+    EXPECT_TRUE(isTracePreserving(phaseFlip(p))) << p;
+    EXPECT_TRUE(isTracePreserving(amplitudeDamping(p))) << p;
+    EXPECT_TRUE(isTracePreserving(phaseDamping(p))) << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilityGrid, ChannelTp,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.99, 1.0));
+
+} // namespace
+} // namespace qem

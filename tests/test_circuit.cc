@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the circuit IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qsim/bitstring.hh"
+#include "qsim/circuit.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Circuit, ConstructionDefaultsClbitsToQubits)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.numClbits(), 3u);
+    Circuit d(3, 1);
+    EXPECT_EQ(d.numClbits(), 1u);
+    EXPECT_THROW(Circuit(0), std::invalid_argument);
+    EXPECT_THROW(Circuit(65), std::invalid_argument);
+}
+
+TEST(Circuit, BuildersAppendOps)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).rz(0.5, 2).measure(1, 0);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.ops()[0].kind, GateKind::H);
+    EXPECT_EQ(c.ops()[1].qubits[1], 1u);
+    EXPECT_EQ(c.ops()[2].params[0], 0.5);
+    EXPECT_EQ(c.ops()[3].cbit, 0u);
+}
+
+TEST(Circuit, AppendValidatesOperands)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.x(2), std::out_of_range);
+    EXPECT_THROW(c.cx(0, 0), std::invalid_argument);
+    EXPECT_THROW(c.measure(0, 5), std::out_of_range);
+    Operation bad{GateKind::CX, {0}, {}};
+    EXPECT_THROW(c.append(bad), std::invalid_argument);
+    Operation badparam{GateKind::RX, {0}, {}};
+    EXPECT_THROW(c.append(badparam), std::invalid_argument);
+}
+
+TEST(Circuit, DepthIgnoresBarriersAndDelays)
+{
+    Circuit c(2);
+    c.h(0).barrier().delay(100, 0).h(0).x(1);
+    EXPECT_EQ(c.depth(), 2u); // Two H's on qubit 0.
+}
+
+TEST(Circuit, DepthTracksCrossQubitDependencies)
+{
+    Circuit c(3);
+    c.h(0).h(1).cx(0, 1).x(2);
+    EXPECT_EQ(c.depth(), 2u);
+    c.cx(1, 2);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, CountOpsAndTwoQubitGateCount)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).swap(0, 2).measureAll();
+    EXPECT_EQ(c.countOps(GateKind::CX), 2u);
+    EXPECT_EQ(c.countOps(GateKind::MEASURE), 3u);
+    EXPECT_EQ(c.twoQubitGateCount(), 3u);
+}
+
+TEST(Circuit, ComposeConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.compose(b);
+    EXPECT_EQ(a.size(), 2u);
+    Circuit wide(3);
+    EXPECT_THROW(b.compose(wide), std::invalid_argument);
+}
+
+TEST(Circuit, MeasureAllRequiresRoom)
+{
+    Circuit tight(3, 1);
+    EXPECT_THROW(tight.measureAll(), std::logic_error);
+}
+
+TEST(Circuit, InverseUndoesUnitaryEvolution)
+{
+    Circuit c(3, 0);
+    c.h(0).t(1).cx(0, 1).u3(0.3, 1.1, -0.4, 2).s(2).cz(1, 2)
+        .rx(0.7, 0).u2(0.2, 0.9, 1).sx(2).swap(0, 2);
+    Circuit round_trip = c;
+    round_trip.compose(c.inverse());
+    IdealSimulator sim(3);
+    const StateVector state = sim.stateOf(round_trip);
+    EXPECT_NEAR(state.probabilityOf(0), 1.0, 1e-9);
+}
+
+TEST(Circuit, InverseRejectsMeasurement)
+{
+    Circuit c(1);
+    c.h(0).measure(0, 0);
+    EXPECT_THROW(c.inverse(), std::logic_error);
+}
+
+TEST(Circuit, RemapQubitsRewritesOperands)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const Circuit phys = c.remapQubits({3, 1}, 5);
+    EXPECT_EQ(phys.numQubits(), 5u);
+    EXPECT_EQ(phys.ops()[0].qubits[0], 3u);
+    EXPECT_EQ(phys.ops()[1].qubits[0], 3u);
+    EXPECT_EQ(phys.ops()[1].qubits[1], 1u);
+    EXPECT_EQ(phys.ops()[2].qubits[0], 3u);
+    EXPECT_EQ(phys.ops()[2].cbit, 0u);
+    EXPECT_THROW(c.remapQubits({0}, 5), std::invalid_argument);
+    EXPECT_THROW(c.remapQubits({0, 9}, 5), std::invalid_argument);
+}
+
+TEST(Circuit, MeasuredQubitsInClbitOrder)
+{
+    Circuit c(3);
+    c.measure(2, 0).measure(0, 1);
+    const auto measured = c.measuredQubits();
+    ASSERT_EQ(measured.size(), 2u);
+    EXPECT_EQ(measured[0], 2u);
+    EXPECT_EQ(measured[1], 0u);
+    EXPECT_TRUE(c.hasMeasurements());
+    EXPECT_FALSE(Circuit(1).hasMeasurements());
+}
+
+TEST(Circuit, ClassicalOutcomeProjectsMeasuredBits)
+{
+    Circuit c(4, 2);
+    c.measure(3, 0).measure(1, 1);
+    // Full state q3=1, q1=0, q0=1 -> c0 = q3 = 1, c1 = q1 = 0.
+    const BasisState full = fromBitString("1001");
+    EXPECT_EQ(c.classicalOutcome(full), 0b01u);
+}
+
+TEST(Circuit, ToStringListsOps)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const std::string text = c.toString();
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+}
+
+} // namespace
+} // namespace qem

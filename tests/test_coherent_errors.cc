@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for systematic (coherent) gate errors: deterministic
+ * over-rotations that break algorithmic symmetries.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/qaoa.hh"
+#include "noise/exact.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(CoherentErrors, FullCounterRotationUndoesAGate)
+{
+    // X followed by a systematic RX(-pi) is the identity up to
+    // global phase: the qubit reads 0 again.
+    NoiseModel model(1);
+    GateNoise g1;
+    g1.coherentX = -M_PI;
+    model.setGate1q(0, g1);
+    TrajectorySimulator sim(std::move(model), 501);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    EXPECT_EQ(sim.run(c, 2000).get(0), 2000u);
+}
+
+TEST(CoherentErrors, SmallOverRotationLeaksPopulation)
+{
+    // X + RX(theta): P(read 0) = sin^2(theta/2).
+    const double theta = 0.4;
+    NoiseModel model(1);
+    GateNoise g1;
+    g1.coherentX = theta;
+    model.setGate1q(0, g1);
+    TrajectorySimulator sim(std::move(model), 502);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    const double p0 = sim.run(c, 100000).probability(0);
+    EXPECT_NEAR(p0, std::sin(theta / 2) * std::sin(theta / 2),
+                0.005);
+}
+
+TEST(CoherentErrors, CoherentZIsInvisibleInComputationalBasis)
+{
+    NoiseModel model(1);
+    GateNoise g1;
+    g1.coherentZ = 0.7;
+    model.setGate1q(0, g1);
+    TrajectorySimulator sim(std::move(model), 503);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    EXPECT_EQ(sim.run(c, 2000).get(1), 2000u);
+}
+
+TEST(CoherentErrors, ZZPhaseChangesInterference)
+{
+    // |++> -> CX (identity on |++>) -> ZZ(pi) ~ Z(x)Z -> |-->;
+    // the trailing H's expose the phase: both qubits read 1.
+    NoiseModel model(2);
+    GateNoise g2;
+    g2.coherentZZ = M_PI;
+    model.setGate2q(0, 1, g2);
+    TrajectorySimulator sim(std::move(model), 504);
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).h(0).h(1).measureAll();
+    EXPECT_EQ(sim.run(c, 2000).get(0b11), 2000u);
+    // Without the coherent term the same circuit reads 00.
+    TrajectorySimulator clean(NoiseModel(2), 505);
+    EXPECT_EQ(clean.run(c, 2000).get(0b00), 2000u);
+}
+
+TEST(CoherentErrors, ToggleDisablesThem)
+{
+    NoiseModel model(1);
+    GateNoise g1;
+    g1.coherentX = M_PI;
+    model.setGate1q(0, g1);
+    TrajectoryOptions options;
+    options.enableCoherentErrors = false;
+    TrajectorySimulator sim(std::move(model), 506, options);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    EXPECT_EQ(sim.run(c, 1000).get(1), 1000u);
+}
+
+TEST(CoherentErrors, ExactAndTrajectoryAgree)
+{
+    NoiseModel model(3);
+    for (Qubit q = 0; q < 3; ++q) {
+        GateNoise g1;
+        g1.errorProb = 0.01;
+        g1.coherentZ = 0.15;
+        g1.coherentX = -0.1;
+        model.setGate1q(q, g1);
+    }
+    GateNoise g2;
+    g2.errorProb = 0.02;
+    g2.coherentZZ = 0.2;
+    model.setGate2q(0, 1, g2);
+    model.setGate2q(1, 2, g2);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(3, 0.02),
+        std::vector<double>(3, 0.1)));
+
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).rx(0.5, 0).measureAll();
+
+    DensityMatrixSimulator exact(model, 507);
+    const auto expected = exact.observedDistribution(c);
+    TrajectorySimulator sampler(model, 508);
+    const Counts counts = sampler.run(c, 150000);
+    double tvd = 0.0;
+    for (BasisState s = 0; s < 8; ++s)
+        tvd += std::abs(counts.probability(s) - expected[s]);
+    EXPECT_LT(tvd / 2.0, 0.01);
+}
+
+TEST(CoherentErrors, BreakQaoaComplementSymmetry)
+{
+    // The documented mechanism: the ideal QAOA distribution obeys
+    // P(s) = P(~s); coherent over-rotations break it, making one
+    // partition observably dominant even with perfect readout.
+    // Note on which terms matter: global X conjugation sends
+    // RZ(t) to RZ(-t) but fixes RX and ZZ, so the RZ term is the
+    // symmetry breaker; the ZZ term amplifies its effect through
+    // the interference of the second layer.
+    const Graph g = starGraph(4, 0);
+    const QaoaAngles angles = optimizeQaoaAngles(g, 2);
+    const Circuit c = qaoaCircuit(g, angles);
+
+    NoiseModel model(4);
+    for (Qubit q = 0; q < 4; ++q) {
+        GateNoise g1;
+        g1.coherentX = 0.15;
+        g1.coherentZ = 0.2;
+        model.setGate1q(q, g1);
+    }
+    for (Qubit a = 0; a < 4; ++a) {
+        for (Qubit b = a + 1; b < 4; ++b) {
+            GateNoise g2;
+            g2.coherentZZ = 0.25;
+            model.setGate2q(a, b, g2);
+        }
+    }
+    DensityMatrixSimulator exact(std::move(model), 509);
+    const auto dist = exact.observedDistribution(c);
+    const BasisState s = fromBitString("0111");
+    const BasisState comp = fromBitString("1000");
+    EXPECT_GT(std::abs(dist[s] - dist[comp]), 0.02)
+        << "P(s)=" << dist[s] << " P(~s)=" << dist[comp];
+}
+
+} // namespace
+} // namespace qem

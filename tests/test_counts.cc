@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Counts output log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qsim/bitstring.hh"
+#include "qsim/counts.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Counts, AddGetTotalProbability)
+{
+    Counts c(3);
+    c.add(0b101, 3);
+    c.add(0b001);
+    EXPECT_EQ(c.get(0b101), 3u);
+    EXPECT_EQ(c.get(0b001), 1u);
+    EXPECT_EQ(c.get(0b111), 0u);
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_EQ(c.distinct(), 2u);
+    EXPECT_NEAR(c.probability(0b101), 0.75, 1e-12);
+    EXPECT_NEAR(Counts(3).probability(0), 0.0, 1e-12);
+}
+
+TEST(Counts, AddRejectsWideOutcome)
+{
+    Counts c(2);
+    EXPECT_THROW(c.add(4), std::out_of_range);
+    EXPECT_THROW(Counts(65), std::invalid_argument);
+}
+
+TEST(Counts, SortedByCountBreaksTiesByValue)
+{
+    Counts c(3);
+    c.add(5, 10);
+    c.add(2, 10);
+    c.add(1, 20);
+    const auto sorted = c.sortedByCount();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].first, 1u);
+    EXPECT_EQ(sorted[1].first, 2u); // Tie with 5, lower value first.
+    EXPECT_EQ(sorted[2].first, 5u);
+    EXPECT_EQ(c.mostFrequent(), 1u);
+    EXPECT_THROW(Counts(3).mostFrequent(), std::logic_error);
+}
+
+TEST(Counts, MergeAccumulates)
+{
+    Counts a(2), b(2);
+    a.add(1, 5);
+    b.add(1, 3);
+    b.add(2, 7);
+    a.merge(b);
+    EXPECT_EQ(a.get(1), 8u);
+    EXPECT_EQ(a.get(2), 7u);
+    EXPECT_EQ(a.total(), 15u);
+    Counts wide(3);
+    EXPECT_THROW(a.merge(wide), std::invalid_argument);
+}
+
+TEST(Counts, XorAllRelabelsOutcomes)
+{
+    Counts c(3);
+    c.add(0b101, 4);
+    c.add(0b000, 2);
+    const Counts flipped = c.xorAll(0b111);
+    EXPECT_EQ(flipped.get(0b010), 4u);
+    EXPECT_EQ(flipped.get(0b111), 2u);
+    EXPECT_EQ(flipped.total(), 6u);
+    // Double application is the identity.
+    const Counts back = flipped.xorAll(0b111);
+    EXPECT_EQ(back.get(0b101), 4u);
+    EXPECT_EQ(back.get(0b000), 2u);
+}
+
+TEST(Counts, MarginalizeSelectsAndReordersBits)
+{
+    Counts c(3);
+    c.add(fromBitString("110"), 5); // q0=1 q1=1 q2=0
+    c.add(fromBitString("011"), 3); // q0=0 q1=1 q2=1
+    // Keep bits {2, 0}: new bit0 = old bit2, new bit1 = old bit0.
+    const Counts m = c.marginalize({2, 0});
+    EXPECT_EQ(m.numBits(), 2u);
+    EXPECT_EQ(m.get(0b10), 5u); // old: bit2=0, bit0=1 -> 0b10.
+    EXPECT_EQ(m.get(0b01), 3u);
+    EXPECT_THROW(c.marginalize({3}), std::out_of_range);
+}
+
+TEST(Counts, MarginalizeMergesCollidingOutcomes)
+{
+    Counts c(2);
+    c.add(0b00, 1);
+    c.add(0b10, 2); // Differ only in bit 1.
+    const Counts m = c.marginalize({0});
+    EXPECT_EQ(m.get(0), 3u);
+}
+
+TEST(Counts, ToProbabilityVector)
+{
+    Counts c(2);
+    c.add(0, 1);
+    c.add(3, 3);
+    const auto probs = c.toProbabilityVector();
+    ASSERT_EQ(probs.size(), 4u);
+    EXPECT_NEAR(probs[0], 0.25, 1e-12);
+    EXPECT_NEAR(probs[3], 0.75, 1e-12);
+    EXPECT_NEAR(probs[1], 0.0, 1e-12);
+    EXPECT_THROW(Counts(30).toProbabilityVector(), std::logic_error);
+}
+
+TEST(Counts, ToStringShowsTopOutcomes)
+{
+    Counts c(3);
+    c.add(0b101, 4);
+    const std::string text = c.toString();
+    EXPECT_NE(text.find("101"), std::string::npos);
+    EXPECT_NE(text.find("total=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace qem

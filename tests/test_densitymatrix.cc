@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the density matrix and the exact noisy backend,
+ * including the project's strongest validation: trajectory-sampled
+ * statistics against closed-form density-matrix evolution.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "noise/channels.hh"
+#include "noise/exact.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/densitymatrix.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(DensityMatrix, InitializesPure)
+{
+    DensityMatrix rho(2, 0b10);
+    EXPECT_NEAR(rho.probabilityOf(0b10), 1.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_THROW(DensityMatrix(0), std::invalid_argument);
+    EXPECT_THROW(DensityMatrix(11), std::invalid_argument);
+    EXPECT_THROW(DensityMatrix(2, 4), std::out_of_range);
+}
+
+TEST(DensityMatrix, FromPureStateMatchesProjector)
+{
+    StateVector psi(1);
+    psi.applyH(0);
+    DensityMatrix rho(psi);
+    EXPECT_NEAR(rho.element(0, 0).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.element(0, 1).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.fidelityWithPure(psi), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionTracksStateVector)
+{
+    // A random-ish unitary circuit evolved both ways stays pure
+    // and identical.
+    Circuit c(3, 0);
+    c.h(0).u3(0.7, 0.3, 1.9, 1).cx(0, 2).t(2).cz(1, 2)
+        .swap(0, 1).rx(1.1, 2).ccx(0, 1, 2);
+
+    IdealSimulator sim(3);
+    const StateVector psi = sim.stateOf(c);
+
+    DensityMatrix rho(3);
+    for (const Operation& op : c.ops())
+        rho.applyOperation(op);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+    EXPECT_NEAR(rho.fidelityWithPure(psi), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, AmplitudeDampingExactAction)
+{
+    // From |1><1|: diag -> (gamma, 1-gamma), coherences vanish.
+    DensityMatrix rho(1, 1);
+    rho.applyKraus1q(amplitudeDamping(0.3), 0);
+    EXPECT_NEAR(rho.probabilityOf(0), 0.3, 1e-12);
+    EXPECT_NEAR(rho.probabilityOf(1), 0.7, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherence)
+{
+    StateVector plus(1);
+    plus.applyH(0);
+    DensityMatrix rho(plus);
+    rho.applyKraus1q(phaseDamping(1.0), 0);
+    EXPECT_NEAR(std::abs(rho.element(0, 1)), 0.0, 1e-12);
+    EXPECT_NEAR(rho.probabilityOf(0), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingMixes)
+{
+    DensityMatrix rho(1, 0);
+    rho.applyKraus1q(depolarizing(0.3), 0);
+    // P(flip to 1) = 2p/3 = 0.2.
+    EXPECT_NEAR(rho.probabilityOf(1), 0.2, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingIsTracePreserving)
+{
+    StateVector bell(2);
+    bell.applyH(0);
+    bell.applyCX(0, 1);
+    DensityMatrix rho(bell);
+    rho.applyTwoQubitDepolarizing(0, 1, 0.25);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+    // The Bell state loses fidelity: 1 - p * 16/15 * (1 - 1/4)...
+    // just require strictly mixed but still Bell-dominant.
+    const double f = rho.fidelityWithPure(bell);
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.7);
+    EXPECT_THROW(rho.applyTwoQubitDepolarizing(0, 1, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(ExactBackend, NoiseFreeMatchesIdeal)
+{
+    const BasisState key = fromBitString("101");
+    DensityMatrixSimulator sim(NoiseModel(4), 5);
+    const auto dist =
+        sim.observedDistribution(bernsteinVazirani(3, key));
+    EXPECT_NEAR(dist[key], 1.0, 1e-9);
+    const Counts counts = sim.run(bernsteinVazirani(3, key), 500);
+    EXPECT_EQ(counts.get(key), 500u);
+}
+
+TEST(ExactBackend, ReadoutConfusionIsAnalytic)
+{
+    NoiseModel model(2);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.1, 0.0},
+        std::vector<double>{0.0, 0.2}));
+    DensityMatrixSimulator sim(std::move(model), 6);
+    // True state 01 (q0=0, q1=1).
+    const auto dist =
+        sim.observedDistribution(basisStatePrep(2, 0b10));
+    EXPECT_NEAR(dist[0b10], 0.9 * 0.8, 1e-9);
+    EXPECT_NEAR(dist[0b11], 0.1 * 0.8, 1e-9);
+    EXPECT_NEAR(dist[0b00], 0.9 * 0.2, 1e-9);
+    EXPECT_NEAR(dist[0b01], 0.1 * 0.2, 1e-9);
+}
+
+TEST(ExactBackend, DistributionSumsToOneUnderFullNoise)
+{
+    NoiseModel model(3);
+    for (Qubit q = 0; q < 3; ++q) {
+        model.setT1(q, 40000.0);
+        model.setT2(q, 30000.0);
+        model.setGate1q(q, {0.01, 100.0});
+    }
+    model.setGate2q(0, 1, {0.03, 300.0});
+    model.setGate2q(1, 2, {0.03, 300.0});
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(3, 0.02),
+        std::vector<double>(3, 0.1)));
+    DensityMatrixSimulator sim(std::move(model), 7);
+    const auto dist = sim.observedDistribution(ghzState(3));
+    double total = 0.0;
+    for (double p : dist)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExactBackend, TrajectorySamplerConvergesToExact)
+{
+    // The money test: the Monte-Carlo trajectory simulator must
+    // converge to the density-matrix distribution under the full
+    // noise stack (gate depolarizing + T1/T2 decay + delays +
+    // correlated readout).
+    AsymmetricReadout base(std::vector<double>(4, 0.02),
+                           std::vector<double>(4, 0.12));
+    std::vector<std::vector<double>> j01(4,
+                                         std::vector<double>(4, 0));
+    std::vector<std::vector<double>> j10(
+        4, std::vector<double>(4, 0.03));
+    NoiseModel model(4);
+    for (Qubit q = 0; q < 4; ++q) {
+        model.setT1(q, 50000.0);
+        model.setT2(q, 35000.0);
+        model.setGate1q(q, {0.005, 120.0});
+    }
+    for (Qubit a = 0; a < 4; ++a) {
+        for (Qubit b = a + 1; b < 4; ++b)
+            model.setGate2q(a, b, {0.02, 400.0});
+    }
+    model.setReadout(std::make_shared<CorrelatedReadout>(
+        std::move(base), j01, j10));
+
+    Circuit c(4);
+    c.h(0).cx(0, 1).cx(1, 2).delay(2000.0, 3).x(3).cx(2, 3)
+        .rx(0.8, 0).measureAll();
+
+    DensityMatrixSimulator exact(model, 8);
+    const auto expected = exact.observedDistribution(c);
+
+    TrajectoryOptions options;
+    options.shotsPerTrajectory = 4;
+    TrajectorySimulator sampler(model, 9, options);
+    const std::size_t shots = 200000;
+    const Counts counts = sampler.run(c, shots);
+
+    // Total variation distance well inside the sampling noise.
+    double tvd = 0.0;
+    for (BasisState s = 0; s < 16; ++s)
+        tvd += std::abs(counts.probability(s) - expected[s]);
+    tvd /= 2.0;
+    EXPECT_LT(tvd, 0.01) << "TVD " << tvd;
+}
+
+TEST(ExactBackend, RejectsOversizedCircuits)
+{
+    DensityMatrixSimulator sim(NoiseModel(14), 10);
+    Circuit wide(14);
+    for (Qubit q = 0; q < 12; ++q)
+        wide.h(q);
+    wide.measureAll();
+    EXPECT_THROW(sim.observedDistribution(wide),
+                 std::invalid_argument);
+    Circuit unmeasured(3);
+    EXPECT_THROW(sim.observedDistribution(unmeasured),
+                 std::invalid_argument);
+}
+
+TEST(ExactBackend, CompactionKeepsIdleQubitsFree)
+{
+    // A 2-active-qubit circuit on a 14-qubit machine is exact even
+    // though the full register would be far beyond the limit.
+    NoiseModel model(14);
+    std::vector<double> p01(14, 0.0), p10(14, 0.0);
+    p10[9] = 0.25;
+    model.setReadout(
+        std::make_shared<AsymmetricReadout>(p01, p10));
+    DensityMatrixSimulator sim(std::move(model), 11);
+    Circuit c(14, 1);
+    c.x(9).measure(9, 0);
+    const auto dist = sim.observedDistribution(c);
+    EXPECT_NEAR(dist[1], 0.75, 1e-9);
+    EXPECT_NEAR(dist[0], 0.25, 1e-9);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the calibration-drift model (and Rng::normal,
+ * which it introduced).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "machine/drift.hh"
+#include "machine/machines.hh"
+#include "qsim/rng.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(RngNormal, MomentsAreRight)
+{
+    Rng rng(31);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal(2.0, 3.0);
+        sum += z;
+        sumsq += z * z;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Drift, ZeroSigmaIsIdentity)
+{
+    const Machine nominal = makeIbmqx4();
+    const Machine drifted = driftCalibration(nominal, 0.0, 42);
+    for (Qubit q = 0; q < nominal.numQubits(); ++q) {
+        EXPECT_EQ(drifted.calibration().qubit(q).readoutP10,
+                  nominal.calibration().qubit(q).readoutP10);
+        EXPECT_EQ(drifted.calibration().qubit(q).t1Ns,
+                  nominal.calibration().qubit(q).t1Ns);
+    }
+}
+
+TEST(Drift, DeterministicPerSeed)
+{
+    const Machine nominal = makeIbmqx2();
+    const Machine a = driftCalibration(nominal, 0.2, 7);
+    const Machine b = driftCalibration(nominal, 0.2, 7);
+    const Machine c = driftCalibration(nominal, 0.2, 8);
+    EXPECT_EQ(a.calibration().qubit(0).readoutP10,
+              b.calibration().qubit(0).readoutP10);
+    EXPECT_NE(a.calibration().qubit(0).readoutP10,
+              c.calibration().qubit(0).readoutP10);
+}
+
+TEST(Drift, RatesStayPhysical)
+{
+    const Machine nominal = makeIbmqMelbourne();
+    for (std::uint64_t day = 0; day < 10; ++day) {
+        const Machine drifted =
+            driftCalibration(nominal, 0.5, day);
+        for (Qubit q = 0; q < drifted.numQubits(); ++q) {
+            const QubitCalibration& qc =
+                drifted.calibration().qubit(q);
+            EXPECT_GE(qc.readoutP01, 0.0);
+            EXPECT_LE(qc.readoutP01, 0.5);
+            EXPECT_GE(qc.readoutP10, 0.0);
+            EXPECT_LE(qc.readoutP10, 0.5);
+            EXPECT_GT(qc.t1Ns, 0.0);
+            EXPECT_LE(qc.t2Ns, 2.0 * qc.t1Ns + 1e-9);
+        }
+        // Drifted machines still build valid noise models.
+        EXPECT_NO_THROW(drifted.noiseModel());
+    }
+}
+
+TEST(Drift, SmallSigmaMeansSmallShift)
+{
+    const Machine nominal = makeIbmqx4();
+    const Machine drifted = driftCalibration(nominal, 0.05, 3);
+    for (Qubit q = 0; q < nominal.numQubits(); ++q) {
+        const double before =
+            nominal.calibration().qubit(q).readoutP10;
+        const double after =
+            drifted.calibration().qubit(q).readoutP10;
+        EXPECT_NEAR(after / before, 1.0, 0.25) << "qubit " << q;
+    }
+    EXPECT_EQ(drifted.name(), "ibmqx4+drift");
+}
+
+TEST(Drift, RejectsNegativeSigma)
+{
+    EXPECT_THROW(driftCalibration(makeIbmqx2(), -0.1, 1),
+                 std::invalid_argument);
+}
+
+TEST(Drift, PreservesTopologyAndCrosstalkStructure)
+{
+    const Machine nominal = makeIbmqx4();
+    const Machine drifted = driftCalibration(nominal, 0.3, 11);
+    EXPECT_EQ(drifted.topology().edges(),
+              nominal.topology().edges());
+    EXPECT_TRUE(drifted.calibration().hasReadoutCrosstalk());
+    // Zero crosstalk entries stay zero (multiplicative drift).
+    const auto& j10n = nominal.calibration().crosstalkJ10();
+    const auto& j10d = drifted.calibration().crosstalkJ10();
+    for (std::size_t i = 0; i < j10n.size(); ++i) {
+        for (std::size_t k = 0; k < j10n.size(); ++k) {
+            if (j10n[i][k] == 0.0) {
+                EXPECT_EQ(j10d[i][k], 0.0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace qem

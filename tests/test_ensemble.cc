@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the JitteredAllocator and the
+ * Ensemble-of-Diverse-Mappings runner.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "kernels/bv.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(JitteredAllocator, ZeroSigmaMatchesVariabilityAware)
+{
+    const Machine m = makeIbmqMelbourne();
+    const Circuit c = bernsteinVazirani(5, 0b10110);
+    VariabilityAwareAllocator plain;
+    JitteredAllocator jittered(3, 0.0);
+    EXPECT_EQ(jittered.allocate(c, m), plain.allocate(c, m));
+    EXPECT_THROW(JitteredAllocator(1, -0.2),
+                 std::invalid_argument);
+}
+
+TEST(JitteredAllocator, SeedsProduceDiverseValidLayouts)
+{
+    const Machine m = makeIbmqMelbourne();
+    const Circuit c = bernsteinVazirani(5, 0b10110);
+    std::set<Layout> layouts;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const Layout layout =
+            JitteredAllocator(seed, 0.4).allocate(c, m);
+        EXPECT_NO_THROW(
+            validateLayout(layout, c.numQubits(), m.numQubits()));
+        layouts.insert(layout);
+    }
+    // Diversity: at least three distinct placements among six.
+    EXPECT_GE(layouts.size(), 3u);
+    // Determinism per seed.
+    EXPECT_EQ(JitteredAllocator(2, 0.4).allocate(c, m),
+              JitteredAllocator(2, 0.4).allocate(c, m));
+}
+
+TEST(Ensemble, TransparentOnNoiselessMachine)
+{
+    MachineSession session(makeIdealMachine(5), 401);
+    const BasisState key = fromBitString("1011");
+    BaselinePolicy inner;
+    const Counts counts = session.runEnsemble(
+        bernsteinVazirani(4, key), inner, 4000, 4);
+    EXPECT_EQ(counts.total(), 4000u);
+    EXPECT_EQ(counts.get(key), 4000u);
+}
+
+TEST(Ensemble, SpendsBudgetAcrossMappings)
+{
+    MachineSession session(makeIbmqx4(), 402);
+    BaselinePolicy inner;
+    const Counts counts = session.runEnsemble(
+        bernsteinVazirani(4, 0b0111), inner, 4001, 4);
+    EXPECT_EQ(counts.total(), 4001u);
+}
+
+TEST(Ensemble, ValidatesArguments)
+{
+    MachineSession session(makeIbmqx4(), 403);
+    BaselinePolicy inner;
+    const Circuit c = bernsteinVazirani(4, 0b0111);
+    EXPECT_THROW(session.runEnsemble(c, inner, 100, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(session.runEnsemble(c, inner, 2, 4),
+                 std::invalid_argument);
+}
+
+TEST(Ensemble, ComposesWithSim)
+{
+    // EDM + SIM run together; the merged log is still a valid
+    // sample of the right width and budget, and on a readout-
+    // biased machine the composition should not fall below the
+    // plain ensemble for the weak all-ones key.
+    MachineSession session(makeIbmqx2(), 404);
+    const BasisState key = fromBitString("1111");
+    const Circuit c = bernsteinVazirani(4, key);
+
+    BaselinePolicy baseline;
+    const double p_edm =
+        pst(session.runEnsemble(c, baseline, 16384, 4), key);
+    StaticInvertAndMeasure sim;
+    const double p_edm_sim =
+        pst(session.runEnsemble(c, sim, 16384, 4), key);
+    EXPECT_GT(p_edm_sim, p_edm);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Failure-injection tests: a backend that fails mid-experiment must
+ * not corrupt policy state, and partial results must never be
+ * returned as if complete.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/table.hh"
+#include "kernels/basis.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/matrix_correction.hh"
+#include "mitigation/sim_policy.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Backend that throws after a configurable number of run calls. */
+class FlakyBackend : public Backend
+{
+  public:
+    FlakyBackend(unsigned n, int fail_after)
+        : n_(n), failAfter_(fail_after)
+    {
+    }
+
+    Counts run(const Circuit& circuit, std::size_t shots) override
+    {
+        if (calls_++ >= failAfter_)
+            throw std::runtime_error("backend lost connection");
+        Counts counts(circuit.numClbits());
+        counts.add(0, shots);
+        return counts;
+    }
+
+    unsigned numQubits() const override { return n_; }
+    int calls() const { return calls_; }
+
+  private:
+    unsigned n_;
+    int failAfter_;
+    int calls_ = 0;
+};
+
+TEST(FaultInjection, SimPropagatesBackendFailure)
+{
+    FlakyBackend backend(3, 2); // Fails on the third mode.
+    StaticInvertAndMeasure sim;
+    Circuit c(3);
+    c.measureAll();
+    EXPECT_THROW(sim.run(c, backend, 1000), std::runtime_error);
+    // The policy is still usable against a healthy backend.
+    FlakyBackend healthy(3, 100);
+    EXPECT_EQ(sim.run(c, healthy, 1000).total(), 1000u);
+}
+
+TEST(FaultInjection, AimPropagatesCanaryFailure)
+{
+    FlakyBackend backend(3, 0); // Fails immediately (canaries).
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>(8, 1.0));
+    AdaptiveInvertAndMeasure aim(rbms);
+    Circuit c(3);
+    c.measureAll();
+    EXPECT_THROW(aim.run(c, backend, 1000), std::runtime_error);
+}
+
+TEST(FaultInjection, AimPropagatesTailoredPhaseFailure)
+{
+    FlakyBackend backend(3, 4); // Canaries pass, tailored fails.
+    auto rbms = std::make_shared<ExhaustiveRbms>(
+        std::vector<double>(8, 1.0));
+    AdaptiveInvertAndMeasure aim(rbms);
+    Circuit c(3);
+    c.measureAll();
+    EXPECT_THROW(aim.run(c, backend, 1000), std::runtime_error);
+    EXPECT_GE(backend.calls(), 4);
+}
+
+TEST(FaultInjection, MatrixCorrectionPropagatesCalibrationFailure)
+{
+    FlakyBackend backend(3, 1); // First calibration circuit only.
+    MatrixInversionCorrection minv(512);
+    const Circuit c = basisStatePrep(3, 0b101);
+    EXPECT_THROW(minv.run(c, backend, 1000), std::runtime_error);
+}
+
+TEST(FaultInjection, CsvHelpersSurviveAdversarialCells)
+{
+    AsciiTable table({"name", "value"});
+    table.addRow({"with,comma", "with\"quote"});
+    table.addRow({"with\nnewline", "plain"});
+    const std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+
+    Counts counts(2);
+    counts.add(0b01, 3);
+    counts.add(0b10, 1);
+    const std::string dump = countsToCsv(counts);
+    EXPECT_NE(dump.find("outcome,count,probability"),
+              std::string::npos);
+    EXPECT_NE(dump.find("10,3,0.75"), std::string::npos);
+}
+
+} // namespace
+} // namespace qem

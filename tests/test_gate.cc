@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the gate set: matrix values, unitarity, metadata.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "qsim/gate.hh"
+
+namespace qem
+{
+namespace
+{
+
+bool
+approxEq(Amplitude a, Amplitude b, double tol = 1e-12)
+{
+    return std::abs(a - b) < tol;
+}
+
+/** ||M M^dag - I||_inf check. */
+bool
+isUnitaryMatrix(const Matrix2& m, double tol = 1e-12)
+{
+    const Matrix2 prod = matmul(m, dagger(m));
+    return approxEq(prod[0], 1.0, tol) && approxEq(prod[1], 0.0, tol) &&
+           approxEq(prod[2], 0.0, tol) && approxEq(prod[3], 1.0, tol);
+}
+
+TEST(Gate, NamesRoundTripKinds)
+{
+    EXPECT_STREQ(gateName(GateKind::CX), "cx");
+    EXPECT_STREQ(gateName(GateKind::U3), "u3");
+    EXPECT_STREQ(gateName(GateKind::MEASURE), "measure");
+}
+
+TEST(Gate, ArityAndParamCounts)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1u);
+    EXPECT_EQ(gateArity(GateKind::CX), 2u);
+    EXPECT_EQ(gateArity(GateKind::CCX), 3u);
+    EXPECT_EQ(gateArity(GateKind::BARRIER), 0u);
+    EXPECT_EQ(gateParamCount(GateKind::RX), 1u);
+    EXPECT_EQ(gateParamCount(GateKind::U2), 2u);
+    EXPECT_EQ(gateParamCount(GateKind::U3), 3u);
+    EXPECT_EQ(gateParamCount(GateKind::X), 0u);
+}
+
+TEST(Gate, UnitaryClassification)
+{
+    EXPECT_TRUE(isUnitary(GateKind::X));
+    EXPECT_TRUE(isUnitary(GateKind::CX));
+    EXPECT_FALSE(isUnitary(GateKind::MEASURE));
+    EXPECT_FALSE(isUnitary(GateKind::BARRIER));
+    EXPECT_FALSE(isUnitary(GateKind::DELAY));
+    EXPECT_FALSE(isUnitary(GateKind::RESET));
+}
+
+TEST(Gate, PauliXMatrix)
+{
+    const Matrix2 x = gateMatrix1q(GateKind::X, {});
+    EXPECT_TRUE(approxEq(x[0], 0.0));
+    EXPECT_TRUE(approxEq(x[1], 1.0));
+    EXPECT_TRUE(approxEq(x[2], 1.0));
+    EXPECT_TRUE(approxEq(x[3], 0.0));
+}
+
+TEST(Gate, HadamardMatrix)
+{
+    const double s2 = 1.0 / std::sqrt(2.0);
+    const Matrix2 h = gateMatrix1q(GateKind::H, {});
+    EXPECT_TRUE(approxEq(h[0], s2));
+    EXPECT_TRUE(approxEq(h[3], -s2));
+}
+
+TEST(Gate, RotationIdentityAtZeroAngle)
+{
+    for (GateKind kind :
+         {GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::P}) {
+        const Matrix2 m = gateMatrix1q(kind, {0.0});
+        EXPECT_TRUE(approxEq(m[0], 1.0)) << gateName(kind);
+        EXPECT_TRUE(approxEq(m[1], 0.0)) << gateName(kind);
+        EXPECT_TRUE(approxEq(m[2], 0.0)) << gateName(kind);
+        EXPECT_TRUE(approxEq(m[3], 1.0)) << gateName(kind);
+    }
+}
+
+TEST(Gate, RxPiIsXUpToPhase)
+{
+    const Matrix2 m = gateMatrix1q(GateKind::RX, {M_PI});
+    // RX(pi) = -i X.
+    EXPECT_TRUE(approxEq(m[1], Amplitude(0, -1)));
+    EXPECT_TRUE(approxEq(m[2], Amplitude(0, -1)));
+    EXPECT_TRUE(approxEq(m[0], 0.0));
+}
+
+TEST(Gate, U3ReproducesHadamard)
+{
+    // H = U3(pi/2, 0, pi) up to global phase (they coincide here).
+    const Matrix2 u = gateMatrix1q(GateKind::U3, {M_PI / 2, 0, M_PI});
+    const Matrix2 h = gateMatrix1q(GateKind::H, {});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(approxEq(u[i], h[i], 1e-12)) << i;
+}
+
+TEST(Gate, WrongParamCountThrows)
+{
+    EXPECT_THROW(gateMatrix1q(GateKind::RX, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(gateMatrix1q(GateKind::X, {1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(gateMatrix1q(GateKind::CX, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(gateMatrix2q(GateKind::H), std::invalid_argument);
+}
+
+TEST(Gate, CxMatrixControlIsOperandZero)
+{
+    const Matrix4 cx = gateMatrix2q(GateKind::CX);
+    // Input |01> (q0=1 control set) maps to output |11>.
+    EXPECT_TRUE(approxEq(cx[3 * 4 + 1], 1.0));
+    // Input |10> (control clear) is unchanged.
+    EXPECT_TRUE(approxEq(cx[2 * 4 + 2], 1.0));
+}
+
+TEST(Gate, InverseKindPairs)
+{
+    EXPECT_EQ(inverseKind(GateKind::S), GateKind::SDG);
+    EXPECT_EQ(inverseKind(GateKind::TDG), GateKind::T);
+    EXPECT_EQ(inverseKind(GateKind::X), GateKind::X);
+    EXPECT_EQ(inverseKind(GateKind::H), GateKind::H);
+}
+
+TEST(Gate, OperationToString)
+{
+    Operation op{GateKind::CX, {1, 4}, {}};
+    EXPECT_EQ(op.toString(), "cx q1, q4");
+    Operation meas{GateKind::MEASURE, {0}, {}};
+    meas.cbit = 2;
+    EXPECT_EQ(meas.toString(), "measure q0 -> c2");
+    EXPECT_TRUE(op.touches(4));
+    EXPECT_FALSE(op.touches(2));
+}
+
+/** Every parameterized single-qubit gate stays unitary over a sweep
+ *  of angles. */
+class GateUnitarity
+    : public ::testing::TestWithParam<std::tuple<GateKind, double>>
+{
+};
+
+TEST_P(GateUnitarity, MatrixIsUnitary)
+{
+    const auto [kind, angle] = GetParam();
+    std::vector<double> params;
+    for (unsigned i = 0; i < gateParamCount(kind); ++i)
+        params.push_back(angle * (i + 1));
+    EXPECT_TRUE(isUnitaryMatrix(gateMatrix1q(kind, params)))
+        << gateName(kind) << " at angle " << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAllAngles, GateUnitarity,
+    ::testing::Combine(
+        ::testing::Values(GateKind::ID, GateKind::X, GateKind::Y,
+                          GateKind::Z, GateKind::H, GateKind::S,
+                          GateKind::SDG, GateKind::T, GateKind::TDG,
+                          GateKind::SX, GateKind::RX, GateKind::RY,
+                          GateKind::RZ, GateKind::P, GateKind::U2,
+                          GateKind::U3),
+        ::testing::Values(0.0, 0.3, 1.0, M_PI / 2, M_PI, 2.7,
+                          -1.3)));
+
+} // namespace
+} // namespace qem

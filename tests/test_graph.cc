@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for graphs, max-cut, and target-cut graph synthesis.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "kernels/graph.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Graph, EdgeConstructionValidates)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(3, 1, 2.5);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_THROW(g.addEdge(0, 1), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(1, 1), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(0, 4), std::out_of_range);
+    EXPECT_THROW(Graph(0), std::invalid_argument);
+}
+
+TEST(Graph, CutValueCountsCrossEdges)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, 2.0);
+    // Partition {1} vs {0, 2} cuts both edges: 3.0.
+    EXPECT_NEAR(g.cutValue(0b010), 3.0, 1e-12);
+    EXPECT_NEAR(g.cutValue(0b000), 0.0, 1e-12);
+    EXPECT_NEAR(g.cutValue(0b100), 2.0, 1e-12);
+    // Complement invariance.
+    EXPECT_NEAR(g.cutValue(0b010), g.cutValue(0b101), 1e-12);
+}
+
+TEST(Graph, BruteForceMaxCutCycle)
+{
+    const MaxCutResult best = bruteForceMaxCut(cycleGraph(4));
+    EXPECT_NEAR(best.value, 4.0, 1e-12);
+    ASSERT_EQ(best.argmax.size(), 2u);
+    EXPECT_NE(std::find(best.argmax.begin(), best.argmax.end(),
+                        fromBitString("0101")),
+              best.argmax.end());
+}
+
+TEST(Graph, BruteForceMaxCutStar)
+{
+    const MaxCutResult best = bruteForceMaxCut(starGraph(4, 0));
+    EXPECT_NEAR(best.value, 3.0, 1e-12);
+    ASSERT_EQ(best.argmax.size(), 2u);
+    EXPECT_NE(std::find(best.argmax.begin(), best.argmax.end(),
+                        fromBitString("0111")),
+              best.argmax.end());
+}
+
+TEST(Graph, CompleteBipartiteOptimumIsTheSide)
+{
+    for (const char* side : {"101011", "010000", "110110"}) {
+        const BasisState s = fromBitString(side);
+        const Graph g = completeBipartite(6, s);
+        const MaxCutResult best = bruteForceMaxCut(g);
+        ASSERT_EQ(best.argmax.size(), 2u) << side;
+        EXPECT_NE(std::find(best.argmax.begin(), best.argmax.end(),
+                            s),
+                  best.argmax.end())
+            << side;
+        EXPECT_NEAR(best.value, static_cast<double>(g.numEdges()),
+                    1e-12);
+    }
+    EXPECT_THROW(completeBipartite(4, 0), std::invalid_argument);
+    EXPECT_THROW(completeBipartite(4, 0b1111),
+                 std::invalid_argument);
+}
+
+TEST(Graph, FactoriesValidateSizes)
+{
+    EXPECT_THROW(cycleGraph(2), std::invalid_argument);
+    EXPECT_THROW(starGraph(1), std::invalid_argument);
+    EXPECT_EQ(cycleGraph(5).numEdges(), 5u);
+    EXPECT_EQ(starGraph(6, 2).numEdges(), 5u);
+}
+
+TEST(Graph, SynthesizeHitsTargetWithRequestedEdges)
+{
+    const BasisState target = fromBitString("010100");
+    const Graph g = synthesizeGraphForCut(6, 8, target, 3);
+    const MaxCutResult best = bruteForceMaxCut(g);
+    ASSERT_EQ(best.argmax.size(), 2u);
+    EXPECT_NE(std::find(best.argmax.begin(), best.argmax.end(),
+                        target),
+              best.argmax.end());
+    EXPECT_EQ(g.numEdges(), 8u);
+}
+
+TEST(Graph, SynthesizeIsDeterministic)
+{
+    const BasisState target = fromBitString("101001");
+    const Graph a = synthesizeGraphForCut(6, 8, target, 5);
+    const Graph b = synthesizeGraphForCut(6, 8, target, 5);
+    EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Graph, SynthesizeFallsBackToBipartite)
+{
+    // 5 edges cannot make a unique HW-3 cut on 6 nodes quickly in
+    // all cases; whatever happens, the returned graph must have the
+    // requested optimum.
+    const BasisState target = fromBitString("111000");
+    const Graph g = synthesizeGraphForCut(6, 5, target, 1);
+    const MaxCutResult best = bruteForceMaxCut(g);
+    EXPECT_NE(std::find(best.argmax.begin(), best.argmax.end(),
+                        target),
+              best.argmax.end());
+}
+
+} // namespace
+} // namespace qem

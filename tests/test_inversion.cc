@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for inversion strings: circuit rewriting, classical
+ * post-correction, and the standard string sets.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "mitigation/inversion.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Inversion, InsertsXBeforeSelectedMeasures)
+{
+    Circuit c(3);
+    c.h(0).measure(0, 0).measure(1, 1).measure(2, 2);
+    const Circuit inv = applyInversion(c, 0b101);
+    // Two X gates inserted (clbits 0 and 2), none for clbit 1.
+    EXPECT_EQ(inv.countOps(GateKind::X), 2u);
+    EXPECT_EQ(inv.size(), c.size() + 2);
+    // Each X directly precedes its measurement on the same qubit.
+    const auto& ops = inv.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == GateKind::X) {
+            ASSERT_LT(i + 1, ops.size());
+            EXPECT_EQ(ops[i + 1].kind, GateKind::MEASURE);
+            EXPECT_EQ(ops[i + 1].qubits[0], ops[i].qubits[0]);
+        }
+    }
+}
+
+TEST(Inversion, ZeroMaskIsIdentity)
+{
+    Circuit c(2);
+    c.h(0).measureAll();
+    const Circuit inv = applyInversion(c, 0);
+    EXPECT_EQ(inv.size(), c.size());
+}
+
+TEST(Inversion, MaskAddressesClbitsNotQubits)
+{
+    // Qubit 2 measured into clbit 0: inverting clbit 0 flips
+    // qubit 2.
+    Circuit c(3, 1);
+    c.measure(2, 0);
+    const Circuit inv = applyInversion(c, 0b1);
+    ASSERT_EQ(inv.ops()[0].kind, GateKind::X);
+    EXPECT_EQ(inv.ops()[0].qubits[0], 2u);
+}
+
+TEST(Inversion, CorrectInversionIsXorRelabeling)
+{
+    Counts observed(3);
+    observed.add(0b010, 7);
+    const Counts corrected = correctInversion(observed, 0b111);
+    EXPECT_EQ(corrected.get(0b101), 7u);
+}
+
+TEST(Inversion, RoundTripPreservesSemanticsOnIdealBackend)
+{
+    // Property: for any state s and mask m, running the inverted
+    // circuit and XOR-correcting reproduces s exactly.
+    IdealSimulator sim(4, 41);
+    for (BasisState s = 0; s < 16; ++s) {
+        for (InversionString m : {BasisState{0}, BasisState{0b1111},
+                                  BasisState{0b0101},
+                                  BasisState{0b0011}}) {
+            const Circuit inv =
+                applyInversion(basisStatePrep(4, s), m);
+            const Counts corrected =
+                correctInversion(sim.run(inv, 16), m);
+            ASSERT_EQ(corrected.get(s), 16u)
+                << "s=" << s << " m=" << m;
+        }
+    }
+}
+
+TEST(Inversion, TwoModeStrings)
+{
+    const auto strings = twoModeStrings(5);
+    ASSERT_EQ(strings.size(), 2u);
+    EXPECT_EQ(strings[0], 0u);
+    EXPECT_EQ(strings[1], allOnes(5));
+}
+
+TEST(Inversion, FourModeStringsMatchPaper)
+{
+    // Section 5.3: no inversion, full inversion, even-bit, odd-bit.
+    const auto strings = fourModeStrings(5);
+    ASSERT_EQ(strings.size(), 4u);
+    EXPECT_NE(std::find(strings.begin(), strings.end(),
+                        BasisState{0}),
+              strings.end());
+    EXPECT_NE(std::find(strings.begin(), strings.end(), allOnes(5)),
+              strings.end());
+    const BasisState even = fromBitString("10101");
+    const BasisState odd = fromBitString("01010");
+    EXPECT_NE(std::find(strings.begin(), strings.end(), even),
+              strings.end());
+    EXPECT_NE(std::find(strings.begin(), strings.end(), odd),
+              strings.end());
+}
+
+TEST(Inversion, MultiModeStringsFormXorClosedSet)
+{
+    const auto strings = multiModeStrings(6, 3);
+    ASSERT_EQ(strings.size(), 8u);
+    // Distinct.
+    auto sorted = strings;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
+    // XOR-closed subgroup of the hypercube.
+    for (InversionString a : strings) {
+        for (InversionString b : strings) {
+            EXPECT_NE(std::find(strings.begin(), strings.end(),
+                                a ^ b),
+                      strings.end());
+        }
+    }
+}
+
+TEST(Inversion, MultiModeValidation)
+{
+    EXPECT_THROW(multiModeStrings(0, 1), std::invalid_argument);
+    EXPECT_THROW(multiModeStrings(2, 3), std::invalid_argument);
+    EXPECT_THROW(multiModeStrings(4, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the first-principles IQ readout model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "noise/iq_readout.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+IqQubitParams
+cleanQubit()
+{
+    IqQubitParams p;
+    p.i0 = 0.0;
+    p.q0 = 0.0;
+    p.i1 = 1.0;
+    p.q1 = 0.0;
+    p.sigma = 0.18;
+    p.integrationNs = 4000.0;
+    p.t1Ns = std::numeric_limits<double>::infinity();
+    return p;
+}
+
+TEST(IqReadout, SymmetricWithoutDecayOrOffset)
+{
+    IqReadoutModel model({cleanQubit()});
+    // Both rates equal the Gaussian overlap 0.5 erfc(d/(2 sigma
+    // sqrt 2)).
+    const double expected =
+        0.5 * std::erfc(0.5 / (0.18 * std::sqrt(2.0)));
+    EXPECT_NEAR(model.derivedP01(0), expected, 1e-12);
+    EXPECT_NEAR(model.derivedP10(0), expected, 1e-12);
+}
+
+TEST(IqReadout, DecayDuringIntegrationBiasesOnes)
+{
+    IqQubitParams p = cleanQubit();
+    p.t1Ns = 40000.0; // 10% of T1 spent integrating.
+    IqReadoutModel model({p});
+    EXPECT_GT(model.derivedP10(0), model.derivedP01(0) + 0.02);
+    // The p01 side is untouched by decay.
+    EXPECT_NEAR(model.derivedP01(0),
+                IqReadoutModel({cleanQubit()}).derivedP01(0),
+                1e-12);
+}
+
+TEST(IqReadout, DiscriminatorOffsetSkewsEitherWay)
+{
+    IqQubitParams toward1 = cleanQubit();
+    toward1.discriminatorOffset = 0.15;
+    IqQubitParams toward0 = cleanQubit();
+    toward0.discriminatorOffset = -0.15;
+    IqReadoutModel model({toward1, toward0});
+    // Boundary near |1>: ones fall below it often (p10 up), zeros
+    // rarely cross (p01 down).
+    EXPECT_GT(model.derivedP10(0), model.derivedP01(0));
+    // Boundary near |0>: the inverted asymmetry (ibmqx4 story).
+    EXPECT_GT(model.derivedP01(1), model.derivedP10(1));
+}
+
+TEST(IqReadout, MonteCarloMatchesDerivedRates)
+{
+    IqQubitParams p = cleanQubit();
+    p.t1Ns = 30000.0;
+    p.discriminatorOffset = 0.05;
+    IqReadoutModel model({p});
+    Rng rng(601);
+    const int trials = 60000;
+    int zero_errors = 0, one_errors = 0;
+    for (int t = 0; t < trials; ++t) {
+        const auto [i0, q0] = model.sampleIqPoint(0, false, rng);
+        zero_errors += model.classify(0, i0, q0);
+        const auto [i1, q1] = model.sampleIqPoint(0, true, rng);
+        one_errors += !model.classify(0, i1, q1);
+    }
+    EXPECT_NEAR(zero_errors / double(trials), model.derivedP01(0),
+                0.004);
+    EXPECT_NEAR(one_errors / double(trials), model.derivedP10(0),
+                0.005);
+}
+
+TEST(IqReadout, WorksAsNoiseModelReadout)
+{
+    // Plug the physical model straight into the simulator stack.
+    IqQubitParams p = cleanQubit();
+    p.t1Ns = 20000.0;
+    std::vector<IqQubitParams> qubits(3, p);
+    auto model = std::make_shared<IqReadoutModel>(qubits);
+    const double p10 = model->derivedP10(0);
+
+    NoiseModel noise(3);
+    noise.setReadout(model);
+    TrajectorySimulator sim(std::move(noise), 602);
+    const Counts counts =
+        sim.run(basisStatePrep(3, allOnes(3)), 40000);
+    const double expected = std::pow(1.0 - p10, 3);
+    EXPECT_NEAR(counts.probability(allOnes(3)), expected, 0.01);
+}
+
+TEST(IqReadout, LongerIntegrationTradesOverlapForDecay)
+{
+    // The classic readout tradeoff: SNR improves like sqrt(T) but
+    // decay loss grows like T, so the assignment error of |1> is
+    // non-monotone in the window length.
+    auto assignment_error = [](double t_ns) {
+        IqQubitParams p = cleanQubit();
+        p.integrationNs = t_ns;
+        p.sigma = 0.35 * std::sqrt(1000.0 / t_ns);
+        p.t1Ns = 30000.0;
+        IqReadoutModel model({p});
+        return 0.5 * (model.derivedP01(0) + model.derivedP10(0));
+    };
+    const double short_t = assignment_error(250.0);
+    const double mid_t = assignment_error(4000.0);
+    const double long_t = assignment_error(60000.0);
+    EXPECT_LT(mid_t, short_t);
+    EXPECT_LT(mid_t, long_t);
+}
+
+TEST(IqReadout, ValidatesParameters)
+{
+    EXPECT_THROW(IqReadoutModel({}), std::invalid_argument);
+    IqQubitParams bad_sigma = cleanQubit();
+    bad_sigma.sigma = 0.0;
+    EXPECT_THROW(IqReadoutModel({bad_sigma}),
+                 std::invalid_argument);
+    IqQubitParams coincident = cleanQubit();
+    coincident.i1 = coincident.i0;
+    coincident.q1 = coincident.q0;
+    EXPECT_THROW(IqReadoutModel({coincident}),
+                 std::invalid_argument);
+    IqQubitParams bad_t = cleanQubit();
+    bad_t.integrationNs = 0.0;
+    EXPECT_THROW(IqReadoutModel({bad_t}), std::invalid_argument);
+    IqReadoutModel ok({cleanQubit()});
+    EXPECT_THROW(ok.derivedP01(1), std::out_of_range);
+    EXPECT_THROW(ok.params(7), std::out_of_range);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the machine factories: Table-1 error statistics,
+ * topology shapes, and noise-model construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Machines, Ibmqx2Table1Stats)
+{
+    const Machine m = makeIbmqx2();
+    EXPECT_EQ(m.name(), "ibmqx2");
+    EXPECT_EQ(m.numQubits(), 5u);
+    const ErrorStats stats = m.calibration().readoutErrorStats();
+    // Paper Table 1: min 1.2%, avg 3.8%, max 12.8%.
+    EXPECT_NEAR(stats.min, 0.012, 0.002);
+    EXPECT_NEAR(stats.avg, 0.038, 0.004);
+    EXPECT_NEAR(stats.max, 0.128, 0.005);
+}
+
+TEST(Machines, Ibmqx4Table1Stats)
+{
+    const Machine m = makeIbmqx4();
+    const ErrorStats stats = m.calibration().readoutErrorStats();
+    // Paper Table 1: min 3.4%, avg 8.2%, max 20.7%.
+    EXPECT_NEAR(stats.min, 0.034, 0.003);
+    EXPECT_NEAR(stats.avg, 0.082, 0.005);
+    EXPECT_NEAR(stats.max, 0.207, 0.01);
+}
+
+TEST(Machines, MelbourneTable1Stats)
+{
+    const Machine m = makeIbmqMelbourne();
+    EXPECT_EQ(m.numQubits(), 14u);
+    const ErrorStats stats = m.calibration().readoutErrorStats();
+    // Paper Table 1: min 2.2%, avg 8.12%, max 31%.
+    EXPECT_NEAR(stats.min, 0.022, 0.003);
+    EXPECT_NEAR(stats.avg, 0.0812, 0.006);
+    EXPECT_NEAR(stats.max, 0.31, 0.01);
+}
+
+TEST(Machines, ReadoutIsBiasedTowardOnes)
+{
+    // ibmqx2 and melbourne: p10 > p01 for every qubit -- the
+    // paper's core observation about state-dependent bias.
+    for (const Machine& m : {makeIbmqx2(), makeIbmqMelbourne()}) {
+        for (Qubit q = 0; q < m.numQubits(); ++q) {
+            EXPECT_GT(m.calibration().qubit(q).readoutP10,
+                      m.calibration().qubit(q).readoutP01)
+                << m.name() << " qubit " << q;
+        }
+    }
+    // ibmqx4: biased toward ones *on average*, but with at least
+    // one inverted qubit (the Section 6.1 arbitrary bias).
+    const Machine x4 = makeIbmqx4();
+    double sum10 = 0.0, sum01 = 0.0;
+    int inverted = 0;
+    for (Qubit q = 0; q < x4.numQubits(); ++q) {
+        const QubitCalibration& qc = x4.calibration().qubit(q);
+        sum10 += qc.readoutP10;
+        sum01 += qc.readoutP01;
+        inverted += qc.readoutP01 > qc.readoutP10;
+    }
+    EXPECT_GT(sum10, sum01);
+    EXPECT_GE(inverted, 1);
+}
+
+TEST(Machines, BowtieTopologies)
+{
+    for (const Machine& m : {makeIbmqx2(), makeIbmqx4()}) {
+        EXPECT_EQ(m.topology().edges().size(), 6u) << m.name();
+        EXPECT_EQ(m.topology().degree(2), 4u) << m.name();
+        EXPECT_TRUE(m.topology().connected()) << m.name();
+    }
+}
+
+TEST(Machines, MelbourneLadderTopology)
+{
+    const Machine m = makeIbmqMelbourne();
+    EXPECT_EQ(m.topology().edges().size(), 18u);
+    EXPECT_TRUE(m.topology().connected());
+    EXPECT_TRUE(m.topology().coupled(3, 11));
+    EXPECT_FALSE(m.topology().coupled(0, 13));
+}
+
+TEST(Machines, AllLinksCalibrated)
+{
+    for (const Machine& m :
+         {makeIbmqx2(), makeIbmqx4(), makeIbmqMelbourne()}) {
+        for (const auto& [a, b] : m.topology().edges()) {
+            ASSERT_TRUE(m.calibration().hasLink(a, b))
+                << m.name() << " " << a << "-" << b;
+            EXPECT_GT(m.calibration().link(a, b).cxError, 0.0);
+            EXPECT_GT(m.calibration().link(a, b).cxDurationNs, 0.0);
+        }
+    }
+}
+
+TEST(Machines, NoiseModelCarriesCorrelatedReadout)
+{
+    for (const Machine& m :
+         {makeIbmqx2(), makeIbmqx4(), makeIbmqMelbourne()}) {
+        const NoiseModel model = m.noiseModel();
+        ASSERT_NE(model.readout(), nullptr) << m.name();
+        EXPECT_EQ(model.readout()->numQubits(), m.numQubits());
+        EXPECT_TRUE(model.hasGateNoise()) << m.name();
+        // Crosstalk means the flip rate depends on context.
+        const double isolated =
+            model.readout()->flipProbability(0, true, 0b1);
+        const double crowded = model.readout()->flipProbability(
+            0, true, allOnes(m.numQubits()));
+        EXPECT_NE(isolated, crowded) << m.name();
+    }
+}
+
+TEST(Machines, Ibmqx4HasArbitraryBias)
+{
+    // Unlike ibmqx2, ibmqx4's crosstalk includes negative entries,
+    // so at least one qubit reads *better* in a crowded context.
+    const NoiseModel model = makeIbmqx4().noiseModel();
+    bool some_better = false, some_worse = false;
+    for (Qubit q = 0; q < 5; ++q) {
+        const double isolated = model.readout()->flipProbability(
+            q, true, BasisState{1} << q);
+        const double crowded = model.readout()->flipProbability(
+            q, true, allOnes(5));
+        some_better |= crowded < isolated;
+        some_worse |= crowded > isolated;
+    }
+    EXPECT_TRUE(some_better);
+    EXPECT_TRUE(some_worse);
+}
+
+TEST(Machines, IdealMachineIsNoiseFree)
+{
+    const Machine m = makeIdealMachine(4);
+    const NoiseModel model = m.noiseModel();
+    EXPECT_FALSE(model.hasGateNoise());
+    EXPECT_NEAR(model.readout()->flipProbability(0, true, allOnes(4)),
+                0.0, 1e-12);
+    // All-to-all coupling.
+    EXPECT_EQ(m.topology().edges().size(), 6u);
+}
+
+TEST(Machines, FactoryByName)
+{
+    EXPECT_EQ(makeMachine("ibmqx2").name(), "ibmqx2");
+    EXPECT_EQ(makeMachine("ibmq-melbourne").name(),
+              "ibmq_melbourne");
+    EXPECT_THROW(makeMachine("ibmq_unknown"), std::invalid_argument);
+}
+
+TEST(Machines, CoherentCalibrationReachesNoiseModel)
+{
+    Machine m = makeIbmqx2();
+    m.calibration().qubit(1).coherentZ = 0.1;
+    m.calibration().qubit(1).coherentX = -0.05;
+    LinkCalibration link = m.calibration().link(0, 2);
+    link.coherentZZ = 0.2;
+    m.calibration().setLink(0, 2, link);
+
+    const NoiseModel model = m.noiseModel();
+    EXPECT_NEAR(model.gate1q(1).coherentZ, 0.1, 1e-12);
+    EXPECT_NEAR(model.gate1q(1).coherentX, -0.05, 1e-12);
+    EXPECT_NEAR(model.gate2q(0, 2).coherentZZ, 0.2, 1e-12);
+    // Untouched sites stay coherent-error-free.
+    EXPECT_EQ(model.gate1q(0).coherentZ, 0.0);
+    EXPECT_EQ(model.gate2q(3, 4).coherentZZ, 0.0);
+}
+
+TEST(Machines, LinearMachineBuilder)
+{
+    const Machine m = makeLinearMachine(6);
+    EXPECT_EQ(m.name(), "linear-6");
+    EXPECT_EQ(m.topology().edges().size(), 5u);
+    EXPECT_TRUE(m.topology().connected());
+    EXPECT_EQ(m.topology().distance(0, 5), 5u);
+    EXPECT_NO_THROW(m.noiseModel());
+    EXPECT_THROW(makeLinearMachine(1), std::invalid_argument);
+}
+
+TEST(Machines, GridMachineBuilder)
+{
+    const Machine m = makeGridMachine(3, 4);
+    EXPECT_EQ(m.name(), "grid-3x4");
+    EXPECT_EQ(m.numQubits(), 12u);
+    // 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+    EXPECT_EQ(m.topology().edges().size(), 17u);
+    EXPECT_TRUE(m.topology().coupled(0, 4));
+    EXPECT_TRUE(m.topology().coupled(5, 6));
+    EXPECT_FALSE(m.topology().coupled(3, 4)); // Row wrap.
+    EXPECT_TRUE(m.topology().connected());
+    EXPECT_THROW(makeGridMachine(1, 1), std::invalid_argument);
+    EXPECT_THROW(makeGridMachine(0, 5), std::invalid_argument);
+}
+
+TEST(Machines, MachineValidatesSizes)
+{
+    Topology topo(2, {{0, 1}});
+    Calibration calib(3);
+    EXPECT_THROW(Machine("bad", topo, calib),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

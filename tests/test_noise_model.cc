@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the NoiseModel container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noise/noise_model.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(NoiseModel, DefaultsAreNoiseFree)
+{
+    NoiseModel model(3);
+    EXPECT_EQ(model.numQubits(), 3u);
+    EXPECT_FALSE(model.hasGateNoise());
+    EXPECT_TRUE(std::isinf(model.t1(0)));
+    EXPECT_EQ(model.gate1q(1).errorProb, 0.0);
+    EXPECT_EQ(model.readout(), nullptr);
+    EXPECT_THROW(NoiseModel(0), std::invalid_argument);
+}
+
+TEST(NoiseModel, CoherenceSettersValidate)
+{
+    NoiseModel model(2);
+    model.setT1(0, 50000.0);
+    model.setT2(0, 40000.0);
+    EXPECT_EQ(model.t1(0), 50000.0);
+    EXPECT_EQ(model.t2(0), 40000.0);
+    EXPECT_THROW(model.setT1(5, 1.0), std::out_of_range);
+    EXPECT_THROW(model.setT1(0, -1.0), std::invalid_argument);
+    EXPECT_THROW(model.setT2(0, 0.0), std::invalid_argument);
+    EXPECT_TRUE(model.hasGateNoise()); // Finite T1 counts as noise.
+}
+
+TEST(NoiseModel, TwoQubitGateLookupIsUnordered)
+{
+    NoiseModel model(3);
+    model.setGate2q(2, 0, {0.03, 400.0});
+    EXPECT_TRUE(model.hasGate2q(0, 2));
+    EXPECT_TRUE(model.hasGate2q(2, 0));
+    EXPECT_NEAR(model.gate2q(0, 2).errorProb, 0.03, 1e-12);
+    EXPECT_FALSE(model.hasGate2q(0, 1));
+    EXPECT_THROW(model.gate2q(0, 1), std::out_of_range);
+    EXPECT_THROW(model.setGate2q(1, 1, {}), std::invalid_argument);
+}
+
+TEST(NoiseModel, ReadoutSizeMustMatch)
+{
+    NoiseModel model(2);
+    auto wrong = std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.1}, std::vector<double>{0.1});
+    EXPECT_THROW(model.setReadout(wrong), std::invalid_argument);
+    auto right = std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.1, 0.1},
+        std::vector<double>{0.1, 0.1});
+    model.setReadout(right);
+    EXPECT_NE(model.readout(), nullptr);
+}
+
+TEST(NoiseModel, GateNoiseDetection)
+{
+    NoiseModel model(2);
+    EXPECT_FALSE(model.hasGateNoise());
+    model.setGate1q(0, {0.001, 0.0});
+    EXPECT_TRUE(model.hasGateNoise());
+
+    NoiseModel model2(2);
+    model2.setGate2q(0, 1, {0.0, 300.0});
+    EXPECT_TRUE(model2.hasGateNoise()); // Duration drives decay.
+}
+
+TEST(NoiseModel, MeasureDuration)
+{
+    NoiseModel model(1);
+    model.setMeasureDuration(4000.0);
+    EXPECT_EQ(model.measureDurationNs(), 4000.0);
+}
+
+} // namespace
+} // namespace qem

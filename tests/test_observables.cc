@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for diagonal observables and the sampled energy
+ * estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/qaoa.hh"
+#include "metrics/observables.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+Counts
+ghzLikeLog()
+{
+    Counts c(3);
+    c.add(0b000, 50);
+    c.add(0b111, 50);
+    return c;
+}
+
+TEST(Observables, ZParityOfDeterministicLog)
+{
+    Counts c(2);
+    c.add(0b01, 10); // q0 = 1.
+    EXPECT_NEAR(zParityExpectation(c, 0b01), -1.0, 1e-12);
+    EXPECT_NEAR(zParityExpectation(c, 0b10), 1.0, 1e-12);
+    EXPECT_NEAR(zParityExpectation(c, 0b11), -1.0, 1e-12);
+    EXPECT_NEAR(zParityExpectation(c, 0b00), 1.0, 1e-12);
+}
+
+TEST(Observables, GhzParities)
+{
+    const Counts c = ghzLikeLog();
+    // Single-qubit <Z> vanish, two-qubit <ZZ> are +1.
+    for (double z : singleQubitZExpectations(c))
+        EXPECT_NEAR(z, 0.0, 1e-12);
+    EXPECT_NEAR(zParityExpectation(c, 0b011), 1.0, 1e-12);
+    EXPECT_NEAR(zParityExpectation(c, 0b101), 1.0, 1e-12);
+    // Three-qubit parity also vanishes (odd under global flip).
+    EXPECT_NEAR(zParityExpectation(c, 0b111), 0.0, 1e-12);
+}
+
+TEST(Observables, EmptyLogYieldsZero)
+{
+    Counts empty(2);
+    EXPECT_EQ(zParityExpectation(empty, 0b11), 0.0);
+    EXPECT_EQ(meanHammingDistance(empty, 0), 0.0);
+}
+
+TEST(Observables, HammingDistanceSpectrum)
+{
+    Counts c(3);
+    c.add(0b101, 6); // Reference itself.
+    c.add(0b100, 2); // Distance 1.
+    c.add(0b010, 2); // Distance 3.
+    const auto spec = hammingDistanceSpectrum(c, 0b101);
+    ASSERT_EQ(spec.size(), 4u);
+    EXPECT_NEAR(spec[0], 0.6, 1e-12);
+    EXPECT_NEAR(spec[1], 0.2, 1e-12);
+    EXPECT_NEAR(spec[2], 0.0, 1e-12);
+    EXPECT_NEAR(spec[3], 0.2, 1e-12);
+    EXPECT_NEAR(meanHammingDistance(c, 0b101), 0.8, 1e-12);
+}
+
+TEST(Observables, SampledExpectedCut)
+{
+    const Graph g = cycleGraph(4);
+    Counts c(4);
+    c.add(fromBitString("0101"), 3); // Cut 4.
+    c.add(fromBitString("0000"), 1); // Cut 0.
+    EXPECT_NEAR(sampledExpectedCut(g, c), 3.0, 1e-12);
+    EXPECT_NEAR(sampledExpectedCut(g, Counts(4)), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the peephole circuit optimizer.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qsim/rng.hh"
+#include "qsim/simulator.hh"
+#include "qsim/statevector.hh"
+#include "transpile/optimizer.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Optimizer, CancelsSelfInversePairs)
+{
+    Circuit c(2);
+    c.x(0).x(0).h(1).h(1).cx(0, 1).cx(0, 1);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+TEST(Optimizer, CancelsPhasePairsEitherOrder)
+{
+    Circuit c(1);
+    c.s(0).sdg(0).tdg(0).t(0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+TEST(Optimizer, OrderlessGatesCancelAcrossOperandOrder)
+{
+    Circuit c(2);
+    c.cz(0, 1).cz(1, 0).swap(0, 1).swap(1, 0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+TEST(Optimizer, CxDirectionMatters)
+{
+    Circuit c(2);
+    c.cx(0, 1).cx(1, 0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 2u);
+}
+
+TEST(Optimizer, InterveningOpBlocksCancellation)
+{
+    Circuit c(2);
+    c.x(0).h(0).x(0); // H between the X's.
+    EXPECT_EQ(optimizeCircuit(c).size(), 3u);
+    Circuit c2(2);
+    c2.cx(0, 1).x(1).cx(0, 1); // X on the target between CX's.
+    EXPECT_EQ(optimizeCircuit(c2).size(), 3u);
+    Circuit c3(2);
+    c3.x(0).barrier().x(0); // Barriers block everything.
+    EXPECT_EQ(cancelInversePairs(c3).size(), 3u);
+}
+
+TEST(Optimizer, UnrelatedQubitDoesNotBlock)
+{
+    Circuit c(3);
+    c.x(0).h(2).x(0);
+    const Circuit out = optimizeCircuit(c);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.ops()[0].kind, GateKind::H);
+}
+
+TEST(Optimizer, CascadedCancellation)
+{
+    // Inner pair cancels first, exposing the outer pair.
+    Circuit c(1);
+    c.h(0).x(0).x(0).h(0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+TEST(Optimizer, MergesRotations)
+{
+    Circuit c(1);
+    c.rz(0.3, 0).rz(0.5, 0).rz(-0.2, 0);
+    const Circuit out = mergeRotations(c);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.ops()[0].params[0], 0.6, 1e-12);
+}
+
+TEST(Optimizer, DropsFullTurnRotations)
+{
+    Circuit c(1);
+    c.rx(M_PI, 0).rx(M_PI, 0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+    Circuit c2(1);
+    c2.p(2.0 * M_PI, 0);
+    EXPECT_EQ(optimizeCircuit(c2).size(), 0u);
+}
+
+TEST(Optimizer, DifferentRotationKindsDoNotMerge)
+{
+    Circuit c(1);
+    c.rz(0.3, 0).rx(0.3, 0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 2u);
+}
+
+TEST(Optimizer, KeepsMeasurementsAndStructure)
+{
+    Circuit c(2);
+    c.x(0).measure(0, 0).x(0).delay(100, 1).measure(1, 1);
+    const Circuit out = optimizeCircuit(c);
+    // The measurement blocks the X pair.
+    EXPECT_EQ(out.size(), c.size());
+    EXPECT_EQ(out.countOps(GateKind::MEASURE), 2u);
+}
+
+TEST(Optimizer, PreservesSemanticsOnRandomCircuits)
+{
+    Rng rng(23);
+    for (int trial = 0; trial < 12; ++trial) {
+        Circuit c(4, 0);
+        for (int g = 0; g < 30; ++g) {
+            switch (rng.index(7)) {
+              case 0:
+                c.x(static_cast<Qubit>(rng.index(4)));
+                break;
+              case 1:
+                c.h(static_cast<Qubit>(rng.index(4)));
+                break;
+              case 2:
+                c.s(static_cast<Qubit>(rng.index(4)));
+                break;
+              case 3:
+                c.sdg(static_cast<Qubit>(rng.index(4)));
+                break;
+              case 4:
+                c.rz(rng.uniform(-1.0, 1.0),
+                     static_cast<Qubit>(rng.index(4)));
+                break;
+              default: {
+                const Qubit a = static_cast<Qubit>(rng.index(4));
+                Qubit b = static_cast<Qubit>(rng.index(4));
+                while (b == a)
+                    b = static_cast<Qubit>(rng.index(4));
+                c.cx(a, b);
+                break;
+              }
+            }
+        }
+        const Circuit optimized = optimizeCircuit(c);
+        EXPECT_LE(optimized.size(), c.size());
+        IdealSimulator sim(4);
+        EXPECT_NEAR(
+            sim.stateOf(c).fidelity(sim.stateOf(optimized)), 1.0,
+            1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(Optimizer, DecomposesCcxExactly)
+{
+    Circuit c(3);
+    c.ccx(2, 0, 1);
+    const Circuit lowered = decomposeMultiQubitGates(c);
+    EXPECT_EQ(lowered.countOps(GateKind::CCX), 0u);
+    EXPECT_EQ(lowered.countOps(GateKind::CX), 6u);
+    // Unitary equivalence on every basis input.
+    for (BasisState input = 0; input < 8; ++input) {
+        StateVector direct(3, input);
+        direct.applyOperation(c.ops()[0]);
+        IdealSimulator sim(3);
+        Circuit prep(3);
+        for (Qubit q = 0; q < 3; ++q) {
+            if ((input >> q) & 1U)
+                prep.x(q);
+        }
+        prep.compose(lowered);
+        EXPECT_NEAR(sim.stateOf(prep).fidelity(direct), 1.0, 1e-9)
+            << "input " << input;
+    }
+    // Non-CCX ops pass through untouched.
+    Circuit plain(2);
+    plain.h(0).cx(0, 1).measureAll();
+    EXPECT_EQ(decomposeMultiQubitGates(plain).size(),
+              plain.size());
+}
+
+TEST(Optimizer, IsIdempotent)
+{
+    Circuit c(2);
+    c.h(0).x(0).x(0).cx(0, 1).rz(0.4, 1).rz(0.6, 1);
+    const Circuit once = optimizeCircuit(c);
+    const Circuit twice = optimizeCircuit(once);
+    EXPECT_EQ(once.size(), twice.size());
+}
+
+} // namespace
+} // namespace qem

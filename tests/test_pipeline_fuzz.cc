@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pipeline fuzzing: random logical circuits pushed through the full
+ * transpile -> simulate -> mitigate stack must uphold structural
+ * invariants regardless of shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/qasm.hh"
+#include "qsim/rng.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Random measured circuit over @p n qubits. */
+Circuit
+randomCircuit(unsigned n, int gates, Rng& rng)
+{
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        const Qubit a = static_cast<Qubit>(rng.index(n));
+        Qubit b = static_cast<Qubit>(rng.index(n));
+        while (b == a)
+            b = static_cast<Qubit>(rng.index(n));
+        switch (rng.index(8)) {
+          case 0:
+            c.h(a);
+            break;
+          case 1:
+            c.x(a);
+            break;
+          case 2:
+            c.t(a);
+            break;
+          case 3:
+            c.rz(rng.uniform(-2.0, 2.0), a);
+            break;
+          case 4:
+            c.rx(rng.uniform(-2.0, 2.0), a);
+            break;
+          case 5:
+            c.cx(a, b);
+            break;
+          case 6:
+            c.cz(a, b);
+            break;
+          default:
+            c.swap(a, b);
+            break;
+        }
+    }
+    c.measureAll();
+    return c;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnMelbourne)
+{
+    Rng rng(900 + GetParam());
+    MachineSession session(makeIbmqMelbourne(),
+                           1000 + GetParam());
+    const Machine& m = session.machine();
+    const unsigned n = 2 + static_cast<unsigned>(rng.index(5));
+    const Circuit logical =
+        randomCircuit(n, 8 + static_cast<int>(rng.index(20)),
+                      rng);
+
+    // Transpilation invariants.
+    const TranspiledProgram program = session.prepare(logical);
+    EXPECT_NO_THROW(validateLayout(program.initialLayout, n,
+                                   m.numQubits()));
+    for (const Operation& op : program.circuit.ops()) {
+        if (op.qubits.size() == 2 && isUnitary(op.kind)) {
+            ASSERT_TRUE(m.topology().coupled(op.qubits[0],
+                                             op.qubits[1]))
+                << op.toString();
+        }
+    }
+    EXPECT_EQ(program.circuit.countOps(GateKind::MEASURE), n);
+    EXPECT_GE(program.durationNs, 0.0);
+
+    // The physical circuit round-trips through QASM.
+    const Circuit parsed = fromQasm(toQasm(program.circuit));
+    EXPECT_EQ(parsed.size(), program.circuit.size());
+
+    // Every policy produces a structurally sound log.
+    BaselinePolicy baseline;
+    StaticInvertAndMeasure sim;
+    for (MitigationPolicy* policy :
+         std::initializer_list<MitigationPolicy*>{&baseline,
+                                                  &sim}) {
+        const Counts counts =
+            session.runPolicy(program, *policy, 512);
+        EXPECT_EQ(counts.total(), 512u);
+        EXPECT_EQ(counts.numBits(), n);
+        for (const auto& [outcome, count] : counts.raw()) {
+            EXPECT_LT(outcome, BasisState{1} << n);
+            EXPECT_GT(count, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range(0u, 12u));
+
+} // namespace
+} // namespace qem

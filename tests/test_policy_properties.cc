@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Property tests that hold for EVERY mitigation policy: on a
+ * noise-free backend the policy is semantically transparent (the
+ * circuit's exact answer comes out unchanged), the trial budget is
+ * spent exactly, and runs are reproducible per seed.
+ */
+
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "metrics/reliability.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/matrix_correction.hh"
+#include "mitigation/sim_policy.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Factory so each test gets a fresh policy instance. */
+using PolicyFactory =
+    std::function<std::unique_ptr<MitigationPolicy>(unsigned bits)>;
+
+std::unique_ptr<MitigationPolicy>
+makeAim(unsigned bits)
+{
+    // A flat RBMS profile (no preference) keeps AIM well-defined
+    // without a characterization pass.
+    std::vector<double> flat(std::size_t{1} << bits, 1.0);
+    return std::make_unique<AdaptiveInvertAndMeasure>(
+        std::make_shared<ExhaustiveRbms>(std::move(flat)));
+}
+
+struct NamedFactory
+{
+    const char* name;
+    PolicyFactory make;
+    /**
+     * Sampling policies log every trial verbatim; the matrix filter
+     * rewrites the histogram and may lose a shot to rounding.
+     */
+    bool exactTotal = true;
+};
+
+class PolicyProperties
+    : public ::testing::TestWithParam<NamedFactory>
+{
+};
+
+TEST_P(PolicyProperties, TransparentOnNoiselessBackend)
+{
+    const BasisState key = fromBitString("0110");
+    const Circuit circuit = bernsteinVazirani(4, key);
+    TrajectorySimulator backend(NoiseModel(5), 311);
+    auto policy = GetParam().make(4);
+    const Counts counts = policy->run(circuit, backend, 4096);
+    EXPECT_EQ(counts.total(), 4096u);
+    EXPECT_NEAR(pst(counts, key), 1.0, 1e-9) << GetParam().name;
+}
+
+TEST_P(PolicyProperties, SpendsExactTrialBudget)
+{
+    NoiseModel model(4);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(4, 0.02),
+        std::vector<double>(4, 0.15)));
+    TrajectorySimulator backend(std::move(model), 312);
+    Circuit circuit(4);
+    circuit.h(0).cx(0, 1).measureAll();
+    auto policy = GetParam().make(4);
+    for (std::size_t shots : {100u, 1000u, 4097u}) {
+        const std::uint64_t total =
+            policy->run(circuit, backend, shots).total();
+        if (GetParam().exactTotal) {
+            EXPECT_EQ(total, shots) << GetParam().name;
+        } else {
+            EXPECT_NEAR(static_cast<double>(total),
+                        static_cast<double>(shots), 4.0)
+                << GetParam().name;
+        }
+    }
+}
+
+TEST_P(PolicyProperties, ReproduciblePerSeed)
+{
+    NoiseModel model(4);
+    model.setGate1q(0, {0.02, 0.0});
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(4, 0.02),
+        std::vector<double>(4, 0.15)));
+    const Circuit circuit = bernsteinVazirani(3, 0b101);
+
+    TrajectorySimulator b1(model, 313);
+    TrajectorySimulator b2(model, 313);
+    auto p1 = GetParam().make(3);
+    auto p2 = GetParam().make(3);
+    EXPECT_EQ(p1->run(circuit, b1, 2000).raw(),
+              p2->run(circuit, b2, 2000).raw())
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperties,
+    ::testing::Values(
+        NamedFactory{"baseline",
+                     [](unsigned) {
+                         return std::make_unique<BaselinePolicy>();
+                     }},
+        NamedFactory{"sim2",
+                     [](unsigned bits) {
+                         return std::make_unique<
+                             StaticInvertAndMeasure>(
+                             twoModeStrings(bits));
+                     }},
+        NamedFactory{"sim4",
+                     [](unsigned bits) {
+                         return std::make_unique<
+                             StaticInvertAndMeasure>(
+                             fourModeStrings(bits));
+                     }},
+        NamedFactory{"sim8",
+                     [](unsigned bits) {
+                         return std::make_unique<
+                             StaticInvertAndMeasure>(
+                             multiModeStrings(bits, 3));
+                     }},
+        NamedFactory{"aim", makeAim},
+        NamedFactory{"matrixinv",
+                     [](unsigned) {
+                         return std::make_unique<
+                             MatrixInversionCorrection>(2048);
+                     },
+                     /*exactTotal=*/false}),
+    [](const ::testing::TestParamInfo<NamedFactory>& info) {
+        return std::string(info.param.name);
+    });
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the QAOA kernel and its classical optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/qaoa.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Qaoa, CircuitStructure)
+{
+    const Graph g = cycleGraph(4);
+    QaoaAngles angles{{0.3, 0.5}, {0.2, 0.1}};
+    const Circuit c = qaoaCircuit(g, angles);
+    EXPECT_EQ(c.numQubits(), 4u);
+    // Per layer: 2 CX per edge + 1 RZ per edge + 1 RX per node.
+    EXPECT_EQ(c.countOps(GateKind::CX), 2u * 4u * 2u);
+    EXPECT_EQ(c.countOps(GateKind::RZ), 4u * 2u);
+    EXPECT_EQ(c.countOps(GateKind::RX), 4u * 2u);
+    EXPECT_EQ(c.countOps(GateKind::H), 4u);
+    EXPECT_EQ(c.countOps(GateKind::MEASURE), 4u);
+}
+
+TEST(Qaoa, RejectsBadAngles)
+{
+    const Graph g = cycleGraph(3);
+    EXPECT_THROW(qaoaCircuit(g, QaoaAngles{{0.1}, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(qaoaCircuit(g, QaoaAngles{{}, {}}),
+                 std::invalid_argument);
+}
+
+TEST(Qaoa, ZeroAnglesGiveUniformDistribution)
+{
+    const Graph g = cycleGraph(4);
+    QaoaAngles zero{{0.0}, {0.0}};
+    // <C> of the uniform distribution = half the edges.
+    EXPECT_NEAR(qaoaExpectedCut(g, zero), 2.0, 1e-9);
+    for (BasisState s = 0; s < 16; ++s)
+        EXPECT_NEAR(qaoaIdealProbability(g, zero, s), 1.0 / 16.0,
+                    1e-9);
+}
+
+TEST(Qaoa, DistributionIsComplementSymmetric)
+{
+    // The standard ansatz commutes with global X: P(s) == P(~s).
+    const Graph g = completeBipartite(5, 0b01101);
+    QaoaAngles angles{{0.7, 0.3}, {0.4, 0.9}};
+    for (BasisState s = 0; s < 16; ++s) {
+        EXPECT_NEAR(qaoaIdealProbability(g, angles, s),
+                    qaoaIdealProbability(g, angles,
+                                         s ^ allOnes(5)),
+                    1e-9)
+            << "state " << s;
+    }
+}
+
+TEST(Qaoa, OptimizerBeatsZeroAngles)
+{
+    const Graph g = cycleGraph(4);
+    const QaoaAngles best = optimizeQaoaAngles(g, 1);
+    EXPECT_GT(qaoaExpectedCut(g, best), 2.0 + 0.5);
+    EXPECT_LE(qaoaExpectedCut(g, best),
+              bruteForceMaxCut(g).value + 1e-9);
+}
+
+TEST(Qaoa, OptimizedCircuitConcentratesOnMaxCut)
+{
+    const Graph g = cycleGraph(4);
+    const QaoaAngles best = optimizeQaoaAngles(g, 1);
+    IdealSimulator sim(4, 21);
+    const Counts counts = sim.run(qaoaCircuit(g, best), 20000);
+    const BasisState top = counts.mostFrequent();
+    EXPECT_TRUE(top == fromBitString("0101") ||
+                top == fromBitString("1010"))
+        << toBitString(top, 4);
+    // The optimum pair dominates the uniform share by a wide
+    // margin.
+    EXPECT_GT(counts.probability(fromBitString("0101")), 0.2);
+}
+
+TEST(Qaoa, DeeperAnsatzDoesNotRegress)
+{
+    const Graph g = completeBipartite(4, 0b0111);
+    const double p1 =
+        qaoaExpectedCut(g, optimizeQaoaAngles(g, 1));
+    const double p2 =
+        qaoaExpectedCut(g, optimizeQaoaAngles(g, 2));
+    EXPECT_GE(p2, p1 - 0.05);
+}
+
+TEST(Qaoa, OptimizerIsDeterministic)
+{
+    const Graph g = completeBipartite(5, 0b10101);
+    const QaoaAngles a = optimizeQaoaAngles(g, 2);
+    const QaoaAngles b = optimizeQaoaAngles(g, 2);
+    EXPECT_EQ(a.gamma, b.gamma);
+    EXPECT_EQ(a.beta, b.beta);
+}
+
+TEST(Qaoa, OptimizerValidatesArguments)
+{
+    const Graph g = cycleGraph(3);
+    EXPECT_THROW(optimizeQaoaAngles(g, 0), std::invalid_argument);
+    EXPECT_THROW(optimizeQaoaAngles(g, 9), std::invalid_argument);
+    EXPECT_THROW(optimizeQaoaAngles(g, 1, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

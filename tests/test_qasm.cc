@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for OpenQASM 2.0 export/import.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/qasm.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Qasm, EmitsHeaderAndRegisters)
+{
+    Circuit c(3, 2);
+    const std::string text = toQasm(c);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("creg c[2];"), std::string::npos);
+}
+
+TEST(Qasm, EmitsGatesMeasuresBarriers)
+{
+    Circuit c(2);
+    c.h(0).rx(0.5, 1).cx(0, 1).barrier().measure(1, 0);
+    const std::string text = toQasm(c);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("rx(0.5) q[1];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0], q[1];"), std::string::npos);
+    EXPECT_NE(text.find("barrier q;"), std::string::npos);
+    EXPECT_NE(text.find("measure q[1] -> c[0];"),
+              std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics)
+{
+    const BasisState key = fromBitString("101");
+    Circuit original = bernsteinVazirani(3, key);
+    original.delay(120.5, 2);
+    const Circuit parsed = fromQasm(toQasm(original));
+    EXPECT_EQ(parsed.numQubits(), original.numQubits());
+    EXPECT_EQ(parsed.numClbits(), original.numClbits());
+    EXPECT_EQ(parsed.size(), original.size());
+    IdealSimulator sim(4, 3);
+    EXPECT_EQ(sim.run(parsed, 100).get(key), 100u);
+}
+
+TEST(Qasm, RoundTripEveryGateKind)
+{
+    Circuit c(3);
+    c.id(0).x(0).y(1).z(2).h(0).s(1).sdg(2).t(0).tdg(1).sx(2);
+    c.rx(0.25, 0).ry(-1.5, 1).rz(3.0, 2).p(0.125, 0);
+    c.u2(0.1, 0.2, 1).u3(0.1, 0.2, 0.3, 2);
+    c.cx(0, 1).cz(1, 2).swap(0, 2).ccx(0, 1, 2);
+    c.measureAll();
+    const Circuit parsed = fromQasm(toQasm(c));
+    ASSERT_EQ(parsed.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(parsed.ops()[i].kind, c.ops()[i].kind) << i;
+        EXPECT_EQ(parsed.ops()[i].qubits, c.ops()[i].qubits) << i;
+        ASSERT_EQ(parsed.ops()[i].params.size(),
+                  c.ops()[i].params.size());
+        for (std::size_t p = 0; p < c.ops()[i].params.size(); ++p)
+            EXPECT_NEAR(parsed.ops()[i].params[p],
+                        c.ops()[i].params[p], 1e-9);
+    }
+}
+
+TEST(Qasm, ParserIgnoresCommentsAndBlankLines)
+{
+    const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[1];
+
+creg c[1];
+h q[0]; // trailing comment
+measure q[0] -> c[0];
+)";
+    const Circuit c = fromQasm(text);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Qasm, ParserDiagnosesErrors)
+{
+    EXPECT_THROW(fromQasm("h q[0];"), std::invalid_argument);
+    EXPECT_THROW(fromQasm("qreg q[1];\ncreg c[1];\nfrob q[0];"),
+                 std::invalid_argument);
+    EXPECT_THROW(fromQasm("qreg q[1];\ncreg c[1];\nh q[0]"),
+                 std::invalid_argument);
+    EXPECT_THROW(fromQasm("qreg q[1];\ncreg c[1];\nh q[5];"),
+                 std::invalid_argument);
+    EXPECT_THROW(fromQasm("qreg q[1];\ncreg c[1];\nrx() q[0];"),
+                 std::invalid_argument);
+    EXPECT_THROW(fromQasm(""), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

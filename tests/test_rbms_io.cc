@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for RBMS profile serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/rbms_io.hh"
+#include "noise/trajectory.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(RbmsIo, ExhaustiveRoundTrip)
+{
+    ExhaustiveRbms original({0.9, 0.4, 0.7, 0.25});
+    const auto parsed = parseRbms(serializeRbms(original));
+    ASSERT_NE(parsed, nullptr);
+    EXPECT_EQ(parsed->numBits(), 2u);
+    for (BasisState s = 0; s < 4; ++s)
+        EXPECT_NEAR(parsed->strength(s), original.strength(s),
+                    1e-15)
+            << s;
+    EXPECT_EQ(parsed->strongestState(),
+              original.strongestState());
+}
+
+TEST(RbmsIo, WindowedRoundTrip)
+{
+    WindowedRbms original(
+        5, {{0, {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}},
+            {2, {0.95, 0.85, 0.75, 0.65, 0.55, 0.45, 0.35,
+                 0.25}}});
+    const auto parsed = parseRbms(serializeRbms(original));
+    ASSERT_NE(parsed, nullptr);
+    EXPECT_EQ(parsed->numBits(), 5u);
+    EXPECT_NE(dynamic_cast<const WindowedRbms*>(parsed.get()),
+              nullptr);
+    for (BasisState s = 0; s < 32; ++s)
+        EXPECT_NEAR(parsed->strength(s), original.strength(s),
+                    1e-12)
+            << s;
+    EXPECT_EQ(parsed->strongestState(),
+              original.strongestState());
+}
+
+TEST(RbmsIo, RoundTripOfMeasuredProfile)
+{
+    // End-to-end: characterize, save, load, and the loaded profile
+    // drives AIM identically.
+    NoiseModel model(3);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.02, 0.05, 0.01},
+        std::vector<double>{0.2, 0.1, 0.3}));
+    TrajectorySimulator backend(std::move(model), 91);
+    const ExhaustiveRbms measured =
+        characterizeDirect(backend, {0, 1, 2}, 8192);
+    const auto loaded = parseRbms(serializeRbms(measured));
+    EXPECT_EQ(loaded->strongestState(),
+              measured.strongestState());
+    EXPECT_NEAR(loaded->strength(5), measured.strength(5), 1e-12);
+}
+
+TEST(RbmsIo, ParserDiagnosesGarbage)
+{
+    EXPECT_THROW(parseRbms(""), std::invalid_argument);
+    EXPECT_THROW(parseRbms("bogus exhaustive 2\n1 1 1 1"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseRbms("rbms exotic 2\n1 1 1 1"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseRbms("rbms exhaustive 2\n1 1 1"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseRbms("rbms exhaustive 2\n1 -1 1 1"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseRbms("rbms exhaustive 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseRbms("rbms windowed 5 1\nwidget 0 8\n1 1 1 1 1 1 1 1"),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

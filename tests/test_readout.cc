@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the readout-error models — the paper's central
+ * noise process.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/readout.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(AsymmetricReadout, FlipProbabilitiesPerQubit)
+{
+    AsymmetricReadout model({0.01, 0.02}, {0.10, 0.20});
+    EXPECT_EQ(model.numQubits(), 2u);
+    EXPECT_NEAR(model.flipProbability(0, false, 0), 0.01, 1e-12);
+    EXPECT_NEAR(model.flipProbability(0, true, 0), 0.10, 1e-12);
+    EXPECT_NEAR(model.flipProbability(1, true, 0), 0.20, 1e-12);
+    EXPECT_THROW(model.flipProbability(2, false, 0),
+                 std::out_of_range);
+}
+
+TEST(AsymmetricReadout, ValidatesConstruction)
+{
+    EXPECT_THROW(AsymmetricReadout({0.1}, {0.1, 0.1}),
+                 std::invalid_argument);
+    EXPECT_THROW(AsymmetricReadout({}, {}), std::invalid_argument);
+    EXPECT_THROW(AsymmetricReadout({1.5}, {0.1}),
+                 std::invalid_argument);
+}
+
+TEST(AsymmetricReadout, SuccessProbabilityIsProduct)
+{
+    AsymmetricReadout model({0.1, 0.1, 0.1}, {0.2, 0.2, 0.2});
+    // All-zero: (1-0.1)^3; all-one: (1-0.2)^3.
+    EXPECT_NEAR(model.successProbability(0, 3), 0.9 * 0.9 * 0.9,
+                1e-12);
+    EXPECT_NEAR(model.successProbability(0b111, 3),
+                0.8 * 0.8 * 0.8, 1e-12);
+    // Mixed state: one of each.
+    EXPECT_NEAR(model.successProbability(0b010, 3),
+                0.9 * 0.8 * 0.9, 1e-12);
+}
+
+TEST(AsymmetricReadout, ConfusionProbabilitiesSumToOne)
+{
+    AsymmetricReadout model({0.05, 0.1}, {0.2, 0.3});
+    const std::vector<Qubit> measured{0, 1};
+    for (BasisState truth = 0; truth < 4; ++truth) {
+        double sum = 0.0;
+        for (BasisState obs = 0; obs < 4; ++obs)
+            sum += model.confusionProbability(truth, obs, measured);
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "truth " << truth;
+    }
+}
+
+TEST(AsymmetricReadout, SampleReadoutStatistics)
+{
+    AsymmetricReadout model({0.0, 0.0}, {0.5, 0.0});
+    Rng rng(3);
+    const std::vector<Qubit> measured{0, 1};
+    int q0_kept = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        const BasisState obs =
+            model.sampleReadout(0b11, measured, rng);
+        q0_kept += getBit(obs, 0);
+        EXPECT_TRUE(getBit(obs, 1)); // q1 is error-free.
+    }
+    EXPECT_NEAR(q0_kept / static_cast<double>(trials), 0.5, 0.03);
+}
+
+TEST(AsymmetricReadout, UnmeasuredQubitsReadZero)
+{
+    AsymmetricReadout model({0.0, 0.0, 0.0}, {0.0, 0.0, 0.0});
+    Rng rng(4);
+    const BasisState obs = model.sampleReadout(0b111, {0, 2}, rng);
+    EXPECT_EQ(obs, 0b101u);
+}
+
+TEST(CorrelatedReadout, CrosstalkShiftsRates)
+{
+    AsymmetricReadout base({0.01, 0.01}, {0.10, 0.10});
+    // Qubit 0's 1->0 rate rises by 0.15 when qubit 1 holds a 1.
+    std::vector<std::vector<double>> j01(2,
+                                         std::vector<double>(2, 0));
+    std::vector<std::vector<double>> j10(2,
+                                         std::vector<double>(2, 0));
+    j10[0][1] = 0.15;
+    CorrelatedReadout model(std::move(base), j01, j10);
+
+    EXPECT_NEAR(model.flipProbability(0, true, 0b01), 0.10, 1e-12);
+    EXPECT_NEAR(model.flipProbability(0, true, 0b11), 0.25, 1e-12);
+    // Qubit 1 itself is unaffected (no self term used).
+    EXPECT_NEAR(model.flipProbability(1, true, 0b11), 0.10, 1e-12);
+    // p01 unaffected.
+    EXPECT_NEAR(model.flipProbability(0, false, 0b10), 0.01, 1e-12);
+}
+
+TEST(CorrelatedReadout, RatesClampToHalf)
+{
+    AsymmetricReadout base({0.01, 0.01}, {0.45, 0.45});
+    std::vector<std::vector<double>> j01(2,
+                                         std::vector<double>(2, 0));
+    std::vector<std::vector<double>> j10(
+        2, std::vector<double>(2, 0.3));
+    CorrelatedReadout model(std::move(base), j01, j10);
+    EXPECT_NEAR(model.flipProbability(0, true, 0b11), 0.5, 1e-12);
+    // Negative crosstalk clamps at zero.
+    AsymmetricReadout base2({0.01, 0.01}, {0.05, 0.05});
+    std::vector<std::vector<double>> j10n(
+        2, std::vector<double>(2, -0.3));
+    CorrelatedReadout model2(std::move(base2), j01, j10n);
+    EXPECT_NEAR(model2.flipProbability(0, true, 0b11), 0.0, 1e-12);
+}
+
+TEST(CorrelatedReadout, ValidatesMatrixShape)
+{
+    AsymmetricReadout base({0.01, 0.01}, {0.1, 0.1});
+    std::vector<std::vector<double>> square(
+        2, std::vector<double>(2, 0));
+    std::vector<std::vector<double>> ragged{{0.0, 0.0}, {0.0}};
+    EXPECT_THROW(CorrelatedReadout(base, ragged, square),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        CorrelatedReadout(base, square,
+                          std::vector<std::vector<double>>(1)),
+        std::invalid_argument);
+}
+
+TEST(RelaxingReadout, ComposesDecayWithSpamFlips)
+{
+    // One qubit: T1 = 10us, readout pulse 10us -> decay 1-e^-1.
+    const double pd = 1.0 - std::exp(-1.0);
+    AsymmetricReadout model = makeRelaxingReadout(
+        {0.02}, {0.05}, {10000.0}, 10000.0);
+    const double expected = pd * (1.0 - 0.02) + (1.0 - pd) * 0.05;
+    EXPECT_NEAR(model.p10()[0], expected, 1e-12);
+    EXPECT_NEAR(model.p01()[0], 0.02, 1e-12);
+    EXPECT_THROW(makeRelaxingReadout({0.1}, {0.1, 0.1}, {1.0}, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(RelaxingReadout, MakesOnesWeakerThanZeros)
+{
+    // The physical origin of the paper's bias: with relaxation
+    // during readout, reading |1> is strictly more error-prone.
+    AsymmetricReadout model = makeRelaxingReadout(
+        {0.01, 0.01}, {0.01, 0.01}, {50000.0, 50000.0}, 4000.0);
+    EXPECT_GT(model.successProbability(0, 2),
+              model.successProbability(0b11, 2));
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for PST / IST / ROCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/reliability.hh"
+
+namespace qem
+{
+namespace
+{
+
+Counts
+sampleLog()
+{
+    Counts c(3);
+    c.add(0b101, 50); // "correct"
+    c.add(0b001, 30);
+    c.add(0b111, 20);
+    return c;
+}
+
+TEST(Reliability, PstIsCorrectFraction)
+{
+    const Counts c = sampleLog();
+    EXPECT_NEAR(pst(c, BasisState{0b101}), 0.5, 1e-12);
+    EXPECT_NEAR(pst(c, {0b101, 0b001}), 0.8, 1e-12);
+    EXPECT_NEAR(pst(c, BasisState{0b000}), 0.0, 1e-12);
+    EXPECT_NEAR(pst(Counts(3), BasisState{0}), 0.0, 1e-12);
+}
+
+TEST(Reliability, IstComparesAgainstStrongestIncorrect)
+{
+    const Counts c = sampleLog();
+    EXPECT_NEAR(ist(c, BasisState{0b101}), 50.0 / 30.0, 1e-12);
+    // Accepting the runner-up too: strongest incorrect is 0b111.
+    EXPECT_NEAR(ist(c, {0b101, 0b001}), 80.0 / 20.0, 1e-12);
+}
+
+TEST(Reliability, IstEdgeCases)
+{
+    Counts all_correct(2);
+    all_correct.add(0b01, 10);
+    EXPECT_TRUE(std::isinf(ist(all_correct, BasisState{0b01})));
+    Counts never_seen(2);
+    never_seen.add(0b10, 10);
+    EXPECT_NEAR(ist(never_seen, BasisState{0b01}), 0.0, 1e-12);
+    EXPECT_NEAR(ist(Counts(2), BasisState{0}), 0.0, 1e-12);
+}
+
+TEST(Reliability, IstBelowOneMeansMaskedAnswer)
+{
+    Counts c(2);
+    c.add(0b01, 30); // correct
+    c.add(0b10, 35); // dominant incorrect (Fig 3(d) scenario)
+    EXPECT_LT(ist(c, BasisState{0b01}), 1.0);
+}
+
+TEST(Reliability, RocaRanksByFrequency)
+{
+    const Counts c = sampleLog();
+    EXPECT_EQ(roca(c, BasisState{0b101}), 1u);
+    EXPECT_EQ(roca(c, BasisState{0b001}), 2u);
+    EXPECT_EQ(roca(c, BasisState{0b111}), 3u);
+    // Never-observed outcome ranks after everything.
+    EXPECT_EQ(roca(c, BasisState{0b000}), 4u);
+    // Multiple accepted: best rank wins.
+    EXPECT_EQ(roca(c, {0b111, 0b001}), 2u);
+}
+
+TEST(Reliability, RocaTieBreaksDeterministically)
+{
+    Counts c(2);
+    c.add(0b00, 10);
+    c.add(0b01, 10);
+    // Equal counts: lower value first.
+    EXPECT_EQ(roca(c, BasisState{0b00}), 1u);
+    EXPECT_EQ(roca(c, BasisState{0b01}), 2u);
+}
+
+TEST(Reliability, BundleMatchesIndividualMetrics)
+{
+    const Counts c = sampleLog();
+    const ReliabilityReport r = reliability(c, {0b101});
+    EXPECT_NEAR(r.pst, pst(c, BasisState{0b101}), 1e-12);
+    EXPECT_NEAR(r.ist, ist(c, BasisState{0b101}), 1e-12);
+    EXPECT_EQ(r.roca, roca(c, BasisState{0b101}));
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the ASAP scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines.hh"
+#include "transpile/scheduler.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Machine with uniform, easy-to-reason-about durations. */
+Machine
+uniformMachine()
+{
+    Topology topo(3, {{0, 1}, {1, 2}});
+    Calibration calib(3);
+    for (Qubit q = 0; q < 3; ++q) {
+        calib.qubit(q).gate1qDurationNs = 100.0;
+        calib.qubit(q).readoutP01 = 0.0;
+        calib.qubit(q).readoutP10 = 0.0;
+    }
+    calib.setLink(0, 1, {0.0, 300.0});
+    calib.setLink(1, 2, {0.0, 300.0});
+    calib.setMeasureDuration(1000.0);
+    return Machine("uniform", std::move(topo), std::move(calib));
+}
+
+TEST(Scheduler, OpDurations)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Operation h{GateKind::H, {0}, {}};
+    EXPECT_EQ(sched.opDurationNs(h), 100.0);
+    Operation cx{GateKind::CX, {0, 1}, {}};
+    EXPECT_EQ(sched.opDurationNs(cx), 300.0);
+    Operation meas{GateKind::MEASURE, {0}, {}};
+    EXPECT_EQ(sched.opDurationNs(meas), 1000.0);
+    Operation delay{GateKind::DELAY, {0}, {250.0}};
+    EXPECT_EQ(sched.opDurationNs(delay), 250.0);
+    Operation barrier{GateKind::BARRIER, {}, {}};
+    EXPECT_EQ(sched.opDurationNs(barrier), 0.0);
+}
+
+TEST(Scheduler, SerialGatesAccumulateDuration)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit c(3);
+    c.h(0).h(0).cx(0, 1);
+    const ScheduledCircuit out = sched.schedule(c);
+    EXPECT_EQ(out.durationNs, 500.0); // 100 + 100 + 300.
+    // One delay: qubit 1 idles 200ns before the CX.
+    EXPECT_EQ(out.circuit.countOps(GateKind::DELAY), 1u);
+}
+
+TEST(Scheduler, IdleQubitGetsDelayBeforeTwoQubitGate)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit c(3);
+    c.h(0).h(0).cx(0, 1); // Qubit 1 idles 200ns.
+    Circuit with_gate_on_1(3);
+    with_gate_on_1.h(0).h(0).h(1).cx(0, 1); // Qubit 1 idles 100ns.
+    const ScheduledCircuit a = sched.schedule(c);
+    const ScheduledCircuit b = sched.schedule(with_gate_on_1);
+    double delay_a = 0.0, delay_b = 0.0;
+    for (const Operation& op : a.circuit.ops()) {
+        if (op.kind == GateKind::DELAY)
+            delay_a += op.params[0];
+    }
+    for (const Operation& op : b.circuit.ops()) {
+        if (op.kind == GateKind::DELAY)
+            delay_b += op.params[0];
+    }
+    EXPECT_EQ(delay_a, 200.0);
+    EXPECT_EQ(delay_b, 100.0);
+}
+
+TEST(Scheduler, MeasurementsAlignToCommonReadout)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit c(3);
+    // Qubit 0 finishes at 200ns, qubit 2 at 100ns, qubit 1 at 0.
+    c.h(0).h(0).h(2).measure(0, 0).measure(1, 1).measure(2, 2);
+    const ScheduledCircuit out = sched.schedule(c);
+    EXPECT_EQ(out.durationNs, 200.0);
+    // Delays of 200 (q1) and 100 (q2) pad up to the readout start.
+    double q1_delay = 0.0, q2_delay = 0.0;
+    for (const Operation& op : out.circuit.ops()) {
+        if (op.kind == GateKind::DELAY) {
+            if (op.qubits[0] == 1)
+                q1_delay += op.params[0];
+            if (op.qubits[0] == 2)
+                q2_delay += op.params[0];
+        }
+    }
+    EXPECT_EQ(q1_delay, 200.0);
+    EXPECT_EQ(q2_delay, 100.0);
+    // Measures all appear after the gates.
+    bool measures_started = false;
+    for (const Operation& op : out.circuit.ops()) {
+        if (op.kind == GateKind::MEASURE)
+            measures_started = true;
+        else if (measures_started && op.kind != GateKind::MEASURE)
+            FAIL() << "non-measure op after readout started";
+    }
+}
+
+TEST(Scheduler, BarrierSynchronizesQubits)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit c(3);
+    c.h(0).h(0).barrier().h(1);
+    const ScheduledCircuit out = sched.schedule(c);
+    // Qubit 1's H starts at 200ns: total 300.
+    EXPECT_EQ(out.durationNs, 300.0);
+}
+
+TEST(Scheduler, PreservesGateCountAndSemantics)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).measureAll();
+    const ScheduledCircuit out = sched.schedule(c);
+    EXPECT_EQ(out.circuit.countOps(GateKind::CX), 2u);
+    EXPECT_EQ(out.circuit.countOps(GateKind::MEASURE), 3u);
+    EXPECT_EQ(out.circuit.countOps(GateKind::H), 1u);
+}
+
+TEST(Scheduler, RejectsOverwideCircuit)
+{
+    const Machine m = uniformMachine();
+    Scheduler sched(m);
+    Circuit wide(4);
+    EXPECT_THROW(sched.schedule(wide), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for Static Invert-and-Measure (SIM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "metrics/reliability.hh"
+#include "mitigation/sim_policy.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Backend that records every run it is asked to perform. */
+class RecordingBackend : public Backend
+{
+  public:
+    explicit RecordingBackend(unsigned n) : n_(n) {}
+
+    Counts run(const Circuit& circuit, std::size_t shots) override
+    {
+        shotCounts.push_back(shots);
+        xGateCounts.push_back(circuit.countOps(GateKind::X));
+        // Report an error-free all-zero readout.
+        Counts counts(circuit.numClbits());
+        counts.add(0, shots);
+        return counts;
+    }
+
+    unsigned numQubits() const override { return n_; }
+
+    std::vector<std::size_t> shotCounts;
+    std::vector<std::size_t> xGateCounts;
+
+  private:
+    unsigned n_;
+};
+
+/** Readout-only noise model with strong 1->0 bias. */
+NoiseModel
+biasedModel(unsigned n, double p10)
+{
+    NoiseModel model(n);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(n, 0.0),
+        std::vector<double>(n, p10)));
+    return model;
+}
+
+TEST(SimPolicy, SplitsShotsEvenlyAcrossModes)
+{
+    RecordingBackend backend(4);
+    StaticInvertAndMeasure sim; // Default four modes.
+    Circuit c(4);
+    c.measureAll();
+    const Counts merged = sim.run(c, backend, 1000);
+    ASSERT_EQ(backend.shotCounts.size(), 4u);
+    for (std::size_t shots : backend.shotCounts)
+        EXPECT_EQ(shots, 250u);
+    EXPECT_EQ(merged.total(), 1000u);
+}
+
+TEST(SimPolicy, RemainderShotsGoToEarlyModes)
+{
+    RecordingBackend backend(4);
+    StaticInvertAndMeasure sim;
+    Circuit c(4);
+    c.measureAll();
+    const Counts merged = sim.run(c, backend, 1002);
+    ASSERT_EQ(backend.shotCounts.size(), 4u);
+    EXPECT_EQ(backend.shotCounts[0], 251u);
+    EXPECT_EQ(backend.shotCounts[1], 251u);
+    EXPECT_EQ(backend.shotCounts[2], 250u);
+    EXPECT_EQ(backend.shotCounts[3], 250u);
+    EXPECT_EQ(merged.total(), 1002u);
+}
+
+TEST(SimPolicy, ModesCarryTheirInversionGates)
+{
+    RecordingBackend backend(4);
+    StaticInvertAndMeasure sim;
+    Circuit c(4);
+    c.measureAll();
+    sim.run(c, backend, 400);
+    // Four modes on 4 bits: 0, 4, 2, 2 inversion X gates in some
+    // order.
+    std::vector<std::size_t> xs = backend.xGateCounts;
+    std::sort(xs.begin(), xs.end());
+    EXPECT_EQ(xs, (std::vector<std::size_t>{0, 2, 2, 4}));
+}
+
+TEST(SimPolicy, PostCorrectionRestoresOutcomeLabels)
+{
+    // The recording backend always reads all-zeros; after
+    // post-correction each mode contributes its own inversion
+    // string, so the merged log contains exactly the four strings.
+    RecordingBackend backend(4);
+    StaticInvertAndMeasure sim;
+    Circuit c(4);
+    c.measureAll();
+    const Counts merged = sim.run(c, backend, 400);
+    EXPECT_EQ(merged.distinct(), 4u);
+    for (InversionString s : fourModeStrings(4))
+        EXPECT_EQ(merged.get(s), 100u) << s;
+}
+
+TEST(SimPolicy, NoiseFreeSimMatchesBaselineSemantics)
+{
+    TrajectorySimulator backend(NoiseModel(3), 51);
+    StaticInvertAndMeasure sim;
+    const Counts counts =
+        sim.run(basisStatePrep(3, 0b101), backend, 400);
+    EXPECT_EQ(counts.get(0b101), 400u);
+}
+
+TEST(SimPolicy, MitigatesWeakStateTowardAverage)
+{
+    // p10 = 0.3, p01 = 0: baseline PST of the all-ones state is
+    // 0.7^4 ~ 0.24; with two-mode SIM half the trials read the
+    // strong all-zeros state perfectly, so PST ~ (0.24 + 1)/2.
+    const unsigned n = 4;
+    TrajectorySimulator backend(biasedModel(n, 0.3), 52);
+    StaticInvertAndMeasure two =
+        StaticInvertAndMeasure::twoMode(n);
+    const Circuit c = basisStatePrep(n, allOnes(n));
+    const double p = pst(two.run(c, backend, 40000), allOnes(n));
+    EXPECT_NEAR(p, (0.2401 + 1.0) / 2.0, 0.02);
+}
+
+TEST(SimPolicy, FactoriesAndNames)
+{
+    EXPECT_EQ(StaticInvertAndMeasure().name(), "SIM");
+    EXPECT_EQ(StaticInvertAndMeasure::twoMode(4).name(), "SIM-2");
+    EXPECT_EQ(StaticInvertAndMeasure::fourMode(4).name(), "SIM-4");
+    EXPECT_EQ(StaticInvertAndMeasure::multiMode(6, 3).name(),
+              "SIM-8");
+}
+
+TEST(SimPolicy, ValidatesInputs)
+{
+    RecordingBackend backend(3);
+    StaticInvertAndMeasure sim;
+    Circuit unmeasured(3);
+    EXPECT_THROW(sim.run(unmeasured, backend, 100),
+                 std::invalid_argument);
+    Circuit c(3);
+    c.measureAll();
+    EXPECT_THROW(sim.run(c, backend, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the ideal simulator backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(IdealSimulator, BvRecoversKeyWithCertainty)
+{
+    const BasisState key = fromBitString("0110");
+    IdealSimulator sim(5);
+    const Counts counts = sim.run(bernsteinVazirani(4, key), 1000);
+    EXPECT_EQ(counts.get(key), 1000u);
+}
+
+TEST(IdealSimulator, GhzSplitsEvenly)
+{
+    IdealSimulator sim(5, 77);
+    const Counts counts = sim.run(ghzState(5), 20000);
+    EXPECT_NEAR(counts.probability(0), 0.5, 0.02);
+    EXPECT_NEAR(counts.probability(allOnes(5)), 0.5, 0.02);
+    EXPECT_EQ(counts.get(1), 0u);
+}
+
+TEST(IdealSimulator, UniformSuperpositionIsUniform)
+{
+    IdealSimulator sim(3, 78);
+    const Counts counts = sim.run(uniformSuperposition(3), 64000);
+    for (BasisState s = 0; s < 8; ++s)
+        EXPECT_NEAR(counts.probability(s), 0.125, 0.01)
+            << "state " << s;
+}
+
+TEST(IdealSimulator, MeasurementSubsetAndClbitMapping)
+{
+    // q1 ends in |1>; read it into clbit 0 only.
+    Circuit c(3, 1);
+    c.x(1).measure(1, 0);
+    IdealSimulator sim(3);
+    const Counts counts = sim.run(c, 100);
+    EXPECT_EQ(counts.get(1), 100u);
+    EXPECT_EQ(counts.numBits(), 1u);
+}
+
+TEST(IdealSimulator, StateOfSkipsMeasurements)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    IdealSimulator sim(2);
+    const StateVector state = sim.stateOf(c);
+    EXPECT_NEAR(state.probabilityOf(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(state.probabilityOf(0b11), 0.5, 1e-12);
+}
+
+TEST(IdealSimulator, RunRequiresMeasurements)
+{
+    Circuit c(1);
+    c.h(0);
+    IdealSimulator sim(1);
+    EXPECT_THROW(sim.run(c, 10), std::invalid_argument);
+}
+
+TEST(IdealSimulator, RejectsOverwideCircuit)
+{
+    Circuit c(3);
+    c.measureAll();
+    IdealSimulator sim(2);
+    EXPECT_THROW(sim.run(c, 10), std::invalid_argument);
+}
+
+TEST(IdealSimulator, RejectsReset)
+{
+    Circuit c(1);
+    c.h(0).reset(0).measure(0, 0);
+    IdealSimulator sim(1);
+    EXPECT_THROW(sim.run(c, 10), std::logic_error);
+}
+
+TEST(IdealSimulator, SeededRunsReproduce)
+{
+    Circuit c = ghzState(3);
+    IdealSimulator a(3, 5), b(3, 5);
+    EXPECT_EQ(a.run(c, 500).raw(), b.run(c, 500).raw());
+}
+
+} // namespace
+} // namespace qem

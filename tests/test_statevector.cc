@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the dense state vector: gate application, fast
+ * paths vs generic matrices, sampling, and trajectory channels.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/channels.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/statevector.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(StateVector, InitializesToRequestedBasisState)
+{
+    StateVector zero(3);
+    EXPECT_NEAR(zero.probabilityOf(0), 1.0, 1e-12);
+    StateVector five(3, 0b101);
+    EXPECT_NEAR(five.probabilityOf(0b101), 1.0, 1e-12);
+    EXPECT_EQ(five.dim(), 8u);
+    EXPECT_THROW(StateVector(0), std::invalid_argument);
+    EXPECT_THROW(StateVector(3, 8), std::out_of_range);
+}
+
+TEST(StateVector, XFlipsBasisState)
+{
+    StateVector s(3);
+    s.applyX(1);
+    EXPECT_NEAR(s.probabilityOf(0b010), 1.0, 1e-12);
+    s.applyX(1);
+    EXPECT_NEAR(s.probabilityOf(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, HadamardCreatesUniformPair)
+{
+    StateVector s(1);
+    s.applyH(0);
+    EXPECT_NEAR(s.probabilityOf(0), 0.5, 1e-12);
+    EXPECT_NEAR(s.probabilityOf(1), 0.5, 1e-12);
+    s.applyH(0);
+    EXPECT_NEAR(s.probabilityOf(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, CxEntanglesBellPair)
+{
+    StateVector s(2);
+    s.applyH(0);
+    s.applyCX(0, 1);
+    EXPECT_NEAR(s.probabilityOf(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(s.probabilityOf(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(s.probabilityOf(0b01), 0.0, 1e-12);
+}
+
+TEST(StateVector, FastPathsMatchGenericMatrices)
+{
+    // Prepare an arbitrary 3-qubit state, then compare each fast
+    // path against applyMatrix1q / applyMatrix2q.
+    auto prepare = [] {
+        StateVector s(3);
+        s.applyH(0);
+        s.applyMatrix1q(gateMatrix1q(GateKind::U3, {0.7, 0.2, 1.1}),
+                        1);
+        s.applyCX(0, 2);
+        s.applyMatrix1q(gateMatrix1q(GateKind::T, {}), 2);
+        return s;
+    };
+
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applyX(1);
+        slow.applyMatrix1q(gateMatrix1q(GateKind::X, {}), 1);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applyZ(2);
+        slow.applyMatrix1q(gateMatrix1q(GateKind::Z, {}), 2);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applyH(0);
+        slow.applyMatrix1q(gateMatrix1q(GateKind::H, {}), 0);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applyCX(2, 0);
+        slow.applyMatrix2q(gateMatrix2q(GateKind::CX), 2, 0);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applyCZ(1, 2);
+        slow.applyMatrix2q(gateMatrix2q(GateKind::CZ), 1, 2);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+    {
+        StateVector fast = prepare(), slow = prepare();
+        fast.applySwap(0, 2);
+        slow.applyMatrix2q(gateMatrix2q(GateKind::SWAP), 0, 2);
+        EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+    }
+}
+
+TEST(StateVector, ToffoliDecompositionActsAsCCX)
+{
+    for (BasisState input = 0; input < 8; ++input) {
+        StateVector s(3, input);
+        Operation ccx{GateKind::CCX, {0, 1, 2}, {}};
+        s.applyOperation(ccx);
+        BasisState expected = input;
+        if (getBit(input, 0) && getBit(input, 1))
+            expected ^= 0b100;
+        EXPECT_NEAR(s.probabilityOf(expected), 1.0, 1e-9)
+            << "input " << input;
+    }
+}
+
+TEST(StateVector, ProbabilityOneOfSingleQubit)
+{
+    StateVector s(2);
+    s.applyMatrix1q(gateMatrix1q(GateKind::RY, {2.0 * M_PI / 3}), 0);
+    // RY(theta): P(1) = sin^2(theta/2) = sin^2(pi/3) = 3/4.
+    EXPECT_NEAR(s.probabilityOne(0), 0.75, 1e-12);
+    EXPECT_NEAR(s.probabilityOne(1), 0.0, 1e-12);
+}
+
+TEST(StateVector, NormalizeAndNormTracking)
+{
+    StateVector s(1);
+    s.setAmplitude(0, {0.3, 0.0});
+    s.setAmplitude(1, {0.0, 0.4});
+    EXPECT_NEAR(s.norm(), 0.25, 1e-12);
+    s.normalize();
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+    s.setAmplitude(0, 0);
+    s.setAmplitude(1, 0);
+    EXPECT_THROW(s.normalize(), std::logic_error);
+}
+
+TEST(StateVector, CollapseProjectsAndRenormalizes)
+{
+    StateVector s(2);
+    s.applyH(0);
+    s.applyCX(0, 1);
+    s.collapseQubit(0, true);
+    EXPECT_NEAR(s.probabilityOf(0b11), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasureQubitFollowsBornRule)
+{
+    Rng rng(5);
+    int ones = 0;
+    for (int i = 0; i < 4000; ++i) {
+        StateVector s(1);
+        s.applyMatrix1q(gateMatrix1q(GateKind::RY, {M_PI / 3}), 0);
+        ones += s.measureQubit(0, rng);
+    }
+    // P(1) = sin^2(pi/6) = 0.25.
+    EXPECT_NEAR(ones / 4000.0, 0.25, 0.03);
+}
+
+TEST(StateVector, SamplingMatchesDistribution)
+{
+    StateVector s(2);
+    s.applyH(0);
+    s.applyCX(0, 1);
+    Rng rng(6);
+    const auto samples = s.sample(rng, 20000);
+    std::size_t zeros = 0, threes = 0;
+    for (BasisState x : samples) {
+        zeros += (x == 0b00);
+        threes += (x == 0b11);
+    }
+    EXPECT_EQ(zeros + threes, samples.size());
+    EXPECT_NEAR(zeros / 20000.0, 0.5, 0.02);
+}
+
+TEST(StateVector, InnerProductAndFidelity)
+{
+    StateVector a(2), b(2);
+    a.applyH(0);
+    EXPECT_NEAR(a.fidelity(b), 0.5, 1e-12);
+    b.applyH(0);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+    StateVector wide(3);
+    EXPECT_THROW(a.innerProduct(wide), std::invalid_argument);
+}
+
+TEST(StateVector, KrausAmplitudeDampingStatistics)
+{
+    // From |1>, the decay jump must fire with probability gamma.
+    const double gamma = 0.3;
+    const KrausChannel channel = amplitudeDamping(gamma);
+    Rng rng(7);
+    int jumps = 0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i) {
+        StateVector s(1, 1);
+        jumps += (s.applyKraus1q(channel, 0, rng) == 1);
+    }
+    EXPECT_NEAR(jumps / static_cast<double>(trials), gamma, 0.03);
+}
+
+TEST(StateVector, FastDampingMatchesGenericKraus)
+{
+    // Statistical comparison of P(final=1) after damping a
+    // superposition, fast path vs generic Kraus path.
+    const double gamma = 0.4;
+    auto estimate = [&](bool fast) {
+        Rng rng(fast ? 11 : 13);
+        double p1 = 0.0;
+        const int trials = 4000;
+        for (int i = 0; i < trials; ++i) {
+            StateVector s(1);
+            s.applyMatrix1q(gateMatrix1q(GateKind::RY, {M_PI / 2}),
+                            0);
+            if (fast) {
+                s.applyAmplitudeDamping(0, gamma, rng);
+            } else {
+                const KrausChannel ch = amplitudeDamping(gamma);
+                s.applyKraus1q(ch, 0, rng);
+            }
+            p1 += s.probabilityOne(0);
+        }
+        return p1 / trials;
+    };
+    // Analytic: P(1) = 0.5 (1 - gamma) = 0.3.
+    EXPECT_NEAR(estimate(true), 0.3, 0.02);
+    EXPECT_NEAR(estimate(false), 0.3, 0.02);
+}
+
+TEST(StateVector, FastPhaseDampingPreservesPopulations)
+{
+    const double lambda = 0.5;
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        StateVector s(1);
+        s.applyMatrix1q(gateMatrix1q(GateKind::RY, {1.1}), 0);
+        const double before = s.probabilityOne(0);
+        s.applyPhaseDamping(0, lambda, rng);
+        // Phase damping never changes populations within a branch
+        // on average; each branch is a valid normalized state.
+        EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+        const double after = s.probabilityOne(0);
+        EXPECT_TRUE(after == after); // Not NaN.
+        (void)before;
+    }
+}
+
+TEST(StateVector, DampingOnGroundStateIsIdentity)
+{
+    Rng rng(19);
+    StateVector s(2);
+    s.applyH(1); // Qubit 0 stays |0>.
+    StateVector copy = s;
+    EXPECT_FALSE(s.applyAmplitudeDamping(0, 0.9, rng));
+    EXPECT_FALSE(s.applyPhaseDamping(0, 0.9, rng));
+    EXPECT_NEAR(s.fidelity(copy), 1.0, 1e-12);
+}
+
+TEST(StateVector, ApplyOperationRejectsNonUnitary)
+{
+    StateVector s(1);
+    Operation meas{GateKind::MEASURE, {0}, {}};
+    EXPECT_THROW(s.applyOperation(meas), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

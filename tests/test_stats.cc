@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the statistics toolbox.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/stats.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_NEAR(mean({1.0, 2.0, 3.0, 4.0}), 2.5, 1e-12);
+    EXPECT_NEAR(stddev({2.0, 2.0, 2.0}), 0.0, 1e-12);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+    EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelations)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> up{2, 4, 6, 8, 10};
+    const std::vector<double> down{5, 4, 3, 2, 1};
+    EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonUncorrelatedAndDegenerate)
+{
+    EXPECT_NEAR(pearson({1, 2, 1, 2}, {1, 1, 2, 2}), 0.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {5, 5, 5}), 0.0, 1e-12);
+    EXPECT_THROW(pearson({1}, {1}), std::invalid_argument);
+    EXPECT_THROW(pearson({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, MeanSquaredError)
+{
+    EXPECT_NEAR(meanSquaredError({1, 2}, {1, 2}), 0.0, 1e-12);
+    EXPECT_NEAR(meanSquaredError({0, 0}, {3, 4}), 12.5, 1e-12);
+    EXPECT_THROW(meanSquaredError({1}, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(meanSquaredError({}, {}), std::invalid_argument);
+}
+
+TEST(Stats, Normalizers)
+{
+    const auto to_max = normalizeToMax({1.0, 2.0, 4.0});
+    EXPECT_NEAR(to_max[2], 1.0, 1e-12);
+    EXPECT_NEAR(to_max[0], 0.25, 1e-12);
+    const auto to_sum = normalizeToSum({1.0, 3.0});
+    EXPECT_NEAR(to_sum[0], 0.25, 1e-12);
+    EXPECT_NEAR(to_sum[1], 0.75, 1e-12);
+    // All-zero vectors pass through unchanged.
+    EXPECT_EQ(normalizeToMax({0.0, 0.0}),
+              (std::vector<double>{0.0, 0.0}));
+    EXPECT_EQ(normalizeToSum({0.0}), (std::vector<double>{0.0}));
+}
+
+TEST(Stats, WilsonIntervalBasics)
+{
+    // Symmetric case: p = 0.5 at n = 100 gives roughly +-0.1.
+    const ConfidenceInterval ci = wilsonInterval(50, 100);
+    EXPECT_TRUE(ci.contains(0.5));
+    EXPECT_NEAR(ci.low, 0.404, 0.005);
+    EXPECT_NEAR(ci.high, 0.596, 0.005);
+    EXPECT_NEAR(ci.width(), 0.19, 0.01);
+}
+
+TEST(Stats, WilsonIntervalStaysInUnitRange)
+{
+    const ConfidenceInterval zero = wilsonInterval(0, 50);
+    EXPECT_GE(zero.low, 0.0);
+    EXPECT_GT(zero.high, 0.0); // Zero successes != zero rate.
+    const ConfidenceInterval all = wilsonInterval(50, 50);
+    EXPECT_LE(all.high, 1.0);
+    EXPECT_LT(all.low, 1.0);
+}
+
+TEST(Stats, WilsonIntervalShrinksWithTrials)
+{
+    EXPECT_GT(wilsonInterval(10, 40).width(),
+              wilsonInterval(1000, 4000).width());
+}
+
+TEST(Stats, WilsonIntervalValidates)
+{
+    EXPECT_THROW(wilsonInterval(1, 0), std::invalid_argument);
+    EXPECT_THROW(wilsonInterval(5, 4), std::invalid_argument);
+    EXPECT_THROW(wilsonInterval(1, 4, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, AverageByHammingWeight)
+{
+    // values[s] = popcount(s): class averages equal the weight.
+    std::vector<double> values(16);
+    for (std::size_t s = 0; s < 16; ++s)
+        values[s] = static_cast<double>(__builtin_popcountll(s));
+    const auto avg = averageByHammingWeight(values, 4);
+    ASSERT_EQ(avg.size(), 5u);
+    for (unsigned w = 0; w <= 4; ++w)
+        EXPECT_NEAR(avg[w], w, 1e-12);
+    EXPECT_THROW(averageByHammingWeight(values, 3),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

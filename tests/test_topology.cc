@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the coupling topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/topology.hh"
+
+namespace qem
+{
+namespace
+{
+
+Topology
+bowtie()
+{
+    return Topology(5,
+                    {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+}
+
+TEST(Topology, ConstructionValidatesEdges)
+{
+    EXPECT_THROW(Topology(0, {}), std::invalid_argument);
+    EXPECT_THROW(Topology(2, {{0, 2}}), std::invalid_argument);
+    EXPECT_THROW(Topology(2, {{1, 1}}), std::invalid_argument);
+    EXPECT_THROW(Topology(3, {{0, 1}, {1, 0}}),
+                 std::invalid_argument);
+}
+
+TEST(Topology, CoupledIsSymmetric)
+{
+    const Topology t = bowtie();
+    EXPECT_TRUE(t.coupled(0, 1));
+    EXPECT_TRUE(t.coupled(1, 0));
+    EXPECT_FALSE(t.coupled(0, 3));
+    EXPECT_FALSE(t.coupled(2, 2));
+    EXPECT_THROW(t.coupled(0, 9), std::out_of_range);
+}
+
+TEST(Topology, NeighborsAndDegree)
+{
+    const Topology t = bowtie();
+    EXPECT_EQ(t.degree(2), 4u);
+    EXPECT_EQ(t.degree(0), 2u);
+    const auto& n2 = t.neighbors(2);
+    EXPECT_EQ(n2, (std::vector<Qubit>{0, 1, 3, 4}));
+}
+
+TEST(Topology, DistancesViaBfs)
+{
+    const Topology t = bowtie();
+    EXPECT_EQ(t.distance(0, 0), 0u);
+    EXPECT_EQ(t.distance(0, 1), 1u);
+    EXPECT_EQ(t.distance(0, 3), 2u);
+    EXPECT_EQ(t.distance(1, 4), 2u);
+}
+
+TEST(Topology, ShortestPathIsValidWalk)
+{
+    const Topology t = bowtie();
+    const auto path = t.shortestPath(0, 4);
+    ASSERT_EQ(path.size(), 3u); // distance 2 -> 3 nodes.
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 4u);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(t.coupled(path[i], path[i + 1]));
+}
+
+TEST(Topology, DisconnectedComponentsDetected)
+{
+    const Topology split(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(split.connected());
+    EXPECT_THROW(split.distance(0, 3), std::logic_error);
+    EXPECT_TRUE(bowtie().connected());
+}
+
+TEST(Topology, LineGraphDistances)
+{
+    const Topology line(4, {{0, 1}, {1, 2}, {2, 3}});
+    EXPECT_EQ(line.distance(0, 3), 3u);
+    const auto path = line.shortestPath(3, 0);
+    EXPECT_EQ(path,
+              (std::vector<Qubit>{3, 2, 1, 0}));
+}
+
+} // namespace
+} // namespace qem

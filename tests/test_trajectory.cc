@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the Monte-Carlo trajectory simulator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+
+namespace qem
+{
+namespace
+{
+
+NoiseModel
+cleanModel(unsigned n)
+{
+    return NoiseModel(n);
+}
+
+TEST(Trajectory, NoiseFreeMatchesIdeal)
+{
+    const BasisState key = fromBitString("1011");
+    TrajectorySimulator sim(cleanModel(5), 1);
+    const Counts counts = sim.run(bernsteinVazirani(4, key), 2000);
+    EXPECT_EQ(counts.get(key), 2000u);
+}
+
+TEST(Trajectory, ReadoutErrorsProduceExpectedSuccessRate)
+{
+    NoiseModel model(3);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(3, 0.0), std::vector<double>(3, 0.2)));
+    TrajectorySimulator sim(std::move(model), 2);
+    const Counts counts =
+        sim.run(basisStatePrep(3, allOnes(3)), 40000);
+    // PST = (1 - 0.2)^3 = 0.512.
+    EXPECT_NEAR(counts.probability(allOnes(3)), 0.512, 0.01);
+    // All-zero state is read perfectly (p01 = 0) -- state-dependent
+    // bias in its purest form.
+    TrajectorySimulator sim2(sim.model(), 3);
+    const Counts zeros = sim2.run(basisStatePrep(3, 0), 5000);
+    EXPECT_EQ(zeros.get(0), 5000u);
+}
+
+TEST(Trajectory, DepolarizingGateErrorLowersFidelity)
+{
+    NoiseModel model(1);
+    model.setGate1q(0, {0.3, 0.0});
+    TrajectorySimulator sim(std::move(model), 4);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    const Counts counts = sim.run(c, 30000);
+    // After X, error prob 0.3: X or Y flips the bit (2/3 of
+    // errors), Z leaves it. P(correct) = 0.7 + 0.3/3 = 0.8.
+    EXPECT_NEAR(counts.probability(1), 0.8, 0.01);
+}
+
+TEST(Trajectory, DelayAppliesT1Decay)
+{
+    NoiseModel model(1);
+    model.setT1(0, 1000.0);
+    model.setT2(0, 2000.0); // No pure dephasing.
+    TrajectorySimulator sim(std::move(model), 5);
+    Circuit c(1);
+    c.x(0).delay(1000.0, 0).measure(0, 0);
+    const Counts counts = sim.run(c, 40000);
+    // P(survive) = e^-1.
+    EXPECT_NEAR(counts.probability(1), std::exp(-1.0), 0.01);
+}
+
+TEST(Trajectory, GateDurationAppliesDecayToo)
+{
+    NoiseModel model(1);
+    model.setT1(0, 1000.0);
+    model.setT2(0, 2000.0);
+    model.setGate1q(0, {0.0, 693.1}); // ln(2) * 1000 ns.
+    TrajectorySimulator sim(std::move(model), 6);
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    const Counts counts = sim.run(c, 40000);
+    EXPECT_NEAR(counts.probability(1), 0.5, 0.01);
+}
+
+TEST(Trajectory, CompactionHandlesSparseQubitUse)
+{
+    // Use qubits 3 and 7 of a 14-qubit machine; results must be
+    // identical in distribution to the dense 2-qubit case.
+    NoiseModel model(14);
+    std::vector<double> p01(14, 0.0), p10(14, 0.0);
+    p10[3] = 0.25;
+    model.setReadout(std::make_shared<AsymmetricReadout>(p01, p10));
+    TrajectorySimulator sim(std::move(model), 7);
+    Circuit c(14, 2);
+    c.x(3).x(7).measure(3, 0).measure(7, 1);
+    const Counts counts = sim.run(c, 30000);
+    EXPECT_NEAR(counts.probability(0b11), 0.75, 0.01);
+    EXPECT_NEAR(counts.probability(0b10), 0.25, 0.01);
+}
+
+TEST(Trajectory, CorrelatedReadoutSeesFullContext)
+{
+    // Crosstalk victim qubit 0 reads worse when qubit 1 is excited,
+    // even though qubit 1 is NOT measured.
+    AsymmetricReadout base({0.0, 0.0}, {0.1, 0.0});
+    std::vector<std::vector<double>> j01(2,
+                                         std::vector<double>(2, 0));
+    std::vector<std::vector<double>> j10(2,
+                                         std::vector<double>(2, 0));
+    j10[0][1] = 0.3;
+    NoiseModel model(2);
+    model.setReadout(std::make_shared<CorrelatedReadout>(
+        std::move(base), j01, j10));
+
+    TrajectorySimulator sim(std::move(model), 8);
+    Circuit c(2, 1);
+    c.x(0).x(1).measure(0, 0); // Qubit 1 excited but unread.
+    const Counts counts = sim.run(c, 30000);
+    EXPECT_NEAR(counts.probability(1), 0.6, 0.012); // 1-(0.1+0.3)
+}
+
+TEST(Trajectory, OptionTogglesDisableProcesses)
+{
+    NoiseModel model(1);
+    model.setGate1q(0, {0.5, 0.0});
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.0}, std::vector<double>{0.5}));
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+
+    TrajectoryOptions no_gate;
+    no_gate.enableGateErrors = false;
+    TrajectorySimulator sim1(model, 9, no_gate);
+    // Only readout errors: P(1) = 0.5.
+    EXPECT_NEAR(sim1.run(c, 20000).probability(1), 0.5, 0.015);
+
+    TrajectoryOptions no_readout;
+    no_readout.enableReadoutErrors = false;
+    TrajectorySimulator sim2(model, 10, no_readout);
+    // Only gate errors: P(1) = 0.5 + 0.5/3.
+    EXPECT_NEAR(sim2.run(c, 20000).probability(1), 2.0 / 3.0, 0.015);
+}
+
+TEST(Trajectory, ValidatesInputs)
+{
+    TrajectorySimulator sim(cleanModel(2), 11);
+    Circuit wide(3);
+    wide.measureAll();
+    EXPECT_THROW(sim.run(wide, 10), std::invalid_argument);
+    Circuit unmeasured(2);
+    unmeasured.h(0);
+    EXPECT_THROW(sim.run(unmeasured, 10), std::invalid_argument);
+    Circuit with_reset(2);
+    with_reset.reset(0).measureAll();
+    EXPECT_THROW(sim.run(with_reset, 10), std::logic_error);
+    EXPECT_THROW(TrajectorySimulator(cleanModel(1), 1,
+                                     TrajectoryOptions{0}),
+                 std::invalid_argument);
+}
+
+TEST(Trajectory, SeededRunsReproduce)
+{
+    NoiseModel model(2);
+    model.setGate1q(0, {0.05, 0.0});
+    model.setGate1q(1, {0.05, 0.0});
+    Circuit c = ghzState(2);
+    TrajectorySimulator a(model, 42), b(model, 42);
+    EXPECT_EQ(a.run(c, 3000).raw(), b.run(c, 3000).raw());
+}
+
+TEST(Trajectory, BatchSizeDoesNotBiasDistribution)
+{
+    NoiseModel model(1);
+    model.setGate1q(0, {0.2, 0.0});
+    Circuit c(1);
+    c.x(0).measure(0, 0);
+    TrajectoryOptions small{1, true, true, true};
+    TrajectoryOptions large{64, true, true, true};
+    TrajectorySimulator sim_small(model, 12, small);
+    TrajectorySimulator sim_large(model, 13, large);
+    const double p_small = sim_small.run(c, 60000).probability(1);
+    const double p_large = sim_large.run(c, 60000).probability(1);
+    // Batching coarsens the estimator's variance, not its mean.
+    EXPECT_NEAR(p_small, p_large, 0.03);
+    EXPECT_NEAR(p_small, 0.8 + 0.2 / 3.0, 0.02);
+}
+
+} // namespace
+} // namespace qem

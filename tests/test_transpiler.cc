@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Integration tests for the full transpilation pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "kernels/qaoa.hh"
+#include "machine/machines.hh"
+#include "qsim/bitstring.hh"
+#include "qsim/simulator.hh"
+#include "transpile/transpiler.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(Transpiler, BvSurvivesTranspilationOnBowtie)
+{
+    const Machine m = makeIbmqx2();
+    Transpiler transpiler(m);
+    const BasisState key = fromBitString("1101");
+    const TranspiledProgram program =
+        transpiler.transpile(bernsteinVazirani(4, key));
+    EXPECT_NO_THROW(validateLayout(program.initialLayout, 5,
+                                   m.numQubits()));
+    EXPECT_GT(program.durationNs, 0.0);
+    // Execute the physical circuit noise-free: semantics intact.
+    IdealSimulator sim(m.numQubits(), 9);
+    EXPECT_EQ(sim.run(program.circuit, 300).get(key), 300u);
+}
+
+TEST(Transpiler, BvSurvivesTranspilationOnMelbourne)
+{
+    const Machine m = makeIbmqMelbourne();
+    Transpiler transpiler(m);
+    const BasisState key = fromBitString("0110101");
+    const TranspiledProgram program =
+        transpiler.transpile(bernsteinVazirani(7, key));
+    IdealSimulator sim(m.numQubits(), 10);
+    EXPECT_EQ(sim.run(program.circuit, 300).get(key), 300u);
+}
+
+TEST(Transpiler, QaoaSurvivesTranspilation)
+{
+    const Machine m = makeIbmqMelbourne();
+    Transpiler transpiler(m);
+    const Graph graph = cycleGraph(4);
+    QaoaAngles angles{{0.4}, {0.3}};
+    const Circuit logical = qaoaCircuit(graph, angles);
+    const TranspiledProgram program = transpiler.transpile(logical);
+    // Output distribution must match the logical circuit's exactly
+    // (both noise-free).
+    IdealSimulator narrow(4, 11);
+    IdealSimulator wide(m.numQubits(), 11);
+    const Counts want = narrow.run(logical, 40000);
+    const Counts got = wide.run(program.circuit, 40000);
+    for (BasisState s = 0; s < 16; ++s)
+        EXPECT_NEAR(got.probability(s), want.probability(s), 0.015)
+            << "state " << s;
+}
+
+TEST(Transpiler, RoutedGatesRespectCoupling)
+{
+    const Machine m = makeIbmqx4();
+    Transpiler transpiler(m);
+    const TranspiledProgram program = transpiler.transpile(
+        qaoaCircuit(completeBipartite(5, 0b10101), {{0.5}, {0.2}}));
+    for (const Operation& op : program.circuit.ops()) {
+        if (op.qubits.size() == 2 && isUnitary(op.kind)) {
+            EXPECT_TRUE(
+                m.topology().coupled(op.qubits[0], op.qubits[1]))
+                << op.toString();
+        }
+    }
+}
+
+TEST(Transpiler, CustomAllocatorIsUsed)
+{
+    const Machine m = makeIbmqMelbourne();
+    Transpiler transpiler(m, std::make_shared<TrivialAllocator>());
+    Circuit c(3);
+    c.h(0).measureAll();
+    const TranspiledProgram program = transpiler.transpile(c);
+    EXPECT_EQ(program.initialLayout, (Layout{0, 1, 2}));
+}
+
+TEST(Transpiler, ToffoliCircuitsAreLoweredAndRouted)
+{
+    // A CCX circuit (unroutable as-is) must transpile and keep its
+    // semantics: a Toffoli with both controls set flips the target.
+    const Machine m = makeIbmqMelbourne();
+    Transpiler transpiler(m);
+    Circuit c(3);
+    c.x(0).x(1).ccx(0, 1, 2).measureAll();
+    const TranspiledProgram program = transpiler.transpile(c);
+    EXPECT_EQ(program.circuit.countOps(GateKind::CCX), 0u);
+    for (const Operation& op : program.circuit.ops()) {
+        if (op.qubits.size() == 2 && isUnitary(op.kind)) {
+            EXPECT_TRUE(
+                m.topology().coupled(op.qubits[0], op.qubits[1]));
+        }
+    }
+    IdealSimulator sim(m.numQubits(), 12);
+    EXPECT_EQ(sim.run(program.circuit, 200).get(0b111), 200u);
+}
+
+TEST(Transpiler, ScheduledDelaysPresentForUnevenCircuits)
+{
+    const Machine m = makeIbmqx2();
+    Transpiler transpiler(m);
+    Circuit c(3);
+    c.h(0).h(0).h(0).cx(0, 1).measureAll();
+    const TranspiledProgram program = transpiler.transpile(c);
+    EXPECT_GT(program.circuit.countOps(GateKind::DELAY), 0u);
+}
+
+} // namespace
+} // namespace qem
