@@ -21,15 +21,17 @@ main()
 {
     const std::size_t shots = configuredShots();
     const std::uint64_t seed = configuredSeed();
+    const unsigned threads = configuredThreads();
     std::printf("== Figure 10: PST of SIM normalized to baseline "
-                "(%zu trials per policy) ==\n\n",
-                shots);
+                "(%zu trials per policy, %u threads) ==\n\n",
+                shots, threads);
 
     AsciiTable table({"machine", "benchmark", "baseline PST",
                       "SIM PST", "SIM/baseline", ""});
     for (const char* name :
          {"ibmqx2", "ibmqx4", "ibmq_melbourne"}) {
-        MachineSession session(makeMachine(name), seed);
+        MachineSession session(makeMachine(name), seed,
+                               {threads});
         double gain_sum = 0.0;
         int counted = 0;
         for (const NisqBenchmark& bench :
@@ -54,6 +56,9 @@ main()
         }
         table.addRow({name, "(mean)", "", "",
                       fmt(gain_sum / counted, 2) + "x", ""});
+        if (const RuntimeStats* stats = session.lastRunStats())
+            std::printf("[runtime] %s: %s\n", name,
+                        stats->toString().c_str());
     }
     std::printf("%s\n", table.toString().c_str());
     std::printf("paper shape: every bar >= 1x, biggest gains on "

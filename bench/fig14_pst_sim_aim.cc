@@ -22,16 +22,18 @@ main()
 {
     const std::size_t shots = configuredShots();
     const std::uint64_t seed = configuredSeed();
+    const unsigned threads = configuredThreads();
     std::printf("== Figure 14: PST of SIM and AIM normalized to "
-                "baseline (%zu trials per policy) ==\n\n",
-                shots);
+                "baseline (%zu trials per policy, %u threads) ==\n\n",
+                shots, threads);
 
     AsciiTable table({"machine", "benchmark",
                       "base PST (95% CI)", "SIM/base", "AIM/base",
                       ""});
     for (const char* name :
          {"ibmqx2", "ibmqx4", "ibmq_melbourne"}) {
-        MachineSession session(makeMachine(name), seed);
+        MachineSession session(makeMachine(name), seed,
+                               {threads});
         double sim_sum = 0.0, aim_sum = 0.0;
         int counted = 0;
         for (const NisqBenchmark& bench :
@@ -60,6 +62,9 @@ main()
         table.addRow({name, "(mean)", "",
                       fmt(sim_sum / counted, 2) + "x",
                       fmt(aim_sum / counted, 2) + "x", ""});
+        if (const RuntimeStats* stats = session.lastRunStats())
+            std::printf("[runtime] %s: %s\n", name,
+                        stats->toString().c_str());
     }
     std::printf("%s\n", table.toString().c_str());
     std::printf("paper shape: AIM >= SIM >= 1x, with the largest "

@@ -12,6 +12,7 @@
 #include "kernels/bv.hh"
 #include "mitigation/rbms.hh"
 #include "qsim/bitstring.hh"
+#include "runtime/parallel_backend.hh"
 
 namespace
 {
@@ -109,6 +110,72 @@ BM_TrajectoryQaoa7Melbourne(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_TrajectoryQaoa7Melbourne);
+
+/**
+ * The parallel runtime on the 5-qubit BV trajectory workload,
+ * swept over worker counts. The shots_per_sec counter is the
+ * runtime's headline throughput metric (see EXPERIMENTS.md); the
+ * ratio of the Arg(8) row to the Arg(1) row is the speedup.
+ */
+void
+BM_ParallelShotsBv5(benchmark::State& state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    const Machine machine = makeIbmqx4();
+    const TrajectorySimulator proto(machine.noiseModel(), 11);
+    Transpiler transpiler(machine);
+    const TranspiledProgram program =
+        transpiler.transpile(bernsteinVazirani(4, 0b0111));
+    ParallelBackend backend(proto, 21,
+                            RuntimeOptions{threads, 128});
+    constexpr std::size_t kShots = 8192;
+    for (auto _ : state) {
+        Counts counts = backend.run(program.circuit, kShots);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kShots),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelShotsBv5)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** The parallel runtime on the melbourne QAOA-7 workload. */
+void
+BM_ParallelShotsQaoa7(benchmark::State& state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    const Machine machine = makeIbmqMelbourne();
+    const TrajectorySimulator proto(machine.noiseModel(), 12);
+    Transpiler transpiler(machine);
+    const NisqBenchmark bench = benchmarkSuiteQ14()[3]; // qaoa-7.
+    const TranspiledProgram program =
+        transpiler.transpile(bench.circuit);
+    ParallelBackend backend(proto, 22,
+                            RuntimeOptions{threads, 128});
+    constexpr std::size_t kShots = 4096;
+    for (auto _ : state) {
+        Counts counts = backend.run(program.circuit, kShots);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kShots),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelShotsQaoa7)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_Transpile(benchmark::State& state)

@@ -40,4 +40,11 @@ configuredSeed(std::uint64_t fallback)
     return envUint("INVERTQ_SEED", fallback);
 }
 
+unsigned
+configuredThreads(unsigned fallback)
+{
+    return static_cast<unsigned>(
+        envUint("INVERTQ_THREADS", fallback));
+}
+
 } // namespace qem

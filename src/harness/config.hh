@@ -4,8 +4,10 @@
  *
  * Every bench binary reads its trial budget and RNG seed from the
  * environment so sweeps can be scaled without recompiling:
- *   INVERTQ_SHOTS  total trials per experiment (default 16384)
- *   INVERTQ_SEED   master seed (default 2019)
+ *   INVERTQ_SHOTS    total trials per experiment (default 16384)
+ *   INVERTQ_SEED     master seed (default 2019)
+ *   INVERTQ_THREADS  shot-execution worker threads (default 0 =
+ *                    serial legacy backend; see docs/runtime.md)
  */
 
 #ifndef QEM_HARNESS_CONFIG_HH
@@ -22,6 +24,12 @@ std::size_t configuredShots(std::size_t fallback = 16384);
 
 /** Master seed; INVERTQ_SEED override. */
 std::uint64_t configuredSeed(std::uint64_t fallback = 2019);
+
+/**
+ * Shot-execution worker threads; INVERTQ_THREADS override. 0 keeps
+ * the serial backend (exact seed-compat with recorded goldens).
+ */
+unsigned configuredThreads(unsigned fallback = 0);
 
 } // namespace qem
 

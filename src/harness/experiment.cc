@@ -5,11 +5,17 @@
 namespace qem
 {
 
-MachineSession::MachineSession(Machine machine, std::uint64_t seed)
+MachineSession::MachineSession(Machine machine, std::uint64_t seed,
+                               SessionOptions options)
     : machine_(std::move(machine)),
       backend_(machine_.noiseModel(), seed),
       transpiler_(machine_)
 {
+    if (options.numThreads > 0) {
+        parallel_ = std::make_unique<ParallelBackend>(
+            backend_, seed,
+            RuntimeOptions{options.numThreads, options.batchSize});
+    }
 }
 
 TranspiledProgram
@@ -23,7 +29,7 @@ MachineSession::runPolicy(const TranspiledProgram& program,
                           MitigationPolicy& policy,
                           std::size_t shots)
 {
-    return policy.run(program.circuit, backend_, shots);
+    return policy.run(program.circuit, backend(), shots);
 }
 
 Counts
@@ -44,7 +50,7 @@ std::shared_ptr<const RbmsEstimate>
 MachineSession::profileProgram(const TranspiledProgram& program,
                                const RbmsOptions& options)
 {
-    return characterizeAuto(backend_,
+    return characterizeAuto(backend(),
                             measuredPhysicalQubits(program),
                             options);
 }
@@ -76,7 +82,7 @@ MachineSession::runEnsemble(const Circuit& logical,
                                                 diversity_sigma));
         const TranspiledProgram program =
             diverse.transpile(logical);
-        merged.merge(inner.run(program.circuit, backend_, share));
+        merged.merge(inner.run(program.circuit, backend(), share));
     }
     return merged;
 }

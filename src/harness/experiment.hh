@@ -22,6 +22,7 @@
 #include "mitigation/policy.hh"
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
+#include "runtime/parallel_backend.hh"
 #include "transpile/transpiler.hh"
 
 namespace qem
@@ -35,6 +36,22 @@ struct PolicyResult
     ReliabilityReport report;
 };
 
+/** Execution knobs for a MachineSession. */
+struct SessionOptions
+{
+    /**
+     * Worker threads for shot execution. 0 (the default) keeps the
+     * legacy serial backend — bit-identical to every existing
+     * golden. Any positive value routes shots through the parallel
+     * runtime's sharded sampler; its merged histograms are
+     * identical across thread counts for a fixed seed, but use a
+     * different stream layout than the serial path.
+     */
+    unsigned numThreads = 0;
+    /** Shots per runtime batch (ignored when numThreads == 0). */
+    std::size_t batchSize = 256;
+};
+
 /**
  * A machine plus the simulator backend and transpiler bound to it.
  * One session per (machine, seed); all experiments on that machine
@@ -44,10 +61,24 @@ class MachineSession
 {
   public:
     explicit MachineSession(Machine machine,
-                            std::uint64_t seed = 2019);
+                            std::uint64_t seed = 2019,
+                            SessionOptions options = {});
 
     const Machine& machine() const { return machine_; }
-    Backend& backend() { return backend_; }
+
+    /** The backend every experiment runs on: the parallel runtime
+     *  when numThreads > 0, the serial simulator otherwise. */
+    Backend& backend()
+    {
+        return parallel_ ? static_cast<Backend&>(*parallel_)
+                         : backend_;
+    }
+
+    /** Throughput of the last parallel run; null in serial mode. */
+    const RuntimeStats* lastRunStats() const
+    {
+        return parallel_ ? &parallel_->lastRunStats() : nullptr;
+    }
 
     /** Transpile a logical circuit for this machine. */
     TranspiledProgram prepare(const Circuit& logical) const;
@@ -101,6 +132,7 @@ class MachineSession
   private:
     Machine machine_;
     TrajectorySimulator backend_;
+    std::unique_ptr<ParallelBackend> parallel_; // Null when serial.
     Transpiler transpiler_;
 };
 

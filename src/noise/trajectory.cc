@@ -127,6 +127,19 @@ TrajectorySimulator::applyDecay(StateVector& state, Qubit compact,
 Counts
 TrajectorySimulator::run(const Circuit& circuit, std::size_t shots)
 {
+    return run(circuit, shots, rng_);
+}
+
+std::unique_ptr<ShardedBackend>
+TrajectorySimulator::clone() const
+{
+    return std::make_unique<TrajectorySimulator>(*this);
+}
+
+Counts
+TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
+                         Rng& rng) const
+{
     if (circuit.numQubits() > model_.numQubits())
         throw std::invalid_argument("TrajectorySimulator: circuit wider "
                                     "than the machine");
@@ -160,7 +173,7 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots)
                 continue;
               case GateKind::DELAY:
                 applyDecay(state, op.qubits[0], cop.phys[0],
-                           op.params[0], rng_);
+                           op.params[0], rng);
                 continue;
               case GateKind::RESET:
                 throw std::logic_error("TrajectorySimulator: RESET "
@@ -173,7 +186,7 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots)
             if (cop.phys.size() == 1) {
                 noise = model_.gate1q(cop.phys[0]);
                 applyGateError(state, op.qubits[0],
-                               noise.errorProb, rng_);
+                               noise.errorProb, rng);
             } else {
                 if (cop.phys.size() == 2 &&
                     model_.hasGate2q(cop.phys[0], cop.phys[1])) {
@@ -181,22 +194,22 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots)
                                           cop.phys[1]);
                 }
                 applyTwoQubitGateError(state, op.qubits,
-                                       noise.errorProb, rng_);
+                                       noise.errorProb, rng);
             }
             applyCoherentError(state, op.qubits, noise);
             for (std::size_t i = 0; i < cop.phys.size(); ++i) {
                 applyDecay(state, op.qubits[i], cop.phys[i],
-                           noise.durationNs, rng_);
+                           noise.durationNs, rng);
             }
         }
 
-        for (BasisState compact : state.sample(rng_, take)) {
+        for (BasisState compact : state.sample(rng, take)) {
             const BasisState truth =
                 expandCompactState(compact, compiled.active);
             BasisState observed = truth;
             if (readout)
                 observed = readout->sampleReadout(truth, measured,
-                                                  rng_);
+                                                  rng);
             counts.add(circuit.classicalOutcome(observed));
         }
     }

@@ -41,7 +41,7 @@ struct TrajectoryOptions
     bool enableCoherentErrors = true;
 };
 
-class TrajectorySimulator : public Backend
+class TrajectorySimulator : public ShardedBackend
 {
   public:
     /**
@@ -54,7 +54,20 @@ class TrajectorySimulator : public Backend
     TrajectorySimulator(NoiseModel model, std::uint64_t seed = 99,
                         TrajectoryOptions options = {});
 
+    /** Draw from the member RNG stream (wrapper over the const
+     *  overload; repeated calls consume the stream). */
     Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    /**
+     * Draw every stochastic decision (trajectory errors, sampling,
+     * readout confusion) from an explicit @p rng; pure in
+     * (circuit, shots, rng), so concurrent callers with their own
+     * streams are safe on one simulator.
+     */
+    Counts run(const Circuit& circuit, std::size_t shots,
+               Rng& rng) const override;
+
+    std::unique_ptr<ShardedBackend> clone() const override;
 
     unsigned numQubits() const override { return model_.numQubits(); }
 

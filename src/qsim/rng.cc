@@ -110,4 +110,14 @@ Rng::split()
     return Rng(splitMix64(seed_ ^ splitMix64(splitCount_)));
 }
 
+Rng
+Rng::splitAt(std::uint64_t index) const
+{
+    // Domain-separation constant keeps the indexed family disjoint
+    // from the sequential split() family at every index.
+    constexpr std::uint64_t kIndexedDomain = 0xD1B54A32D192ED03ULL;
+    return Rng(
+        splitMix64(seed_ ^ splitMix64(index ^ kIndexedDomain)));
+}
+
 } // namespace qem

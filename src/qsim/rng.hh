@@ -61,6 +61,16 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Derive the child stream keyed by an explicit @p index rather
+     * than call order: splitAt(i) yields the same stream no matter
+     * how many splits/draws happened before, so concurrent callers
+     * can derive substreams in any order. Does not perturb this
+     * generator (const), and is domain-separated from split() — the
+     * two families never collide.
+     */
+    Rng splitAt(std::uint64_t index) const;
+
   private:
     std::mt19937_64 engine_;
     std::uint64_t seed_;

@@ -38,12 +38,19 @@ IdealSimulator::stateOf(const Circuit& circuit) const
 Counts
 IdealSimulator::run(const Circuit& circuit, std::size_t shots)
 {
+    return run(circuit, shots, rng_);
+}
+
+Counts
+IdealSimulator::run(const Circuit& circuit, std::size_t shots,
+                    Rng& rng) const
+{
     if (!circuit.hasMeasurements())
         throw std::invalid_argument("IdealSimulator::run: circuit has "
                                     "no measurements");
     const StateVector state = stateOf(circuit);
     Counts counts(circuit.numClbits());
-    for (BasisState full : state.sample(rng_, shots))
+    for (BasisState full : state.sample(rng, shots))
         counts.add(circuit.classicalOutcome(full));
     return counts;
 }

@@ -11,6 +11,8 @@
 #ifndef QEM_QSIM_SIMULATOR_HH
 #define QEM_QSIM_SIMULATOR_HH
 
+#include <memory>
+
 #include "qsim/circuit.hh"
 #include "qsim/counts.hh"
 #include "qsim/rng.hh"
@@ -43,8 +45,32 @@ class Backend
     virtual unsigned numQubits() const = 0;
 };
 
+/**
+ * A Backend whose sampling can be driven by an external RNG stream
+ * and that can be cloned for per-worker use. This is the contract
+ * the parallel runtime (src/runtime/) needs: the three-argument
+ * run() is const — all mutable per-shot state lives in the caller's
+ * Rng — so worker clones never share mutable state, and the same
+ * (circuit, shots, stream) triple always yields the same Counts.
+ */
+class ShardedBackend : public Backend
+{
+  public:
+    using Backend::run;
+
+    /**
+     * Execute @p shots trials drawing every random decision from
+     * @p rng instead of the backend's member stream.
+     */
+    virtual Counts run(const Circuit& circuit, std::size_t shots,
+                       Rng& rng) const = 0;
+
+    /** Deep copy for per-worker use. */
+    virtual std::unique_ptr<ShardedBackend> clone() const = 0;
+};
+
 /** Noise-free execution backend. */
-class IdealSimulator : public Backend
+class IdealSimulator : public ShardedBackend
 {
   public:
     /**
@@ -63,7 +89,18 @@ class IdealSimulator : public Backend
      */
     StateVector stateOf(const Circuit& circuit) const;
 
+    /** Sample from the member RNG stream (wrapper over the const
+     *  overload; repeated calls consume the stream). */
     Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    /** Sample from an explicit stream; pure in (circuit, rng). */
+    Counts run(const Circuit& circuit, std::size_t shots,
+               Rng& rng) const override;
+
+    std::unique_ptr<ShardedBackend> clone() const override
+    {
+        return std::make_unique<IdealSimulator>(*this);
+    }
 
     unsigned numQubits() const override { return numQubits_; }
 

@@ -1,0 +1,105 @@
+#include "runtime/parallel_backend.hh"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+namespace qem
+{
+
+namespace
+{
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ParallelBackend::ParallelBackend(const ShardedBackend& prototype,
+                                 std::uint64_t seed,
+                                 RuntimeOptions options)
+    : rng_(seed), options_(options)
+{
+    if (options_.batchSize == 0)
+        throw std::invalid_argument("ParallelBackend: batch size "
+                                    "must be nonzero");
+    const unsigned threads = resolveThreads(options_.numThreads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(prototype.clone());
+    if (threads > 1)
+        pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Counts
+ParallelBackend::run(const Circuit& circuit, std::size_t shots)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    const ShotPlan plan(shots, options_.batchSize);
+    // One job stream per call: repeated runs see fresh substreams
+    // (call-order dependent, like the serial simulators), while the
+    // batch->substream mapping below stays order-independent.
+    const Rng job = rng_.split();
+
+    std::vector<Counts> partial(plan.numBatches());
+    std::vector<std::uint64_t> workerShots(workers_.size(), 0);
+
+    if (!pool_) {
+        for (const ShotBatch& batch : plan.batches()) {
+            Rng rng = ShotPlan::substream(job, batch.index);
+            partial[batch.index] =
+                workers_[0]->run(circuit, batch.shots, rng);
+            workerShots[0] += batch.shots;
+        }
+    } else {
+        std::vector<std::future<void>> futures;
+        futures.reserve(plan.numBatches());
+        for (const ShotBatch& batch : plan.batches()) {
+            futures.push_back(pool_->submit(
+                [this, &circuit, &job, &partial, &workerShots,
+                 batch] {
+                    const int w = ThreadPool::workerIndex();
+                    Rng rng =
+                        ShotPlan::substream(job, batch.index);
+                    partial[batch.index] =
+                        workers_[static_cast<std::size_t>(w)]->run(
+                            circuit, batch.shots, rng);
+                    workerShots[static_cast<std::size_t>(w)] +=
+                        batch.shots;
+                }));
+        }
+        // Wait for every batch before touching the stack frame the
+        // tasks reference; only then surface the first exception.
+        for (std::future<void>& f : futures)
+            f.wait();
+        for (std::future<void>& f : futures)
+            f.get();
+    }
+
+    Counts merged(circuit.numClbits());
+    for (const Counts& batchCounts : partial)
+        merged.merge(batchCounts);
+
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    stats_.shots = shots;
+    stats_.batches = plan.numBatches();
+    stats_.numThreads = numThreads();
+    stats_.wallSeconds = seconds;
+    stats_.shotsPerSecond =
+        seconds > 0.0 ? static_cast<double>(shots) / seconds : 0.0;
+    stats_.perWorkerShots = std::move(workerShots);
+    return merged;
+}
+
+} // namespace qem

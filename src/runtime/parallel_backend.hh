@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Backend adapter that executes shot batches on a thread pool.
+ *
+ * ParallelBackend wraps any ShardedBackend (TrajectorySimulator,
+ * IdealSimulator): it clones one simulator per worker thread, splits
+ * every run() into a ShotPlan of fixed-size batches, binds batch i
+ * to the RNG substream derived at index i, runs batches concurrently
+ * on the pool, and merges the per-batch histograms in batch-index
+ * order. The merged Counts is bit-identical for the same seed
+ * regardless of thread count (see docs/runtime.md).
+ */
+
+#ifndef QEM_RUNTIME_PARALLEL_BACKEND_HH
+#define QEM_RUNTIME_PARALLEL_BACKEND_HH
+
+#include <memory>
+#include <vector>
+
+#include "qsim/simulator.hh"
+#include "runtime/runtime_stats.hh"
+#include "runtime/shot_plan.hh"
+#include "runtime/thread_pool.hh"
+
+namespace qem
+{
+
+/** Tuning knobs for the parallel execution runtime. */
+struct RuntimeOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned numThreads = 0;
+    /** Shots per batch (the unit of parallel work). */
+    std::size_t batchSize = 256;
+};
+
+class ParallelBackend : public Backend
+{
+  public:
+    /**
+     * @param prototype Simulator to clone per worker (not retained).
+     * @param seed Root of the runtime's RNG tree; each run() call
+     *             derives a fresh job stream, each batch a substream
+     *             of that, so repeated runs differ but a
+     *             reconstructed backend replays the same sequence —
+     *             mirroring the serial simulators' contract.
+     * @param options Thread count and batch size.
+     */
+    ParallelBackend(const ShardedBackend& prototype,
+                    std::uint64_t seed,
+                    RuntimeOptions options = {});
+
+    Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    unsigned numQubits() const override
+    {
+        return workers_.front()->numQubits();
+    }
+
+    /** Worker threads actually spawned. */
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Throughput of the most recent run() (zeroed before that). */
+    const RuntimeStats& lastRunStats() const { return stats_; }
+
+  private:
+    std::vector<std::unique_ptr<ShardedBackend>> workers_;
+    std::unique_ptr<ThreadPool> pool_; // Null for a single worker.
+    Rng rng_;
+    RuntimeOptions options_;
+    RuntimeStats stats_;
+};
+
+} // namespace qem
+
+#endif // QEM_RUNTIME_PARALLEL_BACKEND_HH

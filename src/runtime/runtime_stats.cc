@@ -1,0 +1,29 @@
+#include "runtime/runtime_stats.hh"
+
+#include <cstdio>
+
+namespace qem
+{
+
+std::string
+RuntimeStats::toString() const
+{
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "%zu shots in %.3f s (%.0f shots/sec), "
+                  "%zu batches on %u threads, per-worker [",
+                  shots, wallSeconds, shotsPerSecond, batches,
+                  numThreads);
+    std::string out(head);
+    for (std::size_t i = 0; i < perWorkerShots.size(); ++i) {
+        char item[32];
+        std::snprintf(item, sizeof item, "%s%llu", i ? ", " : "",
+                      static_cast<unsigned long long>(
+                          perWorkerShots[i]));
+        out += item;
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace qem

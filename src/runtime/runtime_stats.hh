@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Throughput accounting for one parallel job.
+ *
+ * Filled in by ParallelBackend::run and surfaced through
+ * MachineSession so bench binaries can report shots/sec next to the
+ * reproduced figures.
+ */
+
+#ifndef QEM_RUNTIME_RUNTIME_STATS_HH
+#define QEM_RUNTIME_RUNTIME_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qem
+{
+
+struct RuntimeStats
+{
+    /** Trials executed by the job. */
+    std::size_t shots = 0;
+    /** Batches the job was split into. */
+    std::size_t batches = 0;
+    /** Worker threads the job ran on. */
+    unsigned numThreads = 0;
+    /** Wall-clock duration of the job. */
+    double wallSeconds = 0.0;
+    /** shots / wallSeconds (0 when the clock read 0). */
+    double shotsPerSecond = 0.0;
+    /** Shots executed by each worker, indexed by worker id. */
+    std::vector<std::uint64_t> perWorkerShots;
+
+    /** One-line human-readable summary. */
+    std::string toString() const;
+};
+
+} // namespace qem
+
+#endif // QEM_RUNTIME_RUNTIME_STATS_HH

@@ -1,0 +1,30 @@
+#include "runtime/shot_plan.hh"
+
+#include <stdexcept>
+
+namespace qem
+{
+
+ShotPlan::ShotPlan(std::size_t total_shots, std::size_t batch_size)
+    : totalShots_(total_shots), batchSize_(batch_size)
+{
+    if (batch_size == 0)
+        throw std::invalid_argument("ShotPlan: batch size must be "
+                                    "nonzero");
+    batches_.reserve((total_shots + batch_size - 1) / batch_size);
+    std::size_t first = 0;
+    while (first < total_shots) {
+        const std::size_t take =
+            std::min(batch_size, total_shots - first);
+        batches_.push_back({batches_.size(), first, take});
+        first += take;
+    }
+}
+
+Rng
+ShotPlan::substream(const Rng& job, std::size_t batch_index)
+{
+    return job.splitAt(batch_index);
+}
+
+} // namespace qem

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic partition of an N-shot job into fixed-size batches.
+ *
+ * The runtime's determinism guarantee hangs on this file: a job's
+ * batches and their RNG substreams are a pure function of
+ * (total shots, batch size, job stream), never of thread count or
+ * completion order. Batch i always samples from the substream
+ * derived at index i, so the merged histogram is bit-identical on 1
+ * thread or 64.
+ */
+
+#ifndef QEM_RUNTIME_SHOT_PLAN_HH
+#define QEM_RUNTIME_SHOT_PLAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "qsim/rng.hh"
+
+namespace qem
+{
+
+/** One unit of parallel work: a contiguous slice of the shot budget. */
+struct ShotBatch
+{
+    /** Position in the plan; keys the batch's RNG substream. */
+    std::size_t index = 0;
+    /** Global index of the batch's first shot. */
+    std::size_t firstShot = 0;
+    /** Shots in this batch (== batch size except maybe the last). */
+    std::size_t shots = 0;
+};
+
+class ShotPlan
+{
+  public:
+    /**
+     * Partition @p total_shots into ceil(total/batch_size) batches.
+     * Throws std::invalid_argument for a zero batch size.
+     */
+    ShotPlan(std::size_t total_shots, std::size_t batch_size);
+
+    std::size_t totalShots() const { return totalShots_; }
+    std::size_t batchSize() const { return batchSize_; }
+    std::size_t numBatches() const { return batches_.size(); }
+
+    const std::vector<ShotBatch>& batches() const { return batches_; }
+
+    /**
+     * The RNG substream for @p batch_index under @p job stream.
+     * Defined as job.splitAt(batch_index): keyed by the explicit
+     * index, so deriving substreams in any order (or concurrently)
+     * yields the same streams.
+     */
+    static Rng substream(const Rng& job, std::size_t batch_index);
+
+  private:
+    std::size_t totalShots_;
+    std::size_t batchSize_;
+    std::vector<ShotBatch> batches_;
+};
+
+} // namespace qem
+
+#endif // QEM_RUNTIME_SHOT_PLAN_HH

@@ -1,0 +1,85 @@
+#include "runtime/thread_pool.hh"
+
+#include <stdexcept>
+
+namespace qem
+{
+
+namespace
+{
+
+/** Worker-local pool index; -1 on non-pool threads. */
+thread_local int tl_worker_index = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        throw std::invalid_argument("ThreadPool: need at least one "
+                                    "worker thread");
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::workerIndex()
+{
+    return tl_worker_index;
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::runtime_error("ThreadPool::submit: pool is "
+                                     "shutting down");
+        queue_.push(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tl_worker_index = static_cast<int>(index);
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            // Drain the queue even when stopping so every submitted
+            // future completes before the destructor returns.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+} // namespace qem

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool with a shared task queue.
+ *
+ * The execution runtime (ParallelBackend) farms shot batches out to
+ * this pool. Design goals, in order: deterministic shutdown (the
+ * destructor drains every queued task before joining), exception
+ * propagation (a task that throws surfaces the exception at the
+ * submitter's future), and a stable worker index so callers can keep
+ * per-worker state (e.g. a cloned simulator) without locking.
+ */
+
+#ifndef QEM_RUNTIME_THREAD_POOL_HH
+#define QEM_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qem
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p num_threads workers. Throws std::invalid_argument
+     * for zero threads.
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /**
+     * Drains all queued tasks, then joins every worker. Tasks
+     * submitted before destruction always run to completion.
+     */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Index of the calling thread within its pool ([0, size())), or
+     * -1 when called from a thread that is not a pool worker.
+     */
+    static int workerIndex();
+
+    /** Tasks queued but not yet picked up by a worker. */
+    std::size_t pendingTasks() const;
+
+    /**
+     * Queue @p fn for execution. The returned future yields fn's
+     * result; if fn throws, future.get() rethrows the exception on
+     * the submitter's thread. Throws std::runtime_error if the pool
+     * is shutting down.
+     */
+    template <typename F>
+    auto submit(F&& fn)
+        -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        enqueue([task] { (*task)(); });
+        return result;
+    }
+
+  private:
+    /** Push one type-erased task; wakes one worker. */
+    void enqueue(std::function<void()> task);
+
+    /** Worker main loop; exits once stopping and the queue is dry. */
+    void workerLoop(unsigned index);
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace qem
+
+#endif // QEM_RUNTIME_THREAD_POOL_HH

@@ -121,5 +121,61 @@ TEST(Rng, SplitIsDeterministicAndIndependent)
     EXPECT_LT(same, 3);
 }
 
+TEST(Rng, SplitAtIsOrderIndependent)
+{
+    // Deriving substreams in any order — or interleaved with draws
+    // and sequential splits — yields the same streams.
+    Rng forward(314), backward(314);
+    Rng f0 = forward.splitAt(0);
+    Rng f7 = forward.splitAt(7);
+    (void)backward.bits();      // Perturb the engine...
+    (void)backward.split();     // ...and the split counter.
+    Rng b7 = backward.splitAt(7);
+    Rng b0 = backward.splitAt(0);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(f0.bits(), b0.bits());
+        EXPECT_EQ(f7.bits(), b7.bits());
+    }
+}
+
+TEST(Rng, SplitAtDoesNotPerturbTheParent)
+{
+    Rng touched(55), untouched(55);
+    (void)touched.splitAt(3);
+    (void)touched.splitAt(12);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(touched.bits(), untouched.bits());
+    // The sequential split counter is also untouched: the next
+    // split() matches a fresh generator's first split.
+    Rng fresh(55);
+    Rng a = touched.split();
+    Rng b = fresh.split();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, SplitAtIndicesDiverge)
+{
+    Rng rng(17);
+    Rng s0 = rng.splitAt(0);
+    Rng s1 = rng.splitAt(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (s0.bits() == s1.bits());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitAtIsDomainSeparatedFromSplit)
+{
+    // splitAt(i) and the i-th split() child are different streams.
+    Rng rng(23);
+    Rng indexed = rng.splitAt(1);
+    Rng sequential = rng.split(); // First sequential child.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (indexed.bits() == sequential.bits());
+    EXPECT_LT(same, 3);
+}
+
 } // namespace
 } // namespace qem

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the runtime's worker-thread pool: tasks execute,
+ * results and exceptions propagate through futures, and the
+ * destructor drains pending work before joining.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.hh"
+
+namespace qem
+{
+namespace
+{
+
+TEST(ThreadPool, RejectsZeroWorkers)
+{
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> hits{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&hits] { ++hits; }));
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+                  i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("worker exploded");
+    });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A sibling task is unaffected by another task's exception.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            (void)pool.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++done;
+            });
+        }
+        // Destruction races the queue: every task must still run.
+    }
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange)
+{
+    ThreadPool pool(3);
+    std::mutex mutex;
+    std::set<int> seen;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&] {
+            const int w = ThreadPool::workerIndex();
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(w);
+        }));
+    }
+    for (auto& f : futures)
+        f.get();
+    ASSERT_FALSE(seen.empty());
+    for (int w : seen) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 3);
+    }
+    // Off-pool threads (this one) see the sentinel.
+    EXPECT_EQ(ThreadPool::workerIndex(), -1);
+}
+
+} // namespace
+} // namespace qem
