@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/config.hh"
 #include "harness/experiment.hh"
 #include "harness/table.hh"
@@ -28,6 +29,8 @@ main()
 
     AsciiTable table({"machine", "benchmark", "baseline PST",
                       "SIM PST", "SIM/baseline", ""});
+    telemetry::JsonValue rows = telemetry::JsonValue::array();
+    telemetry::JsonValue runtimes = telemetry::JsonValue::object();
     for (const char* name :
          {"ibmqx2", "ibmqx4", "ibmq_melbourne"}) {
         MachineSession session(makeMachine(name), seed,
@@ -53,15 +56,47 @@ main()
             table.addRow({name, bench.name, fmt(p_base),
                           fmt(p_sim), fmt(gain, 2) + "x",
                           bar(gain, 2.5, 25)});
+            telemetry::JsonValue row =
+                telemetry::JsonValue::object();
+            row["machine"] = telemetry::JsonValue(name);
+            row["benchmark"] = telemetry::JsonValue(bench.name);
+            row["baseline_pst"] = telemetry::JsonValue(p_base);
+            row["sim_pst"] = telemetry::JsonValue(p_sim);
+            row["sim_over_baseline"] = telemetry::JsonValue(gain);
+            rows.push(std::move(row));
         }
         table.addRow({name, "(mean)", "", "",
                       fmt(gain_sum / counted, 2) + "x", ""});
-        if (const RuntimeStats* stats = session.lastRunStats())
+        if (const RuntimeStats* stats = session.lastRunStats()) {
             std::printf("[runtime] %s: %s\n", name,
                         stats->toString().c_str());
+            telemetry::JsonValue rt =
+                telemetry::JsonValue::object();
+            rt["shots"] = telemetry::JsonValue(
+                static_cast<std::uint64_t>(stats->shots));
+            rt["num_threads"] =
+                telemetry::JsonValue(stats->numThreads);
+            rt["wall_seconds"] =
+                telemetry::JsonValue(stats->wallSeconds);
+            rt["shots_per_second"] =
+                telemetry::JsonValue(stats->shotsPerSecond);
+            runtimes[name] = std::move(rt);
+        }
     }
     std::printf("%s\n", table.toString().c_str());
     std::printf("paper shape: every bar >= 1x, biggest gains on "
                 "ibmqx4 (up to 2x).\n");
+
+    telemetry::JsonValue payload = telemetry::JsonValue::object();
+    payload["shots"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(shots));
+    payload["seed"] = telemetry::JsonValue(seed);
+    payload["num_threads"] = telemetry::JsonValue(threads);
+    payload["rows"] = std::move(rows);
+    payload["runtime"] = std::move(runtimes);
+    const std::string path =
+        writeBenchJson("fig10_sim_pst", std::move(payload));
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
     return 0;
 }

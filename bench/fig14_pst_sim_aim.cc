@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/config.hh"
 #include "harness/experiment.hh"
 #include "harness/table.hh"
@@ -30,6 +31,8 @@ main()
     AsciiTable table({"machine", "benchmark",
                       "base PST (95% CI)", "SIM/base", "AIM/base",
                       ""});
+    telemetry::JsonValue rows = telemetry::JsonValue::array();
+    telemetry::JsonValue runtimes = telemetry::JsonValue::object();
     for (const char* name :
          {"ibmqx2", "ibmqx4", "ibmq_melbourne"}) {
         MachineSession session(makeMachine(name), seed,
@@ -58,16 +61,54 @@ main()
                           fmt(sim_gain, 2) + "x",
                           fmt(aim_gain, 2) + "x",
                           bar(aim_gain, 3.5, 25)});
+            telemetry::JsonValue row =
+                telemetry::JsonValue::object();
+            row["machine"] = telemetry::JsonValue(name);
+            row["benchmark"] = telemetry::JsonValue(bench.name);
+            row["baseline_pst"] = telemetry::JsonValue(base);
+            row["baseline_pst_ci_low"] =
+                telemetry::JsonValue(ci.low);
+            row["baseline_pst_ci_high"] =
+                telemetry::JsonValue(ci.high);
+            row["sim_over_baseline"] =
+                telemetry::JsonValue(sim_gain);
+            row["aim_over_baseline"] =
+                telemetry::JsonValue(aim_gain);
+            rows.push(std::move(row));
         }
         table.addRow({name, "(mean)", "",
                       fmt(sim_sum / counted, 2) + "x",
                       fmt(aim_sum / counted, 2) + "x", ""});
-        if (const RuntimeStats* stats = session.lastRunStats())
+        if (const RuntimeStats* stats = session.lastRunStats()) {
             std::printf("[runtime] %s: %s\n", name,
                         stats->toString().c_str());
+            telemetry::JsonValue rt =
+                telemetry::JsonValue::object();
+            rt["shots"] = telemetry::JsonValue(
+                static_cast<std::uint64_t>(stats->shots));
+            rt["num_threads"] =
+                telemetry::JsonValue(stats->numThreads);
+            rt["wall_seconds"] =
+                telemetry::JsonValue(stats->wallSeconds);
+            rt["shots_per_second"] =
+                telemetry::JsonValue(stats->shotsPerSecond);
+            runtimes[name] = std::move(rt);
+        }
     }
     std::printf("%s\n", table.toString().c_str());
     std::printf("paper shape: AIM >= SIM >= 1x, with the largest "
                 "gains on ibmqx4 (SIM up to 2x, AIM up to 3x).\n");
+
+    telemetry::JsonValue payload = telemetry::JsonValue::object();
+    payload["shots"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(shots));
+    payload["seed"] = telemetry::JsonValue(seed);
+    payload["num_threads"] = telemetry::JsonValue(threads);
+    payload["rows"] = std::move(rows);
+    payload["runtime"] = std::move(runtimes);
+    const std::string path =
+        writeBenchJson("fig14_pst_sim_aim", std::move(payload));
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
     return 0;
 }

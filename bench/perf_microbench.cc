@@ -3,10 +3,18 @@
  * google-benchmark microbenchmarks of the substrate: gate
  * application, trajectory execution, sampling, readout confusion,
  * transpilation, and the mitigation policies' overhead.
+ *
+ * Besides the usual console table, the custom main() at the bottom
+ * captures every run and writes `BENCH_perf_microbench.json` (see
+ * harness/bench_io.hh) so the perf trajectory is machine-readable
+ * across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "harness/bench_io.hh"
 #include "harness/experiment.hh"
 #include "kernels/basis.hh"
 #include "kernels/bv.hh"
@@ -269,4 +277,75 @@ BM_ReadoutConfusion(benchmark::State& state)
 }
 BENCHMARK(BM_ReadoutConfusion);
 
+/**
+ * Console reporter that additionally captures every finished run
+ * so main() can export them through the telemetry JSON writer.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run>& report) override
+    {
+        for (const Run& run : report)
+            captured_.push_back(run);
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    const std::vector<Run>& captured() const { return captured_; }
+
+  private:
+    std::vector<Run> captured_;
+};
+
+telemetry::JsonValue
+runsToJson(const std::vector<benchmark::BenchmarkReporter::Run>&
+               runs)
+{
+    telemetry::JsonValue results = telemetry::JsonValue::array();
+    for (const auto& run : runs) {
+        if (run.error_occurred)
+            continue;
+        telemetry::JsonValue row = telemetry::JsonValue::object();
+        row["name"] = telemetry::JsonValue(run.benchmark_name());
+        row["iterations"] = telemetry::JsonValue(
+            static_cast<std::uint64_t>(run.iterations));
+        // Per-iteration times in seconds regardless of the
+        // benchmark's display unit.
+        const double iters =
+            run.iterations > 0
+                ? static_cast<double>(run.iterations)
+                : 1.0;
+        row["real_time_seconds"] = telemetry::JsonValue(
+            run.real_accumulated_time / iters);
+        row["cpu_time_seconds"] = telemetry::JsonValue(
+            run.cpu_accumulated_time / iters);
+        telemetry::JsonValue counters =
+            telemetry::JsonValue::object();
+        for (const auto& [name, counter] : run.counters)
+            counters[name] = telemetry::JsonValue(
+                static_cast<double>(counter));
+        row["counters"] = std::move(counters);
+        results.push(std::move(row));
+    }
+    return results;
+}
+
 } // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string path = qem::writeBenchJson(
+        "perf_microbench", runsToJson(reporter.captured()));
+    if (!path.empty())
+        std::printf("wrote %s (%zu results)\n", path.c_str(),
+                    reporter.captured().size());
+    return 0;
+}

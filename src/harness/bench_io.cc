@@ -1,0 +1,52 @@
+#include "harness/bench_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace qem
+{
+
+namespace
+{
+
+inline constexpr const char* kBenchSchema = "invertq.bench/v1";
+
+} // namespace
+
+std::string
+benchJsonPath(const std::string& bench_name)
+{
+    const char* raw = std::getenv("INVERTQ_BENCH_DIR");
+    std::string dir = raw && *raw != '\0' ? raw : ".";
+    if (dir == "off")
+        return "";
+    return dir + "/BENCH_" + bench_name + ".json";
+}
+
+std::string
+writeBenchJson(const std::string& bench_name,
+               telemetry::JsonValue payload)
+{
+    const std::string path = benchJsonPath(bench_name);
+    if (path.empty())
+        return "";
+
+    telemetry::JsonValue doc = telemetry::JsonValue::object();
+    doc["schema"] = telemetry::JsonValue(kBenchSchema);
+    doc["bench"] = telemetry::JsonValue(bench_name);
+    doc["results"] = std::move(payload);
+
+    std::ofstream out(path);
+    if (out)
+        out << doc.dump(2);
+    if (!out) {
+        std::fprintf(stderr,
+                     "[bench] warning: could not write %s\n",
+                     path.c_str());
+        return "";
+    }
+    return path;
+}
+
+} // namespace qem

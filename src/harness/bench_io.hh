@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-readable bench output (`BENCH_<name>.json`).
+ *
+ * Every bench binary that tracks the perf trajectory writes one
+ * JSON document per run so CI and later PRs can diff numbers
+ * without scraping ASCII tables. Files land in the directory named
+ * by `INVERTQ_BENCH_DIR` (default: the current working directory).
+ * Setting `INVERTQ_BENCH_DIR=off` disables writing entirely.
+ */
+
+#ifndef QEM_HARNESS_BENCH_IO_HH
+#define QEM_HARNESS_BENCH_IO_HH
+
+#include <string>
+
+#include "telemetry/json.hh"
+
+namespace qem
+{
+
+/** Destination for @p bench_name, or "" when writing is off. */
+std::string benchJsonPath(const std::string& bench_name);
+
+/**
+ * Wrap @p payload in the bench envelope ({schema, bench, results})
+ * and write it to benchJsonPath(bench_name). Returns the path
+ * written, or "" when disabled / on I/O failure (reported to
+ * stderr; a bench run must not fail because its JSON could not be
+ * written).
+ */
+std::string writeBenchJson(const std::string& bench_name,
+                           telemetry::JsonValue payload);
+
+} // namespace qem
+
+#endif // QEM_HARNESS_BENCH_IO_HH

@@ -1,14 +1,32 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "telemetry/manifest.hh"
+#include "telemetry/telemetry.hh"
 
 namespace qem
 {
 
+namespace
+{
+
+/** Wall seconds since @p start. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 MachineSession::MachineSession(Machine machine, std::uint64_t seed,
                                SessionOptions options)
-    : machine_(std::move(machine)),
-      backend_(machine_.noiseModel(), seed),
+    : machine_(std::move(machine)), seed_(seed),
+      options_(options), backend_(machine_.noiseModel(), seed),
       transpiler_(machine_)
 {
     if (options.numThreads > 0) {
@@ -21,7 +39,25 @@ MachineSession::MachineSession(Machine machine, std::uint64_t seed,
 TranspiledProgram
 MachineSession::prepare(const Circuit& logical) const
 {
-    return transpiler_.transpile(logical);
+    telemetry::SpanTracer::Scope s = telemetry::span("transpile");
+    TranspiledProgram program = transpiler_.transpile(logical);
+    telemetry::count("session.transpiles");
+    return program;
+}
+
+void
+MachineSession::recordSerialRun(std::size_t shots,
+                                double wall_seconds)
+{
+    serialStats_.shots = shots;
+    serialStats_.batches = 1;
+    serialStats_.numThreads = 1; // The calling thread.
+    serialStats_.wallSeconds = wall_seconds;
+    serialStats_.shotsPerSecond =
+        wall_seconds > 0.0
+            ? static_cast<double>(shots) / wall_seconds
+            : 0.0;
+    serialStats_.perWorkerShots = {shots};
 }
 
 Counts
@@ -29,7 +65,23 @@ MachineSession::runPolicy(const TranspiledProgram& program,
                           MitigationPolicy& policy,
                           std::size_t shots)
 {
-    return policy.run(program.circuit, backend(), shots);
+    telemetry::SpanTracer::Scope s =
+        telemetry::span("policy:" + policy.name());
+    const auto start = std::chrono::steady_clock::now();
+    Counts counts = policy.run(program.circuit, backend(), shots);
+    const double seconds = secondsSince(start);
+    if (!parallel_)
+        recordSerialRun(shots, seconds);
+    if (telemetry::enabled()) {
+        telemetry::MetricsRegistry& m = telemetry::metrics();
+        m.counter("session.policy." + policy.name() + ".shots")
+            .add(shots);
+        m.counter("session.policy." + policy.name() + ".runs")
+            .add(1);
+        m.histogram("session.policy_run_seconds")
+            .record(seconds);
+    }
+    return counts;
 }
 
 Counts
@@ -50,6 +102,8 @@ std::shared_ptr<const RbmsEstimate>
 MachineSession::profileProgram(const TranspiledProgram& program,
                                const RbmsOptions& options)
 {
+    telemetry::SpanTracer::Scope s =
+        telemetry::span("profile_rbms");
     return characterizeAuto(backend(),
                             measuredPhysicalQubits(program),
                             options);
@@ -67,6 +121,12 @@ MachineSession::runEnsemble(const Circuit& logical,
     if (shots < ensembles)
         throw std::invalid_argument("runEnsemble: fewer shots than "
                                     "ensembles");
+    telemetry::SpanTracer::Scope ensembleSpan =
+        telemetry::span("ensemble:" + inner.name());
+    telemetry::count("session.ensemble.mappings", ensembles);
+    telemetry::count("session.ensemble.shots", shots);
+    const auto start = std::chrono::steady_clock::now();
+
     Counts merged(logical.numClbits());
     const std::size_t per = shots / ensembles;
     std::size_t leftover = shots % ensembles;
@@ -76,14 +136,23 @@ MachineSession::runEnsemble(const Circuit& logical,
             ++share;
             --leftover;
         }
-        Transpiler diverse(
-            machine_,
-            std::make_shared<JitteredAllocator>(e + 1,
-                                                diversity_sigma));
-        const TranspiledProgram program =
-            diverse.transpile(logical);
+        TranspiledProgram program;
+        {
+            telemetry::SpanTracer::Scope s =
+                telemetry::span("transpile");
+            Transpiler diverse(
+                machine_,
+                std::make_shared<JitteredAllocator>(
+                    e + 1, diversity_sigma));
+            program = diverse.transpile(logical);
+        }
+        telemetry::SpanTracer::Scope s =
+            telemetry::span("policy:" + inner.name());
         merged.merge(inner.run(program.circuit, backend(), share));
     }
+
+    if (!parallel_)
+        recordSerialRun(shots, secondsSince(start));
     return merged;
 }
 
@@ -91,27 +160,62 @@ std::vector<PolicyResult>
 MachineSession::comparePolicies(const NisqBenchmark& benchmark,
                                 std::size_t shots)
 {
-    const TranspiledProgram program = prepare(benchmark.circuit);
-
     std::vector<PolicyResult> results;
-    auto record = [&](MitigationPolicy& policy) {
-        Counts counts = runPolicy(program, policy, shots);
-        const ReliabilityReport report =
-            reliability(counts, benchmark.acceptedOutputs);
-        results.push_back(
-            {policy.name(), std::move(counts), report});
-    };
+    {
+        telemetry::SpanTracer::Scope compareSpan =
+            telemetry::span("compare_policies:" + benchmark.name);
 
-    BaselinePolicy baseline;
-    record(baseline);
+        const TranspiledProgram program =
+            prepare(benchmark.circuit);
 
-    StaticInvertAndMeasure sim;
-    record(sim);
+        auto record = [&](MitigationPolicy& policy) {
+            Counts counts = runPolicy(program, policy, shots);
+            const ReliabilityReport report =
+                reliability(counts, benchmark.acceptedOutputs);
+            results.push_back(
+                {policy.name(), std::move(counts), report});
+        };
 
-    AdaptiveInvertAndMeasure aim(profileProgram(program));
-    record(aim);
+        BaselinePolicy baseline;
+        record(baseline);
 
+        StaticInvertAndMeasure sim;
+        record(sim);
+
+        AdaptiveInvertAndMeasure aim(profileProgram(program));
+        record(aim);
+    }
+
+    // The per-run manifest: written once the compare span has
+    // closed, so its timings are final.
+    if (telemetry::enabled()) {
+        const std::string path = telemetry::manifestPath();
+        if (!path.empty()) {
+            writeManifest(path,
+                          "comparePolicies:" + benchmark.name,
+                          shots);
+        }
+    }
     return results;
+}
+
+bool
+MachineSession::writeManifest(const std::string& path,
+                              const std::string& label,
+                              std::size_t shots_requested) const
+{
+    telemetry::RunInfo run;
+    run.label = label;
+    run.machine = machine_.name();
+    run.seed = seed_;
+    run.numThreads = options_.numThreads;
+    run.batchSize = options_.batchSize;
+    run.shotsRequested = shots_requested;
+    return telemetry::writeManifest(
+        path,
+        telemetry::buildManifest(run,
+                                 telemetry::metrics().snapshot(),
+                                 telemetry::tracer().snapshot()));
 }
 
 } // namespace qem

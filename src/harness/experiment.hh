@@ -23,6 +23,7 @@
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
 #include "runtime/parallel_backend.hh"
+#include "telemetry/sink.hh"
 #include "transpile/transpiler.hh"
 
 namespace qem
@@ -74,10 +75,18 @@ class MachineSession
                          : backend_;
     }
 
-    /** Throughput of the last parallel run; null in serial mode. */
+    /**
+     * Throughput of the most recent run through this session, in
+     * both execution modes: the parallel runtime's per-job stats
+     * when numThreads > 0, or the session-measured stats of the
+     * last runPolicy/runEnsemble call on the serial path. Null only
+     * before the first run.
+     */
     const RuntimeStats* lastRunStats() const
     {
-        return parallel_ ? &parallel_->lastRunStats() : nullptr;
+        if (parallel_)
+            return &parallel_->lastRunStats();
+        return serialStats_.shots > 0 ? &serialStats_ : nullptr;
     }
 
     /** Transpile a logical circuit for this machine. */
@@ -129,11 +138,28 @@ class MachineSession
                        unsigned ensembles = 4,
                        double diversity_sigma = 0.3);
 
+    /**
+     * Write the current global telemetry (span tree + merged
+     * metrics) plus this session's run metadata as a JSON manifest
+     * to @p path. comparePolicies calls this automatically with
+     * telemetry::manifestPath() when `INVERTQ_TELEMETRY=<path>` is
+     * set. Returns false on I/O failure (never throws).
+     */
+    bool writeManifest(const std::string& path,
+                       const std::string& label,
+                       std::size_t shots_requested) const;
+
   private:
+    /** Fill serialStats_ after a serial-path run of @p shots. */
+    void recordSerialRun(std::size_t shots, double wall_seconds);
+
     Machine machine_;
+    std::uint64_t seed_;
+    SessionOptions options_;
     TrajectorySimulator backend_;
     std::unique_ptr<ParallelBackend> parallel_; // Null when serial.
     Transpiler transpiler_;
+    RuntimeStats serialStats_; // Filled by serial-path runs.
 };
 
 /**

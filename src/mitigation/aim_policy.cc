@@ -1,9 +1,11 @@
 #include "mitigation/aim_policy.hh"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "mitigation/sim_policy.hh"
+#include "telemetry/telemetry.hh"
 
 namespace qem
 {
@@ -37,6 +39,9 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
         throw std::invalid_argument("AIM: RBMS profile width does "
                                     "not match the circuit's output");
 
+    telemetry::SpanTracer::Scope policySpan =
+        telemetry::span("aim.run");
+
     // Phase 1 -- canary trials under the four static modes, to
     // observe the output distribution with global bias averaged out.
     std::size_t canary_shots = static_cast<std::size_t>(
@@ -44,10 +49,17 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
     canary_shots = std::clamp<std::size_t>(canary_shots, 4,
                                            shots > 4 ? shots - 1
                                                      : 1);
+    telemetry::count("policy.aim.runs");
+    telemetry::count("policy.aim.canary_shots", canary_shots);
+    telemetry::count("policy.aim.bulk_shots",
+                     shots - canary_shots);
+    telemetry::SpanTracer::Scope canarySpan =
+        telemetry::span("aim.canary");
     StaticInvertAndMeasure canary_policy =
         StaticInvertAndMeasure::fourMode(bits);
     const Counts canary =
         canary_policy.run(circuit, backend, canary_shots);
+    canarySpan = {};
 
     // Phase 2 -- likelihoods: L_i = observed frequency divided by
     // measurement strength (Equation 1), then keep the top K.
@@ -108,12 +120,20 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
         shares[0] += remaining % strings.size();
     }
 
+    telemetry::SpanTracer::Scope bulkSpan =
+        telemetry::span("aim.tailored");
     Counts merged = canary;
     for (std::size_t i = 0; i < strings.size(); ++i) {
         if (shares[i] == 0)
             continue;
+        telemetry::count("policy.aim.inversion_strings_applied");
         const Counts observed = backend.run(
             applyInversion(circuit, strings[i]), shares[i]);
+        telemetry::count(
+            "policy.aim.correction_bitflips",
+            static_cast<std::uint64_t>(
+                std::popcount(strings[i])) *
+                observed.total());
         merged.merge(correctInversion(observed, strings[i]));
     }
     return merged;

@@ -1,7 +1,10 @@
 #include "mitigation/sim_policy.hh"
 
+#include <bit>
 #include <sstream>
 #include <stdexcept>
+
+#include "telemetry/telemetry.hh"
 
 namespace qem
 {
@@ -52,6 +55,13 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
         throw std::invalid_argument("SIM: fewer shots than "
                                     "measurement modes");
 
+    telemetry::SpanTracer::Scope policySpan =
+        telemetry::span("sim.run");
+    telemetry::count("policy.sim.runs");
+    telemetry::count("policy.sim.shots", shots);
+    telemetry::count("policy.sim.inversion_strings_applied",
+                     strings.size());
+
     Counts merged(circuit.numClbits());
     const std::size_t per_mode = shots / strings.size();
     std::size_t leftover = shots % strings.size();
@@ -61,9 +71,24 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
             ++share;
             --leftover;
         }
-        const Counts observed =
-            backend.run(applyInversion(circuit, inv), share);
-        merged.merge(correctInversion(observed, inv));
+        Counts observed(circuit.numClbits());
+        {
+            telemetry::SpanTracer::Scope s =
+                telemetry::span("sim.shot_batches");
+            observed =
+                backend.run(applyInversion(circuit, inv), share);
+        }
+        {
+            telemetry::SpanTracer::Scope s =
+                telemetry::span("sim.post_correct");
+            // Every set mask bit is one classical bit-flip per
+            // observed trial during post-correction.
+            telemetry::count(
+                "policy.sim.correction_bitflips",
+                static_cast<std::uint64_t>(std::popcount(inv)) *
+                    observed.total());
+            merged.merge(correctInversion(observed, inv));
+        }
     }
     return merged;
 }

@@ -1,12 +1,14 @@
 #include "noise/trajectory.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "noise/channels.hh"
 #include "noise/compaction.hh"
 #include "qsim/bitstring.hh"
+#include "telemetry/telemetry.hh"
 
 namespace qem
 {
@@ -21,14 +23,14 @@ TrajectorySimulator::TrajectorySimulator(NoiseModel model,
                                     "must be nonzero");
 }
 
-void
+bool
 TrajectorySimulator::applyGateError(StateVector& state, Qubit q,
                                     double prob, Rng& rng) const
 {
     if (!options_.enableGateErrors || prob <= 0.0)
-        return;
+        return false;
     if (!rng.bernoulli(prob))
-        return;
+        return false;
     // Uniformly random Pauli error (depolarizing, trajectory form).
     switch (rng.index(3)) {
       case 0:
@@ -41,17 +43,18 @@ TrajectorySimulator::applyGateError(StateVector& state, Qubit q,
         state.applyZ(q);
         break;
     }
+    return true;
 }
 
-void
+bool
 TrajectorySimulator::applyTwoQubitGateError(
     StateVector& state, const std::vector<Qubit>& qubits,
     double prob, Rng& rng) const
 {
     if (!options_.enableGateErrors || prob <= 0.0)
-        return;
+        return false;
     if (!rng.bernoulli(prob))
-        return;
+        return false;
     // Two-qubit depolarizing: one of the 15 non-identity Pauli
     // pairs, uniformly. (Charged once per gate, not per operand.)
     unsigned pauli_a = 0, pauli_b = 0;
@@ -76,6 +79,7 @@ TrajectorySimulator::applyTwoQubitGateError(
     };
     apply(qubits[0], pauli_a);
     apply(qubits[1], pauli_b);
+    return true;
 }
 
 void
@@ -158,11 +162,22 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
     const std::size_t batch =
         deterministic ? shots : options_.shotsPerTrajectory;
 
+    // Telemetry events accumulate in plain locals (this overload
+    // must stay pure and concurrency-safe) and flush to the global
+    // registry once at the end, only when telemetry is on.
+    const bool tele = telemetry::enabled();
+    std::uint64_t gatesApplied = 0;
+    std::uint64_t gateErrors = 0;
+    std::uint64_t decayEvents = 0;
+    std::uint64_t trajectories = 0;
+    std::uint64_t readoutFlips = 0;
+
     Counts counts(circuit.numClbits());
     std::size_t remaining = shots;
     while (remaining > 0) {
         const std::size_t take = std::min(batch, remaining);
         remaining -= take;
+        ++trajectories;
 
         StateVector state(compiled.compactQubits);
         for (const CompactOp& cop : compiled.ops) {
@@ -174,6 +189,7 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
               case GateKind::DELAY:
                 applyDecay(state, op.qubits[0], cop.phys[0],
                            op.params[0], rng);
+                ++decayEvents;
                 continue;
               case GateKind::RESET:
                 throw std::logic_error("TrajectorySimulator: RESET "
@@ -182,24 +198,26 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
                 break;
             }
             state.applyOperation(op);
+            ++gatesApplied;
             GateNoise noise;
             if (cop.phys.size() == 1) {
                 noise = model_.gate1q(cop.phys[0]);
-                applyGateError(state, op.qubits[0],
-                               noise.errorProb, rng);
+                gateErrors += applyGateError(
+                    state, op.qubits[0], noise.errorProb, rng);
             } else {
                 if (cop.phys.size() == 2 &&
                     model_.hasGate2q(cop.phys[0], cop.phys[1])) {
                     noise = model_.gate2q(cop.phys[0],
                                           cop.phys[1]);
                 }
-                applyTwoQubitGateError(state, op.qubits,
-                                       noise.errorProb, rng);
+                gateErrors += applyTwoQubitGateError(
+                    state, op.qubits, noise.errorProb, rng);
             }
             applyCoherentError(state, op.qubits, noise);
             for (std::size_t i = 0; i < cop.phys.size(); ++i) {
                 applyDecay(state, op.qubits[i], cop.phys[i],
                            noise.durationNs, rng);
+                ++decayEvents;
             }
         }
 
@@ -210,8 +228,22 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
             if (readout)
                 observed = readout->sampleReadout(truth, measured,
                                                   rng);
+            if (tele && observed != truth)
+                readoutFlips += static_cast<std::uint64_t>(
+                    std::popcount(truth ^ observed));
             counts.add(circuit.classicalOutcome(observed));
         }
+    }
+    if (tele) {
+        telemetry::MetricsRegistry& m = telemetry::metrics();
+        m.counter("trajectory.gates_applied").add(gatesApplied);
+        m.counter("trajectory.gate_errors_injected")
+            .add(gateErrors);
+        m.counter("trajectory.decay_events").add(decayEvents);
+        m.counter("trajectory.trajectories").add(trajectories);
+        m.counter("trajectory.shots").add(shots);
+        m.counter("trajectory.readout_bitflips")
+            .add(readoutFlips);
     }
     return counts;
 }

@@ -74,16 +74,17 @@ class TrajectorySimulator : public ShardedBackend
     const NoiseModel& model() const { return model_; }
 
   private:
-    /** Depolarizing error after a single-qubit gate. */
-    void applyGateError(StateVector& state, Qubit q, double prob,
+    /** Depolarizing error after a single-qubit gate; true when an
+     *  error Pauli was injected (telemetry event counting). */
+    bool applyGateError(StateVector& state, Qubit q, double prob,
                         Rng& rng) const;
 
     /**
      * Two-qubit depolarizing error after a two-qubit gate: with
      * probability @p prob one uniformly-random non-identity Pauli
-     * pair hits the operands.
+     * pair hits the operands. True when an error was injected.
      */
-    void applyTwoQubitGateError(StateVector& state,
+    bool applyTwoQubitGateError(StateVector& state,
                                 const std::vector<Qubit>& qubits,
                                 double prob, Rng& rng) const;
 

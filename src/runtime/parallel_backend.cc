@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/telemetry.hh"
+
 namespace qem
 {
 
@@ -19,6 +21,37 @@ resolveThreads(unsigned requested)
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
+
+/**
+ * Per-worker batch-latency histograms plus the shared queue-wait
+ * histogram, resolved once per run() so workers touch only
+ * lock-free handles. Null handles (telemetry disabled) skip all
+ * clock reads on the batch path.
+ */
+struct RunTelemetry
+{
+    std::vector<telemetry::Histogram*> workerBatchSeconds;
+    telemetry::Histogram* queueWaitSeconds = nullptr;
+
+    static RunTelemetry resolve(std::size_t workers)
+    {
+        RunTelemetry t;
+        if (!telemetry::enabled()) {
+            t.workerBatchSeconds.assign(workers, nullptr);
+            return t;
+        }
+        telemetry::MetricsRegistry& m = telemetry::metrics();
+        t.workerBatchSeconds.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            t.workerBatchSeconds.push_back(&m.histogram(
+                "runtime.worker" + std::to_string(w) +
+                ".batch_seconds"));
+        }
+        t.queueWaitSeconds =
+            &m.histogram("runtime.queue_wait_seconds");
+        return t;
+    }
+};
 
 } // namespace
 
@@ -42,6 +75,10 @@ Counts
 ParallelBackend::run(const Circuit& circuit, std::size_t shots)
 {
     const auto start = std::chrono::steady_clock::now();
+    telemetry::SpanTracer::Scope runSpan =
+        telemetry::span("runtime.run");
+    const RunTelemetry tele =
+        RunTelemetry::resolve(workers_.size());
 
     const ShotPlan plan(shots, options_.batchSize);
     // One job stream per call: repeated runs see fresh substreams
@@ -54,18 +91,44 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
 
     if (!pool_) {
         for (const ShotBatch& batch : plan.batches()) {
+            const auto batchStart =
+                tele.workerBatchSeconds[0]
+                    ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{};
             Rng rng = ShotPlan::substream(job, batch.index);
             partial[batch.index] =
                 workers_[0]->run(circuit, batch.shots, rng);
             workerShots[0] += batch.shots;
+            if (tele.workerBatchSeconds[0]) {
+                tele.workerBatchSeconds[0]->record(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        batchStart)
+                        .count());
+            }
         }
     } else {
         std::vector<std::future<void>> futures;
         futures.reserve(plan.numBatches());
         for (const ShotBatch& batch : plan.batches()) {
+            const auto enqueued =
+                tele.queueWaitSeconds
+                    ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{};
             futures.push_back(pool_->submit(
                 [this, &circuit, &job, &partial, &workerShots,
-                 batch] {
+                 &tele, enqueued, batch] {
+                    const auto picked =
+                        tele.queueWaitSeconds
+                            ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::
+                                  time_point{};
+                    if (tele.queueWaitSeconds) {
+                        tele.queueWaitSeconds->record(
+                            std::chrono::duration<double>(
+                                picked - enqueued)
+                                .count());
+                    }
                     const int w = ThreadPool::workerIndex();
                     Rng rng =
                         ShotPlan::substream(job, batch.index);
@@ -74,6 +137,16 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                             circuit, batch.shots, rng);
                     workerShots[static_cast<std::size_t>(w)] +=
                         batch.shots;
+                    telemetry::Histogram* h =
+                        tele.workerBatchSeconds
+                            [static_cast<std::size_t>(w)];
+                    if (h) {
+                        h->record(std::chrono::duration<double>(
+                                      std::chrono::steady_clock::
+                                          now() -
+                                      picked)
+                                      .count());
+                    }
                 }));
         }
         // Wait for every batch before touching the stack frame the
@@ -99,6 +172,17 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
     stats_.shotsPerSecond =
         seconds > 0.0 ? static_cast<double>(shots) / seconds : 0.0;
     stats_.perWorkerShots = std::move(workerShots);
+    if (telemetry::enabled()) {
+        // Fold RuntimeStats into the registry so sinks see the
+        // runtime's throughput next to every other metric.
+        telemetry::MetricsRegistry& m = telemetry::metrics();
+        m.counter("runtime.shots").add(shots);
+        m.counter("runtime.batches").add(plan.numBatches());
+        m.counter("runtime.jobs").add(1);
+        m.gauge("runtime.threads")
+            .set(static_cast<double>(numThreads()));
+        m.histogram("runtime.run_seconds").record(seconds);
+    }
     return merged;
 }
 

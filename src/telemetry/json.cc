@@ -1,0 +1,540 @@
+#include "telemetry/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace qem::telemetry
+{
+
+namespace
+{
+
+[[noreturn]] void
+kindError(const char* wanted)
+{
+    throw std::runtime_error(std::string("JsonValue: not a ") +
+                             wanted);
+}
+
+void
+escapeInto(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberInto(std::string& out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; histograms clamp to null.
+        out += "null";
+        return;
+    }
+    // Integers (the common case: counters, bucket counts) print
+    // without an exponent or trailing zeros.
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+} // namespace
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.value_ = std::map<std::string, JsonValue>{};
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.value_ = std::vector<JsonValue>{};
+    return v;
+}
+
+JsonValue::Kind
+JsonValue::kind() const
+{
+    switch (value_.index()) {
+      case 0:
+        return Kind::Null;
+      case 1:
+        return Kind::Bool;
+      case 2:
+        return Kind::Number;
+      case 3:
+        return Kind::String;
+      case 4:
+        return Kind::Array;
+      default:
+        return Kind::Object;
+    }
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (const bool* b = std::get_if<bool>(&value_))
+        return *b;
+    kindError("bool");
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (const double* d = std::get_if<double>(&value_))
+        return *d;
+    kindError("number");
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    const double d = asDouble();
+    if (d < 0.0)
+        throw std::runtime_error("JsonValue: negative, not a uint");
+    return static_cast<std::uint64_t>(d + 0.5);
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (const std::string* s = std::get_if<std::string>(&value_))
+        return *s;
+    kindError("string");
+}
+
+JsonValue&
+JsonValue::operator[](const std::string& key)
+{
+    if (isNull())
+        value_ = std::map<std::string, JsonValue>{};
+    auto* obj = std::get_if<std::map<std::string, JsonValue>>(
+        &value_);
+    if (!obj)
+        kindError("object");
+    return (*obj)[key];
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    const auto* obj =
+        std::get_if<std::map<std::string, JsonValue>>(&value_);
+    if (!obj)
+        return nullptr;
+    const auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+}
+
+const std::map<std::string, JsonValue>&
+JsonValue::members() const
+{
+    const auto* obj =
+        std::get_if<std::map<std::string, JsonValue>>(&value_);
+    if (!obj)
+        kindError("object");
+    return *obj;
+}
+
+void
+JsonValue::push(JsonValue element)
+{
+    if (isNull())
+        value_ = std::vector<JsonValue>{};
+    auto* arr = std::get_if<std::vector<JsonValue>>(&value_);
+    if (!arr)
+        kindError("array");
+    arr->push_back(std::move(element));
+}
+
+const std::vector<JsonValue>&
+JsonValue::items() const
+{
+    const auto* arr = std::get_if<std::vector<JsonValue>>(&value_);
+    if (!arr)
+        kindError("array");
+    return *arr;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (const auto* arr =
+            std::get_if<std::vector<JsonValue>>(&value_))
+        return arr->size();
+    if (const auto* obj =
+            std::get_if<std::map<std::string, JsonValue>>(&value_))
+        return obj->size();
+    return 0;
+}
+
+namespace
+{
+
+void
+dumpInto(std::string& out, const JsonValue& v, int indent,
+         int depth)
+{
+    const auto newline = [&] {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * depth), ' ');
+    };
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        numberInto(out, v.asDouble());
+        break;
+      case JsonValue::Kind::String:
+        escapeInto(out, v.asString());
+        break;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue& e : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            ++depth;
+            newline();
+            --depth;
+            dumpInto(out, e, indent, depth + 1);
+        }
+        if (!first)
+            newline();
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, value] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            ++depth;
+            newline();
+            --depth;
+            escapeInto(out, key);
+            out += indent > 0 ? ": " : ":";
+            dumpInto(out, value, indent, depth + 1);
+        }
+        if (!first)
+            newline();
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent JSON parser over a string view + cursor. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        std::ostringstream os;
+        os << "JSON parse error at offset " << pos_ << ": " << what;
+        throw std::runtime_error(os.str());
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char* lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue(parseString());
+        if (c == 't') {
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("bad literal");
+        }
+        if (c == 'f') {
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("bad literal");
+        }
+        if (c == 'n') {
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("bad literal");
+        }
+        return parseNumber();
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |=
+                            static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |=
+                            static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The sinks only emit \u for control characters;
+                // encode the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        try {
+            std::size_t used = 0;
+            const std::string token =
+                text_.substr(start, pos_ - start);
+            const double d = std::stod(token, &used);
+            if (used != token.size())
+                fail("bad number");
+            return JsonValue(d);
+        } catch (const std::exception&) {
+            fail("bad number");
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpInto(out, *this, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string& text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace qem::telemetry

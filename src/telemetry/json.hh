@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON document model for the telemetry sinks.
+ *
+ * JsonValue covers exactly what the exporters need: the six JSON
+ * kinds, deterministic (sorted-key) object serialization so
+ * manifests diff cleanly across runs, and a strict recursive-descent
+ * parser so tests can round-trip what the sinks wrote. Numbers are
+ * stored as double; counters up to 2^53 round-trip exactly, which
+ * comfortably covers any shot budget this repo can execute.
+ */
+
+#ifndef QEM_TELEMETRY_JSON_HH
+#define QEM_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qem::telemetry
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Null by default. */
+    JsonValue() = default;
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(int i) : value_(static_cast<double>(i)) {}
+    JsonValue(unsigned u) : value_(static_cast<double>(u)) {}
+    JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+    JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(const char* s) : value_(std::string(s)) {}
+
+    /** Empty-container factories (a default JsonValue is null). */
+    static JsonValue object();
+    static JsonValue array();
+
+    Kind kind() const;
+    bool isNull() const { return kind() == Kind::Null; }
+    bool isBool() const { return kind() == Kind::Bool; }
+    bool isNumber() const { return kind() == Kind::Number; }
+    bool isString() const { return kind() == Kind::String; }
+    bool isArray() const { return kind() == Kind::Array; }
+    bool isObject() const { return kind() == Kind::Object; }
+
+    /** Typed accessors; throw std::runtime_error on kind mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asUint() const;
+    const std::string& asString() const;
+
+    /**
+     * Object member access. operator[] converts a null value to an
+     * object and inserts; find() returns nullptr when absent.
+     */
+    JsonValue& operator[](const std::string& key);
+    const JsonValue* find(const std::string& key) const;
+    const std::map<std::string, JsonValue>& members() const;
+
+    /** Array access. push() converts a null value to an array. */
+    void push(JsonValue element);
+    const std::vector<JsonValue>& items() const;
+
+    /** Elements (array) or members (object); 0 otherwise. */
+    std::size_t size() const;
+
+    /**
+     * Serialize. @p indent 0 gives a compact single line; positive
+     * values pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Strict parse; throws std::runtime_error with position info. */
+    static JsonValue parse(const std::string& text);
+
+    bool operator==(const JsonValue& other) const
+    {
+        return value_ == other.value_;
+    }
+
+  private:
+    using Storage =
+        std::variant<std::nullptr_t, bool, double, std::string,
+                     std::vector<JsonValue>,
+                     std::map<std::string, JsonValue>>;
+
+    Storage value_ = nullptr;
+};
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_JSON_HH

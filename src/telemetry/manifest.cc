@@ -1,0 +1,41 @@
+#include "telemetry/manifest.hh"
+
+#include <fstream>
+
+namespace qem::telemetry
+{
+
+JsonValue
+buildManifest(const RunInfo& run, const MetricsSnapshot& metrics,
+              const SpanSnapshot& spans)
+{
+    JsonValue manifest = JsonValue::object();
+    manifest["schema"] = JsonValue(kManifestSchema);
+
+    JsonValue runInfo = JsonValue::object();
+    runInfo["label"] = JsonValue(run.label);
+    runInfo["machine"] = JsonValue(run.machine);
+    runInfo["seed"] = JsonValue(run.seed);
+    runInfo["num_threads"] = JsonValue(run.numThreads);
+    runInfo["batch_size"] =
+        JsonValue(static_cast<std::uint64_t>(run.batchSize));
+    runInfo["shots_requested"] =
+        JsonValue(static_cast<std::uint64_t>(run.shotsRequested));
+    manifest["run"] = std::move(runInfo);
+
+    manifest["spans"] = toJson(spans);
+    manifest["metrics"] = toJson(metrics);
+    return manifest;
+}
+
+bool
+writeManifest(const std::string& path, const JsonValue& manifest)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << manifest.dump(2);
+    return static_cast<bool>(out);
+}
+
+} // namespace qem::telemetry

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable per-run manifest.
+ *
+ * The manifest is the durable artifact of one instrumented run:
+ * what ran (seed, machine, policy set, shot split, thread count),
+ * how long each pipeline stage took (the span tree), and every
+ * merged metric (counters, gauges, histograms). MachineSession
+ * writes one automatically when `INVERTQ_TELEMETRY=<path>` is set;
+ * tests and tools parse it back with JsonValue::parse.
+ *
+ * Schema (`invertq.telemetry.manifest/v1`):
+ *
+ *   {
+ *     "schema":  "invertq.telemetry.manifest/v1",
+ *     "run":     { "label", "machine", "seed", "num_threads",
+ *                  "batch_size", "shots_requested" },
+ *     "spans":   { "name", "start_seconds", "duration_seconds",
+ *                  "children": [...] },
+ *     "metrics": { "counters":   { name: value, ... },
+ *                  "gauges":     { name: value, ... },
+ *                  "histograms": { name: { "count", "sum", "min",
+ *                                  "max", "buckets": [{"le",
+ *                                  "count"}, ...] } } }
+ *   }
+ */
+
+#ifndef QEM_TELEMETRY_MANIFEST_HH
+#define QEM_TELEMETRY_MANIFEST_HH
+
+#include <string>
+
+#include "telemetry/json.hh"
+#include "telemetry/sink.hh"
+
+namespace qem::telemetry
+{
+
+/** Current manifest schema identifier. */
+inline constexpr const char* kManifestSchema =
+    "invertq.telemetry.manifest/v1";
+
+/** Assemble the manifest document for one run. */
+JsonValue buildManifest(const RunInfo& run,
+                        const MetricsSnapshot& metrics,
+                        const SpanSnapshot& spans);
+
+/**
+ * Write @p manifest to @p path (pretty-printed, trailing newline).
+ * Returns false on I/O failure instead of throwing: telemetry must
+ * never take down the run it observes.
+ */
+bool writeManifest(const std::string& path,
+                   const JsonValue& manifest);
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_MANIFEST_HH

@@ -1,0 +1,169 @@
+#include "telemetry/sink.hh"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/manifest.hh"
+
+namespace qem::telemetry
+{
+
+namespace
+{
+
+std::string
+seconds(double s)
+{
+    std::ostringstream os;
+    if (s < 1e-3)
+        os << s * 1e6 << "us";
+    else if (s < 1.0)
+        os << s * 1e3 << "ms";
+    else
+        os << s << "s";
+    return os.str();
+}
+
+void
+renderSpan(std::ostream& out, const SpanSnapshot& span, int depth)
+{
+    out << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+        << span.name << "  " << seconds(span.durationSeconds)
+        << (span.closed ? "" : " (open)") << "\n";
+    for (const SpanSnapshot& child : span.children)
+        renderSpan(out, child, depth + 1);
+}
+
+} // namespace
+
+std::string
+renderReport(const RunInfo& run, const MetricsSnapshot& metrics,
+             const SpanSnapshot& spans)
+{
+    std::ostringstream out;
+    out << "== telemetry report";
+    if (!run.label.empty())
+        out << ": " << run.label;
+    out << " ==\n";
+    if (!run.machine.empty()) {
+        out << "machine=" << run.machine << " seed=" << run.seed
+            << " threads=" << run.numThreads
+            << " shots=" << run.shotsRequested << "\n";
+    }
+
+    out << "\n-- spans --\n";
+    renderSpan(out, spans, 0);
+
+    if (!metrics.counters.empty()) {
+        out << "\n-- counters --\n";
+        for (const auto& [name, value] : metrics.counters)
+            out << name << " = " << value << "\n";
+    }
+    if (!metrics.gauges.empty()) {
+        out << "\n-- gauges --\n";
+        for (const auto& [name, value] : metrics.gauges)
+            out << name << " = " << value << "\n";
+    }
+    if (!metrics.histograms.empty()) {
+        out << "\n-- histograms --\n";
+        for (const auto& [name, h] : metrics.histograms) {
+            out << name << ": n=" << h.count;
+            if (h.count > 0) {
+                out << " sum=" << seconds(h.sum)
+                    << " min=" << seconds(h.min)
+                    << " max=" << seconds(h.max) << " mean="
+                    << seconds(h.sum /
+                               static_cast<double>(h.count));
+            }
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+ReportSink::emit(const RunInfo& run, const MetricsSnapshot& metrics,
+                 const SpanSnapshot& spans)
+{
+    out_ << renderReport(run, metrics, spans);
+}
+
+void
+JsonExportSink::emit(const RunInfo& run,
+                     const MetricsSnapshot& metrics,
+                     const SpanSnapshot& spans)
+{
+    out_ << buildManifest(run, metrics, spans).dump(indent_);
+}
+
+void
+ManifestFileSink::emit(const RunInfo& run,
+                       const MetricsSnapshot& metrics,
+                       const SpanSnapshot& spans)
+{
+    writeManifest(path_, buildManifest(run, metrics, spans));
+}
+
+JsonValue
+toJson(const MetricsSnapshot& metrics)
+{
+    JsonValue out = JsonValue::object();
+
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : metrics.counters)
+        counters[name] = JsonValue(value);
+    out["counters"] = std::move(counters);
+
+    JsonValue gauges = JsonValue::object();
+    for (const auto& [name, value] : metrics.gauges)
+        gauges[name] = JsonValue(value);
+    out["gauges"] = std::move(gauges);
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto& [name, h] : metrics.histograms) {
+        JsonValue hj = JsonValue::object();
+        hj["count"] = JsonValue(h.count);
+        hj["sum"] = JsonValue(h.sum);
+        if (h.count > 0) {
+            hj["min"] = JsonValue(h.min);
+            hj["max"] = JsonValue(h.max);
+        }
+        JsonValue buckets = JsonValue::array();
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            JsonValue b = JsonValue::object();
+            // The final bucket is the implicit overflow bucket.
+            if (i < h.upperBounds.size())
+                b["le"] = JsonValue(h.upperBounds[i]);
+            else
+                b["le"] = JsonValue("+inf");
+            b["count"] = JsonValue(h.buckets[i]);
+            buckets.push(std::move(b));
+        }
+        hj["buckets"] = std::move(buckets);
+        histograms[name] = std::move(hj);
+    }
+    out["histograms"] = std::move(histograms);
+    return out;
+}
+
+JsonValue
+toJson(const SpanSnapshot& span)
+{
+    JsonValue out = JsonValue::object();
+    out["name"] = JsonValue(span.name);
+    out["start_seconds"] = JsonValue(span.startSeconds);
+    out["duration_seconds"] = JsonValue(span.durationSeconds);
+    if (!span.closed)
+        out["open"] = JsonValue(true);
+    if (!span.children.empty()) {
+        JsonValue children = JsonValue::array();
+        for (const SpanSnapshot& child : span.children)
+            children.push(toJson(child));
+        out["children"] = std::move(children);
+    }
+    return out;
+}
+
+} // namespace qem::telemetry

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Pluggable telemetry sinks.
+ *
+ * A sink consumes one run's worth of telemetry — run metadata, a
+ * metrics snapshot, and the span tree — and renders it somewhere:
+ * a human-readable report (ReportSink), a JSON stream
+ * (JsonExportSink), a manifest file on disk (ManifestFileSink), or
+ * nowhere at all (NoopSink, the zero-overhead default when
+ * telemetry is disabled). The free functions underneath the sinks
+ * (renderReport, toJson) are usable directly; the bench JSON
+ * emitters build on them.
+ */
+
+#ifndef QEM_TELEMETRY_SINK_HH
+#define QEM_TELEMETRY_SINK_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
+
+namespace qem::telemetry
+{
+
+/** Metadata describing the run a telemetry payload belongs to. */
+struct RunInfo
+{
+    /** What produced the payload, e.g. "comparePolicies:bv-4". */
+    std::string label;
+    /** Machine display name ("ibmqx4", ...). */
+    std::string machine;
+    std::uint64_t seed = 0;
+    /** Worker threads (0 = the serial legacy backend). */
+    unsigned numThreads = 0;
+    std::size_t batchSize = 0;
+    /** Trial budget per policy the caller requested. */
+    std::size_t shotsRequested = 0;
+};
+
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    virtual void emit(const RunInfo& run,
+                      const MetricsSnapshot& metrics,
+                      const SpanSnapshot& spans) = 0;
+};
+
+/** Discards everything; emit() is a no-op. */
+class NoopSink : public TelemetrySink
+{
+  public:
+    void emit(const RunInfo&, const MetricsSnapshot&,
+              const SpanSnapshot&) override
+    {
+    }
+};
+
+/** Aligned plain-text report for terminals. */
+class ReportSink : public TelemetrySink
+{
+  public:
+    explicit ReportSink(std::ostream& out) : out_(out) {}
+
+    void emit(const RunInfo& run, const MetricsSnapshot& metrics,
+              const SpanSnapshot& spans) override;
+
+  private:
+    std::ostream& out_;
+};
+
+/** Streams the manifest JSON document. */
+class JsonExportSink : public TelemetrySink
+{
+  public:
+    explicit JsonExportSink(std::ostream& out, int indent = 2)
+        : out_(out), indent_(indent)
+    {
+    }
+
+    void emit(const RunInfo& run, const MetricsSnapshot& metrics,
+              const SpanSnapshot& spans) override;
+
+  private:
+    std::ostream& out_;
+    int indent_;
+};
+
+/** Writes the manifest JSON document to @p path on every emit. */
+class ManifestFileSink : public TelemetrySink
+{
+  public:
+    explicit ManifestFileSink(std::string path)
+        : path_(std::move(path))
+    {
+    }
+
+    void emit(const RunInfo& run, const MetricsSnapshot& metrics,
+              const SpanSnapshot& spans) override;
+
+  private:
+    std::string path_;
+};
+
+/** @name Rendering primitives the sinks are built from. */
+/// @{
+std::string renderReport(const RunInfo& run,
+                         const MetricsSnapshot& metrics,
+                         const SpanSnapshot& spans);
+
+JsonValue toJson(const MetricsSnapshot& metrics);
+JsonValue toJson(const SpanSnapshot& span);
+/// @}
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_SINK_HH

@@ -1,0 +1,159 @@
+#include "telemetry/span.hh"
+
+#include <algorithm>
+
+namespace qem::telemetry
+{
+
+const SpanSnapshot*
+SpanSnapshot::find(const std::string& target) const
+{
+    if (name == target)
+        return this;
+    for (const SpanSnapshot& child : children) {
+        if (const SpanSnapshot* hit = child.find(target))
+            return hit;
+    }
+    return nullptr;
+}
+
+struct SpanTracer::Node
+{
+    std::string name;
+    double startSeconds = 0.0;
+    double durationSeconds = 0.0;
+    bool closed = false;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+};
+
+SpanTracer::SpanTracer()
+    : root_(std::make_unique<Node>()),
+      epoch_(std::chrono::steady_clock::now())
+{
+    root_->name = "session";
+    root_->closed = false;
+}
+
+SpanTracer::~SpanTracer() = default;
+
+SpanTracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_), node_(other.node_),
+      generation_(other.generation_)
+{
+    other.tracer_ = nullptr;
+    other.node_ = nullptr;
+}
+
+SpanTracer::Scope&
+SpanTracer::Scope::operator=(Scope&& other) noexcept
+{
+    if (this != &other) {
+        if (tracer_)
+            tracer_->close(node_, generation_);
+        tracer_ = other.tracer_;
+        node_ = other.node_;
+        generation_ = other.generation_;
+        other.tracer_ = nullptr;
+        other.node_ = nullptr;
+    }
+    return *this;
+}
+
+SpanTracer::Scope::~Scope()
+{
+    if (tracer_)
+        tracer_->close(node_, generation_);
+}
+
+SpanTracer::Scope
+SpanTracer::scoped(std::string name)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Node*>& stack =
+        stacks_[std::this_thread::get_id()];
+    Node* parent = stack.empty() ? root_.get() : stack.back();
+    auto node = std::make_unique<Node>();
+    node->name = std::move(name);
+    node->startSeconds =
+        std::chrono::duration<double>(now - epoch_).count();
+    node->parent = parent;
+    Node* raw = node.get();
+    parent->children.push_back(std::move(node));
+    stack.push_back(raw);
+    return Scope(this, raw, generation_);
+}
+
+void
+SpanTracer::close(void* opaque, std::uint64_t generation)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (generation != generation_)
+        return; // The tracer was reset; the node is gone.
+    Node* node = static_cast<Node*>(opaque);
+    node->durationSeconds =
+        std::chrono::duration<double>(now - epoch_).count() -
+        node->startSeconds;
+    node->closed = true;
+    // Unwind this thread's open-span stack. Out-of-order closes
+    // (e.g. a moved Scope outliving its parent) close everything
+    // above the node as well, keeping the stack consistent.
+    std::vector<Node*>& stack =
+        stacks_[std::this_thread::get_id()];
+    const auto it = std::find(stack.begin(), stack.end(), node);
+    if (it != stack.end())
+        stack.erase(it, stack.end());
+}
+
+SpanSnapshot
+SpanTracer::snapshot() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double nowSeconds =
+        std::chrono::duration<double>(now - epoch_).count();
+
+    SpanSnapshot out;
+    // Iterative copy to avoid exposing Node to helpers.
+    struct Item
+    {
+        const Node* node;
+        SpanSnapshot* dest;
+    };
+    std::vector<Item> work;
+    work.push_back({root_.get(), &out});
+    while (!work.empty()) {
+        const Item item = work.back();
+        work.pop_back();
+        item.dest->name = item.node->name;
+        item.dest->startSeconds = item.node->startSeconds;
+        item.dest->closed = item.node->closed;
+        item.dest->durationSeconds =
+            item.node->closed
+                ? item.node->durationSeconds
+                : nowSeconds - item.node->startSeconds;
+        item.dest->children.resize(item.node->children.size());
+        for (std::size_t i = 0; i < item.node->children.size();
+             ++i) {
+            work.push_back({item.node->children[i].get(),
+                            &item.dest->children[i]});
+        }
+    }
+    return out;
+}
+
+void
+SpanTracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_ = std::make_unique<Node>();
+    root_->name = "session";
+    root_->closed = false;
+    stacks_.clear();
+    ++generation_;
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+} // namespace qem::telemetry

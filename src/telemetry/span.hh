@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RAII scoped-span tracer producing a hierarchical timing tree.
+ *
+ * A Scope opened while another Scope from the same thread is live
+ * becomes its child, so instrumented call stacks (session ->
+ * transpile -> policy -> shot batches -> post-correct -> merge)
+ * appear as nested nodes. Each thread keeps its own open-span
+ * stack; spans opened on a thread with no live parent attach to the
+ * tracer's root, which is how pool workers' spans land next to the
+ * main thread's pipeline. Spans are coarse-grained (stages, not
+ * shots), so open/close take the tracer mutex; a default-constructed
+ * (inert) Scope costs nothing, which is the disabled path.
+ */
+
+#ifndef QEM_TELEMETRY_SPAN_HH
+#define QEM_TELEMETRY_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qem::telemetry
+{
+
+/** Value-type copy of one span subtree (what sinks consume). */
+struct SpanSnapshot
+{
+    std::string name;
+    /** Seconds since the tracer epoch (construction or reset). */
+    double startSeconds = 0.0;
+    /** Wall seconds; for still-open spans, elapsed so far. */
+    double durationSeconds = 0.0;
+    bool closed = true;
+    std::vector<SpanSnapshot> children;
+
+    /** Depth-first lookup by name; nullptr when absent. */
+    const SpanSnapshot* find(const std::string& target) const;
+};
+
+class SpanTracer
+{
+  public:
+    SpanTracer();
+    ~SpanTracer(); // Out-of-line: Node is incomplete here.
+
+    /**
+     * RAII handle for one span. Move-only; the destructor closes
+     * the span. A default-constructed Scope is inert.
+     */
+    class Scope
+    {
+      public:
+        Scope() = default;
+        Scope(Scope&& other) noexcept;
+        Scope& operator=(Scope&& other) noexcept;
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+        ~Scope();
+
+      private:
+        friend class SpanTracer;
+        Scope(SpanTracer* tracer, void* node,
+              std::uint64_t generation)
+            : tracer_(tracer), node_(node),
+              generation_(generation)
+        {
+        }
+
+        SpanTracer* tracer_ = nullptr;
+        void* node_ = nullptr;
+        std::uint64_t generation_ = 0;
+    };
+
+    /** Open a span named @p name under the calling thread's
+     *  innermost live span (or the root). */
+    Scope scoped(std::string name);
+
+    /** Copy of the whole tree. The root node is named "session". */
+    SpanSnapshot snapshot() const;
+
+    /** Drop all recorded spans and restart the epoch. Live Scopes
+     *  from before the reset close as harmless no-ops. */
+    void reset();
+
+  private:
+    struct Node;
+
+    void close(void* node, std::uint64_t generation);
+
+    mutable std::mutex mutex_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t generation_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+    std::unordered_map<std::thread::id, std::vector<Node*>>
+        stacks_;
+};
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_SPAN_HH

@@ -1,0 +1,125 @@
+#include "telemetry/telemetry.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace qem::telemetry
+{
+
+namespace
+{
+
+/** -1 = follow the environment, 0 = forced off, 1 = forced on. */
+std::atomic<int> g_override{-1};
+
+/** Cached "is INVERTQ_TELEMETRY set" (-1 = not yet read). */
+std::atomic<int> g_envEnabled{-1};
+
+std::mutex g_pathMutex;
+std::string g_pathOverride; // Guarded by g_pathMutex.
+
+bool
+envEnabled()
+{
+    int cached = g_envEnabled.load(std::memory_order_relaxed);
+    if (cached < 0) {
+        const char* raw = std::getenv("INVERTQ_TELEMETRY");
+        cached = (raw && *raw != '\0') ? 1 : 0;
+        g_envEnabled.store(cached, std::memory_order_relaxed);
+    }
+    return cached == 1;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    const int forced = g_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced == 1;
+    return envEnabled();
+}
+
+void
+setEnabled(bool on)
+{
+    g_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string
+manifestPath()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_pathMutex);
+        if (!g_pathOverride.empty())
+            return g_pathOverride;
+    }
+    const char* raw = std::getenv("INVERTQ_TELEMETRY");
+    return raw ? std::string(raw) : std::string();
+}
+
+void
+setManifestPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(g_pathMutex);
+    g_pathOverride = std::move(path);
+}
+
+MetricsRegistry&
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+SpanTracer&
+tracer()
+{
+    static SpanTracer instance;
+    return instance;
+}
+
+SpanTracer::Scope
+span(std::string name)
+{
+    if (!enabled())
+        return {};
+    return tracer().scoped(std::move(name));
+}
+
+void
+count(const std::string& name, std::uint64_t n)
+{
+    if (!enabled())
+        return;
+    metrics().counter(name).add(n);
+}
+
+void
+gaugeSet(const std::string& name, double value)
+{
+    if (!enabled())
+        return;
+    metrics().gauge(name).set(value);
+}
+
+void
+observe(const std::string& name, double value)
+{
+    if (!enabled())
+        return;
+    metrics().histogram(name).record(value);
+}
+
+void
+resetAll()
+{
+    metrics().reset();
+    tracer().reset();
+    g_override.store(-1, std::memory_order_relaxed);
+    g_envEnabled.store(-1, std::memory_order_relaxed);
+    setManifestPath("");
+}
+
+} // namespace qem::telemetry

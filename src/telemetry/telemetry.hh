@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Process-global telemetry facade.
+ *
+ * Instrumented code calls the free functions here; they are no-ops
+ * (one relaxed atomic load) while telemetry is disabled, which is
+ * the default. Telemetry turns on when
+ *
+ *   - the environment variable `INVERTQ_TELEMETRY=<path>` is set
+ *     (and <path> also becomes the run-manifest destination), or
+ *   - setEnabled(true) is called programmatically (tests, tools).
+ *
+ * The hot-path contract: with telemetry disabled, span() returns an
+ * inert Scope and count()/observe() return immediately — no locks,
+ * no allocation, no clock reads — so instrumentation can stay in
+ * shipping code (verified by perf_microbench staying within noise
+ * of the pre-telemetry baseline).
+ */
+
+#ifndef QEM_TELEMETRY_TELEMETRY_HH
+#define QEM_TELEMETRY_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
+
+namespace qem::telemetry
+{
+
+/** Is telemetry collection on? Cheap; safe on hot paths. */
+bool enabled();
+
+/** Programmatic override of the INVERTQ_TELEMETRY default. */
+void setEnabled(bool on);
+
+/**
+ * Manifest destination: the programmatic override if set, else the
+ * INVERTQ_TELEMETRY environment value, else "".
+ */
+std::string manifestPath();
+
+/** Programmatic override; "" falls back to the environment. */
+void setManifestPath(std::string path);
+
+/** The process-global registry (always usable, even disabled). */
+MetricsRegistry& metrics();
+
+/** The process-global tracer. */
+SpanTracer& tracer();
+
+/** Scoped span on the global tracer; inert when disabled. */
+SpanTracer::Scope span(std::string name);
+
+/** Add to a global counter; no-op when disabled. */
+void count(const std::string& name, std::uint64_t n = 1);
+
+/** Set a global gauge; no-op when disabled. */
+void gaugeSet(const std::string& name, double value);
+
+/** Record into a global latency histogram; no-op when disabled. */
+void observe(const std::string& name, double value);
+
+/**
+ * Clear the global registry and tracer and drop programmatic
+ * overrides (tests). Cached Counter/Histogram references obtained
+ * from metrics() are invalidated.
+ */
+void resetAll();
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_TELEMETRY_HH

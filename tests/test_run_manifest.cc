@@ -1,0 +1,215 @@
+/**
+ * @file
+ * End-to-end telemetry acceptance tests: a comparePolicies run with
+ * telemetry enabled must produce a parseable JSON manifest with
+ * per-stage span timings, per-policy shot counters (including the
+ * AIM canary/bulk split), and per-worker batch latency histograms —
+ * and enabling telemetry must not perturb the merged histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "telemetry/manifest.hh"
+#include "telemetry/telemetry.hh"
+
+namespace qem
+{
+namespace
+{
+
+using telemetry::JsonValue;
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Each test starts clean and leaves telemetry off. */
+class RunManifestTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { telemetry::resetAll(); }
+    void TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::resetAll();
+    }
+};
+
+TEST_F(RunManifestTest, ComparePoliciesWritesParseableManifest)
+{
+    const std::string path =
+        ::testing::TempDir() + "invertq_manifest_test.json";
+    telemetry::setEnabled(true);
+    telemetry::setManifestPath(path);
+
+    constexpr std::size_t kShots = 4096;
+    MachineSession session(makeIbmqx4(), 101, {2, 128});
+    const auto suite = benchmarkSuiteQ5();
+    const NisqBenchmark& bench = suite[1];
+    const auto results = session.comparePolicies(bench, kShots);
+    ASSERT_EQ(results.size(), 3u);
+
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty()) << "manifest not written: " << path;
+    const JsonValue manifest = JsonValue::parse(text);
+
+    // Schema and run metadata.
+    ASSERT_NE(manifest.find("schema"), nullptr);
+    EXPECT_EQ(manifest.find("schema")->asString(),
+              telemetry::kManifestSchema);
+    const JsonValue* run = manifest.find("run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->find("label")->asString(),
+              "comparePolicies:" + std::string(bench.name));
+    EXPECT_EQ(run->find("machine")->asString(),
+              session.machine().name());
+    EXPECT_EQ(run->find("seed")->asUint(), 101u);
+    EXPECT_EQ(run->find("num_threads")->asUint(), 2u);
+    EXPECT_EQ(run->find("batch_size")->asUint(), 128u);
+    EXPECT_EQ(run->find("shots_requested")->asUint(), kShots);
+
+    // Per-stage span tree. Walking the JSON (rather than the live
+    // tracer) proves the timings survive the export.
+    const JsonValue* spans = manifest.find("spans");
+    ASSERT_NE(spans, nullptr);
+    const JsonValue* compare = nullptr;
+    for (const JsonValue& child :
+         spans->find("children")->items()) {
+        if (child.find("name")->asString() ==
+            "compare_policies:" + std::string(bench.name))
+            compare = &child;
+    }
+    ASSERT_NE(compare, nullptr);
+    EXPECT_GT(compare->find("duration_seconds")->asDouble(), 0.0);
+    double stage_total = 0.0;
+    std::vector<std::string> stage_names;
+    for (const JsonValue& stage :
+         compare->find("children")->items()) {
+        stage_names.push_back(stage.find("name")->asString());
+        stage_total +=
+            stage.find("duration_seconds")->asDouble();
+    }
+    for (const char* expected :
+         {"transpile", "policy:Baseline", "policy:SIM",
+          "profile_rbms", "policy:AIM"}) {
+        EXPECT_NE(std::find(stage_names.begin(),
+                            stage_names.end(), expected),
+                  stage_names.end())
+            << "missing stage span " << expected;
+    }
+    // Children are timed within the parent.
+    EXPECT_LE(stage_total,
+              compare->find("duration_seconds")->asDouble() *
+                  1.001);
+
+    // Per-policy shot counters, including the AIM split.
+    const JsonValue* counters =
+        manifest.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    for (const char* policy : {"Baseline", "SIM", "AIM"}) {
+        const JsonValue* c = counters->find(
+            "session.policy." + std::string(policy) + ".shots");
+        ASSERT_NE(c, nullptr) << policy;
+        EXPECT_EQ(c->asUint(), kShots) << policy;
+    }
+    const JsonValue* canary =
+        counters->find("policy.aim.canary_shots");
+    const JsonValue* bulk =
+        counters->find("policy.aim.bulk_shots");
+    ASSERT_NE(canary, nullptr);
+    ASSERT_NE(bulk, nullptr);
+    EXPECT_GT(canary->asUint(), 0u);
+    EXPECT_EQ(canary->asUint() + bulk->asUint(), kShots);
+    EXPECT_GT(counters->find("policy.sim.inversion_strings_applied")
+                  ->asUint(),
+              0u);
+    EXPECT_GT(counters->find("trajectory.shots")->asUint(), 0u);
+
+    // Per-worker batch latency histograms from the runtime.
+    const JsonValue* histograms =
+        manifest.find("metrics")->find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    for (const char* name : {"runtime.worker0.batch_seconds",
+                             "runtime.worker1.batch_seconds",
+                             "runtime.queue_wait_seconds"}) {
+        const JsonValue* h = histograms->find(name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_GT(h->find("count")->asUint(), 0u) << name;
+        std::uint64_t bucket_total = 0;
+        for (const JsonValue& bucket :
+             h->find("buckets")->items())
+            bucket_total += bucket.find("count")->asUint();
+        EXPECT_EQ(bucket_total, h->find("count")->asUint())
+            << name;
+    }
+}
+
+TEST_F(RunManifestTest, TelemetryDoesNotPerturbMergedHistograms)
+{
+    const auto suite = benchmarkSuiteQ5();
+    const NisqBenchmark& bench = suite[0];
+    constexpr std::size_t kShots = 1024;
+    constexpr std::uint64_t kSeed = 314;
+
+    telemetry::setEnabled(false);
+    MachineSession off(makeIbmqx4(), kSeed, {2, 64});
+    const auto plain = off.comparePolicies(bench, kShots);
+
+    telemetry::resetAll();
+    telemetry::setEnabled(true);
+    telemetry::setManifestPath(
+        ::testing::TempDir() + "invertq_determinism_test.json");
+    MachineSession on(makeIbmqx4(), kSeed, {2, 64});
+    const auto traced = on.comparePolicies(bench, kShots);
+
+    ASSERT_EQ(plain.size(), traced.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].policy, traced[i].policy);
+        EXPECT_EQ(plain[i].counts.raw(), traced[i].counts.raw())
+            << "telemetry perturbed policy " << plain[i].policy;
+    }
+}
+
+TEST_F(RunManifestTest, SerialModeReportsRunStats)
+{
+    MachineSession session(makeIbmqx4(), 7); // numThreads = 0.
+    EXPECT_EQ(session.lastRunStats(), nullptr);
+
+    BaselinePolicy baseline;
+    const auto suite = benchmarkSuiteQ5();
+    const TranspiledProgram program =
+        session.prepare(suite[0].circuit);
+    session.runPolicy(program, baseline, 2048);
+
+    const RuntimeStats* stats = session.lastRunStats();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->shots, 2048u);
+    EXPECT_EQ(stats->numThreads, 1u);
+    EXPECT_GE(stats->wallSeconds, 0.0);
+    EXPECT_GT(stats->shotsPerSecond, 0.0);
+    ASSERT_EQ(stats->perWorkerShots.size(), 1u);
+    EXPECT_EQ(stats->perWorkerShots[0], 2048u);
+}
+
+TEST_F(RunManifestTest, ManifestWriteFailureIsNonFatal)
+{
+    telemetry::setEnabled(true);
+    MachineSession session(makeIbmqx4(), 7);
+    EXPECT_FALSE(session.writeManifest(
+        "/nonexistent-dir/invertq.json", "unit", 0));
+}
+
+} // namespace
+} // namespace qem

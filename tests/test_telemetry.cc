@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: registry thread safety,
+ * histogram bucketing, span nesting/ordering, JSON round-trips,
+ * and the disabled-is-a-no-op contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/manifest.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/sink.hh"
+#include "telemetry/span.hh"
+#include "telemetry/telemetry.hh"
+
+namespace qem::telemetry
+{
+namespace
+{
+
+/** Every test starts and ends with pristine global telemetry. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetAll(); }
+    void TearDown() override
+    {
+        setEnabled(false);
+        resetAll();
+    }
+};
+
+TEST_F(TelemetryTest, CounterConcurrentAddsLoseNothing)
+{
+    MetricsRegistry registry;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            // Half the threads re-resolve the handle every
+            // iteration to also exercise concurrent registration.
+            Counter& c = registry.counter("shared");
+            for (std::uint64_t i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(registry.counter("shared").value(),
+              kThreads * kAdds);
+}
+
+TEST_F(TelemetryTest, HistogramConcurrentRecordsLoseNothing)
+{
+    MetricsRegistry registry;
+    Histogram& h =
+        registry.histogram("lat", {0.25, 0.5, 0.75, 1.0});
+    constexpr unsigned kThreads = 8;
+    constexpr int kRecords = 5000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kRecords; ++i) {
+                h.record(static_cast<double>((i + t) % 5) *
+                         0.25);
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    EXPECT_EQ(h.count(), kThreads * kRecords);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : h.bucketCounts())
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, h.count());
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 1.0);
+    EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketPlacement)
+{
+    Histogram h({1.0, 2.0, 3.0});
+    h.record(0.5); // <= 1.0
+    h.record(1.0); // <= 1.0 (inclusive upper bound)
+    h.record(1.5); // <= 2.0
+    h.record(2.5); // <= 3.0
+    h.record(99.0); // overflow
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 99.0);
+}
+
+TEST_F(TelemetryTest, HistogramRejectsBadBounds)
+{
+    EXPECT_THROW(Histogram({}), std::invalid_argument);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(TelemetryTest, RegistryHandlesAreStable)
+{
+    MetricsRegistry registry;
+    Counter& a = registry.counter("x");
+    Gauge& g = registry.gauge("g");
+    g.set(2.5);
+    for (int i = 0; i < 100; ++i)
+        registry.counter("name" + std::to_string(i));
+    EXPECT_EQ(&a, &registry.counter("x"));
+    EXPECT_EQ(registry.gauge("g").value(), 2.5);
+    // Histogram bounds are fixed by the first registration.
+    Histogram& h = registry.histogram("h", {1.0});
+    EXPECT_EQ(&h, &registry.histogram("h", {5.0, 6.0}));
+    EXPECT_EQ(h.upperBounds().size(), 1u);
+}
+
+TEST_F(TelemetryTest, SpanNestingAndOrdering)
+{
+    SpanTracer tracer;
+    {
+        SpanTracer::Scope outer = tracer.scoped("outer");
+        {
+            SpanTracer::Scope a = tracer.scoped("a");
+        }
+        {
+            SpanTracer::Scope b = tracer.scoped("b");
+            SpanTracer::Scope inner = tracer.scoped("b.inner");
+        }
+    }
+    const SpanSnapshot root = tracer.snapshot();
+    EXPECT_EQ(root.name, "session");
+    ASSERT_EQ(root.children.size(), 1u);
+    const SpanSnapshot& outer = root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_TRUE(outer.closed);
+    ASSERT_EQ(outer.children.size(), 2u);
+    EXPECT_EQ(outer.children[0].name, "a");
+    EXPECT_EQ(outer.children[1].name, "b");
+    ASSERT_EQ(outer.children[1].children.size(), 1u);
+    EXPECT_EQ(outer.children[1].children[0].name, "b.inner");
+    // Children start within the parent and take no longer.
+    EXPECT_GE(outer.children[0].startSeconds,
+              outer.startSeconds);
+    EXPECT_LE(outer.children[0].durationSeconds,
+              outer.durationSeconds);
+    EXPECT_NE(root.find("b.inner"), nullptr);
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST_F(TelemetryTest, SpanFromWorkerThreadAttachesToRoot)
+{
+    SpanTracer tracer;
+    SpanTracer::Scope main_span = tracer.scoped("main");
+    std::thread worker([&tracer] {
+        SpanTracer::Scope s = tracer.scoped("worker");
+    });
+    worker.join();
+    const SpanSnapshot root = tracer.snapshot();
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0].name, "main");
+    EXPECT_EQ(root.children[1].name, "worker");
+}
+
+TEST_F(TelemetryTest, TracerResetSurvivesLiveScopes)
+{
+    SpanTracer tracer;
+    SpanTracer::Scope stale = tracer.scoped("stale");
+    tracer.reset();
+    {
+        SpanTracer::Scope fresh = tracer.scoped("fresh");
+    }
+    stale = {}; // Closing the pre-reset scope must be harmless.
+    const SpanSnapshot root = tracer.snapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].name, "fresh");
+}
+
+TEST_F(TelemetryTest, JsonRoundTrip)
+{
+    JsonValue doc = JsonValue::object();
+    doc["string"] = JsonValue("with \"quotes\" and \n newline");
+    doc["int"] = JsonValue(std::uint64_t{123456789});
+    doc["float"] = JsonValue(0.125);
+    doc["bool"] = JsonValue(true);
+    doc["null"] = JsonValue();
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(1));
+    arr.push(JsonValue("two"));
+    JsonValue nested = JsonValue::object();
+    nested["k"] = JsonValue(false);
+    arr.push(std::move(nested));
+    doc["arr"] = std::move(arr);
+
+    for (int indent : {0, 2}) {
+        const std::string text = doc.dump(indent);
+        const JsonValue parsed = JsonValue::parse(text);
+        EXPECT_EQ(parsed, doc) << text;
+    }
+}
+
+TEST_F(TelemetryTest, JsonIntegersDumpWithoutExponent)
+{
+    JsonValue v(std::uint64_t{16384});
+    EXPECT_EQ(v.dump(), "16384");
+    EXPECT_EQ(JsonValue::parse("16384").asUint(), 16384u);
+}
+
+TEST_F(TelemetryTest, JsonParseRejectsGarbage)
+{
+    EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{\"a\":}"),
+                 std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("[1,2"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{} trailing"),
+                 std::runtime_error);
+}
+
+TEST_F(TelemetryTest, SnapshotExportsToJson)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs").add(3);
+    registry.gauge("threads").set(4.0);
+    registry.histogram("lat", {1.0, 2.0}).record(0.5);
+    const JsonValue json = toJson(registry.snapshot());
+
+    const JsonValue* counters = json.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("jobs"), nullptr);
+    EXPECT_EQ(counters->find("jobs")->asUint(), 3u);
+    const JsonValue* hist = json.find("histograms");
+    ASSERT_NE(hist, nullptr);
+    const JsonValue* lat = hist->find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asUint(), 1u);
+    // Bounds + the overflow bucket.
+    EXPECT_EQ(lat->find("buckets")->size(), 3u);
+}
+
+TEST_F(TelemetryTest, DisabledFacadeIsInert)
+{
+    setEnabled(false);
+    count("ghost.counter", 7);
+    observe("ghost.histogram", 1.0);
+    gaugeSet("ghost.gauge", 1.0);
+    {
+        SpanTracer::Scope s = span("ghost.span");
+    }
+    EXPECT_TRUE(metrics().snapshot().empty());
+    EXPECT_TRUE(tracer().snapshot().children.empty());
+}
+
+TEST_F(TelemetryTest, EnabledFacadeRecords)
+{
+    setEnabled(true);
+    count("real.counter", 7);
+    observe("real.histogram", 1.0);
+    {
+        SpanTracer::Scope s = span("real.span");
+    }
+    const MetricsSnapshot snap = metrics().snapshot();
+    EXPECT_EQ(snap.counters.at("real.counter"), 7u);
+    EXPECT_EQ(snap.histograms.at("real.histogram").count, 1u);
+    EXPECT_NE(tracer().snapshot().find("real.span"), nullptr);
+}
+
+TEST_F(TelemetryTest, ReportSinkRendersEverySection)
+{
+    RunInfo run;
+    run.label = "unit";
+    run.machine = "ibmqx4";
+    run.seed = 7;
+    run.shotsRequested = 128;
+    MetricsRegistry registry;
+    registry.counter("c").add(1);
+    registry.gauge("g").set(2.0);
+    registry.histogram("h", {1.0}).record(0.5);
+    SpanTracer tracer;
+    {
+        SpanTracer::Scope s = tracer.scoped("stage");
+    }
+    const std::string report = renderReport(
+        run, registry.snapshot(), tracer.snapshot());
+    EXPECT_NE(report.find("unit"), std::string::npos);
+    EXPECT_NE(report.find("stage"), std::string::npos);
+    EXPECT_NE(report.find("c = 1"), std::string::npos);
+    EXPECT_NE(report.find("g = 2"), std::string::npos);
+    EXPECT_NE(report.find("h: n=1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ManifestBuildsAndParses)
+{
+    RunInfo run;
+    run.label = "unit";
+    run.machine = "ibmqx4";
+    run.seed = 7;
+    run.numThreads = 2;
+    run.batchSize = 64;
+    run.shotsRequested = 128;
+    MetricsRegistry registry;
+    registry.counter("c").add(5);
+    SpanTracer tracer;
+    const JsonValue manifest = buildManifest(
+        run, registry.snapshot(), tracer.snapshot());
+    const JsonValue reparsed =
+        JsonValue::parse(manifest.dump(2));
+    EXPECT_EQ(reparsed.find("schema")->asString(),
+              kManifestSchema);
+    EXPECT_EQ(reparsed.find("run")->find("seed")->asUint(), 7u);
+    EXPECT_EQ(reparsed.find("metrics")
+                  ->find("counters")
+                  ->find("c")
+                  ->asUint(),
+              5u);
+}
+
+} // namespace
+} // namespace qem::telemetry
