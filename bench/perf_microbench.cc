@@ -135,7 +135,8 @@ BM_ParallelShotsBv5(benchmark::State& state)
     const TranspiledProgram program =
         transpiler.transpile(bernsteinVazirani(4, 0b0111));
     ParallelBackend backend(proto, 21,
-                            RuntimeOptions{threads, 128});
+                            RuntimeOptions{.numThreads = threads,
+                                           .batchSize = 128});
     constexpr std::size_t kShots = 8192;
     for (auto _ : state) {
         Counts counts = backend.run(program.circuit, kShots);
@@ -166,7 +167,8 @@ BM_ParallelShotsQaoa7(benchmark::State& state)
     const TranspiledProgram program =
         transpiler.transpile(bench.circuit);
     ParallelBackend backend(proto, 22,
-                            RuntimeOptions{threads, 128});
+                            RuntimeOptions{.numThreads = threads,
+                                           .batchSize = 128});
     constexpr std::size_t kShots = 4096;
     for (auto _ : state) {
         Counts counts = backend.run(program.circuit, kShots);

@@ -32,7 +32,8 @@ MachineSession::MachineSession(Machine machine, std::uint64_t seed,
     if (options.numThreads > 0) {
         parallel_ = std::make_unique<ParallelBackend>(
             backend_, seed,
-            RuntimeOptions{options.numThreads, options.batchSize});
+            RuntimeOptions{.numThreads = options.numThreads,
+                           .batchSize = options.batchSize});
     }
 }
 
@@ -58,6 +59,30 @@ MachineSession::recordSerialRun(std::size_t shots,
             ? static_cast<double>(shots) / wall_seconds
             : 0.0;
     serialStats_.perWorkerShots = {shots};
+    serialStats_.outcome = RunOutcome{};
+    serialStats_.outcome.requestedShots = shots;
+    serialStats_.outcome.completedShots = shots;
+    serialStats_.valid = true;
+}
+
+void
+MachineSession::reportDegradedRun(const std::string& policy_name)
+{
+    const RuntimeStats* stats = lastRunStats();
+    if (stats == nullptr || !stats->outcome.degraded())
+        return;
+    telemetry::count("session.degraded_runs");
+    if (!stats->outcome.complete()) {
+        telemetry::count("session.dropped_shots",
+                         stats->outcome.requestedShots -
+                             stats->outcome.completedShots);
+    }
+    if (telemetry::enabled()) {
+        telemetry::metrics()
+            .counter("session.policy." + policy_name +
+                     ".degraded_runs")
+            .add(1);
+    }
 }
 
 Counts
@@ -67,11 +92,17 @@ MachineSession::runPolicy(const TranspiledProgram& program,
 {
     telemetry::SpanTracer::Scope s =
         telemetry::span("policy:" + policy.name());
+    // Invalidate up front: a run that throws must not leave the
+    // previous run's stats on display.
+    serialStats_ = RuntimeStats{};
+    if (parallel_)
+        parallel_->invalidateStats();
     const auto start = std::chrono::steady_clock::now();
     Counts counts = policy.run(program.circuit, backend(), shots);
     const double seconds = secondsSince(start);
     if (!parallel_)
         recordSerialRun(shots, seconds);
+    reportDegradedRun(policy.name());
     if (telemetry::enabled()) {
         telemetry::MetricsRegistry& m = telemetry::metrics();
         m.counter("session.policy." + policy.name() + ".shots")
@@ -125,6 +156,9 @@ MachineSession::runEnsemble(const Circuit& logical,
         telemetry::span("ensemble:" + inner.name());
     telemetry::count("session.ensemble.mappings", ensembles);
     telemetry::count("session.ensemble.shots", shots);
+    serialStats_ = RuntimeStats{};
+    if (parallel_)
+        parallel_->invalidateStats();
     const auto start = std::chrono::steady_clock::now();
 
     Counts merged(logical.numClbits());
@@ -153,6 +187,7 @@ MachineSession::runEnsemble(const Circuit& logical,
 
     if (!parallel_)
         recordSerialRun(shots, secondsSince(start));
+    reportDegradedRun("ensemble:" + inner.name());
     return merged;
 }
 
@@ -172,8 +207,13 @@ MachineSession::comparePolicies(const NisqBenchmark& benchmark,
             Counts counts = runPolicy(program, policy, shots);
             const ReliabilityReport report =
                 reliability(counts, benchmark.acceptedOutputs);
-            results.push_back(
-                {policy.name(), std::move(counts), report});
+            PolicyResult result{policy.name(), std::move(counts),
+                                report, RunOutcome{}, false};
+            if (const RuntimeStats* stats = lastRunStats()) {
+                result.outcome = stats->outcome;
+                result.degraded = stats->outcome.degraded();
+            }
+            results.push_back(std::move(result));
         };
 
         BaselinePolicy baseline;

@@ -35,6 +35,15 @@ struct PolicyResult
     std::string policy;
     Counts counts;
     ReliabilityReport report;
+    /**
+     * Failure-semantics summary of the run (retries, dropped
+     * batches, salvage) when it executed on the parallel runtime;
+     * default-constructed (complete, zero retries) on the serial
+     * path.
+     */
+    RunOutcome outcome;
+    /** True when the run needed retries or lost shots. */
+    bool degraded = false;
 };
 
 /** Execution knobs for a MachineSession. */
@@ -79,14 +88,15 @@ class MachineSession
      * Throughput of the most recent run through this session, in
      * both execution modes: the parallel runtime's per-job stats
      * when numThreads > 0, or the session-measured stats of the
-     * last runPolicy/runEnsemble call on the serial path. Null only
-     * before the first run.
+     * last runPolicy/runEnsemble call on the serial path. Null
+     * before the first run — and after a run that threw, so a
+     * failed run never reports the previous run's throughput.
      */
     const RuntimeStats* lastRunStats() const
     {
-        if (parallel_)
-            return &parallel_->lastRunStats();
-        return serialStats_.shots > 0 ? &serialStats_ : nullptr;
+        const RuntimeStats& stats =
+            parallel_ ? parallel_->lastRunStats() : serialStats_;
+        return stats.valid ? &stats : nullptr;
     }
 
     /** Transpile a logical circuit for this machine. */
@@ -152,6 +162,13 @@ class MachineSession
   private:
     /** Fill serialStats_ after a serial-path run of @p shots. */
     void recordSerialRun(std::size_t shots, double wall_seconds);
+
+    /**
+     * Emit degraded-run telemetry (`session.degraded_runs`,
+     * `session.dropped_shots`, per-policy `.degraded_runs`) when
+     * the last run needed retries or lost shots.
+     */
+    void reportDegradedRun(const std::string& policy_name);
 
     Machine machine_;
     std::uint64_t seed_;

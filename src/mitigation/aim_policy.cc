@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mitigation/sim_policy.hh"
+#include "runtime/resilient_backend.hh"
 #include "telemetry/telemetry.hh"
 
 namespace qem
@@ -44,15 +45,18 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
 
     // Phase 1 -- canary trials under the four static modes, to
     // observe the output distribution with global bias averaged out.
+    // The canary budget needs one trial per static mode plus at
+    // least one tailored trial, so fewer than 5 shots cannot be
+    // clamped into a valid [4, shots - 1] split.
+    if (shots < 5) {
+        throw std::invalid_argument("AIM: need at least 5 shots "
+                                    "(4 canary modes + 1 tailored "
+                                    "trial)");
+    }
     std::size_t canary_shots = static_cast<std::size_t>(
         options_.canaryFraction * static_cast<double>(shots));
-    canary_shots = std::clamp<std::size_t>(canary_shots, 4,
-                                           shots > 4 ? shots - 1
-                                                     : 1);
-    telemetry::count("policy.aim.runs");
-    telemetry::count("policy.aim.canary_shots", canary_shots);
-    telemetry::count("policy.aim.bulk_shots",
-                     shots - canary_shots);
+    canary_shots =
+        std::clamp<std::size_t>(canary_shots, 4, shots - 1);
     telemetry::SpanTracer::Scope canarySpan =
         telemetry::span("aim.canary");
     StaticInvertAndMeasure canary_policy =
@@ -126,9 +130,19 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
     for (std::size_t i = 0; i < strings.size(); ++i) {
         if (shares[i] == 0)
             continue;
-        telemetry::count("policy.aim.inversion_strings_applied");
         const Counts observed = backend.run(
             applyInversion(circuit, strings[i]), shares[i]);
+        // A salvaged (partial) mode would skew the likelihood-
+        // weighted budget the correction assumes; refuse to merge
+        // under-budget modes rather than degrade silently.
+        if (observed.total() != shares[i]) {
+            throw BudgetExhausted(
+                "AIM: tailored mode returned " +
+                std::to_string(observed.total()) + " of " +
+                std::to_string(shares[i]) +
+                " trials; refusing to merge partial-mode data");
+        }
+        telemetry::count("policy.aim.inversion_strings_applied");
         telemetry::count(
             "policy.aim.correction_bitflips",
             static_cast<std::uint64_t>(
@@ -136,6 +150,13 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
                 observed.total());
         merged.merge(correctInversion(observed, strings[i]));
     }
+
+    // Counted on completion, from observed totals, so aborted runs
+    // never overcount shots in manifests.
+    telemetry::count("policy.aim.runs");
+    telemetry::count("policy.aim.canary_shots", canary.total());
+    telemetry::count("policy.aim.bulk_shots",
+                     merged.total() - canary.total());
     return merged;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/resilient_backend.hh"
 #include "telemetry/telemetry.hh"
 
 namespace qem
@@ -57,10 +58,6 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
 
     telemetry::SpanTracer::Scope policySpan =
         telemetry::span("sim.run");
-    telemetry::count("policy.sim.runs");
-    telemetry::count("policy.sim.shots", shots);
-    telemetry::count("policy.sim.inversion_strings_applied",
-                     strings.size());
 
     Counts merged(circuit.numClbits());
     const std::size_t per_mode = shots / strings.size();
@@ -78,6 +75,16 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
             observed =
                 backend.run(applyInversion(circuit, inv), share);
         }
+        // Each mode carries 1/k of the budget; merging a salvaged
+        // (partial) mode would bias the histogram toward the modes
+        // that completed. Refuse instead of degrading silently.
+        if (observed.total() != share) {
+            throw BudgetExhausted(
+                "SIM: mode returned " +
+                std::to_string(observed.total()) + " of " +
+                std::to_string(share) +
+                " trials; refusing to merge partial-mode data");
+        }
         {
             telemetry::SpanTracer::Scope s =
                 telemetry::span("sim.post_correct");
@@ -90,6 +97,13 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
             merged.merge(correctInversion(observed, inv));
         }
     }
+
+    // Counted on completion, from the merged log, so aborted runs
+    // never overcount shots in manifests.
+    telemetry::count("policy.sim.runs");
+    telemetry::count("policy.sim.shots", merged.total());
+    telemetry::count("policy.sim.inversion_strings_applied",
+                     strings.size());
     return merged;
 }
 

@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <future>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/fault_injection.hh"
 #include "telemetry/telemetry.hh"
 
 namespace qem
@@ -53,6 +56,13 @@ struct RunTelemetry
     }
 };
 
+/** First transient failure of a batch: who failed it, and why. */
+struct BatchFailure
+{
+    std::size_t worker = 0;
+    std::string what;
+};
+
 } // namespace
 
 ParallelBackend::ParallelBackend(const ShardedBackend& prototype,
@@ -64,9 +74,20 @@ ParallelBackend::ParallelBackend(const ShardedBackend& prototype,
         throw std::invalid_argument("ParallelBackend: batch size "
                                     "must be nonzero");
     const unsigned threads = resolveThreads(options_.numThreads);
+    const std::optional<FaultOptions> faults =
+        FaultOptions::fromEnv();
     workers_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
-        workers_.push_back(prototype.clone());
+    for (unsigned i = 0; i < threads; ++i) {
+        std::unique_ptr<ShardedBackend> worker = prototype.clone();
+        if (faults) {
+            FaultOptions perWorker = *faults;
+            perWorker.seed +=
+                0x9E3779B97F4A7C15ULL * (i + 1); // Decorrelate.
+            worker = std::make_unique<FaultInjectingBackend>(
+                std::move(worker), perWorker);
+        }
+        workers_.push_back(std::move(worker));
+    }
     if (threads > 1)
         pool_ = std::make_unique<ThreadPool>(threads);
 }
@@ -75,6 +96,9 @@ Counts
 ParallelBackend::run(const Circuit& circuit, std::size_t shots)
 {
     const auto start = std::chrono::steady_clock::now();
+    // Invalidate up front: a run that throws must never leave the
+    // previous run's throughput on display.
+    stats_ = RuntimeStats{};
     telemetry::SpanTracer::Scope runSpan =
         telemetry::span("runtime.run");
     const RunTelemetry tele =
@@ -88,6 +112,10 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
 
     std::vector<Counts> partial(plan.numBatches());
     std::vector<std::uint64_t> workerShots(workers_.size(), 0);
+    // Index-disjoint failure slots: the task for batch i writes
+    // only failures[i], like partial[i].
+    std::vector<std::optional<BatchFailure>> failures(
+        plan.numBatches());
 
     if (!pool_) {
         for (const ShotBatch& batch : plan.batches()) {
@@ -96,9 +124,13 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                     ? std::chrono::steady_clock::now()
                     : std::chrono::steady_clock::time_point{};
             Rng rng = ShotPlan::substream(job, batch.index);
-            partial[batch.index] =
-                workers_[0]->run(circuit, batch.shots, rng);
-            workerShots[0] += batch.shots;
+            try {
+                partial[batch.index] =
+                    workers_[0]->run(circuit, batch.shots, rng);
+                workerShots[0] += batch.shots;
+            } catch (const TransientError& e) {
+                failures[batch.index] = BatchFailure{0, e.what()};
+            }
             if (tele.workerBatchSeconds[0]) {
                 tele.workerBatchSeconds[0]->record(
                     std::chrono::duration<double>(
@@ -117,7 +149,7 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                     : std::chrono::steady_clock::time_point{};
             futures.push_back(pool_->submit(
                 [this, &circuit, &job, &partial, &workerShots,
-                 &tele, enqueued, batch] {
+                 &failures, &tele, enqueued, batch] {
                     const auto picked =
                         tele.queueWaitSeconds
                             ? std::chrono::steady_clock::now()
@@ -132,11 +164,16 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                     const int w = ThreadPool::workerIndex();
                     Rng rng =
                         ShotPlan::substream(job, batch.index);
-                    partial[batch.index] =
-                        workers_[static_cast<std::size_t>(w)]->run(
-                            circuit, batch.shots, rng);
-                    workerShots[static_cast<std::size_t>(w)] +=
-                        batch.shots;
+                    try {
+                        partial[batch.index] =
+                            workers_[static_cast<std::size_t>(w)]
+                                ->run(circuit, batch.shots, rng);
+                        workerShots[static_cast<std::size_t>(w)] +=
+                            batch.shots;
+                    } catch (const TransientError& e) {
+                        failures[batch.index] = BatchFailure{
+                            static_cast<std::size_t>(w), e.what()};
+                    }
                     telemetry::Histogram* h =
                         tele.workerBatchSeconds
                             [static_cast<std::size_t>(w)];
@@ -150,33 +187,122 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                 }));
         }
         // Wait for every batch before touching the stack frame the
-        // tasks reference; only then surface the first exception.
+        // tasks reference; only then surface the first non-transient
+        // exception (transient ones were captured for retry).
         for (std::future<void>& f : futures)
             f.wait();
         for (std::future<void>& f : futures)
             f.get();
     }
 
+    // Retry phase: failed batches re-run on the calling thread, in
+    // batch-index order, on a worker other than the one that failed
+    // them. Each attempt re-derives the batch's index-keyed
+    // substream, so a recovered batch contributes exactly the
+    // counts it would have produced on the first attempt — the
+    // merged histogram does not depend on which batches failed.
+    RunOutcome outcome;
+    outcome.requestedShots = shots;
+    outcome.completedShots = shots;
+    outcome.salvage = options_.salvage;
+    std::vector<char> dropped(plan.numBatches(), 0);
+    // Jitter stream: index-keyed far outside any real batch index,
+    // so it never collides with a batch substream.
+    Rng backoffRng =
+        job.splitAt(std::numeric_limits<std::uint64_t>::max());
+
+    for (std::size_t i = 0; i < plan.numBatches(); ++i) {
+        if (!failures[i])
+            continue;
+        const ShotBatch& batch = plan.batches()[i];
+        std::size_t excluded = failures[i]->worker;
+        std::string lastError = failures[i]->what;
+        for (unsigned retries = 0;; ++retries) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const bool pastDeadline =
+                options_.deadlineSeconds > 0.0 &&
+                elapsed >= options_.deadlineSeconds;
+            if (retries >= options_.maxRetries || pastDeadline) {
+                if (pastDeadline && !outcome.deadlineExceeded) {
+                    outcome.deadlineExceeded = true;
+                    telemetry::count("runtime.deadline_exceeded");
+                }
+                if (options_.salvage != SalvageMode::DropBatches) {
+                    throw BudgetExhausted(
+                        "batch " + std::to_string(i) + " lost " +
+                        (pastDeadline
+                             ? "(deadline of " +
+                                   std::to_string(
+                                       options_.deadlineSeconds) +
+                                   " s exceeded)"
+                             : "after " +
+                                   std::to_string(retries + 1) +
+                                   " attempts") +
+                        ": " + lastError);
+                }
+                dropped[i] = 1;
+                outcome.droppedBatches += 1;
+                outcome.completedShots -= batch.shots;
+                telemetry::count("runtime.dropped_batches");
+                break;
+            }
+            const double delay = options_.backoff.delaySeconds(
+                retries, backoffRng);
+            outcome.totalRetries += 1;
+            outcome.backoffSeconds += delay;
+            telemetry::count("runtime.retries");
+            telemetry::observe("runtime.backoff_seconds", delay);
+            backoffSleep(delay);
+            // Prefer a different worker than the last failure; a
+            // single-worker runtime has no choice.
+            const std::size_t w =
+                workers_.size() > 1 ? (excluded + 1) %
+                                          workers_.size()
+                                    : excluded;
+            Rng rng = ShotPlan::substream(job, batch.index);
+            try {
+                partial[i] =
+                    workers_[w]->run(circuit, batch.shots, rng);
+                workerShots[w] += batch.shots;
+                outcome.retriedBatches += 1;
+                break;
+            } catch (const TransientError& e) {
+                lastError = e.what();
+                excluded = w;
+            }
+            // FatalError / non-taxonomy exceptions propagate.
+        }
+    }
+
     Counts merged(circuit.numClbits());
-    for (const Counts& batchCounts : partial)
-        merged.merge(batchCounts);
+    for (std::size_t i = 0; i < plan.numBatches(); ++i) {
+        if (!dropped[i])
+            merged.merge(partial[i]);
+    }
 
     const double seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
-    stats_.shots = shots;
+    stats_.shots = outcome.completedShots;
     stats_.batches = plan.numBatches();
     stats_.numThreads = numThreads();
     stats_.wallSeconds = seconds;
     stats_.shotsPerSecond =
-        seconds > 0.0 ? static_cast<double>(shots) / seconds : 0.0;
+        seconds > 0.0
+            ? static_cast<double>(outcome.completedShots) / seconds
+            : 0.0;
     stats_.perWorkerShots = std::move(workerShots);
+    stats_.outcome = outcome;
+    stats_.valid = true;
     if (telemetry::enabled()) {
         // Fold RuntimeStats into the registry so sinks see the
         // runtime's throughput next to every other metric.
         telemetry::MetricsRegistry& m = telemetry::metrics();
-        m.counter("runtime.shots").add(shots);
+        m.counter("runtime.shots").add(outcome.completedShots);
         m.counter("runtime.batches").add(plan.numBatches());
         m.counter("runtime.jobs").add(1);
         m.gauge("runtime.threads")

@@ -9,6 +9,17 @@
  * on the pool, and merges the per-batch histograms in batch-index
  * order. The merged Counts is bit-identical for the same seed
  * regardless of thread count (see docs/runtime.md).
+ *
+ * Failure semantics (docs/resilience.md): a batch that throws
+ * TransientError is re-submitted — with exponential backoff, on a
+ * worker other than the one that failed it — up to
+ * RuntimeOptions::maxRetries times. A recovered batch re-derives
+ * its index-keyed RNG substream, so the merged histogram is
+ * unchanged by which batches failed. Exhausted batches either
+ * abort the run with BudgetExhausted (SalvageMode::FailFast) or
+ * are dropped and reported in RunOutcome
+ * (SalvageMode::DropBatches). Setting `INVERTQ_FAULTS` wraps every
+ * worker in a FaultInjectingBackend (see fault_injection.hh).
  */
 
 #ifndef QEM_RUNTIME_PARALLEL_BACKEND_HH
@@ -18,6 +29,7 @@
 #include <vector>
 
 #include "qsim/simulator.hh"
+#include "runtime/resilient_backend.hh"
 #include "runtime/runtime_stats.hh"
 #include "runtime/shot_plan.hh"
 #include "runtime/thread_pool.hh"
@@ -32,6 +44,22 @@ struct RuntimeOptions
     unsigned numThreads = 0;
     /** Shots per batch (the unit of parallel work). */
     std::size_t batchSize = 256;
+    /**
+     * Re-submissions allowed per batch after a TransientError
+     * before the batch counts as lost; 0 disables retrying.
+     * FatalError and non-taxonomy exceptions are never retried.
+     */
+    unsigned maxRetries = 2;
+    /** Backoff between re-submissions of a batch. */
+    BackoffPolicy backoff{};
+    /**
+     * Wall-clock budget in seconds for the whole run() including
+     * retries; 0 = unlimited. Checked before each re-submission (a
+     * running batch is never interrupted).
+     */
+    double deadlineSeconds = 0.0;
+    /** What to do with a batch whose retry budget ran out. */
+    SalvageMode salvage = SalvageMode::FailFast;
 };
 
 class ParallelBackend : public Backend
@@ -63,8 +91,24 @@ class ParallelBackend : public Backend
         return static_cast<unsigned>(workers_.size());
     }
 
-    /** Throughput of the most recent run() (zeroed before that). */
+    /**
+     * Throughput and failure accounting of the most recent run().
+     * stats().valid is false before the first run() and after a
+     * run() that threw — a failed run never reports the previous
+     * run's numbers.
+     */
     const RuntimeStats& lastRunStats() const { return stats_; }
+
+    /** Failure-semantics summary of the most recent run(). */
+    const RunOutcome& lastOutcome() const { return stats_.outcome; }
+
+    /**
+     * Mark the current stats invalid without running. Callers that
+     * wrap several run() calls into one logical operation (e.g.
+     * MachineSession::runPolicy) use this so an operation that
+     * fails before its first batch cannot show stale throughput.
+     */
+    void invalidateStats() { stats_ = RuntimeStats{}; }
 
   private:
     std::vector<std::unique_ptr<ShardedBackend>> workers_;

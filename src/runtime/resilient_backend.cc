@@ -1,0 +1,103 @@
+#include "runtime/resilient_backend.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/telemetry.hh"
+
+namespace qem
+{
+
+double
+BackoffPolicy::delaySeconds(unsigned attempt, Rng& rng) const
+{
+    if (baseSeconds <= 0.0)
+        return 0.0;
+    // Saturating 2^attempt: past ~60 doublings the cap always wins.
+    const double scale =
+        attempt >= 60 ? maxSeconds
+                      : baseSeconds *
+                            static_cast<double>(1ULL << attempt);
+    double delay = std::min(scale, maxSeconds);
+    if (jitter > 0.0)
+        delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    return std::min(delay, maxSeconds);
+}
+
+bool
+isTransient(const std::exception& e)
+{
+    return dynamic_cast<const TransientError*>(&e) != nullptr;
+}
+
+void
+backoffSleep(double seconds)
+{
+    if (seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+    }
+}
+
+ResilientBackend::ResilientBackend(Backend& inner,
+                                   std::uint64_t seed,
+                                   RetryOptions options)
+    : inner_(inner), options_(options), rng_(seed)
+{
+    if (options_.maxRetries > 0 &&
+        options_.backoff.baseSeconds < 0.0) {
+        throw std::invalid_argument("ResilientBackend: negative "
+                                    "backoff base");
+    }
+}
+
+Counts
+ResilientBackend::run(const Circuit& circuit, std::size_t shots)
+{
+    const auto start = std::chrono::steady_clock::now();
+    outcome_ = RunOutcome{};
+    outcome_.requestedShots = shots;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            Counts out = inner_.run(circuit, shots);
+            outcome_.completedShots = out.total();
+            if (attempt > 0)
+                outcome_.retriedBatches = 1;
+            return out;
+        } catch (const TransientError& e) {
+            if (attempt >= options_.maxRetries) {
+                throw BudgetExhausted(
+                    "retries exhausted after " +
+                    std::to_string(attempt + 1) +
+                    " attempts: " + e.what());
+            }
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (options_.deadlineSeconds > 0.0 &&
+                elapsed >= options_.deadlineSeconds) {
+                outcome_.deadlineExceeded = true;
+                telemetry::count("runtime.deadline_exceeded");
+                throw BudgetExhausted(
+                    "deadline of " +
+                    std::to_string(options_.deadlineSeconds) +
+                    " s exceeded after " +
+                    std::to_string(attempt + 1) +
+                    " attempts: " + e.what());
+            }
+            const double delay =
+                options_.backoff.delaySeconds(attempt, rng_);
+            outcome_.totalRetries += 1;
+            outcome_.backoffSeconds += delay;
+            telemetry::count("runtime.retries");
+            telemetry::observe("runtime.backoff_seconds", delay);
+            backoffSleep(delay);
+        }
+        // FatalError and non-taxonomy exceptions propagate.
+    }
+}
+
+} // namespace qem

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Failure semantics for the execution runtime: the error taxonomy
+ * every layer above the backend speaks, a deterministic
+ * exponential-backoff schedule, and a retrying Backend decorator.
+ *
+ * The paper's policies assume every trial batch submitted to the
+ * machine comes back; real cloud backends (the IBM queues the paper
+ * ran on) drop jobs, time out, and return partial results. This
+ * module gives callers a vocabulary to tell those cases apart:
+ *
+ *   - TransientError   "try again" — queue hiccup, lost connection,
+ *                      injected fault. The only retryable kind.
+ *   - FatalError       "never retry" — malformed circuit, a backend
+ *                      that cannot run this program at all.
+ *   - BudgetExhausted  "the runtime gave up" — retries or the
+ *                      wall-clock deadline ran out, or a policy
+ *                      refused to merge an under-budget mode.
+ *
+ * Exceptions outside the taxonomy (std::logic_error from an
+ * unsupported RESET, bad_alloc, ...) are treated as fatal and
+ * propagate unchanged, so pre-existing error contracts are intact.
+ */
+
+#ifndef QEM_RUNTIME_RESILIENT_BACKEND_HH
+#define QEM_RUNTIME_RESILIENT_BACKEND_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "qsim/rng.hh"
+#include "qsim/simulator.hh"
+#include "runtime/runtime_stats.hh"
+
+namespace qem
+{
+
+/** Base of the runtime failure taxonomy. */
+class BackendError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A failure worth retrying (dropped job, queue hiccup). */
+class TransientError : public BackendError
+{
+  public:
+    using BackendError::BackendError;
+};
+
+/** A failure retrying cannot fix (rejected program, dead device). */
+class FatalError : public BackendError
+{
+  public:
+    using BackendError::BackendError;
+};
+
+/**
+ * The retry/deadline budget ran out before the work completed, or a
+ * policy refused to merge a result that came back under budget.
+ */
+class BudgetExhausted : public BackendError
+{
+  public:
+    using BackendError::BackendError;
+};
+
+/** Exponential backoff with deterministic jitter. */
+struct BackoffPolicy
+{
+    /** Delay before the first retry. */
+    double baseSeconds = 0.005;
+    /** Upper bound on any single delay. */
+    double maxSeconds = 1.0;
+    /**
+     * Jitter fraction in [0, 1): attempt k sleeps
+     * base * 2^k * U[1 - jitter, 1 + jitter), capped at maxSeconds.
+     * Draws come from the caller's Rng, so a fixed seed replays the
+     * exact delay sequence.
+     */
+    double jitter = 0.5;
+
+    /** Delay (seconds) before retry number @p attempt (0-based). */
+    double delaySeconds(unsigned attempt, Rng& rng) const;
+};
+
+/** Retry budget for one logical submission. */
+struct RetryOptions
+{
+    /** Retries after the first failure; 0 disables retrying. */
+    unsigned maxRetries = 2;
+    /** Backoff between attempts. */
+    BackoffPolicy backoff;
+    /**
+     * Wall-clock budget in seconds for the whole submission
+     * including retries and backoff sleeps; 0 = unlimited. Checked
+     * before each retry (a running attempt is never interrupted).
+     */
+    double deadlineSeconds = 0.0;
+};
+
+/**
+ * Backend decorator that retries transient failures.
+ *
+ * run() forwards to the wrapped backend; a TransientError triggers
+ * up to RetryOptions::maxRetries re-submissions with exponential
+ * backoff, after which (or once the deadline passes) BudgetExhausted
+ * is thrown. FatalError and non-taxonomy exceptions propagate
+ * unchanged on the first occurrence. Backoff jitter draws from an
+ * Rng seeded at construction, so the delay sequence of a run is
+ * reproducible from the seed.
+ *
+ * Telemetry (when enabled): `runtime.retries`,
+ * `runtime.deadline_exceeded` counters and the
+ * `runtime.backoff_seconds` histogram.
+ */
+class ResilientBackend : public Backend
+{
+  public:
+    /**
+     * @param inner Backend to decorate (not owned; must outlive
+     *        this object).
+     * @param seed Seed of the jitter stream.
+     * @param options Retry budget and backoff shape.
+     */
+    ResilientBackend(Backend& inner, std::uint64_t seed,
+                     RetryOptions options = {});
+
+    Counts run(const Circuit& circuit, std::size_t shots) override;
+
+    unsigned numQubits() const override
+    {
+        return inner_.numQubits();
+    }
+
+    /**
+     * Outcome of the most recent run(): attempts used, backoff
+     * spent, whether the deadline fired. Valid after run() returns
+     * or throws BudgetExhausted.
+     */
+    const RunOutcome& lastOutcome() const { return outcome_; }
+
+  private:
+    Backend& inner_;
+    RetryOptions options_;
+    Rng rng_;
+    RunOutcome outcome_;
+};
+
+/** True when @p e is retryable under the taxonomy. */
+bool isTransient(const std::exception& e);
+
+/** Sleep the calling thread for @p seconds (no-op when <= 0). */
+void backoffSleep(double seconds);
+
+} // namespace qem
+
+#endif // QEM_RUNTIME_RESILIENT_BACKEND_HH

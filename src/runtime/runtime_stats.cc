@@ -6,6 +6,22 @@ namespace qem
 {
 
 std::string
+RunOutcome::toString() const
+{
+    char head[192];
+    std::snprintf(head, sizeof head,
+                  "%zu/%zu shots, %zu retried batches "
+                  "(%zu retries), %zu dropped, %.3f s backoff%s%s",
+                  completedShots, requestedShots, retriedBatches,
+                  totalRetries, droppedBatches, backoffSeconds,
+                  deadlineExceeded ? ", deadline exceeded" : "",
+                  salvage == SalvageMode::DropBatches
+                      ? ", salvage"
+                      : "");
+    return head;
+}
+
+std::string
 RuntimeStats::toString() const
 {
     char head[160];
@@ -23,6 +39,10 @@ RuntimeStats::toString() const
         out += item;
     }
     out += "]";
+    if (outcome.degraded()) {
+        out += " degraded: ";
+        out += outcome.toString();
+    }
     return out;
 }
 

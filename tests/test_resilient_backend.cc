@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the resilience layer: the error taxonomy, the
+ * deterministic backoff schedule, the retrying ResilientBackend
+ * decorator, and the configurable fault injector it is exercised
+ * with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qsim/simulator.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/resilient_backend.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Injector over an ideal 3-qubit simulator (outcome always 0). */
+FaultInjectingBackend
+flaky(FaultOptions options)
+{
+    return FaultInjectingBackend(
+        std::make_unique<IdealSimulator>(3, 42), options);
+}
+
+/** Measured 3-qubit circuit with no gates. */
+Circuit
+measuredCircuit()
+{
+    Circuit c(3);
+    c.measureAll();
+    return c;
+}
+
+/** Fast backoff so retry tests don't sleep noticeably. */
+RetryOptions
+fastRetry(unsigned max_retries)
+{
+    RetryOptions options;
+    options.maxRetries = max_retries;
+    options.backoff.baseSeconds = 1e-5;
+    options.backoff.maxSeconds = 1e-4;
+    return options;
+}
+
+TEST(ErrorTaxonomy, TypesNestUnderBackendError)
+{
+    // Policies written against std::runtime_error keep working.
+    EXPECT_THROW(throw TransientError("t"), BackendError);
+    EXPECT_THROW(throw FatalError("f"), BackendError);
+    EXPECT_THROW(throw BudgetExhausted("b"), BackendError);
+    EXPECT_THROW(throw TransientError("t"), std::runtime_error);
+
+    const TransientError transient("t");
+    const FatalError fatal("f");
+    EXPECT_TRUE(isTransient(transient));
+    EXPECT_FALSE(isTransient(fatal));
+    EXPECT_FALSE(isTransient(std::runtime_error("r")));
+}
+
+TEST(BackoffPolicy, DelaysAreDeterministicInTheSeed)
+{
+    const BackoffPolicy policy{0.01, 1.0, 0.5};
+    Rng a(7), b(7);
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        EXPECT_DOUBLE_EQ(policy.delaySeconds(attempt, a),
+                         policy.delaySeconds(attempt, b));
+    }
+}
+
+TEST(BackoffPolicy, GrowsExponentiallyAndCaps)
+{
+    const BackoffPolicy policy{0.01, 0.05, 0.0}; // No jitter.
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(policy.delaySeconds(0, rng), 0.01);
+    EXPECT_DOUBLE_EQ(policy.delaySeconds(1, rng), 0.02);
+    EXPECT_DOUBLE_EQ(policy.delaySeconds(2, rng), 0.04);
+    EXPECT_DOUBLE_EQ(policy.delaySeconds(3, rng), 0.05); // Capped.
+    EXPECT_DOUBLE_EQ(policy.delaySeconds(63, rng), 0.05);
+}
+
+TEST(BackoffPolicy, JitterStaysWithinBounds)
+{
+    const BackoffPolicy policy{0.01, 1.0, 0.5};
+    Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        const double d = policy.delaySeconds(0, rng);
+        EXPECT_GE(d, 0.005);
+        EXPECT_LT(d, 0.015);
+    }
+}
+
+TEST(ResilientBackend, RetriesTransientFailuresToSuccess)
+{
+    // Calls 0 and 1 fail, call 2 succeeds.
+    FaultOptions faults;
+    faults.failAfter = 0;
+    faults.failCount = 2;
+    FaultInjectingBackend inner = flaky(faults);
+    ResilientBackend backend(inner, 11, fastRetry(3));
+
+    const Counts counts = backend.run(measuredCircuit(), 100);
+    EXPECT_EQ(counts.total(), 100u);
+    EXPECT_EQ(counts.get(0), 100u);
+    EXPECT_EQ(inner.calls(), 3u);
+    EXPECT_EQ(backend.lastOutcome().totalRetries, 2u);
+    EXPECT_TRUE(backend.lastOutcome().complete());
+    EXPECT_TRUE(backend.lastOutcome().degraded());
+}
+
+TEST(ResilientBackend, ExhaustedRetriesThrowBudgetExhausted)
+{
+    FaultOptions faults;
+    faults.failAfter = 0; // Never heals.
+    FaultInjectingBackend inner = flaky(faults);
+    ResilientBackend backend(inner, 11, fastRetry(2));
+
+    EXPECT_THROW(backend.run(measuredCircuit(), 100),
+                 BudgetExhausted);
+    EXPECT_EQ(inner.calls(), 3u); // 1 attempt + 2 retries.
+}
+
+TEST(ResilientBackend, FatalErrorsAreNeverRetried)
+{
+    FaultOptions faults;
+    faults.failAfter = 0;
+    faults.kind = FaultKind::Fatal;
+    FaultInjectingBackend inner = flaky(faults);
+    ResilientBackend backend(inner, 11, fastRetry(5));
+
+    EXPECT_THROW(backend.run(measuredCircuit(), 100), FatalError);
+    EXPECT_EQ(inner.calls(), 1u);
+}
+
+TEST(ResilientBackend, DeadlineCutsRetryingShort)
+{
+    FaultOptions faults;
+    faults.failAfter = 0; // Never heals.
+    FaultInjectingBackend inner = flaky(faults);
+    RetryOptions options = fastRetry(1000000);
+    options.backoff.baseSeconds = 0.02;
+    options.backoff.maxSeconds = 0.02;
+    options.deadlineSeconds = 0.05;
+    ResilientBackend backend(inner, 11, options);
+
+    EXPECT_THROW(backend.run(measuredCircuit(), 100),
+                 BudgetExhausted);
+    EXPECT_TRUE(backend.lastOutcome().deadlineExceeded);
+    // Far fewer attempts than the retry budget allows.
+    EXPECT_LT(inner.calls(), 100u);
+}
+
+TEST(ResilientBackend, CleanRunsPassThroughUntouched)
+{
+    IdealSimulator inner(3, 42);
+    ResilientBackend backend(inner, 11);
+    const Counts counts = backend.run(measuredCircuit(), 64);
+    EXPECT_EQ(counts.total(), 64u);
+    EXPECT_EQ(backend.lastOutcome().totalRetries, 0u);
+    EXPECT_FALSE(backend.lastOutcome().degraded());
+    EXPECT_EQ(backend.numQubits(), 3u);
+}
+
+TEST(FaultInjector, RateFaultsAreDeterministicPerCallIndex)
+{
+    FaultOptions faults;
+    faults.failureRate = 0.5;
+    faults.seed = 9;
+    FaultInjectingBackend a = flaky(faults);
+    FaultInjectingBackend b = flaky(faults);
+    const Circuit c = measuredCircuit();
+    // The same call sequence produces the same fault pattern.
+    for (int i = 0; i < 32; ++i) {
+        bool aThrew = false, bThrew = false;
+        try {
+            (void)a.run(c, 4);
+        } catch (const TransientError&) {
+            aThrew = true;
+        }
+        try {
+            (void)b.run(c, 4);
+        } catch (const TransientError&) {
+            bThrew = true;
+        }
+        EXPECT_EQ(aThrew, bThrew) << "call " << i;
+    }
+    EXPECT_GT(a.failures(), 0u);
+    EXPECT_LT(a.failures(), 32u);
+    EXPECT_EQ(a.failures(), b.failures());
+}
+
+TEST(FaultInjector, RateFaultsDoNotPerturbTheShotStream)
+{
+    // An injector that never fires must replay the inner backend's
+    // stream draw for draw: fault decisions are hash-keyed, not
+    // drawn from the caller's Rng.
+    FaultOptions faults;
+    faults.failureRate = 0.0;
+    FaultInjectingBackend wrapped = flaky(faults);
+    IdealSimulator plain(3, 42);
+    const Circuit c = measuredCircuit();
+    Rng a(5), b(5);
+    EXPECT_EQ(wrapped.run(c, 500, a).raw(),
+              plain.run(c, 500, b).raw());
+}
+
+TEST(FaultInjector, ScheduleWindowHealsAfterCount)
+{
+    FaultOptions faults;
+    faults.failAfter = 2;
+    faults.failCount = 3;
+    FaultInjectingBackend backend = flaky(faults);
+    const Circuit c = measuredCircuit();
+    for (int call = 0; call < 8; ++call) {
+        const bool shouldFail = call >= 2 && call < 5;
+        if (shouldFail)
+            EXPECT_THROW((void)backend.run(c, 1), TransientError);
+        else
+            EXPECT_EQ(backend.run(c, 1).total(), 1u);
+    }
+    EXPECT_EQ(backend.failures(), 3u);
+}
+
+TEST(FaultInjector, CloneResetsCallCounters)
+{
+    FaultOptions faults;
+    faults.failAfter = 0;
+    faults.failCount = 1;
+    FaultInjectingBackend backend = flaky(faults);
+    const Circuit c = measuredCircuit();
+    EXPECT_THROW((void)backend.run(c, 1), TransientError);
+    EXPECT_EQ(backend.run(c, 1).total(), 1u);
+    // The clone replays the schedule from call 0.
+    std::unique_ptr<ShardedBackend> fresh = backend.clone();
+    Rng rng(1);
+    EXPECT_THROW((void)fresh->run(c, 1, rng), TransientError);
+}
+
+TEST(FaultInjector, ParsesFullSpec)
+{
+    const FaultOptions options = FaultOptions::parse(
+        "rate=0.25,kind=fatal,after=3,count=2,seed=99");
+    EXPECT_DOUBLE_EQ(options.failureRate, 0.25);
+    EXPECT_EQ(options.kind, FaultKind::Fatal);
+    EXPECT_EQ(options.failAfter, 3);
+    EXPECT_EQ(options.failCount, 2u);
+    EXPECT_EQ(options.seed, 99u);
+}
+
+TEST(FaultInjector, ParseDefaultsAndErrors)
+{
+    const FaultOptions rate = FaultOptions::parse("rate=0.1");
+    EXPECT_DOUBLE_EQ(rate.failureRate, 0.1);
+    EXPECT_EQ(rate.kind, FaultKind::Transient);
+    EXPECT_EQ(rate.failAfter, -1);
+
+    EXPECT_THROW(FaultOptions::parse("rate"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultOptions::parse("rate=2.0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultOptions::parse("kind=sometimes"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultOptions::parse("bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultOptions::parse("after=3x"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem

@@ -123,7 +123,9 @@ TEST(Routing, RandomCircuitsStayCoupled)
 
 TEST(Routing, RejectsThreeQubitGates)
 {
-    Router router(line4());
+    // Router keeps a reference: the topology must outlive it.
+    const Topology topo = line4();
+    Router router(topo);
     Circuit c(4);
     c.ccx(0, 1, 2);
     EXPECT_THROW(router.route(c, {0, 1, 2, 3}),
@@ -132,7 +134,8 @@ TEST(Routing, RejectsThreeQubitGates)
 
 TEST(Routing, ValidatesLayout)
 {
-    Router router(line4());
+    const Topology topo = line4();
+    Router router(topo);
     Circuit c(2);
     c.cx(0, 1);
     EXPECT_THROW(router.route(c, {0}), std::logic_error);

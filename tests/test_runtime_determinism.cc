@@ -28,7 +28,8 @@ runBv(unsigned threads, std::uint64_t seed, std::size_t shots,
 {
     const TrajectorySimulator proto(makeIbmqx4().noiseModel(), 7);
     ParallelBackend backend(proto, seed,
-                            RuntimeOptions{threads, batch_size});
+                            RuntimeOptions{.numThreads = threads,
+                                           .batchSize = batch_size});
     return backend.run(bernsteinVazirani(4, fromBitString("1011")),
                        shots);
 }
@@ -61,7 +62,8 @@ TEST(RuntimeDeterminism, QaoaIdenticalAcross1_2_8Threads)
     const unsigned threads[3] = {1, 2, 8};
     for (int i = 0; i < 3; ++i) {
         ParallelBackend backend(proto, 2019,
-                                RuntimeOptions{threads[i], 128});
+                                RuntimeOptions{.numThreads = threads[i],
+                                               .batchSize = 128});
         byThreads[i] = backend.run(qaoa->circuit, 2048);
     }
     EXPECT_EQ(byThreads[0].total(), 2048u);
@@ -74,14 +76,16 @@ TEST(RuntimeDeterminism, RepeatedRunsAdvanceButReplayExactly)
     const TrajectorySimulator proto(makeIbmqx4().noiseModel(), 7);
     const Circuit circuit = bernsteinVazirani(4, allOnes(4));
 
-    ParallelBackend a(proto, 5, RuntimeOptions{2, 64});
+    ParallelBackend a(
+        proto, 5, RuntimeOptions{.numThreads = 2, .batchSize = 64});
     const Counts first = a.run(circuit, 1024);
     const Counts second = a.run(circuit, 1024);
     // Same job twice consumes fresh job streams (like the serial
     // simulators), so the histograms differ...
     EXPECT_NE(first.raw(), second.raw());
     // ...but a reconstructed backend replays the same sequence.
-    ParallelBackend b(proto, 5, RuntimeOptions{8, 64});
+    ParallelBackend b(
+        proto, 5, RuntimeOptions{.numThreads = 8, .batchSize = 64});
     EXPECT_EQ(b.run(circuit, 1024).raw(), first.raw());
     EXPECT_EQ(b.run(circuit, 1024).raw(), second.raw());
 }
@@ -90,8 +94,10 @@ TEST(RuntimeDeterminism, IdealBackendShardsDeterministically)
 {
     const IdealSimulator proto(5, 123);
     const Circuit circuit = bernsteinVazirani(4, fromBitString("0110"));
-    ParallelBackend one(proto, 9, RuntimeOptions{1, 32});
-    ParallelBackend four(proto, 9, RuntimeOptions{4, 32});
+    ParallelBackend one(
+        proto, 9, RuntimeOptions{.numThreads = 1, .batchSize = 32});
+    ParallelBackend four(
+        proto, 9, RuntimeOptions{.numThreads = 4, .batchSize = 32});
     EXPECT_EQ(one.run(circuit, 1000).raw(),
               four.run(circuit, 1000).raw());
 }
@@ -107,7 +113,9 @@ TEST(RuntimeDeterminism, UnevenShotCountsAreCoveredExactly)
 TEST(RuntimeDeterminism, StatsAccountForEveryShot)
 {
     const TrajectorySimulator proto(makeIbmqx4().noiseModel(), 7);
-    ParallelBackend backend(proto, 2019, RuntimeOptions{2, 64});
+    ParallelBackend backend(
+        proto, 2019,
+        RuntimeOptions{.numThreads = 2, .batchSize = 64});
     (void)backend.run(bernsteinVazirani(4, 1), 512);
     const RuntimeStats& stats = backend.lastRunStats();
     EXPECT_EQ(stats.shots, 512u);
@@ -126,7 +134,8 @@ TEST(RuntimeDeterminism, WorkerExceptionPropagates)
     // RESET is unsupported by the trajectory simulator; the throw
     // happens on a pool worker and must surface at the call site.
     const TrajectorySimulator proto(makeIbmqx4().noiseModel(), 7);
-    ParallelBackend backend(proto, 3, RuntimeOptions{2, 16});
+    ParallelBackend backend(
+        proto, 3, RuntimeOptions{.numThreads = 2, .batchSize = 16});
     Circuit bad(1);
     bad.reset(0).measure(0, 0);
     EXPECT_THROW(backend.run(bad, 64), std::logic_error);
