@@ -28,9 +28,13 @@ main()
                 "baseline (%zu trials per policy, %u threads) ==\n\n",
                 shots, threads);
 
-    AsciiTable table({"machine", "benchmark",
-                      "base PST (95% CI)", "SIM/base", "AIM/base",
-                      ""});
+    const bool with_oracle = configuredOracle();
+    std::vector<std::string> header = {
+        "machine", "benchmark", "base PST (95% CI)", "SIM/base",
+        "AIM/base", ""};
+    if (with_oracle)
+        header.insert(header.end() - 1, "oracle TVD (b/s/a)");
+    AsciiTable table(std::move(header));
     telemetry::JsonValue rows = telemetry::JsonValue::array();
     telemetry::JsonValue runtimes = telemetry::JsonValue::object();
     for (const char* name :
@@ -55,12 +59,23 @@ main()
             sim_sum += sim_gain;
             aim_sum += aim_gain;
             ++counted;
-            table.addRow({name, bench.name,
-                          fmt(base) + " [" + fmt(ci.low) + ", " +
-                              fmt(ci.high) + "]",
-                          fmt(sim_gain, 2) + "x",
-                          fmt(aim_gain, 2) + "x",
-                          bar(aim_gain, 3.5, 25)});
+            std::vector<std::string> cells = {
+                name, bench.name,
+                fmt(base) + " [" + fmt(ci.low) + ", " +
+                    fmt(ci.high) + "]",
+                fmt(sim_gain, 2) + "x", fmt(aim_gain, 2) + "x",
+                bar(aim_gain, 3.5, 25)};
+            if (with_oracle) {
+                auto tvd = [](double value) {
+                    return value < 0 ? std::string("n/a")
+                                     : fmt(value, 4);
+                };
+                cells.insert(cells.end() - 1,
+                             tvd(results[0].oracleTvd) + "/" +
+                                 tvd(results[1].oracleTvd) + "/" +
+                                 tvd(results[2].oracleTvd));
+            }
+            table.addRow(std::move(cells));
             telemetry::JsonValue row =
                 telemetry::JsonValue::object();
             row["machine"] = telemetry::JsonValue(name);
@@ -74,11 +89,22 @@ main()
                 telemetry::JsonValue(sim_gain);
             row["aim_over_baseline"] =
                 telemetry::JsonValue(aim_gain);
+            if (with_oracle) {
+                row["baseline_oracle_tvd"] =
+                    telemetry::JsonValue(results[0].oracleTvd);
+                row["sim_oracle_tvd"] =
+                    telemetry::JsonValue(results[1].oracleTvd);
+                row["aim_oracle_tvd"] =
+                    telemetry::JsonValue(results[2].oracleTvd);
+            }
             rows.push(std::move(row));
         }
-        table.addRow({name, "(mean)", "",
-                      fmt(sim_sum / counted, 2) + "x",
-                      fmt(aim_sum / counted, 2) + "x", ""});
+        std::vector<std::string> mean_cells = {
+            name, "(mean)", "", fmt(sim_sum / counted, 2) + "x",
+            fmt(aim_sum / counted, 2) + "x", ""};
+        if (with_oracle)
+            mean_cells.insert(mean_cells.end() - 1, "");
+        table.addRow(std::move(mean_cells));
         if (const RuntimeStats* stats = session.lastRunStats()) {
             std::printf("[runtime] %s: %s\n", name,
                         stats->toString().c_str());

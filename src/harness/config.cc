@@ -47,4 +47,11 @@ configuredThreads(unsigned fallback)
         envUint("INVERTQ_THREADS", fallback));
 }
 
+bool
+configuredOracle()
+{
+    const char* raw = std::getenv("INVERTQ_ORACLE");
+    return raw != nullptr && *raw != '\0';
+}
+
 } // namespace qem

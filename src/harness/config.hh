@@ -8,6 +8,8 @@
  *   INVERTQ_SEED     master seed (default 2019)
  *   INVERTQ_THREADS  shot-execution worker threads (default 0 =
  *                    serial legacy backend; see docs/runtime.md)
+ *   INVERTQ_ORACLE   non-empty forces ExactOracle cross-checks in
+ *                    comparePolicies (see docs/verification.md)
  */
 
 #ifndef QEM_HARNESS_CONFIG_HH
@@ -30,6 +32,12 @@ std::uint64_t configuredSeed(std::uint64_t fallback = 2019);
  * the serial backend (exact seed-compat with recorded goldens).
  */
 unsigned configuredThreads(unsigned fallback = 0);
+
+/**
+ * Whether comparePolicies should run ExactOracle cross-checks even
+ * when the caller did not ask; INVERTQ_ORACLE set non-empty.
+ */
+bool configuredOracle();
 
 } // namespace qem
 

@@ -3,8 +3,11 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "harness/config.hh"
 #include "telemetry/manifest.hh"
 #include "telemetry/telemetry.hh"
+#include "verify/oracle.hh"
+#include "verify/statistics.hh"
 
 namespace qem
 {
@@ -193,8 +196,11 @@ MachineSession::runEnsemble(const Circuit& logical,
 
 std::vector<PolicyResult>
 MachineSession::comparePolicies(const NisqBenchmark& benchmark,
-                                std::size_t shots)
+                                std::size_t shots,
+                                const CompareOptions& options)
 {
+    const bool with_oracle =
+        options.withOracle || configuredOracle();
     std::vector<PolicyResult> results;
     {
         telemetry::SpanTracer::Scope compareSpan =
@@ -203,15 +209,35 @@ MachineSession::comparePolicies(const NisqBenchmark& benchmark,
         const TranspiledProgram program =
             prepare(benchmark.circuit);
 
+        const verify::ExactOracle oracle(machine_);
+        const bool oracle_ok =
+            with_oracle && oracle.supports(program.circuit);
+
         auto record = [&](MitigationPolicy& policy) {
             Counts counts = runPolicy(program, policy, shots);
             const ReliabilityReport report =
                 reliability(counts, benchmark.acceptedOutputs);
             PolicyResult result{policy.name(), std::move(counts),
-                                report, RunOutcome{}, false};
+                                report, RunOutcome{}, false, -1.0};
             if (const RuntimeStats* stats = lastRunStats()) {
                 result.outcome = stats->outcome;
                 result.degraded = stats->outcome.degraded();
+            }
+            // Conditional on the realized plan, the merged log is a
+            // sample from the oracle's mixture, so this TVD should
+            // shrink like O(1/sqrt(shots)) for a correct policy.
+            const ModePlan plan = policy.lastPlan();
+            if (oracle_ok && !plan.empty()) {
+                telemetry::SpanTracer::Scope s =
+                    telemetry::span("oracle:" + policy.name());
+                result.oracleTvd = verify::totalVariation(
+                    result.counts,
+                    oracle.planDistribution(program.circuit,
+                                            plan));
+                telemetry::gaugeSet("session.policy." +
+                                        policy.name() +
+                                        ".oracle_tvd",
+                                    result.oracleTvd);
             }
             results.push_back(std::move(result));
         };

@@ -44,6 +44,27 @@ struct PolicyResult
     RunOutcome outcome;
     /** True when the run needed retries or lost shots. */
     bool degraded = false;
+    /**
+     * Total-variation distance between the measured log and the
+     * analytic post-correction distribution the ExactOracle derives
+     * from this policy's realized ModePlan. Negative when not
+     * computed: oracle checks disabled, the circuit outside the
+     * density-matrix envelope, or the policy has no per-mode plan
+     * (e.g. a matrix-inversion comparator).
+     */
+    double oracleTvd = -1.0;
+};
+
+/** Knobs for comparePolicies. */
+struct CompareOptions
+{
+    /**
+     * Cross-check every policy against the ExactOracle and fill
+     * PolicyResult::oracleTvd. Costs one density-matrix evolution
+     * per distinct inversion string, so it is opt-in; it is also
+     * forced on by the INVERTQ_ORACLE environment knob.
+     */
+    bool withOracle = false;
 };
 
 /** Execution knobs for a MachineSession. */
@@ -128,7 +149,8 @@ class MachineSession
      * each against the benchmark's accepted outputs.
      */
     std::vector<PolicyResult> comparePolicies(
-        const NisqBenchmark& benchmark, std::size_t shots);
+        const NisqBenchmark& benchmark, std::size_t shots,
+        const CompareOptions& options = {});
 
     /**
      * Ensemble-of-Diverse-Mappings execution (the authors'

@@ -126,6 +126,7 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
 
     telemetry::SpanTracer::Scope bulkSpan =
         telemetry::span("aim.tailored");
+    ModePlan plan = canary_policy.lastPlan();
     Counts merged = canary;
     for (std::size_t i = 0; i < strings.size(); ++i) {
         if (shares[i] == 0)
@@ -149,7 +150,9 @@ AdaptiveInvertAndMeasure::run(const Circuit& circuit,
                 std::popcount(strings[i])) *
                 observed.total());
         merged.merge(correctInversion(observed, strings[i]));
+        plan.push_back({strings[i], shares[i]});
     }
+    lastPlan_ = std::move(plan);
 
     // Counted on completion, from observed totals, so aborted runs
     // never overcount shots in manifests.

@@ -71,10 +71,21 @@ class AdaptiveInvertAndMeasure : public MitigationPolicy
         return lastCandidates_;
     }
 
+    /**
+     * The realized mode split of the last run(): the four canary
+     * modes followed by the tailored modes with their
+     * likelihood-weighted shares. Because the tailored strings and
+     * weights depend on the sampled canary log, this plan is a
+     * per-run observation — the verification oracle conditions on
+     * it rather than re-deriving it.
+     */
+    ModePlan lastPlan() const override { return lastPlan_; }
+
   private:
     std::shared_ptr<const RbmsEstimate> rbms_;
     AimOptions options_;
     std::vector<BasisState> lastCandidates_;
+    ModePlan lastPlan_;
 };
 
 } // namespace qem

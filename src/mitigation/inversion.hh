@@ -28,6 +28,24 @@ namespace qem
 using InversionString = BasisState;
 
 /**
+ * One executed measurement mode: an inversion string and the number
+ * of trials that ran under it. A policy's full run is a list of
+ * these — its "mode plan" — which is exactly the information the
+ * verification oracle needs to compute the analytic distribution
+ * the merged, post-corrected log converges to (conditional on the
+ * plan, every mode's log is an independent multinomial draw from
+ * that mode's exact outcome distribution).
+ */
+struct ModeShare
+{
+    InversionString inversion = 0;
+    std::size_t shots = 0;
+};
+
+/** The modes one policy run executed, in execution order. */
+using ModePlan = std::vector<ModeShare>;
+
+/**
  * Rewrite @p circuit for inverted measurement under @p inversion:
  * an X is inserted directly before every MEASURE whose classical
  * bit is set in the mask. Works on logical and physical circuits

@@ -7,7 +7,9 @@ Counts
 BaselinePolicy::run(const Circuit& circuit, Backend& backend,
                     std::size_t shots)
 {
-    return backend.run(circuit, shots);
+    Counts counts = backend.run(circuit, shots);
+    lastPlan_ = {{InversionString{0}, shots}};
+    return counts;
 }
 
 } // namespace qem

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "mitigation/inversion.hh"
 #include "qsim/circuit.hh"
 #include "qsim/counts.hh"
 #include "qsim/simulator.hh"
@@ -35,6 +36,16 @@ class MitigationPolicy
 
     /** Display name ("Baseline", "SIM", "AIM", ...). */
     virtual std::string name() const = 0;
+
+    /**
+     * The (inversion string, trials) modes the most recent run()
+     * executed, in order — what the verification oracle replays to
+     * compute the analytic distribution the merged log should match.
+     * Empty when the policy has not run, or when its correction is
+     * not a per-mode relabeling (e.g. the matrix-inversion
+     * comparator, whose output is not a mixture of mode logs).
+     */
+    virtual ModePlan lastPlan() const { return {}; }
 };
 
 /** The paper's baseline: every trial measured as-is. */
@@ -45,6 +56,12 @@ class BaselinePolicy : public MitigationPolicy
                std::size_t shots) override;
 
     std::string name() const override { return "Baseline"; }
+
+    /** One uninverted mode carrying the whole budget. */
+    ModePlan lastPlan() const override { return lastPlan_; }
+
+  private:
+    ModePlan lastPlan_;
 };
 
 } // namespace qem

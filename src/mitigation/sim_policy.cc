@@ -60,6 +60,8 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
         telemetry::span("sim.run");
 
     Counts merged(circuit.numClbits());
+    ModePlan plan;
+    plan.reserve(strings.size());
     const std::size_t per_mode = shots / strings.size();
     std::size_t leftover = shots % strings.size();
     for (InversionString inv : strings) {
@@ -96,7 +98,9 @@ StaticInvertAndMeasure::run(const Circuit& circuit, Backend& backend,
                     observed.total());
             merged.merge(correctInversion(observed, inv));
         }
+        plan.push_back({inv, share});
     }
+    lastPlan_ = std::move(plan);
 
     // Counted on completion, from the merged log, so aborted runs
     // never overcount shots in manifests.

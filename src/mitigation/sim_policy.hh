@@ -43,11 +43,15 @@ class StaticInvertAndMeasure : public MitigationPolicy
 
     std::string name() const override;
 
+    /** The per-mode budget split of the last completed run(). */
+    ModePlan lastPlan() const override { return lastPlan_; }
+
   private:
     /** Strings to use for a circuit with @p bits output bits. */
     std::vector<InversionString> stringsFor(unsigned bits) const;
 
     std::vector<InversionString> strings_;
+    ModePlan lastPlan_;
 };
 
 } // namespace qem

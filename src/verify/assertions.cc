@@ -1,0 +1,349 @@
+#include "verify/assertions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "metrics/stats.hh"
+
+namespace qem::verify
+{
+
+namespace
+{
+
+void
+validateAlpha(double alpha)
+{
+    if (alpha <= 0.0 || alpha >= 1.0)
+        throw std::invalid_argument("verify: alpha must be in "
+                                    "(0, 1)");
+}
+
+/** Standard normal CDF. */
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/**
+ * Standard normal quantile (Acklam's rational approximation,
+ * |relative error| < 1.2e-9 — far below any alpha a test uses).
+ */
+double
+normalQuantile(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("normalQuantile: p must be in "
+                                    "(0, 1)");
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    if (p > 1.0 - p_low)
+        return -normalQuantile(1.0 - p);
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+             a[4]) *
+                r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+             b[4]) *
+                r +
+            1.0);
+}
+
+std::uint64_t
+successesIn(const Counts& counts,
+            const std::vector<BasisState>& accepted)
+{
+    std::uint64_t n = 0;
+    for (BasisState s : accepted)
+        n += counts.get(s);
+    return n;
+}
+
+void
+validateDesignEffect(std::uint64_t design_effect)
+{
+    if (design_effect == 0)
+        throw std::invalid_argument("verify: design_effect must be "
+                                    ">= 1");
+}
+
+/**
+ * Deflate (successes, trials) by the design effect, preserving the
+ * observed proportion: the interval math then runs on the effective
+ * (independent-equivalent) sample size.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+effectiveSample(std::uint64_t successes, std::uint64_t trials,
+                std::uint64_t design_effect)
+{
+    if (design_effect <= 1)
+        return {successes, trials};
+    const std::uint64_t eff_trials =
+        std::max<std::uint64_t>(1, trials / design_effect);
+    const double p = static_cast<double>(successes) /
+                     static_cast<double>(trials);
+    const auto eff_successes = static_cast<std::uint64_t>(
+        std::llround(p * static_cast<double>(eff_trials)));
+    return {std::min(eff_successes, eff_trials), eff_trials};
+}
+
+std::string
+describe(const char* what, double p_value, double tvd, double bound,
+         double alpha)
+{
+    std::ostringstream os;
+    os << what << ": p=" << p_value << " tvd=" << tvd
+       << " bound=" << bound << " alpha=" << alpha;
+    return os.str();
+}
+
+} // namespace
+
+CheckResult
+checkDistribution(const Counts& counts,
+                  const std::vector<double>& probs, double alpha)
+{
+    validateAlpha(alpha);
+    const GofResult g = gTest(counts, probs);
+    CheckResult result;
+    result.alpha = alpha;
+    result.pValue = g.pValue;
+    result.tvd = totalVariation(counts, probs);
+    result.bound = tvdBound(probs.size(), counts.total(), alpha);
+    result.passed = g.pValue >= alpha;
+    result.message = describe(
+        result.passed ? "distribution compatible (G-test)"
+                      : "distribution REJECTED (G-test)",
+        g.pValue, result.tvd, result.bound, alpha);
+    return result;
+}
+
+CheckResult
+checkTvdWithinBound(const Counts& counts,
+                    const std::vector<double>& probs, double alpha)
+{
+    validateAlpha(alpha);
+    CheckResult result;
+    result.alpha = alpha;
+    result.tvd = totalVariation(counts, probs);
+    result.bound = tvdBound(probs.size(), counts.total(), alpha);
+    result.passed = result.tvd <= result.bound;
+    result.message = describe(
+        result.passed ? "TVD within shot-count bound"
+                      : "TVD EXCEEDS shot-count bound",
+        1.0, result.tvd, result.bound, alpha);
+    return result;
+}
+
+CheckResult
+checkSameDistribution(const Counts& a, const Counts& b,
+                      double alpha)
+{
+    validateAlpha(alpha);
+    const GofResult g = twoSampleGTest(a, b);
+    CheckResult result;
+    result.alpha = alpha;
+    result.pValue = g.pValue;
+    result.passed = g.pValue >= alpha;
+    std::ostringstream os;
+    os << (result.passed ? "samples compatible"
+                         : "samples DIFFER")
+       << " (two-sample G-test): G=" << g.statistic
+       << " dof=" << g.dof << " p=" << g.pValue
+       << " alpha=" << alpha;
+    result.message = os.str();
+    return result;
+}
+
+CheckResult
+checkProbAtLeast(const Counts& counts,
+                 const std::vector<BasisState>& accepted,
+                 double p_min, double alpha,
+                 std::uint64_t design_effect)
+{
+    validateAlpha(alpha);
+    validateDesignEffect(design_effect);
+    if (counts.total() == 0)
+        throw std::invalid_argument("checkProbAtLeast: empty "
+                                    "histogram");
+    // One-sided claim p >= p_min: reject only when even the upper
+    // end of the Wilson interval at level alpha sits below p_min.
+    const double z = normalQuantile(1.0 - alpha);
+    const auto [successes, trials] = effectiveSample(
+        successesIn(counts, accepted), counts.total(),
+        design_effect);
+    const ConfidenceInterval ci =
+        wilsonInterval(successes, trials, z);
+    CheckResult result;
+    result.alpha = alpha;
+    result.passed = ci.high >= p_min;
+    std::ostringstream os;
+    os << "P(accepted) claim >= " << p_min << ": observed "
+       << static_cast<double>(successesIn(counts, accepted)) /
+              static_cast<double>(counts.total())
+       << " (effective n=" << trials << "), Wilson(" << alpha
+       << ") = [" << ci.low << ", " << ci.high << "] -> "
+       << (result.passed ? "compatible" : "RULED OUT");
+    result.message = os.str();
+    return result;
+}
+
+CheckResult
+checkProbAtLeast(const Counts& counts, BasisState accepted,
+                 double p_min, double alpha,
+                 std::uint64_t design_effect)
+{
+    return checkProbAtLeast(counts,
+                            std::vector<BasisState>{accepted},
+                            p_min, alpha, design_effect);
+}
+
+CheckResult
+checkProbAtMost(const Counts& counts,
+                const std::vector<BasisState>& accepted,
+                double p_max, double alpha,
+                std::uint64_t design_effect)
+{
+    validateAlpha(alpha);
+    validateDesignEffect(design_effect);
+    if (counts.total() == 0)
+        throw std::invalid_argument("checkProbAtMost: empty "
+                                    "histogram");
+    const double z = normalQuantile(1.0 - alpha);
+    const auto [successes, trials] = effectiveSample(
+        successesIn(counts, accepted), counts.total(),
+        design_effect);
+    const ConfidenceInterval ci =
+        wilsonInterval(successes, trials, z);
+    CheckResult result;
+    result.alpha = alpha;
+    result.passed = ci.low <= p_max;
+    std::ostringstream os;
+    os << "P(accepted) claim <= " << p_max << ": observed "
+       << static_cast<double>(successesIn(counts, accepted)) /
+              static_cast<double>(counts.total())
+       << " (effective n=" << trials << "), Wilson(" << alpha
+       << ") = [" << ci.low << ", " << ci.high << "] -> "
+       << (result.passed ? "compatible" : "RULED OUT");
+    result.message = os.str();
+    return result;
+}
+
+CheckResult
+checkProbAtMost(const Counts& counts, BasisState accepted,
+                double p_max, double alpha,
+                std::uint64_t design_effect)
+{
+    return checkProbAtMost(counts,
+                           std::vector<BasisState>{accepted},
+                           p_max, alpha, design_effect);
+}
+
+CheckResult
+checkProportionOrdering(std::uint64_t successes_hi,
+                        std::uint64_t trials_hi,
+                        std::uint64_t successes_lo,
+                        std::uint64_t trials_lo, double alpha,
+                        double margin,
+                        std::uint64_t design_effect)
+{
+    validateAlpha(alpha);
+    validateDesignEffect(design_effect);
+    if (trials_hi == 0 || trials_lo == 0)
+        throw std::invalid_argument("checkProportionOrdering: zero "
+                                    "trials");
+    std::tie(successes_hi, trials_hi) = effectiveSample(
+        successes_hi, trials_hi, design_effect);
+    std::tie(successes_lo, trials_lo) = effectiveSample(
+        successes_lo, trials_lo, design_effect);
+    const double n1 = static_cast<double>(trials_hi);
+    const double n2 = static_cast<double>(trials_lo);
+    const double p1 = static_cast<double>(successes_hi) / n1;
+    const double p2 = static_cast<double>(successes_lo) / n2;
+    // H0: p1 >= p2 + margin. Reject only if the observed deficit is
+    // too large to be sampling noise at level alpha. +1/n continuity
+    // keeps the variance estimate nonzero at the extremes.
+    const double v1 =
+        std::max(p1 * (1.0 - p1), 1.0 / n1) / n1;
+    const double v2 =
+        std::max(p2 * (1.0 - p2), 1.0 / n2) / n2;
+    const double se = std::sqrt(v1 + v2);
+    const double z = (p1 - p2 - margin) / se;
+    CheckResult result;
+    result.alpha = alpha;
+    result.pValue = normalCdf(z); // P(observe this low | H0 edge).
+    result.passed = result.pValue >= alpha;
+    std::ostringstream os;
+    os << "ordering claim p_hi >= p_lo + " << margin
+       << ": observed " << p1 << " vs " << p2 << " (z=" << z
+       << ", p=" << result.pValue << ", alpha=" << alpha << ") -> "
+       << (result.passed ? "compatible" : "RULED OUT");
+    result.message = os.str();
+    return result;
+}
+
+CheckResult
+checkWithEscalation(const SampleFn& sample, std::size_t base_shots,
+                    const CheckFn& check,
+                    const Escalation& escalation)
+{
+    if (escalation.attempts == 0)
+        throw std::invalid_argument("checkWithEscalation: need at "
+                                    "least one attempt");
+    if (escalation.growth == 0)
+        throw std::invalid_argument("checkWithEscalation: growth "
+                                    "factor must be >= 1");
+    std::size_t shots = base_shots;
+    CheckResult last;
+    for (unsigned attempt = 1; attempt <= escalation.attempts;
+         ++attempt) {
+        last = check(sample(shots));
+        last.attempts = attempt;
+        if (last.passed)
+            return last;
+        shots *= escalation.growth;
+    }
+    last.message += " [failed all " +
+                    std::to_string(escalation.attempts) +
+                    " escalation attempts]";
+    return last;
+}
+
+} // namespace qem::verify

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Statistical assertion helpers with an explicit false-positive
+ * budget.
+ *
+ * Every helper returns a CheckResult whose `passed` flag answers a
+ * precise question: "is the observed data statistically incompatible
+ * with the claimed hypothesis at level alpha?" A passing check means
+ * the data could plausibly come from the claim; a failing check
+ * means that, were the claim true, data this extreme would occur
+ * with probability below alpha. So `alpha` IS the test's
+ * false-positive (spurious red) probability — set it per test,
+ * visibly, instead of burying it in an epsilon.
+ *
+ * Tier-1 wants small alphas (1e-6 .. 1e-9: effectively never flaky)
+ * without giving up power; checkWithEscalation supplies that: a
+ * failing check is retried on a fresh, larger sample, and the run
+ * only goes red if every attempt fails. With independent samples the
+ * spurious-failure probability multiplies (alpha^attempts), while a
+ * real regression still fails every attempt — and the escalating
+ * shot count makes the final attempt the most powerful one.
+ */
+
+#ifndef QEM_VERIFY_ASSERTIONS_HH
+#define QEM_VERIFY_ASSERTIONS_HH
+
+#include <functional>
+#include <string>
+
+#include "verify/statistics.hh"
+
+namespace qem::verify
+{
+
+/** Outcome of one statistical check; boolean-testable for gtest. */
+struct CheckResult
+{
+    bool passed = false;
+    /** P-value of the final test performed (1.0 for bound checks). */
+    double pValue = 1.0;
+    /** TVD to the reference, when the check computed one. */
+    double tvd = 0.0;
+    /** Shot-count-derived TVD radius, when applicable. */
+    double bound = 0.0;
+    /** The false-positive budget the check ran with. */
+    double alpha = 0.0;
+    /** Total attempts consumed (> 1 only under escalation). */
+    unsigned attempts = 1;
+    /** Human-readable verdict for gtest failure messages. */
+    std::string message;
+
+    explicit operator bool() const { return passed; }
+};
+
+/**
+ * Does @p counts look like a sample from @p probs? Primary
+ * instrument is the G-test (p >= alpha passes); the TVD and its
+ * shot-count bound at the same alpha are computed for the message.
+ */
+CheckResult checkDistribution(const Counts& counts,
+                              const std::vector<double>& probs,
+                              double alpha);
+
+/**
+ * Pure concentration form: TVD(counts, probs) must stay within
+ * tvdBound(support, shots, alpha). Distribution-free (no chi-square
+ * asymptotics), so it is the right check for very sparse histograms
+ * — at the price of being blind to regressions smaller than the
+ * bound.
+ */
+CheckResult checkTvdWithinBound(const Counts& counts,
+                                const std::vector<double>& probs,
+                                double alpha);
+
+/**
+ * Are @p a and @p b samples of one distribution? Two-sample G-test;
+ * the golden-regression comparison.
+ */
+CheckResult checkSameDistribution(const Counts& a, const Counts& b,
+                                  double alpha);
+
+/**
+ * Is the data compatible with P(outcome in @p accepted) >= @p p_min?
+ * Fails only when the Wilson upper confidence bound at level alpha
+ * falls below p_min — i.e. the sample statistically rules the claim
+ * out.
+ *
+ * @p design_effect divides the sample size the interval is computed
+ * from (the observed proportion is unchanged). Pass the worst-case
+ * correlation factor when shots are not independent — e.g. the
+ * trajectory backend draws TrajectoryOptions::shotsPerTrajectory
+ * shots per stochastic gate-noise trajectory, so a batch of b
+ * correlated shots carries at least 1/b of the information of
+ * independent ones and the honest interval uses trials/b.
+ */
+CheckResult checkProbAtLeast(const Counts& counts,
+                             const std::vector<BasisState>& accepted,
+                             double p_min, double alpha,
+                             std::uint64_t design_effect = 1);
+
+/** Single-outcome convenience for checkProbAtLeast. */
+CheckResult checkProbAtLeast(const Counts& counts,
+                             BasisState accepted, double p_min,
+                             double alpha,
+                             std::uint64_t design_effect = 1);
+
+/** Mirror image: compatible with P(outcome in accepted) <= p_max? */
+CheckResult checkProbAtMost(const Counts& counts,
+                            const std::vector<BasisState>& accepted,
+                            double p_max, double alpha,
+                            std::uint64_t design_effect = 1);
+
+/** Single-outcome convenience for checkProbAtMost. */
+CheckResult checkProbAtMost(const Counts& counts,
+                            BasisState accepted, double p_max,
+                            double alpha,
+                            std::uint64_t design_effect = 1);
+
+/**
+ * Is the data compatible with
+ * P_hi(hi outcome) >= P_lo(lo outcome) + @p margin, for proportions
+ * estimated from two independent samples? Fails only when the
+ * one-sided normal test rejects that ordering at level alpha. The
+ * statistical port of `EXPECT_GT(pst_a, pst_b)`. A negative margin
+ * expresses the mirror claim P_hi <= P_lo + |margin|. @p
+ * design_effect deflates both sample sizes, as in checkProbAtLeast.
+ */
+CheckResult checkProportionOrdering(std::uint64_t successes_hi,
+                                    std::uint64_t trials_hi,
+                                    std::uint64_t successes_lo,
+                                    std::uint64_t trials_lo,
+                                    double alpha,
+                                    double margin = 0.0,
+                                    std::uint64_t design_effect = 1);
+
+/** Escalation policy for checkWithEscalation. */
+struct Escalation
+{
+    /** Maximum attempts, first included (>= 1). */
+    unsigned attempts = 3;
+    /** Shot multiplier between attempts. */
+    unsigned growth = 4;
+};
+
+/** A sampling procedure the escalation driver can re-run. */
+using SampleFn = std::function<Counts(std::size_t shots)>;
+/** A check to apply to each fresh sample. */
+using CheckFn = std::function<CheckResult(const Counts& counts)>;
+
+/**
+ * Run @p sample at @p base_shots and apply @p check; on failure,
+ * grow the shot count and try again on a fresh sample, up to
+ * escalation.attempts total attempts. Passes as soon as any attempt
+ * passes. With per-attempt budget alpha and independent samples the
+ * overall spurious-failure probability is alpha^attempts; the
+ * returned result reports the final attempt plus the attempt count.
+ */
+CheckResult checkWithEscalation(const SampleFn& sample,
+                                std::size_t base_shots,
+                                const CheckFn& check,
+                                const Escalation& escalation = {});
+
+} // namespace qem::verify
+
+#endif // QEM_VERIFY_ASSERTIONS_HH

@@ -1,0 +1,270 @@
+#include "verify/golden.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "qsim/bitstring.hh"
+#include "telemetry/json.hh"
+
+namespace qem::verify
+{
+
+namespace
+{
+
+using telemetry::JsonValue;
+
+bool g_update_requested = false;
+
+JsonValue
+recordToJson(const GoldenRecord& record)
+{
+    JsonValue out = JsonValue::object();
+    out["num_bits"] = JsonValue(record.numBits);
+    if (record.isSampled()) {
+        out["kind"] = JsonValue("sampled");
+        out["shots"] = JsonValue(record.counts.total());
+        JsonValue counts = JsonValue::object();
+        for (const auto& [outcome, n] : record.counts.raw())
+            counts[toBitString(outcome, record.numBits)] =
+                JsonValue(n);
+        out["counts"] = std::move(counts);
+    } else {
+        out["kind"] = JsonValue("analytic");
+        JsonValue dist = JsonValue::array();
+        for (double p : record.distribution)
+            dist.push(JsonValue(p));
+        out["distribution"] = std::move(dist);
+    }
+    if (!record.meta.empty()) {
+        JsonValue meta = JsonValue::object();
+        for (const auto& [key, value] : record.meta)
+            meta[key] = JsonValue(value);
+        out["meta"] = std::move(meta);
+    }
+    return out;
+}
+
+GoldenRecord
+recordFromJson(const std::string& name, const JsonValue& json)
+{
+    GoldenRecord record;
+    record.name = name;
+    const JsonValue* kind = json.find("kind");
+    const JsonValue* bits = json.find("num_bits");
+    if (kind == nullptr || bits == nullptr)
+        throw std::runtime_error("golden record '" + name +
+                                 "': missing kind/num_bits");
+    record.numBits = static_cast<unsigned>(bits->asUint());
+    if (kind->asString() == "sampled") {
+        const JsonValue* counts = json.find("counts");
+        if (counts == nullptr || !counts->isObject())
+            throw std::runtime_error("golden record '" + name +
+                                     "': sampled without counts");
+        record.counts = Counts(record.numBits);
+        for (const auto& [bitstring, value] : counts->members())
+            record.counts.add(fromBitString(bitstring),
+                              value.asUint());
+        if (record.counts.total() == 0)
+            throw std::runtime_error("golden record '" + name +
+                                     "': empty sampled counts");
+    } else if (kind->asString() == "analytic") {
+        const JsonValue* dist = json.find("distribution");
+        if (dist == nullptr || !dist->isArray())
+            throw std::runtime_error(
+                "golden record '" + name +
+                "': analytic without distribution");
+        if (dist->size() !=
+            (std::size_t{1} << record.numBits)) {
+            throw std::runtime_error(
+                "golden record '" + name +
+                "': distribution size does not match num_bits");
+        }
+        for (const JsonValue& p : dist->items())
+            record.distribution.push_back(p.asDouble());
+    } else {
+        throw std::runtime_error("golden record '" + name +
+                                 "': unknown kind '" +
+                                 kind->asString() + "'");
+    }
+    if (const JsonValue* meta = json.find("meta")) {
+        for (const auto& [key, value] : meta->members())
+            record.meta[key] = value.asString();
+    }
+    return record;
+}
+
+} // namespace
+
+GoldenStore::GoldenStore(std::string path)
+    : GoldenStore(std::move(path), updateRequested())
+{
+}
+
+GoldenStore::GoldenStore(std::string path, bool update)
+    : path_(std::move(path)), update_(update)
+{
+    load();
+}
+
+void
+GoldenStore::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // Missing file: an empty store.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const JsonValue manifest = JsonValue::parse(buffer.str());
+    const JsonValue* schema = manifest.find("schema");
+    if (schema == nullptr || schema->asString() != kGoldenSchema)
+        throw std::runtime_error("golden manifest " + path_ +
+                                 ": missing or unknown schema");
+    if (const JsonValue* records = manifest.find("records")) {
+        for (const auto& [name, json] : records->members())
+            records_.emplace(name, recordFromJson(name, json));
+    }
+}
+
+const GoldenRecord*
+GoldenStore::find(const std::string& name) const
+{
+    const auto it = records_.find(name);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+CheckResult
+GoldenStore::checkSampled(const std::string& name,
+                          const Counts& counts, double alpha,
+                          std::map<std::string, std::string> meta)
+{
+    if (counts.total() == 0)
+        throw std::invalid_argument("checkSampled: empty "
+                                    "histogram");
+    if (update_) {
+        GoldenRecord record;
+        record.name = name;
+        record.numBits = counts.numBits();
+        record.counts = counts;
+        record.meta = std::move(meta);
+        records_[name] = std::move(record);
+        dirty_ = true;
+        CheckResult result;
+        result.passed = true;
+        result.alpha = alpha;
+        result.message = "golden '" + name + "' recorded (update "
+                                             "mode)";
+        return result;
+    }
+    const GoldenRecord* golden = find(name);
+    if (golden == nullptr || !golden->isSampled()) {
+        CheckResult result;
+        result.alpha = alpha;
+        result.message =
+            "no sampled golden '" + name + "' in " + path_ +
+            "; re-run with --update-golden (or "
+            "INVERTQ_UPDATE_GOLDEN=1) and commit the result";
+        return result;
+    }
+    CheckResult result =
+        checkSameDistribution(golden->counts, counts, alpha);
+    result.message = "golden '" + name + "': " + result.message;
+    return result;
+}
+
+CheckResult
+GoldenStore::checkAnalytic(const std::string& name,
+                           unsigned num_bits,
+                           const std::vector<double>& distribution,
+                           double tolerance,
+                           std::map<std::string, std::string> meta)
+{
+    if (distribution.size() != (std::size_t{1} << num_bits))
+        throw std::invalid_argument("checkAnalytic: distribution "
+                                    "size does not match num_bits");
+    if (update_) {
+        GoldenRecord record;
+        record.name = name;
+        record.numBits = num_bits;
+        record.distribution = distribution;
+        record.meta = std::move(meta);
+        records_[name] = std::move(record);
+        dirty_ = true;
+        CheckResult result;
+        result.passed = true;
+        result.message = "golden '" + name + "' recorded (update "
+                                             "mode)";
+        return result;
+    }
+    const GoldenRecord* golden = find(name);
+    if (golden == nullptr || golden->isSampled()) {
+        CheckResult result;
+        result.message =
+            "no analytic golden '" + name + "' in " + path_ +
+            "; re-run with --update-golden (or "
+            "INVERTQ_UPDATE_GOLDEN=1) and commit the result";
+        return result;
+    }
+    CheckResult result;
+    if (golden->distribution.size() != distribution.size()) {
+        result.message = "golden '" + name +
+                         "': distribution size changed";
+        return result;
+    }
+    double worst = 0.0;
+    std::size_t worst_at = 0;
+    for (std::size_t i = 0; i < distribution.size(); ++i) {
+        const double diff =
+            std::abs(distribution[i] - golden->distribution[i]);
+        if (diff > worst) {
+            worst = diff;
+            worst_at = i;
+        }
+    }
+    result.passed = worst <= tolerance;
+    std::ostringstream os;
+    os << "golden '" << name << "': max |delta| = " << worst
+       << " at outcome " << worst_at << " (tolerance " << tolerance
+       << ") -> " << (result.passed ? "match" : "MISMATCH");
+    result.message = os.str();
+    return result;
+}
+
+bool
+GoldenStore::flush()
+{
+    if (!update_ || !dirty_)
+        return true;
+    JsonValue manifest = JsonValue::object();
+    manifest["schema"] = JsonValue(kGoldenSchema);
+    JsonValue records = JsonValue::object();
+    for (const auto& [name, record] : records_)
+        records[name] = recordToJson(record);
+    manifest["records"] = std::move(records);
+    std::ofstream out(path_);
+    if (!out)
+        return false;
+    out << manifest.dump(2) << '\n';
+    dirty_ = false;
+    return static_cast<bool>(out);
+}
+
+bool
+GoldenStore::updateRequested()
+{
+    if (g_update_requested)
+        return true;
+    const char* env = std::getenv("INVERTQ_UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0';
+}
+
+void
+GoldenStore::requestUpdate()
+{
+    g_update_requested = true;
+}
+
+} // namespace qem::verify

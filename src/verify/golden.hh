@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Golden regression harness: recorded distribution manifests,
+ * checked statistically instead of byte-wise.
+ *
+ * A golden file (schema `invertq.golden/v1`, written with the
+ * telemetry JsonValue model so it diffs cleanly) holds named
+ * records of two kinds:
+ *
+ *  - "sampled": a full Counts histogram from a reference run. A new
+ *    run is compared with the two-sample G-test — both sides are
+ *    samples, neither is the truth — at an explicit alpha, so a
+ *    golden survives reseeding and thread-count changes and fails
+ *    only on a distributional regression.
+ *  - "analytic": a probability vector from a deterministic
+ *    computation (the ExactOracle). A new value must match within a
+ *    tight numeric tolerance; this pins bit-level determinism of
+ *    the analytic path.
+ *
+ * Updating: run the test binary with `--update-golden` (or set
+ * INVERTQ_UPDATE_GOLDEN=1); every check records the fresh value and
+ * passes, and the store rewrites its file on flush(). Commit the
+ * diff like any other golden change.
+ */
+
+#ifndef QEM_VERIFY_GOLDEN_HH
+#define QEM_VERIFY_GOLDEN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "verify/assertions.hh"
+
+namespace qem::verify
+{
+
+/** Current golden-manifest schema identifier. */
+inline constexpr const char* kGoldenSchema = "invertq.golden/v1";
+
+/** One recorded reference distribution. */
+struct GoldenRecord
+{
+    std::string name;
+    unsigned numBits = 0;
+    /** Sampled payload (empty for analytic records). */
+    Counts counts;
+    /** Analytic payload (empty for sampled records). */
+    std::vector<double> distribution;
+    /** Free-form provenance (machine, seed, policy, ...). */
+    std::map<std::string, std::string> meta;
+
+    bool isSampled() const { return counts.total() > 0; }
+};
+
+/**
+ * A golden manifest bound to one file. Loads eagerly (a missing
+ * file is an empty store), checks lazily, writes back only in
+ * update mode via flush().
+ */
+class GoldenStore
+{
+  public:
+    /**
+     * @param path Manifest location (conventionally under
+     *        tests/golden/).
+     * @param update Record-and-pass instead of check; defaults to
+     *        the process-wide request (INVERTQ_UPDATE_GOLDEN /
+     *        --update-golden).
+     */
+    explicit GoldenStore(std::string path);
+    GoldenStore(std::string path, bool update);
+
+    /** The record named @p name, or nullptr. */
+    const GoldenRecord* find(const std::string& name) const;
+
+    /**
+     * Compare a fresh sampled histogram against the golden of the
+     * same name (two-sample G-test at @p alpha). In update mode the
+     * histogram is recorded and the check passes. A missing golden
+     * fails with an actionable message.
+     */
+    CheckResult checkSampled(
+        const std::string& name, const Counts& counts, double alpha,
+        std::map<std::string, std::string> meta = {});
+
+    /**
+     * Compare a fresh analytic distribution against the golden:
+     * every component within @p tolerance (absolute). Same update /
+     * missing-golden semantics as checkSampled.
+     */
+    CheckResult checkAnalytic(
+        const std::string& name, unsigned num_bits,
+        const std::vector<double>& distribution, double tolerance,
+        std::map<std::string, std::string> meta = {});
+
+    /** True when update mode recorded anything not yet written. */
+    bool dirty() const { return dirty_; }
+
+    /**
+     * Write the manifest back to its path (update mode only; no-op
+     * when clean). Returns false on I/O failure.
+     */
+    bool flush();
+
+    const std::string& path() const { return path_; }
+    bool updating() const { return update_; }
+
+    /**
+     * Process-wide update request: INVERTQ_UPDATE_GOLDEN set
+     * non-empty, or requestUpdate() called (the test main does this
+     * for `--update-golden`).
+     */
+    static bool updateRequested();
+    static void requestUpdate();
+
+  private:
+    void load();
+
+    std::string path_;
+    bool update_ = false;
+    bool dirty_ = false;
+    std::map<std::string, GoldenRecord> records_;
+};
+
+} // namespace qem::verify
+
+#endif // QEM_VERIFY_GOLDEN_HH

@@ -1,0 +1,243 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "noise/compaction.hh"
+#include "noise/exact.hh"
+#include "qsim/densitymatrix.hh"
+#include "qsim/simulator.hh"
+
+namespace qem::verify
+{
+
+ExactOracle::ExactOracle(NoiseModel model)
+    : model_(std::move(model))
+{
+}
+
+ExactOracle::ExactOracle(const Machine& machine)
+    : model_(machine.noiseModel())
+{
+}
+
+bool
+ExactOracle::supports(const Circuit& circuit) const
+{
+    if (circuit.numQubits() > model_.numQubits())
+        return false;
+    if (!circuit.hasMeasurements())
+        return false;
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::RESET)
+            return false;
+    }
+    const CompactCircuit compiled = compactCircuit(circuit);
+    if (compiled.compactQubits > maxDensityMatrixQubits)
+        return false;
+    return compiled.compactQubits +
+               circuit.measuredQubits().size() <=
+           22;
+}
+
+std::vector<double>
+ExactOracle::observedDistribution(const Circuit& circuit) const
+{
+    return DensityMatrixSimulator(model_).observedDistribution(
+        circuit);
+}
+
+std::vector<double>
+ExactOracle::correctedDistribution(const Circuit& circuit,
+                                   InversionString inversion) const
+{
+    const std::vector<double> observed = observedDistribution(
+        applyInversion(circuit, inversion));
+    // correctInversion relabels outcome y to y ^ inversion, so the
+    // corrected mass at x is the observed mass at x ^ inversion.
+    std::vector<double> corrected(observed.size());
+    for (BasisState x = 0; x < corrected.size(); ++x)
+        corrected[x] = observed[x ^ inversion];
+    return corrected;
+}
+
+std::vector<double>
+ExactOracle::planDistribution(const Circuit& circuit,
+                              const ModePlan& plan) const
+{
+    std::uint64_t total = 0;
+    for (const ModeShare& mode : plan)
+        total += mode.shots;
+    if (total == 0)
+        throw std::invalid_argument("ExactOracle: plan carries no "
+                                    "shots");
+    std::vector<double> mixture(
+        std::size_t{1} << circuit.numClbits(), 0.0);
+    // Modes can repeat (AIM's tailored strings may coincide with
+    // canary strings); fold shares first so each distinct string
+    // costs one density-matrix evolution.
+    std::map<InversionString, std::uint64_t> shares;
+    for (const ModeShare& mode : plan)
+        shares[mode.inversion] += mode.shots;
+    for (const auto& [inversion, shots] : shares) {
+        if (shots == 0)
+            continue;
+        const std::vector<double> corrected =
+            correctedDistribution(circuit, inversion);
+        const double weight = static_cast<double>(shots) /
+                              static_cast<double>(total);
+        for (std::size_t x = 0; x < mixture.size(); ++x)
+            mixture[x] += weight * corrected[x];
+    }
+    return mixture;
+}
+
+ModePlan
+ExactOracle::simPlan(const Circuit& circuit, std::size_t shots,
+                     std::vector<InversionString> strings) const
+{
+    const std::vector<Qubit> measured = circuit.measuredQubits();
+    if (measured.empty())
+        throw std::invalid_argument("ExactOracle: circuit has no "
+                                    "measurements");
+    if (strings.empty()) {
+        strings = fourModeStrings(
+            static_cast<unsigned>(measured.size()));
+    }
+    if (shots < strings.size())
+        throw std::invalid_argument("ExactOracle: fewer shots than "
+                                    "measurement modes");
+    // Same integer arithmetic as StaticInvertAndMeasure::run.
+    ModePlan plan;
+    plan.reserve(strings.size());
+    const std::size_t per_mode = shots / strings.size();
+    std::size_t leftover = shots % strings.size();
+    for (InversionString inv : strings) {
+        std::size_t share = per_mode;
+        if (leftover > 0) {
+            ++share;
+            --leftover;
+        }
+        plan.push_back({inv, share});
+    }
+    return plan;
+}
+
+ExactOracle::AimPrediction
+ExactOracle::aimPrediction(const Circuit& circuit,
+                           const RbmsEstimate& rbms,
+                           std::size_t shots,
+                           const AimOptions& options) const
+{
+    const std::vector<Qubit> measured = circuit.measuredQubits();
+    const unsigned bits = static_cast<unsigned>(measured.size());
+    if (bits == 0)
+        throw std::invalid_argument("ExactOracle: circuit has no "
+                                    "measurements");
+    if (rbms.numBits() != bits)
+        throw std::invalid_argument("ExactOracle: RBMS width does "
+                                    "not match the circuit");
+    if (shots < 5)
+        throw std::invalid_argument("ExactOracle: AIM needs at "
+                                    "least 5 shots");
+
+    // Phase 1, analytically: the canary log converges to the
+    // four-mode SIM mixture.
+    std::size_t canary_shots = static_cast<std::size_t>(
+        options.canaryFraction * static_cast<double>(shots));
+    canary_shots =
+        std::clamp<std::size_t>(canary_shots, 4, shots - 1);
+    const ModePlan canary_plan =
+        simPlan(circuit, canary_shots, fourModeStrings(bits));
+    const std::vector<double> canary_dist =
+        planDistribution(circuit, canary_plan);
+
+    // Phase 2: likelihoods from the analytic canary distribution
+    // (AIM divides observed counts by strength; the count scale
+    // cancels in the ranking and the weighting).
+    std::vector<std::pair<double, BasisState>> ranked;
+    for (BasisState outcome = 0; outcome < canary_dist.size();
+         ++outcome) {
+        if (canary_dist[outcome] <= 0.0)
+            continue;
+        ranked.emplace_back(canary_dist[outcome] /
+                                rbms.strength(outcome),
+                            outcome);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+
+    AimPrediction prediction;
+    std::vector<double> likelihoods;
+    for (const auto& [l, outcome] : ranked) {
+        if (prediction.candidates.size() >= options.numCandidates)
+            break;
+        prediction.candidates.push_back(outcome);
+        likelihoods.push_back(l);
+    }
+    if (prediction.candidates.empty()) {
+        prediction.candidates.push_back(0);
+        likelihoods.push_back(1.0);
+    }
+
+    // Phase 3: tailored strings and budget weighting, mirroring
+    // AdaptiveInvertAndMeasure::run.
+    const BasisState strongest = rbms.strongestState();
+    const std::size_t remaining = shots - canary_shots;
+    std::vector<std::size_t> shares(prediction.candidates.size(),
+                                    0);
+    if (options.weightedAllocation) {
+        double total_l = 0.0;
+        for (double l : likelihoods)
+            total_l += l;
+        std::size_t assigned = 0;
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+            shares[i] = static_cast<std::size_t>(
+                static_cast<double>(remaining) * likelihoods[i] /
+                total_l);
+            assigned += shares[i];
+        }
+        shares[0] += remaining - assigned;
+    } else {
+        for (std::size_t i = 0; i < shares.size(); ++i)
+            shares[i] = remaining / shares.size();
+        shares[0] += remaining % shares.size();
+    }
+
+    prediction.plan = canary_plan;
+    for (std::size_t i = 0; i < prediction.candidates.size();
+         ++i) {
+        if (shares[i] == 0)
+            continue;
+        prediction.plan.push_back(
+            {prediction.candidates[i] ^ strongest, shares[i]});
+    }
+    prediction.distribution =
+        planDistribution(circuit, prediction.plan);
+    return prediction;
+}
+
+std::vector<double>
+idealDistribution(const Circuit& circuit)
+{
+    if (!circuit.hasMeasurements())
+        throw std::invalid_argument("idealDistribution: circuit "
+                                    "has no measurements");
+    IdealSimulator sim(circuit.numQubits());
+    const StateVector state = sim.stateOf(circuit);
+    const std::vector<double> probs = state.probabilities();
+    std::vector<double> out(std::size_t{1} << circuit.numClbits(),
+                            0.0);
+    for (BasisState s = 0; s < probs.size(); ++s) {
+        if (probs[s] > 0.0)
+            out[circuit.classicalOutcome(s)] += probs[s];
+    }
+    return out;
+}
+
+} // namespace qem::verify

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ExactOracle: the analytic ground truth every sampled policy run
+ * is verified against.
+ *
+ * The oracle pushes a circuit through the density-matrix backend
+ * (exact gate/decay noise) and the confusion-matrix readout channel
+ * (exact per-state flip probabilities), once per inversion string,
+ * and relabels each mode's outcome distribution by the string —
+ * exactly the classical post-correction SIM/AIM perform on their
+ * logs. Conditional on a policy's realized mode plan, the merged
+ * log is a sum of independent multinomial draws from these mode
+ * distributions, so the mixture weighted by per-mode shot shares is
+ * the *exact* distribution the merged histogram converges to, with
+ * no Monte-Carlo anywhere. That makes it a legitimate null
+ * hypothesis for the G-tests in verify/assertions.hh.
+ *
+ * Cost is the density-matrix backend's (4^active qubits per mode),
+ * so the oracle is for verification workloads, not production runs;
+ * supports() reports whether a circuit is within exact reach.
+ */
+
+#ifndef QEM_VERIFY_ORACLE_HH
+#define QEM_VERIFY_ORACLE_HH
+
+#include <map>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/inversion.hh"
+#include "mitigation/rbms.hh"
+#include "noise/noise_model.hh"
+
+namespace qem::verify
+{
+
+class ExactOracle
+{
+  public:
+    /** Oracle for circuits executing under @p model. */
+    explicit ExactOracle(NoiseModel model);
+
+    /** Oracle for a machine's derived noise model. */
+    explicit ExactOracle(const Machine& machine);
+
+    /**
+     * True when @p circuit is small enough for exact treatment
+     * (mirrors the density-matrix backend's limits without
+     * throwing).
+     */
+    bool supports(const Circuit& circuit) const;
+
+    /**
+     * Exact observed-outcome distribution of @p circuit (indexed by
+     * the classical register) — what a Baseline run converges to.
+     */
+    std::vector<double> observedDistribution(
+        const Circuit& circuit) const;
+
+    /**
+     * Exact post-corrected distribution of one measurement mode:
+     * run the circuit rewritten under @p inversion, flip the
+     * outcomes back. result[x] = P_observed[x XOR inversion].
+     */
+    std::vector<double> correctedDistribution(
+        const Circuit& circuit, InversionString inversion) const;
+
+    /**
+     * Exact distribution of a merged multi-mode log: the
+     * shot-share-weighted mixture of the per-mode corrected
+     * distributions. @p plan is what MitigationPolicy::lastPlan()
+     * reports after a run; zero-shot modes are ignored. Throws on an
+     * all-empty plan.
+     */
+    std::vector<double> planDistribution(const Circuit& circuit,
+                                         const ModePlan& plan) const;
+
+    /**
+     * The plan SIM executes for @p shots trials (same share
+     * arithmetic as StaticInvertAndMeasure), with @p strings
+     * defaulting to the paper's four-mode set — composed with
+     * planDistribution this is SIM's analytic output without
+     * running the policy.
+     */
+    ModePlan simPlan(const Circuit& circuit, std::size_t shots,
+                     std::vector<InversionString> strings = {}) const;
+
+    /** Result of the asymptotic AIM derivation. */
+    struct AimPrediction
+    {
+        /** Top-K candidates by analytic likelihood, best first. */
+        std::vector<BasisState> candidates;
+        /** Canary modes plus tailored modes with their shares. */
+        ModePlan plan;
+        /** planDistribution of that plan. */
+        std::vector<double> distribution;
+    };
+
+    /**
+     * The in-the-limit AIM run: likelihoods computed from the
+     * *analytic* canary distribution instead of a sampled canary
+     * log, then the same candidate selection, tailored-string
+     * construction, and budget-weighting arithmetic as
+     * AdaptiveInvertAndMeasure. A sampled AIM run whose canary
+     * phase ranked the candidates the same way converges to this
+     * distribution; runs with ambiguous rankings are verified
+     * against planDistribution(lastPlan()) instead.
+     */
+    AimPrediction aimPrediction(const Circuit& circuit,
+                                const RbmsEstimate& rbms,
+                                std::size_t shots,
+                                const AimOptions& options = {}) const;
+
+    const NoiseModel& model() const { return model_; }
+
+  private:
+    NoiseModel model_;
+};
+
+/**
+ * Noise-free outcome distribution of a measured circuit, from the
+ * ideal state vector — the oracle for tests running on
+ * IdealSimulator (e.g. benchmark self-checks).
+ */
+std::vector<double> idealDistribution(const Circuit& circuit);
+
+} // namespace qem::verify
+
+#endif // QEM_VERIFY_ORACLE_HH

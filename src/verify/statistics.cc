@@ -1,0 +1,394 @@
+#include "verify/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace qem::verify
+{
+
+namespace
+{
+
+/** Normalize @p probs to sum 1; throws on a non-distribution. */
+std::vector<double>
+normalized(const std::vector<double>& probs)
+{
+    double sum = 0.0;
+    for (double p : probs) {
+        if (p < 0.0 || !std::isfinite(p))
+            throw std::invalid_argument("verify: model probabilities "
+                                        "must be finite and >= 0");
+        sum += p;
+    }
+    if (sum <= 0.0)
+        throw std::invalid_argument("verify: model distribution "
+                                    "sums to zero");
+    std::vector<double> out(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        out[i] = probs[i] / sum;
+    return out;
+}
+
+/**
+ * One (observed, expected) cell pair after pooling. Pooling merges
+ * every cell whose expected count is below the threshold into one
+ * tail cell, the standard fix for the chi-square approximation
+ * breaking down on sparse cells.
+ */
+struct PooledCells
+{
+    std::vector<double> observed;
+    std::vector<double> expected;
+    unsigned pooled = 0;
+};
+
+PooledCells
+poolCells(const Counts& counts, const std::vector<double>& probs,
+          double min_expected)
+{
+    const double n = static_cast<double>(counts.total());
+    PooledCells cells;
+    double tail_obs = 0.0, tail_exp = 0.0;
+    unsigned tail_members = 0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const double e = n * probs[i];
+        const double o = static_cast<double>(
+            counts.get(static_cast<BasisState>(i)));
+        if (e >= min_expected) {
+            cells.observed.push_back(o);
+            cells.expected.push_back(e);
+        } else {
+            tail_obs += o;
+            tail_exp += e;
+            ++tail_members;
+        }
+    }
+    if (tail_members > 0) {
+        cells.observed.push_back(tail_obs);
+        cells.expected.push_back(tail_exp);
+        cells.pooled = tail_members;
+    }
+    return cells;
+}
+
+/** Williams' correction factor q for a k-cell GOF test on n trials. */
+double
+williamsQ(std::size_t k, double n)
+{
+    if (k < 2 || n <= 0.0)
+        return 1.0;
+    const double kd = static_cast<double>(k);
+    return 1.0 + (kd * kd - 1.0) /
+                     (6.0 * n * (kd - 1.0));
+}
+
+GofResult
+finishTest(double statistic, std::size_t cells, unsigned pooled)
+{
+    GofResult result;
+    result.statistic = statistic;
+    result.pooledCells = pooled;
+    result.dof =
+        cells > 1 ? static_cast<unsigned>(cells - 1) : 0;
+    result.pValue = result.dof == 0
+                        ? 1.0
+                        : chiSquareSurvival(statistic, result.dof);
+    return result;
+}
+
+} // namespace
+
+double
+logGamma(double x)
+{
+    if (x <= 0.0)
+        throw std::invalid_argument("logGamma: x must be > 0");
+    // Lanczos, g = 7, n = 9 (Boost/GSL-grade coefficients).
+    static const double coeff[9] = {
+        0.99999999999980993, 676.5203681218851,
+        -1259.1392167224028, 771.32342877765313,
+        -176.61502916214059, 12.507343278686905,
+        -0.13857109526572012, 9.9843695780195716e-6,
+        1.5056327351493116e-7};
+    if (x < 0.5) {
+        // Reflection for small x.
+        return std::log(M_PI / std::sin(M_PI * x)) -
+               logGamma(1.0 - x);
+    }
+    const double z = x - 1.0;
+    double sum = coeff[0];
+    for (int i = 1; i < 9; ++i)
+        sum += coeff[i] / (z + static_cast<double>(i));
+    const double t = z + 7.5;
+    return 0.5 * std::log(2.0 * M_PI) +
+           (z + 0.5) * std::log(t) - t + std::log(sum);
+}
+
+double
+regularizedGammaP(double a, double x)
+{
+    if (a <= 0.0)
+        throw std::invalid_argument("regularizedGammaP: a must be "
+                                    "> 0");
+    if (x < 0.0)
+        throw std::invalid_argument("regularizedGammaP: x must be "
+                                    ">= 0");
+    if (x == 0.0)
+        return 0.0;
+    const double lg = logGamma(a);
+    if (x < a + 1.0) {
+        // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n /
+        // (a(a+1)...(a+n)).
+        double term = 1.0 / a;
+        double sum = term;
+        for (int n = 1; n < 1000; ++n) {
+            term *= x / (a + static_cast<double>(n));
+            sum += term;
+            if (std::abs(term) <
+                std::abs(sum) *
+                    std::numeric_limits<double>::epsilon()) {
+                break;
+            }
+        }
+        return sum * std::exp(-x + a * std::log(x) - lg);
+    }
+    // Lentz continued fraction for Q(a,x); P = 1 - Q.
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 1000; ++i) {
+        const double an =
+            -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::abs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) <
+            std::numeric_limits<double>::epsilon()) {
+            break;
+        }
+    }
+    const double q = std::exp(-x + a * std::log(x) - lg) * h;
+    return 1.0 - q;
+}
+
+double
+chiSquareSurvival(double statistic, unsigned dof)
+{
+    if (dof == 0)
+        throw std::invalid_argument("chiSquareSurvival: zero "
+                                    "degrees of freedom");
+    if (statistic <= 0.0)
+        return 1.0;
+    return 1.0 - regularizedGammaP(static_cast<double>(dof) / 2.0,
+                                   statistic / 2.0);
+}
+
+GofResult
+gTest(const Counts& counts, const std::vector<double>& probs,
+      const GofOptions& options)
+{
+    if (counts.total() == 0)
+        throw std::invalid_argument("gTest: empty histogram");
+    const std::vector<double> model = normalized(probs);
+    // An observation in a cell the model says is impossible is an
+    // immediate, certain rejection (G would be infinite).
+    for (const auto& [outcome, n] : counts.raw()) {
+        if (outcome >= model.size() || model[outcome] <= 0.0) {
+            GofResult impossible;
+            impossible.statistic =
+                std::numeric_limits<double>::infinity();
+            impossible.dof = 1;
+            impossible.pValue = 0.0;
+            return impossible;
+        }
+    }
+    const PooledCells cells =
+        poolCells(counts, model, options.minExpected);
+    double g = 0.0;
+    for (std::size_t i = 0; i < cells.observed.size(); ++i) {
+        const double o = cells.observed[i];
+        if (o > 0.0 && cells.expected[i] > 0.0)
+            g += o * std::log(o / cells.expected[i]);
+    }
+    g *= 2.0;
+    if (options.williamsCorrection) {
+        g /= williamsQ(cells.observed.size(),
+                       static_cast<double>(counts.total()));
+    }
+    return finishTest(g, cells.observed.size(), cells.pooled);
+}
+
+GofResult
+chiSquareTest(const Counts& counts, const std::vector<double>& probs,
+              const GofOptions& options)
+{
+    if (counts.total() == 0)
+        throw std::invalid_argument("chiSquareTest: empty "
+                                    "histogram");
+    const std::vector<double> model = normalized(probs);
+    for (const auto& [outcome, n] : counts.raw()) {
+        if (outcome >= model.size() || model[outcome] <= 0.0) {
+            GofResult impossible;
+            impossible.statistic =
+                std::numeric_limits<double>::infinity();
+            impossible.dof = 1;
+            impossible.pValue = 0.0;
+            return impossible;
+        }
+    }
+    const PooledCells cells =
+        poolCells(counts, model, options.minExpected);
+    double x2 = 0.0;
+    for (std::size_t i = 0; i < cells.observed.size(); ++i) {
+        if (cells.expected[i] <= 0.0)
+            continue;
+        const double diff = cells.observed[i] - cells.expected[i];
+        x2 += diff * diff / cells.expected[i];
+    }
+    return finishTest(x2, cells.observed.size(), cells.pooled);
+}
+
+GofResult
+twoSampleGTest(const Counts& a, const Counts& b,
+               const GofOptions& options)
+{
+    if (a.total() == 0 || b.total() == 0)
+        throw std::invalid_argument("twoSampleGTest: empty "
+                                    "histogram");
+    if (a.numBits() != b.numBits())
+        throw std::invalid_argument("twoSampleGTest: histogram "
+                                    "widths differ");
+    // Union of observed outcomes; pooled expected counts come from
+    // the merged sample under the null (same distribution).
+    const double na = static_cast<double>(a.total());
+    const double nb = static_cast<double>(b.total());
+    const double n = na + nb;
+
+    struct Column
+    {
+        double oa = 0.0, ob = 0.0;
+    };
+    std::vector<Column> columns;
+    {
+        std::map<BasisState, Column> merged;
+        for (const auto& [outcome, count] : a.raw())
+            merged[outcome].oa = static_cast<double>(count);
+        for (const auto& [outcome, count] : b.raw())
+            merged[outcome].ob = static_cast<double>(count);
+        // Pool columns whose pooled expected count (in the smaller
+        // sample) drops below the threshold.
+        Column tail;
+        unsigned pooled = 0;
+        const double nmin = std::min(na, nb);
+        for (const auto& [outcome, col] : merged) {
+            const double pooled_p = (col.oa + col.ob) / n;
+            if (pooled_p * nmin >= options.minExpected) {
+                columns.push_back(col);
+            } else {
+                tail.oa += col.oa;
+                tail.ob += col.ob;
+                ++pooled;
+            }
+        }
+        if (pooled > 0)
+            columns.push_back(tail);
+        if (columns.size() < 2) {
+            // Everything in one column: the two samples are
+            // trivially compatible.
+            GofResult trivial;
+            trivial.pooledCells = pooled;
+            return trivial;
+        }
+        GofResult result;
+        double g = 0.0;
+        for (const Column& col : columns) {
+            const double total = col.oa + col.ob;
+            const double ea = total * na / n;
+            const double eb = total * nb / n;
+            if (col.oa > 0.0)
+                g += col.oa * std::log(col.oa / ea);
+            if (col.ob > 0.0)
+                g += col.ob * std::log(col.ob / eb);
+        }
+        g *= 2.0;
+        if (options.williamsCorrection) {
+            // The one-sample q is a (slightly conservative) stand-in
+            // for Williams' full r x k form; q >= 1 only ever
+            // shrinks G, so it cannot create false failures.
+            g /= williamsQ(columns.size(), n);
+        }
+        result.statistic = g;
+        result.pooledCells = pooled;
+        result.dof = static_cast<unsigned>(columns.size() - 1);
+        result.pValue = chiSquareSurvival(g, result.dof);
+        return result;
+    }
+}
+
+double
+totalVariation(const std::vector<double>& p,
+               const std::vector<double>& q)
+{
+    if (p.size() != q.size())
+        throw std::invalid_argument("totalVariation: size "
+                                    "mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        sum += std::abs(p[i] - q[i]);
+    return sum / 2.0;
+}
+
+double
+totalVariation(const Counts& counts,
+               const std::vector<double>& probs)
+{
+    if (counts.total() == 0)
+        throw std::invalid_argument("totalVariation: empty "
+                                    "histogram");
+    const double n = static_cast<double>(counts.total());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const double freq =
+            static_cast<double>(
+                counts.get(static_cast<BasisState>(i))) /
+            n;
+        sum += std::abs(freq - probs[i]);
+    }
+    // Observed outcomes beyond the model vector count in full.
+    for (const auto& [outcome, count] : counts.raw()) {
+        if (outcome >= probs.size())
+            sum += static_cast<double>(count) / n;
+    }
+    return sum / 2.0;
+}
+
+double
+tvdBound(std::size_t support, std::uint64_t shots, double alpha)
+{
+    if (support == 0)
+        throw std::invalid_argument("tvdBound: empty support");
+    if (shots == 0)
+        throw std::invalid_argument("tvdBound: zero shots");
+    if (alpha <= 0.0 || alpha >= 1.0)
+        throw std::invalid_argument("tvdBound: alpha must be in "
+                                    "(0, 1)");
+    const double numerator =
+        static_cast<double>(support) * std::log(2.0) +
+        std::log(1.0 / alpha);
+    return std::sqrt(numerator /
+                     (2.0 * static_cast<double>(shots)));
+}
+
+} // namespace qem::verify

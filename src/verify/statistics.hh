@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Distributional test statistics for the verification subsystem.
+ *
+ * Every sampled-histogram comparison in this repo funnels through
+ * the functions here, so the flakiness/blindness trade-off is made
+ * exactly once, with an explicit false-positive probability, instead
+ * of per-test hand-tuned epsilons. Three families:
+ *
+ *  - Goodness-of-fit against a *known* distribution (the ExactOracle
+ *    output): likelihood-ratio G-test and Pearson chi-square, both
+ *    with small-cell pooling and Williams' correction, p-values from
+ *    the exact regularized incomplete gamma function.
+ *  - Two-sample tests between two *sampled* histograms (a fresh run
+ *    against a recorded golden): 2xk contingency G-test.
+ *  - Distribution-free concentration: the
+ *    Bretagnolle-Huber-Carol/DKW-style total-variation bound
+ *    P(TVD(empirical, p) >= eps) <= 2^k * exp(-2 n eps^2),
+ *    inverted to give the TVD radius a histogram of n shots over k
+ *    cells must stay inside except with probability alpha. This is
+ *    the "bound derived from the shot count" the golden checker and
+ *    the paper-level oracle tests assert.
+ */
+
+#ifndef QEM_VERIFY_STATISTICS_HH
+#define QEM_VERIFY_STATISTICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/counts.hh"
+
+namespace qem::verify
+{
+
+/** @name Special functions (exposed for their own tests). */
+/// @{
+/** ln Gamma(x) for x > 0 (Lanczos approximation, ~1e-13 relative). */
+double logGamma(double x);
+
+/**
+ * Regularized lower incomplete gamma P(a, x); Q = 1 - P. Series for
+ * x < a + 1, continued fraction otherwise.
+ */
+double regularizedGammaP(double a, double x);
+
+/**
+ * Survival function of the chi-square distribution with @p dof
+ * degrees of freedom: P(X >= statistic).
+ */
+double chiSquareSurvival(double statistic, unsigned dof);
+/// @}
+
+/** Outcome of one goodness-of-fit / independence test. */
+struct GofResult
+{
+    /** Test statistic (G or Pearson X^2), after any correction. */
+    double statistic = 0.0;
+    /** Degrees of freedom after cell pooling. */
+    unsigned dof = 0;
+    /** P(statistic at least this large | null hypothesis). */
+    double pValue = 1.0;
+    /** Cells merged into the pooled tail (0 = no pooling). */
+    unsigned pooledCells = 0;
+};
+
+/**
+ * Knobs shared by the goodness-of-fit tests. Defaults follow
+ * standard practice (pool expected counts below 5, apply Williams'
+ * correction to G).
+ */
+struct GofOptions
+{
+    /** Cells with expected count below this are pooled together. */
+    double minExpected = 5.0;
+    /** Divide the statistic by Williams' q (G-test only). */
+    bool williamsCorrection = true;
+};
+
+/**
+ * Likelihood-ratio goodness-of-fit test ("G-test") of @p counts
+ * against the model distribution @p probs (size 2^numBits, need not
+ * be exactly normalized; zero-probability cells with observations
+ * make the test fail with pValue 0). Under the null the statistic
+ * is asymptotically chi-square; Williams' correction improves the
+ * approximation at the shot counts tests actually use.
+ */
+GofResult gTest(const Counts& counts,
+                const std::vector<double>& probs,
+                const GofOptions& options = {});
+
+/** Pearson chi-square goodness-of-fit test, same conventions. */
+GofResult chiSquareTest(const Counts& counts,
+                        const std::vector<double>& probs,
+                        const GofOptions& options = {});
+
+/**
+ * Two-sample G-test: are @p a and @p b draws from the same
+ * (unknown) distribution? 2xk contingency likelihood ratio with
+ * pooling of sparse columns. This is the golden-regression
+ * comparison: both histograms are sampled, neither is "the truth".
+ */
+GofResult twoSampleGTest(const Counts& a, const Counts& b,
+                         const GofOptions& options = {});
+
+/** @name Total-variation distance. */
+/// @{
+/** TVD = (1/2) sum_i |p_i - q_i| of two probability vectors. */
+double totalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q);
+
+/** TVD between a histogram's empirical frequencies and @p probs. */
+double totalVariation(const Counts& counts,
+                      const std::vector<double>& probs);
+
+/**
+ * Concentration radius: the eps such that a multinomial sample of
+ * @p shots trials over @p support cells has
+ * P(TVD(empirical, truth) >= eps) <= alpha. From
+ * P(TVD >= eps) <= 2^support * exp(-2 * shots * eps^2):
+ * eps = sqrt((support * ln 2 + ln(1/alpha)) / (2 * shots)).
+ * This is how oracle tests turn a shot budget into a TVD bound
+ * instead of hard-coding a tolerance.
+ */
+double tvdBound(std::size_t support, std::uint64_t shots,
+                double alpha);
+/// @}
+
+} // namespace qem::verify
+
+#endif // QEM_VERIFY_STATISTICS_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Custom gtest entry point for the test binaries: recognizes the
+ * repo-specific `--update-golden` flag anywhere on the command line
+ * and strips it before GoogleTest parses the rest. With the flag (or
+ * INVERTQ_UPDATE_GOLDEN set), every GoldenStore constructed with the
+ * default policy records fresh values and rewrites its manifest on
+ * flush() instead of checking — see docs/verification.md.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "verify/golden.hh"
+
+int
+main(int argc, char** argv)
+{
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--update-golden") == 0) {
+            qem::verify::GoldenStore::requestUpdate();
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -13,11 +13,19 @@
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
 #include "qsim/bitstring.hh"
+#include "verify/assertions.hh"
 
 namespace qem
 {
 namespace
 {
+
+/**
+ * False-positive budget per statistical claim. The backends here
+ * are readout-only (no gate noise), so every shot is an independent
+ * draw and no design-effect deflation is needed.
+ */
+constexpr double kAlpha = 1e-6;
 
 /** Readout-only backend with an arbitrary strongest state. */
 TrajectorySimulator
@@ -91,25 +99,37 @@ TEST(AimPolicy, SteersWeakStateToStrongest)
     // baseline and four-mode SIM on it.
     const BasisState truth = fromBitString("101");
     const Circuit c = basisStatePrep(3, truth);
+    const std::size_t shots = 30000;
 
     auto b1 = arbitraryBiasBackend(73);
     BaselinePolicy baseline;
-    const double p_base = pst(baseline.run(c, b1, 30000), truth);
+    const Counts base = baseline.run(c, b1, shots);
 
     auto b2 = arbitraryBiasBackend(74);
     StaticInvertAndMeasure sim;
-    const double p_sim = pst(sim.run(c, b2, 30000), truth);
+    const Counts sim_counts = sim.run(c, b2, shots);
 
     auto b3 = arbitraryBiasBackend(75);
     AdaptiveInvertAndMeasure aim(profile(b3));
-    const double p_aim = pst(aim.run(c, b3, 30000), truth);
+    const Counts aim_counts = aim.run(c, b3, shots);
 
-    EXPECT_GT(p_sim, p_base);
-    EXPECT_GT(p_aim, p_sim);
+    const verify::CheckResult sim_beats_base =
+        verify::checkProportionOrdering(
+            sim_counts.get(truth), shots, base.get(truth), shots,
+            kAlpha);
+    EXPECT_TRUE(sim_beats_base) << sim_beats_base.message;
+    const verify::CheckResult aim_beats_sim =
+        verify::checkProportionOrdering(aim_counts.get(truth),
+                                        shots,
+                                        sim_counts.get(truth),
+                                        shots, kAlpha);
+    EXPECT_TRUE(aim_beats_sim) << aim_beats_sim.message;
     // The strongest state of this model is read with ~0.95^3
     // fidelity; AIM should get most of the way there on 75% of the
     // trials.
-    EXPECT_GT(p_aim, 0.6);
+    const verify::CheckResult floor = verify::checkProbAtLeast(
+        aim_counts, truth, 0.6, kAlpha);
+    EXPECT_TRUE(floor) << floor.message;
 }
 
 TEST(AimPolicy, TotalTrialBudgetIsRespected)

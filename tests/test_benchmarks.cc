@@ -3,16 +3,24 @@
  * Unit tests for the Table-3 benchmark suite.
  */
 
+#include <algorithm>
+#include <iterator>
+
 #include <gtest/gtest.h>
 
 #include "kernels/benchmarks.hh"
 #include "qsim/bitstring.hh"
 #include "qsim/simulator.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
 
 namespace qem
 {
 namespace
 {
+
+/** False-positive budget per statistical claim in this file. */
+constexpr double kAlpha = 1e-6;
 
 TEST(Benchmarks, Q5SuiteMatchesTable3)
 {
@@ -81,13 +89,27 @@ TEST(Benchmarks, QaoaBenchmarksConcentrateOnOptimum)
         for (const auto& bench : suite) {
             if (bench.name.rfind("qaoa", 0) != 0)
                 continue;
-            IdealSimulator sim(bench.circuit.numQubits(), 32);
-            const Counts counts = sim.run(bench.circuit, 20000);
-            const BasisState top = counts.mostFrequent();
+            // Concentration is an analytic property of the circuit:
+            // the exact amplitudes must peak on the optimum (or its
+            // Z2 complement). No sampling, no tolerance.
+            const std::vector<double> ideal =
+                verify::idealDistribution(bench.circuit);
+            const BasisState top = static_cast<BasisState>(
+                std::distance(ideal.begin(),
+                              std::max_element(ideal.begin(),
+                                               ideal.end())));
             EXPECT_TRUE(top == bench.correctOutput ||
                         top == complementOutput(bench))
                 << bench.name << " top="
                 << toBitString(top, bench.outputBits);
+            // And the ideal simulator actually samples that
+            // distribution: G-test with an explicit alpha replaces
+            // the old most-frequent-outcome heuristic.
+            IdealSimulator sim(bench.circuit.numQubits(), 32);
+            const Counts counts = sim.run(bench.circuit, 20000);
+            const verify::CheckResult fit =
+                verify::checkDistribution(counts, ideal, kAlpha);
+            EXPECT_TRUE(fit) << bench.name << ": " << fit.message;
         }
     }
 }

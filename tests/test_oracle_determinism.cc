@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pins the ExactOracle's analytic output: the distribution derived
+ * for a SIM run must be bit-identical whether the policy executed on
+ * the serial backend or the parallel runtime (1, 4, or 8 workers),
+ * and must match the committed golden manifest — the analytic path
+ * has no business depending on execution threading.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "kernels/benchmarks.hh"
+#include "machine/machines.hh"
+#include "verify/golden.hh"
+#include "verify/oracle.hh"
+
+#ifndef QEM_GOLDEN_DIR
+#define QEM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace qem
+{
+namespace
+{
+
+TEST(OracleDeterminism, AnalyticPathIgnoresRuntimeThreads)
+{
+    verify::GoldenStore golden(
+        std::string(QEM_GOLDEN_DIR) + "/oracle_determinism.json");
+
+    const NisqBenchmark bench =
+        makeBvBenchmark("bv-4A", 4, "0111");
+    std::vector<std::vector<double>> sim_dists;
+    std::vector<std::vector<double>> observed_dists;
+    unsigned clbits = 0; // BV-4 carries an unmeasured ancilla bit.
+    for (unsigned threads : {1u, 4u, 8u}) {
+        MachineSession session(makeMachine("ibmqx4"), 2019,
+                               SessionOptions{threads, 64});
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+        const verify::ExactOracle oracle(session.machine());
+        ASSERT_TRUE(oracle.supports(program.circuit));
+        clbits = program.circuit.numClbits();
+
+        StaticInvertAndMeasure sim;
+        session.runPolicy(program, sim, 512);
+        sim_dists.push_back(oracle.planDistribution(
+            program.circuit, sim.lastPlan()));
+        observed_dists.push_back(
+            oracle.observedDistribution(program.circuit));
+    }
+
+    // Bit-identical across thread counts: the oracle conditions
+    // only on the plan, and SIM's plan is a function of the shot
+    // count alone.
+    for (std::size_t t = 1; t < sim_dists.size(); ++t) {
+        ASSERT_EQ(sim_dists[t], sim_dists[0])
+            << "SIM oracle distribution varies with threads";
+        ASSERT_EQ(observed_dists[t], observed_dists[0])
+            << "observed distribution varies with threads";
+    }
+
+    // And pinned against the committed manifest.
+    const verify::CheckResult sim_check = golden.checkAnalytic(
+        "ibmqx4/bv-4A/sim-512", clbits, sim_dists[0], 1e-12,
+        {{"machine", "ibmqx4"}, {"policy", "SIM"}});
+    EXPECT_TRUE(sim_check) << sim_check.message;
+    const verify::CheckResult observed_check =
+        golden.checkAnalytic("ibmqx4/bv-4A/observed", clbits,
+                             observed_dists[0], 1e-12,
+                             {{"machine", "ibmqx4"},
+                              {"policy", "baseline"}});
+    EXPECT_TRUE(observed_check) << observed_check.message;
+
+    if (golden.updating()) {
+        ASSERT_TRUE(golden.flush());
+    }
+}
+
+} // namespace
+} // namespace qem

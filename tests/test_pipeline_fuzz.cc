@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "noise/trajectory.hh"
 #include "qsim/bitstring.hh"
 #include "qsim/qasm.hh"
 #include "qsim/rng.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
 
 namespace qem
 {
@@ -105,6 +108,47 @@ TEST_P(PipelineFuzz, InvariantsHoldOnMelbourne)
             EXPECT_LT(outcome, BasisState{1} << n);
             EXPECT_GT(count, 0u);
         }
+    }
+}
+
+TEST_P(PipelineFuzz, PoliciesMatchExactOracleOnIbmqx4)
+{
+    // On the 5-qubit machine the density-matrix oracle is cheap, so
+    // every fuzzed circuit's sampled log can be cross-checked
+    // against the analytic distribution of its realized plan. The
+    // policies run on an iid (shotsPerTrajectory = 1) backend so
+    // the G-test's multinomial null holds exactly; alpha = 1e-9 per
+    // check keeps the whole 12-seed suite's spurious-failure budget
+    // below 5e-8.
+    constexpr double alpha = 1e-9;
+    Rng rng(1900 + GetParam());
+    const Machine machine = makeIbmqx4();
+    MachineSession session(machine, 2000 + GetParam());
+    TrajectorySimulator iid(
+        machine.noiseModel(), 3000 + GetParam(),
+        TrajectoryOptions{.shotsPerTrajectory = 1});
+    const unsigned n = 2 + static_cast<unsigned>(rng.index(4));
+    const Circuit logical =
+        randomCircuit(n, 6 + static_cast<int>(rng.index(12)),
+                      rng);
+    const TranspiledProgram program = session.prepare(logical);
+    const verify::ExactOracle oracle(machine);
+    ASSERT_TRUE(oracle.supports(program.circuit));
+
+    BaselinePolicy baseline;
+    StaticInvertAndMeasure sim;
+    for (MitigationPolicy* policy :
+         std::initializer_list<MitigationPolicy*>{&baseline,
+                                                  &sim}) {
+        const Counts counts =
+            policy->run(program.circuit, iid, 4096);
+        const ModePlan plan = policy->lastPlan();
+        ASSERT_FALSE(plan.empty()) << policy->name();
+        const verify::CheckResult fit = verify::checkDistribution(
+            counts, oracle.planDistribution(program.circuit, plan),
+            alpha);
+        EXPECT_TRUE(fit)
+            << policy->name() << ": " << fit.message;
     }
 }
 

@@ -18,6 +18,8 @@
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
 #include "qsim/bitstring.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
 
 namespace qem
 {
@@ -86,6 +88,35 @@ TEST_P(PolicyProperties, SpendsExactTrialBudget)
                 << GetParam().name;
         }
     }
+}
+
+TEST_P(PolicyProperties, AgreesWithExactOracleOnRealizedPlan)
+{
+    // A fourth policy-wide property: conditional on the realized
+    // mode plan, the merged log is a multinomial sample from the
+    // ExactOracle's mixture. Readout-only noise keeps the backend
+    // iid (no trajectory batching), so the G-test's assumptions
+    // hold and alpha is the exact false-positive rate.
+    NoiseModel model(4);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(4, 0.03),
+        std::vector<double>(4, 0.12)));
+    TrajectorySimulator backend(model, 314);
+    const Circuit circuit = bernsteinVazirani(3, 0b110);
+    auto policy = GetParam().make(3);
+    const Counts counts = policy->run(circuit, backend, 20000);
+    const ModePlan plan = policy->lastPlan();
+    if (plan.empty()) {
+        // The matrix filter rewrites the histogram rather than
+        // running inversion modes; there is no plan to condition
+        // on, so the oracle property does not apply.
+        GTEST_SKIP() << GetParam().name
+                     << " records no mode plan";
+    }
+    const verify::ExactOracle oracle(model);
+    const verify::CheckResult fit = verify::checkDistribution(
+        counts, oracle.planDistribution(circuit, plan), 1e-6);
+    EXPECT_TRUE(fit) << GetParam().name << ": " << fit.message;
 }
 
 TEST_P(PolicyProperties, ReproduciblePerSeed)

@@ -100,5 +100,44 @@ TEST(Qasm, ParserDiagnosesErrors)
     EXPECT_THROW(fromQasm(""), std::invalid_argument);
 }
 
+TEST(Qasm, RegistersOnlyProgramIsAnEmptyCircuit)
+{
+    // Declarations with no statements are legal QASM: the result is
+    // a gate-free circuit of the declared shape.
+    const Circuit c = fromQasm("OPENQASM 2.0;\n"
+                               "include \"qelib1.inc\";\n"
+                               "qreg q[3];\n"
+                               "creg c[2];\n");
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.numClbits(), 2u);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_FALSE(c.hasMeasurements());
+}
+
+TEST(Qasm, CommentsOnlyProgramIsRejected)
+{
+    // A file of comments and blank lines never declares registers,
+    // so the parser must refuse it rather than return a 0-qubit
+    // circuit.
+    EXPECT_THROW(fromQasm("// nothing here\n"
+                          "\n"
+                          "   // still nothing\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(fromQasm("OPENQASM 2.0;\n// just a header\n"),
+                 std::invalid_argument);
+}
+
+TEST(Qasm, UnknownGateNamesTheOffender)
+{
+    try {
+        fromQasm("qreg q[2];\ncreg c[2];\nxyzzy q[0];");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("xyzzy"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    }
+}
+
 } // namespace
 } // namespace qem

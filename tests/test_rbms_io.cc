@@ -81,5 +81,39 @@ TEST(RbmsIo, ParserDiagnosesGarbage)
         std::invalid_argument);
 }
 
+TEST(RbmsIo, ParserDiagnosesTruncatedInput)
+{
+    // Header with no table at all.
+    EXPECT_THROW(parseRbms("rbms exhaustive 2\n"),
+                 std::invalid_argument);
+    // Header cut off before the bit count.
+    EXPECT_THROW(parseRbms("rbms exhaustive"),
+                 std::invalid_argument);
+    // Dense tables above 24 bits would be multi-hundred-MB; the
+    // parser refuses rather than allocating.
+    EXPECT_THROW(parseRbms("rbms exhaustive 25\n1 1"),
+                 std::invalid_argument);
+    // Windowed: table shorter than its declared size.
+    EXPECT_THROW(parseRbms("rbms windowed 5 1\nwindow 0 8\n"
+                           "1 1 1 1"),
+                 std::invalid_argument);
+    // Windowed: second declared window missing entirely.
+    EXPECT_THROW(parseRbms("rbms windowed 5 2\nwindow 0 8\n"
+                           "1 1 1 1 1 1 1 1"),
+                 std::invalid_argument);
+    // Windowed: zero windows declared.
+    EXPECT_THROW(parseRbms("rbms windowed 5 0\n"),
+                 std::invalid_argument);
+}
+
+TEST(RbmsIo, ParserDiagnosesNonNumericStrengths)
+{
+    EXPECT_THROW(parseRbms("rbms exhaustive 2\n1 squid 1 1"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseRbms("rbms windowed 5 1\nwindow zero 8\n"
+                           "1 1 1 1 1 1 1 1"),
+                 std::invalid_argument);
+}
+
 } // namespace
 } // namespace qem

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the statistical assertion helpers: each check's
+ * pass/fail semantics, the explicit alpha plumbing, and the
+ * escalation driver.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "verify/assertions.hh"
+
+namespace qem::verify
+{
+namespace
+{
+
+Counts
+sampleFrom(const std::vector<double>& probs, std::size_t shots,
+           unsigned num_bits, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::discrete_distribution<int> draw(probs.begin(),
+                                         probs.end());
+    Counts counts(num_bits);
+    for (std::size_t i = 0; i < shots; ++i)
+        counts.add(static_cast<BasisState>(draw(rng)));
+    return counts;
+}
+
+TEST(VerifyAssertions, CheckDistributionAcceptsTrueModel)
+{
+    const std::vector<double> probs = {0.55, 0.25, 0.15, 0.05};
+    const CheckResult r = checkDistribution(
+        sampleFrom(probs, 8000, 2, 3), probs, 1e-6);
+    EXPECT_TRUE(r) << r.message;
+    EXPECT_EQ(r.alpha, 1e-6);
+    EXPECT_GT(r.bound, 0.0);
+}
+
+TEST(VerifyAssertions, CheckDistributionRejectsWrongModel)
+{
+    const std::vector<double> truth = {0.55, 0.25, 0.15, 0.05};
+    const std::vector<double> wrong = {0.25, 0.25, 0.25, 0.25};
+    const CheckResult r = checkDistribution(
+        sampleFrom(truth, 8000, 2, 5), wrong, 1e-6);
+    EXPECT_FALSE(r);
+    EXPECT_LT(r.pValue, 1e-6);
+}
+
+TEST(VerifyAssertions, CheckTvdWithinBoundAcceptsTrueModel)
+{
+    const std::vector<double> probs = {0.7, 0.1, 0.1, 0.1};
+    const CheckResult r = checkTvdWithinBound(
+        sampleFrom(probs, 16000, 2, 9), probs, 1e-6);
+    EXPECT_TRUE(r) << r.message;
+    EXPECT_LE(r.tvd, r.bound);
+}
+
+TEST(VerifyAssertions, CheckSameDistributionSemantics)
+{
+    const std::vector<double> probs = {0.5, 0.3, 0.1, 0.1};
+    const Counts a = sampleFrom(probs, 6000, 2, 13);
+    const Counts b = sampleFrom(probs, 6000, 2, 17);
+    EXPECT_TRUE(checkSameDistribution(a, b, 1e-6));
+
+    const Counts c =
+        sampleFrom({0.1, 0.1, 0.3, 0.5}, 6000, 2, 19);
+    const CheckResult r = checkSameDistribution(a, c, 1e-6);
+    EXPECT_FALSE(r);
+    EXPECT_LT(r.pValue, 1e-9);
+}
+
+TEST(VerifyAssertions, CheckProbAtLeastUsesWilsonBound)
+{
+    Counts counts(1);
+    counts.add(1, 900);
+    counts.add(0, 100);
+    // Observed 0.9: compatible with >= 0.85, statistically
+    // incompatible with >= 0.95 at any reasonable alpha.
+    EXPECT_TRUE(checkProbAtLeast(counts, BasisState{1}, 0.85,
+                                 1e-6));
+    const CheckResult r =
+        checkProbAtLeast(counts, BasisState{1}, 0.95, 1e-6);
+    EXPECT_FALSE(r);
+    EXPECT_FALSE(r.message.empty());
+}
+
+TEST(VerifyAssertions, CheckProbAtMostMirrorsAtLeast)
+{
+    Counts counts(1);
+    counts.add(1, 100);
+    counts.add(0, 900);
+    EXPECT_TRUE(
+        checkProbAtMost(counts, BasisState{1}, 0.15, 1e-6));
+    EXPECT_FALSE(
+        checkProbAtMost(counts, BasisState{1}, 0.05, 1e-6));
+}
+
+TEST(VerifyAssertions, CheckProbAcceptsOutcomeSets)
+{
+    Counts counts(2);
+    counts.add(0, 450);
+    counts.add(3, 450);
+    counts.add(1, 100);
+    EXPECT_TRUE(checkProbAtLeast(
+        counts, std::vector<BasisState>{0, 3}, 0.85, 1e-6));
+}
+
+TEST(VerifyAssertions, CheckProportionOrderingSemantics)
+{
+    // 90% vs 10% on 1000 trials each: the ordering is decisive in
+    // one direction and decisively rejected in the other.
+    EXPECT_TRUE(
+        checkProportionOrdering(900, 1000, 100, 1000, 1e-6));
+    const CheckResult r =
+        checkProportionOrdering(100, 1000, 900, 1000, 1e-6);
+    EXPECT_FALSE(r);
+    EXPECT_LT(r.pValue, 1e-9);
+    // A statistical tie must NOT fail the ordering claim: the data
+    // cannot rule out either direction.
+    EXPECT_TRUE(
+        checkProportionOrdering(500, 1000, 505, 1000, 1e-6));
+}
+
+TEST(VerifyAssertions, EscalationRetriesWithMoreShots)
+{
+    std::vector<std::size_t> requested;
+    const SampleFn sample = [&](std::size_t shots) {
+        requested.push_back(shots);
+        Counts counts(1);
+        counts.add(0, shots);
+        return counts;
+    };
+    // Fail until the sample is big enough: forces escalation.
+    const CheckFn check = [](const Counts& counts) {
+        CheckResult r;
+        r.passed = counts.total() >= 4000;
+        return r;
+    };
+    const CheckResult r = checkWithEscalation(
+        sample, 1000, check, Escalation{3, 4});
+    EXPECT_TRUE(r);
+    EXPECT_EQ(r.attempts, 2u);
+    ASSERT_EQ(requested.size(), 2u);
+    EXPECT_EQ(requested[0], 1000u);
+    EXPECT_EQ(requested[1], 4000u);
+}
+
+TEST(VerifyAssertions, EscalationReportsExhaustion)
+{
+    const SampleFn sample = [](std::size_t shots) {
+        Counts counts(1);
+        counts.add(0, shots);
+        return counts;
+    };
+    const CheckFn check = [](const Counts&) {
+        CheckResult r;
+        r.message = "nope";
+        return r;
+    };
+    const CheckResult r = checkWithEscalation(
+        sample, 100, check, Escalation{2, 2});
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_NE(r.message.find("escalation"), std::string::npos);
+}
+
+} // namespace
+} // namespace qem::verify

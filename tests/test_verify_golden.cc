@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the golden regression store: update-mode recording,
+ * reload-and-check round trips, statistical tolerance of reseeded
+ * sampled records, and the failure modes (missing golden, schema
+ * drift, analytic mismatch).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "verify/golden.hh"
+
+namespace qem::verify
+{
+namespace
+{
+
+/** A manifest path unique to this test, removed on destruction. */
+class TempManifest
+{
+  public:
+    explicit TempManifest(const std::string& tag)
+        : path_("golden_test_" + tag + ".json")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempManifest() { std::remove(path_.c_str()); }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+Counts
+sampleBiasedCoin(double p1, std::size_t shots, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::bernoulli_distribution draw(p1);
+    Counts counts(1);
+    for (std::size_t i = 0; i < shots; ++i)
+        counts.add(draw(rng) ? 1 : 0);
+    return counts;
+}
+
+TEST(GoldenStore, SampledRoundTripSurvivesReseeding)
+{
+    TempManifest manifest("sampled");
+    {
+        GoldenStore writer(manifest.path(), /*update=*/true);
+        const CheckResult recorded = writer.checkSampled(
+            "coin", sampleBiasedCoin(0.3, 4000, 1), 1e-6,
+            {{"source", "unit-test"}});
+        EXPECT_TRUE(recorded);
+        EXPECT_TRUE(writer.dirty());
+        ASSERT_TRUE(writer.flush());
+        EXPECT_FALSE(writer.dirty());
+    }
+    GoldenStore reader(manifest.path(), /*update=*/false);
+    const GoldenRecord* record = reader.find("coin");
+    ASSERT_NE(record, nullptr);
+    EXPECT_TRUE(record->isSampled());
+    EXPECT_EQ(record->meta.at("source"), "unit-test");
+    // A reseeded sample of the same coin passes...
+    EXPECT_TRUE(reader.checkSampled(
+        "coin", sampleBiasedCoin(0.3, 4000, 999), 1e-6));
+    // ...a different coin does not.
+    const CheckResult drifted = reader.checkSampled(
+        "coin", sampleBiasedCoin(0.45, 4000, 999), 1e-6);
+    EXPECT_FALSE(drifted);
+    EXPECT_LT(drifted.pValue, 1e-6);
+}
+
+TEST(GoldenStore, AnalyticRoundTripIsExact)
+{
+    TempManifest manifest("analytic");
+    const std::vector<double> dist = {0.123456789012345, 0.2,
+                                      0.3, 0.376543210987655};
+    {
+        GoldenStore writer(manifest.path(), true);
+        EXPECT_TRUE(
+            writer.checkAnalytic("dist", 2, dist, 1e-12));
+        ASSERT_TRUE(writer.flush());
+    }
+    GoldenStore reader(manifest.path(), false);
+    // JsonValue prints doubles with %.17g, so the reload is
+    // bit-exact and a zero-tolerance check passes.
+    EXPECT_TRUE(reader.checkAnalytic("dist", 2, dist, 0.0));
+    std::vector<double> off = dist;
+    off[1] += 1e-6;
+    off[2] -= 1e-6;
+    const CheckResult r =
+        reader.checkAnalytic("dist", 2, off, 1e-9);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.message.find("MISMATCH"), std::string::npos);
+}
+
+TEST(GoldenStore, MissingGoldenFailsWithActionableMessage)
+{
+    TempManifest manifest("missing");
+    GoldenStore store(manifest.path(), false);
+    const CheckResult r = store.checkSampled(
+        "absent", sampleBiasedCoin(0.5, 100, 3), 1e-6);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.message.find("--update-golden"),
+              std::string::npos);
+    // Same for an analytic lookup that only has a sampled record.
+    EXPECT_FALSE(
+        store.checkAnalytic("absent", 1, {0.5, 0.5}, 1e-9));
+}
+
+TEST(GoldenStore, RejectsUnknownSchema)
+{
+    TempManifest manifest("schema");
+    {
+        std::ofstream out(manifest.path());
+        out << "{\"schema\": \"invertq.golden/v999\", "
+               "\"records\": {}}\n";
+    }
+    EXPECT_THROW(GoldenStore(manifest.path(), false),
+                 std::runtime_error);
+}
+
+TEST(GoldenStore, UpdateReplacesAndPreservesOtherRecords)
+{
+    TempManifest manifest("merge");
+    {
+        GoldenStore writer(manifest.path(), true);
+        writer.checkSampled("a", sampleBiasedCoin(0.2, 2000, 7),
+                            1e-6);
+        writer.checkAnalytic("b", 1, {0.25, 0.75}, 1e-12);
+        ASSERT_TRUE(writer.flush());
+    }
+    {
+        // Re-record only 'a'; 'b' must survive the rewrite.
+        GoldenStore writer(manifest.path(), true);
+        writer.checkSampled("a", sampleBiasedCoin(0.6, 2000, 8),
+                            1e-6);
+        ASSERT_TRUE(writer.flush());
+    }
+    GoldenStore reader(manifest.path(), false);
+    EXPECT_TRUE(reader.checkSampled(
+        "a", sampleBiasedCoin(0.6, 2000, 99), 1e-6));
+    EXPECT_TRUE(reader.checkAnalytic("b", 1, {0.25, 0.75}, 0.0));
+}
+
+} // namespace
+} // namespace qem::verify

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the ExactOracle: analytic distributions against
+ * closed forms, plan arithmetic against the policies' own integer
+ * splits, and statistical agreement between sampled policy runs and
+ * the oracle mixture they should converge to.
+ */
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "kernels/basis.hh"
+#include "kernels/bv.hh"
+#include "mitigation/aim_policy.hh"
+#include "mitigation/sim_policy.hh"
+#include "noise/readout.hh"
+#include "noise/trajectory.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
+
+namespace qem::verify
+{
+namespace
+{
+
+/** Readout-only model: every qubit flips 1->0 w.p. @p p10 and
+ *  0->1 w.p. @p p01. */
+NoiseModel
+readoutModel(unsigned n, double p01, double p10)
+{
+    NoiseModel model(n);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>(n, p01),
+        std::vector<double>(n, p10)));
+    return model;
+}
+
+TEST(ExactOracle, ObservedMatchesClosedFormOneQubit)
+{
+    // Prepare |1>, read with P(1->0) = 0.2: observe 1 w.p. 0.8.
+    Circuit c(1);
+    c.x(0).measureAll();
+    const ExactOracle oracle(readoutModel(1, 0.0, 0.2));
+    const std::vector<double> dist =
+        oracle.observedDistribution(c);
+    ASSERT_EQ(dist.size(), 2u);
+    EXPECT_NEAR(dist[0], 0.2, 1e-12);
+    EXPECT_NEAR(dist[1], 0.8, 1e-12);
+}
+
+TEST(ExactOracle, CorrectedInversionCancelsOnNoiselessMachine)
+{
+    // With no noise, invert-then-XOR-back is the identity, for any
+    // inversion string.
+    const Circuit c = ghzState(3);
+    const ExactOracle oracle(NoiseModel(3));
+    const std::vector<double> ideal = idealDistribution(c);
+    for (InversionString inv : {0u, 3u, 5u, 7u}) {
+        const std::vector<double> corrected =
+            oracle.correctedDistribution(c, inv);
+        ASSERT_EQ(corrected.size(), ideal.size());
+        for (std::size_t x = 0; x < ideal.size(); ++x)
+            EXPECT_NEAR(corrected[x], ideal[x], 1e-12)
+                << "inv " << inv << " outcome " << x;
+    }
+}
+
+TEST(ExactOracle, CorrectedDistributionMovesBiasWithTheMode)
+{
+    // Strong 1->0 decay. Baseline reads |1> correctly w.p. 0.7;
+    // under the all-ones inversion the state is prepared as |0>
+    // (X-gate cancels), read perfectly, and the log is flipped
+    // back -- the corrected mode is strictly more reliable.
+    Circuit c(1);
+    c.x(0).measureAll();
+    const ExactOracle oracle(readoutModel(1, 0.0, 0.3));
+    EXPECT_NEAR(oracle.correctedDistribution(c, 0)[1], 0.7,
+                1e-12);
+    EXPECT_NEAR(oracle.correctedDistribution(c, 1)[1], 1.0,
+                1e-12);
+}
+
+TEST(ExactOracle, SimPlanMatchesPolicyShareArithmetic)
+{
+    Circuit c(2);
+    c.measureAll();
+    const ExactOracle oracle(readoutModel(2, 0.0, 0.1));
+    // 10 shots over 4 modes: 3, 3, 2, 2 (leftover to the earliest
+    // modes, like StaticInvertAndMeasure).
+    const ModePlan plan = oracle.simPlan(c, 10);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].shots, 3u);
+    EXPECT_EQ(plan[1].shots, 3u);
+    EXPECT_EQ(plan[2].shots, 2u);
+    EXPECT_EQ(plan[3].shots, 2u);
+    EXPECT_THROW(oracle.simPlan(c, 3), std::invalid_argument);
+}
+
+TEST(ExactOracle, PlanDistributionIsNormalizedAndFoldsDuplicates)
+{
+    const Circuit c = ghzState(2);
+    const ExactOracle oracle(readoutModel(2, 0.05, 0.2));
+    const ModePlan plan = {{0, 100}, {3, 300}};
+    const std::vector<double> dist =
+        oracle.planDistribution(c, plan);
+    EXPECT_NEAR(
+        std::accumulate(dist.begin(), dist.end(), 0.0), 1.0,
+        1e-12);
+    // The same plan with one mode split in two is the same mixture.
+    const std::vector<double> split = oracle.planDistribution(
+        c, {{0, 100}, {3, 120}, {3, 180}});
+    for (std::size_t x = 0; x < dist.size(); ++x)
+        EXPECT_NEAR(split[x], dist[x], 1e-12);
+    EXPECT_THROW(oracle.planDistribution(c, {{0, 0}}),
+                 std::invalid_argument);
+}
+
+TEST(ExactOracle, SupportsRejectsOversizedAndResetCircuits)
+{
+    const ExactOracle oracle(readoutModel(2, 0.0, 0.1));
+    Circuit measured(2);
+    measured.h(0).measureAll();
+    EXPECT_TRUE(oracle.supports(measured));
+
+    Circuit unmeasured(2);
+    unmeasured.h(0);
+    EXPECT_FALSE(oracle.supports(unmeasured));
+
+    Circuit wide(3);
+    wide.measureAll();
+    EXPECT_FALSE(oracle.supports(wide)); // Model is 2 qubits.
+
+    Circuit with_reset(2);
+    with_reset.h(0).reset(0).measureAll();
+    EXPECT_FALSE(oracle.supports(with_reset));
+}
+
+TEST(ExactOracle, SimRunConvergesToPlanDistribution)
+{
+    // The core soundness claim: conditional on the realized plan, a
+    // sampled SIM log is a draw from the oracle mixture. G-test at
+    // alpha = 1e-6 (the run is seeded, so this either reproduces or
+    // flags a real distribution change).
+    const unsigned n = 3;
+    const NoiseModel model = readoutModel(n, 0.02, 0.15);
+    TrajectorySimulator backend(model, 20190828);
+    const Circuit c = bernsteinVaziraniFull(n - 1, 0b101);
+
+    StaticInvertAndMeasure sim;
+    const Counts counts = sim.run(c, backend, 20000);
+    const ModePlan plan = sim.lastPlan();
+    ASSERT_EQ(plan.size(), 4u);
+
+    const ExactOracle oracle(model);
+    const CheckResult r = checkDistribution(
+        counts, oracle.planDistribution(c, plan), 1e-6);
+    EXPECT_TRUE(r) << r.message;
+}
+
+TEST(ExactOracle, AimRunConvergesToItsRealizedPlan)
+{
+    const unsigned n = 3;
+    const NoiseModel model = readoutModel(n, 0.01, 0.2);
+    TrajectorySimulator backend(model, 77);
+    const Circuit c = bernsteinVaziraniFull(n - 1, 0b011);
+
+    // All-ones is the strongest state under 1->0 decay? No: decay
+    // corrupts ones, so all-zeros reads best. Encode that profile.
+    std::vector<double> table(std::size_t{1} << n);
+    for (BasisState s = 0; s < table.size(); ++s)
+        table[s] = 1.0 / (1.0 + static_cast<double>(
+                                    __builtin_popcountll(s)));
+    auto rbms = std::make_shared<ExhaustiveRbms>(table);
+
+    AdaptiveInvertAndMeasure aim(rbms);
+    const Counts counts = aim.run(c, backend, 24000);
+    const ModePlan plan = aim.lastPlan();
+    ASSERT_GE(plan.size(), 5u); // 4 canary modes + tailored.
+
+    std::uint64_t planned = 0;
+    for (const ModeShare& mode : plan)
+        planned += mode.shots;
+    EXPECT_EQ(planned, counts.total());
+
+    const ExactOracle oracle(model);
+    const CheckResult r = checkDistribution(
+        counts, oracle.planDistribution(c, plan), 1e-6);
+    EXPECT_TRUE(r) << r.message;
+}
+
+TEST(ExactOracle, AimPredictionRanksTrueOutputFirst)
+{
+    // Analytic AIM: with a deterministic circuit and mild noise the
+    // top candidate must be the programmed output, and the plan
+    // must spend the whole budget.
+    const unsigned n = 3;
+    const NoiseModel model = readoutModel(n, 0.02, 0.1);
+    const Circuit c = bernsteinVaziraniFull(n - 1, 0b110);
+
+    std::vector<double> table(std::size_t{1} << n, 1.0);
+    table[0] = 2.0; // All-zeros reads strongest.
+    const ExhaustiveRbms rbms{table};
+
+    const ExactOracle oracle(model);
+    const ExactOracle::AimPrediction prediction =
+        oracle.aimPrediction(c, rbms, 16000);
+    ASSERT_FALSE(prediction.candidates.empty());
+    EXPECT_EQ(prediction.candidates.front(), BasisState{0b110});
+
+    std::uint64_t planned = 0;
+    for (const ModeShare& mode : prediction.plan)
+        planned += mode.shots;
+    EXPECT_EQ(planned, 16000u);
+    EXPECT_NEAR(std::accumulate(prediction.distribution.begin(),
+                                prediction.distribution.end(),
+                                0.0),
+                1.0, 1e-12);
+}
+
+TEST(IdealDistribution, ClosedForms)
+{
+    // GHZ: half the mass on each extreme outcome.
+    const std::vector<double> ghz =
+        idealDistribution(ghzState(3));
+    EXPECT_NEAR(ghz[0b000], 0.5, 1e-12);
+    EXPECT_NEAR(ghz[0b111], 0.5, 1e-12);
+    // BV: a point mass on the key.
+    const std::vector<double> bv =
+        idealDistribution(bernsteinVazirani(3, 0b101));
+    EXPECT_NEAR(bv[0b101], 1.0, 1e-12);
+
+    Circuit unmeasured(1);
+    unmeasured.h(0);
+    EXPECT_THROW(idealDistribution(unmeasured),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qem::verify

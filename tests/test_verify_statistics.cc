@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the verification statistics library: special
+ * functions against closed forms, goodness-of-fit tests on known
+ * samples, and the shot-count-derived TVD bound.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "verify/statistics.hh"
+
+namespace qem::verify
+{
+namespace
+{
+
+TEST(VerifyStatistics, LogGammaClosedForms)
+{
+    // Gamma(1) = Gamma(2) = 1, Gamma(5) = 24,
+    // Gamma(1/2) = sqrt(pi).
+    EXPECT_NEAR(logGamma(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(logGamma(2.0), 0.0, 1e-12);
+    EXPECT_NEAR(logGamma(5.0), std::log(24.0), 1e-11);
+    EXPECT_NEAR(logGamma(0.5), 0.5 * std::log(M_PI), 1e-11);
+    // Recurrence Gamma(x+1) = x Gamma(x) at a non-integer point.
+    EXPECT_NEAR(logGamma(4.3), logGamma(3.3) + std::log(3.3),
+                1e-10);
+}
+
+TEST(VerifyStatistics, RegularizedGammaMatchesExponential)
+{
+    // P(1, x) = 1 - exp(-x): exercises the series branch (small x)
+    // and the continued-fraction branch (large x).
+    for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+        EXPECT_NEAR(regularizedGammaP(1.0, x), 1.0 - std::exp(-x),
+                    1e-12)
+            << "x = " << x;
+    }
+    EXPECT_NEAR(regularizedGammaP(2.0, 0.0), 0.0, 1e-15);
+}
+
+TEST(VerifyStatistics, ChiSquareSurvivalClosedForms)
+{
+    // k = 2 degrees of freedom: survival(x) = exp(-x/2).
+    EXPECT_NEAR(chiSquareSurvival(2.0, 2), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(chiSquareSurvival(7.0, 2), std::exp(-3.5), 1e-12);
+    // Standard critical value: P(X_1 >= 3.841459) ~ 0.05.
+    EXPECT_NEAR(chiSquareSurvival(3.841459, 1), 0.05, 1e-4);
+    EXPECT_NEAR(chiSquareSurvival(0.0, 3), 1.0, 1e-12);
+}
+
+TEST(VerifyStatistics, GTestAcceptsExactlyProportionalSample)
+{
+    // Counts exactly proportional to the model: G = 0, p = 1.
+    Counts counts(2);
+    counts.add(0, 400);
+    counts.add(1, 300);
+    counts.add(2, 200);
+    counts.add(3, 100);
+    const GofResult r =
+        gTest(counts, {0.4, 0.3, 0.2, 0.1});
+    EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+    EXPECT_NEAR(r.pValue, 1.0, 1e-9);
+    EXPECT_EQ(r.dof, 3u);
+}
+
+TEST(VerifyStatistics, GTestRejectsWrongModel)
+{
+    Counts counts(1);
+    counts.add(0, 900);
+    counts.add(1, 100);
+    const GofResult r = gTest(counts, {0.5, 0.5});
+    EXPECT_LT(r.pValue, 1e-9);
+}
+
+TEST(VerifyStatistics, GTestZeroProbabilityCellIsFatal)
+{
+    Counts counts(1);
+    counts.add(0, 10);
+    counts.add(1, 10);
+    const GofResult r = gTest(counts, {1.0, 0.0});
+    EXPECT_EQ(r.pValue, 0.0);
+}
+
+TEST(VerifyStatistics, GTestPoolsSparseCells)
+{
+    // Two cells with expected counts far below 5 must be pooled.
+    Counts counts(2);
+    counts.add(0, 96);
+    counts.add(1, 2);
+    counts.add(2, 1);
+    counts.add(3, 1);
+    const GofResult r =
+        gTest(counts, {0.96, 0.02, 0.01, 0.01});
+    EXPECT_GT(r.pooledCells, 0u);
+    EXPECT_GE(r.pValue, 0.01);
+}
+
+TEST(VerifyStatistics, ChiSquareAgreesWithGOnGoodFit)
+{
+    std::mt19937_64 rng(7);
+    std::discrete_distribution<int> draw({0.4, 0.3, 0.2, 0.1});
+    Counts counts(2);
+    for (int i = 0; i < 4000; ++i)
+        counts.add(static_cast<BasisState>(draw(rng)));
+    const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+    const GofResult g = gTest(counts, probs);
+    const GofResult x2 = chiSquareTest(counts, probs);
+    // Both should comfortably accept the true model...
+    EXPECT_GT(g.pValue, 1e-4);
+    EXPECT_GT(x2.pValue, 1e-4);
+    // ...and agree on the asymptotics.
+    EXPECT_NEAR(g.statistic, x2.statistic,
+                0.5 * std::max(1.0, g.statistic));
+}
+
+TEST(VerifyStatistics, TwoSampleGAcceptsSameSource)
+{
+    std::mt19937_64 rng(11);
+    std::discrete_distribution<int> draw({0.5, 0.25, 0.15, 0.1});
+    Counts a(2), b(2);
+    for (int i = 0; i < 3000; ++i)
+        a.add(static_cast<BasisState>(draw(rng)));
+    for (int i = 0; i < 5000; ++i)
+        b.add(static_cast<BasisState>(draw(rng)));
+    EXPECT_GT(twoSampleGTest(a, b).pValue, 1e-4);
+}
+
+TEST(VerifyStatistics, TwoSampleGRejectsDisjointSupports)
+{
+    Counts a(1), b(1);
+    a.add(0, 500);
+    b.add(1, 500);
+    EXPECT_LT(twoSampleGTest(a, b).pValue, 1e-12);
+}
+
+TEST(VerifyStatistics, TotalVariationVectors)
+{
+    EXPECT_NEAR(totalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0,
+                1e-12);
+    EXPECT_NEAR(totalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0,
+                1e-12);
+    EXPECT_NEAR(totalVariation({0.7, 0.3}, {0.5, 0.5}), 0.2,
+                1e-12);
+}
+
+TEST(VerifyStatistics, TotalVariationCounts)
+{
+    Counts counts(1);
+    counts.add(0, 70);
+    counts.add(1, 30);
+    EXPECT_NEAR(totalVariation(counts, {0.5, 0.5}), 0.2, 1e-12);
+}
+
+TEST(VerifyStatistics, TvdBoundFormulaAndMonotonicity)
+{
+    // eps = sqrt((k ln2 + ln(1/alpha)) / (2 n)).
+    const double eps = tvdBound(4, 10000, 1e-6);
+    EXPECT_NEAR(eps,
+                std::sqrt((4.0 * std::log(2.0) +
+                           std::log(1e6)) /
+                          (2.0 * 10000.0)),
+                1e-12);
+    // More shots shrink the radius; more cells or a smaller alpha
+    // grow it.
+    EXPECT_LT(tvdBound(4, 40000, 1e-6), eps);
+    EXPECT_GT(tvdBound(16, 10000, 1e-6), eps);
+    EXPECT_GT(tvdBound(4, 10000, 1e-9), eps);
+}
+
+TEST(VerifyStatistics, TvdBoundCoversEmpiricalDeviation)
+{
+    // A real multinomial sample must land inside its own bound
+    // (alpha = 1e-6: this failing is a one-in-a-million event).
+    std::mt19937_64 rng(23);
+    const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+    std::discrete_distribution<int> draw(probs.begin(),
+                                         probs.end());
+    Counts counts(2);
+    const std::uint64_t shots = 20000;
+    for (std::uint64_t i = 0; i < shots; ++i)
+        counts.add(static_cast<BasisState>(draw(rng)));
+    EXPECT_LT(totalVariation(counts, probs),
+              tvdBound(4, shots, 1e-6));
+}
+
+} // namespace
+} // namespace qem::verify
