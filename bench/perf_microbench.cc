@@ -102,6 +102,38 @@ BM_TrajectoryBv(benchmark::State& state)
 }
 BENCHMARK(BM_TrajectoryBv);
 
+/**
+ * The readout-only configuration the mitigation policies run in
+ * (decay and gate errors disabled): the lowered program has no
+ * stochastic step, so the simulator takes the single-trajectory
+ * fast path and per-shot cost collapses to one uniform draw plus a
+ * CDF lookup. shots_per_sec here is the headline number for the
+ * precompiled hot loop (see EXPERIMENTS.md).
+ */
+void
+BM_TrajectoryReadoutOnlyBv(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx2();
+    TrajectoryOptions readoutOnly;
+    readoutOnly.enableDecay = false;
+    readoutOnly.enableGateErrors = false;
+    TrajectorySimulator backend(machine.noiseModel(), 11,
+                                readoutOnly);
+    Transpiler transpiler(machine);
+    const TranspiledProgram program =
+        transpiler.transpile(bernsteinVazirani(4, 0b0111));
+    constexpr std::size_t kShots = 8192;
+    for (auto _ : state) {
+        Counts counts = backend.run(program.circuit, kShots);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kShots),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrajectoryReadoutOnlyBv);
+
 void
 BM_TrajectoryQaoa7Melbourne(benchmark::State& state)
 {

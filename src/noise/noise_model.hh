@@ -78,6 +78,11 @@ class NoiseModel
     /// @{
     void setReadout(std::shared_ptr<const ReadoutModel> model);
     const ReadoutModel* readout() const { return readout_.get(); }
+    /** Owning handle, for compiled runs that outlive the model. */
+    std::shared_ptr<const ReadoutModel> readoutShared() const
+    {
+        return readout_;
+    }
     void setMeasureDuration(double ns) { measDurationNs_ = ns; }
     double measureDurationNs() const { return measDurationNs_; }
     /// @}

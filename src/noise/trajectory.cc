@@ -2,16 +2,359 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "noise/channels.hh"
 #include "noise/compaction.hh"
+#include "noise/readout.hh"
 #include "qsim/bitstring.hh"
 #include "telemetry/telemetry.hh"
 
 namespace qem
 {
+
+namespace
+{
+
+/**
+ * A circuit lowered once for trajectory execution: the noise
+ * program plus everything the sampling tail needs (readout model,
+ * measured qubits, MEASURE projection, batch policy). Immutable
+ * after construction; run() keeps all scratch (the trajectory state
+ * and the sampling CDF/outcome buffers) on its own stack and reuses
+ * it across trajectories, so one compiled run may be shared by
+ * every worker thread.
+ */
+class CompiledTrajectoryRun final : public ShardedBackend::CompiledRun
+{
+  public:
+    CompiledTrajectoryRun(NoiseProgram program,
+                          std::shared_ptr<const ReadoutModel> readout,
+                          std::vector<Qubit> measured,
+                          std::vector<std::pair<Qubit, Clbit>>
+                              outcome_map,
+                          unsigned num_clbits,
+                          const TrajectoryOptions& options)
+        : program_(std::move(program)),
+          readout_(std::move(readout)),
+          measured_(std::move(measured)),
+          outcomeMap_(std::move(outcome_map)),
+          numClbits_(num_clbits),
+          shotsPerTrajectory_(options.shotsPerTrajectory),
+          fastPath_(options.deterministicFastPath &&
+                    !program_.stochastic())
+    {
+        // Context-independent readout lets the per-shot virtual
+        // flipProbability() calls be hoisted into a flat
+        // (p01, p10) table per measured qubit; the inline loop in
+        // run() draws exactly as sampleReadout() would. Correlated
+        // models stay on the virtual path.
+        if (readout_ && dynamic_cast<const AsymmetricReadout*>(
+                            readout_.get())) {
+            readoutP01_.reserve(measured_.size());
+            readoutP10_.reserve(measured_.size());
+            for (Qubit q : measured_) {
+                readoutP01_.push_back(
+                    readout_->flipProbability(q, false, 0));
+                readoutP10_.push_back(
+                    readout_->flipProbability(q, true, 0));
+            }
+        }
+        // Tabulate the compact -> physical scatter for every
+        // compact basis state (the per-shot expandCompactState
+        // loop becomes one indexed load). Guarded for width, but
+        // real machines are <= 14 qubits.
+        if (program_.compactQubits() <= 16) {
+            const std::size_t dim = std::size_t{1}
+                                    << program_.compactQubits();
+            expandTable_.reserve(dim);
+            for (std::size_t s = 0; s < dim; ++s)
+                expandTable_.push_back(expandCompactState(
+                    static_cast<BasisState>(s), program_.active()));
+        }
+        if (fastPath_)
+            buildAnalyticCdf();
+    }
+
+    /**
+     * A non-stochastic program evolves to the same state every
+     * trajectory, so the classical outcome distribution — the
+     * trajectory state pushed through the exact readout confusion
+     * (confusionProbability handles correlated models too) — can be
+     * computed once here. run() then samples each shot with a
+     * single uniform draw against this CDF instead of re-walking
+     * the expand/readout/projection tail per shot.
+     */
+    void buildAnalyticCdf()
+    {
+        // Restricted to context-independent readout (or none): a
+        // correlated model's deterministic runs stay on the
+        // sampling loop below, which consumes the rng stream
+        // exactly as the pre-lowering simulator did, so their
+        // seeded realizations are unchanged.
+        if (expandTable_.empty() || numClbits_ > 12 ||
+            (readout_ &&
+             (readoutP01_.empty() || measured_.size() > 12)))
+            return;
+        StateVector state(program_.compactQubits());
+        // The program has no stochastic step; evolve consumes no
+        // draws from this throwaway stream.
+        Rng none(0);
+        program_.evolve(state, none);
+
+        auto outcomeOf = [this](BasisState observed) {
+            BasisState out = 0;
+            for (const auto& [qubit, cbit] : outcomeMap_)
+                out = setBit(out, cbit, getBit(observed, qubit));
+            return out;
+        };
+
+        std::vector<double> classical(std::size_t{1} << numClbits_,
+                                      0.0);
+        const std::vector<double> probs = state.probabilities();
+        if (!readout_) {
+            for (std::size_t s = 0; s < probs.size(); ++s) {
+                if (probs[s] > 0.0)
+                    classical[outcomeOf(expandTable_[s])] +=
+                        probs[s];
+            }
+        } else {
+            // Enumerate every observed pattern over the measured
+            // qubits and weight it by the exact confusion
+            // probability given the true state.
+            const std::size_t patterns = std::size_t{1}
+                                         << measured_.size();
+            std::vector<BasisState> observedOf(patterns, 0);
+            std::vector<BasisState> outOf(patterns, 0);
+            for (std::size_t p = 0; p < patterns; ++p) {
+                BasisState observed = 0;
+                for (std::size_t k = 0; k < measured_.size(); ++k)
+                    observed = setBit(observed, measured_[k],
+                                      (p >> k) & 1);
+                observedOf[p] = observed;
+                outOf[p] = outcomeOf(observed);
+            }
+            for (std::size_t s = 0; s < probs.size(); ++s) {
+                if (probs[s] <= 0.0)
+                    continue;
+                const BasisState truth = expandTable_[s];
+                for (std::size_t p = 0; p < patterns; ++p) {
+                    classical[outOf[p]] +=
+                        probs[s] * readout_->confusionProbability(
+                                       truth, observedOf[p],
+                                       measured_);
+                }
+            }
+        }
+        analyticCdf_.resize(classical.size());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < classical.size(); ++i) {
+            acc += classical[i];
+            analyticCdf_[i] = acc;
+        }
+    }
+
+    bool fastPath() const { return fastPath_; }
+
+    Counts run(std::size_t shots, Rng& rng) const override
+    {
+        // Telemetry events accumulate in plain locals (this method
+        // must stay pure and concurrency-safe) and flush to the
+        // global registry once at the end, only when telemetry is
+        // on.
+        const bool tele = telemetry::enabled();
+        std::uint64_t gateErrors = 0;
+        std::uint64_t decayEvents = 0;
+        std::uint64_t trajectories = 0;
+        std::uint64_t readoutFlips = 0;
+
+        // With no stochastic step every trajectory is identical:
+        // evolve once and draw all shots from it.
+        const std::size_t batch =
+            fastPath_ ? shots : shotsPerTrajectory_;
+
+        // Analytic fast path: the outcome CDF was precomputed at
+        // compile time, so each shot is one uniform draw + one
+        // binary search. (readout_bitflips stays 0 here: outcomes
+        // are drawn post-confusion, individual flips never occur.)
+        if (!analyticCdf_.empty() && shots > 0) {
+            Counts counts(numClbits_);
+            std::vector<std::uint64_t> bins(analyticCdf_.size(),
+                                            0);
+            const double total = analyticCdf_.back();
+            for (std::size_t s = 0; s < shots; ++s) {
+                const double r = rng.uniform() * total;
+                const auto it =
+                    std::upper_bound(analyticCdf_.begin(),
+                                     analyticCdf_.end(), r);
+                bins[std::min<std::size_t>(
+                    static_cast<std::size_t>(
+                        it - analyticCdf_.begin()),
+                    bins.size() - 1)] += 1;
+            }
+            for (std::size_t i = 0; i < bins.size(); ++i) {
+                if (bins[i] > 0)
+                    counts.add(static_cast<BasisState>(i),
+                               bins[i]);
+            }
+            if (tele) {
+                telemetry::MetricsRegistry& m =
+                    telemetry::metrics();
+                m.counter("trajectory.gates_applied")
+                    .add(program_.gatesPerTrajectory());
+                m.counter("trajectory.trajectories").add(1);
+                m.counter("trajectory.shots").add(shots);
+                m.counter("trajectory.fastpath_runs").add(1);
+            }
+            return counts;
+        }
+
+        Counts counts(numClbits_);
+        // Narrow classical registers accumulate into a dense bin
+        // array (one increment per shot) and flush into the
+        // outcome map once at the end; wide ones fall back to
+        // per-shot map insertion.
+        const bool dense = numClbits_ <= 12;
+        std::vector<std::uint64_t> bins(
+            dense ? std::size_t{1} << numClbits_ : 0, 0);
+        const bool fastReadout = !readoutP01_.empty();
+        // Context-dependent (correlated) readout: flipProbability
+        // is a pure function of (qubit, truth state), so its values
+        // are memoized per compact truth state the first time a
+        // shot lands there. The cached loop below feeds bernoulli()
+        // the exact doubles sampleReadout() would compute, so the
+        // draw stream — and every seeded realization — is
+        // unchanged; only the repeated context sums disappear.
+        const bool cachedReadout =
+            !fastReadout && readout_ && !expandTable_.empty();
+        const std::size_t numMeasured = measured_.size();
+        std::vector<double> flipCache;
+        std::vector<char> flipKnown;
+        if (cachedReadout) {
+            flipCache.resize(expandTable_.size() * numMeasured);
+            flipKnown.assign(expandTable_.size(), 0);
+        }
+        StateVector state(program_.compactQubits());
+        std::vector<double> cdf;
+        std::vector<BasisState> samples;
+        std::size_t remaining = shots;
+        while (remaining > 0) {
+            const std::size_t take = std::min(batch, remaining);
+            remaining -= take;
+            if (trajectories > 0)
+                state.resetTo(0);
+            ++trajectories;
+
+            const TrajectoryEvents events =
+                program_.evolve(state, rng);
+            gateErrors += events.gateErrors;
+            decayEvents += events.decayEvents;
+
+            state.sampleInto(rng, take, cdf, samples);
+            for (BasisState compact : samples) {
+                const BasisState truth =
+                    expandTable_.empty()
+                        ? expandCompactState(compact,
+                                             program_.active())
+                        : expandTable_[compact];
+                BasisState observed = truth;
+                if (fastReadout) {
+                    observed = 0;
+                    for (std::size_t k = 0; k < measured_.size();
+                         ++k) {
+                        const Qubit q = measured_[k];
+                        const bool tv = getBit(truth, q);
+                        const bool read =
+                            rng.bernoulli(tv ? readoutP10_[k]
+                                             : readoutP01_[k])
+                                ? !tv
+                                : tv;
+                        observed = setBit(observed, q, read);
+                    }
+                } else if (cachedReadout) {
+                    double* pflip =
+                        &flipCache[static_cast<std::size_t>(
+                                       compact) *
+                                   numMeasured];
+                    if (!flipKnown[compact]) {
+                        for (std::size_t k = 0; k < numMeasured;
+                             ++k) {
+                            pflip[k] = readout_->flipProbability(
+                                measured_[k],
+                                getBit(truth, measured_[k]),
+                                truth);
+                        }
+                        flipKnown[compact] = 1;
+                    }
+                    observed = 0;
+                    for (std::size_t k = 0; k < numMeasured; ++k) {
+                        const Qubit q = measured_[k];
+                        const bool tv = getBit(truth, q);
+                        const bool read = rng.bernoulli(pflip[k])
+                                              ? !tv
+                                              : tv;
+                        observed = setBit(observed, q, read);
+                    }
+                } else if (readout_) {
+                    observed = readout_->sampleReadout(
+                        truth, measured_, rng);
+                }
+                if (tele && observed != truth)
+                    readoutFlips += static_cast<std::uint64_t>(
+                        std::popcount(truth ^ observed));
+                BasisState out = 0;
+                for (const auto& [qubit, cbit] : outcomeMap_)
+                    out = setBit(out, cbit, getBit(observed, qubit));
+                if (dense)
+                    ++bins[out];
+                else
+                    counts.add(out);
+            }
+        }
+        if (dense) {
+            for (std::size_t i = 0; i < bins.size(); ++i) {
+                if (bins[i] > 0)
+                    counts.add(static_cast<BasisState>(i), bins[i]);
+            }
+        }
+        if (tele) {
+            telemetry::MetricsRegistry& m = telemetry::metrics();
+            m.counter("trajectory.gates_applied")
+                .add(trajectories * program_.gatesPerTrajectory());
+            m.counter("trajectory.gate_errors_injected")
+                .add(gateErrors);
+            m.counter("trajectory.decay_events").add(decayEvents);
+            m.counter("trajectory.trajectories").add(trajectories);
+            m.counter("trajectory.shots").add(shots);
+            m.counter("trajectory.readout_bitflips")
+                .add(readoutFlips);
+            if (fastPath_)
+                m.counter("trajectory.fastpath_runs").add(1);
+        }
+        return counts;
+    }
+
+  private:
+    NoiseProgram program_;
+    std::shared_ptr<const ReadoutModel> readout_;
+    std::vector<Qubit> measured_;
+    std::vector<std::pair<Qubit, Clbit>> outcomeMap_;
+    unsigned numClbits_;
+    std::size_t shotsPerTrajectory_;
+    bool fastPath_;
+    /** Hoisted context-independent flip rates, indexed like
+     *  measured_; empty when the model needs the virtual path. */
+    std::vector<double> readoutP01_;
+    std::vector<double> readoutP10_;
+    /** expandTable_[compact] = physical basis state; empty only
+     *  for registers too wide to tabulate. */
+    std::vector<BasisState> expandTable_;
+    /** Cumulative exact classical-outcome distribution; nonempty
+     *  only on the (tabulable) deterministic fast path. */
+    std::vector<double> analyticCdf_;
+};
+
+} // namespace
 
 TrajectorySimulator::TrajectorySimulator(NoiseModel model,
                                          std::uint64_t seed,
@@ -21,111 +364,6 @@ TrajectorySimulator::TrajectorySimulator(NoiseModel model,
     if (options_.shotsPerTrajectory == 0)
         throw std::invalid_argument("TrajectorySimulator: batch size "
                                     "must be nonzero");
-}
-
-bool
-TrajectorySimulator::applyGateError(StateVector& state, Qubit q,
-                                    double prob, Rng& rng) const
-{
-    if (!options_.enableGateErrors || prob <= 0.0)
-        return false;
-    if (!rng.bernoulli(prob))
-        return false;
-    // Uniformly random Pauli error (depolarizing, trajectory form).
-    switch (rng.index(3)) {
-      case 0:
-        state.applyX(q);
-        break;
-      case 1:
-        state.applyMatrix1q(gateMatrix1q(GateKind::Y, {}), q);
-        break;
-      default:
-        state.applyZ(q);
-        break;
-    }
-    return true;
-}
-
-bool
-TrajectorySimulator::applyTwoQubitGateError(
-    StateVector& state, const std::vector<Qubit>& qubits,
-    double prob, Rng& rng) const
-{
-    if (!options_.enableGateErrors || prob <= 0.0)
-        return false;
-    if (!rng.bernoulli(prob))
-        return false;
-    // Two-qubit depolarizing: one of the 15 non-identity Pauli
-    // pairs, uniformly. (Charged once per gate, not per operand.)
-    unsigned pauli_a = 0, pauli_b = 0;
-    do {
-        pauli_a = static_cast<unsigned>(rng.index(4));
-        pauli_b = static_cast<unsigned>(rng.index(4));
-    } while (pauli_a == 0 && pauli_b == 0);
-    auto apply = [&](Qubit q, unsigned pauli) {
-        switch (pauli) {
-          case 1:
-            state.applyX(q);
-            break;
-          case 2:
-            state.applyMatrix1q(gateMatrix1q(GateKind::Y, {}), q);
-            break;
-          case 3:
-            state.applyZ(q);
-            break;
-          default:
-            break;
-        }
-    };
-    apply(qubits[0], pauli_a);
-    apply(qubits[1], pauli_b);
-    return true;
-}
-
-void
-TrajectorySimulator::applyCoherentError(
-    StateVector& state, const std::vector<Qubit>& qubits,
-    const GateNoise& noise) const
-{
-    if (!options_.enableCoherentErrors)
-        return;
-    for (Qubit q : qubits) {
-        if (noise.coherentZ != 0.0) {
-            state.applyMatrix1q(
-                gateMatrix1q(GateKind::RZ, {noise.coherentZ}), q);
-        }
-        if (noise.coherentX != 0.0) {
-            state.applyMatrix1q(
-                gateMatrix1q(GateKind::RX, {noise.coherentX}), q);
-        }
-    }
-    if (qubits.size() == 2 && noise.coherentZZ != 0.0) {
-        // exp(-i theta/2 Z(x)Z): diagonal phases by the parity of
-        // the operand pair.
-        const double t = noise.coherentZZ / 2.0;
-        const Amplitude even{std::cos(t), -std::sin(t)};
-        const Amplitude odd{std::cos(t), std::sin(t)};
-        const Matrix4 zz = {even, 0, 0, 0,
-                            0, odd, 0, 0,
-                            0, 0, odd, 0,
-                            0, 0, 0, even};
-        state.applyMatrix2q(zz, qubits[0], qubits[1]);
-    }
-}
-
-void
-TrajectorySimulator::applyDecay(StateVector& state, Qubit compact,
-                                Qubit phys, double duration_ns,
-                                Rng& rng) const
-{
-    if (!options_.enableDecay || duration_ns <= 0.0)
-        return;
-    const double gamma =
-        decayProbability(duration_ns, model_.t1(phys));
-    const double lambda = dephasingProbability(
-        duration_ns, model_.t1(phys), model_.t2(phys));
-    state.applyAmplitudeDamping(compact, gamma, rng);
-    state.applyPhaseDamping(compact, lambda, rng);
 }
 
 Counts
@@ -140,9 +378,8 @@ TrajectorySimulator::clone() const
     return std::make_unique<TrajectorySimulator>(*this);
 }
 
-Counts
-TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
-                         Rng& rng) const
+std::shared_ptr<const ShardedBackend::CompiledRun>
+TrajectorySimulator::compile(const Circuit& circuit) const
 {
     if (circuit.numQubits() > model_.numQubits())
         throw std::invalid_argument("TrajectorySimulator: circuit wider "
@@ -151,101 +388,27 @@ TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
         throw std::invalid_argument("TrajectorySimulator: circuit has "
                                     "no measurements");
 
-    const CompactCircuit compiled = compactCircuit(circuit);
-    const std::vector<Qubit> measured = circuit.measuredQubits();
-    const ReadoutModel* readout =
-        options_.enableReadoutErrors ? model_.readout() : nullptr;
-
-    // With no stochastic gate processes every trajectory is
-    // identical: evolve once and draw all shots from it.
-    const bool deterministic = !model_.hasGateNoise();
-    const std::size_t batch =
-        deterministic ? shots : options_.shotsPerTrajectory;
-
-    // Telemetry events accumulate in plain locals (this overload
-    // must stay pure and concurrency-safe) and flush to the global
-    // registry once at the end, only when telemetry is on.
-    const bool tele = telemetry::enabled();
-    std::uint64_t gatesApplied = 0;
-    std::uint64_t gateErrors = 0;
-    std::uint64_t decayEvents = 0;
-    std::uint64_t trajectories = 0;
-    std::uint64_t readoutFlips = 0;
-
-    Counts counts(circuit.numClbits());
-    std::size_t remaining = shots;
-    while (remaining > 0) {
-        const std::size_t take = std::min(batch, remaining);
-        remaining -= take;
-        ++trajectories;
-
-        StateVector state(compiled.compactQubits);
-        for (const CompactOp& cop : compiled.ops) {
-            const Operation& op = cop.op;
-            switch (op.kind) {
-              case GateKind::MEASURE:
-              case GateKind::BARRIER:
-                continue;
-              case GateKind::DELAY:
-                applyDecay(state, op.qubits[0], cop.phys[0],
-                           op.params[0], rng);
-                ++decayEvents;
-                continue;
-              case GateKind::RESET:
-                throw std::logic_error("TrajectorySimulator: RESET "
-                                       "is not supported");
-              default:
-                break;
-            }
-            state.applyOperation(op);
-            ++gatesApplied;
-            GateNoise noise;
-            if (cop.phys.size() == 1) {
-                noise = model_.gate1q(cop.phys[0]);
-                gateErrors += applyGateError(
-                    state, op.qubits[0], noise.errorProb, rng);
-            } else {
-                if (cop.phys.size() == 2 &&
-                    model_.hasGate2q(cop.phys[0], cop.phys[1])) {
-                    noise = model_.gate2q(cop.phys[0],
-                                          cop.phys[1]);
-                }
-                gateErrors += applyTwoQubitGateError(
-                    state, op.qubits, noise.errorProb, rng);
-            }
-            applyCoherentError(state, op.qubits, noise);
-            for (std::size_t i = 0; i < cop.phys.size(); ++i) {
-                applyDecay(state, op.qubits[i], cop.phys[i],
-                           noise.durationNs, rng);
-                ++decayEvents;
-            }
-        }
-
-        for (BasisState compact : state.sample(rng, take)) {
-            const BasisState truth =
-                expandCompactState(compact, compiled.active);
-            BasisState observed = truth;
-            if (readout)
-                observed = readout->sampleReadout(truth, measured,
-                                                  rng);
-            if (tele && observed != truth)
-                readoutFlips += static_cast<std::uint64_t>(
-                    std::popcount(truth ^ observed));
-            counts.add(circuit.classicalOutcome(observed));
-        }
+    NoiseProgram program =
+        NoiseProgram::lower(circuit, model_, options_);
+    std::vector<std::pair<Qubit, Clbit>> outcomeMap;
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::MEASURE)
+            outcomeMap.emplace_back(op.qubits[0], op.cbit);
     }
-    if (tele) {
-        telemetry::MetricsRegistry& m = telemetry::metrics();
-        m.counter("trajectory.gates_applied").add(gatesApplied);
-        m.counter("trajectory.gate_errors_injected")
-            .add(gateErrors);
-        m.counter("trajectory.decay_events").add(decayEvents);
-        m.counter("trajectory.trajectories").add(trajectories);
-        m.counter("trajectory.shots").add(shots);
-        m.counter("trajectory.readout_bitflips")
-            .add(readoutFlips);
-    }
-    return counts;
+    telemetry::count("trajectory.programs_lowered");
+    return std::make_shared<CompiledTrajectoryRun>(
+        std::move(program),
+        options_.enableReadoutErrors ? model_.readoutShared()
+                                     : nullptr,
+        circuit.measuredQubits(), std::move(outcomeMap),
+        circuit.numClbits(), options_);
+}
+
+Counts
+TrajectorySimulator::run(const Circuit& circuit, std::size_t shots,
+                         Rng& rng) const
+{
+    return compile(circuit)->run(shots, rng);
 }
 
 } // namespace qem

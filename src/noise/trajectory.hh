@@ -10,36 +10,26 @@
  * through the readout confusion model.
  *
  * Shots are batched over trajectories: each stochastic trajectory of
- * the circuit is sampled shotsPerTrajectory times. For noise-free
- * circuits a single trajectory is exact; with gate noise this is the
- * standard batched-trajectory estimator (unbiased in the limit, and
- * with the default batch of 16 the residual correlation is far below
- * the shot noise of the experiments reproduced here).
+ * the circuit is sampled shotsPerTrajectory times. When the lowered
+ * noise program has no stochastic step (model AND options — see
+ * NoiseProgram::stochastic()), every trajectory is identical, so a
+ * single trajectory serves all shots exactly.
+ *
+ * Each run() lowers the circuit once into a NoiseProgram
+ * (noise_program.hh) and executes the flat step list per trajectory;
+ * compile() exposes the lowered form so the parallel runtime can
+ * share one program across every worker.
  */
 
 #ifndef QEM_NOISE_TRAJECTORY_HH
 #define QEM_NOISE_TRAJECTORY_HH
 
 #include "noise/noise_model.hh"
+#include "noise/noise_program.hh"
 #include "qsim/simulator.hh"
 
 namespace qem
 {
-
-/** Tuning knobs for the trajectory simulator. */
-struct TrajectoryOptions
-{
-    /** Shots drawn from each sampled trajectory. */
-    std::size_t shotsPerTrajectory = 16;
-    /** Disable decoherence (gate depolarizing errors still apply). */
-    bool enableDecay = true;
-    /** Disable depolarizing gate errors (decay still applies). */
-    bool enableGateErrors = true;
-    /** Disable the readout confusion model (perfect measurement). */
-    bool enableReadoutErrors = true;
-    /** Disable systematic over-rotations (GateNoise::coherent*). */
-    bool enableCoherentErrors = true;
-};
 
 class TrajectorySimulator : public ShardedBackend
 {
@@ -62,10 +52,18 @@ class TrajectorySimulator : public ShardedBackend
      * Draw every stochastic decision (trajectory errors, sampling,
      * readout confusion) from an explicit @p rng; pure in
      * (circuit, shots, rng), so concurrent callers with their own
-     * streams are safe on one simulator.
+     * streams are safe on one simulator. Equivalent to
+     * compile(circuit)->run(shots, rng).
      */
     Counts run(const Circuit& circuit, std::size_t shots,
                Rng& rng) const override;
+
+    /**
+     * Lower @p circuit into its noise program once; the returned
+     * run is immutable and safe to share across worker threads.
+     */
+    std::shared_ptr<const CompiledRun>
+    compile(const Circuit& circuit) const override;
 
     std::unique_ptr<ShardedBackend> clone() const override;
 
@@ -74,32 +72,6 @@ class TrajectorySimulator : public ShardedBackend
     const NoiseModel& model() const { return model_; }
 
   private:
-    /** Depolarizing error after a single-qubit gate; true when an
-     *  error Pauli was injected (telemetry event counting). */
-    bool applyGateError(StateVector& state, Qubit q, double prob,
-                        Rng& rng) const;
-
-    /**
-     * Two-qubit depolarizing error after a two-qubit gate: with
-     * probability @p prob one uniformly-random non-identity Pauli
-     * pair hits the operands. True when an error was injected.
-     */
-    bool applyTwoQubitGateError(StateVector& state,
-                                const std::vector<Qubit>& qubits,
-                                double prob, Rng& rng) const;
-
-    /**
-     * Thermal relaxation on compact qubit @p compact (physical id
-     * @p phys for calibration lookup) over @p duration_ns.
-     */
-    void applyDecay(StateVector& state, Qubit compact, Qubit phys,
-                    double duration_ns, Rng& rng) const;
-
-    /** Deterministic over-rotations after one gate. */
-    void applyCoherentError(StateVector& state,
-                            const std::vector<Qubit>& qubits,
-                            const GateNoise& noise) const;
-
     NoiseModel model_;
     Rng rng_;
     TrajectoryOptions options_;

@@ -1,6 +1,9 @@
 #include "qsim/simulator.hh"
 
 #include <stdexcept>
+#include <utility>
+
+#include "qsim/bitstring.hh"
 
 namespace qem
 {
@@ -53,6 +56,60 @@ IdealSimulator::run(const Circuit& circuit, std::size_t shots,
     for (BasisState full : state.sample(rng, shots))
         counts.add(circuit.classicalOutcome(full));
     return counts;
+}
+
+namespace
+{
+
+/** Ideal circuit lowered to (final state, measurement projection). */
+class CompiledIdealRun final : public ShardedBackend::CompiledRun
+{
+  public:
+    CompiledIdealRun(StateVector state, unsigned num_clbits,
+                     std::vector<std::pair<Qubit, Clbit>> outcome_map)
+        : state_(std::move(state)),
+          numClbits_(num_clbits),
+          outcomeMap_(std::move(outcome_map))
+    {
+    }
+
+    Counts run(std::size_t shots, Rng& rng) const override
+    {
+        std::vector<double> cdf;
+        std::vector<BasisState> samples;
+        state_.sampleInto(rng, shots, cdf, samples);
+        Counts counts(numClbits_);
+        for (BasisState full : samples) {
+            BasisState out = 0;
+            for (const auto& [qubit, cbit] : outcomeMap_)
+                out = setBit(out, cbit, getBit(full, qubit));
+            counts.add(out);
+        }
+        return counts;
+    }
+
+  private:
+    StateVector state_;
+    unsigned numClbits_;
+    std::vector<std::pair<Qubit, Clbit>> outcomeMap_;
+};
+
+} // namespace
+
+std::shared_ptr<const ShardedBackend::CompiledRun>
+IdealSimulator::compile(const Circuit& circuit) const
+{
+    if (!circuit.hasMeasurements())
+        throw std::invalid_argument("IdealSimulator::compile: circuit "
+                                    "has no measurements");
+    std::vector<std::pair<Qubit, Clbit>> outcomeMap;
+    for (const Operation& op : circuit.ops()) {
+        if (op.kind == GateKind::MEASURE)
+            outcomeMap.emplace_back(op.qubits[0], op.cbit);
+    }
+    return std::make_shared<CompiledIdealRun>(stateOf(circuit),
+                                              circuit.numClbits(),
+                                              std::move(outcomeMap));
 }
 
 } // namespace qem

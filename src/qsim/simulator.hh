@@ -65,6 +65,38 @@ class ShardedBackend : public Backend
     virtual Counts run(const Circuit& circuit, std::size_t shots,
                        Rng& rng) const = 0;
 
+    /**
+     * A circuit lowered once for repeated execution. run() must
+     * consume the rng stream exactly as the owning backend's
+     * three-argument run() would for the same circuit, so compiled
+     * and uncompiled execution of the same (shots, stream) pair are
+     * bit-identical. Implementations keep no mutable state across
+     * calls (scratch lives on run()'s stack), so one compiled
+     * program may be shared by every worker thread.
+     */
+    class CompiledRun
+    {
+      public:
+        virtual ~CompiledRun() = default;
+
+        /** Execute @p shots trials against the lowered circuit. */
+        virtual Counts run(std::size_t shots, Rng& rng) const = 0;
+    };
+
+    /**
+     * Lower @p circuit into a reusable execution program, or nullptr
+     * when this backend has no compiled form — callers must then
+     * fall back to run(). The base default is nullptr so decorators
+     * that perturb per-call behaviour (e.g. fault injection) opt out
+     * of sharing a compiled program by simply not overriding this.
+     */
+    virtual std::shared_ptr<const CompiledRun>
+    compile(const Circuit& circuit) const
+    {
+        (void)circuit;
+        return nullptr;
+    }
+
     /** Deep copy for per-worker use. */
     virtual std::unique_ptr<ShardedBackend> clone() const = 0;
 };
@@ -96,6 +128,14 @@ class IdealSimulator : public ShardedBackend
     /** Sample from an explicit stream; pure in (circuit, rng). */
     Counts run(const Circuit& circuit, std::size_t shots,
                Rng& rng) const override;
+
+    /**
+     * Lower the circuit once: the pre-measurement state is evolved
+     * here and the MEASURE projection is hoisted into a flat
+     * (qubit, clbit) list, so each compiled run() is pure sampling.
+     */
+    std::shared_ptr<const CompiledRun>
+    compile(const Circuit& circuit) const override;
 
     std::unique_ptr<ShardedBackend> clone() const override
     {

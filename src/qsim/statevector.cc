@@ -215,10 +215,18 @@ StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
         throw std::invalid_argument("applyKraus1q: empty channel");
 
     // Probability of branch k is || K_k |psi> ||^2, computed in a
-    // streaming pass without materializing the branch state.
+    // streaming pass without materializing the branch state. For a
+    // trace-preserving channel on a normalized state the branch
+    // norms sum to 1, so the branch draw is a single uniform and
+    // norms are only evaluated until the cumulative covers it — a
+    // weak channel (identity-dominated first branch) pays one pass,
+    // not kraus.size() passes.
     const std::size_t stride = std::size_t{1} << q;
     const std::size_t n = amps_.size();
-    std::vector<double> probs(kraus.size(), 0.0);
+    const double r = rng.uniform();
+    double cumulative = 0.0;
+    std::size_t chosen = kraus.size() - 1;
+    double chosenNorm = 0.0;
     for (std::size_t k = 0; k < kraus.size(); ++k) {
         const Matrix2& m = kraus[k];
         double p = 0.0;
@@ -230,23 +238,37 @@ StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
                 p += std::norm(m[2] * a0 + m[3] * a1);
             }
         }
-        probs[k] = p;
+        cumulative += p;
+        chosenNorm = p;
+        if (cumulative > r) {
+            chosen = k;
+            break;
+        }
     }
 
-    const std::size_t chosen = rng.discrete(probs);
     applyMatrix1q(kraus[chosen], q);
-    normalize();
+    // The post-apply norm equals the chosen branch norm, so rescale
+    // directly instead of re-measuring it — and skip the pass
+    // entirely for a branch that preserved the norm (the identity
+    // Kraus fast case).
+    if (chosenNorm <= 0.0)
+        normalize(); // Degenerate branch: preserve the throw.
+    else if (std::abs(chosenNorm - 1.0) > 1e-12) {
+        const double scale = 1.0 / std::sqrt(chosenNorm);
+        for (Amplitude& a : amps_)
+            a *= scale;
+    }
     return chosen;
 }
 
-bool
+DampingResult
 StateVector::applyAmplitudeDamping(Qubit q, double gamma, Rng& rng)
 {
     if (gamma <= 0.0)
-        return false;
+        return {};
     const double p1 = probabilityOne(q);
     if (p1 <= 0.0)
-        return false; // Channel acts trivially on |0>.
+        return {}; // Channel acts trivially on |0>.
     const double p_jump = gamma * p1;
     const std::size_t stride = std::size_t{1} << q;
     const std::size_t n = amps_.size();
@@ -260,7 +282,7 @@ StateVector::applyAmplitudeDamping(Qubit q, double gamma, Rng& rng)
                 amps_[i + stride] = 0.0;
             }
         }
-        return true;
+        return {true, true};
     }
     // No-jump K0 = diag(1, sqrt(1-g)); branch norm is 1 - p_jump.
     const double inv = 1.0 / std::sqrt(1.0 - p_jump);
@@ -271,17 +293,17 @@ StateVector::applyAmplitudeDamping(Qubit q, double gamma, Rng& rng)
             amps_[i + stride] *= keep;
         }
     }
-    return false;
+    return {true, false};
 }
 
-bool
+DampingResult
 StateVector::applyPhaseDamping(Qubit q, double lambda, Rng& rng)
 {
     if (lambda <= 0.0)
-        return false;
+        return {};
     const double p1 = probabilityOne(q);
     if (p1 <= 0.0)
-        return false;
+        return {};
     const double p_jump = lambda * p1;
     const std::size_t stride = std::size_t{1} << q;
     const std::size_t n = amps_.size();
@@ -294,7 +316,7 @@ StateVector::applyPhaseDamping(Qubit q, double lambda, Rng& rng)
                 amps_[i + stride] *= scale;
             }
         }
-        return true;
+        return {true, true};
     }
     // No-jump K0 = diag(1, sqrt(1-lambda)).
     const double inv = 1.0 / std::sqrt(1.0 - p_jump);
@@ -305,7 +327,7 @@ StateVector::applyPhaseDamping(Qubit q, double lambda, Rng& rng)
             amps_[i + stride] *= keep;
         }
     }
-    return false;
+    return {true, false};
 }
 
 bool
@@ -395,14 +417,25 @@ StateVector::sample(Rng& rng) const
 std::vector<BasisState>
 StateVector::sample(Rng& rng, std::size_t shots) const
 {
+    std::vector<double> cdf;
+    std::vector<BasisState> out;
+    sampleInto(rng, shots, cdf, out);
+    return out;
+}
+
+void
+StateVector::sampleInto(Rng& rng, std::size_t shots,
+                        std::vector<double>& cdf,
+                        std::vector<BasisState>& out) const
+{
     // Build the cumulative distribution once; binary-search per shot.
-    std::vector<double> cdf(amps_.size());
+    cdf.resize(amps_.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
         acc += std::norm(amps_[i]);
         cdf[i] = acc;
     }
-    std::vector<BasisState> out;
+    out.clear();
     out.reserve(shots);
     for (std::size_t s = 0; s < shots; ++s) {
         const double r = rng.uniform() * acc;
@@ -410,7 +443,6 @@ StateVector::sample(Rng& rng, std::size_t shots) const
         out.push_back(static_cast<BasisState>(
             std::min<std::size_t>(it - cdf.begin(), cdf.size() - 1)));
     }
-    return out;
 }
 
 Amplitude

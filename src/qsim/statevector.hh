@@ -22,6 +22,21 @@
 namespace qem
 {
 
+/**
+ * What a trajectory damping channel did to the state.
+ *
+ * `applied` is false exactly when the channel was a no-op on this
+ * state (zero probability, or no |1> population for the target
+ * qubit) — in that case no RNG draw was consumed and the amplitudes
+ * are untouched. `jumped` reports which Kraus branch fired when the
+ * channel did act.
+ */
+struct DampingResult
+{
+    bool applied = false;
+    bool jumped = false;
+};
+
 class StateVector
 {
   public:
@@ -75,6 +90,15 @@ class StateVector
      * its (unnormalized) output state, applied, and the state is
      * renormalized.
      *
+     * Branch norms are evaluated lazily: evaluation stops as soon as
+     * the running cumulative covers the branch draw (for a
+     * trace-preserving channel the norms sum to 1, so a
+     * high-probability first branch — the identity Kraus of a weak
+     * channel — costs one streaming pass instead of one per
+     * operator). Exactly one uniform draw is consumed either way,
+     * and renormalization is skipped when the chosen branch norm is
+     * already 1 within rounding.
+     *
      * @param kraus The Kraus operators; must satisfy
      *              sum_k K_k^dag K_k = I.
      * @param q Target qubit.
@@ -91,18 +115,21 @@ class StateVector
      * probability gamma * P(q=1), and the surviving branch applies
      * the no-jump Kraus operator; both are renormalized in-place.
      *
-     * @return True if the decay jump occurred.
+     * @return Whether the channel acted at all and whether the decay
+     *         jump occurred (see DampingResult).
      */
-    bool applyAmplitudeDamping(Qubit q, double gamma, Rng& rng);
+    DampingResult applyAmplitudeDamping(Qubit q, double gamma,
+                                        Rng& rng);
 
     /**
      * Trajectory branch of the phase-damping channel with dephasing
      * probability @p lambda; same fast path as
      * applyAmplitudeDamping.
      *
-     * @return True if the dephasing jump occurred.
+     * @return Whether the channel acted at all and whether the
+     *         dephasing jump occurred (see DampingResult).
      */
-    bool applyPhaseDamping(Qubit q, double lambda, Rng& rng);
+    DampingResult applyPhaseDamping(Qubit q, double lambda, Rng& rng);
 
     /**
      * Projectively measure qubit @p q, collapse the state, and
@@ -141,6 +168,17 @@ class StateVector
      * this is the preferred path for repeated sampling.
      */
     std::vector<BasisState> sample(Rng& rng, std::size_t shots) const;
+
+    /**
+     * Buffer-reusing form of the batched sample(): the cumulative
+     * table is built in @p cdf and the outcomes land in @p out
+     * (both resized as needed), so a caller sampling from many
+     * trajectory states in a loop allocates nothing after the first
+     * iteration. Draw-for-draw identical to sample(rng, shots).
+     */
+    void sampleInto(Rng& rng, std::size_t shots,
+                    std::vector<double>& cdf,
+                    std::vector<BasisState>& out) const;
     /// @}
 
     /** Inner product <this|other>. */

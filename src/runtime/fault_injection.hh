@@ -96,6 +96,12 @@ class FaultInjectingBackend : public ShardedBackend
     Counts run(const Circuit& circuit, std::size_t shots,
                Rng& rng) const override;
 
+    // compile() is intentionally NOT overridden: the inherited
+    // nullptr default forces ParallelBackend down the per-batch
+    // run() path, so every batch still crosses maybeFail() and an
+    // INVERTQ_FAULTS smoke keeps exercising retry/backoff instead
+    // of being bypassed by a shared compiled program.
+
     /** Fresh injector (call counters reset) over a cloned inner. */
     std::unique_ptr<ShardedBackend> clone() const override;
 

@@ -110,6 +110,15 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
     // batch->substream mapping below stays order-independent.
     const Rng job = rng_.split();
 
+    // Lower the circuit once and share the immutable compiled run
+    // across every worker; backends without a compiled form (and
+    // the fault-injection decorator, which must keep perturbing
+    // each run() call) return nullptr and fall back to per-batch
+    // run(). Both paths consume each batch's substream identically,
+    // so the merged histogram is the same either way.
+    const std::shared_ptr<const ShardedBackend::CompiledRun>
+        compiled = workers_[0]->compile(circuit);
+
     std::vector<Counts> partial(plan.numBatches());
     std::vector<std::uint64_t> workerShots(workers_.size(), 0);
     // Index-disjoint failure slots: the task for batch i writes
@@ -126,7 +135,10 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
             Rng rng = ShotPlan::substream(job, batch.index);
             try {
                 partial[batch.index] =
-                    workers_[0]->run(circuit, batch.shots, rng);
+                    compiled
+                        ? compiled->run(batch.shots, rng)
+                        : workers_[0]->run(circuit, batch.shots,
+                                           rng);
                 workerShots[0] += batch.shots;
             } catch (const TransientError& e) {
                 failures[batch.index] = BatchFailure{0, e.what()};
@@ -148,8 +160,8 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                     ? std::chrono::steady_clock::now()
                     : std::chrono::steady_clock::time_point{};
             futures.push_back(pool_->submit(
-                [this, &circuit, &job, &partial, &workerShots,
-                 &failures, &tele, enqueued, batch] {
+                [this, &circuit, &job, &compiled, &partial,
+                 &workerShots, &failures, &tele, enqueued, batch] {
                     const auto picked =
                         tele.queueWaitSeconds
                             ? std::chrono::steady_clock::now()
@@ -166,8 +178,12 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
                         ShotPlan::substream(job, batch.index);
                     try {
                         partial[batch.index] =
-                            workers_[static_cast<std::size_t>(w)]
-                                ->run(circuit, batch.shots, rng);
+                            compiled
+                                ? compiled->run(batch.shots, rng)
+                                : workers_[static_cast<std::size_t>(
+                                               w)]
+                                      ->run(circuit, batch.shots,
+                                            rng);
                         workerShots[static_cast<std::size_t>(w)] +=
                             batch.shots;
                     } catch (const TransientError& e) {
@@ -265,7 +281,10 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
             Rng rng = ShotPlan::substream(job, batch.index);
             try {
                 partial[i] =
-                    workers_[w]->run(circuit, batch.shots, rng);
+                    compiled
+                        ? compiled->run(batch.shots, rng)
+                        : workers_[w]->run(circuit, batch.shots,
+                                           rng);
                 workerShots[w] += batch.shots;
                 outcome.retriedBatches += 1;
                 break;
@@ -305,6 +324,8 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
         m.counter("runtime.shots").add(outcome.completedShots);
         m.counter("runtime.batches").add(plan.numBatches());
         m.counter("runtime.jobs").add(1);
+        if (compiled)
+            m.counter("runtime.compiled_jobs").add(1);
         m.gauge("runtime.threads")
             .set(static_cast<double>(numThreads()));
         m.histogram("runtime.run_seconds").record(seconds);

@@ -237,6 +237,39 @@ TEST(StateVector, FastDampingMatchesGenericKraus)
     EXPECT_NEAR(estimate(false), 0.3, 0.02);
 }
 
+TEST(StateVector, KrausConsumesExactlyOneUniform)
+{
+    // applyKraus1q folds branch selection into a single uniform
+    // draw regardless of which branch wins, so channel application
+    // is draw-for-draw stable — lowering and interpreter stay on
+    // the same rng stream.
+    const KrausChannel channel = amplitudeDamping(0.35);
+    Rng used(23), reference(23);
+    for (int i = 0; i < 64; ++i) {
+        StateVector s(1);
+        s.applyMatrix1q(gateMatrix1q(GateKind::RY, {1.3}), 0);
+        s.applyKraus1q(channel, 0, used);
+        reference.uniform(); // The one draw the channel made.
+        ASSERT_EQ(used.uniform(), reference.uniform()) << i;
+    }
+}
+
+TEST(StateVector, KrausUnitBranchSkipsRenormalization)
+{
+    // When the selected branch already has norm one (identity-like
+    // Kraus op), the rescale is skipped: amplitudes stay bit-exact,
+    // not merely close.
+    const KrausChannel identity{gateMatrix1q(GateKind::ID, {})};
+    Rng rng(29);
+    StateVector s(2);
+    s.applyH(0);
+    s.applyMatrix1q(gateMatrix1q(GateKind::U3, {0.9, 0.4, 1.7}), 1);
+    const StateVector before = s;
+    s.applyKraus1q(identity, 1, rng);
+    for (BasisState x = 0; x < s.dim(); ++x)
+        ASSERT_EQ(s.amplitude(x), before.amplitude(x)) << x;
+}
+
 TEST(StateVector, FastPhaseDampingPreservesPopulations)
 {
     const double lambda = 0.5;
@@ -261,8 +294,8 @@ TEST(StateVector, DampingOnGroundStateIsIdentity)
     StateVector s(2);
     s.applyH(1); // Qubit 0 stays |0>.
     StateVector copy = s;
-    EXPECT_FALSE(s.applyAmplitudeDamping(0, 0.9, rng));
-    EXPECT_FALSE(s.applyPhaseDamping(0, 0.9, rng));
+    EXPECT_FALSE(s.applyAmplitudeDamping(0, 0.9, rng).applied);
+    EXPECT_FALSE(s.applyPhaseDamping(0, 0.9, rng).applied);
     EXPECT_NEAR(s.fidelity(copy), 1.0, 1e-12);
 }
 

@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,8 @@
 #include "kernels/bv.hh"
 #include "noise/trajectory.hh"
 #include "qsim/bitstring.hh"
+#include "telemetry/telemetry.hh"
+#include "verify/assertions.hh"
 
 namespace qem
 {
@@ -161,6 +165,110 @@ TEST(Trajectory, ValidatesInputs)
     EXPECT_THROW(TrajectorySimulator(cleanModel(1), 1,
                                      TrajectoryOptions{0}),
                  std::invalid_argument);
+}
+
+/** Telemetry scope: enable, reset, and always restore. */
+class TelemetryCapture
+{
+  public:
+    TelemetryCapture()
+    {
+        telemetry::resetAll();
+        telemetry::setEnabled(true);
+    }
+    ~TelemetryCapture()
+    {
+        telemetry::setEnabled(false);
+        telemetry::resetAll();
+    }
+    std::uint64_t counter(const std::string& name) const
+    {
+        return telemetry::metrics().counter(name).value();
+    }
+};
+
+TEST(Trajectory, ReadoutOnlyModelTakesSingleTrajectoryFastPath)
+{
+    // A model that HAS stochastic gate noise and finite T1/T2, with
+    // options disabling both, must still take the one-trajectory
+    // shortcut: eligibility is a property of model AND options, not
+    // of the model alone (the options-blind fast path was the bug).
+    NoiseModel model(2);
+    model.setGate1q(0, {0.05, 60.0});
+    model.setGate1q(1, {0.05, 60.0});
+    model.setT1(0, 40000.0);
+    model.setT2(0, 60000.0);
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.02, 0.05},
+        std::vector<double>{0.1, 0.15}));
+    TrajectoryOptions readoutOnly;
+    readoutOnly.enableDecay = false;
+    readoutOnly.enableGateErrors = false;
+
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+
+    TelemetryCapture tele;
+    TrajectorySimulator sim(model, 21, readoutOnly);
+    const Counts counts = sim.run(c, 20000);
+    EXPECT_EQ(counts.total(), 20000u);
+    EXPECT_EQ(tele.counter("trajectory.trajectories"), 1u);
+    EXPECT_EQ(tele.counter("trajectory.fastpath_runs"), 1u);
+}
+
+TEST(Trajectory, FastPathMatchesBatchedDistribution)
+{
+    // The shortcut must change throughput, never statistics: its
+    // histogram is one sample of the same distribution the batched
+    // estimator draws from.
+    NoiseModel model(2);
+    model.setGate1q(0, {0.05, 0.0});
+    model.setReadout(std::make_shared<AsymmetricReadout>(
+        std::vector<double>{0.03, 0.01},
+        std::vector<double>{0.12, 0.08}));
+    TrajectoryOptions fast;
+    fast.enableGateErrors = false;
+    TrajectoryOptions batched = fast;
+    batched.deterministicFastPath = false;
+
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+
+    TrajectorySimulator fastSim(model, 22, fast);
+    TrajectorySimulator batchedSim(model, 23, batched);
+    const Counts a = fastSim.run(c, 40000);
+    const Counts b = batchedSim.run(c, 40000);
+    const verify::CheckResult same =
+        verify::checkSameDistribution(a, b, 1e-4);
+    EXPECT_TRUE(same) << same.message;
+}
+
+TEST(Trajectory, DisabledDecayReportsNoDecayEvents)
+{
+    // decayEvents counts channels that actually acted; with decay
+    // disabled the counter must stay exactly zero even though the
+    // model has finite T1 and the circuit has real durations.
+    NoiseModel model(1);
+    model.setT1(0, 1000.0);
+    model.setT2(0, 1500.0);
+    model.setGate1q(0, {0.1, 200.0}); // Keeps the program stochastic.
+    Circuit c(1);
+    c.x(0).delay(800.0, 0).measure(0, 0);
+
+    {
+        TelemetryCapture tele;
+        TrajectoryOptions noDecay;
+        noDecay.enableDecay = false;
+        TrajectorySimulator sim(model, 24, noDecay);
+        sim.run(c, 4000);
+        EXPECT_EQ(tele.counter("trajectory.decay_events"), 0u);
+    }
+    {
+        TelemetryCapture tele;
+        TrajectorySimulator sim(model, 24);
+        sim.run(c, 4000);
+        EXPECT_GT(tele.counter("trajectory.decay_events"), 0u);
+    }
 }
 
 TEST(Trajectory, SeededRunsReproduce)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Soft benchmark-regression check for CI.
+
+Compares a freshly generated BENCH_*.json (see src/harness/bench_io.hh)
+against a committed baseline and emits a GitHub Actions `::warning::`
+for every benchmark whose throughput dropped by more than the
+tolerance. Always exits 0: shared CI runners are too noisy for a hard
+gate, so the signal is a visible warning plus the uploaded artifacts,
+not a red build.
+
+Rate counters (shots_per_sec) are preferred when both sides have
+them; otherwise per-iteration real time is compared. Benchmarks that
+exist on only one side are reported informationally.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # bench_io envelope: {schema, bench, results: [...]}.
+    rows = doc.get("results", doc) if isinstance(doc, dict) else doc
+    if not isinstance(rows, list):
+        raise SystemExit(f"{path}: expected a run array or a "
+                         "bench envelope with one")
+    out = {}
+    for row in rows:
+        if isinstance(row, dict) and "name" in row:
+            out[row["name"]] = row
+    return out
+
+
+def throughput(row):
+    """(value, kind) where higher is better."""
+    rate = row.get("counters", {}).get("shots_per_sec")
+    if rate:
+        return float(rate), "shots_per_sec"
+    real = float(row.get("real_time_seconds", 0.0))
+    if real <= 0.0:
+        return None, None
+    return 1.0 / real, "1/real_time"
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop (default 0.30)")
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    fresh = load_results(args.fresh)
+
+    regressions = 0
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: {name} only in baseline (removed?)")
+            continue
+        base_v, base_kind = throughput(baseline[name])
+        new_v, new_kind = throughput(fresh[name])
+        if base_v is None or new_v is None or base_kind != new_kind:
+            print(f"note: {name}: not comparable, skipped")
+            continue
+        ratio = new_v / base_v
+        marker = ""
+        if ratio < 1.0 - args.tolerance:
+            regressions += 1
+            marker = "  <-- REGRESSION"
+            print(f"::warning::bench regression: {name} "
+                  f"{base_kind} {base_v:.3g} -> {new_v:.3g} "
+                  f"({(1.0 - ratio) * 100:.0f}% drop, "
+                  f"tolerance {args.tolerance * 100:.0f}%)")
+        print(f"{name}: {base_kind} {base_v:.3g} -> {new_v:.3g} "
+              f"(x{ratio:.2f}){marker}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} only in fresh run (new benchmark)")
+
+    print(f"{regressions} regression(s) beyond "
+          f"{args.tolerance * 100:.0f}% tolerance "
+          f"(soft check, exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
