@@ -1,0 +1,246 @@
+/**
+ * @file
+ * google-benchmark throughput measurements of the multi-tenant job
+ * service: end-to-end submit->drain job throughput over the shared
+ * pool (swept across worker counts), submission latency against a
+ * warm artifact cache, and the cache's hot-path lookup cost.
+ *
+ * The custom main() mirrors perf_microbench: besides the console
+ * table it exports every run as `BENCH_jobservice.json` (see
+ * harness/bench_io.hh) so CI can diff the service's perf
+ * trajectory against bench/baselines/BENCH_jobservice.json via
+ * tools/check_bench_regression.py.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/bench_io.hh"
+#include "harness/experiment.hh"
+#include "kernels/bv.hh"
+#include "service/job_service.hh"
+
+namespace
+{
+
+using namespace qem;
+
+svc::ServiceOptions
+serviceOptions(unsigned threads)
+{
+    svc::ServiceOptions options;
+    options.numThreads = threads;
+    return options;
+}
+
+Circuit
+physicalBv()
+{
+    const Machine machine = makeIbmqx4();
+    return Transpiler(machine)
+        .transpile(bernsteinVazirani(4, 0b0111))
+        .circuit;
+}
+
+/**
+ * Steady-state service throughput: each iteration submits a burst
+ * of jobs from three tenants (mixed priorities) and drains. The
+ * service and its warm compile cache persist across iterations, so
+ * jobs_per_sec / shots_per_sec measure scheduling + execution, not
+ * recompilation; cache_hit_rate confirms the cache carried the
+ * load (it should approach 1).
+ */
+void
+BM_JobServiceThroughput(benchmark::State& state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    const Machine machine = makeIbmqx4();
+    const TrajectorySimulator prototype(machine.noiseModel(), 11);
+    const Circuit circuit = physicalBv();
+
+    svc::JobService service(serviceOptions(threads), 21);
+    service.registerMachine("ibmqx4", prototype);
+
+    constexpr std::size_t kJobsPerBurst = 8;
+    constexpr std::size_t kShotsPerJob = 1024;
+    constexpr const char* kTenants[] = {"alice", "bob", "carol"};
+    constexpr svc::JobPriority kPriorities[] = {
+        svc::JobPriority::Interactive,
+        svc::JobPriority::Batch,
+        svc::JobPriority::Background,
+    };
+
+    for (auto _ : state) {
+        std::vector<svc::JobHandle> handles;
+        handles.reserve(kJobsPerBurst);
+        for (std::size_t j = 0; j < kJobsPerBurst; ++j) {
+            svc::JobOptions options;
+            options.tenant = kTenants[j % 3];
+            options.priority = kPriorities[j % 3];
+            options.batchSize = 128;
+            handles.push_back(service.submit(
+                "ibmqx4", circuit, kShotsPerJob, options));
+        }
+        service.drain();
+        for (const svc::JobHandle& handle : handles)
+            benchmark::DoNotOptimize(handle.get().total());
+    }
+
+    const std::int64_t jobs =
+        state.iterations() *
+        static_cast<std::int64_t>(kJobsPerBurst);
+    state.SetItemsProcessed(jobs *
+                            static_cast<std::int64_t>(
+                                kShotsPerJob));
+    state.counters["jobs_per_sec"] = benchmark::Counter(
+        static_cast<double>(jobs), benchmark::Counter::kIsRate);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(jobs * static_cast<std::int64_t>(
+                                       kShotsPerJob)),
+        benchmark::Counter::kIsRate);
+    const svc::CacheStats cache = service.summary().cache;
+    const double lookups =
+        static_cast<double>(cache.hits + cache.misses);
+    state.counters["cache_hit_rate"] =
+        lookups > 0.0 ? static_cast<double>(cache.hits) / lookups
+                      : 0.0;
+}
+BENCHMARK(BM_JobServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Submission latency against a warm cache: the handle returns
+ * after admission + cache probe; execution overlaps. Measures the
+ * control-plane cost a tenant pays per submit().
+ */
+void
+BM_JobServiceSubmitLatency(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    const TrajectorySimulator prototype(machine.noiseModel(), 11);
+    const Circuit circuit = physicalBv();
+
+    svc::ServiceOptions options = serviceOptions(4);
+    options.maxQueuedBatches = 1u << 20; // Never the bottleneck.
+    svc::JobService service(options, 22);
+    service.registerMachine("ibmqx4", prototype);
+
+    svc::JobOptions job;
+    job.batchSize = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            service.submit("ibmqx4", circuit, 64, job));
+    }
+    // Untimed (the loop's timer already stopped): let the queued
+    // work finish so the service destructor isn't measured either.
+    service.drain();
+    state.counters["jobs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+// Fixed iteration count: each submit is ~microseconds, and every
+// iteration queues 64 real shots that must drain afterwards —
+// letting benchmark auto-scale would queue minutes of untimed work.
+BENCHMARK(BM_JobServiceSubmitLatency)
+    ->Iterations(4096)
+    ->UseRealTime();
+
+/** Hot-path cost of one cache hit (key hash + shard LRU touch). */
+void
+BM_ArtifactCacheHit(benchmark::State& state)
+{
+    svc::ArtifactCache cache;
+    svc::ArtifactKey key;
+    key.kind = svc::ArtifactKind::CompiledProgram;
+    key.subject = 0x5EED;
+    key.machine = "ibmqx4";
+    const auto compute =
+        []() -> svc::ArtifactCache::Costed<int> {
+        return {std::make_shared<const int>(1), 8};
+    };
+    (void)cache.getOrCompute<int>(key, compute);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.getOrCompute<int>(key, compute).get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArtifactCacheHit);
+
+/**
+ * Console reporter that additionally captures every finished run
+ * so main() can export them through the telemetry JSON writer.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run>& report) override
+    {
+        for (const Run& run : report)
+            captured_.push_back(run);
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    const std::vector<Run>& captured() const { return captured_; }
+
+  private:
+    std::vector<Run> captured_;
+};
+
+telemetry::JsonValue
+runsToJson(const std::vector<benchmark::BenchmarkReporter::Run>&
+               runs)
+{
+    telemetry::JsonValue results = telemetry::JsonValue::array();
+    for (const auto& run : runs) {
+        if (run.error_occurred)
+            continue;
+        telemetry::JsonValue row = telemetry::JsonValue::object();
+        row["name"] = telemetry::JsonValue(run.benchmark_name());
+        row["iterations"] = telemetry::JsonValue(
+            static_cast<std::uint64_t>(run.iterations));
+        const double iters =
+            run.iterations > 0
+                ? static_cast<double>(run.iterations)
+                : 1.0;
+        row["real_time_seconds"] = telemetry::JsonValue(
+            run.real_accumulated_time / iters);
+        row["cpu_time_seconds"] = telemetry::JsonValue(
+            run.cpu_accumulated_time / iters);
+        telemetry::JsonValue counters =
+            telemetry::JsonValue::object();
+        for (const auto& [name, counter] : run.counters)
+            counters[name] = telemetry::JsonValue(
+                static_cast<double>(counter));
+        row["counters"] = std::move(counters);
+        results.push(std::move(row));
+    }
+    return results;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string path = qem::writeBenchJson(
+        "jobservice", runsToJson(reporter.captured()));
+    if (!path.empty())
+        std::printf("wrote %s (%zu results)\n", path.c_str(),
+                    reporter.captured().size());
+    return 0;
+}

@@ -143,6 +143,32 @@ MachineSession::profileProgram(const TranspiledProgram& program,
                             options);
 }
 
+std::shared_ptr<const RbmsEstimate>
+MachineSession::profileProgram(svc::ArtifactCache& cache,
+                               const TranspiledProgram& program,
+                               const RbmsOptions& options)
+{
+    telemetry::SpanTracer::Scope s =
+        telemetry::span("profile_rbms");
+    return svc::cachedRbmsProfile(cache, backend(),
+                                  machine_.name(),
+                                  measuredPhysicalQubits(program),
+                                  options);
+}
+
+svc::JobHandle
+MachineSession::submitAsync(svc::JobService& service,
+                            const Circuit& logical,
+                            std::size_t shots,
+                            svc::JobOptions options)
+{
+    if (!service.hasMachine(machine_.name()))
+        service.registerMachine(machine_.name(), backend_);
+    const TranspiledProgram program = prepare(logical);
+    return service.submit(machine_.name(), program.circuit, shots,
+                          std::move(options));
+}
+
 Counts
 MachineSession::runEnsemble(const Circuit& logical,
                             MitigationPolicy& inner,

@@ -23,6 +23,8 @@
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
 #include "runtime/parallel_backend.hh"
+#include "service/artifacts.hh"
+#include "service/job_service.hh"
 #include "telemetry/sink.hh"
 #include "transpile/transpiler.hh"
 
@@ -142,6 +144,33 @@ class MachineSession
     std::shared_ptr<const RbmsEstimate> profileProgram(
         const TranspiledProgram& program,
         const RbmsOptions& options = {});
+
+    /**
+     * Cached profileProgram: the profile is looked up in (or
+     * characterized into) @p cache under the key
+     * (measured register, machine name, RbmsOptions), so sessions
+     * sharing a cache — e.g. via JobService::cache() — pay for one
+     * characterization per machine/register instead of one per
+     * session.
+     */
+    std::shared_ptr<const RbmsEstimate> profileProgram(
+        svc::ArtifactCache& cache,
+        const TranspiledProgram& program,
+        const RbmsOptions& options = {});
+
+    /**
+     * Submit @p logical through @p service: transpiles for this
+     * machine, registers the machine's noisy backend with the
+     * service on first use (clone per service worker), and queues
+     * the physical circuit for @p shots trials. Returns the async
+     * handle; results follow the service's determinism contract
+     * (seeded by the *service* seed and the job's tenant/key, not
+     * this session's stream).
+     */
+    svc::JobHandle submitAsync(svc::JobService& service,
+                               const Circuit& logical,
+                               std::size_t shots,
+                               svc::JobOptions options = {});
 
     /**
      * Run one benchmark under Baseline, SIM (four modes), and AIM

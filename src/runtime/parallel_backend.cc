@@ -96,19 +96,24 @@ Counts
 ParallelBackend::run(const Circuit& circuit, std::size_t shots)
 {
     const auto start = std::chrono::steady_clock::now();
-    // Invalidate up front: a run that throws must never leave the
-    // previous run's throughput on display.
-    stats_ = RuntimeStats{};
+    const ShotPlan plan(shots, options_.batchSize);
+    Rng job(0);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        // Invalidate up front: a run that throws must never leave
+        // the previous run's throughput on display.
+        stats_ = RuntimeStats{};
+        // One job stream per call: repeated runs see fresh
+        // substreams (call-order dependent, like the serial
+        // simulators), while the batch->substream mapping below
+        // stays order-independent. Drawn under the lock so
+        // concurrent run() calls split distinct streams.
+        job = rng_.split();
+    }
     telemetry::SpanTracer::Scope runSpan =
         telemetry::span("runtime.run");
     const RunTelemetry tele =
         RunTelemetry::resolve(workers_.size());
-
-    const ShotPlan plan(shots, options_.batchSize);
-    // One job stream per call: repeated runs see fresh substreams
-    // (call-order dependent, like the serial simulators), while the
-    // batch->substream mapping below stays order-independent.
-    const Rng job = rng_.split();
 
     // Lower the circuit once and share the immutable compiled run
     // across every worker; backends without a compiled form (and
@@ -306,17 +311,21 @@ ParallelBackend::run(const Circuit& circuit, std::size_t shots)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
-    stats_.shots = outcome.completedShots;
-    stats_.batches = plan.numBatches();
-    stats_.numThreads = numThreads();
-    stats_.wallSeconds = seconds;
-    stats_.shotsPerSecond =
-        seconds > 0.0
-            ? static_cast<double>(outcome.completedShots) / seconds
-            : 0.0;
-    stats_.perWorkerShots = std::move(workerShots);
-    stats_.outcome = outcome;
-    stats_.valid = true;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.shots = outcome.completedShots;
+        stats_.batches = plan.numBatches();
+        stats_.numThreads = numThreads();
+        stats_.wallSeconds = seconds;
+        stats_.shotsPerSecond =
+            seconds > 0.0
+                ? static_cast<double>(outcome.completedShots) /
+                      seconds
+                : 0.0;
+        stats_.perWorkerShots = std::move(workerShots);
+        stats_.outcome = outcome;
+        stats_.valid = true;
+    }
     if (telemetry::enabled()) {
         // Fold RuntimeStats into the registry so sinks see the
         // runtime's throughput next to every other metric.

@@ -26,6 +26,7 @@
 #define QEM_RUNTIME_PARALLEL_BACKEND_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "qsim/simulator.hh"
@@ -96,11 +97,24 @@ class ParallelBackend : public Backend
      * stats().valid is false before the first run() and after a
      * run() that threw — a failed run never reports the previous
      * run's numbers.
+     *
+     * The returned reference aliases state the next run() on this
+     * backend rewrites; callers that share a backend across threads
+     * (or read stats while another thread may call run()) must use
+     * statsSnapshot() instead.
      */
     const RuntimeStats& lastRunStats() const { return stats_; }
 
-    /** Failure-semantics summary of the most recent run(). */
+    /** Failure-semantics summary of the most recent run(). Same
+     *  aliasing caveat as lastRunStats(). */
     const RunOutcome& lastOutcome() const { return stats_.outcome; }
+
+    /** Thread-safe copy of the most recent run()'s stats. */
+    RuntimeStats statsSnapshot() const
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        return stats_;
+    }
 
     /**
      * Mark the current stats invalid without running. Callers that
@@ -108,13 +122,19 @@ class ParallelBackend : public Backend
      * MachineSession::runPolicy) use this so an operation that
      * fails before its first batch cannot show stale throughput.
      */
-    void invalidateStats() { stats_ = RuntimeStats{}; }
+    void invalidateStats()
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_ = RuntimeStats{};
+    }
 
   private:
     std::vector<std::unique_ptr<ShardedBackend>> workers_;
     std::unique_ptr<ThreadPool> pool_; // Null for a single worker.
     Rng rng_;
     RuntimeOptions options_;
+    /** Guards stats_ and the per-run job-stream draw from rng_. */
+    mutable std::mutex statsMutex_;
     RuntimeStats stats_;
 };
 

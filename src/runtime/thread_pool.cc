@@ -25,13 +25,27 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown(ShutdownMode::Drain);
+}
+
+void
+ThreadPool::shutdown(ShutdownMode mode)
+{
+    std::queue<std::function<void()>> discarded;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
+        if (mode == ShutdownMode::Abort)
+            queue_.swap(discarded);
     }
     available_.notify_all();
-    for (std::thread& worker : workers_)
-        worker.join();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    // Destroy discarded tasks outside the lock; dropping a
+    // packaged_task breaks its future's promise, which is exactly
+    // the signal an aborted submitter should see.
 }
 
 int

@@ -30,6 +30,19 @@ namespace qem
 class ThreadPool
 {
   public:
+    /** How shutdown() treats tasks still waiting in the queue. */
+    enum class ShutdownMode
+    {
+        /** Run every queued task to completion before joining. */
+        Drain,
+        /**
+         * Discard queued tasks and join as soon as the running
+         * ones finish. Discarded tasks never execute; their
+         * futures fail with std::future_error (broken_promise).
+         */
+        Abort,
+    };
+
     /**
      * Spawn @p num_threads workers. Throws std::invalid_argument
      * for zero threads.
@@ -37,10 +50,18 @@ class ThreadPool
     explicit ThreadPool(unsigned num_threads);
 
     /**
-     * Drains all queued tasks, then joins every worker. Tasks
-     * submitted before destruction always run to completion.
+     * Equivalent to shutdown(ShutdownMode::Drain): tasks submitted
+     * before destruction always run to completion.
      */
     ~ThreadPool();
+
+    /**
+     * Stop accepting work and join every worker. Idempotent; a
+     * second call (or the destructor after it) is a no-op, and the
+     * first call's mode wins. In-flight tasks always finish —
+     * Abort only discards tasks no worker has picked up yet.
+     */
+    void shutdown(ShutdownMode mode = ShutdownMode::Drain);
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;

@@ -1,0 +1,84 @@
+#include "service/fingerprint.hh"
+
+#include <cstring>
+
+namespace qem::svc
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+} // namespace
+
+std::uint64_t
+fnvByte(std::uint64_t h, unsigned char byte)
+{
+    return (h ^ byte) * kFnvPrime;
+}
+
+std::uint64_t
+fnvWord(std::uint64_t h, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        h = fnvByte(h, static_cast<unsigned char>(word & 0xFF));
+        word >>= 8;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvDouble(std::uint64_t h, double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnvWord(h, bits);
+}
+
+std::uint64_t
+fnvString(std::uint64_t h, const std::string& s)
+{
+    h = fnvWord(h, s.size());
+    for (char c : s)
+        h = fnvByte(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+std::uint64_t
+fingerprintCircuit(const Circuit& circuit)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnvWord(h, circuit.numQubits());
+    h = fnvWord(h, circuit.numClbits());
+    for (const Operation& op : circuit.ops()) {
+        h = fnvWord(h, static_cast<std::uint64_t>(op.kind));
+        h = fnvWord(h, op.qubits.size());
+        for (Qubit q : op.qubits)
+            h = fnvWord(h, q);
+        h = fnvWord(h, op.params.size());
+        for (double p : op.params)
+            h = fnvDouble(h, p);
+        h = fnvWord(h, op.cbit);
+    }
+    return h;
+}
+
+std::uint64_t
+fingerprintQubits(const std::vector<Qubit>& qubits)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnvWord(h, qubits.size());
+    for (Qubit q : qubits)
+        h = fnvWord(h, q);
+    return h;
+}
+
+std::uint64_t
+fingerprintString(const std::string& s)
+{
+    return fnvString(kFnvBasis, s);
+}
+
+} // namespace qem::svc

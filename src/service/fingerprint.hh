@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic 64-bit fingerprints for cache keys.
+ *
+ * The ArtifactCache keys expensive per-machine artifacts by
+ * (circuit, machine, options). Pointer identity is useless across
+ * tenants — two users submitting the same canary circuit must hit
+ * the same cache line — so keys are content fingerprints: FNV-1a
+ * over a canonical byte serialization. Fingerprints are stable
+ * within a process run and across runs on the same platform; they
+ * are cache keys, not cryptographic digests.
+ */
+
+#ifndef QEM_SERVICE_FINGERPRINT_HH
+#define QEM_SERVICE_FINGERPRINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qsim/circuit.hh"
+
+namespace qem::svc
+{
+
+/** FNV-1a offset basis; the seed of an empty fingerprint. */
+inline constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+
+/** Fold @p byte into @p h (FNV-1a step). */
+std::uint64_t fnvByte(std::uint64_t h, unsigned char byte);
+
+/** Fold a 64-bit word (little-endian byte order). */
+std::uint64_t fnvWord(std::uint64_t h, std::uint64_t word);
+
+/** Fold a double via its IEEE-754 bit pattern (so -0.0 != 0.0). */
+std::uint64_t fnvDouble(std::uint64_t h, double value);
+
+/** Fold a string (length-prefixed, so "ab","c" != "a","bc"). */
+std::uint64_t fnvString(std::uint64_t h, const std::string& s);
+
+/**
+ * Fingerprint of a circuit's full content: register sizes plus
+ * every operation's kind, operands, parameters, and classical
+ * destination, in program order. Circuits that execute identically
+ * but differ structurally (e.g. an extra barrier) fingerprint
+ * differently — the cache may then compile twice, which is safe.
+ */
+std::uint64_t fingerprintCircuit(const Circuit& circuit);
+
+/** Fingerprint of a qubit list (e.g. a measured register). */
+std::uint64_t fingerprintQubits(const std::vector<Qubit>& qubits);
+
+/** Fingerprint of a string (tenant ids, machine names). */
+std::uint64_t fingerprintString(const std::string& s);
+
+} // namespace qem::svc
+
+#endif // QEM_SERVICE_FINGERPRINT_HH

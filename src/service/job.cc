@@ -1,0 +1,138 @@
+#include "service/job.hh"
+
+#include <stdexcept>
+
+#include "service/job_state.hh"
+
+namespace qem::svc
+{
+
+const char*
+jobPriorityName(JobPriority priority)
+{
+    switch (priority) {
+    case JobPriority::Interactive:
+        return "interactive";
+    case JobPriority::Batch:
+        return "batch";
+    case JobPriority::Background:
+        return "background";
+    }
+    return "unknown";
+}
+
+const char*
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Queued:
+        return "queued";
+    case JobStatus::Running:
+        return "running";
+    case JobStatus::Completed:
+        return "completed";
+    case JobStatus::Failed:
+        return "failed";
+    case JobStatus::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+isTerminal(JobStatus status)
+{
+    return status == JobStatus::Completed ||
+           status == JobStatus::Failed ||
+           status == JobStatus::Cancelled;
+}
+
+telemetry::JsonValue
+JobRecord::toJson() const
+{
+    telemetry::JsonValue doc = telemetry::JsonValue::object();
+    doc["id"] = telemetry::JsonValue(id);
+    doc["tenant"] = telemetry::JsonValue(tenant);
+    doc["machine"] = telemetry::JsonValue(machine);
+    if (!label.empty())
+        doc["label"] = telemetry::JsonValue(label);
+    doc["priority"] =
+        telemetry::JsonValue(jobPriorityName(priority));
+    doc["job_key"] = telemetry::JsonValue(jobKey);
+    doc["shots_requested"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(shotsRequested));
+    doc["shots_completed"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(shotsCompleted));
+    doc["batches"] =
+        telemetry::JsonValue(static_cast<std::uint64_t>(batches));
+    doc["retries"] =
+        telemetry::JsonValue(static_cast<std::uint64_t>(retries));
+    doc["dropped_batches"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(droppedBatches));
+    doc["salvage"] = telemetry::JsonValue(
+        salvage == SalvageMode::DropBatches ? "drop_batches"
+                                            : "fail_fast");
+    doc["cache_hits"] = telemetry::JsonValue(cacheHits);
+    doc["cache_misses"] = telemetry::JsonValue(cacheMisses);
+    doc["compiled"] = telemetry::JsonValue(compiled);
+    doc["status"] = telemetry::JsonValue(jobStatusName(status));
+    if (!error.empty())
+        doc["error"] = telemetry::JsonValue(error);
+    doc["wall_seconds"] = telemetry::JsonValue(wallSeconds);
+    return doc;
+}
+
+std::uint64_t
+JobHandle::id() const
+{
+    if (!state_)
+        throw std::logic_error("JobHandle: empty handle");
+    return state_->record.id;
+}
+
+JobStatus
+JobHandle::status() const
+{
+    if (!state_)
+        throw std::logic_error("JobHandle: empty handle");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->record.status;
+}
+
+void
+JobHandle::wait() const
+{
+    if (!state_)
+        throw std::logic_error("JobHandle: empty handle");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    // Keyed on audited, not the terminal status: the service flags
+    // it only after the job is in the audit log and totals, so a
+    // returned wait() means summary() already counts this job.
+    state_->terminalCv.wait(lock,
+                            [this] { return state_->audited; });
+}
+
+const Counts&
+JobHandle::get() const
+{
+    wait();
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->failure)
+        std::rethrow_exception(state_->failure);
+    if (state_->record.status == JobStatus::Cancelled)
+        throw JobCancelled("job " +
+                           std::to_string(state_->record.id) +
+                           " was cancelled");
+    return state_->result;
+}
+
+const JobRecord&
+JobHandle::record() const
+{
+    wait();
+    // Terminal records are immutable, so the reference is safe to
+    // read without the lock after wait().
+    return state_->record;
+}
+
+} // namespace qem::svc

@@ -1,0 +1,47 @@
+#include "service/job_queue.hh"
+
+#include "telemetry/telemetry.hh"
+
+namespace qem::svc
+{
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+std::size_t
+JobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+bool
+JobQueue::tryPushAll(std::vector<WorkItem> items)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() + items.size() > capacity_)
+        return false;
+    for (WorkItem& item : items) {
+        const Rank rank{static_cast<std::uint8_t>(item.priority),
+                        item.jobSeq, item.batchIndex};
+        items_.emplace(rank, std::move(item));
+    }
+    telemetry::gaugeSet("service.queue_depth",
+                        static_cast<double>(items_.size()));
+    return true;
+}
+
+std::optional<WorkItem>
+JobQueue::tryPop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty())
+        return std::nullopt;
+    auto it = items_.begin();
+    WorkItem item = std::move(it->second);
+    items_.erase(it);
+    telemetry::gaugeSet("service.queue_depth",
+                        static_cast<double>(items_.size()));
+    return item;
+}
+
+} // namespace qem::svc

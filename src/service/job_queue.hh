@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded, priority-ordered work queue of the job service.
+ *
+ * The queue holds *batches* (the unit of parallel work), not jobs:
+ * every admitted job contributes one item per shot batch, so a
+ * 10^6-shot Background job cannot starve a 256-shot Interactive
+ * canary — the scheduler drains strictly by (priority class,
+ * admission order, batch index), which round-robins concurrent
+ * same-class jobs at batch granularity.
+ *
+ * Admission control is all-or-nothing: a job's batches are admitted
+ * together or not at all (a partially admitted job could never
+ * finish), and a full queue rejects the submission — the service
+ * surfaces that as BudgetExhausted, the taxonomy's "the runtime
+ * gave up" error (docs/resilience.md).
+ *
+ * Thread-safe; pop order is deterministic given queue content, but
+ * *which* worker pops an item is not — job determinism therefore
+ * never rests on scheduling (see docs/jobservice.md).
+ */
+
+#ifndef QEM_SERVICE_JOB_QUEUE_HH
+#define QEM_SERVICE_JOB_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace qem::svc
+{
+
+/** One schedulable unit: a closure tagged with its dispatch rank. */
+struct WorkItem
+{
+    JobPriority priority = JobPriority::Batch;
+    /** Admission sequence of the owning job (FIFO within class). */
+    std::uint64_t jobSeq = 0;
+    /** Batch index within the job (ordered dispatch per job). */
+    std::size_t batchIndex = 0;
+    /** Executes the batch (never throws; failures land in the
+     *  job's state). */
+    std::function<void()> work;
+};
+
+class JobQueue
+{
+  public:
+    /** @param capacity Maximum queued items (batches). */
+    explicit JobQueue(std::size_t capacity);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Items currently queued. */
+    std::size_t size() const;
+
+    /**
+     * Admit every item of one job, or none: returns false (and
+     * enqueues nothing) when @p items would overflow the capacity.
+     */
+    bool tryPushAll(std::vector<WorkItem> items);
+
+    /**
+     * Remove and return the highest-ranked item (lowest
+     * (priority, jobSeq, batchIndex) triple), or nullopt when
+     * empty.
+     */
+    std::optional<WorkItem> tryPop();
+
+  private:
+    using Rank =
+        std::tuple<std::uint8_t, std::uint64_t, std::size_t>;
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::map<Rank, WorkItem> items_;
+};
+
+} // namespace qem::svc
+
+#endif // QEM_SERVICE_JOB_QUEUE_HH

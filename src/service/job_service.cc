@@ -1,0 +1,609 @@
+#include "service/job_service.hh"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/fault_injection.hh"
+#include "runtime/shot_plan.hh"
+#include "service/fingerprint.hh"
+#include "service/job_state.hh"
+#include "telemetry/telemetry.hh"
+
+namespace qem::svc
+{
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/**
+ * Rough resident-size estimate of a compiled program: the dominant
+ * term is the retained pre-measurement state vector (16 bytes per
+ * amplitude), plus a small per-op overhead. An estimate is enough —
+ * the cache budget bounds memory order-of-magnitude, it is not an
+ * allocator.
+ */
+std::size_t
+compiledBytesEstimate(const Circuit& circuit)
+{
+    const unsigned bits =
+        circuit.numQubits() < 30u ? circuit.numQubits() : 30u;
+    return (std::size_t{16} << bits) +
+           circuit.ops().size() * 64 + 1024;
+}
+
+} // namespace
+
+JobService::JobService(ServiceOptions options, std::uint64_t seed)
+    : options_(options), seed_(seed), cache_(options.cache),
+      queue_(options.maxQueuedBatches)
+{
+    unsigned threads = options_.numThreads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+JobService::~JobService()
+{
+    drain();
+    // Pool destruction drains the (now no-op) remaining tickets.
+    pool_.reset();
+}
+
+bool
+JobService::registerMachine(const std::string& name,
+                            const ShardedBackend& prototype)
+{
+    // Clone outside the lock: prototypes can be heavy.
+    const std::optional<FaultOptions> faults =
+        FaultOptions::fromEnv();
+    auto runtime = std::make_unique<MachineRuntime>();
+    runtime->name = name;
+    runtime->workers.reserve(pool_->size());
+    for (std::size_t i = 0; i < pool_->size(); ++i) {
+        std::unique_ptr<ShardedBackend> worker =
+            prototype.clone();
+        if (faults)
+            worker = std::make_unique<FaultInjectingBackend>(
+                std::move(worker), *faults);
+        runtime->workers.push_back(std::move(worker));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    return machines_.emplace(name, std::move(runtime)).second;
+}
+
+bool
+JobService::hasMachine(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return machines_.count(name) != 0;
+}
+
+JobService::MachineRuntime&
+JobService::machineRuntime(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = machines_.find(name);
+    if (it == machines_.end())
+        throw std::invalid_argument(
+            "JobService: machine \"" + name +
+            "\" is not registered");
+    // Machines are never erased, so the reference stays valid
+    // without the lock.
+    return *it->second;
+}
+
+Rng
+JobService::jobStream(std::uint64_t service_seed,
+                      const std::string& tenant,
+                      std::uint64_t job_key)
+{
+    return Rng(service_seed)
+        .splitAt(fingerprintString(tenant))
+        .splitAt(job_key);
+}
+
+std::shared_ptr<const ShardedBackend::CompiledRun>
+JobService::compileCached(MachineRuntime& machine,
+                          const Circuit& circuit,
+                          JobRecord& record)
+{
+    ArtifactKey key;
+    key.kind = ArtifactKind::CompiledProgram;
+    key.subject = fingerprintCircuit(circuit);
+    key.machine = machine.name;
+
+    bool hit = false;
+    auto compiled = cache_.getOrCompute<
+        ShardedBackend::CompiledRun>(
+        key,
+        [&]() -> ArtifactCache::Costed<
+                  ShardedBackend::CompiledRun> {
+            auto program = machine.workers.front()->compile(
+                circuit);
+            if (program)
+                telemetry::count("runtime.compiled_jobs");
+            // Backends without a compiled form cache the nullptr
+            // (cheaply), so repeat submissions skip the probe too.
+            const std::size_t bytes =
+                program ? compiledBytesEstimate(circuit) : 64;
+            return {std::move(program), bytes};
+        },
+        &hit);
+    if (hit)
+        ++record.cacheHits;
+    else
+        ++record.cacheMisses;
+    record.compiled = compiled != nullptr;
+    return compiled;
+}
+
+JobHandle
+JobService::submit(const std::string& machine,
+                   const Circuit& circuit, std::size_t shots,
+                   JobOptions options)
+{
+    MachineRuntime& runtime = machineRuntime(machine);
+
+    const std::size_t batchSize = options.batchSize != 0
+                                      ? options.batchSize
+                                      : options_.defaultBatchSize;
+    if (batchSize == 0)
+        throw std::invalid_argument(
+            "JobService: batch size must be nonzero");
+    const unsigned maxRetries =
+        options.maxRetries < 0
+            ? options_.defaultMaxRetries
+            : static_cast<unsigned>(options.maxRetries);
+
+    const ShotPlan plan(shots, batchSize);
+
+    // Advisory early reject: shed load before paying for a
+    // compile. tryPushAll below is the authoritative check.
+    if (queue_.size() + plan.numBatches() >
+        queue_.capacity()) {
+        telemetry::count("service.rejected_jobs");
+        {
+            std::lock_guard<std::mutex> lock(auditMutex_);
+            ++totals_.rejected;
+        }
+        throw BudgetExhausted(
+            "JobService: queue full (" +
+            std::to_string(plan.numBatches()) +
+            " batches over capacity " +
+            std::to_string(queue_.capacity()) + ")");
+    }
+
+    auto state = std::make_shared<JobState>();
+    state->circuit = circuit;
+    state->maxRetries = maxRetries;
+    state->salvage = options.salvage;
+    state->submitSeconds = nowSeconds();
+
+    JobRecord& record = state->record;
+    record.tenant = options.tenant;
+    record.machine = machine;
+    record.label = options.label;
+    record.priority = options.priority;
+    record.salvage = options.salvage;
+    record.shotsRequested = shots;
+    record.batches = plan.numBatches();
+
+    std::uint64_t jobSeq = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        record.id = nextJobId_++;
+        jobSeq = nextJobSeq_++;
+        // An auto-keyed job consumes its tenant's next sequence
+        // number here — even if admission rejects it below —
+        // because rolling back under concurrent submitters would
+        // reorder streams. Use explicit jobKeys for streams that
+        // must not depend on prior submissions.
+        record.jobKey = options.jobKey != UINT64_MAX
+                            ? options.jobKey
+                            : tenantSeq_[options.tenant]++;
+        ++activeJobs_;
+    }
+
+    state->jobRng =
+        jobStream(seed_, options.tenant, record.jobKey);
+
+    auto compiled = compileCached(runtime, circuit, record);
+
+    state->partial.assign(plan.numBatches(),
+                          Counts(circuit.numClbits()));
+    state->remaining = plan.numBatches();
+
+    std::vector<WorkItem> items;
+    items.reserve(plan.numBatches());
+    for (const ShotBatch& batch : plan.batches()) {
+        WorkItem item;
+        item.priority = options.priority;
+        item.jobSeq = jobSeq;
+        item.batchIndex = batch.index;
+        item.work = [this, state, &runtime, compiled,
+                     index = batch.index,
+                     shotsInBatch = batch.shots] {
+            runBatch(state, runtime, compiled, index,
+                     shotsInBatch);
+        };
+        items.push_back(std::move(item));
+    }
+
+    if (!items.empty() && !queue_.tryPushAll(std::move(items))) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --activeJobs_;
+        }
+        idleCv_.notify_all();
+        telemetry::count("service.rejected_jobs");
+        {
+            std::lock_guard<std::mutex> lock(auditMutex_);
+            ++totals_.rejected;
+        }
+        throw BudgetExhausted(
+            "JobService: queue full (" +
+            std::to_string(plan.numBatches()) +
+            " batches over capacity " +
+            std::to_string(queue_.capacity()) + ")");
+    }
+
+    telemetry::count("service.submitted_jobs");
+    {
+        std::lock_guard<std::mutex> lock(auditMutex_);
+        ++totals_.submitted;
+    }
+
+    if (plan.numBatches() == 0) {
+        // Zero-shot job: terminal immediately, empty histogram.
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            finalizeLocked(*state);
+        }
+        afterTerminal(state);
+        return JobHandle(state);
+    }
+
+    // One interchangeable ticket per admitted batch: each pops the
+    // globally best-ranked item, so priority order holds even
+    // though the pool itself is FIFO.
+    for (std::size_t i = 0; i < plan.numBatches(); ++i) {
+        pool_->submit([this] {
+            if (auto item = queue_.tryPop())
+                item->work();
+        });
+    }
+    return JobHandle(state);
+}
+
+void
+JobService::runBatch(
+    const std::shared_ptr<JobState>& state,
+    MachineRuntime& machine,
+    std::shared_ptr<const ShardedBackend::CompiledRun> compiled,
+    std::size_t batch_index, std::size_t batch_shots)
+{
+    bool skip = false;
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->cancelled || state->failure)
+            skip = true;
+        else if (state->record.status == JobStatus::Queued)
+            state->record.status = JobStatus::Running;
+    }
+    if (skip) {
+        // Skipped batch: still counts as finished so the job
+        // reaches a terminal status.
+        finishBatch(state);
+        return;
+    }
+
+    const int workerIdx = ThreadPool::workerIndex();
+    const std::size_t worker =
+        workerIdx >= 0 ? static_cast<std::size_t>(workerIdx) %
+                             machine.workers.size()
+                       : 0;
+    // Keyed far above any real batch index so backoff draws can
+    // never collide with a batch substream.
+    Rng backoffRng =
+        state->jobRng.splitAt(UINT64_MAX - batch_index);
+    unsigned attempts = 0;
+    for (;;) {
+        try {
+            // Re-derived fresh each attempt: a failed attempt may
+            // have consumed part of the stream.
+            Rng rng =
+                ShotPlan::substream(state->jobRng, batch_index);
+            Counts counts =
+                compiled
+                    ? compiled->run(batch_shots, rng)
+                    : machine.workers[worker]->run(
+                          state->circuit, batch_shots, rng);
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->partial[batch_index] = std::move(counts);
+                state->record.retries += attempts;
+            }
+            finishBatch(state);
+            return;
+        } catch (const std::exception& e) {
+            const bool transient = isTransient(e);
+            if (transient && attempts < state->maxRetries) {
+                const double delay =
+                    options_.backoff.delaySeconds(attempts,
+                                                  backoffRng);
+                ++attempts;
+                telemetry::count("service.retries");
+                backoffSleep(delay);
+                continue;
+            }
+            if (transient &&
+                state->salvage == SalvageMode::DropBatches) {
+                telemetry::count("service.dropped_batches");
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->record.retries += attempts;
+                ++state->record.droppedBatches;
+            } else {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->record.retries += attempts;
+                if (!state->failure) {
+                    if (transient)
+                        state->failure = std::make_exception_ptr(
+                            BudgetExhausted(
+                                "JobService: batch " +
+                                std::to_string(batch_index) +
+                                " of job " +
+                                std::to_string(
+                                    state->record.id) +
+                                " exhausted " +
+                                std::to_string(
+                                    state->maxRetries) +
+                                " retries: " + e.what()));
+                    else
+                        state->failure =
+                            std::current_exception();
+                }
+            }
+            finishBatch(state);
+            return;
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->record.retries += attempts;
+                if (!state->failure)
+                    state->failure = std::current_exception();
+            }
+            finishBatch(state);
+            return;
+        }
+    }
+}
+
+void
+JobService::finishBatch(const std::shared_ptr<JobState>& state)
+{
+    bool terminal = false;
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->remaining;
+        if (state->remaining == 0) {
+            finalizeLocked(*state);
+            terminal = true;
+        }
+    }
+    if (terminal)
+        afterTerminal(state);
+}
+
+void
+JobService::finalizeLocked(JobState& state)
+{
+    JobRecord& record = state.record;
+    if (state.failure) {
+        record.status = JobStatus::Failed;
+        try {
+            std::rethrow_exception(state.failure);
+        } catch (const std::exception& e) {
+            record.error = e.what();
+        } catch (...) {
+            record.error = "unknown exception";
+        }
+    } else if (state.cancelled) {
+        record.status = JobStatus::Cancelled;
+    } else {
+        record.status = JobStatus::Completed;
+        Counts merged(state.circuit.numClbits());
+        for (const Counts& part : state.partial)
+            merged.merge(part);
+        state.result = std::move(merged);
+        record.shotsCompleted = state.result.total();
+    }
+    record.wallSeconds = nowSeconds() - state.submitSeconds;
+    // No notify here: waiters are released by afterTerminal once
+    // the job is recorded in the audit log and service totals.
+}
+
+void
+JobService::afterTerminal(const std::shared_ptr<JobState>& state)
+{
+    JobRecord record;
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        record = state->record;
+    }
+    {
+        std::lock_guard<std::mutex> lock(auditMutex_);
+        auditLog_.push_back(record);
+        switch (record.status) {
+        case JobStatus::Completed:
+            ++totals_.completed;
+            break;
+        case JobStatus::Failed:
+            ++totals_.failed;
+            break;
+        case JobStatus::Cancelled:
+            ++totals_.cancelled;
+            break;
+        default:
+            break;
+        }
+        totals_.shotsCompleted += record.shotsCompleted;
+        totals_.retries += record.retries;
+        totals_.droppedBatches += record.droppedBatches;
+    }
+    if (telemetry::enabled()) {
+        switch (record.status) {
+        case JobStatus::Completed:
+            telemetry::count("service.completed_jobs");
+            break;
+        case JobStatus::Failed:
+            telemetry::count("service.failed_jobs");
+            break;
+        case JobStatus::Cancelled:
+            telemetry::count("service.cancelled_jobs");
+            break;
+        default:
+            break;
+        }
+        telemetry::count("service.shots",
+                         record.shotsCompleted);
+        telemetry::observe("service.job_seconds",
+                           record.wallSeconds);
+    }
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->audited = true;
+    }
+    state->terminalCv.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --activeJobs_;
+    }
+    idleCv_.notify_all();
+}
+
+bool
+JobService::cancel(const JobHandle& handle)
+{
+    if (!handle.valid())
+        return false;
+    JobState& state = *handle.state_;
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (isTerminal(state.record.status))
+        return false;
+    state.cancelled = true;
+    return true;
+}
+
+void
+JobService::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return activeJobs_ == 0; });
+}
+
+std::vector<JobRecord>
+JobService::auditLog() const
+{
+    std::lock_guard<std::mutex> lock(auditMutex_);
+    return auditLog_;
+}
+
+ServiceSummary
+JobService::summary() const
+{
+    ServiceSummary result;
+    {
+        std::lock_guard<std::mutex> lock(auditMutex_);
+        result = totals_;
+    }
+    result.cache = cache_.stats();
+    return result;
+}
+
+telemetry::JsonValue
+JobService::summaryJson() const
+{
+    const ServiceSummary totals = summary();
+    const std::vector<JobRecord> jobs = auditLog();
+
+    telemetry::JsonValue doc = telemetry::JsonValue::object();
+    doc["schema"] =
+        telemetry::JsonValue("invertq.service.manifest/v1");
+
+    telemetry::JsonValue service =
+        telemetry::JsonValue::object();
+    service["seed"] = telemetry::JsonValue(seed_);
+    service["num_threads"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(pool_->size()));
+    service["queue_capacity"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(queue_.capacity()));
+    service["default_batch_size"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(options_.defaultBatchSize));
+    service["default_max_retries"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(options_.defaultMaxRetries));
+    service["cache_max_bytes"] = telemetry::JsonValue(
+        static_cast<std::uint64_t>(cache_.maxBytes()));
+    doc["service"] = std::move(service);
+
+    telemetry::JsonValue sum = telemetry::JsonValue::object();
+    sum["submitted"] = telemetry::JsonValue(totals.submitted);
+    sum["completed"] = telemetry::JsonValue(totals.completed);
+    sum["failed"] = telemetry::JsonValue(totals.failed);
+    sum["cancelled"] = telemetry::JsonValue(totals.cancelled);
+    sum["rejected"] = telemetry::JsonValue(totals.rejected);
+    sum["shots_completed"] =
+        telemetry::JsonValue(totals.shotsCompleted);
+    sum["retries"] = telemetry::JsonValue(totals.retries);
+    sum["dropped_batches"] =
+        telemetry::JsonValue(totals.droppedBatches);
+
+    telemetry::JsonValue cache = telemetry::JsonValue::object();
+    cache["hits"] = telemetry::JsonValue(totals.cache.hits);
+    cache["misses"] = telemetry::JsonValue(totals.cache.misses);
+    cache["evictions"] =
+        telemetry::JsonValue(totals.cache.evictions);
+    cache["single_flight_waits"] =
+        telemetry::JsonValue(totals.cache.singleFlightWaits);
+    cache["bytes_used"] =
+        telemetry::JsonValue(totals.cache.bytesUsed);
+    cache["entries"] =
+        telemetry::JsonValue(totals.cache.entries);
+    sum["cache"] = std::move(cache);
+    doc["summary"] = std::move(sum);
+
+    telemetry::JsonValue jobsJson =
+        telemetry::JsonValue::array();
+    for (const JobRecord& record : jobs)
+        jobsJson.push(record.toJson());
+    doc["jobs"] = std::move(jobsJson);
+    return doc;
+}
+
+bool
+JobService::writeSummary(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << summaryJson().dump(2) << "\n";
+    return out.good();
+}
+
+} // namespace qem::svc

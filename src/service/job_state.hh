@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared mutable state of one in-flight job. Internal to the
+ * service layer: JobService writes it from pool workers, JobHandle
+ * reads it from submitter threads; every access takes the job
+ * mutex (batch execution itself runs lock-free on the worker's
+ * stack — only result hand-off synchronizes here).
+ */
+
+#ifndef QEM_SERVICE_JOB_STATE_HH
+#define QEM_SERVICE_JOB_STATE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
+#include "qsim/rng.hh"
+#include "service/job.hh"
+
+namespace qem::svc
+{
+
+struct JobState
+{
+    std::mutex mutex;
+    std::condition_variable terminalCv;
+
+    /** Final record; status field is the job's lifecycle. */
+    JobRecord record;
+
+    /** The physical circuit the job executes (placeholder width
+     *  until submit() assigns the real one; Circuit rejects 0). */
+    Circuit circuit{1};
+    /** Root of the job's RNG tree (batch i uses splitAt(i)). */
+    Rng jobRng;
+    /** Per-batch retry budget and salvage mode. */
+    unsigned maxRetries = 0;
+    SalvageMode salvage = SalvageMode::FailFast;
+
+    /** Per-batch partial histograms, merged in index order. */
+    std::vector<Counts> partial;
+    /** Batches not yet finished (success, drop, or skip). */
+    std::size_t remaining = 0;
+    /** Set by cancel(); pending batches become no-ops. */
+    bool cancelled = false;
+    /** Set by the first fatal/exhausted batch under FailFast. */
+    std::exception_ptr failure;
+    /**
+     * Set once the terminal job is recorded in the service audit
+     * log and totals. JobHandle::wait() keys on this (not the
+     * status) so a returned wait() implies auditLog()/summary()
+     * already account for the job.
+     */
+    bool audited = false;
+
+    /** Merged result (valid once status == Completed). */
+    Counts result{0};
+
+    /** Monotonic submit timestamp for wallSeconds. */
+    double submitSeconds = 0.0;
+};
+
+} // namespace qem::svc
+
+#endif // QEM_SERVICE_JOB_STATE_HH

@@ -99,12 +99,21 @@ SpanTracer::close(void* opaque, std::uint64_t generation)
     node->closed = true;
     // Unwind this thread's open-span stack. Out-of-order closes
     // (e.g. a moved Scope outliving its parent) close everything
-    // above the node as well, keeping the stack consistent.
-    std::vector<Node*>& stack =
-        stacks_[std::this_thread::get_id()];
-    const auto it = std::find(stack.begin(), stack.end(), node);
-    if (it != stack.end())
-        stack.erase(it, stack.end());
+    // above the node as well, keeping the stack consistent. Drained
+    // stacks are erased: long-lived processes (the job service)
+    // cycle through many worker threads, and retaining one map
+    // entry per dead thread id would grow without bound — and a
+    // recycled thread id would otherwise inherit a stale stack.
+    const auto stackIt = stacks_.find(std::this_thread::get_id());
+    if (stackIt != stacks_.end()) {
+        std::vector<Node*>& stack = stackIt->second;
+        const auto it =
+            std::find(stack.begin(), stack.end(), node);
+        if (it != stack.end())
+            stack.erase(it, stack.end());
+        if (stack.empty())
+            stacks_.erase(stackIt);
+    }
 }
 
 SpanSnapshot

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests of the service's shared artifact cache: key discipline,
+ * single-flight under concurrent same-key computes, LRU eviction
+ * under the byte budget, failure withdrawal, and bit-identity of
+ * cached vs freshly compiled execution. Also covers the derived
+ * artifact families (confusion CDFs, cached RBMS profiles).
+ */
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "machine/machines.hh"
+#include "noise/trajectory.hh"
+#include "qsim/rng.hh"
+#include "qsim/simulator.hh"
+#include "service/artifact_cache.hh"
+#include "service/artifacts.hh"
+#include "service/fingerprint.hh"
+#include "transpile/transpiler.hh"
+
+namespace qem
+{
+namespace
+{
+
+using svc::ArtifactCache;
+using svc::ArtifactKey;
+using svc::ArtifactKind;
+
+ArtifactKey
+keyOf(std::uint64_t subject, const std::string& machine = "m",
+      std::uint64_t options = 0,
+      ArtifactKind kind = ArtifactKind::CompiledProgram)
+{
+    ArtifactKey key;
+    key.kind = kind;
+    key.subject = subject;
+    key.machine = machine;
+    key.options = options;
+    return key;
+}
+
+ArtifactCache::Options
+cacheOptions(std::size_t max_bytes, unsigned shards)
+{
+    ArtifactCache::Options options;
+    options.maxBytes = max_bytes;
+    options.shards = shards;
+    return options;
+}
+
+TEST(ArtifactKey, EqualityCoversEveryField)
+{
+    const ArtifactKey a = keyOf(1, "m", 2);
+    EXPECT_EQ(a, keyOf(1, "m", 2));
+    EXPECT_FALSE(a == keyOf(9, "m", 2));
+    EXPECT_FALSE(a == keyOf(1, "other", 2));
+    EXPECT_FALSE(a == keyOf(1, "m", 9));
+    EXPECT_FALSE(
+        a == keyOf(1, "m", 2, ArtifactKind::RbmsProfile));
+    // Distinct keys should (generically) hash apart.
+    EXPECT_NE(a.hash(), keyOf(9, "m", 2).hash());
+    EXPECT_FALSE(a.toString().empty());
+}
+
+TEST(ArtifactCache, ComputesOnceThenHits)
+{
+    ArtifactCache cache;
+    int computes = 0;
+    const auto compute =
+        [&computes]() -> ArtifactCache::Costed<int> {
+        ++computes;
+        return {std::make_shared<const int>(42), 8};
+    };
+    bool hit = true;
+    auto first =
+        cache.getOrCompute<int>(keyOf(7), compute, &hit);
+    EXPECT_FALSE(hit);
+    auto second =
+        cache.getOrCompute<int>(keyOf(7), compute, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(*second, 42);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ArtifactCache, SingleFlightUnderConcurrentSameKey)
+{
+    ArtifactCache cache;
+    std::atomic<int> computes{0};
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const int>> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &computes, &results, t] {
+            results[static_cast<std::size_t>(t)] =
+                cache.getOrCompute<int>(
+                    keyOf(11),
+                    [&computes]()
+                        -> ArtifactCache::Costed<int> {
+                        ++computes;
+                        // Widen the race window: every other
+                        // thread must wait, not recompute.
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                        return {std::make_shared<const int>(5),
+                                8};
+                    });
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    EXPECT_EQ(computes.load(), 1);
+    for (const auto& r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r.get(), results.front().get());
+    }
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits,
+              static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedUnderBudget)
+{
+    // One shard, budget for two 100-byte entries.
+    ArtifactCache cache(cacheOptions(200, 1));
+    const auto make = [](int v) {
+        return [v]() -> ArtifactCache::Costed<int> {
+            return {std::make_shared<const int>(v), 100};
+        };
+    };
+    (void)cache.getOrCompute<int>(keyOf(1), make(1));
+    (void)cache.getOrCompute<int>(keyOf(2), make(2));
+    // Touch key 1 so key 2 is the LRU victim.
+    bool hit = false;
+    (void)cache.getOrCompute<int>(keyOf(1), make(1), &hit);
+    EXPECT_TRUE(hit);
+    (void)cache.getOrCompute<int>(keyOf(3), make(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().bytesUsed, 200u);
+    (void)cache.getOrCompute<int>(keyOf(1), make(1), &hit);
+    EXPECT_TRUE(hit) << "recently used entry was evicted";
+    (void)cache.getOrCompute<int>(keyOf(2), make(2), &hit);
+    EXPECT_FALSE(hit) << "LRU entry survived over budget";
+}
+
+TEST(ArtifactCache, ZeroBudgetKeepsNothingResident)
+{
+    ArtifactCache cache(cacheOptions(0, 2));
+    int computes = 0;
+    const auto compute =
+        [&computes]() -> ArtifactCache::Costed<int> {
+        ++computes;
+        return {std::make_shared<const int>(1), 64};
+    };
+    auto value = cache.getOrCompute<int>(keyOf(4), compute);
+    EXPECT_EQ(*value, 1); // Still handed to the caller.
+    (void)cache.getOrCompute<int>(keyOf(4), compute);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytesUsed, 0u);
+}
+
+TEST(ArtifactCache, ThrowingComputeWithdrawsPendingSlot)
+{
+    ArtifactCache cache;
+    EXPECT_THROW(
+        (void)cache.getOrCompute<int>(
+            keyOf(9),
+            []() -> ArtifactCache::Costed<int> {
+                throw std::runtime_error("compile exploded");
+            }),
+        std::runtime_error);
+    // The key is not poisoned: the next caller computes cleanly.
+    bool hit = true;
+    auto value = cache.getOrCompute<int>(
+        keyOf(9),
+        []() -> ArtifactCache::Costed<int> {
+            return {std::make_shared<const int>(3), 8};
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(*value, 3);
+}
+
+TEST(ArtifactCache, ClearDropsReadyEntries)
+{
+    ArtifactCache cache;
+    (void)cache.getOrCompute<int>(
+        keyOf(1), []() -> ArtifactCache::Costed<int> {
+            return {std::make_shared<const int>(1), 8};
+        });
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    bool hit = true;
+    (void)cache.getOrCompute<int>(
+        keyOf(1),
+        []() -> ArtifactCache::Costed<int> {
+            return {std::make_shared<const int>(1), 8};
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+}
+
+/**
+ * The acceptance property behind the compiled-program family: a
+ * cached compiled run and a fresh compile produce bit-identical
+ * counts for the same shot stream.
+ */
+TEST(ArtifactCache, CachedCompiledRunIsBitIdenticalToFresh)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    const Transpiler transpiler(machine);
+    const Circuit circuit =
+        transpiler.transpile(bernsteinVazirani(3, 0b101)).circuit;
+    const TrajectorySimulator sim(machine.noiseModel(), 1);
+
+    ArtifactCache cache;
+    ArtifactKey key;
+    key.kind = ArtifactKind::CompiledProgram;
+    key.subject = svc::fingerprintCircuit(circuit);
+    key.machine = machine.name();
+    const auto compute =
+        [&]() -> ArtifactCache::Costed<
+                  ShardedBackend::CompiledRun> {
+        return {sim.compile(circuit), 4096};
+    };
+    auto cached =
+        cache.getOrCompute<ShardedBackend::CompiledRun>(
+            key, compute);
+    auto cachedAgain =
+        cache.getOrCompute<ShardedBackend::CompiledRun>(
+            key, compute);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached.get(), cachedAgain.get());
+
+    const auto fresh = sim.compile(circuit);
+    ASSERT_NE(fresh, nullptr);
+    Rng a(99), b(99);
+    EXPECT_EQ(cached->run(2048, a).raw(),
+              fresh->run(2048, b).raw());
+}
+
+TEST(ConfusionCdf, RowsAreNormalizedCdfs)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    const svc::ConfusionCdf cdf(machine.calibration(), {0, 1});
+    ASSERT_EQ(cdf.numBits(), 2u);
+    for (BasisState truth = 0; truth < 4; ++truth) {
+        const std::vector<double>& row = cdf.row(truth);
+        ASSERT_EQ(row.size(), 4u);
+        double prev = 0.0;
+        for (double c : row) {
+            EXPECT_GE(c, prev);
+            prev = c;
+        }
+        EXPECT_DOUBLE_EQ(row.back(), 1.0);
+        // The diagonal dominates for calibrated flip rates < 1/2.
+        for (BasisState observed = 0; observed < 4; ++observed) {
+            if (observed != truth) {
+                EXPECT_GT(cdf.probability(truth, truth),
+                          cdf.probability(truth, observed));
+            }
+        }
+    }
+}
+
+TEST(ConfusionCdf, MatchesIndependentFlipProduct)
+{
+    // A crosstalk-free machine, so rows factor into per-qubit
+    // isolated flip rates (ibmqx4 carries crosstalk matrices and
+    // would not).
+    const Machine machine = makeLinearMachine(3);
+    const Calibration& cal = machine.calibration();
+    ASSERT_FALSE(cal.hasReadoutCrosstalk());
+    const svc::ConfusionCdf cdf(cal, {0, 1});
+    const double p01a = cal.qubit(0).readoutP01;
+    const double p10a = cal.qubit(0).readoutP10;
+    const double p01b = cal.qubit(1).readoutP01;
+    // truth 0b01 (qubit 0 true-1, qubit 1 true-0), observed 0b00:
+    // qubit 0 relaxed (p10), qubit 1 stayed 0 (1 - p01).
+    EXPECT_NEAR(cdf.probability(0b01, 0b00),
+                p10a * (1.0 - p01b), 1e-12);
+    // truth 0b00 observed 0b01: qubit 0 excited (p01).
+    EXPECT_NEAR(cdf.probability(0b00, 0b01),
+                p01a * (1.0 - p01b), 1e-12);
+    // Sampling walks the CDF: u below the first bucket returns
+    // the first outcome.
+    EXPECT_EQ(cdf.sample(0b00, 0.0), 0u);
+    EXPECT_EQ(cdf.sample(0b00, 0.9999999), 3u);
+}
+
+TEST(ConfusionCdf, RejectsOversizedRegisters)
+{
+    const Machine machine = makeLinearMachine(
+        svc::ConfusionCdf::kMaxBits + 2);
+    std::vector<Qubit> qubits;
+    for (Qubit q = 0; q <= svc::ConfusionCdf::kMaxBits; ++q)
+        qubits.push_back(q);
+    EXPECT_THROW(
+        svc::ConfusionCdf(machine.calibration(), qubits),
+        std::invalid_argument);
+}
+
+TEST(ConfusionCdf, CachedLookupHitsAndKeysOnRates)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    ArtifactCache cache;
+    bool hit = true;
+    auto first = svc::cachedConfusionCdf(
+        cache, machine.calibration(), machine.name(), {0, 1},
+        &hit);
+    EXPECT_FALSE(hit);
+    auto second = svc::cachedConfusionCdf(
+        cache, machine.calibration(), machine.name(), {0, 1},
+        &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get());
+
+    // A recalibrated machine must key differently (stale rows
+    // would silently mis-correct).
+    Machine drifted = makeMachine("ibmqx4");
+    drifted.calibration().qubit(0).readoutP10 += 0.01;
+    const auto cleanKey = svc::confusionCdfKey(
+        machine.name(), {0, 1}, machine.calibration());
+    const auto driftedKey = svc::confusionCdfKey(
+        machine.name(), {0, 1}, drifted.calibration());
+    EXPECT_FALSE(cleanKey == driftedKey);
+}
+
+TEST(ArtifactCache, CachedRbmsProfileCharacterizesOnce)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    TrajectorySimulator backend(machine.noiseModel(), 7);
+    ArtifactCache cache;
+    RbmsOptions options;
+    options.shotsPerState = 64; // Keep the test cheap.
+    bool hit = true;
+    auto first = svc::cachedRbmsProfile(
+        cache, backend, machine.name(), {0, 1, 2}, options,
+        &hit);
+    EXPECT_FALSE(hit);
+    ASSERT_NE(first, nullptr);
+    auto second = svc::cachedRbmsProfile(
+        cache, backend, machine.name(), {0, 1, 2}, options,
+        &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get());
+    // Different knobs are a different artifact.
+    RbmsOptions other = options;
+    other.shotsPerState = 128;
+    auto third = svc::cachedRbmsProfile(
+        cache, backend, machine.name(), {0, 1, 2}, other, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(first.get(), third.get());
+}
+
+} // namespace
+} // namespace qem

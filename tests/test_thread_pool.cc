@@ -79,6 +79,70 @@ TEST(ThreadPool, DestructorDrainsPendingWork)
     EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPool, ShutdownDrainRunsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) {
+        futures.push_back(pool.submit([&done] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            ++done;
+        }));
+    }
+    pool.shutdown(ThreadPool::ShutdownMode::Drain);
+    EXPECT_EQ(done.load(), 16);
+    for (auto& f : futures)
+        EXPECT_NO_THROW(f.get());
+    // After shutdown, new work is refused.
+    EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+    // Idempotent: a second shutdown (and the destructor) no-op.
+    pool.shutdown(ThreadPool::ShutdownMode::Abort);
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ShutdownAbortDiscardsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    std::promise<void> entered;
+    std::promise<void> release;
+    std::shared_future<void> gate =
+        release.get_future().share();
+
+    ThreadPool pool(1);
+    // Occupy the single worker so everything behind it stays
+    // queued until shutdown decides its fate.
+    auto blocker = pool.submit([&entered, gate, &done] {
+        entered.set_value();
+        gate.wait();
+        ++done;
+    });
+    entered.get_future().wait();
+
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 8; ++i)
+        queued.push_back(pool.submit([&done] { ++done; }));
+
+    // Abort from a helper thread: it discards the queue right
+    // away, then blocks joining the (still busy) worker. Release
+    // the worker only after the queue is visibly empty, so none of
+    // the queued tasks could have been picked up.
+    std::thread aborter(
+        [&pool] { pool.shutdown(ThreadPool::ShutdownMode::Abort); });
+    while (pool.pendingTasks() != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    release.set_value();
+    aborter.join();
+
+    // The in-flight task always finishes; the queued ones must
+    // not have run, and their futures report the broken promise.
+    EXPECT_NO_THROW(blocker.get());
+    EXPECT_EQ(done.load(), 1);
+    for (auto& f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+}
+
 TEST(ThreadPool, WorkerIndexIsStableAndInRange)
 {
     ThreadPool pool(3);

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
 """Soft benchmark-regression check for CI.
 
-Compares a freshly generated BENCH_*.json (see src/harness/bench_io.hh)
-against a committed baseline and emits a GitHub Actions `::warning::`
-for every benchmark whose throughput dropped by more than the
-tolerance. Always exits 0: shared CI runners are too noisy for a hard
-gate, so the signal is a visible warning plus the uploaded artifacts,
-not a red build.
+Compares freshly generated BENCH_*.json files (see
+src/harness/bench_io.hh) against committed baselines and emits a
+GitHub Actions `::warning::` for every benchmark whose throughput
+dropped by more than the tolerance. Always exits 0: shared CI
+runners are too noisy for a hard gate, so the signal is a visible
+warning plus the uploaded artifacts, not a red build.
 
-Rate counters (shots_per_sec) are preferred when both sides have
-them; otherwise per-iteration real time is compared. Benchmarks that
-exist on only one side are reported informationally.
+Rate counters (shots_per_sec, jobs_per_sec) are preferred when both
+sides have them; otherwise per-iteration real time is compared.
+Benchmarks that exist on only one side are reported informationally.
 
-Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+Usage:
+  check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+  check_bench_regression.py --pair B1.json F1.json --pair B2.json F2.json
+
+The two forms compose: every positional pair and every --pair is
+checked in one invocation with a shared tolerance.
 """
 
 import argparse
 import json
 import sys
+
+# Rate counters understood by throughput(), in preference order.
+RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec")
 
 
 def load_results(path):
@@ -37,25 +45,22 @@ def load_results(path):
 
 def throughput(row):
     """(value, kind) where higher is better."""
-    rate = row.get("counters", {}).get("shots_per_sec")
-    if rate:
-        return float(rate), "shots_per_sec"
+    counters = row.get("counters", {})
+    for kind in RATE_COUNTERS:
+        rate = counters.get(kind)
+        if rate:
+            return float(rate), kind
     real = float(row.get("real_time_seconds", 0.0))
     if real <= 0.0:
         return None, None
     return 1.0 / real, "1/real_time"
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional drop (default 0.30)")
-    args = parser.parse_args()
-
-    baseline = load_results(args.baseline)
-    fresh = load_results(args.fresh)
+def check_pair(baseline_path, fresh_path, tolerance):
+    """Compare one baseline/fresh pair; returns the regression count."""
+    baseline = load_results(baseline_path)
+    fresh = load_results(fresh_path)
+    print(f"== {baseline_path} vs {fresh_path}")
 
     regressions = 0
     for name in sorted(baseline):
@@ -69,21 +74,50 @@ def main():
             continue
         ratio = new_v / base_v
         marker = ""
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tolerance:
             regressions += 1
             marker = "  <-- REGRESSION"
             print(f"::warning::bench regression: {name} "
                   f"{base_kind} {base_v:.3g} -> {new_v:.3g} "
                   f"({(1.0 - ratio) * 100:.0f}% drop, "
-                  f"tolerance {args.tolerance * 100:.0f}%)")
+                  f"tolerance {tolerance * 100:.0f}%)")
         print(f"{name}: {base_kind} {base_v:.3g} -> {new_v:.3g} "
               f"(x{ratio:.2f}){marker}")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"note: {name} only in fresh run (new benchmark)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--pair", nargs=2, action="append",
+                        default=[], metavar=("BASELINE", "FRESH"),
+                        help="an extra baseline/fresh pair to check "
+                             "(repeatable)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop (default 0.30)")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline is not None:
+        if args.fresh is None:
+            parser.error("positional BASELINE requires FRESH")
+        pairs.append((args.baseline, args.fresh))
+    pairs.extend((b, f) for b, f in args.pair)
+    if not pairs:
+        parser.error("nothing to check: pass BASELINE FRESH or "
+                     "--pair")
+
+    regressions = 0
+    for baseline_path, fresh_path in pairs:
+        regressions += check_pair(baseline_path, fresh_path,
+                                  args.tolerance)
 
     print(f"{regressions} regression(s) beyond "
-          f"{args.tolerance * 100:.0f}% tolerance "
-          f"(soft check, exit 0)")
+          f"{args.tolerance * 100:.0f}% tolerance across "
+          f"{len(pairs)} pair(s) (soft check, exit 0)")
     return 0
 
 
