@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -44,13 +46,28 @@ physicalBv()
         .circuit;
 }
 
+/** Nearest-rank percentile of @p samples (q in [0, 1]). */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = static_cast<std::size_t>(std::ceil(
+        q * static_cast<double>(samples.size())));
+    return samples[rank > 0 ? rank - 1 : 0];
+}
+
 /**
  * Steady-state service throughput: each iteration submits a burst
  * of jobs from three tenants (mixed priorities) and drains. The
  * service and its warm compile cache persist across iterations, so
  * jobs_per_sec / shots_per_sec measure scheduling + execution, not
  * recompilation; cache_hit_rate confirms the cache carried the
- * load (it should approach 1).
+ * load (it should approach 1). Every job's submit-to-audit wall
+ * time (JobRecord::wallSeconds) feeds p50/p95/p99 counters — the
+ * tail-latency signal tools/check_bench_regression.py tracks as
+ * lower-is-better.
  */
 void
 BM_JobServiceThroughput(benchmark::State& state)
@@ -72,6 +89,7 @@ BM_JobServiceThroughput(benchmark::State& state)
         svc::JobPriority::Background,
     };
 
+    std::vector<double> submitToAudit;
     for (auto _ : state) {
         std::vector<svc::JobHandle> handles;
         handles.reserve(kJobsPerBurst);
@@ -84,8 +102,11 @@ BM_JobServiceThroughput(benchmark::State& state)
                 "ibmqx4", circuit, kShotsPerJob, options));
         }
         service.drain();
-        for (const svc::JobHandle& handle : handles)
+        for (const svc::JobHandle& handle : handles) {
             benchmark::DoNotOptimize(handle.get().total());
+            submitToAudit.push_back(
+                handle.record().wallSeconds);
+        }
     }
 
     const std::int64_t jobs =
@@ -106,6 +127,12 @@ BM_JobServiceThroughput(benchmark::State& state)
     state.counters["cache_hit_rate"] =
         lookups > 0.0 ? static_cast<double>(cache.hits) / lookups
                       : 0.0;
+    state.counters["p50_submit_to_audit_seconds"] =
+        percentile(submitToAudit, 0.50);
+    state.counters["p95_submit_to_audit_seconds"] =
+        percentile(submitToAudit, 0.95);
+    state.counters["p99_submit_to_audit_seconds"] =
+        percentile(submitToAudit, 0.99);
 }
 BENCHMARK(BM_JobServiceThroughput)
     ->Arg(1)

@@ -74,4 +74,20 @@ driftCalibration(const Machine& machine, double relative_sigma,
                    machine.topology(), std::move(calib));
 }
 
+DriftSchedule::DriftSchedule(Machine base, double relative_sigma)
+    : base_(std::move(base)), sigma_(relative_sigma)
+{
+    if (relative_sigma < 0.0)
+        throw std::invalid_argument("DriftSchedule: negative "
+                                    "sigma");
+}
+
+Machine
+DriftSchedule::at(std::uint64_t day) const
+{
+    if (day == 0)
+        return base_;
+    return driftCalibration(base_, sigma_, day);
+}
+
 } // namespace qem

@@ -36,6 +36,35 @@ Machine driftCalibration(const Machine& machine,
                          double relative_sigma,
                          std::uint64_t seed);
 
+/**
+ * Day-indexed drift sequence over a nominal machine — the test
+ * double behind the service's RBMS staleness probe. Day 0 is the
+ * machine exactly as profiled; day d > 0 is an independent
+ * lognormal drift realization seeded by d, so "the machine the
+ * profile was measured on" and "the machine N days later" are both
+ * reproducible from (base, sigma).
+ */
+class DriftSchedule
+{
+  public:
+    /**
+     * @param base The machine as profiled (served on day 0).
+     * @param relative_sigma Per-day lognormal sigma (see
+     *        driftCalibration).
+     */
+    DriftSchedule(Machine base, double relative_sigma);
+
+    /** The machine on day @p day; day 0 is the base itself. */
+    Machine at(std::uint64_t day) const;
+
+    const Machine& base() const { return base_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    Machine base_;
+    double sigma_;
+};
+
 } // namespace qem
 
 #endif // QEM_MACHINE_DRIFT_HH

@@ -79,6 +79,19 @@ JobRecord::toJson() const
     if (!error.empty())
         doc["error"] = telemetry::JsonValue(error);
     doc["wall_seconds"] = telemetry::JsonValue(wallSeconds);
+    doc["queue_wait_seconds"] =
+        telemetry::JsonValue(queueWaitSeconds);
+    doc["exec_seconds"] = telemetry::JsonValue(execSeconds);
+    if (!flight.empty()) {
+        telemetry::JsonValue events =
+            telemetry::JsonValue::array();
+        for (const telemetry::FlightEvent& event : flight)
+            events.push(event.toJson());
+        doc["flight"] = std::move(events);
+        if (flightDropped > 0)
+            doc["flight_dropped"] =
+                telemetry::JsonValue(flightDropped);
+    }
     return doc;
 }
 

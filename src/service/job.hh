@@ -21,10 +21,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "qsim/counts.hh"
 #include "runtime/resilient_backend.hh"
 #include "runtime/runtime_stats.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/json.hh"
 
 namespace qem::svc
@@ -129,6 +131,27 @@ struct JobRecord
     std::string error;
     /** Submission-to-terminal wall seconds. */
     double wallSeconds = 0.0;
+    /**
+     * Submission-to-first-dispatch wall seconds: how long the job
+     * sat in the queue before any batch ran. Equals wallSeconds
+     * for jobs that never dispatched (cancelled while queued,
+     * zero-shot jobs).
+     */
+    double queueWaitSeconds = 0.0;
+    /**
+     * First-dispatch-to-terminal wall seconds; 0 when the job
+     * never dispatched. Invariant (asserted in test_job_service):
+     * queueWaitSeconds + execSeconds == wallSeconds, both >= 0.
+     */
+    double execSeconds = 0.0;
+    /**
+     * Flight-recorder dump: the job's lifecycle events, oldest
+     * first. Empty unless recording was on (telemetry enabled or
+     * ServiceOptions::flightRecorder). flightDropped counts events
+     * evicted by the ring bound.
+     */
+    std::vector<telemetry::FlightEvent> flight;
+    std::uint64_t flightDropped = 0;
 
     telemetry::JsonValue toJson() const;
 };

@@ -10,6 +10,7 @@
 #include "runtime/shot_plan.hh"
 #include "service/fingerprint.hh"
 #include "service/job_state.hh"
+#include "telemetry/manifest.hh"
 #include "telemetry/telemetry.hh"
 
 namespace qem::svc
@@ -195,6 +196,19 @@ JobService::submit(const std::string& machine,
     state->maxRetries = maxRetries;
     state->salvage = options.salvage;
     state->submitSeconds = nowSeconds();
+    if (options_.flightRecorder || telemetry::enabled()) {
+        // Timestamps are seconds since this job's submission, so
+        // dumps read the same regardless of process uptime.
+        const double submitted = state->submitSeconds;
+        state->flight =
+            std::make_shared<telemetry::FlightRecorder>(
+                options_.flightCapacity, [submitted] {
+                    return nowSeconds() - submitted;
+                });
+        state->flight->record(
+            telemetry::FlightEventKind::Enqueue, -1,
+            plan.numBatches(), machine);
+    }
 
     JobRecord& record = state->record;
     record.tenant = options.tenant;
@@ -224,7 +238,14 @@ JobService::submit(const std::string& machine,
     state->jobRng =
         jobStream(seed_, options.tenant, record.jobKey);
 
+    const std::uint64_t hitsBefore = record.cacheHits;
     auto compiled = compileCached(runtime, circuit, record);
+    if (state->flight)
+        state->flight->record(
+            record.cacheHits > hitsBefore
+                ? telemetry::FlightEventKind::CacheHit
+                : telemetry::FlightEventKind::Compile,
+            -1, 0, machine);
 
     state->partial.assign(plan.numBatches(),
                           Counts(circuit.numClbits()));
@@ -265,6 +286,9 @@ JobService::submit(const std::string& machine,
     }
 
     telemetry::count("service.submitted_jobs");
+    if (state->flight)
+        state->flight->record(telemetry::FlightEventKind::Admit,
+                              -1, plan.numBatches());
     {
         std::lock_guard<std::mutex> lock(auditMutex_);
         ++totals_.submitted;
@@ -299,20 +323,33 @@ JobService::runBatch(
     std::shared_ptr<const ShardedBackend::CompiledRun> compiled,
     std::size_t batch_index, std::size_t batch_shots)
 {
+    dispatchedBatches_.fetch_add(1, std::memory_order_relaxed);
     bool skip = false;
     {
         std::lock_guard<std::mutex> lock(state->mutex);
-        if (state->cancelled || state->failure)
+        if (state->cancelled || state->failure) {
             skip = true;
-        else if (state->record.status == JobStatus::Queued)
-            state->record.status = JobStatus::Running;
+        } else {
+            if (state->record.status == JobStatus::Queued)
+                state->record.status = JobStatus::Running;
+            if (state->firstDispatchSeconds == 0.0)
+                state->firstDispatchSeconds = nowSeconds();
+        }
     }
     if (skip) {
+        if (state->flight)
+            state->flight->record(
+                telemetry::FlightEventKind::Skip,
+                static_cast<std::int64_t>(batch_index));
         // Skipped batch: still counts as finished so the job
         // reaches a terminal status.
         finishBatch(state);
         return;
     }
+    if (state->flight)
+        state->flight->record(
+            telemetry::FlightEventKind::Dispatch,
+            static_cast<std::int64_t>(batch_index), batch_shots);
 
     const int workerIdx = ThreadPool::workerIndex();
     const std::size_t worker =
@@ -350,16 +387,36 @@ JobService::runBatch(
                                                   backoffRng);
                 ++attempts;
                 telemetry::count("service.retries");
+                if (state->flight) {
+                    state->flight->record(
+                        telemetry::FlightEventKind::Retry,
+                        static_cast<std::int64_t>(batch_index),
+                        attempts, e.what());
+                    state->flight->record(
+                        telemetry::FlightEventKind::Backoff,
+                        static_cast<std::int64_t>(batch_index),
+                        static_cast<std::uint64_t>(delay * 1e6));
+                }
                 backoffSleep(delay);
                 continue;
             }
             if (transient &&
                 state->salvage == SalvageMode::DropBatches) {
                 telemetry::count("service.dropped_batches");
+                if (state->flight)
+                    state->flight->record(
+                        telemetry::FlightEventKind::Salvage,
+                        static_cast<std::int64_t>(batch_index),
+                        attempts, e.what());
                 std::lock_guard<std::mutex> lock(state->mutex);
                 state->record.retries += attempts;
                 ++state->record.droppedBatches;
             } else {
+                if (state->flight)
+                    state->flight->record(
+                        telemetry::FlightEventKind::Fail,
+                        static_cast<std::int64_t>(batch_index),
+                        attempts, e.what());
                 std::lock_guard<std::mutex> lock(state->mutex);
                 state->record.retries += attempts;
                 if (!state->failure) {
@@ -383,6 +440,11 @@ JobService::runBatch(
             finishBatch(state);
             return;
         } catch (...) {
+            if (state->flight)
+                state->flight->record(
+                    telemetry::FlightEventKind::Fail,
+                    static_cast<std::int64_t>(batch_index),
+                    attempts, "unknown exception");
             {
                 std::lock_guard<std::mutex> lock(state->mutex);
                 state->record.retries += attempts;
@@ -435,6 +497,45 @@ JobService::finalizeLocked(JobState& state)
         record.shotsCompleted = state.result.total();
     }
     record.wallSeconds = nowSeconds() - state.submitSeconds;
+    // Queue-wait vs execute split: the audit record reports how
+    // long the job waited for its first batch to dispatch and how
+    // long it then took to finish. Clamped so the invariant
+    // queueWait + exec == wall, both >= 0, holds exactly.
+    if (state.firstDispatchSeconds > 0.0) {
+        double wait =
+            state.firstDispatchSeconds - state.submitSeconds;
+        if (wait < 0.0)
+            wait = 0.0;
+        if (wait > record.wallSeconds)
+            wait = record.wallSeconds;
+        record.queueWaitSeconds = wait;
+        record.execSeconds = record.wallSeconds - wait;
+    } else {
+        // Never dispatched (cancelled in queue, zero batches):
+        // the whole lifetime was queue wait.
+        record.queueWaitSeconds = record.wallSeconds;
+        record.execSeconds = 0.0;
+    }
+    if (state.flight) {
+        switch (record.status) {
+        case JobStatus::Completed:
+            state.flight->record(
+                telemetry::FlightEventKind::Merge, -1,
+                record.shotsCompleted);
+            break;
+        case JobStatus::Cancelled:
+            state.flight->record(
+                telemetry::FlightEventKind::Cancel);
+            break;
+        case JobStatus::Failed:
+            state.flight->record(
+                telemetry::FlightEventKind::Fail, -1, 0,
+                record.error);
+            break;
+        default:
+            break;
+        }
+    }
     // No notify here: waiters are released by afterTerminal once
     // the job is recorded in the audit log and service totals.
 }
@@ -445,8 +546,21 @@ JobService::afterTerminal(const std::shared_ptr<JobState>& state)
     JobRecord record;
     {
         std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->flight) {
+            // The audit marker is the recorder's final event; the
+            // dump then freezes into the record every consumer
+            // (handle, audit log, manifest) sees.
+            state->flight->record(
+                telemetry::FlightEventKind::Audit);
+            state->record.flight = state->flight->events();
+            state->record.flightDropped =
+                state->flight->droppedCount();
+        }
         record = state->record;
     }
+    if (record.status == JobStatus::Failed &&
+        !record.flight.empty())
+        telemetry::count("service.flight_dumps");
     {
         std::lock_guard<std::mutex> lock(auditMutex_);
         auditLog_.push_back(record);
@@ -518,6 +632,110 @@ JobService::drain()
     idleCv_.wait(lock, [this] { return activeJobs_ == 0; });
 }
 
+std::shared_ptr<telemetry::HealthMonitor>
+JobService::healthMonitor()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (health_)
+        return health_;
+    health_ = std::make_shared<telemetry::HealthMonitor>();
+
+    // Queue saturation: how close admission control is to
+    // rejecting. Sustained high utilization means tenants are
+    // about to see BudgetExhausted.
+    health_->addProbe(std::make_shared<telemetry::FunctionProbe>(
+        "queue_saturation", [this] {
+            telemetry::ProbeResult result;
+            const std::size_t depth = queue_.size();
+            const std::size_t cap = queue_.capacity();
+            result.value =
+                cap > 0 ? static_cast<double>(depth) /
+                              static_cast<double>(cap)
+                        : 0.0;
+            result.status = telemetry::statusFromUtilization(
+                result.value, 0.75, 0.95);
+            result.message = std::to_string(depth) + "/" +
+                             std::to_string(cap) +
+                             " batches queued";
+            return result;
+        }));
+
+    // Worker starvation: work is queued but no batch has been
+    // popped since the previous check — the pool is wedged (or
+    // every worker is stuck in one pathological batch). One
+    // stagnant interval degrades; two in a row go unhealthy.
+    struct StarvationState
+    {
+        std::uint64_t lastDispatched = 0;
+        int stagnantChecks = 0;
+    };
+    auto starvation = std::make_shared<StarvationState>();
+    health_->addProbe(std::make_shared<telemetry::FunctionProbe>(
+        "worker_starvation", [this, starvation] {
+            telemetry::ProbeResult result;
+            const std::size_t depth = queue_.size();
+            const std::uint64_t dispatched =
+                dispatchedBatches();
+            if (depth > 0 &&
+                dispatched == starvation->lastDispatched) {
+                ++starvation->stagnantChecks;
+                result.status =
+                    starvation->stagnantChecks >= 2
+                        ? telemetry::HealthStatus::Unhealthy
+                        : telemetry::HealthStatus::Degraded;
+                result.message =
+                    std::to_string(depth) +
+                    " batches queued with no dispatch progress "
+                    "across " +
+                    std::to_string(starvation->stagnantChecks) +
+                    " check(s)";
+            } else {
+                starvation->stagnantChecks = 0;
+            }
+            starvation->lastDispatched = dispatched;
+            result.value = static_cast<double>(depth);
+            return result;
+        }));
+
+    // Cache thrash: evictions per lookup since the last check.
+    // A hot cache evicting on most lookups is churning artifacts
+    // faster than tenants reuse them — the budget is too small
+    // for the working set.
+    struct ThrashState
+    {
+        std::uint64_t lastEvictions = 0;
+        std::uint64_t lastLookups = 0;
+    };
+    auto thrash = std::make_shared<ThrashState>();
+    health_->addProbe(std::make_shared<telemetry::FunctionProbe>(
+        "cache_thrash", [this, thrash] {
+            telemetry::ProbeResult result;
+            const CacheStats stats = cache_.stats();
+            const std::uint64_t lookups =
+                stats.hits + stats.misses;
+            const std::uint64_t lookupDelta =
+                lookups - thrash->lastLookups;
+            const std::uint64_t evictionDelta =
+                stats.evictions - thrash->lastEvictions;
+            thrash->lastLookups = lookups;
+            thrash->lastEvictions = stats.evictions;
+            result.value =
+                lookupDelta > 0
+                    ? static_cast<double>(evictionDelta) /
+                          static_cast<double>(lookupDelta)
+                    : 0.0;
+            result.status = telemetry::statusFromUtilization(
+                result.value, 0.25, 0.75);
+            result.message =
+                std::to_string(evictionDelta) +
+                " evictions over " +
+                std::to_string(lookupDelta) + " lookups";
+            return result;
+        }));
+
+    return health_;
+}
+
 std::vector<JobRecord>
 JobService::auditLog() const
 {
@@ -534,6 +752,11 @@ JobService::summary() const
         result = totals_;
     }
     result.cache = cache_.stats();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (health_)
+            result.health = health_->status();
+    }
     return result;
 }
 
@@ -588,6 +811,14 @@ JobService::summaryJson() const
     sum["cache"] = std::move(cache);
     doc["summary"] = std::move(sum);
 
+    std::shared_ptr<telemetry::HealthMonitor> health;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        health = health_;
+    }
+    if (health)
+        doc["health"] = health->toJson();
+
     telemetry::JsonValue jobsJson =
         telemetry::JsonValue::array();
     for (const JobRecord& record : jobs)
@@ -599,11 +830,8 @@ JobService::summaryJson() const
 bool
 JobService::writeSummary(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << summaryJson().dump(2) << "\n";
-    return out.good();
+    return telemetry::writeTextAtomic(
+        path, summaryJson().dump(2) + "\n");
 }
 
 } // namespace qem::svc

@@ -34,6 +34,7 @@
 #ifndef QEM_SERVICE_JOB_SERVICE_HH
 #define QEM_SERVICE_JOB_SERVICE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -50,6 +51,7 @@
 #include "service/artifact_cache.hh"
 #include "service/job.hh"
 #include "service/job_queue.hh"
+#include "telemetry/health.hh"
 #include "telemetry/json.hh"
 
 namespace qem::svc
@@ -74,6 +76,15 @@ struct ServiceOptions
     BackoffPolicy backoff{};
     /** Shared artifact cache sizing. */
     ArtifactCache::Options cache{};
+    /**
+     * Attach a flight recorder to every job even when telemetry
+     * is off (otherwise recording follows telemetry::enabled() at
+     * submit time). Off by default: the established zero-cost
+     * discipline — a disabled service allocates nothing per job.
+     */
+    bool flightRecorder = false;
+    /** Ring capacity of each per-job flight recorder. */
+    std::size_t flightCapacity = 64;
 };
 
 /** Aggregate accounting of one service instance. */
@@ -88,6 +99,10 @@ struct ServiceSummary
     std::uint64_t retries = 0;
     std::uint64_t droppedBatches = 0;
     CacheStats cache;
+    /** Aggregate of the last health check; Healthy when the
+     *  service's monitor was never created or never ran. */
+    telemetry::HealthStatus health =
+        telemetry::HealthStatus::Healthy;
 };
 
 class JobService
@@ -166,6 +181,34 @@ class JobService
                          const std::string& tenant,
                          std::uint64_t job_key);
 
+    /** Queued batches right now (live introspection). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Admission bound on queued batches. */
+    std::size_t queueCapacity() const
+    {
+        return queue_.capacity();
+    }
+
+    /** Batches popped and executed (or skipped) so far; the
+     *  liveness signal behind the worker-starvation probe. */
+    std::uint64_t dispatchedBatches() const
+    {
+        return dispatchedBatches_.load(
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * The service's health monitor, created on first call with the
+     * built-in probes — queue saturation, worker starvation, cache
+     * thrash — wired to this instance. Callers add
+     * machine-specific probes (e.g. svc::RbmsStalenessProbe) via
+     * addProbe() and drive checkAll() at their own cadence; the
+     * latest aggregate lands in ServiceSummary::health and the
+     * service manifest. The monitor must not outlive the service.
+     */
+    std::shared_ptr<telemetry::HealthMonitor> healthMonitor();
+
     /** Audit records of every terminal job, in completion order. */
     std::vector<JobRecord> auditLog() const;
 
@@ -236,6 +279,8 @@ class JobService
     std::uint64_t nextJobId_ = 1;
     std::uint64_t nextJobSeq_ = 0;
     std::size_t activeJobs_ = 0;
+    std::shared_ptr<telemetry::HealthMonitor> health_;
+    std::atomic<std::uint64_t> dispatchedBatches_{0};
 
     mutable std::mutex auditMutex_;
     std::vector<JobRecord> auditLog_;

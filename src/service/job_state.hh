@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "qsim/counts.hh"
 #include "qsim/rng.hh"
 #include "service/job.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace qem::svc
 {
@@ -62,6 +64,18 @@ struct JobState
 
     /** Monotonic submit timestamp for wallSeconds. */
     double submitSeconds = 0.0;
+    /** Monotonic timestamp of the first batch dispatch (queued ->
+     *  running edge); 0 until then. Feeds the queue-wait/execute
+     *  split in the audit record. */
+    double firstDispatchSeconds = 0.0;
+
+    /**
+     * Per-job flight recorder; null unless recording is on
+     * (telemetry enabled at submit, or ServiceOptions::
+     * flightRecorder). Timestamps are seconds since submission.
+     * Has its own mutex, so workers record without the job lock.
+     */
+    std::shared_ptr<telemetry::FlightRecorder> flight;
 };
 
 } // namespace qem::svc

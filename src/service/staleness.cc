@@ -1,0 +1,166 @@
+#include "service/staleness.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "qsim/circuit.hh"
+
+namespace qem::svc
+{
+
+namespace
+{
+
+/** X-prep the set bits of @p truth on @p qubits, then measure. */
+Circuit
+holdoutCircuit(unsigned machine_qubits,
+               const std::vector<Qubit>& qubits, BasisState truth)
+{
+    Circuit circuit(machine_qubits,
+                    static_cast<int>(qubits.size()));
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if ((truth >> i) & 1u)
+            circuit.x(qubits[i]);
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        circuit.measure(qubits[i], static_cast<Clbit>(i));
+    return circuit;
+}
+
+Counts
+sampleFromCdf(const ConfusionCdf& cdf, BasisState truth,
+              std::size_t shots, Rng& rng)
+{
+    Counts counts(cdf.numBits());
+    for (std::size_t s = 0; s < shots; ++s)
+        counts.add(cdf.sample(truth, rng.uniform()));
+    return counts;
+}
+
+} // namespace
+
+HoldoutSampler
+holdoutFromCalibration(const Calibration& cal,
+                       const std::vector<Qubit>& qubits)
+{
+    auto live = std::make_shared<ConfusionCdf>(cal, qubits);
+    return [live](BasisState truth, std::size_t shots, Rng& rng) {
+        return sampleFromCdf(*live, truth, shots, rng);
+    };
+}
+
+HoldoutSampler
+holdoutFromBackend(std::shared_ptr<const ShardedBackend> backend,
+                   std::vector<Qubit> qubits)
+{
+    if (!backend)
+        throw std::invalid_argument(
+            "holdoutFromBackend: null backend");
+    return [backend, qubits = std::move(qubits)](
+               BasisState truth, std::size_t shots, Rng& rng) {
+        return backend->run(
+            holdoutCircuit(backend->numQubits(), qubits, truth),
+            shots, rng);
+    };
+}
+
+RbmsStalenessProbe::RbmsStalenessProbe(
+    std::shared_ptr<const ConfusionCdf> cached,
+    HoldoutSampler live, StalenessOptions options)
+    : cached_(std::move(cached)), live_(std::move(live)),
+      options_(std::move(options))
+{
+    if (!cached_)
+        throw std::invalid_argument(
+            "RbmsStalenessProbe: null cached confusion model");
+    if (!live_)
+        throw std::invalid_argument(
+            "RbmsStalenessProbe: null holdout sampler");
+    if (options_.shotsPerState == 0)
+        throw std::invalid_argument(
+            "RbmsStalenessProbe: zero holdout budget");
+}
+
+std::uint64_t
+RbmsStalenessProbe::checksRun() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return checks_;
+}
+
+verify::GofResult
+RbmsStalenessProbe::lastWorst() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lastWorst_;
+}
+
+telemetry::ProbeResult
+RbmsStalenessProbe::check()
+{
+    std::uint64_t epoch = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        epoch = checks_++;
+    }
+
+    std::vector<BasisState> states = options_.states;
+    if (states.empty()) {
+        const BasisState ones =
+            cached_->numBits() >= 64
+                ? ~BasisState{0}
+                : ((BasisState{1} << cached_->numBits()) - 1);
+        states = {BasisState{0}, ones};
+    }
+    const double alphaPerState =
+        options_.alpha / static_cast<double>(states.size());
+
+    // Fresh, independent streams per (check, state, side): the
+    // probe is deterministic in (seed, check index) and repeated
+    // checks never reuse samples.
+    Rng root = Rng(options_.seed).splitAt(epoch);
+
+    verify::GofResult worst;
+    BasisState worstState = 0;
+    bool haveWorst = false;
+    bool stale = false;
+    for (std::size_t k = 0; k < states.size(); ++k) {
+        Rng freshRng = root.splitAt(2 * k);
+        Rng referenceRng = root.splitAt(2 * k + 1);
+        const Counts fresh = live_(
+            states[k], options_.shotsPerState, freshRng);
+        const Counts reference =
+            sampleFromCdf(*cached_, states[k],
+                          options_.shotsPerState, referenceRng);
+        const verify::GofResult test =
+            verify::twoSampleGTest(fresh, reference);
+        if (!haveWorst || test.pValue < worst.pValue) {
+            worst = test;
+            worstState = states[k];
+            haveWorst = true;
+        }
+        if (test.pValue < alphaPerState)
+            stale = true;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lastWorst_ = worst;
+    }
+
+    telemetry::ProbeResult result;
+    result.status = stale ? telemetry::HealthStatus::Unhealthy
+                          : telemetry::HealthStatus::Healthy;
+    result.value = worst.pValue;
+    std::ostringstream message;
+    message << (stale ? "cached confusion model rejected"
+                      : "cached confusion model consistent")
+            << ": worst state " << worstState << " G="
+            << worst.statistic << " p=" << worst.pValue
+            << " (alpha/state=" << alphaPerState << ", "
+            << options_.shotsPerState << " shots/state)";
+    result.message = message.str();
+    return result;
+}
+
+} // namespace qem::svc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * RBMS staleness detection: is the cached readout-confusion model
+ * still what the live machine produces?
+ *
+ * The paper's AIM inverts onto the machine's strong states using a
+ * profile measured ahead of time (RBMS); §6 argues the bias is
+ * repeatable, but calibration drifts between profiling and use
+ * (ROADMAP item 3). This probe replays a small holdout shot budget
+ * — a few basis states prepared and measured on the *live* machine
+ * — and compares those fresh samples against samples drawn from
+ * the *cached* ConfusionCdf with the verification subsystem's
+ * two-sample G-test. Both sides are seeded and sampled, so per
+ * docs/verification.md a red result is a reproducible distribution
+ * change, not shot noise; alpha is budgeted across the probed
+ * states (Bonferroni) so the probe's total false-positive rate per
+ * check is the configured alpha.
+ *
+ * Plugged into a telemetry::HealthMonitor the probe publishes the
+ * `health.rbms_stale` gauge (0 healthy / 2 unhealthy) — the signal
+ * a re-profiling scheduler keys on.
+ */
+
+#ifndef QEM_SERVICE_STALENESS_HH
+#define QEM_SERVICE_STALENESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "machine/calibration.hh"
+#include "qsim/counts.hh"
+#include "qsim/rng.hh"
+#include "qsim/simulator.hh"
+#include "service/artifacts.hh"
+#include "telemetry/health.hh"
+#include "verify/statistics.hh"
+
+namespace qem::svc
+{
+
+/**
+ * Source of fresh holdout samples: measured outcomes of @p shots
+ * preparations of basis state @p truth on the live machine,
+ * deterministic in @p rng.
+ */
+using HoldoutSampler =
+    std::function<Counts(BasisState truth, std::size_t shots,
+                         Rng& rng)>;
+
+/**
+ * Holdout sampler that replays readout only: observed outcomes are
+ * drawn from a ConfusionCdf built on the machine's *current*
+ * calibration. This is the standard test double — state
+ * preparation is exact, so any detected difference is purely
+ * readout drift (no gate-noise contamination inflating the test).
+ */
+HoldoutSampler holdoutFromCalibration(
+    const Calibration& cal, const std::vector<Qubit>& qubits);
+
+/**
+ * Holdout sampler that runs real prep circuits (X gates on the set
+ * bits, then measure) on @p backend — the full replay a hardware
+ * deployment would use. Gate noise contaminates the comparison
+ * slightly; budget a few extra retries or a smaller alpha when the
+ * prep circuits are not effectively noiseless.
+ */
+HoldoutSampler holdoutFromBackend(
+    std::shared_ptr<const ShardedBackend> backend,
+    std::vector<Qubit> qubits);
+
+struct StalenessOptions
+{
+    /** Holdout budget per probed state per check. */
+    std::size_t shotsPerState = 4096;
+    /**
+     * Total false-positive probability per check() — split evenly
+     * across the probed states. 1e-6 follows the repo-wide seeded
+     * alpha-budget convention (docs/verification.md).
+     */
+    double alpha = 1e-6;
+    /** Root of the probe's deterministic sample streams. Check i
+     *  uses splitAt(i), so repeated checks draw fresh samples. */
+    std::uint64_t seed = 2019;
+    /**
+     * Basis states to replay; empty = all-zeros and all-ones
+     * (all-zeros is most sensitive to P(0->1) drift, all-ones to
+     * P(1->0) — the paper's state-dependent directions).
+     */
+    std::vector<BasisState> states;
+};
+
+class RbmsStalenessProbe : public telemetry::HealthProbe
+{
+  public:
+    /**
+     * @param cached The confusion model the service is serving
+     *        (what AIM inverts with).
+     * @param live Fresh-sample source for the current machine.
+     */
+    RbmsStalenessProbe(
+        std::shared_ptr<const ConfusionCdf> cached,
+        HoldoutSampler live, StalenessOptions options = {});
+
+    std::string name() const override { return "rbms_stale"; }
+
+    /** Replay the holdout and test; Unhealthy when any probed
+     *  state's two-sample test rejects at alpha / numStates. */
+    telemetry::ProbeResult check() override;
+
+    /** Checks run so far (each consumes a fresh seed split). */
+    std::uint64_t checksRun() const;
+
+    /** Worst (lowest-p) test of the most recent check. */
+    verify::GofResult lastWorst() const;
+
+  private:
+    std::shared_ptr<const ConfusionCdf> cached_;
+    HoldoutSampler live_;
+    StalenessOptions options_;
+
+    mutable std::mutex mutex_;
+    std::uint64_t checks_ = 0;
+    verify::GofResult lastWorst_;
+};
+
+} // namespace qem::svc
+
+#endif // QEM_SERVICE_STALENESS_HH

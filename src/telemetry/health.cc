@@ -1,0 +1,135 @@
+#include "telemetry/health.hh"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hh"
+
+namespace qem::telemetry
+{
+
+const char*
+healthStatusName(HealthStatus status)
+{
+    switch (status) {
+    case HealthStatus::Healthy: return "healthy";
+    case HealthStatus::Degraded: return "degraded";
+    case HealthStatus::Unhealthy: return "unhealthy";
+    }
+    return "unknown";
+}
+
+HealthStatus
+worseStatus(HealthStatus a, HealthStatus b)
+{
+    return static_cast<std::uint8_t>(a) >=
+                   static_cast<std::uint8_t>(b)
+               ? a
+               : b;
+}
+
+HealthStatus
+statusFromUtilization(double value, double degraded,
+                      double unhealthy)
+{
+    if (value >= unhealthy)
+        return HealthStatus::Unhealthy;
+    if (value >= degraded)
+        return HealthStatus::Degraded;
+    return HealthStatus::Healthy;
+}
+
+JsonValue
+ProbeResult::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["probe"] = JsonValue(probe);
+    out["status"] = JsonValue(healthStatusName(status));
+    out["value"] = JsonValue(value);
+    if (!message.empty())
+        out["message"] = JsonValue(message);
+    return out;
+}
+
+void
+HealthMonitor::addProbe(std::shared_ptr<HealthProbe> probe)
+{
+    if (!probe)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    probes_.push_back(std::move(probe));
+}
+
+std::size_t
+HealthMonitor::probeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return probes_.size();
+}
+
+std::vector<ProbeResult>
+HealthMonitor::checkAll()
+{
+    std::vector<std::shared_ptr<HealthProbe>> probes;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        probes = probes_;
+    }
+
+    // Probes run outside the monitor lock: the staleness probe
+    // replays a shot budget and may take a while, and probes are
+    // free to call back into telemetry.
+    std::vector<ProbeResult> results;
+    results.reserve(probes.size());
+    HealthStatus aggregate = HealthStatus::Healthy;
+    for (const auto& probe : probes) {
+        ProbeResult result;
+        try {
+            result = probe->check();
+        } catch (const std::exception& e) {
+            result.status = HealthStatus::Unhealthy;
+            result.message =
+                std::string("probe threw: ") + e.what();
+        }
+        if (result.probe.empty())
+            result.probe = probe->name();
+        aggregate = worseStatus(aggregate, result.status);
+        gaugeSet("health." + result.probe,
+                 static_cast<double>(result.status));
+        results.push_back(std::move(result));
+    }
+    gaugeSet("health.status", static_cast<double>(aggregate));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_ = results;
+    status_ = aggregate;
+    return results;
+}
+
+HealthStatus
+HealthMonitor::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+}
+
+std::vector<ProbeResult>
+HealthMonitor::lastResults() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_;
+}
+
+JsonValue
+HealthMonitor::toJson() const
+{
+    std::vector<ProbeResult> results = lastResults();
+    JsonValue out = JsonValue::object();
+    out["status"] = JsonValue(healthStatusName(status()));
+    JsonValue probes = JsonValue::array();
+    for (const ProbeResult& result : results)
+        probes.push(result.toJson());
+    out["probes"] = std::move(probes);
+    return out;
+}
+
+} // namespace qem::telemetry

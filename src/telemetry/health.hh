@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pluggable health probes and the monitor that aggregates them.
+ *
+ * A HealthProbe inspects one live signal (queue saturation, worker
+ * starvation, cache thrash, RBMS staleness...) and reports a
+ * three-level status with a numeric value and a human-readable
+ * message. HealthMonitor runs every registered probe on demand,
+ * remembers the latest results, publishes each as a `health.<name>`
+ * gauge (0 = healthy, 1 = degraded, 2 = unhealthy) when telemetry
+ * is enabled, and aggregates the worst status — which the job
+ * service surfaces in ServiceSummary and its manifest.
+ *
+ * Probes are expected to be deterministic given their inputs: the
+ * RBMS staleness probe (src/service/staleness.hh) draws seeded
+ * samples, so a red health status in a test is a real distribution
+ * change, never noise (docs/verification.md conventions).
+ */
+
+#ifndef QEM_TELEMETRY_HEALTH_HH
+#define QEM_TELEMETRY_HEALTH_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+namespace qem::telemetry
+{
+
+enum class HealthStatus : std::uint8_t {
+    Healthy = 0,
+    Degraded = 1,
+    Unhealthy = 2,
+};
+
+/** Stable lower-case token ("healthy", "degraded", "unhealthy"). */
+const char* healthStatusName(HealthStatus status);
+
+/** The worse of two statuses. */
+HealthStatus worseStatus(HealthStatus a, HealthStatus b);
+
+struct ProbeResult
+{
+    std::string probe;
+    HealthStatus status = HealthStatus::Healthy;
+    /** Probe-defined scalar (utilization, p-value, rate...). */
+    double value = 0.0;
+    std::string message;
+
+    JsonValue toJson() const;
+};
+
+class HealthProbe
+{
+  public:
+    virtual ~HealthProbe() = default;
+    /** Stable name; the published gauge is `health.<name>`. */
+    virtual std::string name() const = 0;
+    virtual ProbeResult check() = 0;
+};
+
+/** Adapter for probes that are just a closure over live state. */
+class FunctionProbe : public HealthProbe
+{
+  public:
+    FunctionProbe(std::string name,
+                  std::function<ProbeResult()> check)
+        : name_(std::move(name)), check_(std::move(check))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    ProbeResult check() override
+    {
+        ProbeResult result = check_();
+        result.probe = name_;
+        return result;
+    }
+
+  private:
+    std::string name_;
+    std::function<ProbeResult()> check_;
+};
+
+/**
+ * Threshold helper: map a utilization-style value in [0, 1] to a
+ * status given degraded/unhealthy cutoffs.
+ */
+HealthStatus statusFromUtilization(double value, double degraded,
+                                   double unhealthy);
+
+class HealthMonitor
+{
+  public:
+    void addProbe(std::shared_ptr<HealthProbe> probe);
+
+    /** Number of registered probes. */
+    std::size_t probeCount() const;
+
+    /**
+     * Run every probe now; remembers and returns the results and
+     * publishes `health.<name>` gauges plus `health.status` (the
+     * aggregate) when telemetry is enabled. Probe exceptions are
+     * captured as Unhealthy results, never propagated: health
+     * checking must not take down the service it watches.
+     */
+    std::vector<ProbeResult> checkAll();
+
+    /** Worst status of the most recent checkAll() (Healthy when
+     *  none has run). */
+    HealthStatus status() const;
+
+    /** Results of the most recent checkAll(). */
+    std::vector<ProbeResult> lastResults() const;
+
+    /** {"status": ..., "probes": [...]} from the last check. */
+    JsonValue toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::shared_ptr<HealthProbe>> probes_;
+    std::vector<ProbeResult> last_;
+    HealthStatus status_ = HealthStatus::Healthy;
+};
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_HEALTH_HH

@@ -19,37 +19,99 @@ kindError(const char* wanted)
                              wanted);
 }
 
+/**
+ * Length of the valid UTF-8 sequence starting at s[i], or 0 when
+ * the bytes there are not well-formed UTF-8 (truncated sequence,
+ * stray continuation byte, overlong encoding, surrogate half, or
+ * a code point beyond U+10FFFF).
+ */
+std::size_t
+utf8SequenceLength(const std::string& s, std::size_t i)
+{
+    const auto byte = [&](std::size_t k) {
+        return static_cast<unsigned char>(s[k]);
+    };
+    const unsigned char lead = byte(i);
+    std::size_t len = 0;
+    std::uint32_t min = 0;
+    std::uint32_t cp = 0;
+    if (lead < 0x80) {
+        return 1;
+    } else if ((lead & 0xE0) == 0xC0) {
+        len = 2; min = 0x80; cp = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+        len = 3; min = 0x800; cp = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+        len = 4; min = 0x10000; cp = lead & 0x07u;
+    } else {
+        return 0; // Continuation byte or 0xF8+ lead.
+    }
+    if (i + len > s.size())
+        return 0;
+    for (std::size_t k = 1; k < len; ++k) {
+        if ((byte(i + k) & 0xC0) != 0x80)
+            return 0;
+        cp = (cp << 6) | (byte(i + k) & 0x3Fu);
+    }
+    if (cp < min || cp > 0x10FFFF)
+        return 0; // Overlong or out of range.
+    if (cp >= 0xD800 && cp <= 0xDFFF)
+        return 0; // Surrogate halves are not scalar values.
+    return len;
+}
+
 void
 escapeInto(std::string& out, const std::string& s)
 {
     out += '"';
-    for (char c : s) {
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
         switch (c) {
           case '"':
             out += "\\\"";
-            break;
+            ++i;
+            continue;
           case '\\':
             out += "\\\\";
-            break;
+            ++i;
+            continue;
           case '\n':
             out += "\\n";
-            break;
+            ++i;
+            continue;
           case '\r':
             out += "\\r";
-            break;
+            ++i;
+            continue;
           case '\t':
             out += "\\t";
-            break;
+            ++i;
+            continue;
           default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
+            break;
+        }
+        const unsigned char byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(byte));
+            out += buf;
+            ++i;
+        } else if (byte < 0x80) {
+            out += c;
+            ++i;
+        } else if (const std::size_t len =
+                       utf8SequenceLength(s, i)) {
+            // Well-formed multibyte sequence: copy verbatim.
+            out.append(s, i, len);
+            i += len;
+        } else {
+            // Hostile input (span names, tenant ids) can carry
+            // arbitrary bytes; emitting them raw would produce a
+            // JSON document that strict parsers reject. Replace
+            // each bad byte with U+FFFD and resync on the next.
+            out += "\xEF\xBF\xBD";
+            ++i;
         }
     }
     out += '"';

@@ -1,6 +1,11 @@
 #include "telemetry/manifest.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
 
 namespace qem::telemetry
 {
@@ -29,13 +34,37 @@ buildManifest(const RunInfo& run, const MetricsSnapshot& metrics,
 }
 
 bool
+writeTextAtomic(const std::string& path, const std::string& text)
+{
+    // Unique temp name per (thread, write) in the same directory,
+    // so the final rename is atomic on POSIX and concurrent
+    // writers never interleave bytes into the destination.
+    static std::atomic<std::uint64_t> sequence{0};
+    std::ostringstream tmpName;
+    tmpName << path << ".tmp."
+            << std::hash<std::thread::id>{}(
+                   std::this_thread::get_id())
+            << "." << sequence.fetch_add(1);
+    const std::string tmp = tmpName.str();
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        out << text;
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
 writeManifest(const std::string& path, const JsonValue& manifest)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << manifest.dump(2);
-    return static_cast<bool>(out);
+    return writeTextAtomic(path, manifest.dump(2) + "\n");
 }
 
 } // namespace qem::telemetry

@@ -49,9 +49,19 @@ JsonValue buildManifest(const RunInfo& run,
  * Write @p manifest to @p path (pretty-printed, trailing newline).
  * Returns false on I/O failure instead of throwing: telemetry must
  * never take down the run it observes.
+ *
+ * The write is atomic (unique temp file in the same directory,
+ * then rename): concurrent writers to the same path race only on
+ * which complete document wins, never on interleaved bytes, and a
+ * reader polling the path never sees a torn file.
  */
 bool writeManifest(const std::string& path,
                    const JsonValue& manifest);
+
+/** Atomic whole-file text write used by every JSON exporter
+ *  (manifest, timeseries, trace). False on I/O failure. */
+bool writeTextAtomic(const std::string& path,
+                     const std::string& text);
 
 } // namespace qem::telemetry
 

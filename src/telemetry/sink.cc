@@ -157,6 +157,14 @@ toJson(const SpanSnapshot& span)
     out["duration_seconds"] = JsonValue(span.durationSeconds);
     if (!span.closed)
         out["open"] = JsonValue(true);
+    if (span.tid != 0)
+        out["tid"] = JsonValue(span.tid);
+    if (!span.args.empty()) {
+        JsonValue args = JsonValue::object();
+        for (const auto& [name, delta] : span.args)
+            args[name] = JsonValue(delta);
+        out["args"] = std::move(args);
+    }
     if (!span.children.empty()) {
         JsonValue children = JsonValue::array();
         for (const SpanSnapshot& child : span.children)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
+
 namespace qem::telemetry
 {
 
@@ -23,7 +25,12 @@ struct SpanTracer::Node
     double startSeconds = 0.0;
     double durationSeconds = 0.0;
     bool closed = false;
+    int tid = 0;
     Node* parent = nullptr;
+    /** Watched-counter values at open (parallel to watchNames_). */
+    std::vector<std::uint64_t> watchedAtOpen;
+    /** Nonzero watched-counter deltas, filled at close. */
+    std::vector<std::pair<std::string, std::uint64_t>> args;
     std::vector<std::unique_ptr<Node>> children;
 };
 
@@ -71,14 +78,24 @@ SpanTracer::scoped(std::string name)
 {
     const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<Node*>& stack =
-        stacks_[std::this_thread::get_id()];
+    const auto threadId = std::this_thread::get_id();
+    std::vector<Node*>& stack = stacks_[threadId];
     Node* parent = stack.empty() ? root_.get() : stack.back();
     auto node = std::make_unique<Node>();
     node->name = std::move(name);
     node->startSeconds =
         std::chrono::duration<double>(now - epoch_).count();
     node->parent = parent;
+    const auto tidIt = tids_.find(threadId);
+    node->tid = tidIt != tids_.end()
+                    ? tidIt->second
+                    : (tids_[threadId] = nextTid_++);
+    if (watchRegistry_) {
+        node->watchedAtOpen.reserve(watchNames_.size());
+        for (const std::string& counter : watchNames_)
+            node->watchedAtOpen.push_back(
+                watchRegistry_->counter(counter).value());
+    }
     Node* raw = node.get();
     parent->children.push_back(std::move(node));
     stack.push_back(raw);
@@ -97,6 +114,21 @@ SpanTracer::close(void* opaque, std::uint64_t generation)
         std::chrono::duration<double>(now - epoch_).count() -
         node->startSeconds;
     node->closed = true;
+    if (watchRegistry_ &&
+        node->watchedAtOpen.size() == watchNames_.size()) {
+        for (std::size_t i = 0; i < watchNames_.size(); ++i) {
+            const std::uint64_t current =
+                watchRegistry_->counter(watchNames_[i]).value();
+            // A registry reset mid-span reads below the open
+            // snapshot; report the raw value then (delta from 0).
+            const std::uint64_t delta =
+                current >= node->watchedAtOpen[i]
+                    ? current - node->watchedAtOpen[i]
+                    : current;
+            if (delta != 0)
+                node->args.emplace_back(watchNames_[i], delta);
+        }
+    }
     // Unwind this thread's open-span stack. Out-of-order closes
     // (e.g. a moved Scope outliving its parent) close everything
     // above the node as well, keeping the stack consistent. Drained
@@ -139,6 +171,8 @@ SpanTracer::snapshot() const
         item.dest->name = item.node->name;
         item.dest->startSeconds = item.node->startSeconds;
         item.dest->closed = item.node->closed;
+        item.dest->tid = item.node->tid;
+        item.dest->args = item.node->args;
         item.dest->durationSeconds =
             item.node->closed
                 ? item.node->durationSeconds
@@ -161,8 +195,20 @@ SpanTracer::reset()
     root_->name = "session";
     root_->closed = false;
     stacks_.clear();
+    tids_.clear();
+    nextTid_ = 0;
     ++generation_;
     epoch_ = std::chrono::steady_clock::now();
+}
+
+void
+SpanTracer::watchCounters(MetricsRegistry* registry,
+                          std::vector<std::string> names)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    watchRegistry_ = registry;
+    watchNames_ = registry ? std::move(names)
+                           : std::vector<std::string>{};
 }
 
 } // namespace qem::telemetry

@@ -37,11 +37,26 @@ struct SpanSnapshot
     /** Wall seconds; for still-open spans, elapsed so far. */
     double durationSeconds = 0.0;
     bool closed = true;
+    /**
+     * Stable per-tracer thread ordinal: 0 for the root and for
+     * spans opened by the thread that opened the tracer's first
+     * span, 1.. for other threads in first-seen order. Chrome
+     * trace_event tids must be small stable integers, which
+     * std::thread::id is not.
+     */
+    int tid = 0;
+    /**
+     * Watched-counter deltas over the span's lifetime (see
+     * SpanTracer::watchCounters); only nonzero deltas are kept.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> args;
     std::vector<SpanSnapshot> children;
 
     /** Depth-first lookup by name; nullptr when absent. */
     const SpanSnapshot* find(const std::string& target) const;
 };
+
+class MetricsRegistry;
 
 class SpanTracer
 {
@@ -88,6 +103,18 @@ class SpanTracer
      *  from before the reset close as harmless no-ops. */
     void reset();
 
+    /**
+     * Record deltas of the named counters in @p registry across
+     * every subsequent span: each counter is read at open and at
+     * close, and nonzero deltas land in SpanSnapshot::args (the
+     * trace exporter renders them as Chrome trace args). Counters
+     * are re-resolved by name on each read, so a registry reset
+     * between spans is safe. Pass nullptr to stop watching.
+     * Watching survives reset(); it is cleared by resetAll().
+     */
+    void watchCounters(MetricsRegistry* registry,
+                       std::vector<std::string> names);
+
   private:
     struct Node;
 
@@ -99,6 +126,10 @@ class SpanTracer
     std::chrono::steady_clock::time_point epoch_;
     std::unordered_map<std::thread::id, std::vector<Node*>>
         stacks_;
+    std::unordered_map<std::thread::id, int> tids_;
+    int nextTid_ = 0;
+    MetricsRegistry* watchRegistry_ = nullptr;
+    std::vector<std::string> watchNames_;
 };
 
 } // namespace qem::telemetry

@@ -115,6 +115,7 @@ observe(const std::string& name, double value)
 void
 resetAll()
 {
+    tracer().watchCounters(nullptr, {});
     metrics().reset();
     tracer().reset();
     g_override.store(-1, std::memory_order_relaxed);

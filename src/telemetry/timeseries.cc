@@ -1,0 +1,218 @@
+#include "telemetry/timeseries.hh"
+
+#include "telemetry/manifest.hh"
+
+namespace qem::telemetry
+{
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry& registry)
+    : TimeSeriesSampler(registry, Options())
+{
+}
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry& registry,
+                                     Options options)
+    : registry_(registry), options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (options_.capacity == 0)
+        options_.capacity = 1;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void
+TimeSeriesSampler::sampleOnce()
+{
+    double t = 0.0;
+    if (options_.clock) {
+        t = options_.clock();
+    } else {
+        t = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count();
+    }
+    sampleAt(t);
+}
+
+void
+TimeSeriesSampler::sampleAt(double t_seconds)
+{
+    // Snapshot outside our own lock: the registry has its own
+    // mutex, and holding both in a fixed order avoids any chance
+    // of inversion with callers sampling concurrently.
+    std::lock_guard<std::mutex> lock(mutex_);
+    scrapeLocked(t_seconds);
+}
+
+void
+TimeSeriesSampler::scrapeLocked(double t_seconds)
+{
+    if (samples_ > 0 && t_seconds < lastSampleSeconds_)
+        t_seconds = lastSampleSeconds_;
+    const MetricsSnapshot snap = registry_.snapshot();
+    for (const auto& [name, value] : snap.counters)
+        appendLocked(name, "counter", t_seconds,
+                     static_cast<double>(value), true);
+    for (const auto& [name, value] : snap.gauges)
+        appendLocked(name, "gauge", t_seconds, value, false);
+    for (const auto& [name, h] : snap.histograms) {
+        appendLocked(name + ".count", "derived", t_seconds,
+                     static_cast<double>(h.count), true);
+        // Mean latency over the whole histogram so far: a gauge-
+        // style signal cheap enough to scrape every tick. The
+        // delta-based rate lives in the .count series.
+        const double mean =
+            h.count > 0 ? h.sum / static_cast<double>(h.count)
+                        : 0.0;
+        appendLocked(name + ".mean_seconds", "gauge", t_seconds,
+                     mean, false);
+    }
+    ++samples_;
+    lastSampleSeconds_ = t_seconds;
+}
+
+void
+TimeSeriesSampler::appendLocked(const std::string& name,
+                                const std::string& kind,
+                                double t_seconds, double raw,
+                                bool cumulative)
+{
+    Series& series = series_[name];
+    if (series.kind.empty())
+        series.kind = kind;
+
+    SeriesPoint point;
+    point.tSeconds = t_seconds;
+    point.value = raw;
+    if (cumulative) {
+        // Reset-aware delta: a raw value below the previous scrape
+        // means the underlying counter restarted, so the whole raw
+        // value is new.
+        const double previous =
+            series.hasLast ? series.lastRaw : raw;
+        point.delta = raw >= previous ? raw - previous : raw;
+        const double elapsed = t_seconds - lastSampleSeconds_;
+        point.rate = (samples_ > 0 && elapsed > 0.0)
+                         ? point.delta / elapsed
+                         : 0.0;
+    }
+    series.lastRaw = raw;
+    series.hasLast = true;
+
+    if (series.points.size() >= options_.capacity) {
+        series.points.pop_front();
+        ++series.dropped;
+    }
+    series.points.push_back(point);
+}
+
+void
+TimeSeriesSampler::start()
+{
+    std::lock_guard<std::mutex> lock(threadMutex_);
+    if (thread_.joinable())
+        return;
+    stopRequested_ = false;
+    thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(threadMutex_);
+        while (!stopRequested_) {
+            lock.unlock();
+            sampleOnce();
+            lock.lock();
+            threadCv_.wait_for(
+                lock,
+                std::chrono::duration<double>(
+                    options_.intervalSeconds),
+                [this] { return stopRequested_; });
+        }
+    });
+}
+
+void
+TimeSeriesSampler::stop()
+{
+    std::thread worker;
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        stopRequested_ = true;
+        worker = std::move(thread_);
+    }
+    threadCv_.notify_all();
+    if (worker.joinable())
+        worker.join();
+}
+
+std::uint64_t
+TimeSeriesSampler::sampleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+std::vector<SeriesSnapshot>
+TimeSeriesSampler::series() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SeriesSnapshot> out;
+    out.reserve(series_.size());
+    for (const auto& [name, series] : series_) {
+        SeriesSnapshot snap;
+        snap.name = name;
+        snap.kind = series.kind;
+        snap.dropped = series.dropped;
+        snap.points.assign(series.points.begin(),
+                           series.points.end());
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+JsonValue
+TimeSeriesSampler::toJson() const
+{
+    const std::vector<SeriesSnapshot> all = series();
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = JsonValue(kTimeSeriesSchema);
+    doc["samples"] = JsonValue(sampleCount());
+    JsonValue seriesJson = JsonValue::object();
+    for (const SeriesSnapshot& s : all) {
+        JsonValue one = JsonValue::object();
+        one["kind"] = JsonValue(s.kind);
+        if (s.dropped > 0)
+            one["dropped"] = JsonValue(s.dropped);
+        JsonValue points = JsonValue::array();
+        const bool cumulative = s.kind != "gauge";
+        for (const SeriesPoint& p : s.points) {
+            JsonValue point = JsonValue::object();
+            point["t"] = JsonValue(p.tSeconds);
+            point["value"] = JsonValue(p.value);
+            if (cumulative) {
+                point["delta"] = JsonValue(p.delta);
+                point["rate"] = JsonValue(p.rate);
+            }
+            points.push(std::move(point));
+        }
+        one["points"] = std::move(points);
+        seriesJson[s.name] = std::move(one);
+    }
+    doc["series"] = std::move(seriesJson);
+    return doc;
+}
+
+bool
+TimeSeriesSampler::writeTo(const std::string& path) const
+{
+    return writeTextAtomic(path, toJson().dump(2) + "\n");
+}
+
+void
+TimeSeriesSampler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    series_.clear();
+    samples_ = 0;
+    lastSampleSeconds_ = 0.0;
+}
+
+} // namespace qem::telemetry

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bounded time-series scraping of the MetricsRegistry.
+ *
+ * A TimeSeriesSampler turns the registry's point-in-time metrics
+ * into per-metric ring-buffer series suitable for dashboards and
+ * the statusz CLI: counters become delta/rate points (reset-aware:
+ * a value below the previous sample is treated as a restart, so
+ * the delta never goes negative), gauges record their raw value,
+ * and each histogram contributes a `<name>.count` rate series plus
+ * a `<name>.mean_seconds` series (mean of the samples recorded
+ * since the previous scrape — the per-stage latency signal).
+ *
+ * Determinism: the sampler never reads a wall clock unless asked
+ * to. sampleAt(t) is the golden-path API (tests inject timestamps);
+ * sampleOnce() uses the injected Options::clock, defaulting to
+ * steady-clock-since-construction; start() spins a background
+ * thread for live use. Exports serialize under the
+ * `invertq.timeseries/v1` schema.
+ */
+
+#ifndef QEM_TELEMETRY_TIMESERIES_HH
+#define QEM_TELEMETRY_TIMESERIES_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+
+namespace qem::telemetry
+{
+
+inline constexpr const char* kTimeSeriesSchema =
+    "invertq.timeseries/v1";
+
+/** One scraped point of one series. */
+struct SeriesPoint
+{
+    double tSeconds = 0.0;
+    /** Raw metric value at scrape time (cumulative for counters). */
+    double value = 0.0;
+    /** Increase since the previous scrape (counter-kind only). */
+    double delta = 0.0;
+    /** delta / elapsed; 0 for the first point (counter-kind only). */
+    double rate = 0.0;
+};
+
+/** Value-type copy of one series (what exporters consume). */
+struct SeriesSnapshot
+{
+    std::string name;
+    /** "counter", "gauge", or "derived" (histogram-derived). */
+    std::string kind;
+    /** Points evicted from the ring since the series appeared. */
+    std::uint64_t dropped = 0;
+    std::vector<SeriesPoint> points;
+};
+
+class TimeSeriesSampler
+{
+  public:
+    struct Options
+    {
+        /** Ring capacity per series; older points are dropped. */
+        std::size_t capacity = 512;
+        /** Background scrape cadence for start(). */
+        double intervalSeconds = 0.25;
+        /**
+         * Clock used by sampleOnce() and the background thread;
+         * empty means seconds since sampler construction
+         * (steady_clock). Tests inject a manual clock here or call
+         * sampleAt() directly.
+         */
+        std::function<double()> clock;
+    };
+
+    explicit TimeSeriesSampler(MetricsRegistry& registry);
+    TimeSeriesSampler(MetricsRegistry& registry, Options options);
+    ~TimeSeriesSampler();
+
+    TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+    TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+    /** Scrape now, timestamping with the configured clock. */
+    void sampleOnce();
+
+    /** Scrape with an explicit timestamp (deterministic path).
+     *  Non-monotonic timestamps are clamped for rate purposes. */
+    void sampleAt(double t_seconds);
+
+    /** Spin the background scrape thread (idempotent). */
+    void start();
+
+    /** Stop the background thread; safe to call repeatedly. */
+    void stop();
+
+    /** Total sampleAt/sampleOnce scrapes so far. */
+    std::uint64_t sampleCount() const;
+
+    /** Copies of every series, sorted by name. */
+    std::vector<SeriesSnapshot> series() const;
+
+    /** Full export, schema invertq.timeseries/v1. */
+    JsonValue toJson() const;
+
+    /** Serialize toJson() to @p path (atomic tmp+rename); false on
+     *  I/O failure. */
+    bool writeTo(const std::string& path) const;
+
+    /** Drop every series and the scrape count. */
+    void reset();
+
+  private:
+    struct Series
+    {
+        std::string kind;
+        double lastRaw = 0.0;
+        bool hasLast = false;
+        std::uint64_t dropped = 0;
+        std::deque<SeriesPoint> points;
+    };
+
+    void appendLocked(const std::string& name,
+                      const std::string& kind, double t_seconds,
+                      double raw, bool cumulative);
+    void scrapeLocked(double t_seconds);
+
+    MetricsRegistry& registry_;
+    Options options_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Series> series_;
+    std::uint64_t samples_ = 0;
+    double lastSampleSeconds_ = 0.0;
+
+    std::mutex threadMutex_;
+    std::condition_variable threadCv_;
+    std::thread thread_;
+    bool stopRequested_ = false;
+};
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_TIMESERIES_HH

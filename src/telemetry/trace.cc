@@ -1,0 +1,165 @@
+#include "telemetry/trace.hh"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "telemetry/manifest.hh"
+
+namespace qem::telemetry
+{
+
+namespace
+{
+
+constexpr double kMicros = 1e6;
+
+void
+collectTids(const SpanSnapshot& span, std::set<int>& tids)
+{
+    tids.insert(span.tid);
+    for (const SpanSnapshot& child : span.children)
+        collectTids(child, tids);
+}
+
+void
+appendSpanEvents(JsonValue& events, const SpanSnapshot& span)
+{
+    JsonValue event = JsonValue::object();
+    event["name"] = JsonValue(span.name);
+    event["cat"] = JsonValue("span");
+    event["ph"] = JsonValue("X");
+    event["ts"] = JsonValue(span.startSeconds * kMicros);
+    event["dur"] = JsonValue(span.durationSeconds * kMicros);
+    event["pid"] = JsonValue(kTracePid);
+    event["tid"] = JsonValue(span.tid);
+    if (!span.closed || !span.args.empty()) {
+        JsonValue args = JsonValue::object();
+        if (!span.closed)
+            args["open"] = JsonValue(true);
+        for (const auto& [name, delta] : span.args)
+            args[name] = JsonValue(delta);
+        event["args"] = std::move(args);
+    }
+    events.push(std::move(event));
+    for (const SpanSnapshot& child : span.children)
+        appendSpanEvents(events, child);
+}
+
+} // namespace
+
+JsonValue
+traceDocument(const SpanSnapshot& spans,
+              const TimeSeriesSampler* sampler)
+{
+    JsonValue events = JsonValue::array();
+    std::set<int> tids;
+    collectTids(spans, tids);
+
+    // Metadata first so viewers label tracks before any event
+    // references them. tid 0 is the thread that opened the first
+    // span (the session driver); workers follow in first-seen
+    // order.
+    for (const int tid : tids) {
+        JsonValue meta = JsonValue::object();
+        meta["name"] = JsonValue("thread_name");
+        meta["ph"] = JsonValue("M");
+        meta["pid"] = JsonValue(kTracePid);
+        meta["tid"] = JsonValue(tid);
+        JsonValue args = JsonValue::object();
+        std::ostringstream label;
+        if (tid == 0)
+            label << "main";
+        else
+            label << "worker-" << tid;
+        args["name"] = JsonValue(label.str());
+        meta["args"] = std::move(args);
+        events.push(std::move(meta));
+    }
+    appendSpanEvents(events, spans);
+
+    if (sampler) {
+        for (const SeriesSnapshot& series : sampler->series()) {
+            if (series.kind == "gauge")
+                continue; // Rates only; raw gauges stay in statusz.
+            for (const SeriesPoint& point : series.points) {
+                JsonValue event = JsonValue::object();
+                event["name"] = JsonValue(series.name);
+                event["ph"] = JsonValue("C");
+                event["ts"] = JsonValue(point.tSeconds * kMicros);
+                event["pid"] = JsonValue(kTracePid);
+                JsonValue args = JsonValue::object();
+                args["rate"] = JsonValue(point.rate);
+                event["args"] = std::move(args);
+                events.push(std::move(event));
+            }
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = JsonValue("ms");
+    return doc;
+}
+
+bool
+writeTrace(const std::string& path, const SpanSnapshot& spans,
+           const TimeSeriesSampler* sampler)
+{
+    return writeTextAtomic(
+        path, traceDocument(spans, sampler).dump(2) + "\n");
+}
+
+bool
+validateTraceJson(const std::string& text, std::string* error)
+{
+    const auto fail = [error](const std::string& why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(text);
+    } catch (const std::exception& e) {
+        return fail(std::string("parse error: ") + e.what());
+    }
+    if (!doc.isObject())
+        return fail("top level is not an object");
+    const JsonValue* events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+    std::size_t index = 0;
+    for (const JsonValue& event : events->items()) {
+        std::ostringstream at;
+        at << "event " << index++ << ": ";
+        if (!event.isObject())
+            return fail(at.str() + "not an object");
+        const JsonValue* ph = event.find("ph");
+        if (!ph || !ph->isString())
+            return fail(at.str() + "missing ph");
+        const std::string& phase = ph->asString();
+        const JsonValue* name = event.find("name");
+        if (!name || !name->isString())
+            return fail(at.str() + "missing name");
+        if (phase == "M")
+            continue; // Metadata events carry no timestamp.
+        const JsonValue* ts = event.find("ts");
+        if (!ts || !ts->isNumber() ||
+            !std::isfinite(ts->asDouble()))
+            return fail(at.str() + "missing finite ts");
+        if (phase == "X") {
+            const JsonValue* dur = event.find("dur");
+            if (!dur || !dur->isNumber() ||
+                !(dur->asDouble() >= 0.0))
+                return fail(at.str() +
+                            "X event without nonnegative dur");
+            const JsonValue* tid = event.find("tid");
+            if (!tid || !tid->isNumber())
+                return fail(at.str() + "X event without tid");
+        }
+    }
+    return true;
+}
+
+} // namespace qem::telemetry

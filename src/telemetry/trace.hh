@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Chrome trace_event exporter for the span tracer.
+ *
+ * traceDocument() converts a SpanSnapshot tree (plus, optionally,
+ * scraped time series) into the JSON object form of the Chrome
+ * tracing format, loadable in chrome://tracing and Perfetto:
+ *
+ *   {
+ *     "traceEvents": [
+ *       {"ph": "M", ...}                      thread-name metadata
+ *       {"ph": "X", "name", "cat": "span",
+ *        "ts": <us>, "dur": <us>,
+ *        "pid": 1, "tid": <span tid>,
+ *        "args": {<watched-counter deltas>}}  one per span
+ *       {"ph": "C", "name", "ts": <us>,
+ *        "args": {"value": ...}}              one per series point
+ *     ],
+ *     "displayTimeUnit": "ms"
+ *   }
+ *
+ * Timestamps are microseconds since the tracer epoch. tids are the
+ * tracer's stable per-thread ordinals (SpanSnapshot::tid), so one
+ * track per real thread appears in the viewer; still-open spans
+ * export their elapsed time and are tagged args.open=true.
+ */
+
+#ifndef QEM_TELEMETRY_TRACE_HH
+#define QEM_TELEMETRY_TRACE_HH
+
+#include <string>
+
+#include "telemetry/json.hh"
+#include "telemetry/span.hh"
+#include "telemetry/timeseries.hh"
+
+namespace qem::telemetry
+{
+
+/** Pid used for every exported event (single-process tracer). */
+inline constexpr int kTracePid = 1;
+
+/**
+ * Build the trace document. @p sampler, when non-null, contributes
+ * one Chrome counter ("C") event per scraped point of every
+ * counter-kind series, which Perfetto renders as rate graphs above
+ * the thread tracks.
+ */
+JsonValue traceDocument(const SpanSnapshot& spans,
+                        const TimeSeriesSampler* sampler = nullptr);
+
+/** Serialize traceDocument() to @p path (atomic write); false on
+ *  I/O failure. */
+bool writeTrace(const std::string& path, const SpanSnapshot& spans,
+                const TimeSeriesSampler* sampler = nullptr);
+
+/**
+ * Structural validity check used by tests and CI smoke: parses
+ * @p text and verifies the trace_event envelope (traceEvents array,
+ * every event carrying a string "ph" and finite "ts" where
+ * applicable). Returns false with @p error filled on any violation.
+ */
+bool validateTraceJson(const std::string& text, std::string* error);
+
+} // namespace qem::telemetry
+
+#endif // QEM_TELEMETRY_TRACE_HH

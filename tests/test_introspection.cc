@@ -1,0 +1,775 @@
+/**
+ * @file
+ * Live-introspection layer tests: time-series scraping, Chrome
+ * trace export, the per-job flight recorder, health probes, and
+ * RBMS staleness detection.
+ *
+ * The IntrospectionSoak suite is the PR's acceptance test: a small
+ * telemetry-on service soak must produce a valid trace_event JSON,
+ * an `invertq.timeseries/v1` export with at least three series, and
+ * a flight-recorder dump for every failed job. Artifacts land in
+ * $INVERTQ_STATUS_DIR when set (CI uploads them) or the test temp
+ * dir otherwise.
+ *
+ * The staleness tests follow docs/verification.md: both sides of
+ * every G-test are seeded, so the stable-machine case is a true
+ * null at the configured alpha and the drifted case is a
+ * reproducible rejection — a red run here is a real change.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "machine/drift.hh"
+#include "machine/machines.hh"
+#include "noise/trajectory.hh"
+#include "service/artifacts.hh"
+#include "service/job_service.hh"
+#include "service/staleness.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/health.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/timeseries.hh"
+#include "telemetry/trace.hh"
+#include "transpile/transpiler.hh"
+
+namespace qem
+{
+namespace
+{
+
+using telemetry::FlightEvent;
+using telemetry::FlightEventKind;
+using telemetry::FlightRecorder;
+using telemetry::FunctionProbe;
+using telemetry::HealthMonitor;
+using telemetry::HealthStatus;
+using telemetry::JsonValue;
+using telemetry::MetricsRegistry;
+using telemetry::ProbeResult;
+using telemetry::SeriesSnapshot;
+using telemetry::SpanTracer;
+using telemetry::TimeSeriesSampler;
+using svc::JobService;
+
+/** Every test starts and ends with pristine global telemetry. */
+class IntrospectionTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { telemetry::resetAll(); }
+    void TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::resetAll();
+    }
+};
+
+const SeriesSnapshot*
+findSeries(const std::vector<SeriesSnapshot>& all,
+           const std::string& name)
+{
+    for (const SeriesSnapshot& s : all) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+TEST_F(IntrospectionTest, SamplerCounterDeltaAndRate)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(registry);
+    registry.counter("jobs").add(4);
+    sampler.sampleAt(0.0);
+    registry.counter("jobs").add(10);
+    registry.gauge("depth").set(3.0);
+    sampler.sampleAt(2.0);
+
+    const auto all = sampler.series();
+    const SeriesSnapshot* jobs = findSeries(all, "jobs");
+    ASSERT_NE(jobs, nullptr);
+    EXPECT_EQ(jobs->kind, "counter");
+    ASSERT_EQ(jobs->points.size(), 2u);
+    // First point: no previous scrape, so rate is pinned to 0.
+    EXPECT_EQ(jobs->points[0].value, 4.0);
+    EXPECT_EQ(jobs->points[0].rate, 0.0);
+    EXPECT_EQ(jobs->points[1].value, 14.0);
+    EXPECT_EQ(jobs->points[1].delta, 10.0);
+    EXPECT_DOUBLE_EQ(jobs->points[1].rate, 5.0);
+
+    const SeriesSnapshot* depth = findSeries(all, "depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->kind, "gauge");
+    ASSERT_EQ(depth->points.size(), 1u)
+        << "gauge did not exist at the first scrape";
+    EXPECT_EQ(depth->points[0].value, 3.0);
+    EXPECT_EQ(sampler.sampleCount(), 2u);
+}
+
+TEST_F(IntrospectionTest, SamplerCounterResetReadsAsRestart)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(registry);
+    registry.counter("c").add(100);
+    sampler.sampleAt(0.0);
+    registry.counter("c").reset();
+    registry.counter("c").add(5);
+    sampler.sampleAt(1.0);
+
+    const auto all = sampler.series();
+    const SeriesSnapshot* c = findSeries(all, "c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_EQ(c->points.size(), 2u);
+    // A raw value below the previous scrape means the counter
+    // restarted; the delta must be the new raw value, not negative.
+    EXPECT_EQ(c->points[1].delta, 5.0);
+    EXPECT_DOUBLE_EQ(c->points[1].rate, 5.0);
+}
+
+TEST_F(IntrospectionTest, SamplerHistogramDerivesRateAndMean)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(registry);
+    registry.histogram("lat", {0.5, 1.0}).record(0.25);
+    registry.histogram("lat", {0.5, 1.0}).record(0.75);
+    sampler.sampleAt(1.0);
+
+    const auto all = sampler.series();
+    const SeriesSnapshot* count = findSeries(all, "lat.count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->kind, "derived");
+    EXPECT_EQ(count->points.back().value, 2.0);
+    const SeriesSnapshot* mean =
+        findSeries(all, "lat.mean_seconds");
+    ASSERT_NE(mean, nullptr);
+    EXPECT_DOUBLE_EQ(mean->points.back().value, 0.5);
+}
+
+TEST_F(IntrospectionTest, SamplerRingBoundsAndCountsDrops)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler::Options options;
+    options.capacity = 4;
+    TimeSeriesSampler sampler(registry, options);
+    registry.counter("c");
+    for (int i = 0; i < 10; ++i)
+        sampler.sampleAt(static_cast<double>(i));
+
+    const auto all = sampler.series();
+    const SeriesSnapshot* c = findSeries(all, "c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->points.size(), 4u);
+    EXPECT_EQ(c->dropped, 6u);
+    EXPECT_EQ(c->points.front().tSeconds, 6.0);
+    EXPECT_EQ(c->points.back().tSeconds, 9.0);
+}
+
+TEST_F(IntrospectionTest, SamplerNonMonotonicTimestampsClamp)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(registry);
+    registry.counter("c").add(1);
+    sampler.sampleAt(5.0);
+    registry.counter("c").add(1);
+    sampler.sampleAt(1.0); // Clock went backwards.
+    const auto all = sampler.series();
+    const SeriesSnapshot* c = findSeries(all, "c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->points.back().tSeconds, 5.0);
+    EXPECT_EQ(c->points.back().rate, 0.0)
+        << "zero elapsed time must not divide";
+}
+
+TEST_F(IntrospectionTest, SamplerExportsSchemaAndRoundTrips)
+{
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(registry);
+    registry.counter("a").add(1);
+    registry.gauge("b").set(2.0);
+    sampler.sampleAt(0.0);
+    sampler.sampleAt(1.0);
+
+    const JsonValue doc = sampler.toJson();
+    EXPECT_EQ(doc.find("schema")->asString(),
+              telemetry::kTimeSeriesSchema);
+    EXPECT_EQ(doc.find("samples")->asUint(), 2u);
+    const JsonValue* series = doc.find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_NE(series->find("a"), nullptr);
+    // Counter points carry delta/rate; gauge points must not.
+    const JsonValue& aPoint =
+        series->find("a")->find("points")->items().front();
+    EXPECT_NE(aPoint.find("rate"), nullptr);
+    const JsonValue& bPoint =
+        series->find("b")->find("points")->items().front();
+    EXPECT_EQ(bPoint.find("rate"), nullptr);
+
+    const std::string path =
+        ::testing::TempDir() + "introspection_timeseries.json";
+    ASSERT_TRUE(sampler.writeTo(path));
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ(JsonValue::parse(text.str()), doc);
+}
+
+TEST_F(IntrospectionTest, SamplerBackgroundThreadScrapes)
+{
+    MetricsRegistry registry;
+    registry.counter("c").add(1);
+    TimeSeriesSampler::Options options;
+    options.intervalSeconds = 1e-4;
+    TimeSeriesSampler sampler(registry, options);
+    sampler.start();
+    sampler.start(); // Idempotent.
+    while (sampler.sampleCount() < 3)
+        std::this_thread::yield();
+    sampler.stop();
+    sampler.stop(); // Safe to repeat.
+    EXPECT_GE(sampler.sampleCount(), 3u);
+    const auto all = sampler.series();
+    EXPECT_NE(findSeries(all, "c"), nullptr);
+}
+
+TEST_F(IntrospectionTest, TraceDocumentIsValidAndThreadCorrect)
+{
+    MetricsRegistry registry;
+    SpanTracer tracer;
+    tracer.watchCounters(&registry, {"work.items"});
+    {
+        SpanTracer::Scope outer = tracer.scoped("outer");
+        registry.counter("work.items").add(7);
+        std::thread worker([&tracer, &registry] {
+            SpanTracer::Scope s = tracer.scoped("worker.batch");
+            registry.counter("work.items").add(3);
+        });
+        worker.join();
+    }
+
+    const JsonValue doc = traceDocument(tracer.snapshot());
+    std::string error;
+    EXPECT_TRUE(
+        telemetry::validateTraceJson(doc.dump(), &error))
+        << error;
+
+    const JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::set<std::uint64_t> spanTids;
+    std::set<std::string> threadNames;
+    bool sawOuterArgs = false;
+    for (const JsonValue& event : events->items()) {
+        const std::string ph = event.find("ph")->asString();
+        if (ph == "M") {
+            threadNames.insert(event.find("args")
+                                   ->find("name")
+                                   ->asString());
+        } else if (ph == "X") {
+            spanTids.insert(event.find("tid")->asUint());
+            if (event.find("name")->asString() == "outer") {
+                const JsonValue* args = event.find("args");
+                ASSERT_NE(args, nullptr);
+                // The counter moved by 10 while "outer" was open
+                // (7 on the main thread + 3 on the worker).
+                EXPECT_EQ(args->find("work.items")->asUint(),
+                          10u);
+                sawOuterArgs = true;
+            }
+        }
+    }
+    // Two real threads -> two distinct span tids and two named
+    // thread tracks in the viewer.
+    EXPECT_EQ(spanTids.size(), 2u);
+    EXPECT_TRUE(threadNames.count("main"));
+    EXPECT_TRUE(sawOuterArgs);
+}
+
+TEST_F(IntrospectionTest, TraceCountersComeFromSampler)
+{
+    MetricsRegistry registry;
+    SpanTracer tracer;
+    TimeSeriesSampler sampler(registry);
+    registry.counter("service.shots").add(64);
+    sampler.sampleAt(0.0);
+    registry.counter("service.shots").add(64);
+    sampler.sampleAt(1.0);
+    {
+        SpanTracer::Scope s = tracer.scoped("run");
+    }
+
+    const JsonValue doc =
+        traceDocument(tracer.snapshot(), &sampler);
+    std::string error;
+    ASSERT_TRUE(
+        telemetry::validateTraceJson(doc.dump(), &error))
+        << error;
+    std::size_t counterEvents = 0;
+    for (const JsonValue& event :
+         doc.find("traceEvents")->items()) {
+        if (event.find("ph")->asString() == "C")
+            ++counterEvents;
+    }
+    EXPECT_EQ(counterEvents, 2u);
+}
+
+TEST_F(IntrospectionTest, TraceValidatorRejectsBrokenDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(telemetry::validateTraceJson("not json", &error));
+    EXPECT_FALSE(telemetry::validateTraceJson("[]", &error));
+    EXPECT_FALSE(
+        telemetry::validateTraceJson("{\"x\": 1}", &error));
+    EXPECT_FALSE(telemetry::validateTraceJson(
+        "{\"traceEvents\": [{\"name\": \"no-ph\"}]}", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(telemetry::validateTraceJson(
+        "{\"traceEvents\": []}", &error))
+        << error;
+}
+
+TEST_F(IntrospectionTest, FlightRecorderRingKeepsNewestEvents)
+{
+    FlightRecorder recorder(4);
+    for (int i = 0; i < 10; ++i) {
+        recorder.recordAt(static_cast<double>(i),
+                          FlightEventKind::Dispatch, i,
+                          static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(recorder.totalRecorded(), 10u);
+    EXPECT_EQ(recorder.droppedCount(), 6u);
+    const std::vector<FlightEvent> events = recorder.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 6 + i) << "oldest-first order";
+        EXPECT_EQ(events[i].batch,
+                  static_cast<std::int64_t>(6 + i));
+    }
+    const JsonValue dump = recorder.toJson();
+    ASSERT_EQ(dump.size(), 5u) << "drop marker + 4 events";
+    EXPECT_EQ(dump.items()[0].find("dropped")->asUint(), 6u);
+    EXPECT_EQ(dump.items()[1].find("event")->asString(),
+              "dispatch");
+}
+
+TEST_F(IntrospectionTest, FlightRecorderUsesInjectedClock)
+{
+    double now = 1.5;
+    FlightRecorder recorder(8, [&now] { return now; });
+    recorder.record(FlightEventKind::Enqueue);
+    now = 2.5;
+    recorder.record(FlightEventKind::Merge, -1, 64, "done");
+    const auto events = recorder.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].tSeconds, 1.5);
+    EXPECT_EQ(events[1].tSeconds, 2.5);
+    EXPECT_EQ(events[1].detail, "done");
+    EXPECT_EQ(std::string(telemetry::flightEventKindName(
+                  events[1].kind)),
+              "merge");
+}
+
+TEST_F(IntrospectionTest, HealthMonitorAggregatesAndPublishes)
+{
+    telemetry::setEnabled(true);
+    HealthMonitor monitor;
+    monitor.addProbe(std::make_shared<FunctionProbe>("ok", [] {
+        ProbeResult result;
+        result.status = HealthStatus::Healthy;
+        return result;
+    }));
+    monitor.addProbe(
+        std::make_shared<FunctionProbe>("wobbly", [] {
+            ProbeResult result;
+            result.status = HealthStatus::Degraded;
+            result.value = 0.8;
+            result.message = "80% full";
+            return result;
+        }));
+    ASSERT_EQ(monitor.probeCount(), 2u);
+
+    const std::vector<ProbeResult> results = monitor.checkAll();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(monitor.status(), HealthStatus::Degraded);
+
+    const auto snap = telemetry::metrics().snapshot();
+    EXPECT_EQ(snap.gauges.at("health.ok"), 0.0);
+    EXPECT_EQ(snap.gauges.at("health.wobbly"), 1.0);
+    EXPECT_EQ(snap.gauges.at("health.status"), 1.0);
+
+    const JsonValue json = monitor.toJson();
+    EXPECT_EQ(json.find("status")->asString(), "degraded");
+    EXPECT_EQ(json.find("probes")->size(), 2u);
+}
+
+TEST_F(IntrospectionTest, HealthProbeExceptionTurnsUnhealthy)
+{
+    HealthMonitor monitor;
+    monitor.addProbe(
+        std::make_shared<FunctionProbe>("broken", [] {
+            throw std::runtime_error("probe backend gone");
+            return ProbeResult();
+        }));
+    const auto results = monitor.checkAll();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, HealthStatus::Unhealthy);
+    EXPECT_NE(results[0].message.find("probe backend gone"),
+              std::string::npos);
+    EXPECT_EQ(monitor.status(), HealthStatus::Unhealthy);
+}
+
+TEST_F(IntrospectionTest, UtilizationThresholds)
+{
+    using telemetry::statusFromUtilization;
+    EXPECT_EQ(statusFromUtilization(0.1, 0.75, 0.95),
+              HealthStatus::Healthy);
+    EXPECT_EQ(statusFromUtilization(0.8, 0.75, 0.95),
+              HealthStatus::Degraded);
+    EXPECT_EQ(statusFromUtilization(0.99, 0.75, 0.95),
+              HealthStatus::Unhealthy);
+}
+
+// ---------------------------------------------------------------
+// RBMS staleness: seeded holdout replay vs the cached confusion
+// model. Stable machine => true null at alpha; drifted machine =>
+// reproducible rejection (ROADMAP item 3).
+// ---------------------------------------------------------------
+
+std::vector<Qubit>
+stalenessQubits()
+{
+    return {0, 1, 2};
+}
+
+svc::StalenessOptions
+stalenessOptions()
+{
+    svc::StalenessOptions options;
+    options.shotsPerState = 8192;
+    return options;
+}
+
+TEST_F(IntrospectionTest, StalenessProbeQuietOnStableMachine)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    auto cached = std::make_shared<svc::ConfusionCdf>(
+        machine.calibration(), stalenessQubits());
+    svc::RbmsStalenessProbe probe(
+        cached,
+        svc::holdoutFromCalibration(machine.calibration(),
+                                    stalenessQubits()),
+        stalenessOptions());
+
+    const ProbeResult result = probe.check();
+    EXPECT_EQ(result.status, HealthStatus::Healthy)
+        << result.message;
+    EXPECT_EQ(probe.checksRun(), 1u);
+    EXPECT_GE(probe.lastWorst().pValue, 1e-6);
+}
+
+TEST_F(IntrospectionTest, StalenessProbeTripsOnDriftedMachine)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    const DriftSchedule schedule(machine, 0.5);
+    // Profile on day 0, serve on day 7: readout rates have moved
+    // by recalibration-scale lognormal factors.
+    auto cached = std::make_shared<svc::ConfusionCdf>(
+        schedule.at(0).calibration(), stalenessQubits());
+    svc::RbmsStalenessProbe probe(
+        cached,
+        svc::holdoutFromCalibration(
+            schedule.at(7).calibration(), stalenessQubits()),
+        stalenessOptions());
+
+    const ProbeResult result = probe.check();
+    EXPECT_EQ(result.status, HealthStatus::Unhealthy)
+        << result.message;
+    EXPECT_LT(probe.lastWorst().pValue, 1e-6 / 2.0);
+}
+
+TEST_F(IntrospectionTest, StalenessGaugeFlipsThroughMonitor)
+{
+    telemetry::setEnabled(true);
+    const Machine machine = makeMachine("ibmqx4");
+    const DriftSchedule schedule(machine, 0.5);
+    auto cached = std::make_shared<svc::ConfusionCdf>(
+        schedule.at(0).calibration(), stalenessQubits());
+
+    HealthMonitor monitor;
+    monitor.addProbe(std::make_shared<svc::RbmsStalenessProbe>(
+        cached,
+        svc::holdoutFromCalibration(
+            schedule.at(7).calibration(), stalenessQubits()),
+        stalenessOptions()));
+    monitor.checkAll();
+    EXPECT_EQ(
+        telemetry::metrics().snapshot().gauges.at(
+            "health.rbms_stale"),
+        2.0);
+
+    // The same gauge stays quiet against the un-drifted machine.
+    telemetry::resetAll();
+    telemetry::setEnabled(true);
+    HealthMonitor stableMonitor;
+    stableMonitor.addProbe(
+        std::make_shared<svc::RbmsStalenessProbe>(
+            cached,
+            svc::holdoutFromCalibration(
+                schedule.at(0).calibration(), stalenessQubits()),
+            stalenessOptions()));
+    stableMonitor.checkAll();
+    EXPECT_EQ(
+        telemetry::metrics().snapshot().gauges.at(
+            "health.rbms_stale"),
+        0.0);
+}
+
+TEST_F(IntrospectionTest, DriftScheduleDayZeroIsTheBase)
+{
+    const Machine machine = makeMachine("ibmqx2");
+    const DriftSchedule schedule(machine, 0.3);
+    EXPECT_EQ(schedule.at(0).calibration().qubit(0).readoutP01,
+              machine.calibration().qubit(0).readoutP01);
+    // Day d is deterministic and actually drifted.
+    EXPECT_EQ(schedule.at(3).calibration().qubit(0).readoutP01,
+              schedule.at(3).calibration().qubit(0).readoutP01);
+    EXPECT_NE(schedule.at(3).calibration().qubit(0).readoutP01,
+              machine.calibration().qubit(0).readoutP01);
+    EXPECT_THROW(DriftSchedule(machine, -0.1),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Acceptance soak: a telemetry-on service run exports every
+// introspection artifact, and the dumps reconstruct failed jobs.
+// ---------------------------------------------------------------
+
+/** Where soak artifacts go: $INVERTQ_STATUS_DIR (CI uploads it)
+ *  or the gtest temp dir. Created if missing so a fresh CI
+ *  workspace needs no mkdir step. */
+std::string
+statusDir()
+{
+    if (const char* dir = std::getenv("INVERTQ_STATUS_DIR")) {
+        std::filesystem::create_directories(dir);
+        return std::string(dir) + "/";
+    }
+    return ::testing::TempDir();
+}
+
+/** Owns INVERTQ_FAULTS for a test (same idiom as ServiceSoak). */
+class IntrospectionSoak : public ::testing::Test
+{
+  protected:
+    IntrospectionSoak()
+    {
+        if (const char* ambient = std::getenv("INVERTQ_FAULTS")) {
+            saved_ = ambient;
+            unsetenv("INVERTQ_FAULTS");
+        }
+        telemetry::resetAll();
+    }
+
+    ~IntrospectionSoak() override
+    {
+        if (saved_)
+            setenv("INVERTQ_FAULTS", saved_->c_str(), 1);
+        else
+            unsetenv("INVERTQ_FAULTS");
+        telemetry::setEnabled(false);
+        telemetry::resetAll();
+    }
+
+  private:
+    std::optional<std::string> saved_;
+};
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST_F(IntrospectionSoak, TelemetryOnSoakExportsEveryArtifact)
+{
+    telemetry::setEnabled(true);
+    TimeSeriesSampler sampler(telemetry::metrics());
+
+    const Machine machine = makeMachine("ibmqx4");
+    const TrajectorySimulator prototype(machine.noiseModel(), 7);
+    const Circuit circuit =
+        Transpiler(machine)
+            .transpile(bernsteinVazirani(3, 0b101))
+            .circuit;
+
+    svc::ServiceOptions options;
+    options.numThreads = 4;
+    options.backoff.baseSeconds = 1e-5;
+    options.backoff.maxSeconds = 1e-4;
+    JobService service(options, 2019);
+    service.registerMachine("ibmqx4", prototype);
+    // A machine that is down from call 0: its jobs must fail and
+    // leave complete flight dumps behind.
+    ASSERT_EQ(setenv("INVERTQ_FAULTS", "after=0,kind=transient",
+                     1),
+              0);
+    service.registerMachine("dead", prototype);
+    ASSERT_EQ(unsetenv("INVERTQ_FAULTS"), 0);
+
+    std::vector<svc::JobHandle> good, bad;
+    for (std::uint64_t j = 0; j < 6; ++j) {
+        svc::JobOptions jobOptions;
+        jobOptions.tenant = "tenant" + std::to_string(j % 2);
+        jobOptions.jobKey = j;
+        jobOptions.batchSize = 64;
+        good.push_back(service.submit("ibmqx4", circuit, 256,
+                                      jobOptions));
+    }
+    sampler.sampleAt(0.0);
+    for (std::uint64_t j = 0; j < 2; ++j) {
+        svc::JobOptions jobOptions;
+        jobOptions.tenant = "unlucky";
+        jobOptions.jobKey = j;
+        jobOptions.batchSize = 64;
+        jobOptions.maxRetries = 1;
+        bad.push_back(
+            service.submit("dead", circuit, 128, jobOptions));
+    }
+    service.drain();
+    sampler.sampleAt(1.0);
+    sampler.sampleAt(2.0);
+
+    // --- Time-series export: >= 3 scraped series. ---
+    const std::string seriesPath =
+        statusDir() + "soak_timeseries.json";
+    ASSERT_TRUE(sampler.writeTo(seriesPath));
+    const JsonValue seriesDoc = JsonValue::parse(slurp(seriesPath));
+    EXPECT_EQ(seriesDoc.find("schema")->asString(),
+              telemetry::kTimeSeriesSchema);
+    EXPECT_GE(seriesDoc.find("series")->size(), 3u)
+        << seriesDoc.dump();
+    EXPECT_NE(seriesDoc.find("series")->find(
+                  "service.submitted_jobs"),
+              nullptr);
+
+    // --- Chrome trace export: structurally valid trace_event. ---
+    const std::string tracePath = statusDir() + "soak_trace.json";
+    ASSERT_TRUE(telemetry::writeTrace(
+        tracePath, telemetry::tracer().snapshot(), &sampler));
+    std::string error;
+    EXPECT_TRUE(
+        telemetry::validateTraceJson(slurp(tracePath), &error))
+        << error;
+
+    // --- Flight dumps: every failed job carries one. ---
+    for (const svc::JobHandle& handle : bad) {
+        ASSERT_EQ(handle.status(), svc::JobStatus::Failed);
+        const svc::JobRecord& record = handle.record();
+        ASSERT_FALSE(record.flight.empty());
+        std::vector<std::string> kinds;
+        for (const FlightEvent& event : record.flight)
+            kinds.push_back(
+                telemetry::flightEventKindName(event.kind));
+        EXPECT_EQ(kinds.front(), "enqueue");
+        EXPECT_NE(std::find(kinds.begin(), kinds.end(), "fail"),
+                  kinds.end());
+        EXPECT_EQ(kinds.back(), "audit");
+        // Sequence numbers are strictly increasing and timestamps
+        // monotone within one job's dump.
+        for (std::size_t i = 1; i < record.flight.size(); ++i) {
+            EXPECT_GT(record.flight[i].seq,
+                      record.flight[i - 1].seq);
+            EXPECT_GE(record.flight[i].tSeconds,
+                      record.flight[i - 1].tSeconds);
+        }
+    }
+    const auto snap = telemetry::metrics().snapshot();
+    EXPECT_EQ(snap.counters.at("service.flight_dumps"),
+              bad.size());
+
+    // --- Manifest: flight dumps and health in the audit log. ---
+    service.healthMonitor()->checkAll();
+    const std::string manifestPath =
+        statusDir() + "soak_manifest.json";
+    ASSERT_TRUE(service.writeSummary(manifestPath));
+    const JsonValue manifest =
+        JsonValue::parse(slurp(manifestPath));
+    ASSERT_NE(manifest.find("health"), nullptr);
+    EXPECT_EQ(
+        manifest.find("health")->find("status")->asString(),
+        "healthy");
+    const JsonValue* jobs = manifest.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    std::size_t dumpsInManifest = 0;
+    for (const JsonValue& job : jobs->items()) {
+        ASSERT_NE(job.find("queue_wait_seconds"), nullptr);
+        ASSERT_NE(job.find("exec_seconds"), nullptr);
+        if (job.find("flight") != nullptr)
+            ++dumpsInManifest;
+    }
+    // Telemetry was on for every submission, so every audited job
+    // (good and bad) carries its dump.
+    EXPECT_EQ(dumpsInManifest, good.size() + bad.size());
+
+    for (const svc::JobHandle& handle : good)
+        EXPECT_EQ(handle.status(), svc::JobStatus::Completed);
+}
+
+TEST_F(IntrospectionSoak, ServiceBuiltinProbesReadLiveState)
+{
+    JobService service(svc::ServiceOptions(), 7);
+    auto monitor = service.healthMonitor();
+    ASSERT_EQ(monitor, service.healthMonitor())
+        << "monitor must be created once";
+    EXPECT_GE(monitor->probeCount(), 3u);
+
+    const std::vector<ProbeResult> results = monitor->checkAll();
+    for (const ProbeResult& result : results) {
+        EXPECT_EQ(result.status, HealthStatus::Healthy)
+            << result.probe << ": " << result.message;
+    }
+    EXPECT_EQ(service.summary().health, HealthStatus::Healthy);
+    EXPECT_EQ(service.queueDepth(), 0u);
+    EXPECT_GT(service.queueCapacity(), 0u);
+    EXPECT_EQ(service.dispatchedBatches(), 0u);
+
+    const JsonValue manifest = service.summaryJson();
+    ASSERT_NE(manifest.find("health"), nullptr);
+    EXPECT_EQ(manifest.find("health")->find("probes")->size(),
+              results.size());
+}
+
+TEST_F(IntrospectionSoak, FlightRecorderOffByDefaultCostsNothing)
+{
+    const Machine machine = makeMachine("ibmqx2");
+    const TrajectorySimulator prototype(machine.noiseModel(), 3);
+    const Circuit circuit =
+        Transpiler(machine)
+            .transpile(bernsteinVazirani(2, 0b11))
+            .circuit;
+    JobService service(svc::ServiceOptions(), 11);
+    service.registerMachine("ibmqx2", prototype);
+    svc::JobHandle handle =
+        service.submit("ibmqx2", circuit, 128, {});
+    handle.wait();
+    EXPECT_TRUE(handle.record().flight.empty())
+        << "no recorder may be attached while telemetry is off";
+    EXPECT_EQ(handle.record().flightDropped, 0u);
+}
+
+} // namespace
+} // namespace qem

@@ -354,6 +354,136 @@ TEST_F(JobServiceTest, InteractiveDispatchesBeforeBackground)
     EXPECT_EQ(order[3], background.id());
 }
 
+/** Index of the first flight event of @p kind; -1 when absent. */
+int
+flightIndexOf(const svc::JobRecord& record,
+              telemetry::FlightEventKind kind)
+{
+    for (std::size_t i = 0; i < record.flight.size(); ++i) {
+        if (record.flight[i].kind == kind)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+TEST_F(JobServiceTest, QueueWaitExecuteSplitObeysInvariants)
+{
+    using telemetry::FlightEventKind;
+    auto gate = std::make_shared<GatedBackend::Gate>();
+    ServiceOptions options = serviceOptions(1);
+    options.flightRecorder = true; // No telemetry needed.
+    JobService service(options);
+    service.registerMachine("gated", GatedBackend(gate));
+    Circuit circuit(2);
+    circuit.measureAll();
+
+    JobHandle blocker = service.submit(
+        "gated", circuit, 64, jobOptions("alice", 0, 64));
+    while (blocker.status() != JobStatus::Running)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Waits at the queue while the blocker owns the only worker.
+    JobHandle waiter = service.submit(
+        "gated", circuit, 64, jobOptions("alice", 1, 64));
+    gate->release();
+    service.drain();
+
+    for (const JobHandle* handle : {&blocker, &waiter}) {
+        const svc::JobRecord& record = handle->record();
+        ASSERT_EQ(record.status, JobStatus::Completed);
+        EXPECT_GE(record.queueWaitSeconds, 0.0);
+        EXPECT_GE(record.execSeconds, 0.0);
+        // The split is exact, not approximate: wait + execute
+        // reconstructs the wall duration bit-for-bit.
+        EXPECT_DOUBLE_EQ(record.queueWaitSeconds +
+                             record.execSeconds,
+                         record.wallSeconds);
+
+        // Flight events tell the same story, in causal order.
+        const int enqueue =
+            flightIndexOf(record, FlightEventKind::Enqueue);
+        const int admit =
+            flightIndexOf(record, FlightEventKind::Admit);
+        const int dispatch =
+            flightIndexOf(record, FlightEventKind::Dispatch);
+        const int merge =
+            flightIndexOf(record, FlightEventKind::Merge);
+        const int audit =
+            flightIndexOf(record, FlightEventKind::Audit);
+        ASSERT_GE(enqueue, 0);
+        ASSERT_GE(admit, 0);
+        ASSERT_GE(dispatch, 0);
+        ASSERT_GE(merge, 0);
+        ASSERT_GE(audit, 0);
+        EXPECT_LT(enqueue, admit);
+        EXPECT_LT(admit, dispatch);
+        EXPECT_LT(dispatch, merge);
+        EXPECT_LT(merge, audit);
+        for (std::size_t i = 1; i < record.flight.size(); ++i) {
+            EXPECT_GT(record.flight[i].seq,
+                      record.flight[i - 1].seq);
+            EXPECT_GE(record.flight[i].tSeconds,
+                      record.flight[i - 1].tSeconds);
+        }
+    }
+    // The waiter demonstrably queued behind the blocker.
+    EXPECT_GT(waiter.record().queueWaitSeconds, 0.0);
+}
+
+TEST_F(JobServiceTest, CancelledBeforeDispatchIsPureQueueWait)
+{
+    auto gate = std::make_shared<GatedBackend::Gate>();
+    ServiceOptions options = serviceOptions(1);
+    options.flightRecorder = true;
+    JobService service(options);
+    service.registerMachine("gated", GatedBackend(gate));
+    Circuit circuit(2);
+    circuit.measureAll();
+
+    JobHandle blocker = service.submit(
+        "gated", circuit, 64, jobOptions("alice", 0, 64));
+    while (blocker.status() != JobStatus::Running)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    JobHandle victim = service.submit(
+        "gated", circuit, 64, jobOptions("alice", 1, 64));
+    ASSERT_TRUE(service.cancel(victim));
+    gate->release();
+    service.drain();
+
+    const svc::JobRecord& record = victim.record();
+    ASSERT_EQ(record.status, JobStatus::Cancelled);
+    // Never dispatched: the whole lifetime was queue wait.
+    EXPECT_DOUBLE_EQ(record.queueWaitSeconds,
+                     record.wallSeconds);
+    EXPECT_EQ(record.execSeconds, 0.0);
+    EXPECT_GE(flightIndexOf(record,
+                            telemetry::FlightEventKind::Cancel),
+              0);
+    EXPECT_EQ(flightIndexOf(
+                  record, telemetry::FlightEventKind::Dispatch),
+              -1);
+}
+
+TEST_F(JobServiceTest, AuditRecordJsonCarriesTheSplit)
+{
+    const TrajectorySimulator prototype(
+        makeMachine("ibmqx2").noiseModel(), 3);
+    JobService service(serviceOptions(2));
+    service.registerMachine("ibmqx2", prototype);
+    JobHandle handle =
+        service.submit("ibmqx2", physicalBv("ibmqx2", 2, 0b01),
+                       128, jobOptions("alice", 0, 64));
+    handle.wait();
+    const telemetry::JsonValue json = handle.record().toJson();
+    ASSERT_NE(json.find("queue_wait_seconds"), nullptr);
+    ASSERT_NE(json.find("exec_seconds"), nullptr);
+    EXPECT_DOUBLE_EQ(
+        json.find("queue_wait_seconds")->asDouble() +
+            json.find("exec_seconds")->asDouble(),
+        json.find("wall_seconds")->asDouble());
+    // Off-by-default recording: no flight dump in the record.
+    EXPECT_EQ(json.find("flight"), nullptr);
+}
+
 /**
  * Exact-counts golden pinning the service determinism contract
  * (schema invertq.service-exact/v1). Every record is one job's

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -297,6 +302,77 @@ TEST_F(TelemetryTest, ReportSinkRendersEverySection)
     EXPECT_NE(report.find("h: n=1"), std::string::npos);
 }
 
+TEST_F(TelemetryTest, JsonEscapesControlCharacters)
+{
+    JsonValue doc = JsonValue::object();
+    doc["k"] = JsonValue(std::string("a\x01" "b\x1f" "c\td"));
+    const std::string text = doc.dump();
+    // Raw control bytes are invalid JSON; they must leave as
+    // \u escapes (or the named short forms).
+    for (char c : text)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << text;
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_NE(text.find("\\u001f"), std::string::npos);
+    EXPECT_NE(text.find("\\t"), std::string::npos);
+    EXPECT_EQ(JsonValue::parse(text), doc);
+}
+
+TEST_F(TelemetryTest, JsonReplacesInvalidUtf8)
+{
+    // Hostile span/tenant names: stray continuation, truncated
+    // sequence, overlong encoding, surrogate half, out-of-range.
+    const std::string hostile[] = {
+        std::string("\x80"),
+        std::string("\xc3"),
+        std::string("\xc0\x80"),
+        std::string("\xed\xa0\x80"),
+        std::string("\xf5\x80\x80\x80"),
+        std::string("ok\xffmiddle"),
+    };
+    for (const std::string& name : hostile) {
+        JsonValue doc = JsonValue::object();
+        doc[name] = JsonValue(name);
+        const std::string text = doc.dump();
+        // The dump must parse (invalid bytes became U+FFFD).
+        EXPECT_NO_THROW((void)JsonValue::parse(text)) << text;
+        EXPECT_NE(text.find("\xef\xbf\xbd"), std::string::npos)
+            << text;
+    }
+    // Valid multibyte text passes through untouched.
+    JsonValue ok = JsonValue::object();
+    ok["gr\xc3\xbc\xc3\x9f"] = JsonValue("\xe2\x9c\x93 \xf0\x9f\x8e\x89");
+    const std::string text = ok.dump();
+    EXPECT_EQ(JsonValue::parse(text), ok);
+    EXPECT_NE(text.find("\xe2\x9c\x93"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonFuzzHostileNamesAlwaysEmitValidJson)
+{
+    // Deterministic byte-soup fuzz: whatever a tenant names their
+    // job, the manifest must stay parseable and stable.
+    std::mt19937 rng(20190814);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> length(0, 24);
+    for (int iteration = 0; iteration < 500; ++iteration) {
+        std::string name;
+        const int n = length(rng);
+        for (int i = 0; i < n; ++i)
+            name.push_back(static_cast<char>(byte(rng)));
+        JsonValue doc = JsonValue::object();
+        doc["name"] = JsonValue(name);
+        doc[name] = JsonValue(static_cast<std::uint64_t>(
+            static_cast<unsigned>(iteration)));
+        const std::string text = doc.dump();
+        JsonValue parsed;
+        ASSERT_NO_THROW(parsed = JsonValue::parse(text))
+            << "iteration " << iteration << ": " << text;
+        // Re-dumping the parsed document is a fixed point: the
+        // replacement characters are themselves valid UTF-8.
+        EXPECT_EQ(parsed.dump(), text) << "iteration "
+                                       << iteration;
+    }
+}
+
 TEST_F(TelemetryTest, ManifestBuildsAndParses)
 {
     RunInfo run;
@@ -321,6 +397,153 @@ TEST_F(TelemetryTest, ManifestBuildsAndParses)
                   ->find("c")
                   ->asUint(),
               5u);
+}
+
+/**
+ * Races the TSan CI leg replays: concurrent manifest writers and
+ * tracer resets against live spans (satellite of the introspection
+ * PR; see .github/workflows/ci.yml "soak" step).
+ */
+class TelemetryRace : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetAll(); }
+    void TearDown() override
+    {
+        setEnabled(false);
+        resetAll();
+    }
+};
+
+TEST_F(TelemetryRace, ManifestSinkConcurrentWritersStayValid)
+{
+    const std::string path =
+        ::testing::TempDir() + "race_manifest.json";
+    std::remove(path.c_str());
+
+    constexpr unsigned kWriters = 8;
+    constexpr int kEmits = 25;
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&path, t] {
+            MetricsRegistry registry;
+            registry.counter("writer").add(t);
+            SpanTracer tracer;
+            RunInfo run;
+            run.label = "race";
+            run.seed = t;
+            ManifestFileSink sink(path);
+            for (int i = 0; i < kEmits; ++i)
+                sink.emit(run, registry.snapshot(),
+                          tracer.snapshot());
+        });
+    }
+    for (std::thread& t : writers)
+        t.join();
+
+    // tmp+rename per emit: whoever renamed last, the file is one
+    // complete manifest, never an interleaving of two writers.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream text;
+    text << in.rdbuf();
+    JsonValue manifest;
+    ASSERT_NO_THROW(manifest = JsonValue::parse(text.str()))
+        << text.str();
+    EXPECT_EQ(manifest.find("schema")->asString(),
+              kManifestSchema);
+    EXPECT_EQ(manifest.find("run")->find("label")->asString(),
+              "race");
+}
+
+TEST_F(TelemetryRace, WriteTextAtomicPublishesWholePayloads)
+{
+    const std::string path =
+        ::testing::TempDir() + "race_atomic.txt";
+    std::remove(path.c_str());
+    constexpr unsigned kWriters = 8;
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&path, t] {
+            const std::string payload(
+                4096, static_cast<char>('a' + t));
+            for (int i = 0; i < 50; ++i)
+                ASSERT_TRUE(writeTextAtomic(path, payload));
+        });
+    }
+    for (std::thread& t : writers)
+        t.join();
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    const std::string content = text.str();
+    ASSERT_EQ(content.size(), 4096u);
+    // All 4096 bytes come from ONE writer.
+    for (char c : content)
+        EXPECT_EQ(c, content[0]);
+}
+
+TEST_F(TelemetryRace, TracerResetRacesActiveSpans)
+{
+    SpanTracer tracer;
+    MetricsRegistry registry;
+    tracer.watchCounters(&registry, {"race.counter"});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> spanners;
+    for (unsigned t = 0; t < 4; ++t) {
+        spanners.emplace_back([&tracer, &registry, &stop, t] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                SpanTracer::Scope outer = tracer.scoped(
+                    "outer" + std::to_string(t));
+                registry.counter("race.counter").add();
+                SpanTracer::Scope inner =
+                    tracer.scoped("inner");
+            }
+        });
+    }
+    for (int i = 0; i < 200; ++i) {
+        tracer.reset();
+        (void)tracer.snapshot();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : spanners)
+        t.join();
+
+    // Post-race the tracer must still work: generation checks
+    // discarded the orphaned closes, fresh spans land cleanly.
+    tracer.reset();
+    {
+        SpanTracer::Scope s = tracer.scoped("after");
+    }
+    const SpanSnapshot root = tracer.snapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].name, "after");
+    EXPECT_TRUE(root.children[0].closed);
+}
+
+TEST_F(TelemetryRace, GlobalResetRacesFacadeUse)
+{
+    setEnabled(true);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> users;
+    for (unsigned t = 0; t < 4; ++t) {
+        users.emplace_back([&stop] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                count("facade.counter");
+                gaugeSet("facade.gauge", 1.0);
+                SpanTracer::Scope s = span("facade.span");
+            }
+        });
+    }
+    for (int i = 0; i < 100; ++i)
+        resetAll();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : users)
+        t.join();
+    setEnabled(true);
+    count("facade.final");
+    EXPECT_GE(metrics().snapshot().counters.at("facade.final"),
+              1u);
 }
 
 } // namespace

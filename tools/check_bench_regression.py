@@ -10,7 +10,10 @@ warning plus the uploaded artifacts, not a red build.
 
 Rate counters (shots_per_sec, jobs_per_sec) are preferred when both
 sides have them; otherwise per-iteration real time is compared.
-Benchmarks that exist on only one side are reported informationally.
+Percentile counters (p50_/p95_/p99_-prefixed, e.g.
+p99_submit_to_audit_seconds from jobservice_bench) are latencies and
+compared lower-is-better, each one independently. Benchmarks that
+exist on only one side are reported informationally.
 
 Usage:
   check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
@@ -22,10 +25,14 @@ checked in one invocation with a shared tolerance.
 
 import argparse
 import json
+import re
 import sys
 
 # Rate counters understood by throughput(), in preference order.
 RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec")
+
+# Latency-percentile counters: lower is better.
+PERCENTILE_RE = re.compile(r"^p\d{1,3}_")
 
 
 def load_results(path):
@@ -56,6 +63,39 @@ def throughput(row):
     return 1.0 / real, "1/real_time"
 
 
+def percentiles(row):
+    """{counter: seconds} of every pNN_* latency counter."""
+    return {name: float(value)
+            for name, value in row.get("counters", {}).items()
+            if PERCENTILE_RE.match(name)}
+
+
+def check_percentiles(name, base_row, fresh_row, tolerance):
+    """Lower-is-better latency check; returns regressions found."""
+    base = percentiles(base_row)
+    fresh = percentiles(fresh_row)
+    regressions = 0
+    for counter in sorted(set(base) & set(fresh)):
+        base_v, new_v = base[counter], fresh[counter]
+        if base_v <= 0.0:
+            continue
+        ratio = new_v / base_v
+        marker = ""
+        if ratio > 1.0 + tolerance:
+            regressions += 1
+            marker = "  <-- REGRESSION"
+            print(f"::warning::bench regression: {name} "
+                  f"{counter} {base_v:.3g}s -> {new_v:.3g}s "
+                  f"({(ratio - 1.0) * 100:.0f}% slower, "
+                  f"tolerance {tolerance * 100:.0f}%)")
+        print(f"{name}: {counter} {base_v:.3g}s -> {new_v:.3g}s "
+              f"(x{ratio:.2f}){marker}")
+    for counter in sorted(set(base) ^ set(fresh)):
+        side = "baseline" if counter in base else "fresh run"
+        print(f"note: {name}: {counter} only in {side}")
+    return regressions
+
+
 def check_pair(baseline_path, fresh_path, tolerance):
     """Compare one baseline/fresh pair; returns the regression count."""
     baseline = load_results(baseline_path)
@@ -71,18 +111,20 @@ def check_pair(baseline_path, fresh_path, tolerance):
         new_v, new_kind = throughput(fresh[name])
         if base_v is None or new_v is None or base_kind != new_kind:
             print(f"note: {name}: not comparable, skipped")
-            continue
-        ratio = new_v / base_v
-        marker = ""
-        if ratio < 1.0 - tolerance:
-            regressions += 1
-            marker = "  <-- REGRESSION"
-            print(f"::warning::bench regression: {name} "
-                  f"{base_kind} {base_v:.3g} -> {new_v:.3g} "
-                  f"({(1.0 - ratio) * 100:.0f}% drop, "
-                  f"tolerance {tolerance * 100:.0f}%)")
-        print(f"{name}: {base_kind} {base_v:.3g} -> {new_v:.3g} "
-              f"(x{ratio:.2f}){marker}")
+        else:
+            ratio = new_v / base_v
+            marker = ""
+            if ratio < 1.0 - tolerance:
+                regressions += 1
+                marker = "  <-- REGRESSION"
+                print(f"::warning::bench regression: {name} "
+                      f"{base_kind} {base_v:.3g} -> {new_v:.3g} "
+                      f"({(1.0 - ratio) * 100:.0f}% drop, "
+                      f"tolerance {tolerance * 100:.0f}%)")
+            print(f"{name}: {base_kind} {base_v:.3g} -> {new_v:.3g} "
+                  f"(x{ratio:.2f}){marker}")
+        regressions += check_percentiles(name, baseline[name],
+                                         fresh[name], tolerance)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"note: {name} only in fresh run (new benchmark)")
     return regressions
