@@ -20,6 +20,8 @@
 #include "kernels/bv.hh"
 #include "mitigation/rbms.hh"
 #include "qsim/bitstring.hh"
+#include "qsim/gate.hh"
+#include "qsim/kernels/kernels.hh"
 #include "runtime/parallel_backend.hh"
 
 namespace
@@ -38,6 +40,10 @@ BM_ApplyHadamard(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() *
                             (std::int64_t{1} << n));
+    state.counters["amps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(std::int64_t{1} << n),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ApplyHadamard)->Arg(5)->Arg(10)->Arg(14)->Arg(20);
 
@@ -53,8 +59,90 @@ BM_ApplyCx(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() *
                             (std::int64_t{1} << n));
+    state.counters["amps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(std::int64_t{1} << n),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ApplyCx)->Arg(5)->Arg(10)->Arg(14)->Arg(20);
+
+/**
+ * Per-kernel dense-matrix apply throughput. One benchmark instance
+ * per compiled implementation (scalar always; avx2 when QEM_SIMD
+ * found -mavx2), pinned through kernels::setActive so the baselines
+ * track the portable reference and the SIMD path separately. The
+ * amps_per_sec counter — amplitudes touched per wall-clock second —
+ * is the comparison axis check_bench_regression.py watches. An
+ * instance whose implementation is not compiled in (e.g. the avx2
+ * row on the -DQEM_SIMD=OFF CI leg) skips with an error and is
+ * dropped from the JSON export rather than reporting a bogus zero.
+ */
+void
+BM_KernelApply1q(benchmark::State& state, kernels::Impl impl)
+{
+    const kernels::Impl saved = kernels::active();
+    if (!kernels::setActive(impl)) {
+        state.SkipWithError("kernel impl not compiled in");
+        return;
+    }
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const Matrix2 u = gateMatrix1q(GateKind::U3, {0.3, 0.2, 0.1});
+    StateVector sv(n);
+    for (auto _ : state) {
+        sv.applyMatrix1q(u, 0);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t{1} << n));
+    state.counters["amps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(std::int64_t{1} << n),
+        benchmark::Counter::kIsRate);
+    kernels::setActive(saved);
+}
+BENCHMARK_CAPTURE(BM_KernelApply1q, scalar, kernels::Impl::Scalar)
+    ->Arg(14)
+    ->Arg(20);
+BENCHMARK_CAPTURE(BM_KernelApply1q, avx2, kernels::Impl::Avx2)
+    ->Arg(14)
+    ->Arg(20);
+
+/**
+ * Dense 4x4 apply on qubits (2, 5): lo = 4 exercises the
+ * cache-blocked vectorized cell traversal, not the lo == 1 scalar
+ * fallback. This is the kernel gate fusion leans on (fused runs
+ * become MATRIX_2Q steps).
+ */
+void
+BM_KernelApply2q(benchmark::State& state, kernels::Impl impl)
+{
+    const kernels::Impl saved = kernels::active();
+    if (!kernels::setActive(impl)) {
+        state.SkipWithError("kernel impl not compiled in");
+        return;
+    }
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const Matrix4 u = gateMatrix2q(GateKind::CX);
+    StateVector sv(n);
+    sv.applyH(2);
+    for (auto _ : state) {
+        sv.applyMatrix2q(u, 2, 5);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t{1} << n));
+    state.counters["amps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(std::int64_t{1} << n),
+        benchmark::Counter::kIsRate);
+    kernels::setActive(saved);
+}
+BENCHMARK_CAPTURE(BM_KernelApply2q, scalar, kernels::Impl::Scalar)
+    ->Arg(14)
+    ->Arg(20);
+BENCHMARK_CAPTURE(BM_KernelApply2q, avx2, kernels::Impl::Avx2)
+    ->Arg(14)
+    ->Arg(20);
 
 void
 BM_AmplitudeDampingChannel(benchmark::State& state)
@@ -101,6 +189,37 @@ BM_TrajectoryBv(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_TrajectoryBv);
+
+/**
+ * Full-noise trajectories over a CCX ladder, with gate fusion off
+ * (fused:0) and on (fused:1). CCX decompositions are where fusion
+ * engages under full noise — every top-level unitary is chased by
+ * its own stochastic steps, so transpiled 1q/2q circuits fuse
+ * nothing (see noise/fusion.cc) — making this the honest
+ * fused-vs-unfused shots_per_sec comparison. The fused:0 row also
+ * guards the acceptance bar that the default (fusion off) path did
+ * not regress.
+ */
+void
+BM_TrajectoryCcx5(benchmark::State& state)
+{
+    const Machine machine = makeIbmqx4();
+    TrajectoryOptions opt;
+    opt.fuseGates = state.range(0) != 0;
+    TrajectorySimulator backend(machine.noiseModel(), 18, opt);
+    Circuit c(5);
+    c.h(0).cx(0, 1).ccx(0, 1, 2).cx(2, 3).ccx(2, 3, 4).measureAll();
+    constexpr std::size_t kShots = 1024;
+    for (auto _ : state) {
+        Counts counts = backend.run(c, kShots);
+        benchmark::DoNotOptimize(counts.total());
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kShots),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrajectoryCcx5)->ArgName("fused")->Arg(0)->Arg(1);
 
 /**
  * The readout-only configuration the mitigation policies run in

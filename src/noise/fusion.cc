@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Gate fusion over the lowered NoiseProgram step list.
+ *
+ * The pass walks the steps once, maintaining per-qubit pointers to
+ * the most recent *open* unitary: pend1[q] is an open 1q run on q,
+ * open2[q] an open 2q step touching q. A new 1q unitary multiplies
+ * into whichever is open (1q runs become one MATRIX_1Q; 1q gates
+ * before/after a 2q step fold into its 4x4); a 2q step fuses with an
+ * open 2q step on the *same pair* (operand order normalized via
+ * swapOperandOrder) and absorbs pending 1q runs on its operands.
+ *
+ * Correctness rests on two facts. (1) Unitary steps consume no RNG
+ * draws, so deleting/merging them cannot move any stochastic draw:
+ * the fused program consumes the rng stream bit-identically to the
+ * unfused one (pinned by a draw-stream test). (2) A run may resume
+ * past intervening steps on *other* qubits because operators with
+ * disjoint support commute exactly — stochastic steps close the
+ * pointers only for their own qubits. Amplitude rounding does change
+ * (one 4x4 product instead of a gate sequence), so sampled counts
+ * may shift within statistical noise; fused mode therefore keeps its
+ * own golden (tests/golden/trajectory_fused.json).
+ *
+ * Steps not touched by fusion keep their original kind, including
+ * the X/Z/H/CX/CZ/SWAP fast-path opcodes: a singleton H evolves via
+ * StateVector::applyH, bit-identical to the unfused program.
+ */
+
+#include <vector>
+
+#include "noise/noise_program.hh"
+
+namespace qem
+{
+
+namespace
+{
+
+bool
+is1qUnitary(NoiseStep::Kind k)
+{
+    return k == NoiseStep::Kind::X || k == NoiseStep::Kind::Z ||
+           k == NoiseStep::Kind::H ||
+           k == NoiseStep::Kind::MATRIX_1Q;
+}
+
+bool
+is2qUnitary(NoiseStep::Kind k)
+{
+    return k == NoiseStep::Kind::CX || k == NoiseStep::Kind::CZ ||
+           k == NoiseStep::Kind::SWAP ||
+           k == NoiseStep::Kind::MATRIX_2Q;
+}
+
+} // namespace
+
+void
+NoiseProgram::fuseUnitaryRuns()
+{
+    if (steps_.empty())
+        return;
+
+    struct Ent
+    {
+        NoiseStep s;
+        bool dead = false;
+        /** s materialized as an accumulating matrix (mat1/mat2). */
+        bool fused1 = false;
+        bool fused2 = false;
+        Matrix2 m1{};
+        Matrix4 m2{};
+    };
+
+    auto mat1Of = [this](const NoiseStep& s) -> Matrix2 {
+        switch (s.kind) {
+          case NoiseStep::Kind::X:
+            return gateMatrix1q(GateKind::X, {});
+          case NoiseStep::Kind::Z:
+            return gateMatrix1q(GateKind::Z, {});
+          case NoiseStep::Kind::H:
+            return gateMatrix1q(GateKind::H, {});
+          default:
+            return pool1q_[s.matrix];
+        }
+    };
+    auto mat2Of = [this](const NoiseStep& s) -> Matrix4 {
+        switch (s.kind) {
+          case NoiseStep::Kind::CX:
+            return gateMatrix2q(GateKind::CX);
+          case NoiseStep::Kind::CZ:
+            return gateMatrix2q(GateKind::CZ);
+          case NoiseStep::Kind::SWAP:
+            return gateMatrix2q(GateKind::SWAP);
+          default:
+            return pool2q_[s.matrix];
+        }
+    };
+
+    std::vector<Ent> out;
+    out.reserve(steps_.size());
+    // pend1[q] and open2[q] are mutually exclusive per qubit: a 1q
+    // gate under an open 2q step folds into it rather than opening a
+    // run, and registering a 2q step clears pend1 on its operands.
+    std::vector<int> pend1(compactQubits_, -1);
+    std::vector<int> open2(compactQubits_, -1);
+
+    for (const NoiseStep& s : steps_) {
+        if (is1qUnitary(s.kind)) {
+            const Qubit q = s.q0;
+            if (open2[q] >= 0) {
+                // Fold into the open 2q step: later gate multiplies
+                // on the left, embedded on this qubit's index bit.
+                Ent& e = out[static_cast<std::size_t>(open2[q])];
+                if (!e.fused2) {
+                    e.m2 = mat2Of(e.s);
+                    e.fused2 = true;
+                }
+                const unsigned bit = (q == e.s.q0) ? 0u : 1u;
+                e.m2 = matmul(embed1qIn2q(mat1Of(s), bit), e.m2);
+                ++fused_;
+                continue;
+            }
+            if (pend1[q] >= 0) {
+                Ent& e = out[static_cast<std::size_t>(pend1[q])];
+                if (!e.fused1) {
+                    e.m1 = mat1Of(e.s);
+                    e.fused1 = true;
+                }
+                e.m1 = matmul(mat1Of(s), e.m1);
+                ++fused_;
+                continue;
+            }
+            out.push_back({s, false, false, false, {}, {}});
+            pend1[q] = static_cast<int>(out.size()) - 1;
+            continue;
+        }
+        if (is2qUnitary(s.kind)) {
+            const Qubit a = s.q0;
+            const Qubit b = s.q1;
+            if (open2[a] >= 0 && open2[a] == open2[b]) {
+                // Same operand pair still open: one 4x4 product.
+                Ent& e = out[static_cast<std::size_t>(open2[a])];
+                if (!e.fused2) {
+                    e.m2 = mat2Of(e.s);
+                    e.fused2 = true;
+                }
+                Matrix4 m = mat2Of(s);
+                if (s.q0 != e.s.q0)
+                    m = swapOperandOrder(m);
+                e.m2 = matmul(m, e.m2);
+                ++fused_;
+                continue;
+            }
+            Ent ne{s, false, false, false, {}, {}};
+            // Absorb pending 1q runs on the operands: they executed
+            // *before* this step, so they multiply on the right.
+            for (const Qubit q : {a, b}) {
+                if (pend1[q] < 0)
+                    continue;
+                Ent& pe = out[static_cast<std::size_t>(pend1[q])];
+                if (!ne.fused2) {
+                    ne.m2 = mat2Of(ne.s);
+                    ne.fused2 = true;
+                }
+                const Matrix2 pm = pe.fused1 ? pe.m1 : mat1Of(pe.s);
+                const unsigned bit = (q == a) ? 0u : 1u;
+                ne.m2 = matmul(ne.m2, embed1qIn2q(pm, bit));
+                pe.dead = true;
+                ++fused_;
+            }
+            out.push_back(ne);
+            open2[a] = open2[b] = static_cast<int>(out.size()) - 1;
+            pend1[a] = pend1[b] = -1;
+            continue;
+        }
+        // Stochastic step: a barrier for its own qubits only —
+        // unitaries on disjoint qubits commute with it exactly, so
+        // runs elsewhere stay open.
+        out.push_back({s, false, false, false, {}, {}});
+        pend1[s.q0] = -1;
+        open2[s.q0] = -1;
+        if (s.kind == NoiseStep::Kind::GATE_ERROR_2Q) {
+            pend1[s.q1] = -1;
+            open2[s.q1] = -1;
+        }
+    }
+
+    // Rebuild the step list and matrix pools (fusion both adds new
+    // product matrices and orphans old pool entries).
+    std::vector<NoiseStep> steps;
+    std::vector<Matrix2> np1;
+    std::vector<Matrix4> np2;
+    auto intern1 = [&np1](const Matrix2& m) {
+        for (std::size_t i = 0; i < np1.size(); ++i)
+            if (np1[i] == m)
+                return static_cast<std::uint32_t>(i);
+        np1.push_back(m);
+        return static_cast<std::uint32_t>(np1.size() - 1);
+    };
+    auto intern2 = [&np2](const Matrix4& m) {
+        for (std::size_t i = 0; i < np2.size(); ++i)
+            if (np2[i] == m)
+                return static_cast<std::uint32_t>(i);
+        np2.push_back(m);
+        return static_cast<std::uint32_t>(np2.size() - 1);
+    };
+    steps.reserve(out.size());
+    for (const Ent& e : out) {
+        if (e.dead)
+            continue;
+        NoiseStep s = e.s;
+        if (e.fused1) {
+            s.kind = NoiseStep::Kind::MATRIX_1Q;
+            s.matrix = intern1(e.m1);
+        } else if (e.fused2) {
+            s.kind = NoiseStep::Kind::MATRIX_2Q;
+            s.matrix = intern2(e.m2);
+        } else if (s.kind == NoiseStep::Kind::MATRIX_1Q) {
+            s.matrix = intern1(pool1q_[s.matrix]);
+        } else if (s.kind == NoiseStep::Kind::MATRIX_2Q) {
+            s.matrix = intern2(pool2q_[s.matrix]);
+        }
+        steps.push_back(s);
+    }
+    steps_ = std::move(steps);
+    pool1q_ = std::move(np1);
+    pool2q_ = std::move(np2);
+}
+
+} // namespace qem

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * AVX2 amplitude kernels: two complex<double> per 256-bit vector.
+ *
+ * Bit-identity with the scalar reference is a hard contract (exact
+ * goldens sample from these amplitudes): every complex product is
+ * computed as mul + addsub in the same order as std::complex
+ * operator* — real = cr*xr - ci*xi, imag = cr*xi + ci*xr — and this
+ * translation unit is compiled with -mavx2 but WITHOUT -mfma, so
+ * neither the intrinsics nor the compiler can contract the multiply
+ * and add into a differently-rounded fused op. Each vector lane
+ * performs exactly the scalar arithmetic, so equality is structural,
+ * not approximate (pinned by tests/test_kernels.cc).
+ *
+ * Layout notes: a 256-bit vector holds [x0.re, x0.im, x1.re, x1.im].
+ * For stride >= 2 both halves of a 1q pair are contiguous runs of
+ * even length, so the inner loop is a straight 2-at-a-time sweep.
+ * For stride == 1 the (a0, a1) operands interleave in memory; two
+ * loads and 128-bit-lane permutes split them into an a0 vector and
+ * an a1 vector covering two adjacent pairs.
+ */
+
+#if !defined(__AVX2__)
+#error "avx2.cc must be compiled with -mavx2"
+#endif
+#if defined(__FMA__)
+#error "avx2.cc must NOT be compiled with -mfma (bit-identity)"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsim/kernels/kernels.hh"
+
+namespace qem::kernels
+{
+
+namespace
+{
+
+inline double*
+raw(Amplitude* amps)
+{
+    return reinterpret_cast<double*>(amps);
+}
+
+/** Splatted complex scalar: coefficient of one matrix entry. */
+struct Coef
+{
+    __m256d re;
+    __m256d im;
+
+    explicit Coef(const Amplitude& c)
+        : re(_mm256_set1_pd(c.real())),
+          im(_mm256_set1_pd(c.imag()))
+    {
+    }
+};
+
+/**
+ * c * x for two complex lanes, in std::complex evaluation order:
+ * even lane cr*xr - ci*xi, odd lane cr*xi + ci*xr (mul + addsub,
+ * never fused).
+ */
+inline __m256d
+cmul(const Coef& c, __m256d x)
+{
+    const __m256d xswap = _mm256_permute_pd(x, 0x5);
+    return _mm256_addsub_pd(_mm256_mul_pd(c.re, x),
+                            _mm256_mul_pd(c.im, xswap));
+}
+
+void
+avx2Apply1q(Amplitude* amps, std::size_t n, std::size_t stride,
+            const Matrix2& m)
+{
+    const Coef m0(m[0]), m1(m[1]), m2(m[2]), m3(m[3]);
+    if (stride == 1) {
+        // Pairs are interleaved: [a0 a1 | a0' a1']. Split two pairs
+        // into an a0 vector and an a1 vector, compute, re-interleave.
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            double* p = raw(amps + i);
+            const __m256d v0 = _mm256_loadu_pd(p);
+            const __m256d v1 = _mm256_loadu_pd(p + 4);
+            const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+            const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+            const __m256d r0 =
+                _mm256_add_pd(cmul(m0, a0), cmul(m1, a1));
+            const __m256d r1 =
+                _mm256_add_pd(cmul(m2, a0), cmul(m3, a1));
+            _mm256_storeu_pd(p, _mm256_permute2f128_pd(r0, r1,
+                                                       0x20));
+            _mm256_storeu_pd(p + 4,
+                             _mm256_permute2f128_pd(r0, r1, 0x31));
+        }
+        for (; i < n; i += 2) {
+            const Amplitude a0 = amps[i];
+            const Amplitude a1 = amps[i + 1];
+            amps[i] = m[0] * a0 + m[1] * a1;
+            amps[i + 1] = m[2] * a0 + m[3] * a1;
+        }
+        return;
+    }
+    // stride >= 2: both halves are contiguous even-length runs.
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        double* p0 = raw(amps + base);
+        double* p1 = raw(amps + base + stride);
+        for (std::size_t i = 0; i < 2 * stride; i += 4) {
+            const __m256d a0 = _mm256_loadu_pd(p0 + i);
+            const __m256d a1 = _mm256_loadu_pd(p1 + i);
+            _mm256_storeu_pd(
+                p0 + i, _mm256_add_pd(cmul(m0, a0), cmul(m1, a1)));
+            _mm256_storeu_pd(
+                p1 + i, _mm256_add_pd(cmul(m2, a0), cmul(m3, a1)));
+        }
+    }
+}
+
+void
+avx2Apply2q(Amplitude* amps, std::size_t n, std::size_t s0,
+            std::size_t s1, const Matrix4& m)
+{
+    const std::size_t lo = std::min(s0, s1);
+    const std::size_t hi = std::max(s0, s1);
+    if (lo == 1) {
+        // One operand is qubit 0: the cell's low pair interleaves in
+        // memory; keep the scalar reference loop (the cell update
+        // itself is the same arithmetic either way).
+        for (std::size_t a = 0; a < n; a += 2 * hi) {
+            for (std::size_t b = a; b < a + hi; b += 2) {
+                const std::size_t i01 = b + s0;
+                const std::size_t i10 = b + s1;
+                const std::size_t i11 = b + s0 + s1;
+                const Amplitude a00 = amps[b];
+                const Amplitude a01 = amps[i01];
+                const Amplitude a10 = amps[i10];
+                const Amplitude a11 = amps[i11];
+                amps[b] = m[0] * a00 + m[1] * a01 + m[2] * a10 +
+                          m[3] * a11;
+                amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 +
+                            m[7] * a11;
+                amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 +
+                            m[11] * a11;
+                amps[i11] = m[12] * a00 + m[13] * a01 +
+                            m[14] * a10 + m[15] * a11;
+            }
+        }
+        return;
+    }
+    const Coef c00(m[0]), c01(m[1]), c02(m[2]), c03(m[3]);
+    const Coef c10(m[4]), c11(m[5]), c12(m[6]), c13(m[7]);
+    const Coef c20(m[8]), c21(m[9]), c22(m[10]), c23(m[11]);
+    const Coef c30(m[12]), c31(m[13]), c32(m[14]), c33(m[15]);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            double* p00 = raw(amps + b);
+            double* p01 = raw(amps + b + s0);
+            double* p10 = raw(amps + b + s1);
+            double* p11 = raw(amps + b + s0 + s1);
+            for (std::size_t i = 0; i < 2 * lo; i += 4) {
+                const __m256d a00 = _mm256_loadu_pd(p00 + i);
+                const __m256d a01 = _mm256_loadu_pd(p01 + i);
+                const __m256d a10 = _mm256_loadu_pd(p10 + i);
+                const __m256d a11 = _mm256_loadu_pd(p11 + i);
+                _mm256_storeu_pd(
+                    p00 + i,
+                    _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(c00, a00),
+                                          cmul(c01, a01)),
+                            cmul(c02, a10)),
+                        cmul(c03, a11)));
+                _mm256_storeu_pd(
+                    p01 + i,
+                    _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(c10, a00),
+                                          cmul(c11, a01)),
+                            cmul(c12, a10)),
+                        cmul(c13, a11)));
+                _mm256_storeu_pd(
+                    p10 + i,
+                    _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(c20, a00),
+                                          cmul(c21, a01)),
+                            cmul(c22, a10)),
+                        cmul(c23, a11)));
+                _mm256_storeu_pd(
+                    p11 + i,
+                    _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(c30, a00),
+                                          cmul(c31, a01)),
+                            cmul(c32, a10)),
+                        cmul(c33, a11)));
+            }
+        }
+    }
+}
+
+void
+avx2ApplyH(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    static const double s2 = 1.0 / std::sqrt(2.0);
+    const __m256d vs2 = _mm256_set1_pd(s2);
+    if (stride == 1) {
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            double* p = raw(amps + i);
+            const __m256d v0 = _mm256_loadu_pd(p);
+            const __m256d v1 = _mm256_loadu_pd(p + 4);
+            const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+            const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+            const __m256d r0 =
+                _mm256_mul_pd(vs2, _mm256_add_pd(a0, a1));
+            const __m256d r1 =
+                _mm256_mul_pd(vs2, _mm256_sub_pd(a0, a1));
+            _mm256_storeu_pd(p, _mm256_permute2f128_pd(r0, r1,
+                                                       0x20));
+            _mm256_storeu_pd(p + 4,
+                             _mm256_permute2f128_pd(r0, r1, 0x31));
+        }
+        for (; i < n; i += 2) {
+            const Amplitude a0 = amps[i];
+            const Amplitude a1 = amps[i + 1];
+            amps[i] = s2 * (a0 + a1);
+            amps[i + 1] = s2 * (a0 - a1);
+        }
+        return;
+    }
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        double* p0 = raw(amps + base);
+        double* p1 = raw(amps + base + stride);
+        for (std::size_t i = 0; i < 2 * stride; i += 4) {
+            const __m256d a0 = _mm256_loadu_pd(p0 + i);
+            const __m256d a1 = _mm256_loadu_pd(p1 + i);
+            _mm256_storeu_pd(
+                p0 + i, _mm256_mul_pd(vs2, _mm256_add_pd(a0, a1)));
+            _mm256_storeu_pd(
+                p1 + i, _mm256_mul_pd(vs2, _mm256_sub_pd(a0, a1)));
+        }
+    }
+}
+
+/** Negate 2*count doubles starting at p (sign-bit flip, exact). */
+inline void
+negateRun(double* p, std::size_t count2)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    std::size_t i = 0;
+    for (; i + 4 <= count2; i += 4) {
+        _mm256_storeu_pd(
+            p + i, _mm256_xor_pd(_mm256_loadu_pd(p + i), sign));
+    }
+    for (; i < count2; ++i)
+        p[i] = -p[i];
+}
+
+/** Swap two non-overlapping runs of 2*count doubles. */
+inline void
+swapRun(double* a, double* b, std::size_t count2)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= count2; i += 4) {
+        const __m256d va = _mm256_loadu_pd(a + i);
+        const __m256d vb = _mm256_loadu_pd(b + i);
+        _mm256_storeu_pd(a + i, vb);
+        _mm256_storeu_pd(b + i, va);
+    }
+    for (; i < count2; ++i)
+        std::swap(a[i], b[i]);
+}
+
+void
+avx2ApplyX(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        swapRun(raw(amps + base), raw(amps + base + stride),
+                2 * stride);
+    }
+}
+
+void
+avx2ApplyZ(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    for (std::size_t base = stride; base < n; base += 2 * stride)
+        negateRun(raw(amps + base), 2 * stride);
+}
+
+void
+avx2ApplyCX(Amplitude* amps, std::size_t n, std::size_t cb,
+            std::size_t tb)
+{
+    const std::size_t lo = std::min(cb, tb);
+    const std::size_t hi = std::max(cb, tb);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            swapRun(raw(amps + b + cb), raw(amps + b + cb + tb),
+                    2 * lo);
+        }
+    }
+}
+
+void
+avx2ApplyCZ(Amplitude* amps, std::size_t n, std::size_t mask)
+{
+    const std::size_t lo = mask & (~mask + 1);
+    const std::size_t hi = mask ^ lo;
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo)
+            negateRun(raw(amps + b + mask), 2 * lo);
+    }
+}
+
+void
+avx2ApplySwap(Amplitude* amps, std::size_t n, std::size_t ab,
+              std::size_t bb)
+{
+    const std::size_t lo = std::min(ab, bb);
+    const std::size_t hi = std::max(ab, bb);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            swapRun(raw(amps + b + ab), raw(amps + b + bb),
+                    2 * lo);
+        }
+    }
+}
+
+} // namespace
+
+const KernelTable&
+avx2Table()
+{
+    static const KernelTable table = {
+        "avx2",      avx2Apply1q, avx2Apply2q, avx2ApplyH,
+        avx2ApplyX,  avx2ApplyZ,  avx2ApplyCX, avx2ApplyCZ,
+        avx2ApplySwap,
+    };
+    return table;
+}
+
+} // namespace qem::kernels

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Runtime kernel selection.
+ *
+ * One binary serves every machine: the AVX2 table is picked on first
+ * use when (a) it was compiled in (QEM_SIMD / QEM_KERNELS_AVX2) and
+ * (b) the CPU reports the ISA. The QEM_KERNELS environment variable
+ * forces a specific implementation ("scalar" or "avx2") for A/B
+ * comparisons and the no-SIMD CI leg; an unavailable forced choice
+ * falls back to the default with no error (the fuzz suite proves the
+ * implementations are bit-identical, so the fallback is safe).
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "qsim/kernels/kernels.hh"
+
+namespace qem::kernels
+{
+
+#if defined(QEM_KERNELS_AVX2)
+const KernelTable& avx2Table();
+#endif
+
+namespace detail
+{
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+namespace
+{
+
+bool
+cpuHasAvx2()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+const KernelTable*
+tableFor(Impl impl)
+{
+    switch (impl) {
+    case Impl::Scalar:
+        return &scalarTable();
+    case Impl::Avx2:
+#if defined(QEM_KERNELS_AVX2)
+        if (cpuHasAvx2())
+            return &avx2Table();
+#endif
+        return nullptr;
+    }
+    return nullptr;
+}
+
+const KernelTable*
+defaultTable()
+{
+    if (const char* forced = std::getenv("QEM_KERNELS")) {
+        if (std::strcmp(forced, "scalar") == 0)
+            return &scalarTable();
+        if (std::strcmp(forced, "avx2") == 0) {
+            if (const KernelTable* t = tableFor(Impl::Avx2))
+                return t;
+        }
+    }
+    if (const KernelTable* t = tableFor(Impl::Avx2))
+        return t;
+    return &scalarTable();
+}
+
+} // namespace
+
+const KernelTable&
+resolveActive()
+{
+    const KernelTable* chosen = defaultTable();
+    const KernelTable* expected = nullptr;
+    // Another thread may have raced us; either winner is the same
+    // deterministic choice.
+    g_active.compare_exchange_strong(expected, chosen,
+                                     std::memory_order_acq_rel);
+    return *g_active.load(std::memory_order_acquire);
+}
+
+} // namespace detail
+
+Impl
+active()
+{
+    const KernelTable& t = detail::activeTable();
+#if defined(QEM_KERNELS_AVX2)
+    if (&t == &avx2Table())
+        return Impl::Avx2;
+#endif
+    (void)t;
+    return Impl::Scalar;
+}
+
+bool
+setActive(Impl impl)
+{
+    const KernelTable* t = detail::tableFor(impl);
+    if (t == nullptr)
+        return false;
+    detail::g_active.store(t, std::memory_order_release);
+    return true;
+}
+
+bool
+available(Impl impl)
+{
+    return detail::tableFor(impl) != nullptr;
+}
+
+std::vector<Impl>
+availableImpls()
+{
+    std::vector<Impl> impls{Impl::Scalar};
+    if (available(Impl::Avx2))
+        impls.push_back(Impl::Avx2);
+    return impls;
+}
+
+const char*
+name(Impl impl)
+{
+    switch (impl) {
+    case Impl::Scalar:
+        return "scalar";
+    case Impl::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+} // namespace qem::kernels

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Amplitude-update kernels behind the dense state vector.
+ *
+ * Every hot loop of StateVector — the generic 1q/2q matrix applies,
+ * the named fast paths (X/Z/H/CX/CZ/SWAP) — routes through one of
+ * the implementations registered here. The portable scalar kernels
+ * (scalar.cc) are the semantic reference; the AVX2 kernels
+ * (avx2.cc, built when the QEM_SIMD CMake option finds -mavx2)
+ * vectorize the same loops two complex amplitudes at a time.
+ *
+ * Bit-identity contract: the SIMD kernels are written WITHOUT fused
+ * multiply-add (plain mul + addsub, matching the evaluation order
+ * of std::complex arithmetic) and the AVX2 translation unit is
+ * compiled without -mfma, so every implementation produces
+ * bit-identical amplitudes. Switching kernels can therefore never
+ * move a sampled count or invalidate an exact-counts golden; the
+ * fuzz suite in tests/test_kernels.cc pins this.
+ *
+ * Selection: the fastest implementation the CPU supports is chosen
+ * on first use (runtime dispatch — one binary serves AVX2 and
+ * pre-AVX2 machines). The QEM_KERNELS environment variable
+ * ("scalar", "avx2") or setActive() overrides the choice; tests and
+ * benchmarks use this to compare implementations in-process.
+ * setActive() is not synchronized against concurrently executing
+ * kernels — switch only while no state vector is being evolved.
+ */
+
+#ifndef QEM_QSIM_KERNELS_KERNELS_HH
+#define QEM_QSIM_KERNELS_KERNELS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "qsim/gate.hh"
+#include "qsim/types.hh"
+
+namespace qem::kernels
+{
+
+/**
+ * One kernel implementation: a named table of amplitude-update
+ * routines over a raw 2^n amplitude array.
+ *
+ * Strides are powers of two (1 << qubit). apply2q's s0/s1 are the
+ * strides of the qubits mapped to matrix index bits 0/1; the
+ * traversal visits each aligned 4-amplitude cell once, walking the
+ * smaller stride contiguously (cache-blocked for large strides).
+ */
+struct KernelTable
+{
+    const char* name;
+    void (*apply1q)(Amplitude* amps, std::size_t n,
+                    std::size_t stride, const Matrix2& m);
+    void (*apply2q)(Amplitude* amps, std::size_t n, std::size_t s0,
+                    std::size_t s1, const Matrix4& m);
+    void (*applyH)(Amplitude* amps, std::size_t n,
+                   std::size_t stride);
+    void (*applyX)(Amplitude* amps, std::size_t n,
+                   std::size_t stride);
+    void (*applyZ)(Amplitude* amps, std::size_t n,
+                   std::size_t stride);
+    void (*applyCX)(Amplitude* amps, std::size_t n, std::size_t cb,
+                    std::size_t tb);
+    void (*applyCZ)(Amplitude* amps, std::size_t n,
+                    std::size_t mask);
+    void (*applySwap)(Amplitude* amps, std::size_t n,
+                      std::size_t ab, std::size_t bb);
+};
+
+/** Kernel implementations, in dispatch preference order. */
+enum class Impl
+{
+    Scalar,
+    Avx2,
+};
+
+/** Portable reference implementation (always available). */
+const KernelTable& scalarTable();
+
+/** The implementation currently serving StateVector. */
+Impl active();
+
+/**
+ * Force an implementation. Returns false (and leaves the active
+ * table unchanged) when @p impl was compiled out or the CPU lacks
+ * the ISA. Not synchronized against running kernels.
+ */
+bool setActive(Impl impl);
+
+/** Is @p impl compiled in and supported by this CPU? */
+bool available(Impl impl);
+
+/** Every available implementation, scalar first. */
+std::vector<Impl> availableImpls();
+
+/** Human-readable implementation name ("scalar", "avx2"). */
+const char* name(Impl impl);
+
+namespace detail
+{
+
+extern std::atomic<const KernelTable*> g_active;
+
+/** Resolve the active table, selecting the default on first use. */
+const KernelTable& resolveActive();
+
+inline const KernelTable&
+activeTable()
+{
+    const KernelTable* t =
+        g_active.load(std::memory_order_acquire);
+    return t ? *t : resolveActive();
+}
+
+} // namespace detail
+
+/** @name Hot-path wrappers over the active implementation. */
+/// @{
+inline void
+apply1q(Amplitude* amps, std::size_t n, std::size_t stride,
+        const Matrix2& m)
+{
+    detail::activeTable().apply1q(amps, n, stride, m);
+}
+
+inline void
+apply2q(Amplitude* amps, std::size_t n, std::size_t s0,
+        std::size_t s1, const Matrix4& m)
+{
+    detail::activeTable().apply2q(amps, n, s0, s1, m);
+}
+
+inline void
+applyH(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    detail::activeTable().applyH(amps, n, stride);
+}
+
+inline void
+applyX(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    detail::activeTable().applyX(amps, n, stride);
+}
+
+inline void
+applyZ(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    detail::activeTable().applyZ(amps, n, stride);
+}
+
+inline void
+applyCX(Amplitude* amps, std::size_t n, std::size_t cb,
+        std::size_t tb)
+{
+    detail::activeTable().applyCX(amps, n, cb, tb);
+}
+
+inline void
+applyCZ(Amplitude* amps, std::size_t n, std::size_t mask)
+{
+    detail::activeTable().applyCZ(amps, n, mask);
+}
+
+inline void
+applySwap(Amplitude* amps, std::size_t n, std::size_t ab,
+          std::size_t bb)
+{
+    detail::activeTable().applySwap(amps, n, ab, bb);
+}
+/// @}
+
+} // namespace qem::kernels
+
+#endif // QEM_QSIM_KERNELS_KERNELS_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Portable scalar reference kernels.
+ *
+ * These are the semantic ground truth every other implementation
+ * must reproduce bit-for-bit (see kernels.hh). The 1q loops keep
+ * the exact evaluation order of the original StateVector members;
+ * the 2q traversal is cache-blocked: instead of scanning all 2^n
+ * indices and branching on the operand bits, it enumerates the
+ * aligned 4-amplitude cells directly with the smaller operand
+ * stride walked contiguously in the innermost loop, so each cell is
+ * visited once and the four access streams stay sequential. Cell
+ * updates are independent, so the visit order cannot change a
+ * single bit of the result.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsim/kernels/kernels.hh"
+
+namespace qem::kernels
+{
+
+namespace
+{
+
+void
+scalarApply1q(Amplitude* amps, std::size_t n, std::size_t stride,
+              const Matrix2& m)
+{
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            const Amplitude a0 = amps[i];
+            const Amplitude a1 = amps[i + stride];
+            amps[i] = m[0] * a0 + m[1] * a1;
+            amps[i + stride] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+scalarApply2q(Amplitude* amps, std::size_t n, std::size_t s0,
+              std::size_t s1, const Matrix4& m)
+{
+    const std::size_t lo = std::min(s0, s1);
+    const std::size_t hi = std::max(s0, s1);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            for (std::size_t k = b; k < b + lo; ++k) {
+                const std::size_t i00 = k;
+                const std::size_t i01 = k + s0;
+                const std::size_t i10 = k + s1;
+                const std::size_t i11 = k + s0 + s1;
+                const Amplitude a00 = amps[i00];
+                const Amplitude a01 = amps[i01];
+                const Amplitude a10 = amps[i10];
+                const Amplitude a11 = amps[i11];
+                amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 +
+                            m[3] * a11;
+                amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 +
+                            m[7] * a11;
+                amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 +
+                            m[11] * a11;
+                amps[i11] = m[12] * a00 + m[13] * a01 +
+                            m[14] * a10 + m[15] * a11;
+            }
+        }
+    }
+}
+
+void
+scalarApplyH(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    static const double s2 = 1.0 / std::sqrt(2.0);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            const Amplitude a0 = amps[i];
+            const Amplitude a1 = amps[i + stride];
+            amps[i] = s2 * (a0 + a1);
+            amps[i + stride] = s2 * (a0 - a1);
+        }
+    }
+}
+
+void
+scalarApplyX(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        std::swap_ranges(amps + base, amps + base + stride,
+                         amps + base + stride);
+    }
+}
+
+void
+scalarApplyZ(Amplitude* amps, std::size_t n, std::size_t stride)
+{
+    for (std::size_t base = stride; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i)
+            amps[i] = -amps[i];
+    }
+}
+
+void
+scalarApplyCX(Amplitude* amps, std::size_t n, std::size_t cb,
+              std::size_t tb)
+{
+    // Swap (control=1, target=0) with (control=1, target=1) once
+    // per cell.
+    const std::size_t lo = std::min(cb, tb);
+    const std::size_t hi = std::max(cb, tb);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            std::swap_ranges(amps + b + cb, amps + b + cb + lo,
+                             amps + b + cb + tb);
+        }
+    }
+}
+
+void
+scalarApplyCZ(Amplitude* amps, std::size_t n, std::size_t mask)
+{
+    // mask has exactly two bits set; negate cells with both set.
+    const std::size_t lo = mask & (~mask + 1);
+    const std::size_t hi = mask ^ lo;
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            for (std::size_t k = b + mask; k < b + mask + lo; ++k)
+                amps[k] = -amps[k];
+        }
+    }
+}
+
+void
+scalarApplySwap(Amplitude* amps, std::size_t n, std::size_t ab,
+                std::size_t bb)
+{
+    const std::size_t lo = std::min(ab, bb);
+    const std::size_t hi = std::max(ab, bb);
+    for (std::size_t a = 0; a < n; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            std::swap_ranges(amps + b + ab, amps + b + ab + lo,
+                             amps + b + bb);
+        }
+    }
+}
+
+} // namespace
+
+const KernelTable&
+scalarTable()
+{
+    static const KernelTable table = {
+        "scalar",      scalarApply1q, scalarApply2q, scalarApplyH,
+        scalarApplyX,  scalarApplyZ,  scalarApplyCX, scalarApplyCZ,
+        scalarApplySwap,
+    };
+    return table;
+}
+
+} // namespace qem::kernels

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "qsim/kernels/kernels.hh"
+
 namespace qem
 {
 
@@ -38,118 +40,55 @@ StateVector::resetTo(BasisState s)
 void
 StateVector::applyMatrix1q(const Matrix2& m, Qubit q)
 {
-    const std::size_t stride = std::size_t{1} << q;
-    const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-        for (std::size_t i = base; i < base + stride; ++i) {
-            const Amplitude a0 = amps_[i];
-            const Amplitude a1 = amps_[i + stride];
-            amps_[i] = m[0] * a0 + m[1] * a1;
-            amps_[i + stride] = m[2] * a0 + m[3] * a1;
-        }
-    }
+    kernels::apply1q(amps_.data(), amps_.size(),
+                     std::size_t{1} << q, m);
 }
 
 void
 StateVector::applyMatrix2q(const Matrix4& m, Qubit q0, Qubit q1)
 {
-    const std::size_t b0 = std::size_t{1} << q0;
-    const std::size_t b1 = std::size_t{1} << q1;
-    const std::size_t n = amps_.size();
-    const std::size_t mask = b0 | b1;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (i & mask)
-            continue; // Only visit indices with both operand bits 0.
-        const std::size_t i00 = i;
-        const std::size_t i01 = i | b0;
-        const std::size_t i10 = i | b1;
-        const std::size_t i11 = i | b0 | b1;
-        const Amplitude a00 = amps_[i00];
-        const Amplitude a01 = amps_[i01];
-        const Amplitude a10 = amps_[i10];
-        const Amplitude a11 = amps_[i11];
-        amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
-        amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
-        amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 +
-                     m[11] * a11;
-        amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 +
-                     m[15] * a11;
-    }
+    kernels::apply2q(amps_.data(), amps_.size(),
+                     std::size_t{1} << q0, std::size_t{1} << q1, m);
 }
 
 void
 StateVector::applyX(Qubit q)
 {
-    const std::size_t stride = std::size_t{1} << q;
-    const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-        for (std::size_t i = base; i < base + stride; ++i)
-            std::swap(amps_[i], amps_[i + stride]);
-    }
+    kernels::applyX(amps_.data(), amps_.size(), std::size_t{1} << q);
 }
 
 void
 StateVector::applyZ(Qubit q)
 {
-    const std::size_t stride = std::size_t{1} << q;
-    const std::size_t n = amps_.size();
-    for (std::size_t base = stride; base < n; base += 2 * stride) {
-        for (std::size_t i = base; i < base + stride; ++i)
-            amps_[i] = -amps_[i];
-    }
+    kernels::applyZ(amps_.data(), amps_.size(), std::size_t{1} << q);
 }
 
 void
 StateVector::applyH(Qubit q)
 {
-    static const double s2 = 1.0 / std::sqrt(2.0);
-    const std::size_t stride = std::size_t{1} << q;
-    const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-        for (std::size_t i = base; i < base + stride; ++i) {
-            const Amplitude a0 = amps_[i];
-            const Amplitude a1 = amps_[i + stride];
-            amps_[i] = s2 * (a0 + a1);
-            amps_[i + stride] = s2 * (a0 - a1);
-        }
-    }
+    kernels::applyH(amps_.data(), amps_.size(), std::size_t{1} << q);
 }
 
 void
 StateVector::applyCX(Qubit control, Qubit target)
 {
-    const std::size_t cb = std::size_t{1} << control;
-    const std::size_t tb = std::size_t{1} << target;
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        // Swap pairs once: visit only (control=1, target=0) indices.
-        if ((i & cb) && !(i & tb))
-            std::swap(amps_[i], amps_[i | tb]);
-    }
+    kernels::applyCX(amps_.data(), amps_.size(),
+                     std::size_t{1} << control,
+                     std::size_t{1} << target);
 }
 
 void
 StateVector::applyCZ(Qubit a, Qubit b)
 {
-    const std::size_t mask = (std::size_t{1} << a) |
-                             (std::size_t{1} << b);
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((i & mask) == mask)
-            amps_[i] = -amps_[i];
-    }
+    kernels::applyCZ(amps_.data(), amps_.size(),
+                     (std::size_t{1} << a) | (std::size_t{1} << b));
 }
 
 void
 StateVector::applySwap(Qubit a, Qubit b)
 {
-    const std::size_t ab = std::size_t{1} << a;
-    const std::size_t bb = std::size_t{1} << b;
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((i & ab) && !(i & bb))
-            std::swap(amps_[i], amps_[(i & ~ab) | bb]);
-    }
+    kernels::applySwap(amps_.data(), amps_.size(),
+                       std::size_t{1} << a, std::size_t{1} << b);
 }
 
 void
@@ -225,8 +164,10 @@ StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
     const std::size_t n = amps_.size();
     const double r = rng.uniform();
     double cumulative = 0.0;
-    std::size_t chosen = kraus.size() - 1;
+    std::size_t chosen = kraus.size();
     double chosenNorm = 0.0;
+    std::size_t bestK = 0;
+    double bestNorm = -1.0;
     for (std::size_t k = 0; k < kraus.size(); ++k) {
         const Matrix2& m = kraus[k];
         double p = 0.0;
@@ -239,11 +180,25 @@ StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
             }
         }
         cumulative += p;
-        chosenNorm = p;
+        if (p > bestNorm) {
+            bestNorm = p;
+            bestK = k;
+        }
         if (cumulative > r) {
             chosen = k;
+            chosenNorm = p;
             break;
         }
+    }
+    if (chosen == kraus.size()) {
+        // Round-off fall-through: the cumulative branch norms summed
+        // to < r (sub-unit trace, or FP drift on a nominally
+        // trace-preserving channel). The old behavior defaulted to
+        // the *last* branch, which can have ~0 norm and leave a null
+        // state; pick the largest-norm branch instead — every branch
+        // was already evaluated to get here, so this is free.
+        chosen = bestK;
+        chosenNorm = bestNorm;
     }
 
     applyMatrix1q(kraus[chosen], q);
@@ -252,7 +207,7 @@ StateVector::applyKraus1q(std::span<const Matrix2> kraus, Qubit q,
     // entirely for a branch that preserved the norm (the identity
     // Kraus fast case).
     if (chosenNorm <= 0.0)
-        normalize(); // Degenerate branch: preserve the throw.
+        normalize(); // All branches annihilate: preserve the throw.
     else if (std::abs(chosenNorm - 1.0) > 1e-12) {
         const double scale = 1.0 / std::sqrt(chosenNorm);
         for (Amplitude& a : amps_)
@@ -285,6 +240,21 @@ StateVector::applyAmplitudeDamping(Qubit q, double gamma, Rng& rng)
         return {true, true};
     }
     // No-jump K0 = diag(1, sqrt(1-g)); branch norm is 1 - p_jump.
+    if (1.0 - p_jump <= 0.0) {
+        // Degenerate: p_jump rounded to 1 but the draw said no-jump
+        // (unreachable with Rng::bernoulli, which short-circuits
+        // p >= 1, but guarded so the rescale can never produce inf).
+        // The no-jump branch has zero norm; collapse into the only
+        // physical outcome, the jump.
+        const double scale = 1.0 / std::sqrt(p1);
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                amps_[i] = amps_[i + stride] * scale;
+                amps_[i + stride] = 0.0;
+            }
+        }
+        return {true, true};
+    }
     const double inv = 1.0 / std::sqrt(1.0 - p_jump);
     const double keep = std::sqrt(1.0 - gamma) * inv;
     for (std::size_t base = 0; base < n; base += 2 * stride) {
@@ -319,6 +289,19 @@ StateVector::applyPhaseDamping(Qubit q, double lambda, Rng& rng)
         return {true, true};
     }
     // No-jump K0 = diag(1, sqrt(1-lambda)).
+    if (1.0 - p_jump <= 0.0) {
+        // Degenerate: same guard as amplitude damping — collapse
+        // into the zero-norm-complement jump outcome (|1> here)
+        // rather than rescaling by 1/sqrt(0).
+        const double scale = 1.0 / std::sqrt(p1);
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                amps_[i] = 0.0;
+                amps_[i + stride] *= scale;
+            }
+        }
+        return {true, true};
+    }
     const double inv = 1.0 / std::sqrt(1.0 - p_jump);
     const double keep = std::sqrt(1.0 - lambda) * inv;
     for (std::size_t base = 0; base < n; base += 2 * stride) {
@@ -405,7 +388,11 @@ StateVector::probabilities() const
 BasisState
 StateVector::sample(Rng& rng) const
 {
-    double r = rng.uniform();
+    // Scale the draw by the total norm (as sampleInto does): on a
+    // sub-normalized state an unscaled uniform over-runs the
+    // probability mass and biases toward the fall-through last basis
+    // state.
+    double r = rng.uniform() * norm();
     for (std::size_t i = 0; i < amps_.size(); ++i) {
         r -= std::norm(amps_[i]);
         if (r < 0.0)

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tier-2 cross-checks for gate-fused trajectory programs.
+ *
+ * Fused evolution applies the same unitary as the unfused program
+ * (one 4x4 product instead of a gate run), so its sampled
+ * distribution must converge to the same analytic law. Two tracks:
+ *
+ * 1. Oracle track: fused trajectory runs on the paper machines are
+ *    G-tested against the ExactOracle's density-matrix distribution
+ *    (shotsPerTrajectory=1, so shots are iid and the multinomial
+ *    G-test applies as-is — see test_oracle_paper.cc for why).
+ * 2. Equivalence track: fused vs unfused runs of the same circuit
+ *    are two-sample G-tested against each other.
+ *
+ * CCX-bearing circuits are used deliberately: under full noise the
+ * only fusable unitary adjacency is inside multi-step
+ * decompositions, so a transpiled 1q/2q circuit would exercise the
+ * knob without exercising the fusion (fusedSteps() == 0). The
+ * ASSERT_GT guards keep these tests honest about that.
+ *
+ * Costs density-matrix evolutions plus 2x65536-shot sampled runs,
+ * hence the tier2 label (nightly, not per-commit).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bv.hh"
+#include "machine/machines.hh"
+#include "noise/noise_program.hh"
+#include "noise/trajectory.hh"
+#include "qsim/bitstring.hh"
+#include "transpile/transpiler.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
+
+namespace qem
+{
+namespace
+{
+
+constexpr double kAlpha = 1e-6;
+constexpr std::size_t kShots = 65536;
+
+Circuit
+ccxLadder()
+{
+    Circuit c(5);
+    c.h(0).cx(0, 1).ccx(0, 1, 2).cx(2, 3).ccx(2, 3, 4).measureAll();
+    return c;
+}
+
+TEST(FusionOracle, FusedCountsMatchExactDistribution)
+{
+    for (const char* name : {"ibmqx2", "ibmqx4"}) {
+        const Machine machine = makeMachine(name);
+        const Circuit c = ccxLadder();
+        TrajectoryOptions opt;
+        opt.fuseGates = true;
+        opt.shotsPerTrajectory = 1; // iid shots for the G-test.
+        ASSERT_GT(NoiseProgram::lower(c, machine.noiseModel(), opt)
+                      .fusedSteps(),
+                  0u)
+            << name << ": circuit must actually fuse";
+
+        TrajectorySimulator sim(machine.noiseModel(), 4242, opt);
+        const verify::ExactOracle oracle(machine);
+        ASSERT_TRUE(oracle.supports(c));
+        const auto check = verify::checkDistribution(
+            sim.run(c, kShots), oracle.observedDistribution(c),
+            kAlpha);
+        EXPECT_TRUE(check) << name << ": " << check.message;
+    }
+}
+
+TEST(FusionOracle, FusedTranspiledBvMatchesExactDistribution)
+{
+    // Transpiled BV fuses nothing under full noise (every unitary is
+    // chased by its own stochastic steps), but the knob must still
+    // be distribution-neutral on the paper workload family.
+    for (const char* name : {"ibmqx2", "ibmqx4"}) {
+        const Machine machine = makeMachine(name);
+        const Transpiler transpiler(machine);
+        const Circuit c =
+            transpiler.transpile(bernsteinVazirani(4, 0b0111))
+                .circuit;
+        TrajectoryOptions opt;
+        opt.fuseGates = true;
+        opt.shotsPerTrajectory = 1;
+        TrajectorySimulator sim(machine.noiseModel(), 777, opt);
+        const verify::ExactOracle oracle(machine);
+        ASSERT_TRUE(oracle.supports(c));
+        const auto check = verify::checkDistribution(
+            sim.run(c, kShots), oracle.observedDistribution(c),
+            kAlpha);
+        EXPECT_TRUE(check) << name << ": " << check.message;
+    }
+}
+
+TEST(FusionOracle, FusedAndUnfusedRunsAgreeDistributionally)
+{
+    for (const char* name : {"ibmqx2", "ibmqx4"}) {
+        const Machine machine = makeMachine(name);
+        const Circuit c = ccxLadder();
+        TrajectoryOptions plainOpt;
+        plainOpt.shotsPerTrajectory = 1;
+        TrajectoryOptions fusedOpt = plainOpt;
+        fusedOpt.fuseGates = true;
+        TrajectorySimulator plain(machine.noiseModel(), 91,
+                                  plainOpt);
+        TrajectorySimulator fused(machine.noiseModel(), 92,
+                                  fusedOpt);
+        const auto check = verify::checkSameDistribution(
+            plain.run(c, kShots), fused.run(c, kShots), kAlpha);
+        EXPECT_TRUE(check) << name << ": " << check.message;
+    }
+}
+
+} // namespace
+} // namespace qem

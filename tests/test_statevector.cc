@@ -306,5 +306,122 @@ TEST(StateVector, ApplyOperationRejectsNonUnitary)
     EXPECT_THROW(s.applyOperation(meas), std::invalid_argument);
 }
 
+TEST(StateVector, SampleScalesDrawByNormOnSubNormalizedState)
+{
+    // Regression: sample(Rng&) used an unscaled uniform, so on a
+    // sub-normalized state every draw past the total mass fell
+    // through to the *last* basis state. With the mass concentrated
+    // on |01> and total norm 0.25, the old sampler returned |11>
+    // for ~75% of draws; the norm-scaled draw always hits |01>.
+    StateVector s(2);
+    s.setAmplitude(0, {0.0, 0.0});
+    s.setAmplitude(1, {0.5, 0.0});
+    Rng rng(101);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(s.sample(rng), 1u) << i;
+}
+
+TEST(StateVector, SampleUnbiasedWithinRenormalizeSkipWindow)
+{
+    // The realistic trigger: post-Kraus norm drift inside the 1e-12
+    // renormalize-skip window leaves norm = 1 - eps; the sampler
+    // must still distribute mass over the support only, never the
+    // fall-through state.
+    const double half = std::sqrt(0.5 * (1.0 - 1e-9));
+    StateVector s(2);
+    s.setAmplitude(0, {half, 0.0});
+    s.setAmplitude(3, {half, 0.0});
+    Rng rng(202);
+    int seen[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 2000; ++i) {
+        const BasisState x = s.sample(rng);
+        ASSERT_TRUE(x == 0 || x == 3) << x;
+        ++seen[x];
+    }
+    // Roughly even split over the support (5 sigma ~ 112).
+    EXPECT_GT(seen[0], 800);
+    EXPECT_GT(seen[3], 800);
+}
+
+TEST(StateVector, KrausFallThroughPicksLargestNormBranch)
+{
+    // Crafted sub-trace channel: branch norms sum to 0.3, so any
+    // draw r >= 0.3 exhausts the cumulative scan. The old code
+    // defaulted to the *last* branch — here a zero matrix, which
+    // nulls the state and makes normalize() throw logic_error. The
+    // fix falls back to the largest-norm branch.
+    const double a = std::sqrt(0.3);
+    const Matrix2 scaledId{Amplitude{a, 0.0}, Amplitude{0.0, 0.0},
+                           Amplitude{0.0, 0.0}, Amplitude{a, 0.0}};
+    const Matrix2 zero{Amplitude{0.0, 0.0}, Amplitude{0.0, 0.0},
+                       Amplitude{0.0, 0.0}, Amplitude{0.0, 0.0}};
+    const std::vector<Matrix2> channel{scaledId, zero};
+    Rng rng(303);
+    bool sawFallThrough = false;
+    for (int i = 0; i < 64; ++i) {
+        StateVector s(1);
+        s.applyMatrix1q(gateMatrix1q(GateKind::RY, {0.8}), 0);
+        // Peek whether this iteration's draw lands past the trace.
+        Rng peek = rng;
+        if (peek.uniform() >= 0.3)
+            sawFallThrough = true;
+        std::size_t chosen = 0;
+        ASSERT_NO_THROW(chosen = s.applyKraus1q(channel, 0, rng));
+        EXPECT_EQ(chosen, 0u) << i;
+        EXPECT_NEAR(s.norm(), 1.0, 1e-9) << i;
+    }
+    // The loop must actually have exercised the fall-through path.
+    ASSERT_TRUE(sawFallThrough);
+}
+
+TEST(StateVector, DampingNearCertainJumpNeverProducesInf)
+{
+    // gamma -> 1 on a (nearly) fully excited qubit drives the
+    // no-jump rescale factor 1/sqrt(1 - p_jump) toward inf. The
+    // degenerate case collapses deterministically instead; sweep
+    // the boundary and assert finite, normalized output always.
+    const double nearOne = std::nextafter(1.0, 0.0);
+    Rng rng(404);
+    for (const double gamma : {1.0, nearOne}) {
+        for (int i = 0; i < 200; ++i) {
+            StateVector s(1);
+            s.applyX(0); // p1 == 1 exactly.
+            const auto r = s.applyAmplitudeDamping(0, gamma, rng);
+            EXPECT_TRUE(r.applied);
+            const double n = s.norm();
+            ASSERT_TRUE(std::isfinite(n));
+            ASSERT_NEAR(n, 1.0, 1e-9);
+            if (gamma == 1.0) {
+                // Full damping on |1> must land on |0>.
+                EXPECT_TRUE(r.jumped);
+                EXPECT_NEAR(s.probabilityOf(0), 1.0, 1e-9);
+            }
+        }
+        for (int i = 0; i < 200; ++i) {
+            StateVector s(1);
+            s.applyX(0);
+            const auto r = s.applyPhaseDamping(0, gamma, rng);
+            EXPECT_TRUE(r.applied);
+            const double n = s.norm();
+            ASSERT_TRUE(std::isfinite(n));
+            ASSERT_NEAR(n, 1.0, 1e-9);
+            if (gamma == 1.0) {
+                // Full dephasing jump projects onto |1>.
+                EXPECT_TRUE(r.jumped);
+                EXPECT_NEAR(s.probabilityOne(0), 1.0, 1e-9);
+            }
+        }
+    }
+    // Superposition states at the boundary: the rescale factors are
+    // large but must stay finite and re-normalize exactly.
+    for (int i = 0; i < 200; ++i) {
+        StateVector s(1);
+        s.applyMatrix1q(gateMatrix1q(GateKind::RY, {2.7}), 0);
+        s.applyAmplitudeDamping(0, nearOne, rng);
+        ASSERT_TRUE(std::isfinite(s.norm()));
+        ASSERT_NEAR(s.norm(), 1.0, 1e-9);
+    }
+}
+
 } // namespace
 } // namespace qem

@@ -8,8 +8,9 @@ dropped by more than the tolerance. Always exits 0: shared CI
 runners are too noisy for a hard gate, so the signal is a visible
 warning plus the uploaded artifacts, not a red build.
 
-Rate counters (shots_per_sec, jobs_per_sec) are preferred when both
-sides have them; otherwise per-iteration real time is compared.
+Rate counters (shots_per_sec, jobs_per_sec, amps_per_sec) are
+preferred when both sides have them; otherwise per-iteration real
+time is compared.
 Percentile counters (p50_/p95_/p99_-prefixed, e.g.
 p99_submit_to_audit_seconds from jobservice_bench) are latencies and
 compared lower-is-better, each one independently. Benchmarks that
@@ -29,7 +30,9 @@ import re
 import sys
 
 # Rate counters understood by throughput(), in preference order.
-RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec")
+# amps_per_sec is the gate-kernel axis (amplitudes touched per
+# second by a dense matrix apply, see bench/perf_microbench.cc).
+RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec", "amps_per_sec")
 
 # Latency-percentile counters: lower is better.
 PERCENTILE_RE = re.compile(r"^p\d{1,3}_")
