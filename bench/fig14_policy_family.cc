@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cross-policy shootout: the paper's SIM/AIM against their 2020-21
+ * descendants — Readout Rebalancing (arXiv:2010.07496) and Bit-Flip
+ * Averaging (arXiv:2106.05800) — on BV/GHZ/QAOA across all three
+ * modeled machines, with expectation-value metrics and ExactOracle
+ * TVD columns beside PST.
+ *
+ * The question (ROADMAP item 2): does AIM's sampled canary still
+ * beat the data-free prefix (Rebalance) and the randomized twirl
+ * (BFA)? Expected shape: Rebalance ~ AIM on single-answer
+ * workloads (BV, GHZ) where the ideal prediction is unambiguous,
+ * behind AIM on QAOA (two optimal partitions, only one protected);
+ * BFA trades PST for unbiased expectation values.
+ *
+ * JSON rows are shaped for tools/check_bench_regression.py: one
+ * row per (machine, benchmark, policy) with a `pst` counter
+ * (higher-is-better), so CI diffs the whole grid against
+ * bench/baselines/BENCH_fig14_policy_family.json.
+ */
+
+#include <cstdio>
+
+#include "harness/bench_io.hh"
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace qem;
+
+namespace
+{
+
+/** The three paper workload families, one instance each. */
+std::vector<NisqBenchmark>
+shootoutWorkloads()
+{
+    return {makeBvBenchmark("bv-4A", 4, "0111"),
+            makeGhzBenchmark("ghz-4", 4),
+            makeQaoaBenchmark("qaoa-4A", cycleGraph(4), 1,
+                              "0101")};
+}
+
+std::string
+fmtTvd(double value)
+{
+    return value < 0 ? std::string("n/a") : fmt(value, 4);
+}
+
+/** "+0.92/-0.87/..." — per-clbit <Z_i>, low bit first. */
+std::string
+fmtZ(const std::vector<ExpectationEstimate>& z)
+{
+    std::string out;
+    for (const ExpectationEstimate& e : z) {
+        if (!out.empty())
+            out += "/";
+        out += fmt(e.value, 2);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t shots = configuredShots();
+    const std::uint64_t seed = configuredSeed();
+    const unsigned threads = configuredThreads();
+    const bool with_oracle = configuredOracle();
+    std::printf("== Policy-family shootout: baseline/SIM/AIM/"
+                "Rebalance/BFA (%zu trials per policy, %u "
+                "threads) ==\n\n",
+                shots, threads);
+
+    CompareOptions compare;
+    compare.withOracle = with_oracle;
+    compare.includeFamily = true;
+
+    std::vector<std::string> header = {"machine", "benchmark",
+                                       "policy", "PST",
+                                       "PST/base", "<Z> per bit"};
+    if (with_oracle)
+        header.push_back("oracle TVD");
+    AsciiTable table(std::move(header));
+    telemetry::JsonValue rows = telemetry::JsonValue::array();
+
+    for (const char* machine :
+         {"ibmqx2", "ibmqx4", "ibmq_melbourne"}) {
+        MachineSession session(makeMachine(machine), seed,
+                               {threads});
+        for (const NisqBenchmark& bench : shootoutWorkloads()) {
+            const auto results =
+                session.comparePolicies(bench, shots, compare);
+            const double base = results[0].report.pst;
+            for (const PolicyResult& result : results) {
+                const double gain =
+                    base > 0 ? result.report.pst / base : 0.0;
+                std::vector<std::string> cells = {
+                    machine,
+                    bench.name,
+                    result.policy,
+                    fmt(result.report.pst),
+                    fmt(gain, 2) + "x",
+                    fmtZ(result.zExpectations)};
+                if (with_oracle)
+                    cells.push_back(fmtTvd(result.oracleTvd));
+                table.addRow(std::move(cells));
+
+                telemetry::JsonValue row =
+                    telemetry::JsonValue::object();
+                row["name"] = telemetry::JsonValue(
+                    std::string("policy_family/") + machine + "/" +
+                    bench.name + "/" + result.policy);
+                telemetry::JsonValue counters =
+                    telemetry::JsonValue::object();
+                counters["pst"] =
+                    telemetry::JsonValue(result.report.pst);
+                counters["pst_over_baseline"] =
+                    telemetry::JsonValue(gain);
+                if (result.oracleTvd >= 0) {
+                    counters["oracle_tvd"] =
+                        telemetry::JsonValue(result.oracleTvd);
+                }
+                row["counters"] = std::move(counters);
+                telemetry::JsonValue z =
+                    telemetry::JsonValue::array();
+                telemetry::JsonValue z_se =
+                    telemetry::JsonValue::array();
+                for (const ExpectationEstimate& e :
+                     result.zExpectations) {
+                    z.push(telemetry::JsonValue(e.value));
+                    z_se.push(
+                        telemetry::JsonValue(e.standardError));
+                }
+                row["z_expectations"] = std::move(z);
+                row["z_standard_errors"] = std::move(z_se);
+                if (!result.oracleZ.empty()) {
+                    telemetry::JsonValue oz =
+                        telemetry::JsonValue::array();
+                    for (double v : result.oracleZ)
+                        oz.push(telemetry::JsonValue(v));
+                    row["oracle_z"] = std::move(oz);
+                }
+                rows.push(std::move(row));
+            }
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("expected shape: Rebalance ~ AIM on BV/GHZ "
+                "(single likely outcome), AIM ahead on QAOA; BFA "
+                "symmetrizes bias into its <Z> error bars.\n");
+
+    const std::string path =
+        writeBenchJson("fig14_policy_family", std::move(rows));
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 
 #include "harness/config.hh"
@@ -132,6 +133,21 @@ measuredPhysicalQubits(const TranspiledProgram& program)
     return program.circuit.measuredQubits();
 }
 
+std::vector<double>
+symmetrizedReadoutRates(const Machine& machine,
+                        const TranspiledProgram& program)
+{
+    std::vector<double> rates(program.circuit.numClbits(), 0.0);
+    for (const Operation& op : program.circuit.ops()) {
+        if (op.kind != GateKind::MEASURE)
+            continue;
+        rates[op.cbit] =
+            machine.calibration().readoutAssignmentError(
+                op.qubits[0]);
+    }
+    return rates;
+}
+
 std::shared_ptr<const RbmsEstimate>
 MachineSession::profileProgram(const TranspiledProgram& program,
                                const RbmsOptions& options)
@@ -239,31 +255,56 @@ MachineSession::comparePolicies(const NisqBenchmark& benchmark,
         const bool oracle_ok =
             with_oracle && oracle.supports(program.circuit);
 
-        auto record = [&](MitigationPolicy& policy) {
+        // When non-null, the policy's analytic prediction is not
+        // plan-shaped (BFA's rate unfolding): the provider supplies
+        // the oracle distribution directly.
+        using AnalyticProvider =
+            std::function<std::vector<double>()>;
+        auto record = [&](MitigationPolicy& policy,
+                          const AnalyticProvider& analytic = {}) {
             Counts counts = runPolicy(program, policy, shots);
             const ReliabilityReport report =
                 reliability(counts, benchmark.acceptedOutputs);
-            PolicyResult result{policy.name(), std::move(counts),
-                                report, RunOutcome{}, false, -1.0};
+            PolicyResult result;
+            result.policy = policy.name();
+            result.counts = std::move(counts);
+            result.report = report;
             if (const RuntimeStats* stats = lastRunStats()) {
                 result.outcome = stats->outcome;
                 result.degraded = stats->outcome.degraded();
             }
+            result.zExpectations =
+                singleQubitZWithErrors(result.counts);
+            result.observableValues.reserve(
+                options.observables.size());
+            for (const DiagonalObservable& obs :
+                 options.observables) {
+                result.observableValues.push_back(
+                    expectation(obs, result.counts));
+            }
             // Conditional on the realized plan, the merged log is a
             // sample from the oracle's mixture, so this TVD should
             // shrink like O(1/sqrt(shots)) for a correct policy.
-            const ModePlan plan = policy.lastPlan();
-            if (oracle_ok && !plan.empty()) {
+            if (oracle_ok) {
+                const ModePlan plan = policy.lastPlan();
+                std::vector<double> dist;
                 telemetry::SpanTracer::Scope s =
                     telemetry::span("oracle:" + policy.name());
-                result.oracleTvd = verify::totalVariation(
-                    result.counts,
-                    oracle.planDistribution(program.circuit,
-                                            plan));
-                telemetry::gaugeSet("session.policy." +
-                                        policy.name() +
-                                        ".oracle_tvd",
-                                    result.oracleTvd);
+                if (analytic)
+                    dist = analytic();
+                else if (!plan.empty())
+                    dist = oracle.planDistribution(program.circuit,
+                                                   plan);
+                if (!dist.empty()) {
+                    result.oracleTvd = verify::totalVariation(
+                        result.counts, dist);
+                    result.oracleZ = zExpectationsFromDistribution(
+                        dist, result.counts.numBits());
+                    telemetry::gaugeSet("session.policy." +
+                                            policy.name() +
+                                            ".oracle_tvd",
+                                        result.oracleTvd);
+                }
             }
             results.push_back(std::move(result));
         };
@@ -274,8 +315,29 @@ MachineSession::comparePolicies(const NisqBenchmark& benchmark,
         StaticInvertAndMeasure sim;
         record(sim);
 
-        AdaptiveInvertAndMeasure aim(profileProgram(program));
+        // AIM and Rebalance share one RBMS characterization of the
+        // program's physical output register.
+        const std::shared_ptr<const RbmsEstimate> rbms =
+            profileProgram(program);
+        AdaptiveInvertAndMeasure aim(rbms);
         record(aim);
+
+        if (options.includeFamily) {
+            RebalancePolicy rebalance(rbms);
+            record(rebalance);
+
+            BfaOptions bfa_options;
+            bfa_options.numGroups = options.bfaGroups;
+            bfa_options.twirlSeed = options.bfaTwirlSeed;
+            bfa_options.symmetrizedRates =
+                symmetrizedReadoutRates(machine_, program);
+            BitFlipAveragePolicy bfa(bfa_options);
+            record(bfa, [&] {
+                return oracle.bfaCorrectedDistribution(
+                    program.circuit, bfa.lastTwirlPlan(),
+                    bfa.symmetrizedRates());
+            });
+        }
     }
 
     // The per-run manifest: written once the compare span has

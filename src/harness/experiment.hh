@@ -17,9 +17,12 @@
 
 #include "kernels/benchmarks.hh"
 #include "machine/machines.hh"
+#include "metrics/observables.hh"
 #include "metrics/reliability.hh"
 #include "mitigation/aim_policy.hh"
+#include "mitigation/bfa_policy.hh"
 #include "mitigation/policy.hh"
+#include "mitigation/rebalance_policy.hh"
 #include "mitigation/sim_policy.hh"
 #include "noise/trajectory.hh"
 #include "runtime/parallel_backend.hh"
@@ -49,12 +52,27 @@ struct PolicyResult
     /**
      * Total-variation distance between the measured log and the
      * analytic post-correction distribution the ExactOracle derives
-     * from this policy's realized ModePlan. Negative when not
-     * computed: oracle checks disabled, the circuit outside the
-     * density-matrix envelope, or the policy has no per-mode plan
-     * (e.g. a matrix-inversion comparator).
+     * from this policy's realized ModePlan (or, for BFA with rate
+     * unfolding, its twirl plan pushed through the symmetric
+     * inverse). Negative when not computed: oracle checks disabled,
+     * the circuit outside the density-matrix envelope, or the
+     * policy has no analytic prediction (e.g. the matrix-inversion
+     * comparator).
      */
     double oracleTvd = -1.0;
+    /** Per-clbit <Z_i> of the corrected log, with standard errors. */
+    std::vector<ExpectationEstimate> zExpectations;
+    /**
+     * Sampled expectation of each CompareOptions::observables entry
+     * (same order), with standard errors of the mean.
+     */
+    std::vector<ExpectationEstimate> observableValues;
+    /**
+     * Analytic per-clbit <Z_i> under the oracle distribution the
+     * TVD was computed against. Empty when oracleTvd was not
+     * computed.
+     */
+    std::vector<double> oracleZ;
 };
 
 /** Knobs for comparePolicies. */
@@ -67,6 +85,19 @@ struct CompareOptions
      * forced on by the INVERTQ_ORACLE environment knob.
      */
     bool withOracle = false;
+    /**
+     * Also run the descendant policy family: Rebalance (ideal-
+     * outcome prediction over the shared RBMS profile) and BFA
+     * (bfaGroups twirl groups, symmetrized rates taken from the
+     * machine calibration of the measured physical qubits).
+     */
+    bool includeFamily = false;
+    /** Diagonal observables scored for every policy. */
+    std::vector<DiagonalObservable> observables;
+    /** BFA twirl groups when includeFamily. */
+    unsigned bfaGroups = 8;
+    /** BFA twirl-string seed when includeFamily. */
+    std::uint64_t bfaTwirlSeed = 2106;
 };
 
 /** Execution knobs for a MachineSession. */
@@ -236,6 +267,15 @@ class MachineSession
  */
 std::vector<Qubit> measuredPhysicalQubits(
     const TranspiledProgram& program);
+
+/**
+ * Per-clbit symmetrized readout rates p_i = (p01_i + p10_i) / 2 of
+ * the physical qubits @p program measures, from @p machine's
+ * calibration — the rates BFA's twirl makes exact. Unmeasured
+ * clbits get rate 0 (identity channel).
+ */
+std::vector<double> symmetrizedReadoutRates(
+    const Machine& machine, const TranspiledProgram& program);
 
 } // namespace qem
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernels/basis.hh"
 #include "kernels/bv.hh"
 #include "kernels/qaoa.hh"
 #include "qsim/bitstring.hh"
@@ -28,6 +29,21 @@ makeBvBenchmark(const std::string& name, unsigned n,
     bench.correctOutput = fromBitString(key);
     bench.circuit = bernsteinVazirani(n, bench.correctOutput);
     bench.acceptedOutputs = {bench.correctOutput};
+    bench.outputBits = n;
+    return bench;
+}
+
+NisqBenchmark
+makeGhzBenchmark(const std::string& name, unsigned n)
+{
+    if (n == 0)
+        throw std::invalid_argument("makeGhzBenchmark: empty "
+                                    "register");
+    NisqBenchmark bench;
+    bench.name = name;
+    bench.circuit = ghzState(n);
+    bench.correctOutput = allOnes(n);
+    bench.acceptedOutputs = {0, allOnes(n)};
     bench.outputBits = n;
     return bench;
 }

@@ -48,6 +48,13 @@ NisqBenchmark makeBvBenchmark(const std::string& name, unsigned n,
                               const std::string& key);
 
 /**
+ * GHZ state preparation as a benchmark (the paper's Fig 6
+ * workload): both all-zeros and all-ones are accepted readouts,
+ * with all-ones the listed correct output.
+ */
+NisqBenchmark makeGhzBenchmark(const std::string& name, unsigned n);
+
+/**
  * QAOA max-cut benchmark: angles are optimized on the ideal
  * simulator at construction.
  *

@@ -1,5 +1,7 @@
 #include "metrics/observables.hh"
 
+#include <cmath>
+
 #include "qsim/bitstring.hh"
 
 namespace qem
@@ -25,6 +27,92 @@ singleQubitZExpectations(const Counts& counts)
     for (unsigned i = 0; i < counts.numBits(); ++i)
         out[i] = zParityExpectation(counts, BasisState{1} << i);
     return out;
+}
+
+ExpectationEstimate
+zParityWithError(const Counts& counts, BasisState mask)
+{
+    if (counts.total() == 0)
+        return {};
+    const double v = zParityExpectation(counts, mask);
+    // Per-trial parity is +-1: Var = 1 - v^2, SE = sqrt(Var / N).
+    const double var = std::max(0.0, 1.0 - v * v);
+    return {v, std::sqrt(var /
+                         static_cast<double>(counts.total()))};
+}
+
+std::vector<ExpectationEstimate>
+singleQubitZWithErrors(const Counts& counts)
+{
+    std::vector<ExpectationEstimate> out(counts.numBits());
+    for (unsigned i = 0; i < counts.numBits(); ++i)
+        out[i] = zParityWithError(counts, BasisState{1} << i);
+    return out;
+}
+
+std::vector<double>
+zExpectationsFromDistribution(const std::vector<double>& probs,
+                              unsigned bits)
+{
+    std::vector<double> out(bits);
+    for (unsigned i = 0; i < bits; ++i)
+        out[i] = zParityFromDistribution(probs, BasisState{1} << i);
+    return out;
+}
+
+double
+zParityFromDistribution(const std::vector<double>& probs,
+                        BasisState mask)
+{
+    double acc = 0.0;
+    for (BasisState s = 0; s < probs.size(); ++s) {
+        const int parity = hammingWeight(s & mask) & 1;
+        acc += (parity ? -1.0 : 1.0) * probs[s];
+    }
+    return acc;
+}
+
+double
+observableValue(const DiagonalObservable& obs, BasisState outcome)
+{
+    double value = 0.0;
+    for (const DiagonalObservable::Term& term : obs.terms) {
+        const int parity = hammingWeight(outcome & term.mask) & 1;
+        value += (parity ? -1.0 : 1.0) * term.coefficient;
+    }
+    return value;
+}
+
+ExpectationEstimate
+expectation(const DiagonalObservable& obs, const Counts& counts)
+{
+    if (counts.total() == 0)
+        return {};
+    const auto n_total = static_cast<double>(counts.total());
+    double mean = 0.0;
+    for (const auto& [outcome, n] : counts.raw())
+        mean += observableValue(obs, outcome) *
+                static_cast<double>(n);
+    mean /= n_total;
+    double var = 0.0;
+    for (const auto& [outcome, n] : counts.raw()) {
+        const double d = observableValue(obs, outcome) - mean;
+        var += d * d * static_cast<double>(n);
+    }
+    var /= n_total;
+    return {mean, std::sqrt(var / n_total)};
+}
+
+double
+expectationFromDistribution(const DiagonalObservable& obs,
+                            const std::vector<double>& probs)
+{
+    double acc = 0.0;
+    for (BasisState s = 0; s < probs.size(); ++s) {
+        if (probs[s] != 0.0)
+            acc += observableValue(obs, s) * probs[s];
+    }
+    return acc;
 }
 
 std::vector<double>

@@ -12,12 +12,23 @@
 #ifndef QEM_METRICS_OBSERVABLES_HH
 #define QEM_METRICS_OBSERVABLES_HH
 
+#include <string>
 #include <vector>
 
 #include "qsim/counts.hh"
 
 namespace qem
 {
+
+/**
+ * A point estimate with its one-sigma shot-noise standard error.
+ * (Named standardError, not "stderr": stderr is a stdio macro.)
+ */
+struct ExpectationEstimate
+{
+    double value = 0.0;
+    double standardError = 0.0;
+};
 
 /**
  * < prod_{i in mask} Z_i >: the expectation of a Z-string, i.e.
@@ -28,6 +39,66 @@ double zParityExpectation(const Counts& counts, BasisState mask);
 
 /** All single-qubit <Z_i> for i in [0, bits). */
 std::vector<double> singleQubitZExpectations(const Counts& counts);
+
+/**
+ * Z-string expectation with its standard error. The per-trial
+ * observable is +-1, so SE = sqrt((1 - v^2) / N) — the plug-in
+ * binomial error of the parity mean. Empty logs yield {0, 0}.
+ */
+ExpectationEstimate zParityWithError(const Counts& counts,
+                                     BasisState mask);
+
+/** All single-qubit <Z_i> with standard errors. */
+std::vector<ExpectationEstimate> singleQubitZWithErrors(
+    const Counts& counts);
+
+/**
+ * Z-string expectation of an analytic outcome distribution (dense
+ * vector over 2^bits states, as produced by ExactOracle) — the
+ * shot-free limit the sampled estimate converges to.
+ */
+double zParityFromDistribution(const std::vector<double>& probs,
+                               BasisState mask);
+
+/** All single-qubit <Z_i> of an analytic distribution. */
+std::vector<double> zExpectationsFromDistribution(
+    const std::vector<double>& probs, unsigned bits);
+
+/**
+ * A diagonal observable: a weighted sum of Z-strings,
+ * O = sum_t coefficient_t * prod_{i in mask_t} Z_i. Everything
+ * diagonal in the computational basis (Ising energies, max-cut
+ * costs, GHZ witnesses' diagonal part) fits this form, and its
+ * value on one trial outcome is a plain signed sum — so both the
+ * sample mean and the sample variance are exact from the log.
+ */
+struct DiagonalObservable
+{
+    struct Term
+    {
+        double coefficient = 1.0;
+        BasisState mask = 0;
+    };
+
+    std::string name;
+    std::vector<Term> terms;
+};
+
+/** Value of @p obs on a single outcome. */
+double observableValue(const DiagonalObservable& obs,
+                       BasisState outcome);
+
+/**
+ * Sample mean of @p obs over the log, with the standard error of
+ * the mean (sample standard deviation / sqrt(N)). Empty logs yield
+ * {0, 0}.
+ */
+ExpectationEstimate expectation(const DiagonalObservable& obs,
+                                const Counts& counts);
+
+/** Analytic expectation of @p obs under a dense distribution. */
+double expectationFromDistribution(const DiagonalObservable& obs,
+                                   const std::vector<double>& probs);
 
 /**
  * Error-distance spectrum: result[d] is the fraction of trials

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bit-Flip Averaging (Smith et al., arXiv:2106.05800).
+ *
+ * BFA splits the trial budget into shot groups, draws one random
+ * X-twirl string per group (seeded, via Rng::splitAt, so the strings
+ * are reproducible and order-independent), executes each group with
+ * the twirl applied before measurement, and flips the observed
+ * outcomes back classically. Averaged over twirls, each qubit's
+ * asymmetric readout channel is symmetrized to a single bit-flip
+ * rate p_i = (p01_i + p10_i) / 2 — state-dependent bias is converted
+ * into state-independent noise. When the symmetrized rates are
+ * supplied, a tensored inverse (the 2x2 symmetric confusion matrix
+ * per bit) then unfolds that residual noise from the histogram.
+ *
+ * Twirling reuses the SIM inversion-string machinery verbatim: a
+ * twirl string IS an inversion string, applied and post-corrected
+ * the same way; BFA simply draws the strings at random instead of
+ * from the Hamming-spread fixed sets.
+ */
+
+#ifndef QEM_MITIGATION_BFA_POLICY_HH
+#define QEM_MITIGATION_BFA_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mitigation/policy.hh"
+
+namespace qem
+{
+
+/** Bit-Flip Averaging knobs. */
+struct BfaOptions
+{
+    /**
+     * Shot groups, one random twirl string each. Zero disables
+     * twirling entirely (single identity-string group — the run is
+     * then bit-for-bit the baseline when no rates are set).
+     */
+    unsigned numGroups = 8;
+
+    /**
+     * Seed of the twirl-string stream. Group g's string is drawn
+     * from Rng(twirlSeed).splitAt(g), so the set is a pure function
+     * of (seed, group count, register width) — independent of
+     * thread count, call order, and every other draw in the run.
+     */
+    std::uint64_t twirlSeed = 2106;
+
+    /**
+     * Per-clbit symmetrized flip rates p_i = (p01_i + p10_i) / 2,
+     * sized numClbits (zero for unmeasured clbits). Empty = twirl
+     * only: return the post-flipped merged log without unfolding.
+     */
+    std::vector<double> symmetrizedRates;
+};
+
+class BitFlipAveragePolicy : public MitigationPolicy
+{
+  public:
+    /**
+     * @param twirl_strings Optional precomputed twirl set (e.g. the
+     *        cached TwirlStrings service artifact). Must match what
+     *        twirlStrings(bits, options) would draw — validated on
+     *        run(). Null computes the set on the fly.
+     */
+    explicit BitFlipAveragePolicy(
+        BfaOptions options = {},
+        std::shared_ptr<const std::vector<InversionString>>
+            twirl_strings = nullptr);
+
+    Counts run(const Circuit& circuit, Backend& backend,
+               std::size_t shots) override;
+
+    std::string name() const override { return "BFA"; }
+
+    /**
+     * The twirl modes as a ModePlan — but only while no symmetrized
+     * rates are configured. With rates set, the merged log is the
+     * tensored inverse of the twirl mixture, NOT a per-mode
+     * relabeling, so this returns {} per the MitigationPolicy
+     * contract and the twirl layout is exposed via lastTwirlPlan()
+     * instead.
+     */
+    ModePlan lastPlan() const override;
+
+    /** The twirl modes the last run() executed, always available. */
+    const ModePlan& lastTwirlPlan() const { return lastTwirlPlan_; }
+
+    /**
+     * Merged post-flipped log before rate unfolding — the mixture
+     * the twirl plan predicts, and the multinomial the oracle
+     * G-tests against. Identical to run()'s result when no rates
+     * are set.
+     */
+    const Counts& lastTwirledCounts() const
+    {
+        return lastTwirledCounts_;
+    }
+
+    const std::vector<double>& symmetrizedRates() const
+    {
+        return options_.symmetrizedRates;
+    }
+
+    /**
+     * The twirl-string set for a @p bits -wide output register:
+     * string g = low bits of Rng(options.twirlSeed).splitAt(g).
+     * numGroups == 0 yields the single identity string. Shared with
+     * the TwirlStrings service artifact and the oracle so the three
+     * can never drift apart.
+     */
+    static std::vector<InversionString>
+    twirlStrings(unsigned bits, const BfaOptions& options);
+
+    /**
+     * The (string, share) plan for a budget of @p shots: SIM's
+     * share-split arithmetic (floor division, leftover distributed
+     * one extra trial to the earliest groups) over the twirl set.
+     */
+    static ModePlan twirlPlan(unsigned bits, std::size_t shots,
+                              const BfaOptions& options);
+
+  private:
+    BfaOptions options_;
+    std::shared_ptr<const std::vector<InversionString>> strings_;
+    ModePlan lastTwirlPlan_;
+    Counts lastTwirledCounts_;
+    bool unfolded_ = false;
+};
+
+} // namespace qem
+
+#endif // QEM_MITIGATION_BFA_POLICY_HH

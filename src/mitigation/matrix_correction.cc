@@ -1,5 +1,6 @@
 #include "mitigation/matrix_correction.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -98,23 +99,38 @@ MatrixInversionCorrection::run(const Circuit& circuit,
 
     // Standard-mode execution, then classical inverse.
     const Counts observed = backend.run(circuit, shots);
-    std::vector<double> corrected = invertTensoredConfusion(
+    const std::vector<double> corrected = invertTensoredConfusion(
         observed.toProbabilityVector(), p01, p10);
+    return roundCorrectedDistribution(corrected, bits, shots);
+}
 
-    // Clip the (physically impossible) negative entries and
-    // renormalize — the standard practical recipe.
+std::vector<double>
+clipAndRenormalize(std::vector<double> probs)
+{
     double total = 0.0;
-    for (double& p : corrected) {
+    for (double& p : probs) {
         if (p < 0.0)
             p = 0.0;
         total += p;
     }
+    if (total <= 0.0) {
+        std::fill(probs.begin(), probs.end(), 0.0);
+        return probs;
+    }
+    for (double& p : probs)
+        p /= total;
+    return probs;
+}
+
+Counts
+roundCorrectedDistribution(const std::vector<double>& corrected,
+                           unsigned bits, std::size_t shots)
+{
+    const std::vector<double> probs = clipAndRenormalize(corrected);
     Counts out(bits);
-    if (total <= 0.0)
-        return out;
-    for (BasisState s = 0; s < corrected.size(); ++s) {
+    for (BasisState s = 0; s < probs.size(); ++s) {
         const auto n = static_cast<std::uint64_t>(std::llround(
-            corrected[s] / total * static_cast<double>(shots)));
+            probs[s] * static_cast<double>(shots)));
         if (n > 0)
             out.add(s, n);
     }

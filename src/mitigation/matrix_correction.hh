@@ -56,6 +56,23 @@ std::vector<double> invertTensoredConfusion(
     std::vector<double> probs, const std::vector<double>& p01,
     const std::vector<double>& p10);
 
+/**
+ * Clip negative entries to zero and renormalize to unit sum — the
+ * standard practical repair for quasi-probabilities produced by
+ * confusion-matrix inversion. Returns an all-zeros vector when the
+ * clipped sum is nonpositive.
+ */
+std::vector<double> clipAndRenormalize(std::vector<double> probs);
+
+/**
+ * Round a corrected quasi-probability vector back to an integer
+ * output log of (approximately) @p shots trials: clip, renormalize,
+ * then per-outcome llround. Shared by MatrixInversionCorrection and
+ * BitFlipAveragePolicy so the two unfolding paths stay bit-identical.
+ */
+Counts roundCorrectedDistribution(const std::vector<double>& corrected,
+                                  unsigned bits, std::size_t shots);
+
 } // namespace qem
 
 #endif // QEM_MITIGATION_MATRIX_CORRECTION_HH

@@ -44,6 +44,16 @@ class MitigationPolicy
      * Empty when the policy has not run, or when its correction is
      * not a per-mode relabeling (e.g. the matrix-inversion
      * comparator, whose output is not a mixture of mode logs).
+     *
+     * Contract: each mode's inversion string is the *physical*
+     * rewrite the hardware executed — the X-prefix actually applied
+     * before measurement — never the logical identity the
+     * post-corrected log exhibits. Consumers that replay plans
+     * against the machine (RbmsStalenessProbe's holdout replay, the
+     * oracle's planDistribution) prepare the basis states the
+     * readout actually saw; a policy that relabels outcomes (e.g.
+     * Rebalance steering the predicted output onto the strong
+     * state) must therefore report the applied prefix, not 0.
      */
     virtual ModePlan lastPlan() const { return {}; }
 };

@@ -53,9 +53,12 @@ enum class ArtifactKind : std::uint8_t
     RbmsProfile,
     /** Per-truth-state readout-confusion CDF rows. */
     ConfusionCdf,
+    /** A BFA twirl-string set drawn from (policy, seed, groups). */
+    TwirlStrings,
 };
 
-/** Display name ("compiled", "rbms", "confusion_cdf"). */
+/** Display name ("compiled", "rbms", "confusion_cdf",
+ *  "twirl_strings"). */
 const char* artifactKindName(ArtifactKind kind);
 
 /**

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "mitigation/matrix_correction.hh"
+#include "mitigation/rebalance_policy.hh"
 #include "noise/compaction.hh"
 #include "noise/exact.hh"
 #include "qsim/densitymatrix.hh"
@@ -220,6 +222,33 @@ ExactOracle::aimPrediction(const Circuit& circuit,
     prediction.distribution =
         planDistribution(circuit, prediction.plan);
     return prediction;
+}
+
+ModePlan
+ExactOracle::rebalancePlan(BasisState predicted,
+                           const RbmsEstimate& rbms,
+                           std::size_t shots) const
+{
+    if (shots == 0)
+        throw std::invalid_argument("ExactOracle: zero shots");
+    return {{RebalancePolicy::prefixFor(predicted, rbms), shots}};
+}
+
+std::vector<double>
+ExactOracle::bfaCorrectedDistribution(
+    const Circuit& circuit, const ModePlan& twirl_plan,
+    const std::vector<double>& symmetrized_rates) const
+{
+    const std::vector<double> mixture =
+        planDistribution(circuit, twirl_plan);
+    if (symmetrized_rates.empty())
+        return mixture;
+    if (symmetrized_rates.size() != circuit.numClbits())
+        throw std::invalid_argument("ExactOracle: symmetrized rates "
+                                    "must be sized to the classical "
+                                    "register");
+    return clipAndRenormalize(invertTensoredConfusion(
+        mixture, symmetrized_rates, symmetrized_rates));
 }
 
 std::vector<double>

@@ -112,6 +112,30 @@ class ExactOracle
                                 std::size_t shots,
                                 const AimOptions& options = {}) const;
 
+    /**
+     * The plan RebalancePolicy executes for a known prediction:
+     * the single mode RebalancePolicy::prefixFor(@p predicted,
+     * @p rbms) carrying every trial. Composed with planDistribution
+     * this is Rebalance's analytic output; the prefix arithmetic is
+     * delegated to the policy's static so the two cannot drift.
+     */
+    ModePlan rebalancePlan(BasisState predicted,
+                           const RbmsEstimate& rbms,
+                           std::size_t shots) const;
+
+    /**
+     * The exact distribution BitFlipAveragePolicy's rate-unfolded
+     * log converges to: the twirl-plan mixture (what the
+     * post-flipped merged log converges to) pushed through the
+     * tensored symmetric inverse with @p symmetrized_rates, then
+     * clipped/renormalized — everything the policy does short of
+     * rounding to integer counts. With empty rates this is just
+     * planDistribution(@p twirl_plan).
+     */
+    std::vector<double> bfaCorrectedDistribution(
+        const Circuit& circuit, const ModePlan& twirl_plan,
+        const std::vector<double>& symmetrized_rates) const;
+
     const NoiseModel& model() const { return model_; }
 
   private:

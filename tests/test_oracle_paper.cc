@@ -57,25 +57,12 @@ constexpr double kAlpha = 1e-6;
  *  the worst-case design effect of its within-batch correlation. */
 constexpr std::uint64_t kDesignEffect = 16;
 
-/** GHZ as a NisqBenchmark row (the paper's Fig 6 workload; both
- *  all-zeros and all-ones are correct readouts). */
-NisqBenchmark
-ghzBenchmark(unsigned n)
-{
-    NisqBenchmark bench;
-    bench.name = "ghz-" + std::to_string(n);
-    bench.circuit = ghzState(n);
-    bench.correctOutput = allOnes(n);
-    bench.acceptedOutputs = {0, allOnes(n)};
-    bench.outputBits = n;
-    return bench;
-}
-
 /** The three paper workload families on a 5-qubit machine. */
 std::vector<NisqBenchmark>
 oracleWorkloads()
 {
-    return {makeBvBenchmark("bv-4A", 4, "0111"), ghzBenchmark(4),
+    return {makeBvBenchmark("bv-4A", 4, "0111"),
+            makeGhzBenchmark("ghz-4", 4),
             makeQaoaBenchmark("qaoa-4A", cycleGraph(4), 1,
                               "0101")};
 }

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Determinism goldens for the policy family: Rebalance and BFA on
+ * the ibmqx4 BV-4A program are pinned, bit-for-bit, on both
+ * execution paths — the serial backend and the parallel runtime
+ * (whose merged histograms must be identical across 1/4/8 workers
+ * for a fixed seed). The committed manifest
+ * tests/golden/policy_family.json is checked statistically via the
+ * golden harness AND byte-exactly via the recorded histograms, so
+ * any change to the policies' draw-stream discipline (twirl-string
+ * derivation, share-split arithmetic, unfolding rounding) turns
+ * the diff into a reviewable golden update instead of silent
+ * drift. The BFA analytic record additionally pins the oracle's
+ * unfolded prediction for the realized twirl plan at 1e-12.
+ *
+ * Regenerate with `qem_tests --update-golden` (or
+ * INVERTQ_UPDATE_GOLDEN=1) and commit the diff.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "kernels/benchmarks.hh"
+#include "machine/machines.hh"
+#include "verify/golden.hh"
+#include "verify/oracle.hh"
+
+#ifndef QEM_GOLDEN_DIR
+#define QEM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace qem
+{
+namespace
+{
+
+constexpr std::size_t kShots = 2048;
+constexpr std::uint64_t kSeed = 2019;
+/** Two-sample budget of the statistical golden comparison. */
+constexpr double kAlpha = 1e-9;
+
+/** One execution of both family policies on the BV-4A program. */
+struct FamilyRun
+{
+    Counts rebalance;
+    InversionString prefix = 0;
+    Counts bfa;
+    ModePlan twirlPlan;
+};
+
+FamilyRun
+runFamily(SessionOptions options)
+{
+    MachineSession session(makeMachine("ibmqx4"), kSeed, options);
+    const NisqBenchmark bench =
+        makeBvBenchmark("bv-4A", 4, "0111");
+    const TranspiledProgram program =
+        session.prepare(bench.circuit);
+
+    FamilyRun out;
+    RebalancePolicy rebalance(session.profileProgram(program));
+    out.rebalance = session.runPolicy(program, rebalance, kShots);
+    out.prefix = rebalance.lastPlan().at(0).inversion;
+
+    BfaOptions bfa_options;
+    bfa_options.symmetrizedRates =
+        symmetrizedReadoutRates(session.machine(), program);
+    BitFlipAveragePolicy bfa(bfa_options);
+    out.bfa = session.runPolicy(program, bfa, kShots);
+    out.twirlPlan = bfa.lastTwirlPlan();
+    return out;
+}
+
+/** Statistical golden check plus the byte-exact pin. */
+void
+expectPinned(verify::GoldenStore& golden, const std::string& name,
+             const Counts& counts,
+             std::map<std::string, std::string> meta)
+{
+    const verify::CheckResult check =
+        golden.checkSampled(name, counts, kAlpha, std::move(meta));
+    EXPECT_TRUE(check) << name << ": " << check.message;
+    if (golden.updating())
+        return;
+    const verify::GoldenRecord* record = golden.find(name);
+    ASSERT_NE(record, nullptr) << name;
+    EXPECT_EQ(record->counts.raw(), counts.raw())
+        << name << ": histogram drifted from the committed golden";
+}
+
+TEST(PolicyFamilyGolden, PinnedAcrossThreadCountsAndSerial)
+{
+    verify::GoldenStore golden(
+        std::string(QEM_GOLDEN_DIR) + "/policy_family.json");
+
+    // Parallel runtime: merged histograms must be bit-identical
+    // across worker counts, so one golden record covers them all.
+    const FamilyRun parallel = runFamily(SessionOptions{1, 64});
+    for (unsigned threads : {4u, 8u}) {
+        const FamilyRun run =
+            runFamily(SessionOptions{threads, 64});
+        EXPECT_EQ(run.rebalance.raw(), parallel.rebalance.raw())
+            << "Rebalance varies with " << threads << " threads";
+        EXPECT_EQ(run.bfa.raw(), parallel.bfa.raw())
+            << "BFA varies with " << threads << " threads";
+        EXPECT_EQ(run.prefix, parallel.prefix);
+    }
+
+    // Serial path: a different (legacy) stream layout, pinned by
+    // its own records.
+    const FamilyRun serial = runFamily(SessionOptions{});
+
+    expectPinned(golden, "ibmqx4/bv-4A/rebalance-parallel",
+                 parallel.rebalance,
+                 {{"machine", "ibmqx4"},
+                  {"policy", "Rebalance"},
+                  {"prefix", std::to_string(parallel.prefix)}});
+    expectPinned(golden, "ibmqx4/bv-4A/rebalance-serial",
+                 serial.rebalance,
+                 {{"machine", "ibmqx4"},
+                  {"policy", "Rebalance"},
+                  {"prefix", std::to_string(serial.prefix)}});
+    expectPinned(golden, "ibmqx4/bv-4A/bfa-parallel", parallel.bfa,
+                 {{"machine", "ibmqx4"}, {"policy", "BFA"}});
+    expectPinned(golden, "ibmqx4/bv-4A/bfa-serial", serial.bfa,
+                 {{"machine", "ibmqx4"}, {"policy", "BFA"}});
+
+    // The analytic side: the twirl plan is a pure function of
+    // (seed, groups, width, shots) — backend-independent — and the
+    // oracle's unfolded prediction for it is deterministic, so it
+    // pins at numeric tolerance.
+    ASSERT_EQ(parallel.twirlPlan.size(), serial.twirlPlan.size());
+    for (std::size_t g = 0; g < serial.twirlPlan.size(); ++g) {
+        EXPECT_EQ(parallel.twirlPlan[g].inversion,
+                  serial.twirlPlan[g].inversion);
+        EXPECT_EQ(parallel.twirlPlan[g].shots,
+                  serial.twirlPlan[g].shots);
+    }
+    MachineSession session(makeMachine("ibmqx4"), kSeed);
+    const TranspiledProgram program = session.prepare(
+        makeBvBenchmark("bv-4A", 4, "0111").circuit);
+    const verify::ExactOracle oracle(session.machine());
+    const verify::CheckResult analytic = golden.checkAnalytic(
+        "ibmqx4/bv-4A/bfa-analytic", program.circuit.numClbits(),
+        oracle.bfaCorrectedDistribution(
+            program.circuit, serial.twirlPlan,
+            symmetrizedReadoutRates(session.machine(), program)),
+        1e-12, {{"machine", "ibmqx4"}, {"policy", "BFA"}});
+    EXPECT_TRUE(analytic) << analytic.message;
+
+    if (golden.updating()) {
+        ASSERT_TRUE(golden.flush());
+    }
+}
+
+} // namespace
+} // namespace qem

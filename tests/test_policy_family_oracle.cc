@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tier-2 oracle suite for the twirling/averaging policy family:
+ * Rebalance and BFA are executed on every paper workload (BV, GHZ,
+ * QAOA) across all three modeled machines, and each sampled log is
+ * tested against the ExactOracle's analytic prediction for the
+ * realized plan. As in test_oracle_paper.cc, nothing is hard-coded:
+ * the G-tests carry an explicit alpha, the TVD radii are derived
+ * from the actual shot count (tvdBound), and a failing check
+ * escalates onto a fresh, larger sample (checkWithEscalation) so
+ * the per-test spurious-failure probability is alpha^attempts.
+ *
+ * The sampling model matches the exact-agreement track of the SIM/
+ * AIM suite: a shotsPerTrajectory=1 backend gives true iid draws,
+ * so the multinomial null actually holds. Rebalance conditions on
+ * lastPlan() (one physical-prefix mode); BFA's null is subtler —
+ * its *twirled* log (lastTwirledCounts) is the multinomial sample,
+ * while the returned rate-unfolded log is a deterministic linear
+ * image of it, so the twirled log gets the G-test and the unfolded
+ * log gets a TVD radius inflated by the tensored inverse's
+ * transfer norm prod_i 1/(1 - 2 p_i).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/config.hh"
+#include "harness/experiment.hh"
+#include "kernels/basis.hh"
+#include "kernels/benchmarks.hh"
+#include "machine/machines.hh"
+#include "qsim/bitstring.hh"
+#include "verify/assertions.hh"
+#include "verify/oracle.hh"
+#include "verify/statistics.hh"
+
+namespace qem
+{
+namespace
+{
+
+/** Per-check false-positive budget (see test_oracle_paper.cc). */
+constexpr double kAlpha = 1e-6;
+
+/** The three paper workload families on a 5-qubit register. */
+std::vector<NisqBenchmark>
+familyWorkloads()
+{
+    return {makeBvBenchmark("bv-4A", 4, "0111"),
+            makeGhzBenchmark("ghz-4", 4),
+            makeQaoaBenchmark("qaoa-4A", cycleGraph(4), 1,
+                              "0101")};
+}
+
+/**
+ * L1 -> L1 transfer norm of the tensored symmetric inverse: the
+ * factor by which unfolding can stretch the twirled log's sampling
+ * deviation. Rate-0 bits contribute 1.
+ */
+double
+unfoldInflation(const std::vector<double>& rates)
+{
+    double inflation = 1.0;
+    for (double rate : rates)
+        inflation *= 1.0 / (1.0 - 2.0 * rate);
+    return inflation;
+}
+
+class PolicyFamilyOracle
+    : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(PolicyFamilyOracle, RebalanceAgreesWithExactOracle)
+{
+    const std::size_t shots = configuredShots();
+    const Machine machine = makeMachine(GetParam());
+    MachineSession session(machine, configuredSeed());
+    const verify::ExactOracle oracle(machine);
+    TrajectorySimulator iid(
+        machine.noiseModel(), configuredSeed(),
+        TrajectoryOptions{.shotsPerTrajectory = 1});
+
+    for (const NisqBenchmark& bench : familyWorkloads()) {
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+        ASSERT_TRUE(oracle.supports(program.circuit))
+            << bench.name;
+        const std::string label =
+            std::string(GetParam()) + "/" + bench.name;
+
+        RebalancePolicy rebalance(characterizeAuto(
+            iid, measuredPhysicalQubits(program)));
+        const verify::CheckResult fit = verify::checkWithEscalation(
+            [&](std::size_t s) {
+                return rebalance.run(program.circuit, iid, s);
+            },
+            shots,
+            [&](const Counts& counts) {
+                const std::vector<double> analytic =
+                    oracle.planDistribution(program.circuit,
+                                            rebalance.lastPlan());
+                verify::CheckResult g = verify::checkDistribution(
+                    counts, analytic, kAlpha);
+                if (!g)
+                    return g;
+                return verify::checkTvdWithinBound(counts, analytic,
+                                                   kAlpha);
+            });
+        EXPECT_TRUE(fit) << label << ": " << fit.message;
+
+        // The oracle's plan derivation must mirror the policy's:
+        // one mode, the physical prefix, the whole budget.
+        const ModePlan realized = rebalance.lastPlan();
+        ASSERT_EQ(realized.size(), 1u) << label;
+        const ModePlan derived = oracle.rebalancePlan(
+            rebalance.lastPredicted(), rebalance.rbms(),
+            realized[0].shots);
+        ASSERT_EQ(derived.size(), 1u) << label;
+        EXPECT_EQ(derived[0].inversion, realized[0].inversion)
+            << label;
+        EXPECT_EQ(derived[0].shots, realized[0].shots) << label;
+        std::printf("[rebalance] %-28s p=%.3g attempts=%u\n",
+                    label.c_str(), fit.pValue, fit.attempts);
+    }
+}
+
+TEST_P(PolicyFamilyOracle, BfaAgreesWithExactOracle)
+{
+    const std::size_t shots = configuredShots();
+    const Machine machine = makeMachine(GetParam());
+    MachineSession session(machine, configuredSeed());
+    const verify::ExactOracle oracle(machine);
+    TrajectorySimulator iid(
+        machine.noiseModel(), configuredSeed(),
+        TrajectoryOptions{.shotsPerTrajectory = 1});
+
+    for (const NisqBenchmark& bench : familyWorkloads()) {
+        const TranspiledProgram program =
+            session.prepare(bench.circuit);
+        ASSERT_TRUE(oracle.supports(program.circuit))
+            << bench.name;
+        const std::string label =
+            std::string(GetParam()) + "/" + bench.name;
+
+        BfaOptions options;
+        options.symmetrizedRates =
+            symmetrizedReadoutRates(machine, program);
+        BitFlipAveragePolicy bfa(options);
+        const double inflation =
+            unfoldInflation(options.symmetrizedRates);
+
+        const verify::CheckResult fit = verify::checkWithEscalation(
+            [&](std::size_t s) {
+                return bfa.run(program.circuit, iid, s);
+            },
+            shots,
+            [&](const Counts& unfolded) {
+                // The multinomial sample is the twirled log; the
+                // oracle's mixture over the realized twirl plan is
+                // its exact null.
+                const verify::CheckResult g =
+                    verify::checkDistribution(
+                        bfa.lastTwirledCounts(),
+                        oracle.planDistribution(
+                            program.circuit, bfa.lastTwirlPlan()),
+                        kAlpha);
+                if (!g)
+                    return g;
+                // The unfolded log is a deterministic image of the
+                // twirled one, so its deviation from the oracle's
+                // unfolded prediction is the twirled sampling
+                // radius stretched by the inverse's transfer norm
+                // (x2 slack for the clip/renormalize projection,
+                // plus the integer-rounding floor).
+                const std::size_t support =
+                    std::size_t{1} << unfolded.numBits();
+                verify::CheckResult radius;
+                radius.alpha = kAlpha;
+                radius.tvd = verify::totalVariation(
+                    unfolded,
+                    oracle.bfaCorrectedDistribution(
+                        program.circuit, bfa.lastTwirlPlan(),
+                        bfa.symmetrizedRates()));
+                radius.bound =
+                    2.0 * inflation *
+                        verify::tvdBound(
+                            support,
+                            bfa.lastTwirledCounts().total(),
+                            kAlpha) +
+                    static_cast<double>(support) /
+                        static_cast<double>(unfolded.total());
+                radius.passed = radius.tvd <= radius.bound;
+                radius.message =
+                    "unfolded tvd " + std::to_string(radius.tvd) +
+                    " vs inflated bound " +
+                    std::to_string(radius.bound);
+                return radius;
+            });
+        EXPECT_TRUE(fit) << label << ": " << fit.message;
+        std::printf("[bfa] %-28s tvd=%.5f bound=%.5f "
+                    "attempts=%u\n",
+                    label.c_str(), fit.tvd, fit.bound,
+                    fit.attempts);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PolicyFamilyOracle,
+                         ::testing::Values("ibmqx2", "ibmqx4",
+                                           "ibmq_melbourne"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace qem

@@ -32,7 +32,11 @@ import sys
 # Rate counters understood by throughput(), in preference order.
 # amps_per_sec is the gate-kernel axis (amplitudes touched per
 # second by a dense matrix apply, see bench/perf_microbench.cc).
-RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec", "amps_per_sec")
+# pst is the quality axis of the policy-family shootout
+# (higher-is-better like a rate; seeded runs make it exactly
+# reproducible, so a drop is a distribution change, not noise).
+RATE_COUNTERS = ("shots_per_sec", "jobs_per_sec", "amps_per_sec",
+                 "pst")
 
 # Latency-percentile counters: lower is better.
 PERCENTILE_RE = re.compile(r"^p\d{1,3}_")
