@@ -74,17 +74,30 @@ driftCalibration(const Machine& machine, double relative_sigma,
                    machine.topology(), std::move(calib));
 }
 
-DriftSchedule::DriftSchedule(Machine base, double relative_sigma)
-    : base_(std::move(base)), sigma_(relative_sigma)
+DriftSchedule::DriftSchedule(Machine base, double relative_sigma,
+                             std::uint64_t horizon_days)
+    : base_(std::move(base)), sigma_(relative_sigma),
+      horizonDays_(horizon_days)
 {
     if (relative_sigma < 0.0)
         throw std::invalid_argument("DriftSchedule: negative "
                                     "sigma");
+    if (horizon_days == 0)
+        throw std::invalid_argument("DriftSchedule: zero-day "
+                                    "horizon");
 }
 
 Machine
 DriftSchedule::at(std::uint64_t day) const
 {
+    if (day > horizonDays_)
+        throw std::out_of_range(
+            "DriftSchedule: day " + std::to_string(day) +
+            " past horizon " + std::to_string(horizonDays_) +
+            " (negative day indices wrap here too)");
+    // Day 0 == base is the invariant AIM's profiling story rests
+    // on: the profile is measured on at(0), so at(0) must be the
+    // base machine itself, never a drift realization.
     if (day == 0)
         return base_;
     return driftCalibration(base_, sigma_, day);

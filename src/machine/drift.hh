@@ -39,30 +39,44 @@ Machine driftCalibration(const Machine& machine,
 /**
  * Day-indexed drift sequence over a nominal machine — the test
  * double behind the service's RBMS staleness probe. Day 0 is the
- * machine exactly as profiled; day d > 0 is an independent
+ * machine exactly as profiled (an asserted invariant: at(0) must
+ * return the base bit-for-bit); day d > 0 is an independent
  * lognormal drift realization seeded by d, so "the machine the
  * profile was measured on" and "the machine N days later" are both
- * reproducible from (base, sigma).
+ * reproducible from (base, sigma). The schedule is bounded: asking
+ * for a day past the horizon throws instead of silently
+ * extrapolating (a negative day cast to the unsigned index lands
+ * far past any sane horizon, so it is caught by the same check).
  */
 class DriftSchedule
 {
   public:
+    /** Default day bound: one drift realization per day for a
+     *  year, far beyond the paper's 35-day repeatability window. */
+    static constexpr std::uint64_t kDefaultHorizonDays = 365;
+
     /**
      * @param base The machine as profiled (served on day 0).
      * @param relative_sigma Per-day lognormal sigma (see
      *        driftCalibration).
+     * @param horizon_days Last valid day index; at(day) throws
+     *        std::out_of_range beyond it. Must be nonzero.
      */
-    DriftSchedule(Machine base, double relative_sigma);
+    DriftSchedule(Machine base, double relative_sigma,
+                  std::uint64_t horizon_days = kDefaultHorizonDays);
 
-    /** The machine on day @p day; day 0 is the base itself. */
+    /** The machine on day @p day; day 0 is the base itself.
+     *  @throws std::out_of_range when @p day > horizonDays(). */
     Machine at(std::uint64_t day) const;
 
     const Machine& base() const { return base_; }
     double sigma() const { return sigma_; }
+    std::uint64_t horizonDays() const { return horizonDays_; }
 
   private:
     Machine base_;
     double sigma_;
+    std::uint64_t horizonDays_;
 };
 
 } // namespace qem

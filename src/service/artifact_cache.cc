@@ -149,16 +149,24 @@ ArtifactCache::getOrComputeErased(
         if (it == shard.entries.end())
             it = shard.entries.emplace(key, Entry{}).first;
         Entry& entry = it->second;
-        entry.value = value;
-        entry.bytes = bytes;
-        entry.ready = true;
-        shard.lru.push_front(key);
-        entry.lruPos = shard.lru.begin();
-        shard.bytesUsed += bytes;
-        // Per-shard budget: the total divides evenly; a 0 budget
-        // keeps nothing resident (the entry is evicted right here,
-        // after being handed to the caller).
-        evictOver(shard, options_.maxBytes / shards_.size());
+        if (entry.invalidated) {
+            // invalidate() raced this computation: hand the value
+            // to the caller that started before the invalidation,
+            // but never let it become resident — waiters wake on
+            // the erased slot and recompute fresh.
+            shard.entries.erase(it);
+        } else {
+            entry.value = value;
+            entry.bytes = bytes;
+            entry.ready = true;
+            shard.lru.push_front(key);
+            entry.lruPos = shard.lru.begin();
+            shard.bytesUsed += bytes;
+            // Per-shard budget: the total divides evenly; a 0
+            // budget keeps nothing resident (the entry is evicted
+            // right here, after being handed to the caller).
+            evictOver(shard, options_.maxBytes / shards_.size());
+        }
     }
     shard.readyCv.notify_all();
     if (telemetry::enabled()) {
@@ -166,6 +174,36 @@ ArtifactCache::getOrComputeErased(
                             static_cast<double>(stats().bytesUsed));
     }
     return value;
+}
+
+bool
+ArtifactCache::invalidate(const ArtifactKey& key)
+{
+    Shard& shard = *shards_[key.hash() % shards_.size()];
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(key);
+        if (it == shard.entries.end())
+            return false;
+        Entry& entry = it->second;
+        if (entry.ready) {
+            shard.bytesUsed -= entry.bytes;
+            shard.lru.erase(entry.lruPos);
+            shard.entries.erase(it);
+        } else if (entry.invalidated) {
+            // Already marked by an earlier invalidate; count once.
+            return false;
+        } else {
+            entry.invalidated = true;
+        }
+        shard.invalidations += 1;
+    }
+    countTelemetry("invalidations");
+    if (telemetry::enabled()) {
+        telemetry::gaugeSet("service.cache.bytes",
+                            static_cast<double>(stats().bytesUsed));
+    }
+    return true;
 }
 
 CacheStats
@@ -177,6 +215,7 @@ ArtifactCache::stats() const
         total.hits += shard->hits;
         total.misses += shard->misses;
         total.evictions += shard->evictions;
+        total.invalidations += shard->invalidations;
         total.singleFlightWaits += shard->singleFlightWaits;
         total.bytesUsed += shard->bytesUsed;
         total.entries += shard->lru.size();

@@ -23,6 +23,7 @@
  *
  * Telemetry (when enabled): `service.cache.hits`,
  * `service.cache.misses`, `service.cache.evictions`,
+ * `service.cache.invalidations`,
  * `service.cache.single_flight_waits` counters and the
  * `service.cache.bytes` gauge. The same numbers are always
  * available programmatically through stats().
@@ -106,6 +107,14 @@ struct CacheStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /**
+     * Entries dropped through invalidate(). Deliberately separate
+     * from evictions: an eviction is the byte budget reclaiming
+     * space, an invalidation is a caller declaring the value wrong
+     * (e.g. a recalibration swap) — conflating them would make the
+     * cache-thrash probe fire on healthy recalibration churn.
+     */
+    std::uint64_t invalidations = 0;
     /** Requests that waited on another thread's computation. */
     std::uint64_t singleFlightWaits = 0;
     /** Estimated bytes held by ready entries. */
@@ -175,6 +184,19 @@ class ArtifactCache
             std::move(erased));
     }
 
+    /**
+     * Drop @p key so no getOrCompute issued after this call ever
+     * observes the value cached under it. A ready entry is erased
+     * immediately; an in-flight computation is marked so its result
+     * is still handed to the caller that initiated it but is never
+     * retained (waiters then recompute). Holders of previously
+     * returned shared_ptr values are unaffected — that is the
+     * pinned-generation contract recalibration relies on.
+     *
+     * @return true when an entry (ready or pending) existed.
+     */
+    bool invalidate(const ArtifactKey& key);
+
     /** Merged counters across every shard. */
     CacheStats stats() const;
 
@@ -191,6 +213,9 @@ class ArtifactCache
         std::shared_ptr<const void> value;
         std::size_t bytes = 0;
         bool ready = false;
+        /** Pending slot invalidated mid-compute: the result is
+         *  handed to its caller but never becomes resident. */
+        bool invalidated = false;
         /** Iterator into the shard's LRU list (ready only). */
         std::list<ArtifactKey>::iterator lruPos;
     };
@@ -207,6 +232,7 @@ class ArtifactCache
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
+        std::uint64_t invalidations = 0;
         std::uint64_t singleFlightWaits = 0;
     };
 

@@ -75,6 +75,53 @@ ConfusionCdf::ConfusionCdf(const Calibration& cal,
     }
 }
 
+ConfusionCdf::ConfusionCdf(unsigned num_bits,
+                           const std::vector<Counts>& per_truth)
+    : numBits_(num_bits)
+{
+    if (numBits_ > kMaxBits)
+        throw std::invalid_argument(
+            "ConfusionCdf: dense rows support at most " +
+            std::to_string(kMaxBits) + " bits, got " +
+            std::to_string(numBits_));
+    const std::size_t dim = std::size_t{1} << numBits_;
+    if (per_truth.size() != dim)
+        throw std::invalid_argument(
+            "ConfusionCdf: expected " + std::to_string(dim) +
+            " holdout histograms, got " +
+            std::to_string(per_truth.size()));
+
+    rows_.assign(dim, std::vector<double>(dim, 0.0));
+    for (BasisState truth = 0; truth < dim; ++truth) {
+        const Counts& counts = per_truth[truth];
+        const std::uint64_t total = counts.total();
+        if (total == 0)
+            throw std::invalid_argument(
+                "ConfusionCdf: empty holdout histogram for truth "
+                "state " +
+                std::to_string(truth));
+        for (const auto& [outcome, n] : counts.raw()) {
+            if (outcome >= dim)
+                throw std::invalid_argument(
+                    "ConfusionCdf: holdout outcome " +
+                    std::to_string(outcome) +
+                    " wider than " + std::to_string(numBits_) +
+                    " bits");
+            rows_[truth][outcome] = static_cast<double>(n) /
+                                    static_cast<double>(total);
+        }
+        double cumulative = 0.0;
+        for (BasisState observed = 0; observed < dim;
+             ++observed) {
+            cumulative += rows_[truth][observed];
+            rows_[truth][observed] = cumulative;
+        }
+        // Same tail pin as the analytic constructor: sample()
+        // must never fall off the row from rounding.
+        rows_[truth][dim - 1] = 1.0;
+    }
+}
+
 double
 ConfusionCdf::probability(BasisState truth,
                           BasisState observed) const
@@ -106,6 +153,31 @@ ConfusionCdf::bytes() const
 {
     const std::size_t dim = std::size_t{1} << numBits_;
     return dim * dim * sizeof(double) + dim * 32;
+}
+
+ArtifactKey
+withGeneration(ArtifactKey key, std::uint64_t generation)
+{
+    if (generation == 0)
+        return key;
+    std::uint64_t h = kFnvBasis;
+    h = fnvString(h, "generation");
+    h = fnvWord(h, key.options);
+    h = fnvWord(h, generation);
+    key.options = h;
+    return key;
+}
+
+ArtifactKey
+compiledProgramKey(const std::string& machine,
+                   const Circuit& circuit,
+                   std::uint64_t generation)
+{
+    ArtifactKey key;
+    key.kind = ArtifactKind::CompiledProgram;
+    key.subject = fingerprintCircuit(circuit);
+    key.machine = machine;
+    return withGeneration(std::move(key), generation);
 }
 
 ArtifactKey

@@ -29,6 +29,8 @@
 #include "machine/calibration.hh"
 #include "mitigation/bfa_policy.hh"
 #include "mitigation/rbms.hh"
+#include "qsim/circuit.hh"
+#include "qsim/counts.hh"
 #include "qsim/simulator.hh"
 #include "qsim/types.hh"
 #include "service/artifact_cache.hh"
@@ -59,6 +61,17 @@ class ConfusionCdf
     ConfusionCdf(const Calibration& cal,
                  const std::vector<Qubit>& qubits);
 
+    /**
+     * Empirical rows from measured holdout histograms: row s is the
+     * normalized frequency of @p per_truth[s] — the shape the
+     * recalibration scheduler rebuilds from fresh re-profiling
+     * shots, model-free. @p per_truth must hold one histogram per
+     * truth state (2^num_bits of them) and every histogram must be
+     * non-empty; outcomes wider than @p num_bits throw.
+     */
+    ConfusionCdf(unsigned num_bits,
+                 const std::vector<Counts>& per_truth);
+
     unsigned numBits() const { return numBits_; }
 
     /** P(observed | truth), recovered from adjacent CDF entries. */
@@ -81,6 +94,26 @@ class ConfusionCdf
     /** rows_[truth][observed] = P(outcome <= observed | truth). */
     std::vector<std::vector<double>> rows_;
 };
+
+/**
+ * @p key with @p generation folded into its options fingerprint.
+ * Generation 0 is the identity, so un-versioned call sites keep
+ * their historical keys. The recalibration scheduler publishes each
+ * refresh under the next generation and invalidates the previous
+ * one: in-flight consumers keep their pinned shared_ptr, new
+ * lookups miss cleanly onto the fresh artifact.
+ */
+ArtifactKey withGeneration(ArtifactKey key,
+                           std::uint64_t generation);
+
+/**
+ * Cache key of a compiled program for (machine, circuit) under a
+ * machine @p generation (bumped by JobService::replaceMachine so a
+ * swapped backend never serves a previous backend's lowering).
+ */
+ArtifactKey compiledProgramKey(const std::string& machine,
+                               const Circuit& circuit,
+                               std::uint64_t generation = 0);
 
 /** Cache key of the RBMS profile for (machine, register, knobs). */
 ArtifactKey rbmsProfileKey(const std::string& machine,

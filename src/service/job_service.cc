@@ -8,6 +8,7 @@
 
 #include "runtime/fault_injection.hh"
 #include "runtime/shot_plan.hh"
+#include "service/artifacts.hh"
 #include "service/fingerprint.hh"
 #include "service/job_state.hh"
 #include "telemetry/manifest.hh"
@@ -66,27 +67,55 @@ JobService::~JobService()
     pool_.reset();
 }
 
-bool
-JobService::registerMachine(const std::string& name,
-                            const ShardedBackend& prototype)
+std::shared_ptr<const JobService::WorkerSet>
+JobService::cloneWorkers(const ShardedBackend& prototype) const
 {
-    // Clone outside the lock: prototypes can be heavy.
     const std::optional<FaultOptions> faults =
         FaultOptions::fromEnv();
-    auto runtime = std::make_unique<MachineRuntime>();
-    runtime->name = name;
-    runtime->workers.reserve(pool_->size());
+    auto workers = std::make_shared<WorkerSet>();
+    workers->reserve(pool_->size());
     for (std::size_t i = 0; i < pool_->size(); ++i) {
         std::unique_ptr<ShardedBackend> worker =
             prototype.clone();
         if (faults)
             worker = std::make_unique<FaultInjectingBackend>(
                 std::move(worker), *faults);
-        runtime->workers.push_back(std::move(worker));
+        workers->push_back(std::move(worker));
     }
+    return workers;
+}
+
+bool
+JobService::registerMachine(const std::string& name,
+                            const ShardedBackend& prototype)
+{
+    // Clone outside the lock: prototypes can be heavy.
+    auto workers = cloneWorkers(prototype);
+    auto runtime = std::make_unique<MachineRuntime>();
+    runtime->name = name;
+    runtime->workers = std::move(workers);
 
     std::lock_guard<std::mutex> lock(mutex_);
     return machines_.emplace(name, std::move(runtime)).second;
+}
+
+bool
+JobService::replaceMachine(const std::string& name,
+                           const ShardedBackend& prototype)
+{
+    // Clone outside the lock; the swap itself is one pointer
+    // assignment plus the generation bump under mutex_.
+    auto workers = cloneWorkers(prototype);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = machines_.find(name);
+        if (it == machines_.end())
+            return false;
+        it->second->workers = std::move(workers);
+        ++it->second->generation;
+    }
+    telemetry::count("service.machine_swaps");
+    return true;
 }
 
 bool
@@ -96,8 +125,14 @@ JobService::hasMachine(const std::string& name) const
     return machines_.count(name) != 0;
 }
 
-JobService::MachineRuntime&
-JobService::machineRuntime(const std::string& name)
+std::uint64_t
+JobService::machineGeneration(const std::string& name) const
+{
+    return machineSnapshot(name).generation;
+}
+
+JobService::MachineSnapshot
+JobService::machineSnapshot(const std::string& name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = machines_.find(name);
@@ -105,9 +140,7 @@ JobService::machineRuntime(const std::string& name)
         throw std::invalid_argument(
             "JobService: machine \"" + name +
             "\" is not registered");
-    // Machines are never erased, so the reference stays valid
-    // without the lock.
-    return *it->second;
+    return {it->second->workers, it->second->generation};
 }
 
 Rng
@@ -121,14 +154,16 @@ JobService::jobStream(std::uint64_t service_seed,
 }
 
 std::shared_ptr<const ShardedBackend::CompiledRun>
-JobService::compileCached(MachineRuntime& machine,
+JobService::compileCached(const std::string& machine,
+                          const MachineSnapshot& snapshot,
                           const Circuit& circuit,
                           JobRecord& record)
 {
-    ArtifactKey key;
-    key.kind = ArtifactKind::CompiledProgram;
-    key.subject = fingerprintCircuit(circuit);
-    key.machine = machine.name;
+    // Generation-keyed: after a replaceMachine the key misses
+    // cleanly and the new backend compiles fresh; the previous
+    // generation's entry ages out of the LRU.
+    const ArtifactKey key = compiledProgramKey(
+        machine, circuit, snapshot.generation);
 
     bool hit = false;
     auto compiled = cache_.getOrCompute<
@@ -136,7 +171,7 @@ JobService::compileCached(MachineRuntime& machine,
         key,
         [&]() -> ArtifactCache::Costed<
                   ShardedBackend::CompiledRun> {
-            auto program = machine.workers.front()->compile(
+            auto program = snapshot.workers->front()->compile(
                 circuit);
             if (program)
                 telemetry::count("runtime.compiled_jobs");
@@ -160,7 +195,11 @@ JobService::submit(const std::string& machine,
                    const Circuit& circuit, std::size_t shots,
                    JobOptions options)
 {
-    MachineRuntime& runtime = machineRuntime(machine);
+    // Pin the machine's worker set for this job's whole lifetime:
+    // a replaceMachine issued after this line never affects the
+    // batches below (they run on the snapshot), only later
+    // submissions.
+    const MachineSnapshot snapshot = machineSnapshot(machine);
 
     const std::size_t batchSize = options.batchSize != 0
                                       ? options.batchSize
@@ -239,7 +278,8 @@ JobService::submit(const std::string& machine,
         jobStream(seed_, options.tenant, record.jobKey);
 
     const std::uint64_t hitsBefore = record.cacheHits;
-    auto compiled = compileCached(runtime, circuit, record);
+    auto compiled =
+        compileCached(machine, snapshot, circuit, record);
     if (state->flight)
         state->flight->record(
             record.cacheHits > hitsBefore
@@ -258,10 +298,10 @@ JobService::submit(const std::string& machine,
         item.priority = options.priority;
         item.jobSeq = jobSeq;
         item.batchIndex = batch.index;
-        item.work = [this, state, &runtime, compiled,
-                     index = batch.index,
+        item.work = [this, state, workers = snapshot.workers,
+                     compiled, index = batch.index,
                      shotsInBatch = batch.shots] {
-            runBatch(state, runtime, compiled, index,
+            runBatch(state, workers, compiled, index,
                      shotsInBatch);
         };
         items.push_back(std::move(item));
@@ -319,7 +359,7 @@ JobService::submit(const std::string& machine,
 void
 JobService::runBatch(
     const std::shared_ptr<JobState>& state,
-    MachineRuntime& machine,
+    std::shared_ptr<const WorkerSet> workers,
     std::shared_ptr<const ShardedBackend::CompiledRun> compiled,
     std::size_t batch_index, std::size_t batch_shots)
 {
@@ -354,7 +394,7 @@ JobService::runBatch(
     const int workerIdx = ThreadPool::workerIndex();
     const std::size_t worker =
         workerIdx >= 0 ? static_cast<std::size_t>(workerIdx) %
-                             machine.workers.size()
+                             workers->size()
                        : 0;
     // Keyed far above any real batch index so backoff draws can
     // never collide with a batch substream.
@@ -370,7 +410,7 @@ JobService::runBatch(
             Counts counts =
                 compiled
                     ? compiled->run(batch_shots, rng)
-                    : machine.workers[worker]->run(
+                    : (*workers)[worker]->run(
                           state->circuit, batch_shots, rng);
             {
                 std::lock_guard<std::mutex> lock(state->mutex);
@@ -736,6 +776,22 @@ JobService::healthMonitor()
     return health_;
 }
 
+void
+JobService::addManifestSection(
+    const std::string& key,
+    std::function<telemetry::JsonValue()> section)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifestSections_[key] = std::move(section);
+}
+
+void
+JobService::removeManifestSection(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifestSections_.erase(key);
+}
+
 std::vector<JobRecord>
 JobService::auditLog() const
 {
@@ -802,6 +858,8 @@ JobService::summaryJson() const
     cache["misses"] = telemetry::JsonValue(totals.cache.misses);
     cache["evictions"] =
         telemetry::JsonValue(totals.cache.evictions);
+    cache["invalidations"] =
+        telemetry::JsonValue(totals.cache.invalidations);
     cache["single_flight_waits"] =
         telemetry::JsonValue(totals.cache.singleFlightWaits);
     cache["bytes_used"] =
@@ -812,12 +870,20 @@ JobService::summaryJson() const
     doc["summary"] = std::move(sum);
 
     std::shared_ptr<telemetry::HealthMonitor> health;
+    std::map<std::string,
+             std::function<telemetry::JsonValue()>>
+        sections;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         health = health_;
+        sections = manifestSections_;
     }
     if (health)
         doc["health"] = health->toJson();
+    // Evaluated outside mutex_: a section callable may take its
+    // own subsystem lock (and must not deadlock against ours).
+    for (const auto& [key, section] : sections)
+        doc[key] = section();
 
     telemetry::JsonValue jobsJson =
         telemetry::JsonValue::array();

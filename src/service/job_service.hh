@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -133,7 +134,25 @@ class JobService
     bool registerMachine(const std::string& name,
                          const ShardedBackend& prototype);
 
+    /**
+     * Swap the executor of an already-registered machine for
+     * @p prototype (re-cloning one worker per pool thread) and
+     * bump the machine's generation. The swap is a single atomic
+     * publication: jobs submitted before it finish on the worker
+     * set they resolved at submit time (pinned via shared_ptr),
+     * jobs submitted after it run on the new one, and compiled
+     * programs are keyed by generation so a swapped machine
+     * misses cleanly instead of serving the old backend's
+     * lowering. Returns false when @p name is not registered.
+     */
+    bool replaceMachine(const std::string& name,
+                        const ShardedBackend& prototype);
+
     bool hasMachine(const std::string& name) const;
+
+    /** Times the machine's backend was replaced (0 = as first
+     *  registered). Throws for an unregistered machine. */
+    std::uint64_t machineGeneration(const std::string& name) const;
 
     /**
      * Queue @p shots trials of @p circuit on @p machine. Returns
@@ -216,6 +235,23 @@ class JobService
     ServiceSummary summary() const;
 
     /**
+     * Register (or overwrite) an extra top-level section of the
+     * service manifest: summaryJson() emits @p section() under
+     * @p key. Used by sidecar subsystems (e.g. the recalibration
+     * scheduler) to surface their state in the one manifest the
+     * status page renders. The callable must stay valid until
+     * removed — a sidecar must removeManifestSection() before it
+     * is destroyed.
+     */
+    void addManifestSection(
+        const std::string& key,
+        std::function<telemetry::JsonValue()> section);
+
+    /** Remove a section added by addManifestSection (no-op when
+     *  absent). */
+    void removeManifestSection(const std::string& key);
+
+    /**
      * Service manifest (`invertq.service.manifest/v1`): service
      * configuration, aggregate summary, and the full per-job audit
      * log.
@@ -226,31 +262,52 @@ class JobService
     bool writeSummary(const std::string& path) const;
 
   private:
-    /** Per-machine execution state: one backend clone per pool
-     *  worker plus the shared-compile entry point. */
+    /** One backend clone per pool worker; immutable once built so
+     *  jobs can pin it with a shared_ptr across a replaceMachine. */
+    using WorkerSet = std::vector<std::unique_ptr<ShardedBackend>>;
+
+    /** Per-machine execution state. The workers pointer is the
+     *  swap point of replaceMachine: readers snapshot it under
+     *  mutex_ and keep running on their snapshot. */
     struct MachineRuntime
     {
         std::string name;
-        std::vector<std::unique_ptr<ShardedBackend>> workers;
+        std::shared_ptr<const WorkerSet> workers;
+        /** Bumped per replaceMachine; folded into compiled-program
+         *  cache keys. */
+        std::uint64_t generation = 0;
     };
 
-    /** Resolve a registered machine or throw. */
-    MachineRuntime& machineRuntime(const std::string& name);
+    /** The worker set + generation a job resolves at submit time. */
+    struct MachineSnapshot
+    {
+        std::shared_ptr<const WorkerSet> workers;
+        std::uint64_t generation = 0;
+    };
+
+    /** Clone @p prototype once per pool worker (fault-wrapped per
+     *  INVERTQ_FAULTS, exactly like ParallelBackend). */
+    std::shared_ptr<const WorkerSet>
+    cloneWorkers(const ShardedBackend& prototype) const;
+
+    /** Resolve a registered machine's current snapshot or throw. */
+    MachineSnapshot machineSnapshot(const std::string& name) const;
 
     /**
      * Compile @p circuit for @p machine through the shared cache
-     * (single-flight across concurrent submissions). Returns
-     * nullptr for backends without a compiled form. Records
-     * hit/miss in @p record.
+     * (single-flight across concurrent submissions), keyed by the
+     * snapshot's generation. Returns nullptr for backends without
+     * a compiled form. Records hit/miss in @p record.
      */
     std::shared_ptr<const ShardedBackend::CompiledRun>
-    compileCached(MachineRuntime& machine, const Circuit& circuit,
-                  JobRecord& record);
+    compileCached(const std::string& machine,
+                  const MachineSnapshot& snapshot,
+                  const Circuit& circuit, JobRecord& record);
 
     /** Execute one batch (retries included); never throws. */
     void runBatch(
         const std::shared_ptr<JobState>& state,
-        MachineRuntime& machine,
+        std::shared_ptr<const WorkerSet> workers,
         std::shared_ptr<const ShardedBackend::CompiledRun>
             compiled,
         std::size_t batch_index, std::size_t batch_shots);
@@ -280,6 +337,9 @@ class JobService
     std::uint64_t nextJobSeq_ = 0;
     std::size_t activeJobs_ = 0;
     std::shared_ptr<telemetry::HealthMonitor> health_;
+    std::map<std::string,
+             std::function<telemetry::JsonValue()>>
+        manifestSections_;
     std::atomic<std::uint64_t> dispatchedBatches_{0};
 
     mutable std::mutex auditMutex_;

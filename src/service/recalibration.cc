@@ -1,0 +1,531 @@
+#include "service/recalibration.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "service/fingerprint.hh"
+#include "telemetry/telemetry.hh"
+
+namespace qem::svc
+{
+
+namespace
+{
+
+/** Options fingerprint marking the empirical (measured, not
+ *  calibration-derived) artifact family. */
+std::uint64_t
+empiricalOptionsFingerprint(const std::string& tag)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnvString(h, "recal-empirical");
+    h = fnvString(h, tag);
+    return h;
+}
+
+} // namespace
+
+HoldoutSampler
+holdoutFromService(JobService& service, std::string machine,
+                   unsigned machine_qubits,
+                   std::vector<Qubit> qubits, std::string tenant)
+{
+    if (qubits.empty())
+        throw std::invalid_argument(
+            "holdoutFromService: empty register");
+    JobService* svc = &service;
+    return [svc, machine = std::move(machine), machine_qubits,
+            qubits = std::move(qubits),
+            tenant = std::move(tenant)](BasisState truth,
+                                        std::size_t shots,
+                                        Rng& rng) {
+        JobOptions options;
+        options.tenant = tenant;
+        options.priority = JobPriority::Background;
+        // The job key is drawn from the probe's per-(epoch, state)
+        // stream, so a rolled-back epoch retry resubmits a job with
+        // the identical (tenant, jobKey) — bit-identical Counts by
+        // the service determinism contract.
+        options.jobKey = rng.bits();
+        options.label = "recal-holdout";
+        JobHandle handle = svc->submit(
+            machine,
+            holdoutPrepCircuit(machine_qubits, qubits, truth),
+            shots, options);
+        return handle.get();
+    };
+}
+
+ArtifactKey
+recalProfileKey(const std::string& machine,
+                const std::vector<Qubit>& qubits,
+                std::uint64_t generation)
+{
+    ArtifactKey key;
+    key.kind = ArtifactKind::RbmsProfile;
+    key.subject = fingerprintQubits(qubits);
+    key.machine = machine;
+    key.options = empiricalOptionsFingerprint("profile");
+    return withGeneration(std::move(key), generation);
+}
+
+ArtifactKey
+recalConfusionKey(const std::string& machine,
+                  const std::vector<Qubit>& qubits,
+                  std::uint64_t generation)
+{
+    ArtifactKey key;
+    key.kind = ArtifactKind::ConfusionCdf;
+    key.subject = fingerprintQubits(qubits);
+    key.machine = machine;
+    key.options = empiricalOptionsFingerprint("confusion");
+    return withGeneration(std::move(key), generation);
+}
+
+std::uint64_t
+recalProfileJobKey(const std::string& machine,
+                   std::uint64_t generation, BasisState truth)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnvString(h, "recal-profile");
+    h = fnvString(h, machine);
+    h = fnvWord(h, generation);
+    h = fnvWord(h, truth);
+    return h;
+}
+
+RecalibrationScheduler::RecalibrationScheduler(
+    JobService& service, RecalOptions options)
+    : service_(service), options_(std::move(options)),
+      flight_(options_.flightCapacity)
+{
+    service_.addManifestSection("recalibration",
+                                [this] { return toJson(); });
+}
+
+RecalibrationScheduler::~RecalibrationScheduler()
+{
+    stop();
+    service_.removeManifestSection("recalibration");
+}
+
+void
+RecalibrationScheduler::watchMachine(const std::string& name,
+                                     unsigned machine_qubits,
+                                     std::vector<Qubit> qubits)
+{
+    if (!service_.hasMachine(name))
+        throw std::invalid_argument(
+            "RecalibrationScheduler: machine '" + name +
+            "' is not registered with the service");
+    if (qubits.empty() || qubits.size() > ConfusionCdf::kMaxBits)
+        throw std::invalid_argument(
+            "RecalibrationScheduler: watched register must hold "
+            "1.." +
+            std::to_string(ConfusionCdf::kMaxBits) +
+            " qubits, got " + std::to_string(qubits.size()));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (watched_.count(name) != 0)
+            throw std::invalid_argument(
+                "RecalibrationScheduler: machine '" + name +
+                "' is already watched");
+    }
+
+    // Bootstrap generation 0 through the same job path refreshes
+    // use: cached and live samples then come from one distribution
+    // family, so prep-circuit gate noise cancels out of the probe.
+    Profiled bootstrap =
+        reprofile(name, machine_qubits, qubits, 0);
+
+    Watched watched;
+    watched.machineQubits = machine_qubits;
+    watched.qubits = std::move(qubits);
+    watched.generation = 0;
+    watched.profile = bootstrap.profile;
+    watched.confusion = bootstrap.confusion;
+    watched.probe = makeProbe(name, machine_qubits,
+                              watched.qubits,
+                              bootstrap.confusion, 0);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!watched_.emplace(name, std::move(watched)).second)
+        throw std::invalid_argument(
+            "RecalibrationScheduler: machine '" + name +
+            "' is already watched");
+}
+
+std::size_t
+RecalibrationScheduler::checkNow()
+{
+    // One pass at a time: two overlapping passes tripping the same
+    // machine would race to publish the same next generation.
+    std::lock_guard<std::mutex> pass(passMutex_);
+
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        names.reserve(watched_.size());
+        for (const auto& [name, watched] : watched_) {
+            (void)watched;
+            names.push_back(name);
+        }
+    }
+
+    std::size_t refreshed = 0;
+    for (const std::string& name : names) {
+        std::shared_ptr<RbmsStalenessProbe> probe;
+        unsigned machineQubits = 0;
+        std::vector<Qubit> qubits;
+        std::uint64_t generation = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = watched_.find(name);
+            if (it == watched_.end())
+                continue;
+            probe = it->second.probe;
+            machineQubits = it->second.machineQubits;
+            qubits = it->second.qubits;
+            generation = it->second.generation;
+        }
+
+        telemetry::ProbeResult result;
+        try {
+            // Outside the scheduler lock: the probe submits jobs
+            // and blocks on their results.
+            result = probe->check();
+        } catch (...) {
+            // The probe rolled its epoch back (staleness.cc); the
+            // next pass replays the identical stream.
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++errors_;
+            continue;
+        }
+        if (result.status != telemetry::HealthStatus::Unhealthy)
+            continue;
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++trips_;
+            auto it = watched_.find(name);
+            if (it != watched_.end()) {
+                ++it->second.trips;
+                it->second.pendingTrip = true;
+            }
+        }
+        telemetry::count("service.recal.trips");
+        flight_.record(telemetry::FlightEventKind::RecalTrip, -1,
+                       generation, name);
+
+        const std::uint64_t next = generation + 1;
+        Profiled fresh;
+        try {
+            fresh = reprofile(name, machineQubits, qubits, next);
+        } catch (...) {
+            // Refresh failed (queue full, backend fault): the trip
+            // stays outstanding — lagProbe() degrades — and the
+            // stale artifacts keep serving until the next pass.
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++errors_;
+            continue;
+        }
+
+        // Retire the previous generation from the shared cache.
+        // Holders of the old shared_ptr keep their pinned
+        // generation; only future lookups are affected.
+        service_.cache().invalidate(
+            recalConfusionKey(name, qubits, generation));
+        service_.cache().invalidate(
+            recalProfileKey(name, qubits, generation));
+
+        {
+            // The swap: {profile, confusion, generation, probe}
+            // change in one critical section, so a reader sees
+            // all-old or all-new — never a torn mix.
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = watched_.find(name);
+            if (it == watched_.end())
+                continue;
+            Watched& watched = it->second;
+            watched.generation = next;
+            watched.profile = fresh.profile;
+            watched.confusion = fresh.confusion;
+            watched.probe = makeProbe(name, machineQubits, qubits,
+                                      fresh.confusion, next);
+            ++watched.refreshes;
+            watched.pendingTrip = false;
+            ++refreshes_;
+        }
+        telemetry::count("service.recal.refreshes");
+        if (telemetry::enabled())
+            telemetry::gaugeSet("service.recal.swap_generation",
+                                static_cast<double>(next));
+        flight_.record(telemetry::FlightEventKind::RecalSwap, -1,
+                       next, name);
+        ++refreshed;
+    }
+    return refreshed;
+}
+
+RecalibrationScheduler::Profiled
+RecalibrationScheduler::reprofile(const std::string& name,
+                                  unsigned machine_qubits,
+                                  const std::vector<Qubit>& qubits,
+                                  std::uint64_t generation)
+{
+    const unsigned bits = static_cast<unsigned>(qubits.size());
+    const std::size_t dim = std::size_t{1} << bits;
+
+    // Submit every truth state before waiting on any: the sweep
+    // pipelines through the shared pool, and Background priority
+    // lets tenant traffic overtake it batch by batch.
+    std::vector<JobHandle> handles;
+    handles.reserve(dim);
+    for (BasisState truth = 0; truth < dim; ++truth) {
+        JobOptions options;
+        options.tenant = options_.tenant;
+        options.priority = JobPriority::Background;
+        options.jobKey =
+            recalProfileJobKey(name, generation, truth);
+        options.label =
+            "recal-profile/gen" + std::to_string(generation);
+        handles.push_back(service_.submit(
+            name,
+            holdoutPrepCircuit(machine_qubits, qubits, truth),
+            options_.profileShotsPerState, options));
+    }
+
+    std::vector<Counts> perTruth;
+    perTruth.reserve(dim);
+    for (const JobHandle& handle : handles)
+        perTruth.push_back(handle.get());
+
+    auto builtConfusion =
+        std::make_shared<const ConfusionCdf>(bits, perTruth);
+    // RBMS strength of state s is its survival probability
+    // P(observed = s | truth = s) — the paper's definition of how
+    // strongly the machine holds a state, read off the diagonal.
+    std::vector<double> table(dim, 0.0);
+    for (BasisState s = 0; s < dim; ++s)
+        table[s] = builtConfusion->probability(s, s);
+    auto builtProfile =
+        std::make_shared<const ExhaustiveRbms>(std::move(table));
+
+    // Publish under the generation's keys. getOrCompute (not a
+    // blind insert) preserves single-flight semantics if another
+    // path ever publishes the same generation concurrently.
+    ArtifactCache& cache = service_.cache();
+    Profiled out;
+    out.confusion = cache.getOrCompute<ConfusionCdf>(
+        recalConfusionKey(name, qubits, generation),
+        [&]() -> ArtifactCache::Costed<ConfusionCdf> {
+            return {builtConfusion, builtConfusion->bytes()};
+        });
+    out.profile = cache.getOrCompute<RbmsEstimate>(
+        recalProfileKey(name, qubits, generation),
+        [&]() -> ArtifactCache::Costed<RbmsEstimate> {
+            return {builtProfile, dim * sizeof(double) + 256};
+        });
+    return out;
+}
+
+std::shared_ptr<RbmsStalenessProbe>
+RecalibrationScheduler::makeProbe(
+    const std::string& name, unsigned machine_qubits,
+    const std::vector<Qubit>& qubits,
+    std::shared_ptr<const ConfusionCdf> confusion,
+    std::uint64_t generation) const
+{
+    StalenessOptions probeOptions = options_.staleness;
+    // Fold machine and generation into the probe seed: no two
+    // machines — and no probe and its post-refresh successor —
+    // ever replay the same holdout streams.
+    std::uint64_t h = kFnvBasis;
+    h = fnvWord(h, probeOptions.seed);
+    h = fnvString(h, name);
+    h = fnvWord(h, generation);
+    probeOptions.seed = h;
+    return std::make_shared<RbmsStalenessProbe>(
+        std::move(confusion),
+        holdoutFromService(service_, name, machine_qubits, qubits,
+                           options_.tenant),
+        std::move(probeOptions));
+}
+
+std::uint64_t
+RecalibrationScheduler::generation(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = watched_.find(name);
+    if (it == watched_.end())
+        throw std::invalid_argument(
+            "RecalibrationScheduler: machine '" + name +
+            "' is not watched");
+    return it->second.generation;
+}
+
+std::shared_ptr<const RbmsEstimate>
+RecalibrationScheduler::currentProfile(
+    const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = watched_.find(name);
+    if (it == watched_.end())
+        throw std::invalid_argument(
+            "RecalibrationScheduler: machine '" + name +
+            "' is not watched");
+    return it->second.profile;
+}
+
+std::shared_ptr<const ConfusionCdf>
+RecalibrationScheduler::currentConfusion(
+    const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = watched_.find(name);
+    if (it == watched_.end())
+        throw std::invalid_argument(
+            "RecalibrationScheduler: machine '" + name +
+            "' is not watched");
+    return it->second.confusion;
+}
+
+std::uint64_t
+RecalibrationScheduler::trips() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trips_;
+}
+
+std::uint64_t
+RecalibrationScheduler::refreshes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return refreshes_;
+}
+
+std::uint64_t
+RecalibrationScheduler::errors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return errors_;
+}
+
+std::vector<telemetry::FlightEvent>
+RecalibrationScheduler::flightEvents() const
+{
+    return flight_.events();
+}
+
+std::shared_ptr<telemetry::HealthProbe>
+RecalibrationScheduler::lagProbe()
+{
+    return std::make_shared<telemetry::FunctionProbe>(
+        "recalibration_lag", [this]() {
+            std::uint64_t lag = 0;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (const auto& [name, watched] : watched_) {
+                    (void)name;
+                    if (watched.pendingTrip)
+                        ++lag;
+                }
+            }
+            telemetry::ProbeResult result;
+            result.value = static_cast<double>(lag);
+            if (lag == 0) {
+                result.status = telemetry::HealthStatus::Healthy;
+                result.message =
+                    "every trip answered by a refresh";
+            } else {
+                result.status =
+                    lag == 1
+                        ? telemetry::HealthStatus::Degraded
+                        : telemetry::HealthStatus::Unhealthy;
+                result.message =
+                    std::to_string(lag) +
+                    " tripped machine(s) awaiting a refresh";
+            }
+            return result;
+        });
+}
+
+telemetry::JsonValue
+RecalibrationScheduler::toJson() const
+{
+    telemetry::JsonValue doc = telemetry::JsonValue::object();
+    telemetry::JsonValue machines =
+        telemetry::JsonValue::array();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        doc["trips"] = telemetry::JsonValue(trips_);
+        doc["refreshes"] = telemetry::JsonValue(refreshes_);
+        doc["errors"] = telemetry::JsonValue(errors_);
+        for (const auto& [name, watched] : watched_) {
+            telemetry::JsonValue machine =
+                telemetry::JsonValue::object();
+            machine["machine"] = telemetry::JsonValue(name);
+            machine["swap_generation"] =
+                telemetry::JsonValue(watched.generation);
+            machine["trips"] =
+                telemetry::JsonValue(watched.trips);
+            machine["refreshes"] =
+                telemetry::JsonValue(watched.refreshes);
+            machine["pending_trip"] =
+                telemetry::JsonValue(watched.pendingTrip);
+            machine["num_bits"] = telemetry::JsonValue(
+                static_cast<std::uint64_t>(
+                    watched.qubits.size()));
+            machines.push(std::move(machine));
+        }
+    }
+    doc["machines"] = std::move(machines);
+    doc["flight"] = flight_.toJson();
+    return doc;
+}
+
+void
+RecalibrationScheduler::start(double period_seconds)
+{
+    if (period_seconds <= 0.0)
+        throw std::invalid_argument(
+            "RecalibrationScheduler: period must be positive");
+    std::lock_guard<std::mutex> lock(threadMutex_);
+    if (thread_.joinable())
+        throw std::logic_error(
+            "RecalibrationScheduler: already started");
+    stopping_ = false;
+    thread_ = std::thread([this, period_seconds] {
+        const auto period =
+            std::chrono::duration<double>(period_seconds);
+        std::unique_lock<std::mutex> lock(threadMutex_);
+        while (!stopCv_.wait_for(lock, period,
+                                 [this] { return stopping_; })) {
+            lock.unlock();
+            try {
+                checkNow();
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(mutex_);
+                ++errors_;
+            }
+            lock.lock();
+        }
+    });
+}
+
+void
+RecalibrationScheduler::stop()
+{
+    std::thread worker;
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        stopping_ = true;
+        worker = std::move(thread_);
+    }
+    stopCv_.notify_all();
+    if (worker.joinable())
+        worker.join();
+}
+
+} // namespace qem::svc

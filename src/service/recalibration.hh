@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Background RBMS recalibration: detect → re-profile → swap.
+ *
+ * PR 7's RbmsStalenessProbe answers "is the cached confusion model
+ * still what the live machine produces?" but nothing acted on it:
+ * a tripped probe left stale artifacts pinned in the ArtifactCache
+ * forever, and AIM kept inverting onto yesterday's strong states —
+ * exactly the failure mode Hicks et al. (arXiv:2010.07496) warn
+ * about, and the reason model-free alternatives exist at all
+ * (van den Berg et al., arXiv:2012.09738). This scheduler closes
+ * the loop at service level:
+ *
+ *  1. **Detect** — run the staleness probe per watched machine,
+ *     sampling fresh holdout shots through the JobService itself
+ *     (Background priority; tenant traffic is never blocked).
+ *  2. **Re-profile** — on a trip, submit one low-priority holdout
+ *     job per truth state and rebuild the RbmsProfile /
+ *     ConfusionCdf empirically from the fresh histograms.
+ *  3. **Swap** — publish the rebuilt artifacts under the next
+ *     *generation-versioned* cache key, invalidate the previous
+ *     generation, and atomically swap the scheduler's current
+ *     pointers. In-flight consumers keep their pinned shared_ptr
+ *     generation; every lookup after the swap resolves the fresh
+ *     one. There is no torn state: the {profile, confusion,
+ *     generation} triple changes under one lock.
+ *
+ * Observability: `service.recal.trips` / `service.recal.refreshes`
+ * counters, the `service.recal.swap_generation` gauge, RecalTrip /
+ * RecalSwap flight-recorder events (exactly one RecalSwap per
+ * refresh), a `recalibration_lag` health probe (trips not yet
+ * answered by a refresh), and a "recalibration" section in the
+ * service manifest rendered by tools/invertq_statusz. See
+ * docs/recalibration.md.
+ */
+
+#ifndef QEM_SERVICE_RECALIBRATION_HH
+#define QEM_SERVICE_RECALIBRATION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mitigation/rbms.hh"
+#include "service/artifacts.hh"
+#include "service/job_service.hh"
+#include "service/staleness.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/health.hh"
+
+namespace qem::svc
+{
+
+/**
+ * Holdout sampler that runs the prep circuits as Background jobs
+ * on @p service — the production replay path, sharing the queue
+ * (and its admission control) with tenant traffic instead of
+ * stalling it. The job key is drawn from the probe's own stream
+ * (`rng.bits()`), so the probe's epoch discipline carries into the
+ * service's deterministic (tenant, jobKey) tree: a rolled-back
+ * epoch retry resubmits the *identical* job.
+ *
+ * @param machine_qubits Width of the registered backend (prep
+ *        circuits are machine-wide, like holdoutFromBackend's).
+ */
+HoldoutSampler holdoutFromService(JobService& service,
+                                  std::string machine,
+                                  unsigned machine_qubits,
+                                  std::vector<Qubit> qubits,
+                                  std::string tenant = "__recal");
+
+/** Knobs of one scheduler instance. */
+struct RecalOptions
+{
+    /** Probe configuration (budget, alpha, seed). The effective
+     *  per-probe seed also folds in machine name and generation,
+     *  so machines and refreshes never share sample streams. */
+    StalenessOptions staleness{};
+    /** Holdout shots per truth state when re-profiling. Keep well
+     *  above staleness.shotsPerState: the published rows must be
+     *  estimated tighter than the probe can distinguish, or the
+     *  probe would reject its own refresh. */
+    std::size_t profileShotsPerState = 16384;
+    /** Tenant the maintenance jobs bill to (its own audit
+     *  lineage, visible per-tenant in the status page). */
+    std::string tenant = "__recal";
+    /** Ring capacity of the scheduler's flight recorder. */
+    std::size_t flightCapacity = 64;
+};
+
+/** Generation-versioned cache key of the scheduler's empirical
+ *  RBMS profile for (machine, register). */
+ArtifactKey recalProfileKey(const std::string& machine,
+                            const std::vector<Qubit>& qubits,
+                            std::uint64_t generation);
+
+/** Generation-versioned cache key of the scheduler's empirical
+ *  confusion CDF for (machine, register). */
+ArtifactKey recalConfusionKey(const std::string& machine,
+                              const std::vector<Qubit>& qubits,
+                              std::uint64_t generation);
+
+/** Deterministic job key of re-profiling job (machine,
+ *  generation, truth) — explicit keys keep the maintenance
+ *  streams independent of submission order. */
+std::uint64_t recalProfileJobKey(const std::string& machine,
+                                 std::uint64_t generation,
+                                 BasisState truth);
+
+class RecalibrationScheduler
+{
+  public:
+    /**
+     * @param service The job service whose machines, queue, and
+     *        artifact cache the scheduler operates on. Must
+     *        outlive the scheduler.
+     */
+    explicit RecalibrationScheduler(JobService& service,
+                                    RecalOptions options = {});
+
+    /** stop()s the background thread and unregisters the
+     *  manifest section. */
+    ~RecalibrationScheduler();
+
+    RecalibrationScheduler(const RecalibrationScheduler&) = delete;
+    RecalibrationScheduler&
+    operator=(const RecalibrationScheduler&) = delete;
+
+    /**
+     * Start watching @p name (must already be registered with the
+     * service): bootstrap the generation-0 profile/confusion pair
+     * by running the re-profiling jobs once, publish them under
+     * the generation-0 keys, and install the staleness probe.
+     * Bootstrapping empirically — through the same backend, prep
+     * circuits, and service path the probe replays later — keeps
+     * cached and live samples drawn from one distribution family,
+     * so gate noise in the prep circuits can never trip the probe
+     * by itself.
+     *
+     * @param machine_qubits Width of the registered backend.
+     * @param qubits Measured register (clbit order), at most
+     *        ConfusionCdf::kMaxBits wide.
+     * @throws std::invalid_argument for an unregistered machine,
+     *         an already-watched machine, or a bad register.
+     */
+    void watchMachine(const std::string& name,
+                      unsigned machine_qubits,
+                      std::vector<Qubit> qubits);
+
+    /**
+     * One detection pass over every watched machine: run its
+     * staleness probe; on a trip, re-profile and swap. Safe to
+     * call concurrently (passes serialize) and alongside tenant
+     * submissions. A refresh that fails (e.g. queue full) leaves
+     * the trip outstanding — visible through lagProbe() — and is
+     * retried on the next pass.
+     *
+     * @return Machines refreshed in this pass.
+     */
+    std::size_t checkNow();
+
+    /** Current artifact generation of @p name (0 = bootstrap). */
+    std::uint64_t generation(const std::string& name) const;
+
+    /** Current profile of @p name. Holders keep their generation
+     *  pinned across later swaps (shared_ptr semantics). */
+    std::shared_ptr<const RbmsEstimate>
+    currentProfile(const std::string& name) const;
+
+    /** Current confusion model of @p name (same pinning). */
+    std::shared_ptr<const ConfusionCdf>
+    currentConfusion(const std::string& name) const;
+
+    /** Probe trips across all machines so far. */
+    std::uint64_t trips() const;
+
+    /** Completed refreshes (swaps) across all machines so far. */
+    std::uint64_t refreshes() const;
+
+    /** Probe/refresh attempts that threw (queue full, backend
+     *  failure); each leaves the stale artifacts serving. */
+    std::uint64_t errors() const;
+
+    /** Scheduler flight-recorder events (RecalTrip/RecalSwap). */
+    std::vector<telemetry::FlightEvent> flightEvents() const;
+
+    /**
+     * Health probe "recalibration_lag": number of watched machines
+     * that tripped but have not been refreshed yet (a later
+     * successful refresh clears the machine's lag, so a transient
+     * refresh failure does not degrade health forever).
+     * 0 = Healthy, 1 = Degraded, >= 2 = Unhealthy. Add it to the
+     * service's HealthMonitor; it must not outlive the scheduler.
+     */
+    std::shared_ptr<telemetry::HealthProbe> lagProbe();
+
+    /** The manifest section ("recalibration"): totals, per-machine
+     *  generations, and the flight ring. */
+    telemetry::JsonValue toJson() const;
+
+    /**
+     * Run checkNow() every @p period_seconds on a background
+     * thread until stop(). The paper-scale deployment cadence;
+     * tests and benches drive checkNow() directly instead.
+     */
+    void start(double period_seconds);
+
+    /** Join the background thread (idempotent). */
+    void stop();
+
+  private:
+    struct Watched
+    {
+        unsigned machineQubits = 0;
+        std::vector<Qubit> qubits;
+        std::uint64_t generation = 0;
+        std::shared_ptr<const RbmsEstimate> profile;
+        std::shared_ptr<const ConfusionCdf> confusion;
+        std::shared_ptr<RbmsStalenessProbe> probe;
+        std::uint64_t trips = 0;
+        std::uint64_t refreshes = 0;
+        /** Tripped but not yet refreshed (feeds lagProbe). */
+        bool pendingTrip = false;
+    };
+
+    struct Profiled
+    {
+        std::shared_ptr<const RbmsEstimate> profile;
+        std::shared_ptr<const ConfusionCdf> confusion;
+    };
+
+    /** Submit the per-truth-state holdout jobs, build the
+     *  empirical artifacts, publish them under the generation's
+     *  cache keys. No scheduler lock held (jobs take time). */
+    Profiled reprofile(const std::string& name,
+                       unsigned machine_qubits,
+                       const std::vector<Qubit>& qubits,
+                       std::uint64_t generation);
+
+    /** Probe over @p confusion with a (machine, generation)-keyed
+     *  seed, sampling live through the service. */
+    std::shared_ptr<RbmsStalenessProbe>
+    makeProbe(const std::string& name, unsigned machine_qubits,
+              const std::vector<Qubit>& qubits,
+              std::shared_ptr<const ConfusionCdf> confusion,
+              std::uint64_t generation) const;
+
+    JobService& service_;
+    RecalOptions options_;
+    telemetry::FlightRecorder flight_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Watched> watched_;
+    std::uint64_t trips_ = 0;
+    std::uint64_t refreshes_ = 0;
+    std::uint64_t errors_ = 0;
+
+    /** Serializes whole checkNow() passes. */
+    std::mutex passMutex_;
+
+    std::mutex threadMutex_;
+    std::condition_variable stopCv_;
+    std::thread thread_;
+    bool stopping_ = false;
+};
+
+} // namespace qem::svc
+
+#endif // QEM_SERVICE_RECALIBRATION_HH

@@ -8,13 +8,10 @@
 namespace qem::svc
 {
 
-namespace
-{
-
-/** X-prep the set bits of @p truth on @p qubits, then measure. */
 Circuit
-holdoutCircuit(unsigned machine_qubits,
-               const std::vector<Qubit>& qubits, BasisState truth)
+holdoutPrepCircuit(unsigned machine_qubits,
+                   const std::vector<Qubit>& qubits,
+                   BasisState truth)
 {
     Circuit circuit(machine_qubits,
                     static_cast<int>(qubits.size()));
@@ -26,6 +23,33 @@ holdoutCircuit(unsigned machine_qubits,
         circuit.measure(qubits[i], static_cast<Clbit>(i));
     return circuit;
 }
+
+void
+validateProbeStates(unsigned num_bits,
+                    const std::vector<BasisState>& states)
+{
+    if (num_bits >= 64)
+        return; // Every representable state fits the register.
+    for (BasisState s : states) {
+        if ((s >> num_bits) != 0)
+            throw std::invalid_argument(
+                "staleness probe: state " + std::to_string(s) +
+                " is wider than the cached model's " +
+                std::to_string(num_bits) + "-bit register");
+    }
+}
+
+std::vector<BasisState>
+defaultProbeStates(unsigned num_bits)
+{
+    const BasisState ones =
+        num_bits >= 64 ? ~BasisState{0}
+                       : ((BasisState{1} << num_bits) - 1);
+    return {BasisState{0}, ones};
+}
+
+namespace
+{
 
 Counts
 sampleFromCdf(const ConfusionCdf& cdf, BasisState truth,
@@ -59,7 +83,8 @@ holdoutFromBackend(std::shared_ptr<const ShardedBackend> backend,
     return [backend, qubits = std::move(qubits)](
                BasisState truth, std::size_t shots, Rng& rng) {
         return backend->run(
-            holdoutCircuit(backend->numQubits(), qubits, truth),
+            holdoutPrepCircuit(backend->numQubits(), qubits,
+                               truth),
             shots, rng);
     };
 }
@@ -79,6 +104,10 @@ RbmsStalenessProbe::RbmsStalenessProbe(
     if (options_.shotsPerState == 0)
         throw std::invalid_argument(
             "RbmsStalenessProbe: zero holdout budget");
+    // Reject out-of-range states here, not in check(): a state
+    // wider than the cached rows would otherwise flow unchecked
+    // into ConfusionCdf::sample at probe time.
+    validateProbeStates(cached_->numBits(), options_.states);
 }
 
 std::uint64_t
@@ -105,13 +134,8 @@ RbmsStalenessProbe::check()
     }
 
     std::vector<BasisState> states = options_.states;
-    if (states.empty()) {
-        const BasisState ones =
-            cached_->numBits() >= 64
-                ? ~BasisState{0}
-                : ((BasisState{1} << cached_->numBits()) - 1);
-        states = {BasisState{0}, ones};
-    }
+    if (states.empty())
+        states = defaultProbeStates(cached_->numBits());
     const double alphaPerState =
         options_.alpha / static_cast<double>(states.size());
 
@@ -124,23 +148,36 @@ RbmsStalenessProbe::check()
     BasisState worstState = 0;
     bool haveWorst = false;
     bool stale = false;
-    for (std::size_t k = 0; k < states.size(); ++k) {
-        Rng freshRng = root.splitAt(2 * k);
-        Rng referenceRng = root.splitAt(2 * k + 1);
-        const Counts fresh = live_(
-            states[k], options_.shotsPerState, freshRng);
-        const Counts reference =
-            sampleFromCdf(*cached_, states[k],
-                          options_.shotsPerState, referenceRng);
-        const verify::GofResult test =
-            verify::twoSampleGTest(fresh, reference);
-        if (!haveWorst || test.pValue < worst.pValue) {
-            worst = test;
-            worstState = states[k];
-            haveWorst = true;
+    try {
+        for (std::size_t k = 0; k < states.size(); ++k) {
+            Rng freshRng = root.splitAt(2 * k);
+            Rng referenceRng = root.splitAt(2 * k + 1);
+            const Counts fresh = live_(
+                states[k], options_.shotsPerState, freshRng);
+            const Counts reference =
+                sampleFromCdf(*cached_, states[k],
+                              options_.shotsPerState,
+                              referenceRng);
+            const verify::GofResult test =
+                verify::twoSampleGTest(fresh, reference);
+            if (!haveWorst || test.pValue < worst.pValue) {
+                worst = test;
+                worstState = states[k];
+                haveWorst = true;
+            }
+            if (test.pValue < alphaPerState)
+                stale = true;
         }
-        if (test.pValue < alphaPerState)
-            stale = true;
+    } catch (...) {
+        // A transient sampler failure must not burn the epoch: a
+        // serial retry has to replay the exact splitAt(epoch)
+        // stream that failed. Roll back only if no concurrent
+        // check consumed a later epoch meanwhile — an interleaved
+        // epoch may be skipped, but is never reused.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (checks_ == epoch + 1)
+            --checks_;
+        throw;
     }
 
     {

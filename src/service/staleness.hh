@@ -72,6 +72,32 @@ HoldoutSampler holdoutFromBackend(
     std::shared_ptr<const ShardedBackend> backend,
     std::vector<Qubit> qubits);
 
+/**
+ * The holdout preparation circuit: X gates on the set bits of
+ * @p truth over the register @p qubits (clbit order), then measure.
+ * Shared by every holdout sampler and by the recalibration
+ * scheduler's re-profiling jobs, so probe and profile always run
+ * the exact same circuits.
+ */
+Circuit holdoutPrepCircuit(unsigned machine_qubits,
+                           const std::vector<Qubit>& qubits,
+                           BasisState truth);
+
+/**
+ * Reject probe states with bits above @p num_bits with
+ * std::invalid_argument (such states would index past the cached
+ * CDF rows). A no-op for num_bits >= 64: every BasisState fits.
+ */
+void validateProbeStates(unsigned num_bits,
+                         const std::vector<BasisState>& states);
+
+/**
+ * The default probed states — all-zeros and all-ones over
+ * @p num_bits (the paper's two state-dependent drift directions),
+ * with the 64-bit shift guard on the all-ones mask.
+ */
+std::vector<BasisState> defaultProbeStates(unsigned num_bits);
+
 struct StalenessOptions
 {
     /** Holdout budget per probed state per check. */
@@ -100,6 +126,8 @@ class RbmsStalenessProbe : public telemetry::HealthProbe
      * @param cached The confusion model the service is serving
      *        (what AIM inverts with).
      * @param live Fresh-sample source for the current machine.
+     * @throws std::invalid_argument when any configured probe
+     *         state is wider than the cached model's register.
      */
     RbmsStalenessProbe(
         std::shared_ptr<const ConfusionCdf> cached,
@@ -107,8 +135,16 @@ class RbmsStalenessProbe : public telemetry::HealthProbe
 
     std::string name() const override { return "rbms_stale"; }
 
-    /** Replay the holdout and test; Unhealthy when any probed
-     *  state's two-sample test rejects at alpha / numStates. */
+    /**
+     * Replay the holdout and test; Unhealthy when any probed
+     * state's two-sample test rejects at alpha / numStates.
+     *
+     * Exception safety: a throwing sampler (transient backend
+     * failure) rolls the consumed epoch back, so a serial retry
+     * replays the exact splitAt(epoch) stream that failed instead
+     * of burning it. Under concurrent checks an epoch interleaved
+     * with a failure may be skipped, but is never reused.
+     */
     telemetry::ProbeResult check() override;
 
     /** Checks run so far (each consumes a fresh seed split). */

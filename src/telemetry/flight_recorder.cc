@@ -22,6 +22,8 @@ flightEventKindName(FlightEventKind kind)
     case FlightEventKind::Cancel: return "cancel";
     case FlightEventKind::Fail: return "fail";
     case FlightEventKind::Audit: return "audit";
+    case FlightEventKind::RecalTrip: return "recal_trip";
+    case FlightEventKind::RecalSwap: return "recal_swap";
     }
     return "unknown";
 }

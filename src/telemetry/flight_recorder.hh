@@ -47,6 +47,11 @@ enum class FlightEventKind : std::uint8_t {
     Cancel,
     Fail,
     Audit,
+    /** Staleness probe rejected a cached confusion model. */
+    RecalTrip,
+    /** A recalibration refresh published a new artifact
+     *  generation (exactly one per refresh). */
+    RecalSwap,
 };
 
 /** Stable lower-case token used in JSON dumps ("enqueue", ...). */

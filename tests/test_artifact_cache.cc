@@ -339,6 +339,159 @@ TEST(ConfusionCdf, CachedLookupHitsAndKeysOnRates)
     EXPECT_FALSE(cleanKey == driftedKey);
 }
 
+TEST(ArtifactCache, InvalidateDropsReadyEntry)
+{
+    ArtifactCache cache;
+    int computes = 0;
+    const auto compute =
+        [&computes]() -> ArtifactCache::Costed<int> {
+        ++computes;
+        return {std::make_shared<const int>(computes), 64};
+    };
+    auto pinned = cache.getOrCompute<int>(keyOf(5), compute);
+    EXPECT_TRUE(cache.invalidate(keyOf(5)));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytesUsed, 0u);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+    // Pinned holders keep their generation.
+    EXPECT_EQ(*pinned, 1);
+    // The next lookup recomputes fresh.
+    bool hit = true;
+    auto fresh = cache.getOrCompute<int>(keyOf(5), compute, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(*fresh, 2);
+    EXPECT_EQ(computes, 2);
+}
+
+TEST(ArtifactCache, InvalidateUnknownKeyIsANoop)
+{
+    ArtifactCache cache;
+    EXPECT_FALSE(cache.invalidate(keyOf(123)));
+    EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(ArtifactCache, InvalidateRacesSingleFlightCompute)
+{
+    ArtifactCache cache;
+    std::atomic<bool> computing{false};
+    std::atomic<int> computes{0};
+    std::shared_ptr<const int> initiator;
+    std::thread worker([&] {
+        initiator = cache.getOrCompute<int>(
+            keyOf(21),
+            [&]() -> ArtifactCache::Costed<int> {
+                computing.store(true);
+                ++computes;
+                // Hold the pending slot open so invalidate() is
+                // guaranteed to land mid-flight.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                return {std::make_shared<const int>(1), 64};
+            });
+    });
+    while (!computing.load())
+        std::this_thread::yield();
+    // Mid-flight invalidation: an entry (the pending slot) exists.
+    EXPECT_TRUE(cache.invalidate(keyOf(21)));
+    // A second invalidation of the same pending slot counts once.
+    EXPECT_FALSE(cache.invalidate(keyOf(21)));
+    worker.join();
+
+    // The initiating caller still got its value...
+    ASSERT_NE(initiator, nullptr);
+    EXPECT_EQ(*initiator, 1);
+    // ...but the result was never retained: the next lookup
+    // recomputes instead of serving the pre-invalidate value.
+    bool hit = true;
+    auto fresh = cache.getOrCompute<int>(
+        keyOf(21),
+        [&]() -> ArtifactCache::Costed<int> {
+            ++computes;
+            return {std::make_shared<const int>(2), 64};
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(*fresh, 2);
+    EXPECT_EQ(computes.load(), 2);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ArtifactCache, EvictionsAndInvalidationsCountSeparately)
+{
+    // One shard, budget for two entries: filling three evicts one.
+    ArtifactCache cache(cacheOptions(200, 1));
+    const auto make = [](int v) {
+        return [v]() -> ArtifactCache::Costed<int> {
+            return {std::make_shared<const int>(v), 100};
+        };
+    };
+    (void)cache.getOrCompute<int>(keyOf(1), make(1));
+    (void)cache.getOrCompute<int>(keyOf(2), make(2));
+    (void)cache.getOrCompute<int>(keyOf(3), make(3));
+    EXPECT_TRUE(cache.invalidate(keyOf(3)));
+    // Budget reclaim and caller-declared staleness are different
+    // signals: conflating them would fire the cache-thrash probe
+    // on healthy recalibration churn.
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ConfusionCdf, EmpiricalRowsMatchHistograms)
+{
+    // Two bits, hand-built holdout histograms.
+    std::vector<Counts> perTruth(4, Counts(2));
+    perTruth[0].add(0, 90);
+    perTruth[0].add(1, 10);
+    perTruth[1].add(1, 75);
+    perTruth[1].add(0, 25);
+    perTruth[2].add(2, 60);
+    perTruth[2].add(3, 40);
+    perTruth[3].add(3, 100);
+    const svc::ConfusionCdf cdf(2, perTruth);
+    EXPECT_NEAR(cdf.probability(0, 0), 0.90, 1e-12);
+    EXPECT_NEAR(cdf.probability(0, 1), 0.10, 1e-12);
+    EXPECT_NEAR(cdf.probability(1, 0), 0.25, 1e-12);
+    EXPECT_NEAR(cdf.probability(2, 3), 0.40, 1e-12);
+    EXPECT_DOUBLE_EQ(cdf.row(3).back(), 1.0);
+    EXPECT_EQ(cdf.sample(3, 0.5), 3u);
+
+    // One histogram per truth state, none empty, outcomes in range.
+    std::vector<Counts> tooFew(3, Counts(2));
+    EXPECT_THROW(svc::ConfusionCdf(2, tooFew),
+                 std::invalid_argument);
+    std::vector<Counts> empty(4, Counts(2));
+    empty[0].add(0, 1);
+    EXPECT_THROW(svc::ConfusionCdf(2, empty),
+                 std::invalid_argument);
+    // A wider register smuggles outcome 4 past Counts::add; the
+    // 2-bit CDF constructor must still reject it.
+    std::vector<Counts> wide(4, Counts(3));
+    for (auto& c : wide)
+        c.add(0, 1);
+    wide[1].add(4, 1);
+    EXPECT_THROW(svc::ConfusionCdf(2, wide),
+                 std::invalid_argument);
+}
+
+TEST(ArtifactKey, GenerationZeroKeepsHistoricalKeys)
+{
+    const Circuit circuit = bernsteinVazirani(3, 0b101);
+    const ArtifactKey base =
+        svc::compiledProgramKey("ibmqx4", circuit);
+    // Generation 0 is the identity: every un-versioned call site
+    // (and every committed golden) keeps its historical key.
+    EXPECT_EQ(base, svc::compiledProgramKey("ibmqx4", circuit, 0));
+    EXPECT_EQ(base, svc::withGeneration(base, 0));
+    // Later generations key apart from the base and each other.
+    const ArtifactKey gen1 =
+        svc::compiledProgramKey("ibmqx4", circuit, 1);
+    const ArtifactKey gen2 =
+        svc::compiledProgramKey("ibmqx4", circuit, 2);
+    EXPECT_FALSE(base == gen1);
+    EXPECT_FALSE(gen1 == gen2);
+    EXPECT_NE(gen1.hash(), gen2.hash());
+}
+
 TEST(ArtifactCache, CachedRbmsProfileCharacterizesOnce)
 {
     const Machine machine = makeMachine("ibmqx4");

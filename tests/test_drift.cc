@@ -98,6 +98,43 @@ TEST(Drift, RejectsNegativeSigma)
                  std::invalid_argument);
 }
 
+TEST(DriftSchedule, DayZeroIsTheBaseInvariant)
+{
+    const Machine nominal = makeIbmqx4();
+    const DriftSchedule schedule(nominal, 0.5);
+    const Machine day0 = schedule.at(0);
+    // The asserted invariant: day 0 is the machine exactly as
+    // profiled, bit-for-bit, not a zero-sigma drift realization.
+    EXPECT_EQ(day0.name(), nominal.name());
+    for (Qubit q = 0; q < nominal.numQubits(); ++q) {
+        const QubitCalibration& a = day0.calibration().qubit(q);
+        const QubitCalibration& b =
+            nominal.calibration().qubit(q);
+        EXPECT_EQ(a.readoutP01, b.readoutP01) << "qubit " << q;
+        EXPECT_EQ(a.readoutP10, b.readoutP10) << "qubit " << q;
+        EXPECT_EQ(a.t1Ns, b.t1Ns) << "qubit " << q;
+        EXPECT_EQ(a.t2Ns, b.t2Ns) << "qubit " << q;
+    }
+}
+
+TEST(DriftSchedule, RejectsDaysPastTheHorizon)
+{
+    const Machine nominal = makeIbmqx2();
+    const DriftSchedule schedule(nominal, 0.2, 10);
+    EXPECT_EQ(schedule.horizonDays(), 10u);
+    EXPECT_NO_THROW(schedule.at(10));
+    EXPECT_THROW(schedule.at(11), std::out_of_range);
+    // A negative day cast to the unsigned index wraps far past any
+    // sane horizon and must be rejected, not extrapolated.
+    EXPECT_THROW(schedule.at(static_cast<std::uint64_t>(-1)),
+                 std::out_of_range);
+    EXPECT_THROW(DriftSchedule(nominal, 0.2, 0),
+                 std::invalid_argument);
+    // The default horizon covers a year of daily realizations.
+    EXPECT_EQ(DriftSchedule(nominal, 0.2).horizonDays(),
+              DriftSchedule::kDefaultHorizonDays);
+}
+
 TEST(Drift, PreservesTopologyAndCrosstalkStructure)
 {
     const Machine nominal = makeIbmqx4();

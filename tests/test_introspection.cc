@@ -498,6 +498,95 @@ TEST_F(IntrospectionTest, StalenessProbeTripsOnDriftedMachine)
     EXPECT_LT(probe.lastWorst().pValue, 1e-6 / 2.0);
 }
 
+TEST_F(IntrospectionTest, StalenessCheckRollsEpochBackOnThrow)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    auto cached = std::make_shared<svc::ConfusionCdf>(
+        machine.calibration(), stalenessQubits());
+
+    // A live sampler that fails transiently on its very first
+    // call — the backend hiccup that used to burn the epoch.
+    int calls = 0;
+    const svc::HoldoutSampler flaky =
+        [&calls, &machine](BasisState truth, std::size_t shots,
+                           Rng& rng) -> Counts {
+        if (calls++ == 0)
+            throw std::runtime_error("transient backend failure");
+        return svc::holdoutFromCalibration(
+            machine.calibration(), stalenessQubits())(truth, shots,
+                                                      rng);
+    };
+    svc::RbmsStalenessProbe probe(cached, flaky,
+                                  stalenessOptions());
+    EXPECT_THROW(probe.check(), std::runtime_error);
+    // The epoch was rolled back, not consumed.
+    EXPECT_EQ(probe.checksRun(), 0u);
+
+    // The retry replays the exact splitAt(epoch) stream the failed
+    // check would have used: its worst-test statistic must equal
+    // that of a twin probe whose sampler never threw.
+    const telemetry::ProbeResult retried = probe.check();
+    EXPECT_EQ(probe.checksRun(), 1u);
+
+    svc::RbmsStalenessProbe twin(
+        cached,
+        svc::holdoutFromCalibration(machine.calibration(),
+                                    stalenessQubits()),
+        stalenessOptions());
+    const telemetry::ProbeResult clean = twin.check();
+    EXPECT_EQ(retried.status, clean.status);
+    EXPECT_EQ(probe.lastWorst().pValue, twin.lastWorst().pValue);
+    EXPECT_EQ(probe.lastWorst().statistic,
+              twin.lastWorst().statistic);
+}
+
+TEST_F(IntrospectionTest, StalenessRejectsOverwideProbeStates)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    auto cached = std::make_shared<svc::ConfusionCdf>(
+        machine.calibration(), stalenessQubits()); // 3 bits
+    svc::StalenessOptions options = stalenessOptions();
+    // 0b1000 needs 4 bits: it would index past the cached rows.
+    options.states = {0b1000};
+    EXPECT_THROW(
+        svc::RbmsStalenessProbe(
+            cached,
+            svc::holdoutFromCalibration(machine.calibration(),
+                                        stalenessQubits()),
+            options),
+        std::invalid_argument);
+    // In-range states construct fine.
+    options.states = {0b000, 0b111};
+    EXPECT_NO_THROW(svc::RbmsStalenessProbe(
+        cached,
+        svc::holdoutFromCalibration(machine.calibration(),
+                                    stalenessQubits()),
+        options));
+}
+
+TEST_F(IntrospectionTest, ProbeStateValidationAtThe64BitBoundary)
+{
+    // validateProbeStates must not shift by >= 64 (undefined
+    // behaviour): at num_bits == 64 every BasisState fits.
+    EXPECT_NO_THROW(
+        svc::validateProbeStates(64, {~std::uint64_t{0}}));
+    EXPECT_NO_THROW(svc::validateProbeStates(64, {0}));
+    EXPECT_THROW(svc::validateProbeStates(3, {0b1000}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(svc::validateProbeStates(3, {0b111}));
+
+    // The default probed states are all-zeros and all-ones, with
+    // the same shift guard on the all-ones mask.
+    const auto narrow = svc::defaultProbeStates(3);
+    ASSERT_EQ(narrow.size(), 2u);
+    EXPECT_EQ(narrow[0], 0u);
+    EXPECT_EQ(narrow[1], 0b111u);
+    const auto wide = svc::defaultProbeStates(64);
+    ASSERT_EQ(wide.size(), 2u);
+    EXPECT_EQ(wide[0], 0u);
+    EXPECT_EQ(wide[1], ~std::uint64_t{0});
+}
+
 TEST_F(IntrospectionTest, StalenessGaugeFlipsThroughMonitor)
 {
     telemetry::setEnabled(true);

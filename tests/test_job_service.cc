@@ -30,6 +30,7 @@
 #include "noise/trajectory.hh"
 #include "qsim/bitstring.hh"
 #include "runtime/shot_plan.hh"
+#include "service/artifacts.hh"
 #include "service/job_service.hh"
 #include "telemetry/json.hh"
 #include "telemetry/telemetry.hh"
@@ -708,6 +709,88 @@ TEST_F(JobServiceTest, SummaryManifestRoundTrips)
         EXPECT_EQ(job.find("status")->asString(), "completed");
         EXPECT_EQ(job.find("machine")->asString(), "ibmqx2");
     }
+}
+
+TEST_F(JobServiceTest, ReplaceMachineSwapsAtomicallyAndPins)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    const TrajectorySimulator original(machine.noiseModel(), 7);
+    const Circuit circuit = physicalBv("ibmqx4", 3, 0b101);
+
+    // A gated original: its jobs start, then block, so the swap
+    // provably lands while they are in flight.
+    auto gate = std::make_shared<GatedBackend::Gate>();
+    const GatedBackend gated(gate);
+
+    JobService service(serviceOptions(2), 99);
+    ASSERT_TRUE(service.registerMachine("ibmqx4", gated));
+    EXPECT_EQ(service.machineGeneration("ibmqx4"), 0u);
+    EXPECT_FALSE(service.replaceMachine("nope", original));
+    EXPECT_THROW((void)service.machineGeneration("nope"),
+                 std::invalid_argument);
+
+    JobHandle pinned = service.submit("ibmqx4", circuit, 256,
+                                      jobOptions("alice", 1));
+
+    // Swap while the pinned job is queued/blocked on the gate.
+    ASSERT_TRUE(service.replaceMachine("ibmqx4", original));
+    EXPECT_EQ(service.machineGeneration("ibmqx4"), 1u);
+
+    JobHandle after = service.submit("ibmqx4", circuit, 256,
+                                     jobOptions("alice", 2));
+    gate->release();
+    pinned.wait();
+    after.wait();
+
+    // The in-flight job ran on the worker set it resolved at
+    // submit time: all-zeros is the gated backend's signature.
+    EXPECT_EQ(pinned.get().get(0), 256u);
+    EXPECT_EQ(pinned.get().distinct(), 1u);
+    // The post-swap job ran on the replacement and matches the
+    // serial reference for the SAME (tenant, jobKey): a machine
+    // swap does not move the job's RNG stream.
+    EXPECT_EQ(after.get().raw(),
+              serialReference(original, circuit, 256, 128, 99,
+                              "alice", 2)
+                  .raw());
+}
+
+TEST_F(JobServiceTest, ResultsBitIdenticalAcrossSwapAndInvalidate)
+{
+    const Machine machine = makeMachine("ibmqx4");
+    const TrajectorySimulator prototype(machine.noiseModel(), 7);
+    const Circuit circuit = physicalBv("ibmqx4", 3, 0b011);
+
+    // Reference service: never swapped, artifact freshly compiled.
+    JobService fresh(serviceOptions(2), 99);
+    fresh.registerMachine("ibmqx4", prototype);
+    const Counts freshCounts =
+        fresh.submit("ibmqx4", circuit, 512, jobOptions("t", 9))
+            .get();
+
+    // Swapped service: same prototype republished mid-stream, and
+    // the compiled artifact invalidated between jobs. Generation
+    // bumps mean the second job misses onto a generation-1 compile.
+    JobService swapped(serviceOptions(2), 99);
+    swapped.registerMachine("ibmqx4", prototype);
+    const Counts before =
+        swapped.submit("ibmqx4", circuit, 512, jobOptions("t", 9))
+            .get();
+    ASSERT_TRUE(swapped.replaceMachine("ibmqx4", prototype));
+    ASSERT_TRUE(swapped.cache().invalidate(
+        svc::compiledProgramKey("ibmqx4", circuit, 0)));
+    const Counts after =
+        swapped.submit("ibmqx4", circuit, 512, jobOptions("t", 9))
+            .get();
+
+    // Job results are a pure function of (seed, tenant, jobKey,
+    // circuit, shots, batch size) — bit-identical whether the
+    // artifact was freshly computed or swapped mid-stream.
+    EXPECT_EQ(before.raw(), freshCounts.raw());
+    EXPECT_EQ(after.raw(), freshCounts.raw());
+    // Both generations' compiles happened (two distinct keys).
+    EXPECT_GE(swapped.summary().cache.misses, 2u);
+    EXPECT_EQ(swapped.summary().cache.invalidations, 1u);
 }
 
 } // namespace
